@@ -1,0 +1,64 @@
+#ifndef ATUNE_BENCH_BENCH_COMMON_H_
+#define ATUNE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "systems/dbms/dbms_system.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/hardware.h"
+#include "systems/mapreduce/mr_system.h"
+#include "systems/mapreduce/mr_workloads.h"
+#include "systems/spark/spark_system.h"
+#include "systems/spark/spark_workloads.h"
+
+namespace atune {
+namespace bench {
+
+/// Standard reference hardware used by every experiment harness:
+/// a 1-node 8-core/16GB box for the centralized DBMS and a 4-node cluster
+/// for MapReduce/Spark (and the "parallel DBMS" of E4).
+inline NodeSpec ReferenceNode() {
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  node.disk_mbps = 200;
+  node.disk_iops = 500;
+  node.network_mbps = 1000;
+  return node;
+}
+
+inline std::unique_ptr<SimulatedDbms> MakeDbms(uint64_t seed,
+                                               size_t nodes = 1) {
+  return std::make_unique<SimulatedDbms>(
+      ClusterSpec::MakeUniform(nodes, ReferenceNode()), seed);
+}
+
+inline std::unique_ptr<SimulatedMapReduce> MakeMapReduce(uint64_t seed,
+                                                         size_t nodes = 4) {
+  return std::make_unique<SimulatedMapReduce>(
+      ClusterSpec::MakeUniform(nodes, ReferenceNode()), seed);
+}
+
+inline std::unique_ptr<SimulatedSpark> MakeSpark(uint64_t seed,
+                                                 size_t nodes = 4) {
+  return std::make_unique<SimulatedSpark>(
+      ClusterSpec::MakeUniform(nodes, ReferenceNode()), seed);
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_artifact,
+                        const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — reproduces %s\n", experiment.c_str(),
+              paper_artifact.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace atune
+
+#endif  // ATUNE_BENCH_BENCH_COMMON_H_

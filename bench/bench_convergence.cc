@@ -1,0 +1,128 @@
+// E11 — convergence curves: best-objective-so-far vs experiment budget for
+// each tuning category. The paper has no figures, but Table 1's
+// time-consumption prose ("very time consuming", "efficient for
+// predicting", "only apply to long-running applications") is exactly a
+// statement about the shape of these curves. Emitted as CSV series so they
+// can be plotted directly.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "core/comparator.h"
+#include "tuners/adaptive/adaptive_memory.h"
+#include "tuners/cost_model/cost_model_tuner.h"
+#include "tuners/experiment/ituned.h"
+#include "tuners/experiment/search_baselines.h"
+#include "tuners/ml_tuners/ottertune.h"
+#include "tuners/rule_based/builtin_rules.h"
+#include "tuners/rule_based/rule_engine.h"
+#include "tuners/simulation/trace_simulator.h"
+
+namespace atune {
+namespace bench {
+namespace {
+
+// Interpolates a (cost, best) trace onto integer budget points.
+std::vector<double> Resample(const std::vector<std::pair<double, double>>& trace,
+                             size_t budget) {
+  std::vector<double> out(budget, std::numeric_limits<double>::quiet_NaN());
+  double best = std::numeric_limits<double>::quiet_NaN();
+  size_t idx = 0;
+  for (size_t b = 1; b <= budget; ++b) {
+    while (idx < trace.size() && trace[idx].first <= static_cast<double>(b)) {
+      best = trace[idx].second;
+      ++idx;
+    }
+    out[b - 1] = best;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace atune
+
+int main() {
+  using namespace atune;
+  using namespace atune::bench;
+
+  PrintHeader("E11: bench_convergence",
+              "Table 1 time-consumption prose, as curves",
+              "Mean best-objective vs budget per category (DBMS OLAP, 5 "
+              "seeds, CSV below).");
+
+  const size_t budget = 30;
+  std::vector<std::pair<std::string, std::function<std::unique_ptr<Tuner>()>>>
+      tuners = {
+          {"rule-based",
+           [] {
+             return std::make_unique<RuleBasedTuner>("rules", MakeDbmsRules());
+           }},
+          {"cost-model", [] { return std::make_unique<CostModelTuner>(); }},
+          {"trace-simulator",
+           [] { return std::make_unique<TraceSimulatorTuner>(); }},
+          {"random-search",
+           [] { return std::make_unique<RandomSearchTuner>(); }},
+          {"ituned", [] { return std::make_unique<ITunedTuner>(); }},
+          {"ottertune", [] { return std::make_unique<OtterTuneTuner>(); }},
+          {"adaptive-memory",
+           [] { return std::make_unique<AdaptiveMemoryTuner>(); }},
+      };
+  auto report = CompareTuners(
+      tuners,
+      [](uint64_t seed) -> std::unique_ptr<TunableSystem> {
+        return MakeDbms(seed);
+      },
+      MakeDbmsOlapWorkload(1.0), TuningBudget{budget}, /*seeds=*/5,
+      "dbms-olap");
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  // CSV: one row per budget point, one column per tuner (mean over seeds).
+  std::printf("budget");
+  for (const auto& [name, factory] : tuners) {
+    (void)factory;
+    std::printf(",%s", name.c_str());
+  }
+  std::printf("\n");
+  std::vector<std::vector<double>> curves;  // [tuner][budget]
+  for (size_t t = 0; t < tuners.size(); ++t) {
+    std::vector<RunningStats> per_budget(budget);
+    for (const auto& seed_trace : report->traces[t]) {
+      std::vector<double> r = Resample(seed_trace, budget);
+      for (size_t b = 0; b < budget; ++b) {
+        if (!std::isnan(r[b])) per_budget[b].Add(r[b]);
+      }
+    }
+    std::vector<double> curve(budget);
+    for (size_t b = 0; b < budget; ++b) {
+      curve[b] = per_budget[b].count() > 0
+                     ? per_budget[b].mean()
+                     : std::numeric_limits<double>::quiet_NaN();
+    }
+    curves.push_back(std::move(curve));
+  }
+  for (size_t b = 0; b < budget; ++b) {
+    std::printf("%zu", b + 1);
+    for (size_t t = 0; t < tuners.size(); ++t) {
+      if (std::isnan(curves[t][b])) {
+        std::printf(",");
+      } else {
+        std::printf(",%.2f", curves[t][b]);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nHow to read it: rule-based/cost-model/trace curves are flat almost\n"
+      "immediately (their knowledge is front-loaded); random/iTuned start at\n"
+      "the same first measurement but iTuned's GP bends the curve down much\n"
+      "faster; the adaptive curve descends inside the payload run.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// E6 — open problem 1 from Section 2.5 ("Heterogeneity: tuning over
+// heterogeneous hardware and software") and Table 1's cost-model weakness
+// "Not effective on heterogeneous clusters".
+//
+// The same tuning approaches run a TeraSort scenario on (a) a uniform
+// 8-node cluster and (b) clusters whose node speeds vary by +-25% / +-50%.
+// Two effects to reproduce:
+//   * model-driven approaches (cost model, trace what-if) degrade with
+//     heterogeneity because their models assume uniform nodes, while
+//     experiment-driven tuning keeps working (it only trusts real runs);
+//   * the straggler mitigation knobs (speculation on Spark) matter only on
+//     the heterogeneous clusters.
+
+#include "bench/bench_common.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "core/session.h"
+#include "systems/spark/spark_system.h"
+#include "systems/spark/spark_workloads.h"
+#include "tuners/cost_model/cost_model_tuner.h"
+#include "tuners/cost_model/cost_models.h"
+#include "tuners/experiment/ituned.h"
+#include "tuners/simulation/trace_simulator.h"
+
+namespace atune {
+namespace bench {
+namespace {
+
+constexpr size_t kSeeds = 5;
+
+double MeanSpeedup(Tuner* (*make)(), double spread, uint64_t base_seed) {
+  RunningStats speedup;
+  for (size_t s = 0; s < kSeeds; ++s) {
+    Rng hw_rng(base_seed + s);
+    ClusterSpec cluster =
+        spread == 0.0
+            ? ClusterSpec::MakeUniform(8, ReferenceNode())
+            : ClusterSpec::MakeHeterogeneous(8, ReferenceNode(), spread,
+                                             &hw_rng);
+    SimulatedMapReduce mr(cluster, base_seed + s);
+    std::unique_ptr<Tuner> tuner(make());
+    SessionOptions options;
+    options.budget.max_evaluations = 20;
+    options.seed = 500 + s;
+    auto outcome = RunTuningSession(tuner.get(), &mr,
+                                    MakeMrTeraSortWorkload(10.0), options);
+    if (outcome.ok()) speedup.Add(outcome->speedup_over_default);
+  }
+  return speedup.mean();
+}
+
+Tuner* MakeCost() { return new CostModelTuner(); }
+Tuner* MakeTrace() { return new TraceSimulatorTuner(); }
+Tuner* MakeITuned() { return new ITunedTuner(); }
+
+}  // namespace
+}  // namespace bench
+}  // namespace atune
+
+int main() {
+  using namespace atune;
+  using namespace atune::bench;
+
+  PrintHeader("E6: bench_heterogeneity", "Section 2.5 open problem 1",
+              "Model-driven vs experiment-driven tuning as cluster "
+              "heterogeneity grows (MapReduce TeraSort, 8 nodes, 5 seeds).");
+
+  TableWriter table({"approach", "uniform", "+-25% nodes", "+-50% nodes"});
+  struct Row {
+    const char* name;
+    Tuner* (*make)();
+  };
+  for (const Row& row : {Row{"cost-model (white box)", MakeCost},
+                         Row{"trace what-if", MakeTrace},
+                         Row{"iTuned (experiments)", MakeITuned}}) {
+    table.AddRow({row.name,
+                  StrFormat("%.2fx", MeanSpeedup(row.make, 0.0, 71)),
+                  StrFormat("%.2fx", MeanSpeedup(row.make, 0.25, 72)),
+                  StrFormat("%.2fx", MeanSpeedup(row.make, 0.5, 73))});
+  }
+  table.WritePretty(std::cout);
+
+  // The crisper signal: the white-box model's prediction error grows with
+  // heterogeneity because it assumes uniform nodes.
+  std::printf("\nCost-model relative prediction error vs heterogeneity "
+              "(60 random configs):\n");
+  TableWriter err_table({"cluster", "median |pred-actual|/actual"});
+  for (double spread : {0.0, 0.25, 0.5}) {
+    Rng hw_rng(61);
+    ClusterSpec cluster =
+        spread == 0.0
+            ? ClusterSpec::MakeUniform(8, ReferenceNode())
+            : ClusterSpec::MakeHeterogeneous(8, ReferenceNode(), spread,
+                                             &hw_rng);
+    SimulatedMapReduce mr(cluster, 62);
+    mr.set_noise_sigma(0.0);
+    auto model = MakeCostModelForSystem(mr.name());
+    auto desc = mr.Descriptors();
+    Workload w = MakeMrTeraSortWorkload(10.0);
+    Rng rng(63);
+    std::vector<double> errors;
+    for (int i = 0; i < 60; ++i) {
+      Configuration c = mr.space().RandomConfiguration(&rng);
+      auto actual = mr.Execute(c, w);
+      if (!actual.ok() || actual->failed) continue;
+      double pred = model->PredictRuntime(c, w, desc);
+      errors.push_back(std::abs(pred - actual->runtime_seconds) /
+                       actual->runtime_seconds);
+    }
+    err_table.AddRow(
+        {spread == 0.0 ? "uniform" : StrFormat("+-%.0f%%", spread * 100.0),
+         StrFormat("%.0f%%", Median(errors) * 100.0)});
+  }
+  err_table.WritePretty(std::cout);
+
+  // Speculation ablation on Spark across heterogeneity levels.
+  std::printf("\nStraggler mitigation (Spark SQL aggregate, speculation "
+              "on/off):\n");
+  TableWriter spec_table({"cluster", "speculation off", "speculation on",
+                          "benefit"});
+  for (double spread : {0.0, 0.25, 0.5}) {
+    RunningStats off_stats, on_stats;
+    for (size_t s = 0; s < kSeeds; ++s) {
+      Rng hw_rng(81 + s);
+      ClusterSpec cluster =
+          spread == 0.0
+              ? ClusterSpec::MakeUniform(4, ReferenceNode())
+              : ClusterSpec::MakeHeterogeneous(4, ReferenceNode(), spread,
+                                               &hw_rng);
+      SimulatedSpark spark(cluster, 90 + s);
+      spark.set_noise_sigma(0.0);
+      Workload w = MakeSparkSqlAggregateWorkload(8.0, 4.0);
+      Configuration base = spark.space().DefaultConfiguration();
+      base.SetInt("num_executors", 4);
+      base.SetInt("executor_cores", 4);
+      base.SetInt("executor_memory_mb", 4096);
+      Configuration with_spec = base;
+      with_spec.SetBool("speculation", true);
+      auto off = spark.Execute(base, w);
+      auto on = spark.Execute(with_spec, w);
+      if (off.ok() && on.ok()) {
+        off_stats.Add(off->runtime_seconds);
+        on_stats.Add(on->runtime_seconds);
+      }
+    }
+    spec_table.AddRow(
+        {spread == 0.0 ? "uniform" : StrFormat("+-%.0f%%", spread * 100.0),
+         StrFormat("%.0fs", off_stats.mean()),
+         StrFormat("%.0fs", on_stats.mean()),
+         StrFormat("%.1f%%",
+                   100.0 * (1.0 - on_stats.mean() /
+                                      std::max(off_stats.mean(), 1e-9)))});
+  }
+  spec_table.WritePretty(std::cout);
+  std::printf(
+      "\nShape check: tuning matters *more* on heterogeneous clusters\n"
+      "(untuned one-wave configs are gated by the slowest node), the\n"
+      "white-box model's predictions drift as its uniform-hardware\n"
+      "assumption breaks (Table 1's listed weakness — experiment-driven\n"
+      "tuning has no such dependency), and speculative execution only pays\n"
+      "off once stragglers exist.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E8 — engineering microbenchmarks (google-benchmark): throughput of the
+// simulators and the math/ML kernels the tuners are built on. These guard
+// the "thousands of what-if evaluations are free" assumption the
+// cost-model and simulation-based categories rely on.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "math/doe.h"
+#include "math/sampling.h"
+#include "ml/gaussian_process.h"
+#include "tuners/cost_model/cost_models.h"
+#include "tuners/simulation/trace_simulator.h"
+
+namespace atune {
+namespace bench {
+namespace {
+
+void BM_DbmsExecuteOlap(benchmark::State& state) {
+  auto dbms = MakeDbms(1);
+  Workload w = MakeDbmsOlapWorkload(1.0);
+  Configuration c = dbms->space().DefaultConfiguration();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbms->Execute(c, w));
+  }
+}
+BENCHMARK(BM_DbmsExecuteOlap);
+
+void BM_DbmsExecuteOltp(benchmark::State& state) {
+  auto dbms = MakeDbms(1);
+  Workload w = MakeDbmsOltpWorkload(1.0);
+  Configuration c = dbms->space().DefaultConfiguration();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbms->Execute(c, w));
+  }
+}
+BENCHMARK(BM_DbmsExecuteOltp);
+
+void BM_MapReduceExecute(benchmark::State& state) {
+  auto mr = MakeMapReduce(1);
+  Workload w = MakeMrTeraSortWorkload(10.0);
+  Configuration c = mr->space().DefaultConfiguration();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mr->Execute(c, w));
+  }
+}
+BENCHMARK(BM_MapReduceExecute);
+
+void BM_SparkExecute(benchmark::State& state) {
+  auto spark = MakeSpark(1);
+  Workload w = MakeSparkSqlAggregateWorkload(8.0, 10.0);
+  Configuration c = spark->space().DefaultConfiguration();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spark->Execute(c, w));
+  }
+}
+BENCHMARK(BM_SparkExecute);
+
+void BM_CostModelPredict(benchmark::State& state) {
+  auto dbms = MakeDbms(1);
+  auto model = MakeDbmsCostModel();
+  Workload w = MakeDbmsOlapWorkload(1.0);
+  auto desc = dbms->Descriptors();
+  Configuration c = dbms->space().DefaultConfiguration();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->PredictRuntime(c, w, desc));
+  }
+}
+BENCHMARK(BM_CostModelPredict);
+
+void BM_TraceWhatIf(benchmark::State& state) {
+  auto dbms = MakeDbms(1);
+  Workload w = MakeDbmsOlapWorkload(1.0);
+  Configuration traced = dbms->space().DefaultConfiguration();
+  auto trace = dbms->Execute(traced, w);
+  auto desc = dbms->Descriptors();
+  Rng rng(3);
+  Configuration cand = dbms->space().RandomConfiguration(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TraceSimulatorTuner::PredictFromTrace(
+        dbms->name(), traced, *trace, cand, desc));
+  }
+}
+BENCHMARK(BM_TraceWhatIf);
+
+void BM_GpFit(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<Vec> xs = LatinHypercubeSamples(n, 12, &rng);
+  Vec ys;
+  for (const Vec& x : xs) ys.push_back(x[0] * x[0] + 0.5 * x[1]);
+  for (auto _ : state) {
+    GaussianProcess gp;
+    benchmark::DoNotOptimize(gp.Fit(xs, ys));
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_GpPredict(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<Vec> xs = LatinHypercubeSamples(30, 12, &rng);
+  Vec ys;
+  for (const Vec& x : xs) ys.push_back(x[0] * x[0] + 0.5 * x[1]);
+  GaussianProcess gp;
+  (void)gp.Fit(xs, ys);
+  Vec probe(12, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.Predict(probe));
+  }
+}
+BENCHMARK(BM_GpPredict);
+
+void BM_LatinHypercube(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LatinHypercubeSamples(30, 14, &rng));
+  }
+}
+BENCHMARK(BM_LatinHypercube);
+
+void BM_PlackettBurman(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlackettBurmanFoldover(14));
+  }
+}
+BENCHMARK(BM_PlackettBurman);
+
+}  // namespace
+}  // namespace bench
+}  // namespace atune
+
+BENCHMARK_MAIN();

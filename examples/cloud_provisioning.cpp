@@ -1,0 +1,82 @@
+// Cloud provisioning with custom objectives (the §2.5 open problems as
+// library API): the same Spark job tuned for speed, for dollars under a
+// deadline, and — as a multi-tenant DBMS — for SLO fairness.
+//
+// Demonstrates `SessionOptions::objective` and the helpers in
+// core/objective.h.
+
+#include <cstdio>
+
+#include "core/objective.h"
+#include "core/session.h"
+#include "systems/multi_tenant.h"
+#include "systems/dbms/dbms_system.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/spark/spark_system.h"
+#include "systems/spark/spark_workloads.h"
+#include "tuners/experiment/ituned.h"
+
+int main() {
+  using namespace atune;
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  ClusterSpec cluster = ClusterSpec::MakeUniform(4, node);
+
+  // --- 1. Speed vs dollars ------------------------------------------------
+  {
+    Workload job = MakeSparkSqlAggregateWorkload(8.0, 10.0);
+    std::printf("Spark SQL job, two goals:\n");
+    for (bool cost_aware : {false, true}) {
+      SimulatedSpark spark(cluster, 11);
+      ITunedTuner tuner;
+      SessionOptions options;
+      options.budget.max_evaluations = 40;
+      options.seed = 9;
+      if (cost_aware) {
+        options.objective = MakeCloudCostObjective(
+            CloudPricing{}, spark.name(), spark.Descriptors(),
+            /*deadline_s=*/1200.0);
+      }
+      auto outcome = RunTuningSession(&tuner, &spark, job, options);
+      if (!outcome.ok()) continue;
+      SimulatedSpark probe(cluster, 12);
+      probe.set_noise_sigma(0.0);
+      auto run = probe.Execute(outcome->best_config, job);
+      double usd = ComputeRunCostUsd(CloudPricing{}, probe.name(),
+                                     probe.Descriptors(),
+                                     outcome->best_config, *run);
+      std::printf("  %-22s -> %2lld executors, %4.0fs, $%.3f/run\n",
+                  cost_aware ? "cheapest under 1200s" : "fastest",
+                  static_cast<long long>(
+                      outcome->best_config.IntOr("num_executors", 0)),
+                  run->runtime_seconds, usd);
+    }
+  }
+
+  // --- 2. Multi-tenant fairness -------------------------------------------
+  {
+    std::printf("\nMulti-tenant DBMS, robust minimax objective:\n");
+    SimulatedDbms dbms(ClusterSpec::MakeUniform(1, node), 21);
+    std::vector<Tenant> tenants = {
+        {"analytics", MakeDbmsOlapWorkload(0.5), /*slo=*/140.0},
+        {"frontend", MakeDbmsOltpWorkload(0.5, 64.0, 0.85), /*slo=*/40.0},
+    };
+    MultiTenantSystem shared(&dbms, tenants);
+    ITunedTuner tuner;
+    SessionOptions options;
+    options.budget.max_evaluations = 25;
+    options.seed = 7;
+    options.objective = MakeRobustSloObjective();
+    auto outcome =
+        RunTuningSession(&tuner, &shared, MakeMultiTenantWorkload(), options);
+    if (outcome.ok()) {
+      const ExecutionResult& r = outcome->history.back().result;
+      std::printf("  worst tenant SLO ratio: %.2f (violations: %.0f)\n",
+                  outcome->best_objective,
+                  r.MetricOr("slo_violations", -1.0));
+      std::printf("  config: %s\n", outcome->best_config.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Runs every registered tuner (all six taxonomy categories, 21 approaches)
+// on one scenario and prints a ranked report — the library's "kitchen sink"
+// demo and a handy regression snapshot.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/registry.h"
+#include "core/session.h"
+#include "systems/dbms/dbms_system.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "tuners/builtin.h"
+
+int main() {
+  using namespace atune;
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  Workload workload = MakeDbmsOlapWorkload(1.0);
+
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+
+  struct RowData {
+    std::string name;
+    std::string category;
+    double speedup;
+    double best;
+    double evals;
+    std::string note;
+  };
+  std::vector<RowData> rows;
+
+  for (const std::string& name : registry.Names()) {
+    auto tuner = registry.Create(name);
+    if (!tuner.ok()) continue;
+    SimulatedDbms dbms(ClusterSpec::MakeUniform(1, node), 13);
+    SessionOptions options;
+    options.budget.max_evaluations = 25;
+    options.seed = 37;
+    auto outcome =
+        RunTuningSession(tuner->get(), &dbms, workload, options);
+    if (!outcome.ok()) {
+      rows.push_back({name, TunerCategoryToString((*tuner)->category()), 0.0,
+                      0.0, 0.0, outcome.status().ToString()});
+      continue;
+    }
+    rows.push_back({name, TunerCategoryToString(outcome->category),
+                    outcome->speedup_over_default, outcome->best_objective,
+                    outcome->evaluations_used, ""});
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const RowData& a, const RowData& b) {
+    return a.speedup > b.speedup;
+  });
+
+  std::printf("All %zu builtin tuners on DBMS / TPC-H-like OLAP "
+              "(budget 25, seed 37):\n\n", rows.size());
+  TableWriter table({"tuner", "category", "speedup", "best", "evals", "note"});
+  for (const RowData& r : rows) {
+    table.AddRow({r.name, r.category,
+                  r.speedup > 0 ? StrFormat("%.2fx", r.speedup) : "-",
+                  r.best > 0 ? StrFormat("%.0fs", r.best) : "-",
+                  StrFormat("%.1f", r.evals), r.note});
+  }
+  table.WritePretty(std::cout);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Tuning a Hadoop TeraSort job: the canonical MapReduce tuning story.
+//
+// Walks the same knob journey the Hadoop tuning literature documents:
+//   defaults (1 reducer!) -> rule-of-thumb config -> ADDM-style diagnosis ->
+//   full experiment-driven search; prints what each level of effort buys.
+
+#include <cstdio>
+
+#include "core/session.h"
+#include "systems/mapreduce/mr_system.h"
+#include "systems/mapreduce/mr_workloads.h"
+#include "tuners/experiment/ituned.h"
+#include "tuners/rule_based/builtin_rules.h"
+#include "tuners/rule_based/rule_engine.h"
+#include "tuners/simulation/addm.h"
+
+int main() {
+  using namespace atune;
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 8192;
+  ClusterSpec cluster = ClusterSpec::MakeUniform(8, node);
+  Workload terasort = MakeMrTeraSortWorkload(50.0);  // 50 GB
+
+  std::printf("TeraSort 50GB on 8 nodes x 8 cores\n\n");
+
+  // Level 0: stock defaults.
+  {
+    SimulatedMapReduce mr(cluster, 3);
+    mr.set_noise_sigma(0.0);
+    auto r = mr.Execute(mr.space().DefaultConfiguration(), terasort);
+    std::printf("defaults:              %7.0fs   (mapred.reduce.tasks=1!)\n",
+                r->runtime_seconds);
+  }
+
+  // Level 1: the cluster-tuning checklist.
+  {
+    SimulatedMapReduce mr(cluster, 3);
+    mr.set_noise_sigma(0.0);
+    RuleContext context;
+    context.descriptors = mr.Descriptors();
+    context.workload = &terasort;
+    std::vector<std::string> fired;
+    Configuration config =
+        ApplyRules(mr.space(), MakeMapReduceRules(), context, &fired);
+    auto r = mr.Execute(config, terasort);
+    std::printf("rule-of-thumb config:  %7.0fs   (%zu rules fired)\n",
+                r->runtime_seconds, fired.size());
+  }
+
+  // Level 2: a few diagnose-and-fix iterations.
+  {
+    SimulatedMapReduce mr(cluster, 3);
+    AddmTuner addm(6);
+    SessionOptions options;
+    options.budget.max_evaluations = 8;
+    auto outcome = RunTuningSession(&addm, &mr, terasort, options);
+    if (outcome.ok()) {
+      std::printf("diagnosis (8 runs):    %7.0fs   [%s]\n",
+                  outcome->best_objective, outcome->tuner_report.c_str());
+    }
+  }
+
+  // Level 3: full experiment-driven tuning.
+  {
+    SimulatedMapReduce mr(cluster, 3);
+    ITunedTuner ituned;
+    SessionOptions options;
+    options.budget.max_evaluations = 40;
+    auto outcome = RunTuningSession(&ituned, &mr, terasort, options);
+    if (outcome.ok()) {
+      std::printf("iTuned (40 runs):      %7.0fs\n", outcome->best_objective);
+      std::printf("\nbest configuration found:\n  %s\n",
+                  outcome->best_config.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Spark resource & shuffle tuning: OtterTune-style ML tuning vs
+// Ernest-style resource sizing on a shuffle-heavy SQL workload.
+//
+// Also demonstrates the broadcast-join threshold cliff on a star join —
+// the kind of single-knob decision that dominates SQL performance.
+
+#include <cstdio>
+
+#include "core/session.h"
+#include "systems/spark/spark_system.h"
+#include "systems/spark/spark_workloads.h"
+#include "tuners/ml_tuners/ernest.h"
+#include "tuners/ml_tuners/ottertune.h"
+
+int main() {
+  using namespace atune;
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  ClusterSpec cluster = ClusterSpec::MakeUniform(4, node);
+
+  // --- Part 1: executor sizing with Ernest -------------------------------
+  {
+    std::printf("== Ernest: how many executors for an 8GB SQL aggregation? ==\n");
+    SimulatedSpark spark(cluster, 5);
+    Workload w = MakeSparkSqlAggregateWorkload(8.0, 10.0);
+    ErnestTuner ernest;
+    SessionOptions options;
+    options.budget.max_evaluations = 8;
+    auto outcome = RunTuningSession(&ernest, &spark, w, options);
+    if (outcome.ok()) {
+      std::printf("  %s\n", outcome->tuner_report.c_str());
+      std::printf("  chosen config runtime: %.0fs (defaults: %.0fs)\n\n",
+                  outcome->best_objective, outcome->default_objective);
+    }
+  }
+
+  // --- Part 2: full-knob ML tuning with OtterTune ------------------------
+  {
+    std::printf("== OtterTune: full configuration for the same workload ==\n");
+    SimulatedSpark spark(cluster, 5);
+    Workload w = MakeSparkSqlAggregateWorkload(8.0, 10.0);
+    OtterTuneTuner ottertune;
+    SessionOptions options;
+    options.budget.max_evaluations = 20;
+    auto outcome = RunTuningSession(&ottertune, &spark, w, options);
+    if (outcome.ok()) {
+      std::printf("  %.2fx speedup over defaults in %.0f runs\n",
+                  outcome->speedup_over_default, outcome->evaluations_used);
+      std::printf("  %s\n\n", outcome->tuner_report.c_str());
+    }
+  }
+
+  // --- Part 3: the broadcast threshold cliff -----------------------------
+  {
+    std::printf("== Star join, 8GB fact x 96MB dimension: broadcast or not? ==\n");
+    SimulatedSpark spark(cluster, 5);
+    spark.set_noise_sigma(0.0);
+    Workload join = MakeSparkJoinWorkload(8.0, /*small_table_mb=*/96.0);
+    Configuration base = spark.space().DefaultConfiguration();
+    base.SetInt("num_executors", 8);
+    base.SetInt("executor_cores", 4);
+    base.SetInt("executor_memory_mb", 6144);
+    for (int64_t threshold : {10, 64, 128, 512}) {
+      Configuration c = base;
+      c.SetInt("broadcast_threshold_mb", threshold);
+      auto r = spark.Execute(c, join);
+      if (r.ok() && !r->failed) {
+        std::printf("  threshold %4lld MB -> %6.0fs  (%s join, %5.0f MB shuffled)\n",
+                    static_cast<long long>(threshold), r->runtime_seconds,
+                    threshold >= 96 ? "broadcast" : "shuffle  ",
+                    r->MetricOr("shuffle_write_mb", 0.0));
+      } else if (r.ok()) {
+        std::printf("  threshold %4lld MB -> FAILED: %s\n",
+                    static_cast<long long>(threshold),
+                    r->failure_reason.c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Workload shift: why the adaptive category exists (Table 1: "able to
+// adjust to dynamic runtime status", "work well for ad-hoc
+// queries/applications").
+//
+// A long-running DBMS application runs an OLTP phase and then shifts to an
+// analytical phase. Three strategies are compared *end-to-end*, charging
+// every second the system actually spends:
+//   defaults   — no tuning at all;
+//   static     — an experiment-driven tuner optimizes phase 1 offline
+//                (those 25 experiment runs are real time too!) and the
+//                result is frozen for both phases;
+//   adaptive   — the online memory tuner adapts inside the payload run and
+//                carries its state across the shift. No offline runs.
+
+#include <cstdio>
+
+#include "core/tuner.h"
+#include "systems/dbms/dbms_system.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "tuners/adaptive/adaptive_memory.h"
+#include "tuners/experiment/ituned.h"
+
+int main() {
+  using namespace atune;
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+
+  Workload phase1 = MakeDbmsOltpWorkload(0.5);
+  Workload phase2 = MakeDbmsOlapWorkload(0.5);
+  const size_t passes_per_phase = 2;  // each pass = 8 workload units
+
+  auto phase_time = [&](SimulatedDbms* dbms, const Configuration& config,
+                        const Workload& phase) {
+    double total = 0.0;
+    size_t units = dbms->NumUnits(phase);
+    for (size_t p = 0; p < passes_per_phase; ++p) {
+      for (size_t u = 0; u < units; ++u) {
+        auto r = dbms->ExecuteUnit(config, phase, u);
+        total += r->runtime_seconds;  // wall clock; failures already cost
+                                      // their watchdog time
+      }
+    }
+    return total;
+  };
+
+  // --- defaults -----------------------------------------------------------
+  double default_total = 0.0;
+  {
+    SimulatedDbms dbms(ClusterSpec::MakeUniform(1, node), 9);
+    dbms.set_noise_sigma(0.0);
+    Configuration defaults = dbms.space().DefaultConfiguration();
+    default_total =
+        phase_time(&dbms, defaults, phase1) + phase_time(&dbms, defaults, phase2);
+  }
+
+  // --- static: offline iTuned on phase 1, then frozen ---------------------
+  double static_payload = 0.0, static_tuning_cost = 0.0;
+  {
+    SimulatedDbms dbms(ClusterSpec::MakeUniform(1, node), 7);
+    ITunedTuner ituned;
+    Evaluator evaluator(&dbms, phase1, TuningBudget{25});
+    Rng rng(1);
+    (void)ituned.Tune(&evaluator, &rng);
+    Configuration static_config = evaluator.best()->config;
+    for (const Trial& t : evaluator.history()) {
+      static_tuning_cost += t.result.runtime_seconds;
+    }
+    SimulatedDbms fresh(ClusterSpec::MakeUniform(1, node), 9);
+    fresh.set_noise_sigma(0.0);
+    static_payload = phase_time(&fresh, static_config, phase1) +
+                     phase_time(&fresh, static_config, phase2);
+    std::printf("static config (phase-1 optimal): %s\n\n",
+                static_config.ToString().c_str());
+  }
+
+  // --- adaptive: online, state carried across the shift -------------------
+  double adaptive_total = 0.0;
+  Configuration adaptive_final;
+  {
+    SimulatedDbms dbms(ClusterSpec::MakeUniform(1, node), 9);
+    dbms.set_noise_sigma(0.0);
+    Rng rng(2);
+    AdaptiveMemoryTuner online1;
+    Evaluator ev1(&dbms, phase1, TuningBudget{passes_per_phase});
+    (void)online1.Tune(&ev1, &rng);
+    for (const Trial& t : ev1.history()) {
+      adaptive_total += t.result.runtime_seconds * t.cost;
+    }
+    AdaptiveMemoryTuner online2;
+    online2.set_initial_config(ev1.history().back().config);
+    Evaluator ev2(&dbms, phase2, TuningBudget{passes_per_phase});
+    (void)online2.Tune(&ev2, &rng);
+    for (const Trial& t : ev2.history()) {
+      adaptive_total += t.result.runtime_seconds * t.cost;
+    }
+    adaptive_final = ev2.history().back().config;
+  }
+
+  std::printf("OLTP -> OLAP shift, %zu passes per phase, end-to-end cost:\n",
+              passes_per_phase);
+  std::printf("  defaults:                     %7.0fs payload\n",
+              default_total);
+  std::printf("  static (iTuned on phase 1):   %7.0fs payload + %7.0fs "
+              "offline tuning = %7.0fs\n",
+              static_payload, static_tuning_cost,
+              static_payload + static_tuning_cost);
+  std::printf("  adaptive (online, no setup):  %7.0fs payload (tuning "
+              "happens inside the run)\n\n",
+              adaptive_total);
+  std::printf("adaptive final config: %s\n\n", adaptive_final.ToString().c_str());
+  std::printf(
+      "Table 1's tradeoff, measured: the experiment-driven config is the\n"
+      "best *per pass* but needs 25 offline runs to get there — for an\n"
+      "ad-hoc or shifting workload the adaptive tuner wins end-to-end\n"
+      "because its learning cost is folded into useful work.\n");
+  return 0;
+}

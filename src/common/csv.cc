@@ -1,0 +1,76 @@
+#include "common/csv.h"
+
+#include <algorithm>
+
+namespace atune {
+
+namespace {
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::WriteCsv(std::ostream& os) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << CsvEscape(header_[i]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ",";
+      os << CsvEscape(row[i]);
+    }
+    os << "\n";
+  }
+}
+
+void TableWriter::WritePretty(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto write_sep = [&]() {
+    os << "+";
+    for (size_t w : widths) {
+      for (size_t k = 0; k < w + 2; ++k) os << "-";
+      os << "+";
+    }
+    os << "\n";
+  };
+  auto write_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << cell;
+      for (size_t k = cell.size(); k < widths[i]; ++k) os << " ";
+      os << " |";
+    }
+    os << "\n";
+  };
+  write_sep();
+  write_row(header_);
+  write_sep();
+  for (const auto& row : rows_) write_row(row);
+  write_sep();
+}
+
+}  // namespace atune

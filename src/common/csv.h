@@ -1,0 +1,35 @@
+#ifndef ATUNE_COMMON_CSV_H_
+#define ATUNE_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace atune {
+
+/// Minimal CSV/table emitter used by benchmark harnesses: collects rows and
+/// renders either RFC-ish CSV or an aligned ASCII table for terminals.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Writes comma-separated values (fields containing commas/quotes are
+  /// quoted).
+  void WriteCsv(std::ostream& os) const;
+
+  /// Writes an aligned, boxed ASCII table.
+  void WritePretty(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_COMMON_CSV_H_

@@ -1,0 +1,49 @@
+#ifndef ATUNE_COMMON_LOGGING_H_
+#define ATUNE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace atune {
+
+/// Log severity levels, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level: messages below it are discarded.
+/// Defaults to kWarning so library users see only problems unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message collector; emits to stderr on destruction if the
+/// message level passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace atune
+
+/// Stream-style logging: ATUNE_LOG(Info) << "x=" << x;
+#define ATUNE_LOG(level)                       \
+  ::atune::internal_logging::LogMessage(       \
+      ::atune::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // ATUNE_COMMON_LOGGING_H_

@@ -1,0 +1,68 @@
+#ifndef ATUNE_COMMON_STATS_H_
+#define ATUNE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace atune {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample variance (n-1); 0 if fewer than 2 elements.
+double Variance(const std::vector<double>& xs);
+
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Sorts a copy.
+double Quantile(std::vector<double> xs, double q);
+
+double Median(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Spearman rank correlation; ties get average ranks.
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Welch's t statistic for a difference in means between two samples.
+/// Returns 0 when either sample has <2 points or both variances are 0.
+double WelchT(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Half-width of an approximate 95% confidence interval for the mean,
+/// using the normal quantile 1.96 (adequate for the n>=10 used in benches).
+double ConfidenceHalfWidth95(const RunningStats& s);
+
+/// Assigns average ranks (1-based) to values, averaging over ties.
+std::vector<double> Ranks(const std::vector<double>& xs);
+
+}  // namespace atune
+
+#endif  // ATUNE_COMMON_STATS_H_

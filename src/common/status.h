@@ -1,0 +1,151 @@
+#ifndef ATUNE_COMMON_STATUS_H_
+#define ATUNE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace atune {
+
+/// Error codes for fallible operations. The framework does not use
+/// exceptions; every fallible API returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kAborted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value, modeled after the RocksDB/Abseil Status idiom.
+///
+/// Status is cheap to copy in the success case (no allocation) and carries a
+/// message string in the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper: holds either a T or an error Status.
+///
+/// Access the value only after checking ok(); accessing the value of an
+/// errored Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace atune
+
+/// Propagates an error Status from an expression, RocksDB-style.
+#define ATUNE_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::atune::Status _atune_status = (expr);        \
+    if (!_atune_status.ok()) return _atune_status; \
+  } while (false)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` or
+/// returning the error.
+#define ATUNE_ASSIGN_OR_RETURN(lhs, expr)              \
+  ATUNE_ASSIGN_OR_RETURN_IMPL_(                        \
+      ATUNE_STATUS_CONCAT_(_atune_result, __LINE__), lhs, expr)
+
+#define ATUNE_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                 \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+#define ATUNE_STATUS_CONCAT_(a, b) ATUNE_STATUS_CONCAT_IMPL_(a, b)
+#define ATUNE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ATUNE_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef ATUNE_COMMON_STRING_UTIL_H_
+#define ATUNE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atune {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single-character delimiter; empty tokens are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Renders a double compactly (trims trailing zeros, max 6 significant
+/// decimals) — used for configuration printing.
+std::string DoubleToString(double v);
+
+/// Renders byte counts human-readably: "512 B", "64.0 MB", "1.5 GB".
+std::string BytesToString(double bytes);
+
+}  // namespace atune
+
+#endif  // ATUNE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,93 @@
+#include "core/comparator.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace atune {
+
+TableWriter ComparisonReport::ToTable() const {
+  TableWriter table({"tuner", "category", "speedup", "best_objective",
+                     "evals_used", "cost_to_good", "failed_runs",
+                     "first_trial"});
+  for (const ComparisonRow& row : rows) {
+    table.AddRow({row.tuner_name, TunerCategoryToString(row.category),
+                  StrFormat("%.2fx", row.mean_speedup),
+                  StrFormat("%.2f", row.mean_best_objective),
+                  StrFormat("%.1f", row.mean_evaluations),
+                  StrFormat("%.1f", row.mean_cost_to_good),
+                  StrFormat("%.1f", row.mean_failed_runs),
+                  StrFormat("%.2f", row.mean_first_trial)});
+  }
+  return table;
+}
+
+Result<ComparisonReport> CompareTuners(
+    const std::vector<std::pair<std::string,
+                                std::function<std::unique_ptr<Tuner>()>>>& tuners,
+    const SystemFactory& make_system, const Workload& workload,
+    const TuningBudget& budget, size_t seeds, std::string scenario_name) {
+  if (tuners.empty() || seeds == 0) {
+    return Status::InvalidArgument("CompareTuners: no tuners or seeds");
+  }
+  ComparisonReport report;
+  report.scenario = std::move(scenario_name);
+  report.traces.resize(tuners.size());
+
+  for (size_t t = 0; t < tuners.size(); ++t) {
+    RunningStats best_obj, speedup, evals, cost_to_good, failed, first_trial;
+    TunerCategory category = TunerCategory::kRuleBased;
+    report.traces[t].resize(seeds);
+    for (size_t s = 0; s < seeds; ++s) {
+      uint64_t seed = 1000 + s;
+      std::unique_ptr<TunableSystem> system = make_system(seed);
+      std::unique_ptr<Tuner> tuner = tuners[t].second();
+      category = tuner->category();
+      SessionOptions options;
+      options.budget = budget;
+      options.seed = seed * 7919 + t;
+      ATUNE_ASSIGN_OR_RETURN(
+          TuningOutcome outcome,
+          RunTuningSession(tuner.get(), system.get(), workload, options));
+      if (!std::isnan(outcome.best_objective)) {
+        best_obj.Add(outcome.best_objective);
+        speedup.Add(outcome.speedup_over_default);
+      }
+      evals.Add(outcome.evaluations_used);
+      failed.Add(static_cast<double>(outcome.failed_runs));
+      if (!outcome.history.empty()) {
+        first_trial.Add(outcome.history.front().objective);
+      }
+      // Cost to reach within 10% of this run's final best.
+      if (!outcome.convergence.empty()) {
+        double target = outcome.convergence.back() * 1.10;
+        for (size_t i = 0; i < outcome.convergence.size(); ++i) {
+          if (outcome.convergence[i] <= target) {
+            cost_to_good.Add(outcome.convergence_cost[i]);
+            break;
+          }
+        }
+        auto& trace = report.traces[t][s];
+        for (size_t i = 0; i < outcome.convergence.size(); ++i) {
+          trace.emplace_back(outcome.convergence_cost[i],
+                             outcome.convergence[i]);
+        }
+      }
+    }
+    ComparisonRow row;
+    row.tuner_name = tuners[t].first;
+    row.category = category;
+    row.seeds = seeds;
+    row.mean_best_objective = best_obj.mean();
+    row.mean_speedup = speedup.mean();
+    row.mean_evaluations = evals.mean();
+    row.mean_cost_to_good = cost_to_good.mean();
+    row.mean_failed_runs = failed.mean();
+    row.mean_first_trial = first_trial.mean();
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace atune

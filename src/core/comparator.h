@@ -1,0 +1,59 @@
+#ifndef ATUNE_CORE_COMPARATOR_H_
+#define ATUNE_CORE_COMPARATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/status.h"
+#include "core/session.h"
+
+namespace atune {
+
+/// Aggregated result of running one tuner across several seeds on one
+/// (system, workload) scenario.
+struct ComparisonRow {
+  std::string tuner_name;
+  TunerCategory category = TunerCategory::kRuleBased;
+  size_t seeds = 0;
+  double mean_best_objective = 0.0;
+  double mean_speedup = 0.0;       ///< default_objective / best_objective
+  double mean_evaluations = 0.0;   ///< budget actually spent
+  /// Mean budget spent until first reaching within 10% of the tuner's own
+  /// final best (time-to-good-config).
+  double mean_cost_to_good = 0.0;
+  double mean_failed_runs = 0.0;   ///< risky exploration indicator
+  /// Mean objective of the first measured trial (quality of the tuner's
+  /// zero-knowledge recommendation; relevant for ad-hoc queries).
+  double mean_first_trial = 0.0;
+};
+
+/// Full comparison output: per-tuner rows plus per-(tuner, seed) convergence
+/// traces for plotting.
+struct ComparisonReport {
+  std::string scenario;
+  std::vector<ComparisonRow> rows;
+  /// convergence[tuner][seed] = (cost, best-so-far) pairs.
+  std::vector<std::vector<std::vector<std::pair<double, double>>>> traces;
+
+  /// Renders rows as a table (pretty ASCII).
+  TableWriter ToTable() const;
+};
+
+/// Factory for fresh system instances (each seed gets its own system so that
+/// simulator noise is independent across repetitions).
+using SystemFactory = std::function<std::unique_ptr<TunableSystem>(uint64_t seed)>;
+
+/// Runs every (tuner factory) across `seeds` repetitions on the scenario and
+/// aggregates. This is the harness behind bench_table1_categories.
+Result<ComparisonReport> CompareTuners(
+    const std::vector<std::pair<std::string, std::function<std::unique_ptr<Tuner>()>>>&
+        tuners,
+    const SystemFactory& make_system, const Workload& workload,
+    const TuningBudget& budget, size_t seeds, std::string scenario_name);
+
+}  // namespace atune
+
+#endif  // ATUNE_CORE_COMPARATOR_H_

@@ -1,0 +1,96 @@
+#include "core/configuration.h"
+
+#include "common/string_util.h"
+
+namespace atune {
+
+Result<ParamValue> Configuration::Get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return Status::NotFound(StrFormat("parameter '%s' not set", name.c_str()));
+  }
+  return it->second;
+}
+
+Result<int64_t> Configuration::GetInt(const std::string& name) const {
+  ATUNE_ASSIGN_OR_RETURN(ParamValue v, Get(name));
+  if (const int64_t* i = std::get_if<int64_t>(&v)) return *i;
+  if (const double* d = std::get_if<double>(&v)) {
+    return static_cast<int64_t>(*d);
+  }
+  return Status::InvalidArgument(
+      StrFormat("parameter '%s' is not numeric", name.c_str()));
+}
+
+Result<double> Configuration::GetDouble(const std::string& name) const {
+  ATUNE_ASSIGN_OR_RETURN(ParamValue v, Get(name));
+  if (const double* d = std::get_if<double>(&v)) return *d;
+  if (const int64_t* i = std::get_if<int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  return Status::InvalidArgument(
+      StrFormat("parameter '%s' is not numeric", name.c_str()));
+}
+
+Result<bool> Configuration::GetBool(const std::string& name) const {
+  ATUNE_ASSIGN_OR_RETURN(ParamValue v, Get(name));
+  if (const bool* b = std::get_if<bool>(&v)) return *b;
+  return Status::InvalidArgument(
+      StrFormat("parameter '%s' is not bool", name.c_str()));
+}
+
+Result<std::string> Configuration::GetString(const std::string& name) const {
+  ATUNE_ASSIGN_OR_RETURN(ParamValue v, Get(name));
+  if (const std::string* s = std::get_if<std::string>(&v)) return *s;
+  return Status::InvalidArgument(
+      StrFormat("parameter '%s' is not a string", name.c_str()));
+}
+
+int64_t Configuration::IntOr(const std::string& name, int64_t fallback) const {
+  auto r = GetInt(name);
+  return r.ok() ? *r : fallback;
+}
+
+double Configuration::DoubleOr(const std::string& name,
+                               double fallback) const {
+  auto r = GetDouble(name);
+  return r.ok() ? *r : fallback;
+}
+
+bool Configuration::BoolOr(const std::string& name, bool fallback) const {
+  auto r = GetBool(name);
+  return r.ok() ? *r : fallback;
+}
+
+std::string Configuration::StringOr(const std::string& name,
+                                    std::string fallback) const {
+  auto r = GetString(name);
+  return r.ok() ? *r : fallback;
+}
+
+std::vector<std::string> Configuration::Diff(const Configuration& a,
+                                             const Configuration& b) {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : a.values_) {
+    auto it = b.values_.find(name);
+    if (it == b.values_.end() || !(it->second == value)) out.push_back(name);
+  }
+  for (const auto& [name, value] : b.values_) {
+    (void)value;
+    if (a.values_.find(name) == a.values_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+std::string Configuration::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    if (!out.empty()) out += " ";
+    out += name;
+    out += "=";
+    out += ParamValueToString(value);
+  }
+  return out;
+}
+
+}  // namespace atune

@@ -1,0 +1,74 @@
+#ifndef ATUNE_CORE_CONFIGURATION_H_
+#define ATUNE_CORE_CONFIGURATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/parameter.h"
+
+namespace atune {
+
+/// A full assignment of values to configuration parameters — what a DBA
+/// would put in postgresql.conf / mapred-site.xml / spark-defaults.conf.
+///
+/// Configuration is a value type (copyable, comparable) keyed by parameter
+/// name. Validation against a ParameterSpace is the space's job.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  void Set(const std::string& name, ParamValue value) {
+    values_[name] = std::move(value);
+  }
+  void SetInt(const std::string& name, int64_t v) { values_[name] = v; }
+  void SetDouble(const std::string& name, double v) { values_[name] = v; }
+  void SetBool(const std::string& name, bool v) { values_[name] = v; }
+  void SetString(const std::string& name, std::string v) {
+    values_[name] = std::move(v);
+  }
+
+  bool Has(const std::string& name) const {
+    return values_.find(name) != values_.end();
+  }
+
+  Result<ParamValue> Get(const std::string& name) const;
+
+  /// Typed getters; numeric ones coerce between int64 and double so model
+  /// code can read any numeric knob as double.
+  Result<int64_t> GetInt(const std::string& name) const;
+  Result<double> GetDouble(const std::string& name) const;
+  Result<bool> GetBool(const std::string& name) const;
+  Result<std::string> GetString(const std::string& name) const;
+
+  /// Convenience for simulator code on already-validated configs: returns
+  /// the value or aborts (debug) / returns fallback (release) when missing.
+  int64_t IntOr(const std::string& name, int64_t fallback) const;
+  double DoubleOr(const std::string& name, double fallback) const;
+  bool BoolOr(const std::string& name, bool fallback) const;
+  std::string StringOr(const std::string& name, std::string fallback) const;
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::map<std::string, ParamValue>& values() const { return values_; }
+
+  /// Names whose values differ between the two configurations (union of
+  /// keys; missing-on-one-side counts as different).
+  static std::vector<std::string> Diff(const Configuration& a,
+                                       const Configuration& b);
+
+  /// "name1=v1 name2=v2 ..." (sorted by name).
+  std::string ToString() const;
+
+  bool operator==(const Configuration& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  std::map<std::string, ParamValue> values_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_CORE_CONFIGURATION_H_

@@ -1,0 +1,85 @@
+#include "core/objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atune {
+
+namespace {
+double Desc(const std::map<std::string, double>& d, const std::string& key,
+            double fallback) {
+  auto it = d.find(key);
+  return it == d.end() ? fallback : it->second;
+}
+}  // namespace
+
+double ComputeRunCostUsd(const CloudPricing& pricing,
+                         const std::string& system_name,
+                         const std::map<std::string, double>& descriptors,
+                         const Configuration& config,
+                         const ExecutionResult& result) {
+  double cores, memory_gb;
+  if (system_name == "simulated-spark") {
+    double executors =
+        static_cast<double>(config.IntOr("num_executors", 2));
+    cores = executors * static_cast<double>(config.IntOr("executor_cores", 1));
+    memory_gb = executors *
+                static_cast<double>(config.IntOr("executor_memory_mb", 1024)) /
+                1024.0;
+  } else {
+    // Non-elastic systems reserve the whole cluster for the run.
+    cores = Desc(descriptors, "total_cores", 8.0);
+    memory_gb = Desc(descriptors, "total_ram_mb", 16384.0) / 1024.0;
+  }
+  double hours = result.runtime_seconds / 3600.0;
+  return pricing.usd_per_run + hours * (cores * pricing.usd_per_core_hour +
+                                        memory_gb * pricing.usd_per_gb_hour);
+}
+
+ObjectiveFunction MakeCloudCostObjective(
+    CloudPricing pricing, const std::string& system_name,
+    std::map<std::string, double> descriptors, double deadline_s) {
+  return [pricing, system_name, descriptors = std::move(descriptors),
+          deadline_s](const Configuration& config,
+                      const ExecutionResult& result) {
+    double usd =
+        ComputeRunCostUsd(pricing, system_name, descriptors, config, result);
+    if (result.failed) return usd * 100.0;
+    if (result.runtime_seconds > deadline_s) {
+      // Deadline misses cost proportionally to how badly they miss.
+      usd *= 10.0 * (result.runtime_seconds / deadline_s);
+    }
+    return usd;
+  };
+}
+
+ObjectiveFunction MakeLatencySlaObjective(
+    const std::string& system_name,
+    std::map<std::string, double> descriptors, double footprint_weight) {
+  return [system_name, descriptors = std::move(descriptors),
+          footprint_weight](const Configuration& config,
+                            const ExecutionResult& result) {
+    if (result.failed) return 1000.0;
+    double violation = result.MetricOr("sla_violation_ratio", -1.0);
+    if (violation < 0.0) {
+      // System doesn't report SLA compliance: fall back to runtime.
+      return result.runtime_seconds;
+    }
+    // Resource footprint as a fraction of the cluster, so over-provisioned
+    // "always meets SLA" configs still differentiate.
+    double footprint = 1.0;
+    if (system_name == "simulated-spark") {
+      double cores =
+          static_cast<double>(config.IntOr("num_executors", 2) *
+                              config.IntOr("executor_cores", 1));
+      double total = std::max(1.0, [&] {
+        auto it = descriptors.find("total_cores");
+        return it == descriptors.end() ? 32.0 : it->second;
+      }());
+      footprint = cores / total;
+    }
+    return violation * 100.0 + footprint_weight * footprint;
+  };
+}
+
+}  // namespace atune

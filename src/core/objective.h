@@ -1,0 +1,58 @@
+#ifndef ATUNE_CORE_OBJECTIVE_H_
+#define ATUNE_CORE_OBJECTIVE_H_
+
+#include <functional>
+#include <string>
+
+#include "core/configuration.h"
+#include "core/system.h"
+
+namespace atune {
+
+/// A tuning objective maps one run's (configuration, result) to a scalar to
+/// *minimize*. The default objective is penalized runtime; the paper's open
+/// challenges (§2.5) motivate richer ones: dollar cost in the cloud,
+/// latency-SLA compliance for real-time analytics.
+using ObjectiveFunction =
+    std::function<double(const Configuration&, const ExecutionResult&)>;
+
+/// Cloud pricing for cost-aware tuning (§2.5 challenge 2: "decision making
+/// in resource provisioning"). Billing follows the common on-demand model:
+/// you pay for the resources you *reserve* for the duration of the run.
+struct CloudPricing {
+  /// $ per vCPU-hour and per GB-hour of memory reserved.
+  double usd_per_core_hour = 0.04;
+  double usd_per_gb_hour = 0.005;
+  /// Fixed $ per run (job submission, storage ops).
+  double usd_per_run = 0.01;
+};
+
+/// Dollar cost of one run given the resources the configuration reserves.
+/// Resource extraction is system-aware: Spark configs reserve
+/// executors*cores and executors*memory; other systems reserve the whole
+/// cluster (descriptors) for the run's duration.
+double ComputeRunCostUsd(const CloudPricing& pricing,
+                         const std::string& system_name,
+                         const std::map<std::string, double>& descriptors,
+                         const Configuration& config,
+                         const ExecutionResult& result);
+
+/// Objective: minimize dollars, with runtime capped by `deadline_s` — runs
+/// missing the deadline (or failing) pay a steep penalty, so the tuner
+/// finds the cheapest allocation that still meets the deadline.
+ObjectiveFunction MakeCloudCostObjective(
+    CloudPricing pricing, const std::string& system_name,
+    std::map<std::string, double> descriptors, double deadline_s);
+
+/// Objective for streaming/real-time workloads (§2.5 challenge 3): minimize
+/// latency-SLA violations first, resource footprint second. Uses the
+/// system's "sla_violation_ratio" metric when present, falling back to
+/// runtime. `footprint_weight` trades violation headroom against cost.
+ObjectiveFunction MakeLatencySlaObjective(
+    const std::string& system_name,
+    std::map<std::string, double> descriptors,
+    double footprint_weight = 0.1);
+
+}  // namespace atune
+
+#endif  // ATUNE_CORE_OBJECTIVE_H_

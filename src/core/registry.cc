@@ -1,0 +1,30 @@
+#include "core/registry.h"
+
+#include "common/string_util.h"
+
+namespace atune {
+
+void TunerRegistry::Add(const std::string& name, TunerFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<Tuner>> TunerRegistry::Create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound(StrFormat("no tuner named '%s'", name.c_str()));
+  }
+  return it->second();
+}
+
+std::vector<std::string> TunerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    (void)factory;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace atune

@@ -1,0 +1,46 @@
+#ifndef ATUNE_CORE_REGISTRY_H_
+#define ATUNE_CORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Factory returning a fresh tuner instance with default options.
+using TunerFactory = std::function<std::unique_ptr<Tuner>()>;
+
+/// Name -> factory registry for tuners, so harnesses and examples can
+/// instantiate approaches by name ("ituned", "ottertune", "colt", ...).
+///
+/// The registry is explicit (no static-initializer magic): call
+/// RegisterBuiltinTuners() from tuners/builtin.h to populate it with every
+/// approach in the library, or Add() your own.
+class TunerRegistry {
+ public:
+  /// Registers a factory; replaces any existing entry with the same name.
+  void Add(const std::string& name, TunerFactory factory);
+
+  /// Instantiates a registered tuner.
+  Result<std::unique_ptr<Tuner>> Create(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  bool Contains(const std::string& name) const {
+    return factories_.find(name) != factories_.end();
+  }
+  size_t size() const { return factories_.size(); }
+
+ private:
+  std::map<std::string, TunerFactory> factories_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_CORE_REGISTRY_H_

@@ -1,0 +1,69 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace atune {
+
+Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
+                                       const Workload& workload,
+                                       const SessionOptions& options) {
+  if (tuner == nullptr || system == nullptr) {
+    return Status::InvalidArgument("RunTuningSession: null tuner or system");
+  }
+  Evaluator evaluator(system, workload, options.budget,
+                      options.failure_penalty);
+  if (options.objective) evaluator.set_objective(options.objective);
+  Rng rng(options.seed);
+  Status tune_status = tuner->Tune(&evaluator, &rng);
+  // Budget exhaustion mid-algorithm is an expected way for tuning to end.
+  if (!tune_status.ok() &&
+      tune_status.code() != StatusCode::kResourceExhausted) {
+    return tune_status;
+  }
+
+  TuningOutcome outcome;
+  outcome.tuner_name = tuner->name();
+  outcome.category = tuner->category();
+  outcome.history = evaluator.history();
+  outcome.evaluations_used = evaluator.used();
+  outcome.tuner_report = tuner->Report();
+
+  const Trial* best = evaluator.best();
+  if (best != nullptr) {
+    outcome.best_config = best->config;
+    outcome.best_objective = best->objective;
+  } else {
+    // Tuner made no measured recommendation; fall back to defaults.
+    outcome.best_config = system->space().DefaultConfiguration();
+    outcome.best_objective = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  double running_best = std::numeric_limits<double>::infinity();
+  double cumulative_cost = 0.0;
+  for (const Trial& trial : outcome.history) {
+    if (!trial.scaled) running_best = std::min(running_best, trial.objective);
+    cumulative_cost += trial.cost;
+    outcome.convergence.push_back(running_best);
+    outcome.convergence_cost.push_back(cumulative_cost);
+    if (trial.result.failed) ++outcome.failed_runs;
+  }
+
+  if (options.measure_default) {
+    Configuration defaults = system->space().DefaultConfiguration();
+    auto default_run = system->Execute(defaults, workload);
+    if (default_run.ok()) {
+      outcome.default_objective = evaluator.ObjectiveOf(defaults, *default_run);
+      if (outcome.best_objective > 0.0 &&
+          !std::isnan(outcome.best_objective)) {
+        outcome.speedup_over_default =
+            outcome.default_objective / outcome.best_objective;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace atune

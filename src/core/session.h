@@ -1,0 +1,57 @@
+#ifndef ATUNE_CORE_SESSION_H_
+#define ATUNE_CORE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Result of a completed tuning session.
+struct TuningOutcome {
+  std::string tuner_name;
+  TunerCategory category = TunerCategory::kRuleBased;
+  Configuration best_config;
+  double best_objective = 0.0;
+  double default_objective = 0.0;  ///< objective of the system defaults
+  /// best_objective improvement over default: default/best (>1 = speedup).
+  double speedup_over_default = 1.0;
+  double evaluations_used = 0.0;
+  size_t failed_runs = 0;
+  std::vector<Trial> history;
+  /// Best objective seen after the i-th unit of budget was spent
+  /// (cumulative-cost-aligned convergence curve, one entry per trial).
+  std::vector<double> convergence;
+  /// Cumulative budget spent at each convergence point.
+  std::vector<double> convergence_cost;
+  std::string tuner_report;
+};
+
+/// Options controlling a session.
+struct SessionOptions {
+  TuningBudget budget;
+  uint64_t seed = 1;
+  double failure_penalty = 10.0;
+  /// Custom objective (see core/objective.h); empty = penalized runtime.
+  ObjectiveFunction objective;
+  /// If true (default), one extra out-of-budget run measures the system
+  /// defaults so speedups can be reported. Not counted against the budget.
+  bool measure_default = true;
+};
+
+/// Runs one tuner against one system+workload with a budget and packages the
+/// outcome. This is the main entry point of the library:
+///
+///   SimulatedDbms dbms(DbmsClusterConfig{}, /*seed=*/7);
+///   ITunedTuner tuner;
+///   auto outcome = RunTuningSession(&tuner, &dbms, workload, options);
+Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
+                                       const Workload& workload,
+                                       const SessionOptions& options);
+
+}  // namespace atune
+
+#endif  // ATUNE_CORE_SESSION_H_

@@ -1,0 +1,112 @@
+#ifndef ATUNE_CORE_SYSTEM_H_
+#define ATUNE_CORE_SYSTEM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/configuration.h"
+#include "core/parameter_space.h"
+
+namespace atune {
+
+/// Description of a job/query mix submitted to a tunable system. The system
+/// interprets `kind` and `properties`; tuners treat workloads opaquely
+/// (except rule-based tuners, which may read descriptive properties, and ML
+/// tuners, which characterize workloads by observed runtime metrics).
+struct Workload {
+  std::string name;
+  /// System-specific workload family, e.g. "oltp", "olap", "mixed" for the
+  /// DBMS; "wordcount", "terasort", "join" for MapReduce; "sql_aggregate",
+  /// "iterative_ml", "streaming" for Spark.
+  std::string kind;
+  /// Input scale factor (1.0 = the system's nominal dataset).
+  double scale = 1.0;
+  /// Additional named characteristics (skew, selectivity, read_ratio, ...).
+  std::map<std::string, double> properties;
+
+  double PropertyOr(const std::string& key, double fallback) const {
+    auto it = properties.find(key);
+    return it == properties.end() ? fallback : it->second;
+  }
+};
+
+/// Wall-clock seconds a failed run wastes before a watchdog/operator kills
+/// it. Simulators charge failures this much (scaled to the fraction of the
+/// workload attempted) so that crashing is never cheaper than finishing —
+/// misconfiguration costs real time, as the paper's motivation stresses.
+inline constexpr double kFailedRunWallClockSec = 1800.0;
+
+/// Outcome of executing a workload under one configuration.
+struct ExecutionResult {
+  /// End-to-end latency of the run in (simulated) seconds. For failed runs
+  /// this is the time until failure.
+  double runtime_seconds = 0.0;
+  /// True if the run failed (OOM, deadlock storm, spill death, ...).
+  bool failed = false;
+  std::string failure_reason;
+  /// Internal counters exposed by the system (buffer miss ratio, spill
+  /// bytes, shuffle time, GC time, ...). Keys are system-specific; see each
+  /// system's MetricNames(). ML and diagnostic tuners consume these.
+  std::map<std::string, double> metrics;
+
+  double MetricOr(const std::string& key, double fallback) const {
+    auto it = metrics.find(key);
+    return it == metrics.end() ? fallback : it->second;
+  }
+};
+
+/// A system whose performance is controlled by configuration parameters —
+/// the object under tuning. Implementations in src/systems are simulators of
+/// a DBMS, Hadoop MapReduce, and Spark (see DESIGN.md §4 for why simulators
+/// substitute faithfully for the real engines here).
+///
+/// Execute() must be deterministic given (configuration, workload, the
+/// system's construction seed and its internal run counter); systems add
+/// seeded run-to-run noise to mimic real measurement variance.
+class TunableSystem {
+ public:
+  virtual ~TunableSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The tunable knobs this system exposes.
+  virtual const ParameterSpace& space() const = 0;
+
+  /// Runs `workload` under `config` and returns the measured result.
+  /// Invalid configurations return an error (tuners should validate first);
+  /// *legal but bad* configurations return ok with failed=true or a huge
+  /// runtime — exactly how a real system punishes misconfiguration.
+  virtual Result<ExecutionResult> Execute(const Configuration& config,
+                                          const Workload& workload) = 0;
+
+  /// Hardware/system facts rule-based tuners may consult (total_ram_mb,
+  /// cores_per_node, num_nodes, disk_mbps, network_mbps, ...).
+  virtual std::map<std::string, double> Descriptors() const { return {}; }
+
+  /// Names of the metrics Execute() reports, for ML feature pipelines.
+  virtual std::vector<std::string> MetricNames() const { return {}; }
+};
+
+/// A long-running system whose execution decomposes into sequential units
+/// (epochs, batches, job stages). Adaptive tuners reconfigure between units.
+class IterativeSystem : public TunableSystem {
+ public:
+  /// Number of units one workload run consists of.
+  virtual size_t NumUnits(const Workload& workload) const = 0;
+
+  /// Executes unit `unit_index` (0-based) of the workload under `config`.
+  /// The result's runtime covers just this unit.
+  virtual Result<ExecutionResult> ExecuteUnit(const Configuration& config,
+                                              const Workload& workload,
+                                              size_t unit_index) = 0;
+
+  /// Cost (relative to a full run, in [0,1]) of switching configurations
+  /// between units — e.g. flushing caches or restarting executors.
+  virtual double ReconfigurationCost() const { return 0.0; }
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_CORE_SYSTEM_H_

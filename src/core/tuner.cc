@@ -1,0 +1,182 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+const char* TunerCategoryToString(TunerCategory category) {
+  switch (category) {
+    case TunerCategory::kRuleBased:
+      return "rule-based";
+    case TunerCategory::kCostModeling:
+      return "cost-modeling";
+    case TunerCategory::kSimulationBased:
+      return "simulation-based";
+    case TunerCategory::kExperimentDriven:
+      return "experiment-driven";
+    case TunerCategory::kMachineLearning:
+      return "machine-learning";
+    case TunerCategory::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+Evaluator::Evaluator(TunableSystem* system, Workload workload,
+                     TuningBudget budget, double failure_penalty)
+    : system_(system),
+      workload_(std::move(workload)),
+      budget_(budget),
+      budget_max_(static_cast<double>(budget.max_evaluations)),
+      failure_penalty_(failure_penalty) {}
+
+double Evaluator::ObjectiveOf(const Configuration& config,
+                              const ExecutionResult& result) const {
+  if (objective_) return objective_(config, result);
+  double obj = result.runtime_seconds;
+  if (result.failed) obj *= failure_penalty_;
+  return obj;
+}
+
+Result<double> Evaluator::Evaluate(const Configuration& config) {
+  if (used_ + 1.0 > budget_max_ + 1e-9) {
+    return Status::ResourceExhausted(
+        StrFormat("tuning budget exhausted (%.1f/%.1f runs)", used_,
+                  budget_max_));
+  }
+  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
+                         system_->Execute(config, workload_));
+  used_ += 1.0;
+  Trial trial;
+  trial.config = config;
+  trial.result = result;
+  trial.objective = ObjectiveOf(config, result);
+  trial.cost = 1.0;
+  history_.push_back(std::move(trial));
+  if (!has_best_ || history_.back().objective < history_[best_index_].objective) {
+    best_index_ = history_.size() - 1;
+    has_best_ = true;
+  }
+  return history_.back().objective;
+}
+
+Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
+                                                 double abort_at_seconds,
+                                                 bool* aborted) {
+  if (aborted != nullptr) *aborted = false;
+  if (abort_at_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "EvaluateWithEarlyAbort: abort threshold must be positive");
+  }
+  // Conservative gate: a run that completes under the threshold costs a
+  // full unit, so require one up front (never overspends).
+  if (used_ + 1.0 > budget_max_ + 1e-9) {
+    return Status::ResourceExhausted("tuning budget exhausted");
+  }
+  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
+                         system_->Execute(config, workload_));
+  Trial trial;
+  trial.config = config;
+  if (result.runtime_seconds > abort_at_seconds && !result.failed) {
+    // Censor: we only watched the run for abort_at_seconds of wall clock.
+    double fraction =
+        std::min(1.0, abort_at_seconds / result.runtime_seconds);
+    double cost = std::max(0.05, fraction);  // setup isn't free either
+    used_ += cost;
+    if (aborted != nullptr) *aborted = true;
+    result.failure_reason = "aborted by early-abort threshold";
+    result.runtime_seconds = abort_at_seconds;
+    trial.result = result;
+    // The objective is a *lower bound*; keep it clearly worse than any
+    // incumbent below the threshold and exclude it from best-tracking via
+    // the scaled flag (its objective is not a completed measurement).
+    trial.objective = ObjectiveOf(config, result);
+    trial.cost = cost;
+    trial.scaled = true;
+    history_.push_back(std::move(trial));
+    return history_.back().objective;
+  }
+  used_ += 1.0;
+  trial.result = result;
+  trial.objective = ObjectiveOf(config, result);
+  trial.cost = 1.0;
+  history_.push_back(std::move(trial));
+  if (!has_best_ ||
+      history_.back().objective < history_[best_index_].objective) {
+    best_index_ = history_.size() - 1;
+    has_best_ = true;
+  }
+  return history_.back().objective;
+}
+
+Result<double> Evaluator::EvaluateScaled(const Configuration& config,
+                                         double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("EvaluateScaled: fraction must be in (0,1]");
+  }
+  if (used_ + fraction > budget_max_ + 1e-9) {
+    return Status::ResourceExhausted("tuning budget exhausted");
+  }
+  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  Workload sample = workload_;
+  sample.scale *= fraction;
+  ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
+                         system_->Execute(config, sample));
+  used_ += fraction;
+  Trial trial;
+  trial.config = config;
+  trial.result = result;
+  trial.objective = ObjectiveOf(config, result);
+  trial.cost = fraction;
+  trial.scaled = true;
+  history_.push_back(std::move(trial));
+  return history_.back().objective;
+}
+
+Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
+                                                size_t unit_index) {
+  auto* iterative = dynamic_cast<IterativeSystem*>(system_);
+  if (iterative == nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("system '%s' does not support unit-level execution",
+                  system_->name().c_str()));
+  }
+  size_t units = std::max<size_t>(iterative->NumUnits(workload_), 1);
+  double cost = 1.0 / static_cast<double>(units);
+  if (used_ + cost > budget_max_ + 1e-9) {
+    return Status::ResourceExhausted("tuning budget exhausted");
+  }
+  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  ATUNE_ASSIGN_OR_RETURN(
+      ExecutionResult result,
+      iterative->ExecuteUnit(config, workload_, unit_index));
+  used_ += cost;
+  return result;
+}
+
+void Evaluator::RecordCompositeTrial(const Configuration& config,
+                                     const ExecutionResult& aggregate,
+                                     double cost) {
+  Trial trial;
+  trial.config = config;
+  trial.result = aggregate;
+  trial.objective = ObjectiveOf(config, aggregate);
+  trial.cost = cost;
+  history_.push_back(std::move(trial));
+  if (!has_best_ ||
+      history_.back().objective < history_[best_index_].objective) {
+    best_index_ = history_.size() - 1;
+    has_best_ = true;
+  }
+}
+
+const Trial* Evaluator::best() const {
+  if (!has_best_) return nullptr;
+  return &history_[best_index_];
+}
+
+}  // namespace atune

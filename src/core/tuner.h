@@ -1,0 +1,161 @@
+#ifndef ATUNE_CORE_TUNER_H_
+#define ATUNE_CORE_TUNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/configuration.h"
+#include "core/objective.h"
+#include "core/system.h"
+
+namespace atune {
+
+/// The paper's six-way taxonomy of parameter tuning approaches (Section 2.1).
+enum class TunerCategory {
+  kRuleBased,
+  kCostModeling,
+  kSimulationBased,
+  kExperimentDriven,
+  kMachineLearning,
+  kAdaptive,
+};
+
+const char* TunerCategoryToString(TunerCategory category);
+
+/// Resource limits for one tuning session. The dominant cost in practice is
+/// real system runs ("experiments"); the budget is expressed in those.
+struct TuningBudget {
+  /// Maximum number of full workload executions the tuner may spend.
+  /// Unit-level executions by adaptive tuners cost 1/NumUnits each.
+  size_t max_evaluations = 30;
+};
+
+/// One recorded system run.
+struct Trial {
+  Configuration config;
+  ExecutionResult result;
+  double objective = 0.0;  ///< penalized runtime (lower is better)
+  double cost = 1.0;       ///< evaluation budget consumed (1 = full run)
+  /// True for runs on a scaled-down workload sample (Ernest-style training
+  /// runs); their objectives are not comparable to full runs, so they are
+  /// excluded from best() tracking.
+  bool scaled = false;
+};
+
+/// Budget-enforcing gateway between a tuner and the system under tuning.
+///
+/// All tuners must obtain measurements through an Evaluator: it counts
+/// evaluations against the budget, applies the failure penalty to produce a
+/// scalar objective, and records the trial history (from which convergence
+/// curves and the best configuration are derived).
+class Evaluator {
+ public:
+  /// Does not take ownership of `system`. `failure_penalty` multiplies the
+  /// runtime of failed runs when forming the objective.
+  Evaluator(TunableSystem* system, Workload workload, TuningBudget budget,
+            double failure_penalty = 10.0);
+
+  /// Replaces the default penalized-runtime objective (e.g. with a cloud
+  /// dollar-cost or latency-SLA objective from core/objective.h). Set
+  /// before the first Evaluate call.
+  void set_objective(ObjectiveFunction objective) {
+    objective_ = std::move(objective);
+  }
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
+
+  const ParameterSpace& space() const { return system_->space(); }
+  const Workload& workload() const { return workload_; }
+  TunableSystem* system() { return system_; }
+  const TuningBudget& budget() const { return budget_; }
+
+  /// Budget remaining, in full-run units.
+  double Remaining() const { return budget_max_ - used_; }
+  bool Exhausted() const { return used_ >= budget_max_ - 1e-9; }
+
+  /// Runs the workload under `config`; returns the scalar objective
+  /// (penalized runtime, lower is better). Fails with kResourceExhausted
+  /// when the budget is spent and with the system's error for invalid
+  /// configs. Each call costs 1 budget unit.
+  Result<double> Evaluate(const Configuration& config);
+
+  /// Like Evaluate, but kills the run once it exceeds `abort_at_seconds`
+  /// (iTuned's early abort of low-utility experiments: an experiment already
+  /// slower than the incumbent teaches little, so stop paying for it). An
+  /// aborted run costs only the fraction of a budget unit it actually
+  /// consumed (abort_at / measured runtime) and records a censored trial
+  /// whose objective is the penalized abort time — a lower bound, never a
+  /// new best. Returns the objective and sets *aborted accordingly.
+  Result<double> EvaluateWithEarlyAbort(const Configuration& config,
+                                        double abort_at_seconds,
+                                        bool* aborted);
+
+  /// Runs a scaled-down sample of the workload (workload.scale multiplied
+  /// by `fraction` in (0, 1]); costs `fraction` budget units. Used by
+  /// Ernest-style tuners that train on cheap small-sample experiments. The
+  /// trial is recorded but excluded from best() (its objective is not
+  /// comparable to full runs). Returns the measured objective of the sample.
+  Result<double> EvaluateScaled(const Configuration& config, double fraction);
+
+  /// Unit-level execution for adaptive tuners on IterativeSystems; costs
+  /// 1/NumUnits budget units. Fails with kFailedPrecondition if the system
+  /// is not iterative.
+  Result<ExecutionResult> EvaluateUnit(const Configuration& config,
+                                       size_t unit_index);
+
+  /// Records an externally-executed unit sequence as one logical trial so
+  /// that adaptive tuners' composite runs appear in the history.
+  void RecordCompositeTrial(const Configuration& config,
+                            const ExecutionResult& aggregate, double cost);
+
+  const std::vector<Trial>& history() const { return history_; }
+  /// Trial with the lowest objective so far, or nullptr if none.
+  const Trial* best() const;
+  double used() const { return used_; }
+
+  /// Objective value for a run under this evaluator's objective (custom if
+  /// set, penalized runtime otherwise).
+  double ObjectiveOf(const Configuration& config,
+                     const ExecutionResult& result) const;
+
+ private:
+  TunableSystem* system_;
+  Workload workload_;
+  TuningBudget budget_;
+  double budget_max_;
+  double failure_penalty_;
+  ObjectiveFunction objective_;  // empty = penalized runtime
+  double used_ = 0.0;
+  std::vector<Trial> history_;
+  size_t best_index_ = 0;
+  bool has_best_ = false;
+};
+
+/// Interface implemented by every tuning approach. Tune() explores via the
+/// evaluator and returns; the evaluator's history/best() carry the outcome.
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+
+  virtual std::string name() const = 0;
+  virtual TunerCategory category() const = 0;
+
+  /// Runs the tuning procedure. `rng` seeds all of the tuner's randomness.
+  /// Returning OK with an empty history is valid for tuners that can
+  /// recommend without experiments (e.g. rule-based) — they should still
+  /// evaluate their recommendation once if budget allows so the outcome is
+  /// recorded.
+  virtual Status Tune(Evaluator* evaluator, Rng* rng) = 0;
+
+  /// Human-readable summary of what the tuner did/learned (rankings,
+  /// model quality, rules fired). Valid after Tune().
+  virtual std::string Report() const { return ""; }
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_CORE_TUNER_H_

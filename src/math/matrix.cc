@@ -1,0 +1,211 @@
+#include "math/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace atune {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ > 0 ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    assert(row.size() == cols_);
+    for (double v : row) data_.push_back(v);
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const Vec& v) {
+  Matrix m(v.size(), 1);
+  for (size_t i = 0; i < v.size(); ++i) m.At(i, 0) = v[i];
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vec& v) {
+  Matrix m(v.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) m.At(i, i) = v[i];
+  return m;
+}
+
+Vec Matrix::Row(size_t r) const {
+  Vec out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = At(r, c);
+  return out;
+}
+
+Vec Matrix::Col(size_t c) const {
+  Vec out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = At(r, c);
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = At(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += aik * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vec Matrix::MultiplyVec(const Vec& v) const {
+  assert(v.size() == cols_);
+  Vec out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += At(i, j) * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+void Matrix::AddDiagonal(double s) {
+  size_t n = rows_ < cols_ ? rows_ : cols_;
+  for (size_t i = 0; i < n; ++i) At(i, i) += s;
+}
+
+Result<Matrix> Matrix::Cholesky() const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  size_t n = rows_;
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite (Cholesky pivot <= 0)");
+        }
+        l.At(i, i) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Vec Matrix::ForwardSolve(const Matrix& l, const Vec& b) {
+  size_t n = l.rows();
+  assert(b.size() == n);
+  Vec y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+    y[i] = sum / l.At(i, i);
+  }
+  return y;
+}
+
+Vec Matrix::BackwardSolveTranspose(const Matrix& l, const Vec& y) {
+  size_t n = l.rows();
+  assert(y.size() == n);
+  Vec x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * x[k];
+    x[ii] = sum / l.At(ii, ii);
+  }
+  return x;
+}
+
+Result<Vec> Matrix::SolveSpd(const Vec& b) const {
+  ATUNE_ASSIGN_OR_RETURN(Matrix l, Cholesky());
+  Vec y = ForwardSolve(l, b);
+  return BackwardSolveTranspose(l, y);
+}
+
+double Matrix::LogDetFromCholesky(const Matrix& l) {
+  double acc = 0.0;
+  for (size_t i = 0; i < l.rows(); ++i) acc += std::log(l.At(i, i));
+  return 2.0 * acc;
+}
+
+Result<Vec> Matrix::LeastSquares(const Matrix& a, const Vec& b,
+                                 double lambda) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("LeastSquares: A rows must match b size");
+  }
+  Matrix at = a.Transpose();
+  Matrix ata = at.Multiply(a);
+  ata.AddDiagonal(lambda);
+  Vec atb = at.MultiplyVec(b);
+  auto sol = ata.SolveSpd(atb);
+  if (!sol.ok() && lambda == 0.0) {
+    // Rank-deficient unregularized system: retry with a tiny ridge.
+    ata.AddDiagonal(1e-10);
+    return ata.SolveSpd(atb);
+  }
+  return sol;
+}
+
+double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vec& v) { return std::sqrt(Dot(v, v)); }
+
+Vec Axpy(const Vec& a, double s, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+double SquaredDistance(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace atune

@@ -1,0 +1,103 @@
+#ifndef ATUNE_MATH_MATRIX_H_
+#define ATUNE_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/status.h"
+
+namespace atune {
+
+/// Numeric vector type used across math/ML code.
+using Vec = std::vector<double>;
+
+/// Dense row-major matrix with the small linear-algebra kernel the tuners
+/// need: products, transpose, Cholesky, forward/backward solves, and
+/// (ridge-regularized) least squares. Sizes here are tiny (tens to a few
+/// hundred rows), so clarity beats blocking/vectorization tricks.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists: Matrix m({{1,2},{3,4}});
+  explicit Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix Identity(size_t n);
+  /// Builds a column vector (n x 1) from v.
+  static Matrix ColumnVector(const Vec& v);
+  /// Builds a diagonal matrix from v.
+  static Matrix Diagonal(const Vec& v);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  /// Returns row r as a Vec.
+  Vec Row(size_t r) const;
+  /// Returns column c as a Vec.
+  Vec Col(size_t c) const;
+
+  Matrix Transpose() const;
+
+  /// Matrix product; dimensions must agree (asserted).
+  Matrix Multiply(const Matrix& other) const;
+  /// Matrix-vector product; v.size() must equal cols().
+  Vec MultiplyVec(const Vec& v) const;
+
+  Matrix Add(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+  Matrix Scale(double s) const;
+
+  /// Adds s to every diagonal entry (in place); used for jitter/ridge terms.
+  void AddDiagonal(double s);
+
+  /// Cholesky factorization A = L L^T for symmetric positive-definite A.
+  /// Returns the lower-triangular factor, or an error if not SPD.
+  Result<Matrix> Cholesky() const;
+
+  /// Solves L y = b with L lower triangular.
+  static Vec ForwardSolve(const Matrix& l, const Vec& b);
+  /// Solves L^T x = y with L lower triangular (i.e. backward pass).
+  static Vec BackwardSolveTranspose(const Matrix& l, const Vec& y);
+
+  /// Solves A x = b for SPD A via Cholesky.
+  Result<Vec> SolveSpd(const Vec& b) const;
+
+  /// Log-determinant of an SPD matrix via its Cholesky factor.
+  static double LogDetFromCholesky(const Matrix& l);
+
+  /// Solves the ridge-regularized least squares problem
+  ///   min_x ||A x - b||^2 + lambda ||x||^2
+  /// via the normal equations (A^T A + lambda I) x = A^T b.
+  /// lambda = 0 gives plain least squares (may fail if rank-deficient).
+  static Result<Vec> LeastSquares(const Matrix& a, const Vec& b,
+                                  double lambda = 0.0);
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product; sizes must match (asserted).
+double Dot(const Vec& a, const Vec& b);
+/// Euclidean norm.
+double Norm2(const Vec& v);
+/// Element-wise a + s*b.
+Vec Axpy(const Vec& a, double s, const Vec& b);
+/// Squared Euclidean distance.
+double SquaredDistance(const Vec& a, const Vec& b);
+
+}  // namespace atune
+
+#endif  // ATUNE_MATH_MATRIX_H_

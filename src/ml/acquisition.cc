@@ -1,0 +1,35 @@
+#include "ml/acquisition.h"
+
+#include <cmath>
+
+namespace atune {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+constexpr double kInvSqrt2 = 0.7071067811865475;
+}  // namespace
+
+double NormalPdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z * kInvSqrt2); }
+
+double ExpectedImprovement(const GpPrediction& pred, double best, double xi) {
+  double sigma = std::sqrt(pred.variance);
+  double improvement = best - xi - pred.mean;
+  if (sigma < 1e-12) return improvement > 0.0 ? improvement : 0.0;
+  double z = improvement / sigma;
+  return improvement * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+double ProbabilityOfImprovement(const GpPrediction& pred, double best,
+                                double xi) {
+  double sigma = std::sqrt(pred.variance);
+  if (sigma < 1e-12) return pred.mean < best - xi ? 1.0 : 0.0;
+  return NormalCdf((best - xi - pred.mean) / sigma);
+}
+
+double LowerConfidenceBound(const GpPrediction& pred, double beta) {
+  return -(pred.mean - beta * std::sqrt(pred.variance));
+}
+
+}  // namespace atune

@@ -1,0 +1,31 @@
+#ifndef ATUNE_ML_ACQUISITION_H_
+#define ATUNE_ML_ACQUISITION_H_
+
+#include "ml/gaussian_process.h"
+
+namespace atune {
+
+/// Acquisition functions for GP-based tuning (iTuned-style Bayesian
+/// optimization). All assume *minimization* of the objective: `best` is the
+/// lowest observed objective value so far and larger acquisition values mean
+/// more promising candidates.
+
+/// Expected Improvement: E[max(best - Y, 0)] under the posterior.
+double ExpectedImprovement(const GpPrediction& pred, double best,
+                           double xi = 0.0);
+
+/// Probability of Improvement: P(Y < best - xi).
+double ProbabilityOfImprovement(const GpPrediction& pred, double best,
+                                double xi = 0.0);
+
+/// Lower Confidence Bound expressed as an acquisition value:
+/// -(mean - beta * stddev); larger is better.
+double LowerConfidenceBound(const GpPrediction& pred, double beta = 2.0);
+
+/// Standard normal PDF/CDF helpers (exposed for tests).
+double NormalPdf(double z);
+double NormalCdf(double z);
+
+}  // namespace atune
+
+#endif  // ATUNE_ML_ACQUISITION_H_

@@ -1,0 +1,152 @@
+#include "ml/gaussian_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace atune {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+
+double ScaledDistance(const Vec& a, const Vec& b,
+                      const std::vector<double>& ls) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double l = i < ls.size() ? ls[i] : 1.0;
+    double d = (a[i] - b[i]) / (l > 1e-12 ? l : 1e-12);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+}  // namespace
+
+double GaussianProcess::KernelValue(const Vec& a, const Vec& b) const {
+  double r = ScaledDistance(a, b, params_.lengthscales);
+  switch (params_.kernel) {
+    case KernelType::kSquaredExponential:
+      return params_.signal_variance * std::exp(-0.5 * r * r);
+    case KernelType::kMatern52: {
+      double s = std::sqrt(5.0) * r;
+      return params_.signal_variance * (1.0 + s + s * s / 3.0) * std::exp(-s);
+    }
+  }
+  return 0.0;
+}
+
+Status GaussianProcess::Fit(const std::vector<Vec>& xs, const Vec& ys) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    return Status::InvalidArgument("GP Fit: empty data or size mismatch");
+  }
+  size_t n = xs.size();
+  size_t dims = xs[0].size();
+  if (params_.lengthscales.empty()) {
+    params_.lengthscales.assign(dims, 0.3);
+  }
+
+  xs_ = xs;
+  y_mean_ = 0.0;
+  for (double y : ys) y_mean_ += y;
+  y_mean_ /= static_cast<double>(n);
+  Vec centered(n);
+  for (size_t i = 0; i < n; ++i) centered[i] = ys[i] - y_mean_;
+
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = KernelValue(xs[i], xs[j]);
+      k.At(i, j) = v;
+      k.At(j, i) = v;
+    }
+  }
+  double jitter = params_.noise_variance;
+  Result<Matrix> chol = Status::Internal("unset");
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    Matrix kj = k;
+    kj.AddDiagonal(jitter);
+    chol = kj.Cholesky();
+    if (chol.ok()) break;
+    jitter = std::max(jitter * 10.0, 1e-10);
+  }
+  if (!chol.ok()) {
+    return Status::Internal("GP Fit: kernel matrix not positive definite");
+  }
+  chol_ = std::move(chol).value();
+  Vec y1 = Matrix::ForwardSolve(chol_, centered);
+  alpha_ = Matrix::BackwardSolveTranspose(chol_, y1);
+
+  // log p(y) = -1/2 y^T alpha - 1/2 log|K| - n/2 log(2 pi)
+  double fit_term = -0.5 * Dot(centered, alpha_);
+  double det_term = -0.5 * Matrix::LogDetFromCholesky(chol_);
+  double const_term = -0.5 * static_cast<double>(n) * std::log(kTwoPi);
+  log_marginal_likelihood_ = fit_term + det_term + const_term;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status GaussianProcess::FitWithHyperSearch(const std::vector<Vec>& xs,
+                                           const Vec& ys, size_t budget,
+                                           Rng* rng) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    return Status::InvalidArgument("GP Fit: empty data or size mismatch");
+  }
+  size_t dims = xs[0].size();
+  double y_var = 0.0;
+  {
+    double m = 0.0;
+    for (double y : ys) m += y;
+    m /= static_cast<double>(ys.size());
+    for (double y : ys) y_var += (y - m) * (y - m);
+    y_var /= std::max<size_t>(ys.size() - 1, 1);
+    if (y_var <= 0.0) y_var = 1.0;
+  }
+
+  GpHyperParams best;
+  double best_lml = -std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (size_t trial = 0; trial < std::max<size_t>(budget, 1); ++trial) {
+    GpHyperParams cand;
+    cand.kernel = params_.kernel;
+    cand.lengthscales.resize(dims);
+    for (double& l : cand.lengthscales) {
+      // Log-uniform lengthscales over [0.05, 2] of the unit cube.
+      l = std::exp(rng->Uniform(std::log(0.05), std::log(2.0)));
+    }
+    cand.signal_variance = y_var * std::exp(rng->Uniform(std::log(0.2),
+                                                         std::log(5.0)));
+    cand.noise_variance =
+        y_var * std::exp(rng->Uniform(std::log(1e-6), std::log(1e-1)));
+    GaussianProcess probe(cand);
+    if (!probe.Fit(xs, ys).ok()) continue;
+    if (probe.LogMarginalLikelihood() > best_lml) {
+      best_lml = probe.LogMarginalLikelihood();
+      best = cand;
+      found = true;
+    }
+  }
+  if (!found) {
+    // Fall back to defaults if every candidate failed (degenerate data).
+    params_.lengthscales.assign(dims, 0.3);
+    params_.signal_variance = y_var;
+    params_.noise_variance = 1e-4 * y_var;
+    return Fit(xs, ys);
+  }
+  params_ = best;
+  return Fit(xs, ys);
+}
+
+GpPrediction GaussianProcess::Predict(const Vec& x) const {
+  GpPrediction out;
+  if (!fitted_) return out;
+  size_t n = xs_.size();
+  Vec kstar(n);
+  for (size_t i = 0; i < n; ++i) kstar[i] = KernelValue(x, xs_[i]);
+  out.mean = y_mean_ + Dot(kstar, alpha_);
+  Vec v = Matrix::ForwardSolve(chol_, kstar);
+  double var = KernelValue(x, x) - Dot(v, v);
+  out.variance = std::max(var, 0.0);
+  return out;
+}
+
+}  // namespace atune

@@ -1,0 +1,81 @@
+#ifndef ATUNE_ML_GAUSSIAN_PROCESS_H_
+#define ATUNE_ML_GAUSSIAN_PROCESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace atune {
+
+/// Kernel families supported by the GP.
+enum class KernelType {
+  kSquaredExponential,  ///< k(r) = s^2 exp(-r^2/2), ARD lengthscales
+  kMatern52,            ///< Matérn 5/2, ARD lengthscales
+};
+
+/// GP hyperparameters. Lengthscales are per input dimension (ARD).
+struct GpHyperParams {
+  KernelType kernel = KernelType::kMatern52;
+  std::vector<double> lengthscales;  ///< one per dim; empty = 1.0 each
+  double signal_variance = 1.0;      ///< s^2
+  double noise_variance = 1e-4;      ///< observation noise
+};
+
+/// Posterior prediction at one point.
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< posterior variance (>= 0)
+};
+
+/// Gaussian-process regression, the surrogate model behind iTuned [9] and
+/// OtterTune [24]. Inputs are expected normalized to [0,1]^d; targets are
+/// internally centered on their mean.
+///
+/// Usage:
+///   GaussianProcess gp;
+///   ATUNE_RETURN_IF_ERROR(gp.Fit(xs, ys));         // fixed hyperparameters
+///   // or gp.FitWithHyperSearch(xs, ys, &rng);      // random-search ML-II
+///   GpPrediction p = gp.Predict(x);
+class GaussianProcess {
+ public:
+  GaussianProcess() = default;
+  explicit GaussianProcess(GpHyperParams params) : params_(std::move(params)) {}
+
+  /// Fits the posterior for the given data with the current hyperparameters.
+  /// Adds jitter to the kernel diagonal as needed for stability.
+  Status Fit(const std::vector<Vec>& xs, const Vec& ys);
+
+  /// Fits hyperparameters by maximizing the log marginal likelihood over a
+  /// random search of `budget` candidate hyperparameter settings, then fits
+  /// the posterior with the winner.
+  Status FitWithHyperSearch(const std::vector<Vec>& xs, const Vec& ys,
+                            size_t budget, Rng* rng);
+
+  /// Posterior mean/variance at x. Requires a successful Fit.
+  GpPrediction Predict(const Vec& x) const;
+
+  /// Log marginal likelihood of the fitted model.
+  double LogMarginalLikelihood() const { return log_marginal_likelihood_; }
+
+  bool fitted() const { return fitted_; }
+  const GpHyperParams& params() const { return params_; }
+  size_t num_points() const { return xs_.size(); }
+
+ private:
+  double KernelValue(const Vec& a, const Vec& b) const;
+
+  GpHyperParams params_;
+  std::vector<Vec> xs_;
+  Vec alpha_;        // K^{-1} (y - mean)
+  Matrix chol_;      // lower Cholesky factor of K + noise I
+  double y_mean_ = 0.0;
+  double log_marginal_likelihood_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_ML_GAUSSIAN_PROCESS_H_

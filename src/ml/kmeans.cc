@@ -1,0 +1,107 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace atune {
+
+size_t NearestCentroid(const std::vector<Vec>& centroids, const Vec& x) {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    double d = SquaredDistance(centroids[c], x);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Result<KMeansResult> KMeans(const std::vector<Vec>& points, size_t k, Rng* rng,
+                            size_t max_iters) {
+  if (points.empty()) {
+    return Status::InvalidArgument("KMeans: no points");
+  }
+  if (k == 0 || k > points.size()) {
+    return Status::InvalidArgument("KMeans: k must be in [1, n]");
+  }
+  size_t n = points.size();
+  size_t dims = points[0].size();
+
+  // k-means++ seeding.
+  KMeansResult result;
+  result.centroids.reserve(k);
+  result.centroids.push_back(
+      points[static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1))]);
+  std::vector<double> d2(n, 0.0);
+  while (result.centroids.size() < k) {
+    for (size_t i = 0; i < n; ++i) {
+      d2[i] = SquaredDistance(points[i],
+                              result.centroids[NearestCentroid(
+                                  result.centroids, points[i])]);
+    }
+    size_t pick = rng->Categorical(d2);
+    result.centroids.push_back(points[pick]);
+  }
+
+  result.assignments.assign(n, 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = NearestCentroid(result.centroids, points[i]);
+      if (c != result.assignments[i]) {
+        result.assignments[i] = c;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    std::vector<Vec> sums(k, Vec(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep empty cluster's old centroid
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        SquaredDistance(points[i], result.centroids[result.assignments[i]]);
+  }
+  return result;
+}
+
+Result<KMeansResult> KMeansAutoK(const std::vector<Vec>& points, size_t k_max,
+                                 Rng* rng) {
+  if (points.empty()) {
+    return Status::InvalidArgument("KMeansAutoK: no points");
+  }
+  size_t n = points.size();
+  size_t dims = points[0].size();
+  (void)dims;
+  k_max = std::min(k_max, n);
+  // Elbow criterion: grow k while the next cluster still at least halves
+  // the inertia; genuine extra clusters collapse it by far more, while
+  // splitting noise inside one cluster only shaves it marginally.
+  ATUNE_ASSIGN_OR_RETURN(KMeansResult best, KMeans(points, 1, rng));
+  for (size_t k = 2; k <= k_max; ++k) {
+    if (best.inertia <= 1e-9 * static_cast<double>(n)) break;
+    ATUNE_ASSIGN_OR_RETURN(KMeansResult next, KMeans(points, k, rng));
+    if (next.inertia > 0.5 * best.inertia) break;
+    best = std::move(next);
+  }
+  return best;
+}
+
+}  // namespace atune

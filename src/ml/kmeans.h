@@ -1,0 +1,39 @@
+#ifndef ATUNE_ML_KMEANS_H_
+#define ATUNE_ML_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace atune {
+
+/// Result of a k-means clustering run.
+struct KMeansResult {
+  std::vector<Vec> centroids;
+  std::vector<size_t> assignments;  ///< cluster index per input point
+  double inertia = 0.0;             ///< sum of squared distances to centroids
+  size_t iterations = 0;
+};
+
+/// k-means with k-means++ seeding; used by OtterTune-style workload mapping
+/// to group workloads with similar metric signatures.
+///
+/// Runs Lloyd's algorithm until assignment fixpoint or max_iters.
+Result<KMeansResult> KMeans(const std::vector<Vec>& points, size_t k, Rng* rng,
+                            size_t max_iters = 100);
+
+/// Picks k by minimizing a simple BIC-like score over k in [1, k_max]
+/// (OtterTune uses a model-selection criterion for the number of workload
+/// clusters). Returns the chosen clustering.
+Result<KMeansResult> KMeansAutoK(const std::vector<Vec>& points, size_t k_max,
+                                 Rng* rng);
+
+/// Index of the nearest centroid to x.
+size_t NearestCentroid(const std::vector<Vec>& centroids, const Vec& x);
+
+}  // namespace atune
+
+#endif  // ATUNE_ML_KMEANS_H_

@@ -1,0 +1,166 @@
+#include "ml/neural_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace atune {
+
+namespace {
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+}  // namespace
+
+Vec Mlp::Forward(const Vec& x, std::vector<Vec>* activations,
+                 std::vector<Vec>* pre_activations) const {
+  Vec a = x;
+  if (activations != nullptr) activations->push_back(a);
+  for (size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    Vec z = layer.w.MultiplyVec(a);
+    for (size_t i = 0; i < z.size(); ++i) z[i] += layer.b[i];
+    if (pre_activations != nullptr) pre_activations->push_back(z);
+    bool is_output = li + 1 == layers_.size();
+    if (!is_output) {
+      for (double& v : z) v = std::tanh(v);
+    }
+    a = std::move(z);
+    if (activations != nullptr) activations->push_back(a);
+  }
+  return a;
+}
+
+Status Mlp::Fit(const std::vector<Vec>& xs, const Vec& ys) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    return Status::InvalidArgument("Mlp::Fit: bad training data");
+  }
+  size_t n = xs.size();
+  size_t in_dim = xs[0].size();
+
+  x_scaler_.Fit(xs);
+  std::vector<Vec> zs = x_scaler_.TransformAll(xs);
+  y_mean_ = 0.0;
+  for (double y : ys) y_mean_ += y;
+  y_mean_ /= static_cast<double>(n);
+  double var = 0.0;
+  for (double y : ys) var += (y - y_mean_) * (y - y_mean_);
+  y_std_ = std::sqrt(var / static_cast<double>(n));
+  if (y_std_ < 1e-12) y_std_ = 1.0;
+  Vec ty(n);
+  for (size_t i = 0; i < n; ++i) ty[i] = (ys[i] - y_mean_) / y_std_;
+
+  // Build layers: in -> hidden... -> 1.
+  Rng rng(options_.seed);
+  layers_.clear();
+  std::vector<size_t> sizes;
+  sizes.push_back(in_dim);
+  for (size_t h : options_.hidden_layers) sizes.push_back(h);
+  sizes.push_back(1);
+  for (size_t li = 0; li + 1 < sizes.size(); ++li) {
+    Layer layer;
+    size_t fan_in = sizes[li];
+    size_t fan_out = sizes[li + 1];
+    double scale = std::sqrt(2.0 / static_cast<double>(fan_in + fan_out));
+    layer.w = Matrix(fan_out, fan_in);
+    for (size_t r = 0; r < fan_out; ++r) {
+      for (size_t c = 0; c < fan_in; ++c) {
+        layer.w.At(r, c) = rng.Normal(0.0, scale);
+      }
+    }
+    layer.b.assign(fan_out, 0.0);
+    layer.mw = Matrix(fan_out, fan_in);
+    layer.vw = Matrix(fan_out, fan_in);
+    layer.mb.assign(fan_out, 0.0);
+    layer.vb.assign(fan_out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  size_t step = 0;
+  double last_epoch_loss = 0.0;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double epoch_loss = 0.0;
+    for (size_t start = 0; start < n; start += options_.batch_size) {
+      size_t end = std::min(start + options_.batch_size, n);
+      size_t bs = end - start;
+      // Accumulate gradients over the batch.
+      std::vector<Matrix> gw;
+      std::vector<Vec> gb;
+      for (const Layer& layer : layers_) {
+        gw.emplace_back(layer.w.rows(), layer.w.cols());
+        gb.emplace_back(layer.b.size(), 0.0);
+      }
+      for (size_t bi = start; bi < end; ++bi) {
+        size_t i = order[bi];
+        std::vector<Vec> acts, pre;
+        Vec out = Forward(zs[i], &acts, &pre);
+        double err = out[0] - ty[i];
+        epoch_loss += err * err;
+        // Backprop. delta starts at output layer.
+        Vec delta{2.0 * err / static_cast<double>(bs)};
+        for (size_t li = layers_.size(); li-- > 0;) {
+          const Vec& input = acts[li];
+          for (size_t r = 0; r < layers_[li].w.rows(); ++r) {
+            gb[li][r] += delta[r];
+            for (size_t c = 0; c < layers_[li].w.cols(); ++c) {
+              gw[li].At(r, c) += delta[r] * input[c];
+            }
+          }
+          if (li == 0) break;
+          // Propagate to previous layer through w and tanh'.
+          Vec prev_delta(layers_[li].w.cols(), 0.0);
+          for (size_t c = 0; c < layers_[li].w.cols(); ++c) {
+            double acc = 0.0;
+            for (size_t r = 0; r < layers_[li].w.rows(); ++r) {
+              acc += layers_[li].w.At(r, c) * delta[r];
+            }
+            double a = acts[li][c];  // tanh output of layer li-1
+            prev_delta[c] = acc * (1.0 - a * a);
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+      // Adam update.
+      ++step;
+      double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(step));
+      double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(step));
+      for (size_t li = 0; li < layers_.size(); ++li) {
+        Layer& layer = layers_[li];
+        for (size_t r = 0; r < layer.w.rows(); ++r) {
+          for (size_t c = 0; c < layer.w.cols(); ++c) {
+            double g = gw[li].At(r, c) + options_.weight_decay * layer.w.At(r, c);
+            double& m = layer.mw.At(r, c);
+            double& v = layer.vw.At(r, c);
+            m = kAdamBeta1 * m + (1.0 - kAdamBeta1) * g;
+            v = kAdamBeta2 * v + (1.0 - kAdamBeta2) * g * g;
+            layer.w.At(r, c) -= options_.learning_rate * (m / bc1) /
+                                (std::sqrt(v / bc2) + kAdamEps);
+          }
+          double g = gb[li][r];
+          double& m = layer.mb[r];
+          double& v = layer.vb[r];
+          m = kAdamBeta1 * m + (1.0 - kAdamBeta1) * g;
+          v = kAdamBeta2 * v + (1.0 - kAdamBeta2) * g * g;
+          layer.b[r] -= options_.learning_rate * (m / bc1) /
+                        (std::sqrt(v / bc2) + kAdamEps);
+        }
+      }
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(n);
+  }
+  final_loss_ = last_epoch_loss;
+  fitted_ = true;
+  return Status::OK();
+}
+
+double Mlp::Predict(const Vec& x) const {
+  if (!fitted_) return 0.0;
+  Vec z = x_scaler_.Transform(x);
+  Vec out = Forward(z, nullptr, nullptr);
+  return out[0] * y_std_ + y_mean_;
+}
+
+}  // namespace atune

@@ -1,0 +1,49 @@
+#include "ml/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atune {
+
+Result<Vec> SolveNnls(const Matrix& a, const Vec& b, size_t max_iters,
+                      double tol) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveNnls: A rows must match b size");
+  }
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SolveNnls: empty system");
+  }
+  Matrix at = a.Transpose();
+  Matrix ata = at.Multiply(a);
+  Vec atb = at.MultiplyVec(b);
+  size_t dims = a.cols();
+
+  // Power iteration for the Lipschitz constant L = lambda_max(A^T A).
+  Vec v(dims, 1.0 / std::sqrt(static_cast<double>(dims)));
+  double lambda = 1.0;
+  for (int it = 0; it < 50; ++it) {
+    Vec w = ata.MultiplyVec(v);
+    double norm = Norm2(w);
+    if (norm < 1e-15) break;
+    lambda = norm;
+    for (size_t i = 0; i < dims; ++i) v[i] = w[i] / norm;
+  }
+  double step = 1.0 / std::max(lambda, 1e-12);
+
+  Vec x(dims, 0.0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    // gradient = A^T A x - A^T b
+    Vec grad = ata.MultiplyVec(x);
+    for (size_t i = 0; i < dims; ++i) grad[i] -= atb[i];
+    double max_move = 0.0;
+    for (size_t i = 0; i < dims; ++i) {
+      double nx = std::max(0.0, x[i] - step * grad[i]);
+      max_move = std::max(max_move, std::abs(nx - x[i]));
+      x[i] = nx;
+    }
+    if (max_move < tol) break;
+  }
+  return x;
+}
+
+}  // namespace atune

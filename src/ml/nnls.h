@@ -1,0 +1,22 @@
+#ifndef ATUNE_ML_NNLS_H_
+#define ATUNE_ML_NNLS_H_
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace atune {
+
+/// Solves the non-negative least squares problem
+///   min_{x >= 0} ||A x - b||^2
+/// by projected gradient descent with an optimal-ish fixed step (1/L where L
+/// is a power-iteration estimate of ||A^T A||).
+///
+/// Ernest [Venkataraman et al., NSDI'16] fits its performance-vs-scale model
+/// (serial + per-machine + communication terms) with NNLS so that every term
+/// keeps a physical (non-negative) interpretation.
+Result<Vec> SolveNnls(const Matrix& a, const Vec& b, size_t max_iters = 5000,
+                      double tol = 1e-10);
+
+}  // namespace atune
+
+#endif  // ATUNE_ML_NNLS_H_

@@ -1,0 +1,119 @@
+#include "systems/dbms/dbms_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atune {
+
+double BufferHitRatio(double pool_mb, double working_set_mb, double skew) {
+  if (working_set_mb <= 0.0) return 1.0;
+  double coverage = std::clamp(pool_mb / working_set_mb, 0.0, 1.0);
+  // Skewed access concentrates hits on a small hot set: raising the miss
+  // curve exponent makes early megabytes of cache much more valuable.
+  double exponent = 1.0 + 3.0 * std::max(0.0, skew);
+  return 1.0 - std::pow(1.0 - coverage, exponent);
+}
+
+double EffectiveScanBandwidthMbps(const ClusterSpec& cluster,
+                                  double seq_fraction, int64_t io_concurrency,
+                                  int64_t prefetch_depth) {
+  seq_fraction = std::clamp(seq_fraction, 0.0, 1.0);
+  double total = 0.0;
+  for (const NodeSpec& node : cluster.nodes()) {
+    double seq_bw = node.disk_mbps;
+    // Random reads move 8KB per IOP; prefetching converts some random
+    // latency into overlapped transfers (log-diminishing benefit, up to 4x).
+    double prefetch_boost =
+        1.0 + std::min(3.0, 0.75 * std::log2(1.0 + static_cast<double>(
+                                                       prefetch_depth)));
+    double rand_bw = node.disk_iops * (8.0 / 1024.0) * prefetch_boost;
+    // io_concurrency raises utilization toward the device limit; one
+    // outstanding request leaves the disk idle half the time.
+    double util = 1.0 - 0.5 / std::max<double>(1.0, static_cast<double>(
+                                                        io_concurrency));
+    total += util * (seq_fraction * seq_bw + (1.0 - seq_fraction) * rand_bw);
+  }
+  return std::max(total, 1e-3);
+}
+
+CompressionProfile GetCompressionProfile(const std::string& codec) {
+  if (codec == "lz4") {
+    return CompressionProfile{0.60, 0.0008, 0.0004};
+  }
+  if (codec == "zlib") {
+    return CompressionProfile{0.42, 0.0060, 0.0015};
+  }
+  return CompressionProfile{};  // none
+}
+
+double SpillExtraIoMb(double need_mb, double work_mem_mb,
+                      int64_t merge_fanin) {
+  if (need_mb <= work_mem_mb || work_mem_mb <= 0.0) return 0.0;
+  double fanin = std::max<double>(2.0, static_cast<double>(merge_fanin));
+  // External merge sort: initial runs of size work_mem, then
+  // ceil(log_fanin(runs)) merge passes, each rewriting the data once.
+  double runs = need_mb / work_mem_mb;
+  double passes = std::ceil(std::log(runs) / std::log(fanin));
+  passes = std::max(passes, 1.0);
+  // Every pass writes + reads the full operand.
+  return 2.0 * need_mb * passes;
+}
+
+double ParallelSpeedup(double workers, double cores, double serial_fraction) {
+  double w = std::clamp(workers, 1.0, std::max(1.0, cores));
+  serial_fraction = std::clamp(serial_fraction, 0.0, 1.0);
+  return 1.0 / (serial_fraction + (1.0 - serial_fraction) / w);
+}
+
+LockOutcome ComputeLockOutcome(double clients, double skew,
+                               double deadlock_timeout_ms, double txns) {
+  LockOutcome out;
+  if (txns <= 0.0 || clients <= 1.0) return out;
+  // Probability a transaction hits a held lock grows with concurrency and
+  // skew (hot rows).
+  double conflict_prob =
+      std::clamp(0.002 * (clients - 1.0) * (0.5 + 2.0 * skew), 0.0, 0.8);
+  // Typical time the blocker still holds the lock.
+  double hold_ms = 4.0 * (1.0 + clients / 32.0);
+  // A waiter either gets the lock when the holder commits or is aborted by
+  // the deadlock timeout firing first.
+  double wait_ms = std::min(deadlock_timeout_ms, hold_ms * 3.0);
+  // Timeouts shorter than typical hold times abort innocent waiters; the
+  // probability is conditional on having hit a conflict at all.
+  double cond_abort = std::exp(-deadlock_timeout_ms / (hold_ms * 2.0));
+  out.abort_fraction = conflict_prob * cond_abort;
+  // Aborted waiters retry: each extra attempt redoes the transaction's
+  // work and, after a backoff of ~2 timeouts (to avoid an immediate
+  // re-collision), waits on the same hot lock again.
+  double extra_attempts = std::min(5.0, cond_abort / (1.0 - cond_abort));
+  out.extra_work_fraction = conflict_prob * extra_attempts;
+  double retry_wait_ms = extra_attempts * deadlock_timeout_ms * 3.0;
+  // Genuine deadlocks are rare and quadratic in contention; each one stalls
+  // a victim for the full timeout before detection.
+  double deadlock_prob = 0.15 * conflict_prob * conflict_prob;
+  out.deadlocks = deadlock_prob * txns;
+  double per_txn_wait_ms = conflict_prob * (wait_ms + retry_wait_ms) +
+                           deadlock_prob * deadlock_timeout_ms;
+  out.total_wait_s = txns * per_txn_wait_ms / 1000.0;
+  return out;
+}
+
+double SwapPenalty(double reserved_mb, double ram_mb) {
+  if (ram_mb <= 0.0) return 1.0;
+  double over = reserved_mb / ram_mb - 1.0;
+  if (over <= 0.0) return 1.0;
+  return 1.0 + 25.0 * over * over + 5.0 * over;
+}
+
+bool OutOfMemory(double reserved_mb, double ram_mb) {
+  return reserved_mb > 1.25 * ram_mb;
+}
+
+double PlanQualityMultiplier(double stats_target, double join_complexity) {
+  // With sparse statistics the optimizer mis-estimates cardinalities and
+  // picks plans that do up to (1 + 0.5*complexity)x the necessary work.
+  double ignorance = std::exp(-stats_target / 150.0);
+  return 1.0 + 0.5 * std::clamp(join_complexity, 0.0, 1.0) * ignorance;
+}
+
+}  // namespace atune

@@ -1,0 +1,82 @@
+#ifndef ATUNE_SYSTEMS_DBMS_DBMS_MODEL_H_
+#define ATUNE_SYSTEMS_DBMS_DBMS_MODEL_H_
+
+#include <string>
+
+#include "systems/hardware.h"
+
+namespace atune {
+
+/// Analytical sub-models of DBMS behavior used by SimulatedDbms. They are
+/// deliberately simple closed forms, but each reproduces the qualitative
+/// response shape of the real mechanism (concavity, cliffs, U-shapes,
+/// interactions) — which is what parameter-tuning algorithms actually see.
+
+/// Fraction of page requests served from the buffer pool.
+///
+/// Concave and increasing in pool size; access skew (Zipf-like theta in
+/// [0,1.2]) makes small pools disproportionately effective, mirroring a
+/// Mattson stack-distance curve.
+double BufferHitRatio(double pool_mb, double working_set_mb, double skew);
+
+/// Aggregate effective read bandwidth (MB/s) of the cluster for a scan mix
+/// with `seq_fraction` sequential accesses. Prefetching hides random-read
+/// latency with diminishing returns; io_concurrency lifts utilization of
+/// parallel disks up to the hardware limit.
+double EffectiveScanBandwidthMbps(const ClusterSpec& cluster,
+                                  double seq_fraction, int64_t io_concurrency,
+                                  int64_t prefetch_depth);
+
+/// Page/stream compression cost model.
+struct CompressionProfile {
+  double ratio = 1.0;           ///< compressed size / raw size
+  double compress_cpu_s_per_mb = 0.0;
+  double decompress_cpu_s_per_mb = 0.0;
+};
+
+/// Profile for codec in {"none", "lz4", "zlib"}; unknown names map to none.
+CompressionProfile GetCompressionProfile(const std::string& codec);
+
+/// Extra disk traffic (MB, read+write combined) caused by external
+/// sort/hash spilling when an operator needing `need_mb` runs with
+/// `work_mem_mb` of memory; multi-pass merges use fan-in `merge_fanin`.
+/// Zero when the operator fits in memory.
+double SpillExtraIoMb(double need_mb, double work_mem_mb,
+                      int64_t merge_fanin = 16);
+
+/// Amdahl speedup with `workers` over a workload with the given serial
+/// fraction, capped by available cores.
+double ParallelSpeedup(double workers, double cores, double serial_fraction);
+
+/// Lock-contention outcome for an OLTP run.
+struct LockOutcome {
+  double total_wait_s = 0.0;      ///< sum of lock waits across txns
+  double abort_fraction = 0.0;    ///< fraction of txns aborted+retried
+  double deadlocks = 0.0;         ///< expected deadlock count
+  /// Extra work (fraction of the whole run's work) redone by retries of
+  /// timeout-aborted transactions.
+  double extra_work_fraction = 0.0;
+};
+
+/// Models the deadlock_timeout tradeoff: short timeouts abort transactions
+/// that were merely waiting (retry storms), long timeouts make genuine
+/// deadlocks expensive. U-shaped total cost in the timeout.
+LockOutcome ComputeLockOutcome(double clients, double skew,
+                               double deadlock_timeout_ms, double txns);
+
+/// Memory-pressure multiplier for I/O when total reservations exceed RAM
+/// (swap thrash). 1.0 when within RAM; grows quadratically past it.
+double SwapPenalty(double reserved_mb, double ram_mb);
+
+/// True when reservations exceed RAM by enough that the OS OOM-kills the
+/// server (hard failure threshold: 125% of RAM).
+bool OutOfMemory(double reserved_mb, double ram_mb);
+
+/// Query-plan quality factor from optimizer statistics detail
+/// (`stats_target` knob): multiplier >= 1 on work done by complex queries;
+/// approaches 1 as statistics improve, with diminishing returns.
+double PlanQualityMultiplier(double stats_target, double join_complexity);
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_DBMS_DBMS_MODEL_H_

@@ -1,0 +1,418 @@
+#include "systems/dbms/dbms_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "systems/dbms/dbms_model.h"
+
+namespace atune {
+
+namespace {
+// Fixed model constants (not tunable): per-MB CPU costs, transaction shapes.
+constexpr double kScanCpuSecPerMb = 0.0015;
+constexpr double kQueryStartupSec = 0.05;
+constexpr double kTxnCpuMs = 0.25;
+constexpr double kPageMb = 8.0 / 1024.0;  // 8 KB pages
+constexpr double kWalMbPerTxn = 0.002;
+constexpr double kFsyncMs = 2.0;
+constexpr double kSerialFraction = 0.12;
+}  // namespace
+
+SimulatedDbms::SimulatedDbms(ClusterSpec cluster, uint64_t seed)
+    : cluster_(std::move(cluster)), noise_rng_(seed) {
+  double ram = cluster_.MeanNode().ram_mb;
+  int64_t bp_max = static_cast<int64_t>(std::max(1024.0, ram * 0.9));
+  auto add = [this](ParameterDef def) {
+    Status s = space_.Add(std::move(def));
+    (void)s;  // names are unique by construction
+  };
+  add(ParameterDef::Int("buffer_pool_mb", 64, bp_max, 512,
+                        "shared buffer pool size", /*log_scale=*/true, "MB"));
+  add(ParameterDef::Int("work_mem_mb", 1, 2048, 4,
+                        "per-operator sort/hash memory", true, "MB"));
+  add(ParameterDef::Int("max_workers", 1, 64, 2,
+                        "parallel workers per query"));
+  add(ParameterDef::Int("io_concurrency", 1, 64, 4,
+                        "outstanding async I/O requests", true));
+  add(ParameterDef::Int("prefetch_depth", 0, 64, 8,
+                        "pages prefetched ahead of a scan"));
+  add(ParameterDef::Int("checkpoint_interval_s", 30, 3600, 300,
+                        "seconds between checkpoints", true, "s"));
+  add(ParameterDef::Int("wal_buffer_mb", 1, 256, 16,
+                        "write-ahead-log buffer", true, "MB"));
+  add(ParameterDef::Categorical("log_flush", {"immediate", "group", "async"},
+                                0, "commit durability policy"));
+  add(ParameterDef::Int("deadlock_timeout_ms", 10, 10000, 1000,
+                        "lock wait before deadlock check", true, "ms"));
+  add(ParameterDef::Categorical("page_compression", {"none", "lz4", "zlib"},
+                                0, "table page compression codec"));
+  add(ParameterDef::Int("stats_target", 10, 1000, 100,
+                        "optimizer statistics detail", true));
+  add(ParameterDef::Bool("temp_compression", false,
+                         "compress sort/hash spill files"));
+}
+
+std::map<std::string, double> SimulatedDbms::Descriptors() const {
+  NodeSpec mean = cluster_.MeanNode();
+  return {
+      {"num_nodes", static_cast<double>(cluster_.num_nodes())},
+      {"total_ram_mb", cluster_.TotalRamMb()},
+      {"node_ram_mb", mean.ram_mb},
+      {"total_cores", cluster_.TotalCores()},
+      {"cores_per_node", mean.cores},
+      {"disk_mbps", mean.disk_mbps},
+      {"disk_iops", mean.disk_iops},
+      {"network_mbps", mean.network_mbps},
+  };
+}
+
+std::vector<std::string> SimulatedDbms::MetricNames() const {
+  return {"cpu_time_s",     "io_time_s",       "io_read_mb",
+          "io_write_mb",    "spill_mb",        "buffer_hit_ratio",
+          "lock_wait_s",    "commit_wait_s",   "checkpoint_io_mb",
+          "wal_mb",         "mem_reserved_mb", "swap_penalty",
+          "abort_fraction", "deadlocks",       "plan_multiplier"};
+}
+
+size_t SimulatedDbms::NumUnits(const Workload& workload) const {
+  return static_cast<size_t>(workload.PropertyOr("segments", 8.0));
+}
+
+Result<ExecutionResult> SimulatedDbms::ExecuteUnit(const Configuration& config,
+                                                   const Workload& workload,
+                                                   size_t unit_index) {
+  ATUNE_RETURN_IF_ERROR(space_.ValidateConfiguration(config));
+  size_t units = std::max<size_t>(NumUnits(workload), 1);
+  double fraction = 1.0 / static_cast<double>(units);
+  // Optional diurnal load pattern: client concurrency swings by
+  // +-diurnal_amplitude over one pass of the units (day/night cycle).
+  // Full-run Execute() sees the average; only unit-level callers (adaptive
+  // tuners) observe — and can react to — the swing.
+  double amplitude = workload.PropertyOr("diurnal_amplitude", 0.0);
+  if (amplitude <= 0.0) return Run(config, workload, fraction);
+  Workload shifted = workload;
+  double phase = 2.0 * 3.14159265358979 * static_cast<double>(unit_index) /
+                 static_cast<double>(units);
+  double factor = 1.0 + amplitude * std::sin(phase);
+  shifted.properties["clients"] =
+      std::max(1.0, workload.PropertyOr("clients", 16.0) * factor);
+  shifted.properties["txns"] =
+      workload.PropertyOr("txns", 200000.0) * factor;
+  shifted.properties["queries"] =
+      workload.PropertyOr("queries", 20.0) * factor;
+  return Run(config, shifted, fraction);
+}
+
+Result<ExecutionResult> SimulatedDbms::Execute(const Configuration& config,
+                                               const Workload& workload) {
+  ATUNE_RETURN_IF_ERROR(space_.ValidateConfiguration(config));
+  return Run(config, workload, 1.0);
+}
+
+ExecutionResult SimulatedDbms::Run(const Configuration& config,
+                                   const Workload& workload, double fraction) {
+  ExecutionResult result;
+  const std::string& kind = workload.kind;
+  if (kind == "oltp") {
+    result = RunOltp(config, workload, fraction);
+  } else if (kind == "olap" || kind == "scan" || kind == "aggregate" ||
+             kind == "join") {
+    result = RunOlap(config, workload, fraction);
+  } else if (kind == "mixed") {
+    ExecutionResult olap = RunOlap(config, workload, fraction * 0.5);
+    ExecutionResult oltp = RunOltp(config, workload, fraction * 0.5);
+    // Interleaved execution: bottleneck resources add, the shorter side
+    // partially hides behind the longer one.
+    result.runtime_seconds =
+        std::max(olap.runtime_seconds, oltp.runtime_seconds) +
+        0.5 * std::min(olap.runtime_seconds, oltp.runtime_seconds);
+    result.failed = olap.failed || oltp.failed;
+    result.failure_reason =
+        olap.failed ? olap.failure_reason : oltp.failure_reason;
+    for (const auto& [k, v] : olap.metrics) result.metrics[k] = v;
+    for (const auto& [k, v] : oltp.metrics) result.metrics[k] += v;
+    // Ratio-style metrics must not be summed across the two halves.
+    result.metrics["buffer_hit_ratio"] =
+        0.5 * (olap.MetricOr("buffer_hit_ratio", 1.0) +
+               oltp.MetricOr("buffer_hit_ratio", 1.0));
+    result.metrics["swap_penalty"] = std::max(
+        olap.MetricOr("swap_penalty", 1.0), oltp.MetricOr("swap_penalty", 1.0));
+    result.metrics["abort_fraction"] = oltp.MetricOr("abort_fraction", 0.0);
+    result.metrics["plan_multiplier"] = olap.MetricOr("plan_multiplier", 1.0);
+  } else {
+    // Unknown kinds behave like a small OLAP batch rather than erroring, so
+    // ad-hoc workloads remain runnable.
+    result = RunOlap(config, workload, fraction);
+  }
+  // Seeded measurement noise (real systems never measure twice the same).
+  if (noise_sigma_ > 0.0 && !result.failed) {
+    double noise = std::exp(noise_rng_.Normal(0.0, noise_sigma_));
+    if (noise_rng_.Bernoulli(0.02)) noise *= 1.25;  // occasional hiccup
+    result.runtime_seconds *= noise;
+  }
+  return result;
+}
+
+ExecutionResult SimulatedDbms::RunOlap(const Configuration& config,
+                                       const Workload& workload,
+                                       double fraction) const {
+  ExecutionResult r;
+  const double scale = workload.scale * fraction;
+  const double data_mb = workload.PropertyOr("data_mb", 4096.0) *
+                         workload.scale;  // dataset doesn't shrink per unit
+  const double queries = std::max(1.0, workload.PropertyOr("queries", 20.0) *
+                                           scale / workload.scale);
+  const double clients = std::max(1.0, workload.PropertyOr("clients", 4.0));
+  const double selectivity =
+      std::clamp(workload.PropertyOr("selectivity", 0.4), 0.01, 1.0);
+  const double seq_fraction = workload.PropertyOr("seq_fraction", 0.8);
+  const double sort_frac = workload.PropertyOr("sort_frac", 0.25);
+  double join_complexity = workload.PropertyOr("join_complexity", 0.5);
+  const double skew = workload.PropertyOr("skew", 0.2);
+  if (workload.kind == "scan") join_complexity = 0.0;
+  if (workload.kind == "aggregate") join_complexity = 0.2;
+  if (workload.kind == "join") join_complexity = 1.0;
+
+  const int64_t buffer_pool = config.IntOr("buffer_pool_mb", 512);
+  const int64_t work_mem = config.IntOr("work_mem_mb", 4);
+  const int64_t workers = config.IntOr("max_workers", 2);
+  const int64_t io_conc = config.IntOr("io_concurrency", 4);
+  const int64_t prefetch = config.IntOr("prefetch_depth", 8);
+  const int64_t wal_buffer = config.IntOr("wal_buffer_mb", 16);
+  const int64_t stats_target = config.IntOr("stats_target", 100);
+  const std::string codec = config.StringOr("page_compression", "none");
+  const bool temp_compress = config.BoolOr("temp_compression", false);
+
+  const double ram = cluster_.TotalRamMb();
+  const double cores = cluster_.TotalCores();
+  const double cpu_speed = cluster_.MeanNode().cpu_speed;
+
+  // Memory reservations and the swap/OOM cliff. Concurrent queries each get
+  // `workers` workers, each worker its own work_mem.
+  const double reserved = static_cast<double>(buffer_pool) +
+                          clients * static_cast<double>(workers * work_mem) +
+                          static_cast<double>(wal_buffer) + 256.0;
+  if (OutOfMemory(reserved, ram)) {
+    r.failed = true;
+    r.failure_reason = StrFormat(
+        "out of memory: reserved %.0f MB of %.0f MB RAM", reserved, ram);
+    r.runtime_seconds = kFailedRunWallClockSec * fraction;
+    r.metrics["mem_reserved_mb"] = reserved;
+    return r;
+  }
+  const double swap = SwapPenalty(reserved, ram);
+
+  // Plan quality: poor optimizer statistics inflate work on complex queries.
+  const double plan_mult =
+      PlanQualityMultiplier(static_cast<double>(stats_target),
+                            join_complexity);
+
+  // Logical page traffic.
+  const double scan_mb = queries * selectivity * data_mb * plan_mult;
+  const double hot_set_mb = std::max(selectivity * data_mb, 64.0);
+  const double hit = BufferHitRatio(static_cast<double>(buffer_pool),
+                                    hot_set_mb, skew);
+  double read_mb = scan_mb * (1.0 - hit);
+
+  // Page compression shrinks disk traffic, costs CPU per logical MB.
+  const CompressionProfile comp = GetCompressionProfile(codec);
+  double disk_read_mb = read_mb * comp.ratio;
+  double comp_cpu_s = read_mb * comp.decompress_cpu_s_per_mb;
+
+  const double scan_bw =
+      EffectiveScanBandwidthMbps(cluster_, seq_fraction, io_conc, prefetch);
+  double io_time = disk_read_mb / scan_bw * swap;
+
+  // Sort/hash spill: each query has an operator needing sort_frac of its
+  // input; insufficient work_mem causes multi-pass external runs.
+  const double need_mb = sort_frac * selectivity * data_mb * plan_mult;
+  double spill_mb = SpillExtraIoMb(need_mb, static_cast<double>(work_mem));
+  double spill_cpu_s = 0.0;
+  if (temp_compress && spill_mb > 0.0) {
+    const CompressionProfile lz = GetCompressionProfile("lz4");
+    spill_cpu_s = queries * spill_mb *
+                  (lz.compress_cpu_s_per_mb + lz.decompress_cpu_s_per_mb) / 2.0;
+    spill_mb *= lz.ratio;
+  }
+  const double total_spill_mb = queries * spill_mb;
+  const double seq_bw = std::max(cluster_.TotalDiskMbps(), 1e-3);
+  const double spill_time = total_spill_mb / seq_bw * swap;
+
+  // CPU: scan + operator work, parallelized with Amdahl diminishing returns.
+  double cpu_core_s = scan_mb * kScanCpuSecPerMb / cpu_speed +
+                      queries * kQueryStartupSec + comp_cpu_s + spill_cpu_s;
+  const double par = std::min(static_cast<double>(workers) * clients, cores);
+  const double speedup = ParallelSpeedup(par, cores, kSerialFraction);
+  double cpu_time = cpu_core_s / speedup;
+
+  // Heterogeneous clusters: parallel scans finish with the slowest node.
+  const double straggler = std::pow(cluster_.SlowestNodeFactor(),
+                                    cluster_.num_nodes() > 1 ? 0.7 : 0.0);
+
+  double runtime = (std::max(io_time + spill_time, cpu_time) +
+                    0.3 * std::min(io_time + spill_time, cpu_time)) *
+                   straggler;
+  runtime = std::max(runtime, queries * 0.01);
+
+  r.runtime_seconds = runtime;
+  r.metrics["cpu_time_s"] = cpu_time;
+  r.metrics["io_time_s"] = io_time + spill_time;
+  r.metrics["io_read_mb"] = disk_read_mb;
+  r.metrics["io_write_mb"] = total_spill_mb / 2.0;
+  r.metrics["spill_mb"] = total_spill_mb;
+  r.metrics["buffer_hit_ratio"] = hit;
+  r.metrics["lock_wait_s"] = 0.0;
+  r.metrics["commit_wait_s"] = 0.0;
+  r.metrics["checkpoint_io_mb"] = 0.0;
+  r.metrics["wal_mb"] = 0.0;
+  r.metrics["mem_reserved_mb"] = reserved;
+  r.metrics["swap_penalty"] = swap;
+  r.metrics["abort_fraction"] = 0.0;
+  r.metrics["deadlocks"] = 0.0;
+  r.metrics["plan_multiplier"] = plan_mult;
+  return r;
+}
+
+ExecutionResult SimulatedDbms::RunOltp(const Configuration& config,
+                                       const Workload& workload,
+                                       double fraction) const {
+  ExecutionResult r;
+  const double txns =
+      workload.PropertyOr("txns", 200000.0) * workload.scale * fraction;
+  const double clients = std::max(1.0, workload.PropertyOr("clients", 32.0));
+  const double read_ratio =
+      std::clamp(workload.PropertyOr("read_ratio", 0.8), 0.0, 1.0);
+  const double skew = workload.PropertyOr("skew", 0.6);
+  const double working_set_mb =
+      workload.PropertyOr("working_set_mb", 2048.0) * workload.scale;
+
+  const int64_t buffer_pool = config.IntOr("buffer_pool_mb", 512);
+  const int64_t work_mem = config.IntOr("work_mem_mb", 4);
+  const int64_t io_conc = config.IntOr("io_concurrency", 4);
+  const int64_t prefetch = config.IntOr("prefetch_depth", 8);
+  const int64_t checkpoint_s = config.IntOr("checkpoint_interval_s", 300);
+  const int64_t wal_buffer = config.IntOr("wal_buffer_mb", 16);
+  const int64_t timeout_ms = config.IntOr("deadlock_timeout_ms", 1000);
+  const std::string log_flush = config.StringOr("log_flush", "immediate");
+  const std::string codec = config.StringOr("page_compression", "none");
+
+  const double ram = cluster_.TotalRamMb();
+  const double cores = cluster_.TotalCores();
+  const double cpu_speed = cluster_.MeanNode().cpu_speed;
+
+  const double reserved = static_cast<double>(buffer_pool) +
+                          clients * static_cast<double>(work_mem) +
+                          static_cast<double>(wal_buffer) + 256.0;
+  if (OutOfMemory(reserved, ram)) {
+    r.failed = true;
+    r.failure_reason = StrFormat(
+        "out of memory: reserved %.0f MB of %.0f MB RAM", reserved, ram);
+    r.runtime_seconds = kFailedRunWallClockSec * fraction;
+    r.metrics["mem_reserved_mb"] = reserved;
+    return r;
+  }
+  const double swap = SwapPenalty(reserved, ram);
+
+  // Locks and aborts.
+  const LockOutcome locks =
+      ComputeLockOutcome(clients, skew, static_cast<double>(timeout_ms), txns);
+  // A sustained double-digit abort rate is a production incident: retries
+  // cascade into more conflicts and throughput collapses.
+  if (locks.abort_fraction > 0.15) {
+    r.failed = true;
+    r.failure_reason = StrFormat(
+        "abort storm: %.0f%% of transactions aborted by deadlock timeout",
+        locks.abort_fraction * 100.0);
+    r.runtime_seconds = kFailedRunWallClockSec * fraction;
+    r.metrics["abort_fraction"] = locks.abort_fraction;
+    return r;
+  }
+  // Retried transactions redo their reads/writes/logging in full.
+  const double retry_mult =
+      std::min(4.0, 1.0 + locks.extra_work_fraction);
+
+  // Random page reads.
+  const double reads_per_txn = 1.0 + 4.0 * read_ratio;
+  const double writes_per_txn = 0.5 + 2.0 * (1.0 - read_ratio);
+  const double hit = BufferHitRatio(static_cast<double>(buffer_pool),
+                                    working_set_mb, skew);
+  const CompressionProfile comp = GetCompressionProfile(codec);
+  const double miss_mb =
+      txns * reads_per_txn * kPageMb * (1.0 - hit) * retry_mult;
+  const double rand_bw =
+      EffectiveScanBandwidthMbps(cluster_, 0.05, io_conc, prefetch);
+  double io_time = miss_mb * comp.ratio / rand_bw * swap;
+  double comp_cpu_s = miss_mb * comp.decompress_cpu_s_per_mb +
+                      txns * writes_per_txn * kPageMb *
+                          comp.compress_cpu_s_per_mb;
+
+  // WAL and commit path.
+  const double wal_mb = txns * kWalMbPerTxn * retry_mult;
+  const double seq_bw = std::max(cluster_.TotalDiskMbps(), 1e-3);
+  double wal_write_time = wal_mb / seq_bw;
+  double commit_wait_s = 0.0;
+  if (log_flush == "immediate") {
+    // One fsync per commit, overlapped across clients.
+    commit_wait_s = txns * (kFsyncMs / 1000.0) / clients;
+    // An undersized WAL buffer serializes commits behind buffer flushes.
+    if (static_cast<double>(wal_buffer) < clients * 0.25) {
+      commit_wait_s *= 1.0 + (clients * 0.25 -
+                              static_cast<double>(wal_buffer)) /
+                                 std::max(1.0, static_cast<double>(wal_buffer));
+    }
+  } else if (log_flush == "group") {
+    const double group = std::min(clients, 8.0);
+    commit_wait_s = txns * (kFsyncMs / 1000.0) / clients / group;
+  } else {  // async: flush when the buffer fills
+    commit_wait_s = (wal_mb / std::max<double>(1.0, static_cast<double>(
+                                                        wal_buffer))) *
+                    (kFsyncMs / 1000.0);
+  }
+
+  // Dirty-page writeback at checkpoints (U-shaped in the interval): frequent
+  // checkpoints rewrite hot pages over and over; rare checkpoints accumulate
+  // large bursts that stall foreground I/O.
+  const double dirty_mb =
+      std::min(static_cast<double>(buffer_pool),
+               working_set_mb * (1.0 - read_ratio)) *
+      0.4;
+  // First-pass runtime estimate (for checkpoint count) without checkpoints.
+  const double txn_cpu_core_s =
+      txns * (kTxnCpuMs / 1000.0) * retry_mult / cpu_speed + comp_cpu_s;
+  const double cpu_time =
+      txn_cpu_core_s / ParallelSpeedup(clients, cores, kSerialFraction);
+  double base_rt = std::max({cpu_time, io_time, wal_write_time}) +
+                   commit_wait_s + locks.total_wait_s / clients;
+  const double num_checkpoints =
+      std::max(1.0, base_rt / static_cast<double>(checkpoint_s));
+  // Each checkpoint flushes the dirty set; hot pages re-dirty in between.
+  const double checkpoint_io_mb = num_checkpoints * dirty_mb;
+  double checkpoint_time = checkpoint_io_mb / seq_bw * 0.6;  // partly hidden
+  // Burst stall when a huge dirty set lands at once.
+  checkpoint_time +=
+      num_checkpoints * std::max(0.0, dirty_mb - 1024.0) / seq_bw * 0.4;
+
+  double runtime = base_rt + checkpoint_time;
+  runtime = std::max(runtime, txns * 1e-5);
+
+  r.runtime_seconds = runtime;
+  r.metrics["cpu_time_s"] = cpu_time;
+  r.metrics["io_time_s"] = io_time;
+  r.metrics["io_read_mb"] = miss_mb * comp.ratio;
+  r.metrics["io_write_mb"] = checkpoint_io_mb + wal_mb;
+  r.metrics["spill_mb"] = 0.0;
+  r.metrics["buffer_hit_ratio"] = hit;
+  r.metrics["lock_wait_s"] = locks.total_wait_s;
+  r.metrics["commit_wait_s"] = commit_wait_s;
+  r.metrics["checkpoint_io_mb"] = checkpoint_io_mb;
+  r.metrics["wal_mb"] = wal_mb;
+  r.metrics["mem_reserved_mb"] = reserved;
+  r.metrics["swap_penalty"] = swap;
+  r.metrics["abort_fraction"] = locks.abort_fraction;
+  r.metrics["deadlocks"] = locks.deadlocks;
+  r.metrics["plan_multiplier"] = 1.0;
+  return r;
+}
+
+}  // namespace atune

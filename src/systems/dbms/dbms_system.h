@@ -1,0 +1,75 @@
+#ifndef ATUNE_SYSTEMS_DBMS_DBMS_SYSTEM_H_
+#define ATUNE_SYSTEMS_DBMS_DBMS_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/system.h"
+#include "systems/hardware.h"
+
+namespace atune {
+
+/// Simulated relational DBMS with 12 tunable knobs modeled after the
+/// PostgreSQL/DB2/Oracle parameters the surveyed tuning papers target
+/// (buffer pool, work memory, parallel workers, WAL/commit policy,
+/// checkpointing, deadlock timeout, compression, optimizer statistics).
+///
+/// The simulator is an analytical bottleneck model (CPU / disk / locks /
+/// commit path) with explicit parameter interactions and failure cliffs:
+///  * buffer_pool + clients*workers*work_mem oversubscription -> swap, OOM
+///  * work_mem below operator need -> external sort/hash spill passes
+///  * tiny deadlock_timeout + high contention -> abort storms (failed runs)
+///  * compression trades CPU for I/O; pays off only when I/O-bound
+///  * checkpoint interval has a U-shaped cost
+///
+/// Workload kinds: "oltp", "olap", "mixed", and single-operator analytical
+/// kinds "scan" | "aggregate" | "join" (used by the Hadoop-vs-DBMS bench).
+/// See MakeDbms*Workload() in dbms_workloads.h.
+///
+/// Runs are deterministic given (construction seed, run index): each Execute
+/// draws measurement noise from the instance's seeded stream.
+class SimulatedDbms : public IterativeSystem {
+ public:
+  /// `cluster`: hardware to run on (a single node models a centralized
+  /// DBMS; several nodes model a shared-nothing parallel DBMS).
+  SimulatedDbms(ClusterSpec cluster, uint64_t seed);
+
+  std::string name() const override { return "simulated-dbms"; }
+  const ParameterSpace& space() const override { return space_; }
+  Result<ExecutionResult> Execute(const Configuration& config,
+                                  const Workload& workload) override;
+  std::map<std::string, double> Descriptors() const override;
+  std::vector<std::string> MetricNames() const override;
+
+  size_t NumUnits(const Workload& workload) const override;
+  Result<ExecutionResult> ExecuteUnit(const Configuration& config,
+                                      const Workload& workload,
+                                      size_t unit_index) override;
+  double ReconfigurationCost() const override { return 0.05; }
+
+  /// Noise level (lognormal sigma) of measured runtimes; tests set 0.
+  void set_noise_sigma(double sigma) { noise_sigma_ = sigma; }
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  /// Deterministic model evaluation (no noise), shared by Execute and the
+  /// unit-level path. `fraction` scales the workload volume.
+  ExecutionResult Run(const Configuration& config, const Workload& workload,
+                      double fraction);
+
+  ExecutionResult RunOlap(const Configuration& config,
+                          const Workload& workload, double fraction) const;
+  ExecutionResult RunOltp(const Configuration& config,
+                          const Workload& workload, double fraction) const;
+
+  ClusterSpec cluster_;
+  ParameterSpace space_;
+  Rng noise_rng_;
+  double noise_sigma_ = 0.02;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_DBMS_DBMS_SYSTEM_H_

@@ -1,0 +1,58 @@
+#include "systems/dbms/dbms_workloads.h"
+
+namespace atune {
+
+Workload MakeDbmsOltpWorkload(double scale, double clients, double skew) {
+  Workload w;
+  w.name = "tpcc-like";
+  w.kind = "oltp";
+  w.scale = scale;
+  w.properties = {
+      {"txns", 200000.0}, {"clients", clients},        {"read_ratio", 0.8},
+      {"skew", skew},     {"working_set_mb", 2048.0},  {"segments", 8.0},
+  };
+  return w;
+}
+
+Workload MakeDbmsOlapWorkload(double scale, double clients) {
+  Workload w;
+  w.name = "tpch-like";
+  w.kind = "olap";
+  w.scale = scale;
+  w.properties = {
+      {"data_mb", 8192.0},    {"queries", 20.0},      {"clients", clients},
+      {"selectivity", 0.4},   {"seq_fraction", 0.8},  {"sort_frac", 0.25},
+      {"join_complexity", 0.6}, {"skew", 0.2},        {"segments", 8.0},
+  };
+  return w;
+}
+
+Workload MakeDbmsMixedWorkload(double scale) {
+  Workload w;
+  w.name = "htap-mix";
+  w.kind = "mixed";
+  w.scale = scale;
+  w.properties = {
+      {"txns", 100000.0},     {"clients", 16.0},      {"read_ratio", 0.8},
+      {"skew", 0.5},          {"working_set_mb", 2048.0},
+      {"data_mb", 4096.0},    {"queries", 10.0},      {"selectivity", 0.4},
+      {"seq_fraction", 0.7},  {"sort_frac", 0.25},    {"join_complexity", 0.6},
+      {"segments", 8.0},
+  };
+  return w;
+}
+
+Workload MakeDbmsAnalyticalTask(const std::string& op, double data_mb) {
+  Workload w;
+  w.name = "analytical-" + op;
+  w.kind = op;  // "scan" | "aggregate" | "join"
+  w.scale = 1.0;
+  w.properties = {
+      {"data_mb", data_mb},  {"queries", 1.0},       {"clients", 1.0},
+      {"selectivity", 1.0},  {"seq_fraction", 0.95}, {"sort_frac", 0.3},
+      {"skew", 0.0},         {"segments", 4.0},
+  };
+  return w;
+}
+
+}  // namespace atune

@@ -1,0 +1,31 @@
+#ifndef ATUNE_SYSTEMS_DBMS_DBMS_WORKLOADS_H_
+#define ATUNE_SYSTEMS_DBMS_DBMS_WORKLOADS_H_
+
+#include "core/system.h"
+
+namespace atune {
+
+/// Prebuilt DBMS workloads mirroring the benchmark families the surveyed
+/// papers tune against. `scale` multiplies data volume / transaction count.
+
+/// TPC-C-like transactional mix: short read-write transactions, hot-row
+/// skew, many concurrent clients. Stresses buffer pool, commit path,
+/// checkpointing and deadlock timeout.
+Workload MakeDbmsOltpWorkload(double scale = 1.0, double clients = 32.0,
+                              double skew = 0.6);
+
+/// TPC-H-like analytical batch: large scans, sorts and joins from a few
+/// concurrent sessions. Stresses work_mem, parallelism, I/O and statistics.
+Workload MakeDbmsOlapWorkload(double scale = 1.0, double clients = 4.0);
+
+/// Mixed HTAP workload (both of the above interleaved).
+Workload MakeDbmsMixedWorkload(double scale = 1.0);
+
+/// Single-operator analytical tasks used by the Hadoop-vs-DBMS comparison
+/// (Pavlo et al. [18] style): full scan, grouped aggregation, two-table join
+/// over `data_mb` of input.
+Workload MakeDbmsAnalyticalTask(const std::string& op, double data_mb);
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_DBMS_DBMS_WORKLOADS_H_

@@ -1,0 +1,91 @@
+#include "systems/hardware.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atune {
+
+ClusterSpec ClusterSpec::MakeUniform(size_t n, const NodeSpec& node) {
+  return ClusterSpec(std::vector<NodeSpec>(n, node));
+}
+
+ClusterSpec ClusterSpec::MakeHeterogeneous(size_t n, const NodeSpec& base,
+                                           double spread, Rng* rng) {
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(n);
+  auto jitter = [&](double v) {
+    double lo = std::log(1.0 - spread);
+    double hi = std::log(1.0 + spread);
+    return v * std::exp(rng->Uniform(lo, hi));
+  };
+  for (size_t i = 0; i < n; ++i) {
+    NodeSpec node = base;
+    node.cpu_speed = jitter(base.cpu_speed);
+    node.disk_mbps = jitter(base.disk_mbps);
+    node.disk_iops = jitter(base.disk_iops);
+    node.network_mbps = jitter(base.network_mbps);
+    nodes.push_back(node);
+  }
+  return ClusterSpec(std::move(nodes));
+}
+
+double ClusterSpec::TotalCores() const {
+  double acc = 0.0;
+  for (const NodeSpec& n : nodes_) acc += n.cores;
+  return acc;
+}
+
+double ClusterSpec::TotalRamMb() const {
+  double acc = 0.0;
+  for (const NodeSpec& n : nodes_) acc += n.ram_mb;
+  return acc;
+}
+
+double ClusterSpec::TotalDiskMbps() const {
+  double acc = 0.0;
+  for (const NodeSpec& n : nodes_) acc += n.disk_mbps;
+  return acc;
+}
+
+double ClusterSpec::TotalNetworkMbps() const {
+  double acc = 0.0;
+  for (const NodeSpec& n : nodes_) acc += n.network_mbps;
+  return acc;
+}
+
+double ClusterSpec::SlowestNodeFactor() const {
+  if (nodes_.empty()) return 1.0;
+  double mean = 0.0;
+  double slowest = nodes_[0].cpu_speed;
+  for (const NodeSpec& n : nodes_) {
+    mean += n.cpu_speed;
+    slowest = std::min(slowest, n.cpu_speed);
+  }
+  mean /= static_cast<double>(nodes_.size());
+  if (slowest <= 0.0) return 1.0;
+  return mean / slowest;
+}
+
+NodeSpec ClusterSpec::MeanNode() const {
+  NodeSpec mean;
+  if (nodes_.empty()) return mean;
+  mean = NodeSpec{0, 0, 0, 0, 0, 0};
+  for (const NodeSpec& n : nodes_) {
+    mean.cores += n.cores;
+    mean.ram_mb += n.ram_mb;
+    mean.disk_mbps += n.disk_mbps;
+    mean.disk_iops += n.disk_iops;
+    mean.network_mbps += n.network_mbps;
+    mean.cpu_speed += n.cpu_speed;
+  }
+  double k = static_cast<double>(nodes_.size());
+  mean.cores /= k;
+  mean.ram_mb /= k;
+  mean.disk_mbps /= k;
+  mean.disk_iops /= k;
+  mean.network_mbps /= k;
+  mean.cpu_speed /= k;
+  return mean;
+}
+
+}  // namespace atune

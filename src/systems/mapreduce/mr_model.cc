@@ -1,0 +1,63 @@
+#include "systems/mapreduce/mr_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atune {
+
+SpillProfile ComputeMapSpill(double output_mb, double io_sort_mb,
+                             double spill_percent, int64_t io_sort_factor) {
+  SpillProfile p;
+  if (output_mb <= 0.0) return p;
+  double usable = std::max(1.0, io_sort_mb * spill_percent);
+  p.spill_count = std::max(1.0, std::ceil(output_mb / usable));
+  // Every byte is written once in spill files...
+  p.disk_write_mb = output_mb;
+  // ...and if there are more spill files than the merge fan-in, multi-pass
+  // merging rereads and rewrites the data.
+  double fanin = std::max<double>(2.0, static_cast<double>(io_sort_factor));
+  if (p.spill_count > 1.0) {
+    p.merge_passes = std::max(
+        1.0, std::ceil(std::log(p.spill_count) / std::log(fanin)));
+    // The final merge pass produces the map output file; extra passes do a
+    // full read+write each.
+    double extra = p.merge_passes;  // includes the mandatory final merge
+    p.disk_read_mb = output_mb * extra;
+    p.disk_write_mb += output_mb * extra;
+  }
+  return p;
+}
+
+SpillProfile ComputeReduceMerge(double input_mb, double memory_mb,
+                                int64_t io_sort_factor) {
+  SpillProfile p;
+  if (input_mb <= 0.0) return p;
+  double in_memory = std::max(1.0, memory_mb * 0.7);
+  if (input_mb <= in_memory) return p;  // pure in-memory merge
+  double segments = std::ceil(input_mb / in_memory);
+  p.spill_count = segments;
+  double fanin = std::max<double>(2.0, static_cast<double>(io_sort_factor));
+  p.merge_passes = std::max(
+      1.0, std::ceil(std::log(segments) / std::log(fanin)));
+  p.disk_write_mb = input_mb * p.merge_passes;
+  p.disk_read_mb = input_mb * p.merge_passes;
+  return p;
+}
+
+double Waves(double tasks, double slots) {
+  if (slots <= 0.0) return tasks;
+  return std::ceil(tasks / slots);
+}
+
+double ShuffleThroughputMbps(double aggregate_net_mbps, double reducers,
+                             int64_t parallel_copies) {
+  // Each fetch thread sustains ~10 MB/s against remote map outputs
+  // (latency + seek bound); parallel copies scale that until the network
+  // saturates.
+  double per_reducer =
+      10.0 * std::max<double>(1.0, static_cast<double>(parallel_copies));
+  double demand = per_reducer * std::max(1.0, reducers);
+  return std::max(1e-3, std::min(demand, aggregate_net_mbps));
+}
+
+}  // namespace atune

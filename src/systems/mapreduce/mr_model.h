@@ -1,0 +1,43 @@
+#ifndef ATUNE_SYSTEMS_MAPREDUCE_MR_MODEL_H_
+#define ATUNE_SYSTEMS_MAPREDUCE_MR_MODEL_H_
+
+#include <cstdint>
+
+namespace atune {
+
+/// Analytical sub-models of Hadoop MapReduce task behavior (Starfish-style
+/// phase decomposition [Herodotou & Babu, 2011]). SimulatedMapReduce
+/// composes these into a job model.
+
+/// Map-side spill/merge traffic.
+struct SpillProfile {
+  double spill_count = 0.0;     ///< number of spill files produced
+  double merge_passes = 0.0;    ///< extra multi-pass merges beyond 1
+  double disk_write_mb = 0.0;   ///< total map-side bytes written
+  double disk_read_mb = 0.0;    ///< total map-side bytes re-read for merges
+};
+
+/// Computes spill behavior for one map task producing `output_mb` of
+/// key-value data with a sort buffer of `io_sort_mb` MB filled to
+/// `spill_percent` before each spill, merged with fan-in `io_sort_factor`.
+SpillProfile ComputeMapSpill(double output_mb, double io_sort_mb,
+                             double spill_percent, int64_t io_sort_factor);
+
+/// Reduce-side merge traffic for one reducer fetching `input_mb` with
+/// `memory_mb` of merge memory and fan-in `io_sort_factor`.
+SpillProfile ComputeReduceMerge(double input_mb, double memory_mb,
+                                int64_t io_sort_factor);
+
+/// Number of task waves for `tasks` tasks over `slots` concurrent slots.
+double Waves(double tasks, double slots);
+
+/// Effective shuffle throughput (MB/s) for `reducers` fetching in parallel
+/// with `parallel_copies` fetch threads each, over a cluster with
+/// `aggregate_net_mbps` total bandwidth. Few copies leave fetch latency
+/// exposed; throughput saturates at the network limit.
+double ShuffleThroughputMbps(double aggregate_net_mbps, double reducers,
+                             int64_t parallel_copies);
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_MAPREDUCE_MR_MODEL_H_

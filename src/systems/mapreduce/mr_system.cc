@@ -1,0 +1,288 @@
+#include "systems/mapreduce/mr_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "systems/dbms/dbms_model.h"  // CompressionProfile
+#include "systems/mapreduce/mr_model.h"
+
+namespace atune {
+
+namespace {
+constexpr double kTaskStartupSec = 2.0;   // JVM launch + localization
+constexpr double kReusedStartupSec = 0.3;
+constexpr double kSchedulingOverheadSec = 0.2;  // per task, jobtracker side
+constexpr double kReplication = 2.0;            // effective extra output writes
+}  // namespace
+
+SimulatedMapReduce::SimulatedMapReduce(ClusterSpec cluster, uint64_t seed)
+    : cluster_(std::move(cluster)), noise_rng_(seed) {
+  auto add = [this](ParameterDef def) {
+    Status s = space_.Add(std::move(def));
+    (void)s;
+  };
+  add(ParameterDef::Int("dfs_block_mb", 32, 512, 64,
+                        "input split / DFS block size", true, "MB"));
+  add(ParameterDef::Int("map_slots_per_node", 1, 16, 2,
+                        "concurrent map tasks per node"));
+  add(ParameterDef::Int("reduce_slots_per_node", 1, 16, 2,
+                        "concurrent reduce tasks per node"));
+  add(ParameterDef::Int("num_reducers", 1, 512, 1,
+                        "reduce task count (mapred.reduce.tasks)", true));
+  add(ParameterDef::Int("io_sort_mb", 32, 2048, 100,
+                        "map-side sort buffer", true, "MB"));
+  add(ParameterDef::Double("io_sort_spill_percent", 0.5, 0.95, 0.8,
+                           "buffer fill threshold that triggers a spill"));
+  add(ParameterDef::Int("io_sort_factor", 10, 200, 10,
+                        "merge fan-in for spills/segments", true));
+  add(ParameterDef::Bool("compress_map_output", false,
+                         "compress intermediate map output"));
+  add(ParameterDef::Categorical("compress_codec", {"lz4", "zlib"}, 1,
+                                "codec for intermediate compression"));
+  add(ParameterDef::Bool("combiner", false,
+                         "run the combiner during spills"));
+  add(ParameterDef::Double("slowstart", 0.05, 1.0, 0.05,
+                           "map completion fraction before reducers start"));
+  add(ParameterDef::Bool("jvm_reuse", false,
+                         "reuse task JVMs across tasks"));
+  add(ParameterDef::Int("shuffle_parallel_copies", 5, 100, 5,
+                        "parallel fetch threads per reducer", true));
+  add(ParameterDef::Int("task_memory_mb", 256, 4096, 512,
+                        "heap per task slot", true, "MB"));
+}
+
+std::map<std::string, double> SimulatedMapReduce::Descriptors() const {
+  NodeSpec mean = cluster_.MeanNode();
+  return {
+      {"num_nodes", static_cast<double>(cluster_.num_nodes())},
+      {"total_ram_mb", cluster_.TotalRamMb()},
+      {"node_ram_mb", mean.ram_mb},
+      {"total_cores", cluster_.TotalCores()},
+      {"cores_per_node", mean.cores},
+      {"disk_mbps", mean.disk_mbps},
+      {"network_mbps", mean.network_mbps},
+  };
+}
+
+std::vector<std::string> SimulatedMapReduce::MetricNames() const {
+  return {"map_time_s",    "shuffle_time_s", "reduce_time_s",
+          "startup_s",     "map_tasks",      "map_waves",
+          "reduce_waves",  "spill_count",    "spill_io_mb",
+          "shuffle_mb",    "output_mb",      "straggler_factor",
+          "cpu_time_s",    "mem_per_node_mb", "map_func_cpu_s",
+          "reduce_func_cpu_s", "reducer_skew_measured"};
+}
+
+size_t SimulatedMapReduce::NumUnits(const Workload& workload) const {
+  return static_cast<size_t>(std::max(1.0, workload.PropertyOr("num_jobs", 1.0)));
+}
+
+Result<ExecutionResult> SimulatedMapReduce::ExecuteUnit(
+    const Configuration& config, const Workload& workload, size_t unit_index) {
+  (void)unit_index;
+  ATUNE_RETURN_IF_ERROR(space_.ValidateConfiguration(config));
+  ExecutionResult r = RunJob(config, workload);
+  if (noise_sigma_ > 0.0 && !r.failed) {
+    r.runtime_seconds *= std::exp(noise_rng_.Normal(0.0, noise_sigma_));
+  }
+  return r;
+}
+
+Result<ExecutionResult> SimulatedMapReduce::Execute(const Configuration& config,
+                                                    const Workload& workload) {
+  ATUNE_RETURN_IF_ERROR(space_.ValidateConfiguration(config));
+  size_t jobs = NumUnits(workload);
+  ExecutionResult total;
+  for (size_t j = 0; j < jobs; ++j) {
+    ExecutionResult r = RunJob(config, workload);
+    total.runtime_seconds += r.runtime_seconds;
+    for (const auto& [k, v] : r.metrics) total.metrics[k] += v;
+    if (r.failed) {
+      total.failed = true;
+      total.failure_reason = r.failure_reason;
+      break;
+    }
+  }
+  if (noise_sigma_ > 0.0 && !total.failed) {
+    double noise = std::exp(noise_rng_.Normal(0.0, noise_sigma_));
+    if (noise_rng_.Bernoulli(0.03)) noise *= 1.3;  // straggler hiccup
+    total.runtime_seconds *= noise;
+  }
+  return total;
+}
+
+ExecutionResult SimulatedMapReduce::RunJob(const Configuration& config,
+                                           const Workload& workload) const {
+  ExecutionResult r;
+  const double input_mb =
+      workload.PropertyOr("input_mb", 10240.0) * workload.scale;
+  const double map_selectivity = workload.PropertyOr("map_selectivity", 1.0);
+  const double map_cpu = workload.PropertyOr("map_cpu_s_per_mb", 0.004);
+  const double reduce_cpu = workload.PropertyOr("reduce_cpu_s_per_mb", 0.003);
+  const double combiner_reduction =
+      workload.PropertyOr("combiner_reduction", 1.0);
+  const double reducer_skew = workload.PropertyOr("reducer_skew", 1.2);
+  const double reduce_selectivity =
+      workload.PropertyOr("reduce_selectivity", 1.0);
+
+  const int64_t block_mb = config.IntOr("dfs_block_mb", 64);
+  const int64_t map_slots = config.IntOr("map_slots_per_node", 2);
+  const int64_t reduce_slots = config.IntOr("reduce_slots_per_node", 2);
+  const int64_t reducers = config.IntOr("num_reducers", 1);
+  const int64_t io_sort_mb = config.IntOr("io_sort_mb", 100);
+  const double spill_pct = config.DoubleOr("io_sort_spill_percent", 0.8);
+  const int64_t io_sort_factor = config.IntOr("io_sort_factor", 10);
+  const bool compress = config.BoolOr("compress_map_output", false);
+  const std::string codec_name = config.StringOr("compress_codec", "zlib");
+  const bool combiner = config.BoolOr("combiner", false);
+  const double slowstart = config.DoubleOr("slowstart", 0.05);
+  const bool jvm_reuse = config.BoolOr("jvm_reuse", false);
+  const int64_t copies = config.IntOr("shuffle_parallel_copies", 5);
+  const int64_t task_mem = config.IntOr("task_memory_mb", 512);
+
+  const size_t nodes = std::max<size_t>(cluster_.num_nodes(), 1);
+  const NodeSpec mean = cluster_.MeanNode();
+  const double cpu_speed = mean.cpu_speed;
+
+  // --- hard failure cliffs --------------------------------------------
+  const double mem_per_node =
+      static_cast<double>((map_slots + reduce_slots) * task_mem);
+  r.metrics["mem_per_node_mb"] = mem_per_node;
+  if (mem_per_node > mean.ram_mb * 1.1) {
+    r.failed = true;
+    r.failure_reason = StrFormat(
+        "task slots oversubscribe node memory: %.0f MB heap on %.0f MB nodes",
+        mem_per_node, mean.ram_mb);
+    r.runtime_seconds = kFailedRunWallClockSec /
+        std::max(1.0, workload.PropertyOr("num_jobs", 1.0));
+    return r;
+  }
+  if (static_cast<double>(io_sort_mb) > static_cast<double>(task_mem) * 0.8) {
+    r.failed = true;
+    r.failure_reason = StrFormat(
+        "io.sort.mb (%lld MB) exceeds task heap budget (%lld MB)",
+        static_cast<long long>(io_sort_mb), static_cast<long long>(task_mem));
+    r.runtime_seconds = kFailedRunWallClockSec /
+        std::max(1.0, workload.PropertyOr("num_jobs", 1.0));
+    return r;
+  }
+
+  // --- map phase --------------------------------------------------------
+  const double maps =
+      std::max(1.0, std::ceil(input_mb / static_cast<double>(block_mb)));
+  const double map_slot_total =
+      static_cast<double>(map_slots) * static_cast<double>(nodes);
+  const double map_waves = Waves(maps, map_slot_total);
+
+  double map_out_mb_per_task = static_cast<double>(block_mb) * map_selectivity;
+  double combine_cpu_s = 0.0;
+  if (combiner && combiner_reduction < 1.0) {
+    combine_cpu_s = map_out_mb_per_task * 0.002 / cpu_speed;
+    map_out_mb_per_task *= combiner_reduction;
+  }
+  const CompressionProfile codec =
+      compress ? GetCompressionProfile(codec_name) : CompressionProfile{};
+  const double disk_out_per_task = map_out_mb_per_task * codec.ratio;
+  double compress_cpu_s =
+      compress ? map_out_mb_per_task * codec.compress_cpu_s_per_mb : 0.0;
+
+  const SpillProfile spill =
+      ComputeMapSpill(disk_out_per_task, static_cast<double>(io_sort_mb),
+                      spill_pct, io_sort_factor);
+
+  // Per-node disk bandwidth is shared by the slots running on that node.
+  const double disk_per_slot =
+      mean.disk_mbps / std::max(1.0, static_cast<double>(map_slots));
+  const double startup =
+      jvm_reuse ? kReusedStartupSec : kTaskStartupSec;
+  const double map_task_time =
+      startup + kSchedulingOverheadSec +
+      static_cast<double>(block_mb) / disk_per_slot +  // read split
+      static_cast<double>(block_mb) * map_cpu / cpu_speed +  // map function
+      combine_cpu_s + compress_cpu_s +
+      (spill.disk_write_mb + spill.disk_read_mb) / disk_per_slot;
+  // Heterogeneity tax: with a single wave the slowest node gates the
+  // phase; with many waves fast nodes simply absorb more tasks and the
+  // imbalance averages out.
+  const double straggler_raw =
+      std::pow(cluster_.SlowestNodeFactor(), nodes > 1 ? 0.8 : 0.0);
+  auto phase_straggler = [straggler_raw](double waves) {
+    return 1.0 + (straggler_raw - 1.0) / std::sqrt(std::max(waves, 1.0));
+  };
+  const double straggler = phase_straggler(map_waves);
+  // First wave always pays full JVM startup even with reuse.
+  const double first_wave_extra =
+      jvm_reuse ? (kTaskStartupSec - kReusedStartupSec) : 0.0;
+  const double map_phase_s =
+      (map_waves * map_task_time + first_wave_extra) * straggler;
+
+  // --- shuffle phase ------------------------------------------------------
+  const double shuffle_mb = disk_out_per_task * maps;
+  const double shuffle_bw = ShuffleThroughputMbps(
+      cluster_.TotalNetworkMbps(), static_cast<double>(reducers), copies);
+  double shuffle_s = shuffle_mb / shuffle_bw;
+  const double decompress_cpu_total =
+      compress ? map_out_mb_per_task * maps * codec.decompress_cpu_s_per_mb
+               : 0.0;
+  // Early-started reducers overlap fetch with remaining map waves.
+  const double overlap = (1.0 - std::clamp(slowstart, 0.0, 1.0)) *
+                         map_phase_s * (1.0 - 1.0 / std::max(1.0, map_waves));
+  shuffle_s = std::max(shuffle_s - overlap, shuffle_mb / shuffle_bw * 0.15);
+
+  // --- reduce phase ---------------------------------------------------
+  const double reduce_slot_total =
+      static_cast<double>(reduce_slots) * static_cast<double>(nodes);
+  const double reduce_waves =
+      Waves(static_cast<double>(reducers), reduce_slot_total);
+  // Skew: the largest reducer gets `reducer_skew` times the mean share.
+  const double mean_reduce_mb =
+      map_out_mb_per_task * maps / static_cast<double>(reducers);
+  const double max_reduce_mb = mean_reduce_mb * reducer_skew;
+  const SpillProfile rmerge = ComputeReduceMerge(
+      max_reduce_mb, static_cast<double>(task_mem) * 0.6, io_sort_factor);
+  const double disk_per_rslot =
+      mean.disk_mbps / std::max(1.0, static_cast<double>(reduce_slots));
+  const double output_mb = mean_reduce_mb * reduce_selectivity;
+  const double reduce_task_time =
+      startup + kSchedulingOverheadSec +
+      (rmerge.disk_write_mb + rmerge.disk_read_mb) / disk_per_rslot +
+      max_reduce_mb * reduce_cpu / cpu_speed +
+      output_mb * reducer_skew * kReplication / disk_per_rslot;
+  const double reduce_phase_s = reduce_waves * reduce_task_time *
+                                    phase_straggler(reduce_waves) +
+                                decompress_cpu_total /
+                                    std::max(1.0, reduce_slot_total) / cpu_speed;
+
+  double runtime = map_phase_s + shuffle_s + reduce_phase_s + 3.0;  // job setup
+
+  r.runtime_seconds = runtime;
+  r.metrics["map_time_s"] = map_phase_s;
+  r.metrics["shuffle_time_s"] = shuffle_s;
+  r.metrics["reduce_time_s"] = reduce_phase_s;
+  r.metrics["startup_s"] = startup * (maps + static_cast<double>(reducers));
+  r.metrics["map_tasks"] = maps;
+  r.metrics["map_waves"] = map_waves;
+  r.metrics["reduce_waves"] = reduce_waves;
+  r.metrics["spill_count"] = spill.spill_count * maps;
+  r.metrics["spill_io_mb"] =
+      (spill.disk_write_mb + spill.disk_read_mb) * maps +
+      (rmerge.disk_write_mb + rmerge.disk_read_mb) *
+          static_cast<double>(reducers);
+  r.metrics["shuffle_mb"] = shuffle_mb;
+  r.metrics["output_mb"] = output_mb * static_cast<double>(reducers);
+  r.metrics["straggler_factor"] = straggler;
+  r.metrics["cpu_time_s"] =
+      input_mb * map_cpu / cpu_speed +
+      map_out_mb_per_task * maps * reduce_cpu / cpu_speed +
+      (combine_cpu_s + compress_cpu_s) * maps + decompress_cpu_total;
+  // Per-phase user-function CPU, as Hadoop task counters report it
+  // (profilers like Starfish build job profiles from these).
+  r.metrics["map_func_cpu_s"] = input_mb * map_cpu / cpu_speed;
+  r.metrics["reduce_func_cpu_s"] =
+      map_out_mb_per_task * maps * reduce_cpu / cpu_speed;
+  r.metrics["reducer_skew_measured"] = reducer_skew;
+  return r;
+}
+
+}  // namespace atune

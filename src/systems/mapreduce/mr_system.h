@@ -1,0 +1,64 @@
+#ifndef ATUNE_SYSTEMS_MAPREDUCE_MR_SYSTEM_H_
+#define ATUNE_SYSTEMS_MAPREDUCE_MR_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/system.h"
+#include "systems/hardware.h"
+
+namespace atune {
+
+/// Simulated Hadoop MapReduce cluster with 14 tunable job/cluster knobs
+/// (the heavily-tuned subset of mapred-site.xml identified by Starfish [13],
+/// MRTuner [21], and the Hadoop studies [2, 14]): split size, slot counts,
+/// reducer count, sort buffer, spill threshold, merge fan-in, map-output
+/// compression, combiner, slowstart, JVM reuse, shuffle copies, task heap.
+///
+/// Jobs decompose Starfish-style into map (read/map/collect/spill/merge),
+/// shuffle, and reduce (merge/reduce/write) phases, with:
+///  * wave effects from slot counts vs task counts
+///  * the 1-reducer default catastrophe and reducer skew stragglers
+///  * sort-buffer spills with multi-pass merges (io.sort.mb/factor/percent)
+///  * compression CPU/network tradeoff, combiner benefit where applicable
+///  * slot memory oversubscription -> task OOM failures
+///  * heterogeneity stragglers via the cluster spec
+///
+/// Workload kinds: "wordcount", "terasort", "grep", "join", "pagerank"
+/// (iterative; units = iterations). See MakeMr*Workload().
+class SimulatedMapReduce : public IterativeSystem {
+ public:
+  SimulatedMapReduce(ClusterSpec cluster, uint64_t seed);
+
+  std::string name() const override { return "simulated-mapreduce"; }
+  const ParameterSpace& space() const override { return space_; }
+  Result<ExecutionResult> Execute(const Configuration& config,
+                                  const Workload& workload) override;
+  std::map<std::string, double> Descriptors() const override;
+  std::vector<std::string> MetricNames() const override;
+
+  size_t NumUnits(const Workload& workload) const override;
+  Result<ExecutionResult> ExecuteUnit(const Configuration& config,
+                                      const Workload& workload,
+                                      size_t unit_index) override;
+  double ReconfigurationCost() const override { return 0.02; }
+
+  void set_noise_sigma(double sigma) { noise_sigma_ = sigma; }
+  const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  /// Simulates one job over `input_mb` of data; shared by Execute (whole
+  /// workload = num_jobs chained jobs) and ExecuteUnit (one job).
+  ExecutionResult RunJob(const Configuration& config,
+                         const Workload& workload) const;
+
+  ClusterSpec cluster_;
+  ParameterSpace space_;
+  Rng noise_rng_;
+  double noise_sigma_ = 0.03;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_MAPREDUCE_MR_SYSTEM_H_

@@ -1,0 +1,105 @@
+#include "systems/mapreduce/mr_workloads.h"
+
+namespace atune {
+
+Workload MakeMrWordCountWorkload(double input_gb) {
+  Workload w;
+  w.name = "wordcount";
+  w.kind = "wordcount";
+  w.scale = 1.0;
+  w.properties = {
+      {"input_mb", input_gb * 1024.0}, {"map_selectivity", 1.4},
+      {"map_cpu_s_per_mb", 0.006},     {"reduce_cpu_s_per_mb", 0.002},
+      {"combiner_reduction", 0.25},    {"reducer_skew", 1.15},
+      {"reduce_selectivity", 0.05},    {"num_jobs", 1.0},
+  };
+  return w;
+}
+
+Workload MakeMrTeraSortWorkload(double input_gb) {
+  Workload w;
+  w.name = "terasort";
+  w.kind = "terasort";
+  w.scale = 1.0;
+  w.properties = {
+      {"input_mb", input_gb * 1024.0}, {"map_selectivity", 1.0},
+      {"map_cpu_s_per_mb", 0.002},     {"reduce_cpu_s_per_mb", 0.002},
+      {"combiner_reduction", 1.0},     {"reducer_skew", 1.3},
+      {"reduce_selectivity", 1.0},     {"num_jobs", 1.0},
+  };
+  return w;
+}
+
+Workload MakeMrGrepWorkload(double input_gb) {
+  Workload w;
+  w.name = "grep";
+  w.kind = "grep";
+  w.scale = 1.0;
+  w.properties = {
+      {"input_mb", input_gb * 1024.0}, {"map_selectivity", 0.01},
+      {"map_cpu_s_per_mb", 0.003},     {"reduce_cpu_s_per_mb", 0.001},
+      {"combiner_reduction", 1.0},     {"reducer_skew", 1.05},
+      {"reduce_selectivity", 1.0},     {"num_jobs", 1.0},
+  };
+  return w;
+}
+
+Workload MakeMrJoinWorkload(double input_gb) {
+  Workload w;
+  w.name = "repartition-join";
+  w.kind = "join";
+  w.scale = 1.0;
+  w.properties = {
+      {"input_mb", input_gb * 1024.0}, {"map_selectivity", 1.2},
+      {"map_cpu_s_per_mb", 0.005},     {"reduce_cpu_s_per_mb", 0.006},
+      {"combiner_reduction", 1.0},     {"reducer_skew", 2.5},
+      {"reduce_selectivity", 0.6},     {"num_jobs", 1.0},
+  };
+  return w;
+}
+
+Workload MakeMrPageRankWorkload(double input_gb, double iterations) {
+  Workload w;
+  w.name = "pagerank";
+  w.kind = "pagerank";
+  w.scale = 1.0;
+  w.properties = {
+      {"input_mb", input_gb * 1024.0}, {"map_selectivity", 1.1},
+      {"map_cpu_s_per_mb", 0.005},     {"reduce_cpu_s_per_mb", 0.004},
+      {"combiner_reduction", 0.6},     {"reducer_skew", 1.8},
+      {"reduce_selectivity", 1.0},     {"num_jobs", iterations},
+  };
+  return w;
+}
+
+Workload MakeMrAnalyticalTask(const std::string& op, double data_mb) {
+  Workload w;
+  w.name = "analytical-" + op;
+  w.kind = op;
+  w.scale = 1.0;
+  if (op == "scan") {
+    w.properties = {
+        {"input_mb", data_mb},        {"map_selectivity", 0.05},
+        {"map_cpu_s_per_mb", 0.003},  {"reduce_cpu_s_per_mb", 0.001},
+        {"combiner_reduction", 1.0},  {"reducer_skew", 1.05},
+        {"reduce_selectivity", 1.0},  {"num_jobs", 1.0},
+    };
+  } else if (op == "aggregate") {
+    w.properties = {
+        {"input_mb", data_mb},        {"map_selectivity", 0.8},
+        {"map_cpu_s_per_mb", 0.004},  {"reduce_cpu_s_per_mb", 0.003},
+        {"combiner_reduction", 0.3},  {"reducer_skew", 1.2},
+        {"reduce_selectivity", 0.1},  {"num_jobs", 1.0},
+    };
+  } else {  // join
+    w.properties = {
+        {"input_mb", data_mb},        {"map_selectivity", 1.2},
+        {"map_cpu_s_per_mb", 0.005},  {"reduce_cpu_s_per_mb", 0.006},
+        {"combiner_reduction", 1.0},  {"reducer_skew", 2.0},
+        {"reduce_selectivity", 0.6},  {"num_jobs", 1.0},
+    };
+  }
+  return w;
+}
+
+}  // namespace atune

@@ -1,0 +1,36 @@
+#ifndef ATUNE_SYSTEMS_MAPREDUCE_MR_WORKLOADS_H_
+#define ATUNE_SYSTEMS_MAPREDUCE_MR_WORKLOADS_H_
+
+#include "core/system.h"
+
+namespace atune {
+
+/// Canonical MapReduce benchmark jobs (the workloads the Hadoop tuning
+/// literature evaluates on). `input_gb` sizes the input dataset.
+
+/// WordCount: map selectivity ~1.4 (words + counts), combiner collapses
+/// duplicates to ~25%, CPU-light reduce. The classic combiner showcase.
+Workload MakeMrWordCountWorkload(double input_gb = 10.0);
+
+/// TeraSort: selectivity 1.0, no combiner benefit, shuffle- and
+/// disk-bound; reducer count/skew dominate.
+Workload MakeMrTeraSortWorkload(double input_gb = 10.0);
+
+/// Grep/selection: tiny map output; map-phase dominated (the kind of job
+/// where Hadoop looked worst against parallel DBMSs [18]).
+Workload MakeMrGrepWorkload(double input_gb = 10.0);
+
+/// Repartition join: selectivity >1, strong reducer skew.
+Workload MakeMrJoinWorkload(double input_gb = 10.0);
+
+/// PageRank-like chain of `iterations` identical jobs (the iterative
+/// workload adaptive tuners exploit; units = jobs).
+Workload MakeMrPageRankWorkload(double input_gb = 5.0, double iterations = 8);
+
+/// Analytical task matching MakeDbmsAnalyticalTask for the Hadoop-vs-DBMS
+/// comparison: op in {"scan", "aggregate", "join"} over `data_mb`.
+Workload MakeMrAnalyticalTask(const std::string& op, double data_mb);
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_MAPREDUCE_MR_WORKLOADS_H_

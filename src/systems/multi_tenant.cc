@@ -1,0 +1,71 @@
+#include "systems/multi_tenant.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+MultiTenantSystem::MultiTenantSystem(TunableSystem* base,
+                                     std::vector<Tenant> tenants)
+    : base_(base),
+      tenants_(std::move(tenants)),
+      name_(base->name() + "-multitenant") {}
+
+std::vector<std::string> MultiTenantSystem::MetricNames() const {
+  std::vector<std::string> names = {"worst_slo_ratio", "slo_violations"};
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    names.push_back(StrFormat("tenant_%zu_runtime_s", i));
+    names.push_back(StrFormat("tenant_%zu_slo_ratio", i));
+  }
+  return names;
+}
+
+Result<ExecutionResult> MultiTenantSystem::Execute(const Configuration& config,
+                                                   const Workload& workload) {
+  ExecutionResult total;
+  double worst_ratio = 0.0;
+  double violations = 0.0;
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    Workload tenant_workload = tenants_[i].workload;
+    tenant_workload.scale *= workload.scale;
+    ATUNE_ASSIGN_OR_RETURN(ExecutionResult r,
+                           base_->Execute(config, tenant_workload));
+    total.runtime_seconds += r.runtime_seconds;
+    if (r.failed) {
+      total.failed = true;
+      total.failure_reason = StrFormat("tenant '%s': %s",
+                                       tenants_[i].name.c_str(),
+                                       r.failure_reason.c_str());
+    }
+    double slo = std::max(tenants_[i].slo_seconds, 1e-9);
+    double ratio = r.runtime_seconds / slo;
+    if (r.failed) ratio = 10.0;  // a crashed tenant is maximally unhappy
+    worst_ratio = std::max(worst_ratio, ratio);
+    if (ratio > 1.0) violations += 1.0;
+    total.metrics[StrFormat("tenant_%zu_runtime_s", i)] = r.runtime_seconds;
+    total.metrics[StrFormat("tenant_%zu_slo_ratio", i)] = ratio;
+  }
+  total.metrics["worst_slo_ratio"] = worst_ratio;
+  total.metrics["slo_violations"] = violations;
+  return total;
+}
+
+Workload MakeMultiTenantWorkload(double scale) {
+  Workload w;
+  w.name = "multi-tenant";
+  w.kind = "multi-tenant";
+  w.scale = scale;
+  return w;
+}
+
+ObjectiveFunction MakeRobustSloObjective(double total_time_weight) {
+  return [total_time_weight](const Configuration&,
+                             const ExecutionResult& result) {
+    double worst = result.MetricOr("worst_slo_ratio", 10.0);
+    if (result.failed) worst = std::max(worst, 10.0);
+    return worst + total_time_weight * result.runtime_seconds;
+  };
+}
+
+}  // namespace atune

@@ -1,0 +1,69 @@
+#ifndef ATUNE_SYSTEMS_MULTI_TENANT_H_
+#define ATUNE_SYSTEMS_MULTI_TENANT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/objective.h"
+#include "core/system.h"
+
+namespace atune {
+
+/// One tenant of a shared system: a workload plus its latency SLO.
+struct Tenant {
+  std::string name;
+  Workload workload;
+  /// Service-level objective: the tenant is satisfied when its share of the
+  /// run finishes within this many (simulated) seconds.
+  double slo_seconds = 0.0;
+};
+
+/// A multi-tenant wrapper around any TunableSystem: one *shared*
+/// configuration serves every tenant's workload (the Tempo [Tan & Babu,
+/// PVLDB'16] setting — a multi-tenant parallel database where tuning for
+/// one tenant can starve another).
+///
+/// Execute runs each tenant's workload under the shared configuration on
+/// the wrapped system and reports:
+///   runtime_seconds          — sum over tenants (total busy time)
+///   tenant_<i>_runtime_s     — per-tenant runtime
+///   tenant_<i>_slo_ratio     — runtime / SLO (<= 1 means satisfied)
+///   worst_slo_ratio          — max over tenants
+///   slo_violations           — number of unsatisfied tenants
+/// A failure for any tenant fails the run.
+class MultiTenantSystem : public TunableSystem {
+ public:
+  /// Does not take ownership of `base`.
+  MultiTenantSystem(TunableSystem* base, std::vector<Tenant> tenants);
+
+  std::string name() const override { return name_; }
+  const ParameterSpace& space() const override { return base_->space(); }
+  Result<ExecutionResult> Execute(const Configuration& config,
+                                  const Workload& workload) override;
+  std::map<std::string, double> Descriptors() const override {
+    return base_->Descriptors();
+  }
+  std::vector<std::string> MetricNames() const override;
+
+  const std::vector<Tenant>& tenants() const { return tenants_; }
+
+ private:
+  TunableSystem* base_;
+  std::vector<Tenant> tenants_;
+  std::string name_;
+};
+
+/// A neutral workload to pass to MultiTenantSystem::Execute (the wrapper
+/// runs its tenants' workloads; the argument only carries the scale).
+Workload MakeMultiTenantWorkload(double scale = 1.0);
+
+/// Tempo-style robust objective over a MultiTenantSystem's results:
+/// minimize the worst tenant's SLO ratio (minimax fairness), with total
+/// time as a tie-breaker. A configuration that satisfies every SLO scores
+/// below 1; the tuner then shaves total cost without breaking anyone.
+ObjectiveFunction MakeRobustSloObjective(double total_time_weight = 1e-4);
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_MULTI_TENANT_H_

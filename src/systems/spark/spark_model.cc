@@ -1,0 +1,56 @@
+#include "systems/spark/spark_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atune {
+
+namespace {
+constexpr double kReservedMb = 300.0;  // Spark's fixed reserved memory
+}
+
+SparkMemoryPlan ComputeMemoryPlan(double executor_memory_mb,
+                                  double memory_fraction,
+                                  double storage_fraction,
+                                  int64_t executor_cores) {
+  SparkMemoryPlan plan;
+  double usable = std::max(0.0, executor_memory_mb - kReservedMb);
+  plan.unified_mb = usable * std::clamp(memory_fraction, 0.0, 1.0);
+  plan.storage_mb = plan.unified_mb * std::clamp(storage_fraction, 0.0, 1.0);
+  plan.execution_mb = plan.unified_mb - plan.storage_mb;
+  plan.per_task_execution_mb =
+      plan.execution_mb / std::max<double>(1.0, static_cast<double>(
+                                                    executor_cores));
+  return plan;
+}
+
+SerializerProfile GetSerializerProfile(const std::string& name) {
+  if (name == "kryo") {
+    return SerializerProfile{1.6, 0.0015, 0.0010};
+  }
+  // Java serialization: bulky objects, slow streams.
+  return SerializerProfile{2.8, 0.0040, 0.0030};
+}
+
+double GcOverheadFraction(double pressure, bool kryo) {
+  pressure = std::max(0.0, pressure);
+  double churn = kryo ? 0.8 : 1.5;
+  // Light load: a few percent. Heap pressure near/over 1 sends collectors
+  // into repeated full GCs.
+  double frac = 0.03 + 0.20 * churn * pressure * pressure;
+  return std::min(frac, 1.5);
+}
+
+double ExecutionSpillFactor(double need_mb, double available_mb) {
+  if (available_mb <= 0.0) return 2.0;
+  if (need_mb <= available_mb) return 0.0;
+  // Shortfall spills to disk and is re-read during merge.
+  double shortfall = (need_mb - available_mb) / need_mb;
+  return 2.0 * shortfall;
+}
+
+bool TaskOom(double need_mb, double available_mb) {
+  return need_mb > 4.0 * std::max(available_mb, 1.0);
+}
+
+}  // namespace atune

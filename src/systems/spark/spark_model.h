@@ -1,0 +1,49 @@
+#ifndef ATUNE_SYSTEMS_SPARK_SPARK_MODEL_H_
+#define ATUNE_SYSTEMS_SPARK_SPARK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace atune {
+
+/// Unified-memory-manager accounting (Spark 1.6+ model): the heap splits
+/// into reserved / user memory and a unified region shared by storage
+/// (cached RDDs) and execution (shuffle/sort/join buffers).
+struct SparkMemoryPlan {
+  double unified_mb = 0.0;    ///< memory_fraction * (heap - reserved)
+  double storage_mb = 0.0;    ///< storage_fraction * unified (evictable floor)
+  double execution_mb = 0.0;  ///< unified - storage
+  double per_task_execution_mb = 0.0;  ///< execution / concurrent tasks
+};
+
+SparkMemoryPlan ComputeMemoryPlan(double executor_memory_mb,
+                                  double memory_fraction,
+                                  double storage_fraction,
+                                  int64_t executor_cores);
+
+/// Serializer behavior: kryo packs objects tighter and costs less CPU.
+struct SerializerProfile {
+  double memory_expansion = 1.0;   ///< in-memory size / on-disk size
+  double ser_cpu_s_per_mb = 0.0;
+  double deser_cpu_s_per_mb = 0.0;
+};
+
+SerializerProfile GetSerializerProfile(const std::string& name);
+
+/// Fraction of task time lost to GC as heap pressure rises; Java
+/// serialization inflates object churn. `pressure` = working bytes /
+/// available heap (>=0).
+double GcOverheadFraction(double pressure, bool kryo);
+
+/// Execution-memory spill multiplier: 1 when the task working set fits,
+/// otherwise extra disk traffic proportional to the shortfall.
+/// Returns extra disk MB per MB of task data (0 = no spill).
+double ExecutionSpillFactor(double need_mb, double available_mb);
+
+/// True when a task's working set is so far beyond its execution memory
+/// that the executor dies with an OOM (Spark kills at ~4x overcommit here).
+bool TaskOom(double need_mb, double available_mb);
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_SPARK_SPARK_MODEL_H_

@@ -1,0 +1,407 @@
+#include "systems/spark/spark_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "systems/dbms/dbms_model.h"  // CompressionProfile
+#include "systems/spark/spark_model.h"
+
+namespace atune {
+
+namespace {
+constexpr double kTaskLaunchSec = 0.08;    // scheduler + deserialization
+constexpr double kStageSetupSec = 0.4;
+constexpr double kScanPartitionMb = 128.0;
+}  // namespace
+
+SimulatedSpark::SimulatedSpark(ClusterSpec cluster, uint64_t seed)
+    : cluster_(std::move(cluster)), noise_rng_(seed) {
+  double node_ram = cluster_.MeanNode().ram_mb;
+  auto add = [this](ParameterDef def) {
+    Status s = space_.Add(std::move(def));
+    (void)s;
+  };
+  add(ParameterDef::Int("num_executors", 1, 64, 2, "executor count"));
+  add(ParameterDef::Int("executor_cores", 1, 8, 1, "cores per executor"));
+  add(ParameterDef::Int("executor_memory_mb", 512,
+                        static_cast<int64_t>(node_ram), 1024,
+                        "heap per executor", true, "MB"));
+  add(ParameterDef::Double("memory_fraction", 0.3, 0.9, 0.6,
+                           "unified memory fraction of heap"));
+  add(ParameterDef::Double("storage_fraction", 0.1, 0.9, 0.5,
+                           "storage share of unified memory"));
+  add(ParameterDef::Int("shuffle_partitions", 8, 2000, 200,
+                        "partitions for shuffles (spark.sql.shuffle.partitions)",
+                        true));
+  add(ParameterDef::Categorical("serializer", {"java", "kryo"}, 0,
+                                "object serializer"));
+  add(ParameterDef::Bool("shuffle_compress", true,
+                         "compress shuffle blocks"));
+  add(ParameterDef::Bool("rdd_compress", false,
+                         "compress cached RDD partitions"));
+  add(ParameterDef::Int("broadcast_threshold_mb", 1, 512, 10,
+                        "max table size for broadcast join", true, "MB"));
+  add(ParameterDef::Bool("speculation", false,
+                         "re-launch slow tasks speculatively"));
+  add(ParameterDef::Double("locality_wait_s", 0.0, 10.0, 3.0,
+                           "wait for data-local scheduling", false, "s"));
+}
+
+std::map<std::string, double> SimulatedSpark::Descriptors() const {
+  NodeSpec mean = cluster_.MeanNode();
+  return {
+      {"num_nodes", static_cast<double>(cluster_.num_nodes())},
+      {"total_ram_mb", cluster_.TotalRamMb()},
+      {"node_ram_mb", mean.ram_mb},
+      {"total_cores", cluster_.TotalCores()},
+      {"cores_per_node", mean.cores},
+      {"disk_mbps", mean.disk_mbps},
+      {"network_mbps", mean.network_mbps},
+  };
+}
+
+std::vector<std::string> SimulatedSpark::MetricNames() const {
+  return {"scheduling_overhead_s", "gc_time_s",      "spill_mb",
+          "shuffle_read_mb",       "shuffle_write_mb", "cache_hit_ratio",
+          "task_count",            "waves",          "cpu_time_s",
+          "io_time_s",             "granted_cores",  "memory_pressure",
+          "straggler_factor"};
+}
+
+size_t SimulatedSpark::NumUnits(const Workload& workload) const {
+  if (workload.kind == "iterative_ml") {
+    return static_cast<size_t>(workload.PropertyOr("iterations", 10.0));
+  }
+  if (workload.kind == "streaming") {
+    return static_cast<size_t>(workload.PropertyOr("batches", 20.0));
+  }
+  return static_cast<size_t>(std::max(1.0, workload.PropertyOr("queries", 10.0)));
+}
+
+Result<ExecutionResult> SimulatedSpark::ExecuteUnit(const Configuration& config,
+                                                    const Workload& workload,
+                                                    size_t unit_index) {
+  ATUNE_RETURN_IF_ERROR(space_.ValidateConfiguration(config));
+  Workload unit = workload;
+  // First iteration of an iterative job runs cold (cache not built yet).
+  unit.properties["__cold"] = unit_index == 0 ? 1.0 : 0.0;
+  ExecutionResult r = RunUnit(config, unit);
+  if (noise_sigma_ > 0.0 && !r.failed) {
+    r.runtime_seconds *= std::exp(noise_rng_.Normal(0.0, noise_sigma_));
+  }
+  return r;
+}
+
+Result<ExecutionResult> SimulatedSpark::Execute(const Configuration& config,
+                                                const Workload& workload) {
+  ATUNE_RETURN_IF_ERROR(space_.ValidateConfiguration(config));
+  size_t units = NumUnits(workload);
+  ExecutionResult total;
+  for (size_t u = 0; u < units; ++u) {
+    Workload unit = workload;
+    unit.properties["__cold"] = u == 0 ? 1.0 : 0.0;
+    ExecutionResult r = RunUnit(config, unit);
+    total.runtime_seconds += r.runtime_seconds;
+    for (const auto& [k, v] : r.metrics) total.metrics[k] += v;
+    if (r.failed) {
+      total.failed = true;
+      total.failure_reason = r.failure_reason;
+      break;
+    }
+  }
+  // Driver/app startup.
+  total.runtime_seconds += 4.0;
+  // Streaming SLA: chronic batch overrun collapses the pipeline.
+  if (!total.failed && workload.kind == "streaming") {
+    double interval = workload.PropertyOr("batch_interval_s", 5.0);
+    double mean_batch = total.runtime_seconds / static_cast<double>(units);
+    total.metrics["sla_violation_ratio"] = std::max(0.0, mean_batch / interval - 1.0);
+    if (mean_batch > 2.0 * interval) {
+      total.failed = true;
+      total.failure_reason =
+          StrFormat("streaming backlog: mean batch %.1fs vs %.1fs interval",
+                    mean_batch, interval);
+    }
+  }
+  if (noise_sigma_ > 0.0 && !total.failed) {
+    double noise = std::exp(noise_rng_.Normal(0.0, noise_sigma_));
+    if (noise_rng_.Bernoulli(0.03)) noise *= 1.3;
+    total.runtime_seconds *= noise;
+  }
+  return total;
+}
+
+ExecutionResult SimulatedSpark::RunUnit(const Configuration& config,
+                                        const Workload& workload) const {
+  const double data_mb =
+      workload.PropertyOr("data_mb", 8192.0) * workload.scale;
+  const int64_t partitions = config.IntOr("shuffle_partitions", 200);
+  const bool cold = workload.PropertyOr("__cold", 0.0) > 0.5;
+
+  std::vector<StageSpec> stages;
+  if (workload.kind == "sql_aggregate") {
+    double agg_sel = workload.PropertyOr("shuffle_selectivity", 0.5);
+    StageSpec scan;
+    scan.tasks = std::ceil(data_mb / kScanPartitionMb);
+    scan.input_mb = data_mb;
+    scan.shuffle_write_mb = data_mb * agg_sel;
+    scan.cpu_s_per_mb = workload.PropertyOr("cpu_s_per_mb", 0.004);
+    stages.push_back(scan);
+    StageSpec agg;
+    agg.tasks = static_cast<double>(partitions);
+    agg.input_mb = scan.shuffle_write_mb;
+    agg.reads_shuffle = true;
+    agg.cpu_s_per_mb = workload.PropertyOr("agg_cpu_s_per_mb", 0.006);
+    stages.push_back(agg);
+  } else if (workload.kind == "sql_join") {
+    const double small_mb = workload.PropertyOr("small_table_mb", 64.0);
+    const int64_t bcast = config.IntOr("broadcast_threshold_mb", 10);
+    StageSpec scan_big;
+    scan_big.tasks = std::ceil(data_mb / kScanPartitionMb);
+    scan_big.input_mb = data_mb;
+    scan_big.cpu_s_per_mb = 0.004;
+    if (small_mb <= static_cast<double>(bcast)) {
+      // Broadcast join: small table shipped to every executor, joined
+      // map-side; no shuffle of the big table. The broadcast copy must fit
+      // in each executor's memory — a too-aggressive threshold OOMs.
+      const int64_t exec_mem = config.IntOr("executor_memory_mb", 1024);
+      const std::string ser = config.StringOr("serializer", "java");
+      double in_mem =
+          small_mb * GetSerializerProfile(ser).memory_expansion;
+      if (in_mem > static_cast<double>(exec_mem) * 0.35) {
+        ExecutionResult r;
+        r.failed = true;
+        r.failure_reason = StrFormat(
+            "broadcast OOM: %.0f MB table into %lld MB executors",
+            small_mb, static_cast<long long>(exec_mem));
+        r.runtime_seconds = kFailedRunWallClockSec /
+            static_cast<double>(std::max<size_t>(NumUnits(workload), 1));
+        return r;
+      }
+      scan_big.cpu_s_per_mb += 0.003;  // hash probe per row
+      scan_big.shuffle_write_mb = 0.0;
+      stages.push_back(scan_big);
+    } else {
+      scan_big.shuffle_write_mb = data_mb;
+      stages.push_back(scan_big);
+      StageSpec scan_small;
+      scan_small.tasks = std::max(1.0, std::ceil(small_mb / kScanPartitionMb));
+      scan_small.input_mb = small_mb;
+      scan_small.shuffle_write_mb = small_mb;
+      stages.push_back(scan_small);
+      StageSpec join;
+      join.tasks = static_cast<double>(partitions);
+      join.input_mb = data_mb + small_mb;
+      join.reads_shuffle = true;
+      join.cpu_s_per_mb = 0.008;
+      stages.push_back(join);
+    }
+  } else if (workload.kind == "iterative_ml") {
+    StageSpec map;
+    map.tasks = std::ceil(data_mb / kScanPartitionMb);
+    map.input_mb = data_mb;
+    map.from_cache = !cold;
+    map.cpu_s_per_mb = workload.PropertyOr("cpu_s_per_mb", 0.010);
+    map.shuffle_write_mb = workload.PropertyOr("gradient_mb", 8.0);
+    stages.push_back(map);
+    StageSpec agg;
+    agg.tasks = std::min<double>(static_cast<double>(partitions), 64.0);
+    agg.input_mb = map.shuffle_write_mb;
+    agg.reads_shuffle = true;
+    agg.cpu_s_per_mb = 0.005;
+    stages.push_back(agg);
+  } else if (workload.kind == "streaming") {
+    const double batch_mb = workload.PropertyOr("batch_mb", 64.0);
+    StageSpec receive;
+    receive.tasks = std::max(4.0, std::ceil(batch_mb / 8.0));
+    receive.input_mb = batch_mb;
+    receive.shuffle_write_mb = batch_mb * 0.6;
+    receive.cpu_s_per_mb = 0.006;
+    stages.push_back(receive);
+    StageSpec agg;
+    agg.tasks = static_cast<double>(partitions);
+    agg.input_mb = receive.shuffle_write_mb;
+    agg.reads_shuffle = true;
+    agg.cpu_s_per_mb = 0.006;
+    stages.push_back(agg);
+  } else {
+    // Unknown kind: treat as one scan stage.
+    StageSpec scan;
+    scan.tasks = std::ceil(data_mb / kScanPartitionMb);
+    scan.input_mb = data_mb;
+    stages.push_back(scan);
+  }
+  return RunStages(config, workload, stages);
+}
+
+ExecutionResult SimulatedSpark::RunStages(
+    const Configuration& config, const Workload& workload,
+    const std::vector<StageSpec>& stages) const {
+  ExecutionResult r;
+  const int64_t num_executors = config.IntOr("num_executors", 2);
+  const int64_t executor_cores = config.IntOr("executor_cores", 1);
+  const int64_t executor_memory = config.IntOr("executor_memory_mb", 1024);
+  const double memory_fraction = config.DoubleOr("memory_fraction", 0.6);
+  const double storage_fraction = config.DoubleOr("storage_fraction", 0.5);
+  const std::string serializer = config.StringOr("serializer", "java");
+  const bool shuffle_compress = config.BoolOr("shuffle_compress", true);
+  const bool rdd_compress = config.BoolOr("rdd_compress", false);
+  const bool speculation = config.BoolOr("speculation", false);
+  const double locality_wait = config.DoubleOr("locality_wait_s", 3.0);
+
+  // --- resource grant ----------------------------------------------------
+  const double req_mem =
+      static_cast<double>(num_executors * executor_memory);
+  const double req_cores =
+      static_cast<double>(num_executors * executor_cores);
+  if (req_mem > cluster_.TotalRamMb() * 0.95 ||
+      req_cores > cluster_.TotalCores()) {
+    r.failed = true;
+    r.failure_reason = StrFormat(
+        "resource request denied: %.0f MB / %.0f cores on a %.0f MB / %.0f "
+        "core cluster",
+        req_mem, req_cores, cluster_.TotalRamMb(), cluster_.TotalCores());
+    r.runtime_seconds = kFailedRunWallClockSec /
+        static_cast<double>(std::max<size_t>(NumUnits(workload), 1));
+    return r;
+  }
+  const double granted_cores = req_cores;
+  const SparkMemoryPlan plan =
+      ComputeMemoryPlan(static_cast<double>(executor_memory), memory_fraction,
+                        storage_fraction, executor_cores);
+  const SerializerProfile ser = GetSerializerProfile(serializer);
+  const bool kryo = serializer == "kryo";
+  const CompressionProfile shuffle_codec =
+      shuffle_compress ? GetCompressionProfile("lz4") : CompressionProfile{};
+  const CompressionProfile rdd_codec =
+      rdd_compress ? GetCompressionProfile("lz4") : CompressionProfile{};
+
+  const NodeSpec mean = cluster_.MeanNode();
+  const double cpu_speed = mean.cpu_speed;
+  const double disk_bw_per_core =
+      mean.disk_mbps / std::max(1.0, mean.cores / 2.0);
+  const double net_bw_per_core =
+      cluster_.TotalNetworkMbps() / std::max(1.0, granted_cores);
+  const double locality = workload.PropertyOr("locality", 0.7);
+
+  // Cache capacity across executors (for iterative workloads).
+  const double cache_capacity_mb =
+      plan.storage_mb * static_cast<double>(num_executors);
+  const double dataset_in_mem =
+      workload.PropertyOr("data_mb", 8192.0) * workload.scale *
+      ser.memory_expansion * rdd_codec.ratio;
+  const double cache_hit =
+      std::clamp(cache_capacity_mb / std::max(dataset_in_mem, 1.0), 0.0, 1.0);
+
+  double straggler =
+      std::pow(cluster_.SlowestNodeFactor(),
+               cluster_.num_nodes() > 1 ? 0.8 : 0.0);
+  double spec_overhead = 1.0;
+  if (speculation) {
+    straggler = 1.0 + (straggler - 1.0) * 0.3;
+    spec_overhead = 1.10;
+  }
+
+  double runtime = 0.0;
+  double sched_s = 0.0, gc_s = 0.0, spill_mb = 0.0, cpu_s = 0.0, io_s = 0.0;
+  double shuffle_read_mb = 0.0, shuffle_write_mb = 0.0;
+  double max_pressure = 0.0;
+
+  for (const StageSpec& stage : stages) {
+    const double tasks = std::max(1.0, stage.tasks);
+    const double waves = std::ceil(tasks / granted_cores);
+    const double data_per_task = stage.input_mb / tasks;
+
+    // Execution memory need: working set expands per the serializer; joins
+    // and aggregations build hash tables about as large as their input.
+    const double need_mb = data_per_task * ser.memory_expansion;
+    if (TaskOom(need_mb, plan.per_task_execution_mb)) {
+      r.failed = true;
+      r.failure_reason = StrFormat(
+          "executor OOM: task working set %.0f MB vs %.0f MB execution "
+          "memory (%.0f partitions)",
+          need_mb, plan.per_task_execution_mb, tasks);
+      r.runtime_seconds = runtime +
+          kFailedRunWallClockSec /
+              static_cast<double>(std::max<size_t>(NumUnits(workload), 1));
+      return r;
+    }
+    const double pressure = need_mb / std::max(plan.per_task_execution_mb, 1.0);
+    max_pressure = std::max(max_pressure, pressure);
+    const double gc_frac = GcOverheadFraction(pressure * 0.6, kryo);
+
+    const double spill_factor =
+        ExecutionSpillFactor(need_mb, plan.per_task_execution_mb);
+    const double task_spill_mb = spill_factor * data_per_task;
+
+    // I/O path for the stage input.
+    double read_s = 0.0;
+    if (stage.reads_shuffle) {
+      double wire_mb = data_per_task * shuffle_codec.ratio;
+      read_s = wire_mb / net_bw_per_core +
+               data_per_task * (shuffle_codec.decompress_cpu_s_per_mb +
+                                ser.deser_cpu_s_per_mb);
+    } else if (stage.from_cache) {
+      double miss = 1.0 - cache_hit;
+      read_s = miss * (data_per_task / disk_bw_per_core +
+                       data_per_task * ser.deser_cpu_s_per_mb) +
+               cache_hit * data_per_task *
+                   rdd_codec.decompress_cpu_s_per_mb;
+    } else {
+      read_s = data_per_task / disk_bw_per_core;
+      // Non-local tasks either wait for a local slot or read remotely.
+      double remote_s = data_per_task / net_bw_per_core + 0.1;
+      read_s += (1.0 - locality) * std::min(locality_wait, remote_s);
+    }
+
+    const double write_per_task = stage.shuffle_write_mb / tasks;
+    const double write_s =
+        write_per_task * shuffle_codec.ratio / disk_bw_per_core +
+        write_per_task * (shuffle_codec.compress_cpu_s_per_mb +
+                          ser.ser_cpu_s_per_mb);
+
+    const double compute_s =
+        data_per_task * stage.cpu_s_per_mb / cpu_speed * spec_overhead;
+    const double spill_s = task_spill_mb / disk_bw_per_core;
+
+    const double task_time =
+        kTaskLaunchSec +
+        (std::max(read_s, compute_s) + 0.3 * std::min(read_s, compute_s) +
+         write_s + spill_s) *
+            (1.0 + gc_frac);
+    // Many waves let fast nodes absorb extra tasks; one wave is gated by
+    // the slowest node.
+    const double stage_straggler =
+        1.0 + (straggler - 1.0) / std::sqrt(std::max(waves, 1.0));
+    const double stage_time =
+        kStageSetupSec + waves * task_time * stage_straggler;
+
+    runtime += stage_time;
+    sched_s += kTaskLaunchSec * tasks;
+    gc_s += waves * task_time * gc_frac;
+    spill_mb += task_spill_mb * tasks;
+    cpu_s += compute_s * tasks;
+    io_s += (read_s + write_s + spill_s) * tasks;
+    if (stage.reads_shuffle) shuffle_read_mb += stage.input_mb;
+    shuffle_write_mb += stage.shuffle_write_mb;
+    r.metrics["task_count"] += tasks;
+    r.metrics["waves"] += waves;
+  }
+
+  r.runtime_seconds = runtime;
+  r.metrics["scheduling_overhead_s"] = sched_s;
+  r.metrics["gc_time_s"] = gc_s;
+  r.metrics["spill_mb"] = spill_mb;
+  r.metrics["shuffle_read_mb"] = shuffle_read_mb;
+  r.metrics["shuffle_write_mb"] = shuffle_write_mb;
+  r.metrics["cache_hit_ratio"] = cache_hit;
+  r.metrics["cpu_time_s"] = cpu_s;
+  r.metrics["io_time_s"] = io_s;
+  r.metrics["granted_cores"] = granted_cores;
+  r.metrics["memory_pressure"] = max_pressure;
+  r.metrics["straggler_factor"] = straggler;
+  return r;
+}
+
+}  // namespace atune

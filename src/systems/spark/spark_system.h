@@ -1,0 +1,79 @@
+#ifndef ATUNE_SYSTEMS_SPARK_SPARK_SYSTEM_H_
+#define ATUNE_SYSTEMS_SPARK_SPARK_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/system.h"
+#include "systems/hardware.h"
+
+namespace atune {
+
+/// Simulated Apache Spark cluster with 12 tunable knobs — the subset of
+/// spark-defaults.conf the Spark tuning literature (Section 2.4 of the
+/// paper; Ernest [25], Gounaris et al. [10]) identifies as impactful:
+/// executor sizing, unified memory fractions, shuffle partitions,
+/// serializer, compression, broadcast threshold, speculation, locality wait.
+///
+/// Jobs are stage DAGs; each stage runs `tasks` over the granted cores in
+/// waves. Modeled effects:
+///  * executor over-allocation vs cluster capacity -> submission failure
+///  * unified memory: execution vs storage split; cache misses recompute
+///  * too few partitions -> per-task memory pressure, spills, OOM cliffs
+///  * too many partitions -> scheduling overhead dominates
+///  * kryo vs java serializer: memory footprint + CPU + GC churn
+///  * broadcast-vs-shuffle join cliff at the threshold
+///  * speculation recovers heterogeneity stragglers for ~10% extra work
+///
+/// Workload kinds: "sql_aggregate", "sql_join", "iterative_ml",
+/// "streaming". Iterative/streaming workloads are unit-decomposable for
+/// adaptive tuners (units = iterations / micro-batches).
+class SimulatedSpark : public IterativeSystem {
+ public:
+  SimulatedSpark(ClusterSpec cluster, uint64_t seed);
+
+  std::string name() const override { return "simulated-spark"; }
+  const ParameterSpace& space() const override { return space_; }
+  Result<ExecutionResult> Execute(const Configuration& config,
+                                  const Workload& workload) override;
+  std::map<std::string, double> Descriptors() const override;
+  std::vector<std::string> MetricNames() const override;
+
+  size_t NumUnits(const Workload& workload) const override;
+  Result<ExecutionResult> ExecuteUnit(const Configuration& config,
+                                      const Workload& workload,
+                                      size_t unit_index) override;
+  double ReconfigurationCost() const override { return 0.08; }
+
+  void set_noise_sigma(double sigma) { noise_sigma_ = sigma; }
+  const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  struct StageSpec {
+    double tasks = 0.0;
+    double input_mb = 0.0;        ///< data read by the stage (storage or shuffle)
+    double shuffle_write_mb = 0.0;
+    double cpu_s_per_mb = 0.004;
+    bool reads_shuffle = false;
+    bool from_cache = false;      ///< reads the cached dataset if possible
+  };
+
+  /// Simulates one unit (iteration / batch / query); `unit_fraction` scales
+  /// volume for workloads that are not unit-decomposable.
+  ExecutionResult RunUnit(const Configuration& config,
+                          const Workload& workload) const;
+
+  ExecutionResult RunStages(const Configuration& config,
+                            const Workload& workload,
+                            const std::vector<StageSpec>& stages) const;
+
+  ClusterSpec cluster_;
+  ParameterSpace space_;
+  Rng noise_rng_;
+  double noise_sigma_ = 0.03;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_SPARK_SPARK_SYSTEM_H_

@@ -1,0 +1,57 @@
+#include "systems/spark/spark_workloads.h"
+
+namespace atune {
+
+Workload MakeSparkSqlAggregateWorkload(double data_gb, double queries) {
+  Workload w;
+  w.name = "sql-aggregate";
+  w.kind = "sql_aggregate";
+  w.scale = 1.0;
+  w.properties = {
+      {"data_mb", data_gb * 1024.0}, {"queries", queries},
+      {"shuffle_selectivity", 0.5},  {"cpu_s_per_mb", 0.004},
+      {"agg_cpu_s_per_mb", 0.006},   {"locality", 0.7},
+  };
+  return w;
+}
+
+Workload MakeSparkJoinWorkload(double data_gb, double small_table_mb) {
+  Workload w;
+  w.name = "star-join";
+  w.kind = "sql_join";
+  w.scale = 1.0;
+  w.properties = {
+      {"data_mb", data_gb * 1024.0}, {"queries", 8.0},
+      {"small_table_mb", small_table_mb}, {"locality", 0.7},
+  };
+  return w;
+}
+
+Workload MakeSparkIterativeMlWorkload(double data_gb, double iterations) {
+  Workload w;
+  w.name = "iterative-ml";
+  w.kind = "iterative_ml";
+  w.scale = 1.0;
+  w.properties = {
+      {"data_mb", data_gb * 1024.0}, {"iterations", iterations},
+      {"cpu_s_per_mb", 0.010},       {"gradient_mb", 8.0},
+      {"locality", 0.8},
+  };
+  return w;
+}
+
+Workload MakeSparkStreamingWorkload(double batch_mb, double batches,
+                                    double interval_s) {
+  Workload w;
+  w.name = "streaming";
+  w.kind = "streaming";
+  w.scale = 1.0;
+  w.properties = {
+      {"batch_mb", batch_mb},        {"batches", batches},
+      {"batch_interval_s", interval_s}, {"locality", 0.9},
+      {"data_mb", batch_mb},
+  };
+  return w;
+}
+
+}  // namespace atune

@@ -1,0 +1,33 @@
+#ifndef ATUNE_SYSTEMS_SPARK_SPARK_WORKLOADS_H_
+#define ATUNE_SYSTEMS_SPARK_SPARK_WORKLOADS_H_
+
+#include "core/system.h"
+
+namespace atune {
+
+/// Canonical Spark workloads from the tuning literature (Section 2.4).
+
+/// SQL scan + group-by aggregation over `data_gb`; shuffle-partition and
+/// executor sizing dominate.
+Workload MakeSparkSqlAggregateWorkload(double data_gb = 8.0,
+                                       double queries = 10.0);
+
+/// Star-schema join of a `data_gb` fact table against a `small_table_mb`
+/// dimension; exercises the broadcast-join threshold cliff.
+Workload MakeSparkJoinWorkload(double data_gb = 8.0,
+                               double small_table_mb = 64.0);
+
+/// Iterative ML training (logistic-regression-like): `iterations` passes
+/// over a cached dataset; storage memory and serializer dominate.
+Workload MakeSparkIterativeMlWorkload(double data_gb = 4.0,
+                                      double iterations = 10.0);
+
+/// Structured-streaming micro-batches with a latency SLA; scheduling
+/// overhead vs partition count dominates.
+Workload MakeSparkStreamingWorkload(double batch_mb = 64.0,
+                                    double batches = 20.0,
+                                    double interval_s = 5.0);
+
+}  // namespace atune
+
+#endif  // ATUNE_SYSTEMS_SPARK_SPARK_WORKLOADS_H_

@@ -1,0 +1,101 @@
+#include "tuners/adaptive/adaptive_memory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+Status AdaptiveMemoryTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  if (evaluator->system()->name() != "simulated-dbms") {
+    return Status::FailedPrecondition(
+        "adaptive-memory manages DBMS memory consumers");
+  }
+  auto* iterative = dynamic_cast<IterativeSystem*>(evaluator->system());
+  if (iterative == nullptr) {
+    return Status::FailedPrecondition("system has no unit execution");
+  }
+  const ParameterSpace& space = evaluator->space();
+  const size_t units =
+      std::max<size_t>(iterative->NumUnits(evaluator->workload()), 1);
+
+  Configuration config =
+      has_initial_ ? initial_config_ : space.DefaultConfiguration();
+  size_t grows_bp = 0, grows_wm = 0, shrinks = 0;
+
+  while (!evaluator->Exhausted()) {
+    double pass_runtime = 0.0;
+    double pass_cost = 0.0;
+    bool failed = false;
+    std::string failure;
+    ExecutionResult aggregate;
+    for (size_t u = 0; u < units; ++u) {
+      auto result = evaluator->EvaluateUnit(config, u);
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kResourceExhausted) {
+          pass_cost = -1.0;
+          break;
+        }
+        return result.status();
+      }
+      pass_runtime += evaluator->ObjectiveOf(config, *result);
+      pass_cost += 1.0 / static_cast<double>(units);
+      for (const auto& [k, v] : result->metrics) aggregate.metrics[k] += v;
+      if (result->failed) {
+        failed = true;
+        failure = result->failure_reason;
+      }
+
+      // React to this unit's memory signals before the next unit.
+      double hit = result->MetricOr("buffer_hit_ratio", 1.0);
+      double spill = result->MetricOr("spill_mb", 0.0);
+      double swap = result->MetricOr("swap_penalty", 1.0);
+      int64_t bp = config.IntOr("buffer_pool_mb", 512);
+      int64_t wm = config.IntOr("work_mem_mb", 4);
+      if (swap > 1.02 || result->failed) {
+        // Under pressure: shed the larger consumer aggressively.
+        if (bp > wm * 32) {
+          config.SetInt("buffer_pool_mb",
+                        static_cast<int64_t>(static_cast<double>(bp) / 1.6));
+        } else {
+          config.SetInt("work_mem_mb",
+                        std::max<int64_t>(
+                            1, static_cast<int64_t>(
+                                   static_cast<double>(wm) / 1.6)));
+        }
+        ++shrinks;
+      } else if (spill > 0.0) {
+        config.SetInt("work_mem_mb",
+                      static_cast<int64_t>(
+                          std::ceil(static_cast<double>(wm) * step_factor_)));
+        ++grows_wm;
+      } else if (hit < 0.92) {
+        config.SetInt("buffer_pool_mb",
+                      static_cast<int64_t>(
+                          std::ceil(static_cast<double>(bp) * step_factor_)));
+        ++grows_bp;
+      }
+      config = space.FromUnitVector(space.ToUnitVector(config));
+    }
+    if (pass_cost < 0.0) break;
+    if (pass_cost > 0.0) {
+      aggregate.runtime_seconds = pass_runtime / pass_cost;
+      aggregate.failed = failed;
+      aggregate.failure_reason = failure;
+      evaluator->RecordCompositeTrial(config, aggregate, pass_cost);
+    }
+  }
+  report_ = StrFormat(
+      "online memory moves: %zu buffer-pool grows, %zu work-mem grows, %zu "
+      "pressure shrinks; final %s",
+      grows_bp, grows_wm, shrinks,
+      StrFormat("buffer_pool=%lld MB work_mem=%lld MB",
+                static_cast<long long>(config.IntOr("buffer_pool_mb", 0)),
+                static_cast<long long>(config.IntOr("work_mem_mb", 0)))
+          .c_str());
+  return Status::OK();
+}
+
+}  // namespace atune

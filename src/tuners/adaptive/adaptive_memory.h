@@ -1,0 +1,42 @@
+#ifndef ATUNE_TUNERS_ADAPTIVE_ADAPTIVE_MEMORY_H_
+#define ATUNE_TUNERS_ADAPTIVE_ADAPTIVE_MEMORY_H_
+
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Online self-tuning memory manager: the runtime analogue of STMM.
+/// Watches each unit's memory signals (buffer hit ratio, spill volume,
+/// swap pressure) and shifts memory between the buffer pool and work
+/// memory *while the workload runs*, backing off immediately when swap
+/// pressure appears. This is the adaptive-category counterpart of the
+/// cost-model STMM tuner and is DBMS-specific.
+class AdaptiveMemoryTuner : public Tuner {
+ public:
+  explicit AdaptiveMemoryTuner(double step_factor = 1.4)
+      : step_factor_(step_factor) {}
+
+  /// Continue from a previously adapted configuration instead of the
+  /// defaults (a live system keeps its state across workload phases).
+  void set_initial_config(Configuration config) {
+    initial_config_ = std::move(config);
+    has_initial_ = true;
+  }
+
+  std::string name() const override { return "adaptive-memory"; }
+  TunerCategory category() const override { return TunerCategory::kAdaptive; }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  double step_factor_;
+  Configuration initial_config_;
+  bool has_initial_ = false;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_ADAPTIVE_ADAPTIVE_MEMORY_H_

@@ -1,0 +1,110 @@
+#include "tuners/adaptive/colt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+Status ColtTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  auto* iterative =
+      dynamic_cast<IterativeSystem*>(evaluator->system());
+  if (iterative == nullptr) {
+    return Status::FailedPrecondition(
+        "colt tunes long-running applications; system has no unit execution");
+  }
+  const ParameterSpace& space = evaluator->space();
+  const size_t units = std::max<size_t>(
+      iterative->NumUnits(evaluator->workload()), 1);
+  const double reconf_cost = iterative->ReconfigurationCost();
+
+  Configuration incumbent = space.DefaultConfiguration();
+  double incumbent_mean = 0.0;
+  size_t incumbent_n = 0;
+  size_t switches = 0, challenges = 0;
+
+  // Pass after pass over the workload's units until the budget runs out;
+  // each pass is recorded as one composite trial so convergence is visible.
+  while (!evaluator->Exhausted()) {
+    double pass_runtime = 0.0;
+    double pass_cost = 0.0;
+    bool pass_failed = false;
+    std::string failure;
+    ExecutionResult aggregate;
+
+    Configuration challenger = space.Neighbor(incumbent, perturb_sigma_, rng);
+    double challenger_sum = 0.0;
+    size_t challenger_n = 0;
+    bool challenger_failed = false;
+
+    for (size_t u = 0; u < units; ++u) {
+      bool explore = rng->Bernoulli(explore_fraction_) && u + 1 < units;
+      const Configuration& config = explore ? challenger : incumbent;
+      auto result = evaluator->EvaluateUnit(config, u);
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kResourceExhausted) {
+          pass_cost = -1.0;  // signal: stop everything
+          break;
+        }
+        return result.status();
+      }
+      double unit_time = evaluator->ObjectiveOf(config, *result);
+      pass_runtime += unit_time;
+      pass_cost += 1.0 / static_cast<double>(units);
+      for (const auto& [k, v] : result->metrics) aggregate.metrics[k] += v;
+      if (result->failed) {
+        if (explore) {
+          challenger_failed = true;  // challenger is dangerous; drop it
+        } else {
+          pass_failed = true;
+          failure = result->failure_reason;
+        }
+      }
+      if (explore) {
+        challenger_sum += unit_time;
+        ++challenger_n;
+        // Switching mid-run costs a fraction of a unit.
+        pass_runtime += reconf_cost * unit_time;
+      } else {
+        incumbent_mean = (incumbent_mean * static_cast<double>(incumbent_n) +
+                          unit_time) /
+                         static_cast<double>(incumbent_n + 1);
+        ++incumbent_n;
+      }
+    }
+    if (pass_cost < 0.0) break;
+
+    if (pass_cost > 0.0) {
+      aggregate.runtime_seconds = pass_runtime / pass_cost;  // full-run scale
+      aggregate.failed = pass_failed;
+      aggregate.failure_reason = failure;
+      evaluator->RecordCompositeTrial(incumbent, aggregate, pass_cost);
+    }
+
+    // Cost-vs-gain adoption test.
+    if (challenger_n > 0 && !challenger_failed && incumbent_n > 0) {
+      ++challenges;
+      double challenger_mean =
+          challenger_sum / static_cast<double>(challenger_n);
+      double gain_per_unit = incumbent_mean - challenger_mean;
+      double remaining_units =
+          evaluator->Remaining() * static_cast<double>(units);
+      double switch_cost = reconf_cost * incumbent_mean;
+      if (gain_per_unit * remaining_units > switch_cost &&
+          challenger_mean < incumbent_mean * 0.98) {
+        incumbent = challenger;
+        incumbent_mean = challenger_mean;
+        incumbent_n = challenger_n;
+        ++switches;
+      }
+    }
+  }
+  report_ = StrFormat(
+      "%zu challengers tested online, %zu adoptions; final per-unit cost "
+      "%.3fs over %zu-unit workload",
+      challenges, switches, incumbent_mean, units);
+  return Status::OK();
+}
+
+}  // namespace atune

@@ -1,0 +1,40 @@
+#ifndef ATUNE_TUNERS_ADAPTIVE_COLT_H_
+#define ATUNE_TUNERS_ADAPTIVE_COLT_H_
+
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Continuous On-Line Tuning in the spirit of COLT [Schnaitter et al.,
+/// SIGMOD'06]: tune *while the application runs*. The long-running workload
+/// decomposes into units (epochs / stages / batches); between units the
+/// tuner may switch configurations. Each epoch it:
+///
+///   * runs the incumbent on most units, but spends an exploration
+///     fraction of units on a challenger (a perturbation of the incumbent);
+///   * adopts the challenger only if its observed per-unit cost beats the
+///     incumbent by more than the reconfiguration cost amortized over the
+///     remaining units (COLT's cost-vs-gain test).
+///
+/// Requires an IterativeSystem; returns FailedPrecondition otherwise.
+class ColtTuner : public Tuner {
+ public:
+  ColtTuner(double explore_fraction = 0.3, double perturb_sigma = 0.15)
+      : explore_fraction_(explore_fraction), perturb_sigma_(perturb_sigma) {}
+
+  std::string name() const override { return "colt"; }
+  TunerCategory category() const override { return TunerCategory::kAdaptive; }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  double explore_fraction_;
+  double perturb_sigma_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_ADAPTIVE_COLT_H_

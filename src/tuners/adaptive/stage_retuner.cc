@@ -1,0 +1,95 @@
+#include "tuners/adaptive/stage_retuner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "tuners/simulation/addm.h"
+
+namespace atune {
+
+Status StageRetunerTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  auto* iterative = dynamic_cast<IterativeSystem*>(evaluator->system());
+  if (iterative == nullptr) {
+    return Status::FailedPrecondition(
+        "stage-retuner needs a unit-decomposable system");
+  }
+  const ParameterSpace& space = evaluator->space();
+  const std::string system_name = evaluator->system()->name();
+  const size_t units =
+      std::max<size_t>(iterative->NumUnits(evaluator->workload()), 1);
+
+  Configuration current = space.DefaultConfiguration();
+  size_t kept = 0, reverted = 0;
+  std::vector<std::string> chain;
+
+  while (!evaluator->Exhausted()) {
+    double pass_runtime = 0.0;
+    double pass_cost = 0.0;
+    bool failed = false;
+    std::string failure;
+    ExecutionResult aggregate;
+
+    double prev_unit_time = -1.0;
+    Configuration prev_config = current;
+    bool pending_change = false;
+
+    for (size_t u = 0; u < units; ++u) {
+      auto result = evaluator->EvaluateUnit(current, u);
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kResourceExhausted) {
+          pass_cost = -1.0;
+          break;
+        }
+        return result.status();
+      }
+      double unit_time = evaluator->ObjectiveOf(current, *result);
+      pass_runtime += unit_time;
+      pass_cost += 1.0 / static_cast<double>(units);
+      for (const auto& [k, v] : result->metrics) aggregate.metrics[k] += v;
+      if (result->failed) {
+        failed = true;
+        failure = result->failure_reason;
+      }
+
+      // Judge the pending change from the previous boundary.
+      if (pending_change) {
+        if (prev_unit_time > 0.0 && unit_time > prev_unit_time * 1.02) {
+          current = prev_config;  // rollback
+          ++reverted;
+        } else {
+          ++kept;
+        }
+        pending_change = false;
+      }
+      // Diagnose this unit and stage a remedy for the next one.
+      if (u + 1 < units || evaluator->Remaining() > 1.0) {
+        Configuration fixed;
+        std::string finding = AddmTuner::DiagnoseAndFix(
+            system_name, *result, space, current, &fixed);
+        if (!Configuration::Diff(fixed, current).empty()) {
+          prev_config = current;
+          prev_unit_time = unit_time;
+          current = std::move(fixed);
+          pending_change = true;
+          if (chain.size() < 12) chain.push_back(finding);
+          // Reconfiguration between units is not free.
+          pass_runtime += iterative->ReconfigurationCost() * unit_time;
+        }
+      }
+      prev_unit_time = unit_time;
+    }
+    if (pass_cost < 0.0) break;
+    if (pass_cost > 0.0) {
+      aggregate.runtime_seconds = pass_runtime / pass_cost;
+      aggregate.failed = failed;
+      aggregate.failure_reason = failure;
+      evaluator->RecordCompositeTrial(current, aggregate, pass_cost);
+    }
+  }
+  report_ = StrFormat("%zu stage adaptations kept, %zu rolled back; chain: %s",
+                      kept, reverted, Join(chain, " -> ").c_str());
+  return Status::OK();
+}
+
+}  // namespace atune

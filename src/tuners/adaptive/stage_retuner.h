@@ -1,0 +1,32 @@
+#ifndef ATUNE_TUNERS_ADAPTIVE_STAGE_RETUNER_H_
+#define ATUNE_TUNERS_ADAPTIVE_STAGE_RETUNER_H_
+
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Per-stage runtime reconfiguration in the style of mrMoulder [4] and the
+/// dynamic Spark partitioning of Gounaris et al. [10]: between the units of
+/// a long-running job chain, diagnose the finished unit's profile (reusing
+/// the ADDM diagnosis tables) and apply the indicated remedy to the next
+/// unit's configuration; keep the change only if the unit actually got
+/// faster, otherwise roll back. Ad-hoc friendly: no offline model, no
+/// dedicated experiments — all learning happens inside the payload run.
+class StageRetunerTuner : public Tuner {
+ public:
+  StageRetunerTuner() = default;
+
+  std::string name() const override { return "stage-retuner"; }
+  TunerCategory category() const override { return TunerCategory::kAdaptive; }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_ADAPTIVE_STAGE_RETUNER_H_

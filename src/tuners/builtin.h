@@ -1,0 +1,31 @@
+#ifndef ATUNE_TUNERS_BUILTIN_H_
+#define ATUNE_TUNERS_BUILTIN_H_
+
+#include <string>
+
+#include "core/registry.h"
+
+namespace atune {
+
+/// Registers every tuner in the library under its canonical name:
+///
+///   rule-based:        "rules-dbms", "rules-mapreduce", "rules-spark",
+///                      "spex", "config-navigator"
+///   cost modeling:     "cost-model", "stmm"
+///   simulation-based:  "trace-simulator", "addm", "starfish"
+///   experiment-driven: "random-search", "grid-search", "recursive-random",
+///                      "sard", "adaptive-sampling", "ituned"
+///   machine learning:  "ottertune", "rodd-nn", "ernest", "grey-box"
+///   adaptive:          "colt", "adaptive-memory", "stage-retuner"
+void RegisterBuiltinTuners(TunerRegistry* registry);
+
+/// Registers one representative tuner per taxonomy category for a given
+/// system (used by the Table-1 comparison benches): the rule set matching
+/// `system_name`, cost-model, trace-simulator, ituned, ottertune, and a
+/// suitable adaptive tuner.
+void RegisterCategoryRepresentatives(TunerRegistry* registry,
+                                     const std::string& system_name);
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_BUILTIN_H_

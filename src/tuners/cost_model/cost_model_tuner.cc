@@ -1,0 +1,71 @@
+#include "tuners/cost_model/cost_model_tuner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+Status CostModelTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  const ParameterSpace& space = evaluator->space();
+  std::unique_ptr<CostModel> model =
+      MakeCostModelForSystem(evaluator->system()->name());
+  std::map<std::string, double> descriptors =
+      evaluator->system()->Descriptors();
+  const Workload& workload = evaluator->workload();
+
+  // Phase 1: free search on the model.
+  struct Scored {
+    Configuration config;
+    double predicted;
+  };
+  std::vector<Scored> pool;
+  pool.reserve(model_search_size_);
+  pool.push_back({space.DefaultConfiguration(), 0.0});
+  for (size_t i = 1; i < model_search_size_; ++i) {
+    pool.push_back({space.RandomConfiguration(rng), 0.0});
+  }
+  for (Scored& s : pool) {
+    s.predicted = model->PredictRuntime(s.config, workload, descriptors);
+  }
+  std::sort(pool.begin(), pool.end(), [](const Scored& a, const Scored& b) {
+    return a.predicted < b.predicted;
+  });
+
+  // Local refinement around the model optimum.
+  Scored best = pool.front();
+  for (int iter = 0; iter < 200; ++iter) {
+    Configuration cand = space.Neighbor(best.config, 0.05, rng);
+    double pred = model->PredictRuntime(cand, workload, descriptors);
+    if (pred < best.predicted) best = {std::move(cand), pred};
+  }
+
+  // Phase 2: validate the few best predictions with real runs.
+  size_t validated = 0;
+  std::vector<Scored> candidates;
+  candidates.push_back(best);
+  for (size_t i = 1; i < pool.size() && candidates.size() < validation_runs_;
+       ++i) {
+    candidates.push_back(pool[i]);
+  }
+  double first_real = 0.0;
+  for (const Scored& s : candidates) {
+    if (evaluator->Exhausted()) break;
+    auto obj = evaluator->Evaluate(s.config);
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    if (validated == 0) first_real = *obj;
+    ++validated;
+  }
+  report_ = StrFormat(
+      "scored %zu configs on %s (model best %.2fs); validated %zu with real "
+      "runs (first measured %.2fs)",
+      model_search_size_, model->name().c_str(), best.predicted, validated,
+      first_real);
+  return Status::OK();
+}
+
+}  // namespace atune

@@ -1,0 +1,41 @@
+#ifndef ATUNE_TUNERS_COST_MODEL_COST_MODEL_TUNER_H_
+#define ATUNE_TUNERS_COST_MODEL_COST_MODEL_TUNER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/tuner.h"
+#include "tuners/cost_model/cost_models.h"
+
+namespace atune {
+
+/// Cost-modeling tuner (paper category 2): optimizes the white-box model's
+/// predicted runtime with a large random + local search — model evaluations
+/// are nearly free — then spends a handful of real runs validating the top
+/// predicted configurations. "Very efficient for predicting performance"
+/// but only as good as the model's assumptions (Table 1).
+class CostModelTuner : public Tuner {
+ public:
+  /// `model_search_size`: candidate configurations scored on the model.
+  /// `validation_runs`: top-k predicted configs measured for real.
+  explicit CostModelTuner(size_t model_search_size = 3000,
+                          size_t validation_runs = 3)
+      : model_search_size_(model_search_size),
+        validation_runs_(validation_runs) {}
+
+  std::string name() const override { return "cost-model"; }
+  TunerCategory category() const override {
+    return TunerCategory::kCostModeling;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  size_t model_search_size_;
+  size_t validation_runs_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_COST_MODEL_COST_MODEL_TUNER_H_

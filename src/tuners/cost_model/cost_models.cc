@@ -1,0 +1,252 @@
+#include "tuners/cost_model/cost_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atune {
+
+namespace {
+
+double Desc(const std::map<std::string, double>& d, const std::string& key,
+            double fallback) {
+  auto it = d.find(key);
+  return it == d.end() ? fallback : it->second;
+}
+
+// --- DBMS ------------------------------------------------------------
+
+class DbmsCostModel : public CostModel {
+ public:
+  std::string name() const override { return "dbms-cost-model"; }
+
+  double PredictRuntime(
+      const Configuration& config, const Workload& workload,
+      const std::map<std::string, double>& d) const override {
+    if (workload.kind == "oltp") return PredictOltp(config, workload, d);
+    if (workload.kind == "mixed") {
+      return 0.75 * (PredictOltp(config, workload, d) +
+                     PredictOlap(config, workload, d));
+    }
+    return PredictOlap(config, workload, d);
+  }
+
+ private:
+  // First-order buffer model: hit ratio linear-ish in coverage (the real
+  // system's curve is skew-dependent and concave — a modeling gap).
+  static double Hit(double pool_mb, double ws_mb) {
+    return std::clamp(pool_mb / std::max(ws_mb, 1.0), 0.0, 0.98);
+  }
+
+  double PredictOlap(const Configuration& config, const Workload& w,
+                     const std::map<std::string, double>& d) const {
+    double data_mb = w.PropertyOr("data_mb", 4096.0) * w.scale;
+    double queries = std::max(1.0, w.PropertyOr("queries", 20.0));
+    double clients = std::max(1.0, w.PropertyOr("clients", 4.0));
+    double selectivity = std::clamp(w.PropertyOr("selectivity", 0.4), 0.01, 1.0);
+    double sort_frac = w.PropertyOr("sort_frac", 0.25);
+    double bp = static_cast<double>(config.IntOr("buffer_pool_mb", 512));
+    double wm = static_cast<double>(config.IntOr("work_mem_mb", 4));
+    double workers = static_cast<double>(config.IntOr("max_workers", 2));
+    double cores = Desc(d, "total_cores", 8.0);
+    double disk = Desc(d, "disk_mbps", 200.0) * Desc(d, "num_nodes", 1.0);
+    double ram = Desc(d, "total_ram_mb", 16384.0);
+
+    double scan_mb = queries * selectivity * data_mb;
+    double read_mb = scan_mb * (1.0 - Hit(bp, selectivity * data_mb));
+    double io_s = read_mb / disk;
+    double need = sort_frac * selectivity * data_mb;
+    // Graded spill: the shortfall is written and re-read once per query
+    // (the real engine's multi-pass merges are sharper, but the model
+    // keeps a smooth gradient for cost-benefit analysis).
+    double spill_mb =
+        need > wm ? 2.0 * (need - wm) * (1.0 + need / (wm + need)) * queries
+                  : 0.0;
+    io_s += spill_mb / disk;
+    double cpu_s = scan_mb * 0.0015 + queries * 0.05;
+    cpu_s /= std::min(workers * clients, cores);
+    // Memory pressure: linear penalty only (the cliff is sharper in truth).
+    double reserved = bp + clients * workers * wm + 256.0;
+    double pressure = std::max(0.0, reserved / ram - 1.0);
+    return (std::max(io_s, cpu_s) + 0.3 * std::min(io_s, cpu_s)) *
+           (1.0 + 10.0 * pressure) + queries * 0.01;
+  }
+
+  double PredictOltp(const Configuration& config, const Workload& w,
+                     const std::map<std::string, double>& d) const {
+    double txns = w.PropertyOr("txns", 200000.0) * w.scale;
+    double clients = std::max(1.0, w.PropertyOr("clients", 32.0));
+    double read_ratio = std::clamp(w.PropertyOr("read_ratio", 0.8), 0.0, 1.0);
+    double ws = w.PropertyOr("working_set_mb", 2048.0) * w.scale;
+    double bp = static_cast<double>(config.IntOr("buffer_pool_mb", 512));
+    double timeout = static_cast<double>(config.IntOr("deadlock_timeout_ms", 1000));
+    std::string flush = config.StringOr("log_flush", "immediate");
+    double cores = Desc(d, "total_cores", 8.0);
+    double iops = Desc(d, "disk_iops", 500.0) * Desc(d, "num_nodes", 1.0);
+    double ram = Desc(d, "total_ram_mb", 16384.0);
+
+    double reads = txns * (1.0 + 4.0 * read_ratio);
+    double misses = reads * (1.0 - Hit(bp, ws));
+    double io_s = misses / (iops * 4.0);  // overlapped random reads
+    double cpu_s = txns * 0.00025 / std::min(clients, cores);
+    double commit_s = 0.0;
+    if (flush == "immediate") {
+      commit_s = txns * 0.002 / clients;
+    } else if (flush == "group") {
+      commit_s = txns * 0.002 / clients / std::min(clients, 8.0);
+    }
+    // The model knows short timeouts cause aborts but uses a crude linear
+    // proxy and misses the storm cliff.
+    double abort_penalty = timeout < 200.0 ? (200.0 - timeout) / 200.0 : 0.0;
+    double reserved = bp + clients * 4.0 + 256.0;
+    double pressure = std::max(0.0, reserved / ram - 1.0);
+    return (std::max(io_s, cpu_s) + commit_s) *
+           (1.0 + abort_penalty) * (1.0 + 10.0 * pressure);
+  }
+};
+
+// --- MapReduce -----------------------------------------------------------
+
+class MrCostModel : public CostModel {
+ public:
+  std::string name() const override { return "mapreduce-cost-model"; }
+
+  double PredictRuntime(
+      const Configuration& config, const Workload& w,
+      const std::map<std::string, double>& d) const override {
+    double input_mb = w.PropertyOr("input_mb", 10240.0) * w.scale;
+    double sel = w.PropertyOr("map_selectivity", 1.0);
+    double map_cpu = w.PropertyOr("map_cpu_s_per_mb", 0.004);
+    double reduce_cpu = w.PropertyOr("reduce_cpu_s_per_mb", 0.003);
+    double jobs = std::max(1.0, w.PropertyOr("num_jobs", 1.0));
+
+    double block = static_cast<double>(config.IntOr("dfs_block_mb", 64));
+    double mslots = static_cast<double>(config.IntOr("map_slots_per_node", 2));
+    double rslots =
+        static_cast<double>(config.IntOr("reduce_slots_per_node", 2));
+    double reducers = static_cast<double>(config.IntOr("num_reducers", 1));
+    double sortmb = static_cast<double>(config.IntOr("io_sort_mb", 100));
+    double task_mem = static_cast<double>(config.IntOr("task_memory_mb", 512));
+
+    // Hard feasibility limits the what-if engine knows from the config
+    // documentation: the sort buffer must fit the task heap, and the slots'
+    // heaps must fit node memory.
+    if (sortmb > 0.8 * task_mem) return 1e6;
+    if ((mslots + rslots) * task_mem > Desc(d, "node_ram_mb", 8192.0) * 1.05) {
+      return 1e6;
+    }
+    bool compress = config.BoolOr("compress_map_output", false);
+    bool combiner = config.BoolOr("combiner", false);
+    bool jvm_reuse = config.BoolOr("jvm_reuse", false);
+
+    double nodes = Desc(d, "num_nodes", 4.0);
+    double disk = Desc(d, "disk_mbps", 200.0);
+    double net = Desc(d, "network_mbps", 1000.0) * nodes;
+
+    double maps = std::ceil(input_mb / block);
+    double map_waves = std::ceil(maps / (mslots * nodes));
+    double out_per_map = block * sel;
+    if (combiner) out_per_map *= w.PropertyOr("combiner_reduction", 1.0);
+    double ratio = compress ? 0.5 : 1.0;
+    double spills = out_per_map * ratio > sortmb * 0.8 ? 2.0 : 1.0;
+    double startup = jvm_reuse ? 0.3 : 2.0;
+    double map_task = startup + block / (disk / mslots) +
+                      block * map_cpu +
+                      out_per_map * ratio * spills / (disk / mslots);
+    double map_s = map_waves * map_task;
+
+    double shuffle_mb = out_per_map * ratio * maps;
+    double shuffle_s = shuffle_mb / std::min(net, reducers * 50.0);
+
+    double rwaves = std::ceil(reducers / (rslots * nodes));
+    double per_red = out_per_map * maps / reducers;
+    double red_task = startup + per_red * reduce_cpu +
+                      per_red * 2.0 / (disk / rslots);
+    double reduce_s = rwaves * red_task;
+    // No skew, no stragglers, no merge passes: simplified assumptions.
+    return jobs * (map_s + shuffle_s + reduce_s + 3.0);
+  }
+};
+
+// --- Spark ---------------------------------------------------------------
+
+class SparkCostModel : public CostModel {
+ public:
+  std::string name() const override { return "spark-cost-model"; }
+
+  double PredictRuntime(
+      const Configuration& config, const Workload& w,
+      const std::map<std::string, double>& d) const override {
+    double data_mb = w.PropertyOr("data_mb", 8192.0) * w.scale;
+    double units = std::max(
+        1.0, w.kind == "iterative_ml" ? w.PropertyOr("iterations", 10.0)
+             : w.kind == "streaming"  ? w.PropertyOr("batches", 20.0)
+                                      : w.PropertyOr("queries", 10.0));
+    double execs = static_cast<double>(config.IntOr("num_executors", 2));
+    double cores = static_cast<double>(config.IntOr("executor_cores", 1));
+    double mem = static_cast<double>(config.IntOr("executor_memory_mb", 1024));
+    double mem_frac = config.DoubleOr("memory_fraction", 0.6);
+    double stor_frac = config.DoubleOr("storage_fraction", 0.5);
+    double parts = static_cast<double>(config.IntOr("shuffle_partitions", 200));
+    bool kryo = config.StringOr("serializer", "java") == "kryo";
+
+    double total_cores = Desc(d, "total_cores", 32.0);
+    double total_ram = Desc(d, "total_ram_mb", 65536.0);
+    double disk = Desc(d, "disk_mbps", 200.0) * Desc(d, "num_nodes", 4.0);
+
+    double granted = std::min(execs * cores, total_cores);
+    if (execs * mem > total_ram) return 1e6;  // won't launch
+
+    double cpu_per_mb = w.PropertyOr("cpu_s_per_mb", 0.005);
+    double batch_mb = w.kind == "streaming" ? w.PropertyOr("batch_mb", 64.0)
+                                            : data_mb;
+    double scan_tasks = std::ceil(batch_mb / 128.0);
+    double expansion = kryo ? 1.6 : 2.8;
+    double exec_mem_per_task =
+        (mem - 300.0) * mem_frac * (1.0 - stor_frac) / std::max(1.0, cores);
+
+    double unit_s = 0.0;
+    // Scan stage.
+    double scan_waves = std::ceil(scan_tasks / granted);
+    double per_task_mb = batch_mb / scan_tasks;
+    double cache_cap = (mem - 300.0) * mem_frac * stor_frac * execs;
+    double cache_hit =
+        w.kind == "iterative_ml"
+            ? std::clamp(cache_cap / (data_mb * expansion), 0.0, 1.0)
+            : 0.0;
+    double read_s = per_task_mb * (1.0 - cache_hit) / (disk / granted);
+    unit_s += scan_waves * (0.08 + read_s + per_task_mb * cpu_per_mb);
+    // Shuffle/agg stage.
+    double shuffle_mb = batch_mb * w.PropertyOr("shuffle_selectivity", 0.5);
+    double agg_tasks = parts;
+    double agg_waves = std::ceil(agg_tasks / granted);
+    double agg_per_task = shuffle_mb / agg_tasks;
+    double spill = agg_per_task * expansion > exec_mem_per_task ? 2.0 : 1.0;
+    unit_s += agg_waves *
+              (0.08 + agg_per_task * spill / (disk / granted) +
+               agg_per_task * 0.006);
+    // GC/serializer first-order effect only.
+    unit_s *= kryo ? 1.03 : 1.10;
+    return units * (unit_s + 0.4) + 4.0;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CostModel> MakeDbmsCostModel() {
+  return std::make_unique<DbmsCostModel>();
+}
+std::unique_ptr<CostModel> MakeMapReduceCostModel() {
+  return std::make_unique<MrCostModel>();
+}
+std::unique_ptr<CostModel> MakeSparkCostModel() {
+  return std::make_unique<SparkCostModel>();
+}
+
+std::unique_ptr<CostModel> MakeCostModelForSystem(
+    const std::string& system_name) {
+  if (system_name == "simulated-mapreduce") return MakeMapReduceCostModel();
+  if (system_name == "simulated-spark") return MakeSparkCostModel();
+  return MakeDbmsCostModel();
+}
+
+}  // namespace atune

@@ -1,0 +1,43 @@
+#ifndef ATUNE_TUNERS_COST_MODEL_COST_MODELS_H_
+#define ATUNE_TUNERS_COST_MODEL_COST_MODELS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/configuration.h"
+#include "core/system.h"
+
+namespace atune {
+
+/// A white-box analytical performance model, built from "a deep
+/// understanding of system internals" (paper §2.1, category 2) rather than
+/// from measurements. Deliberately simpler than the simulators it predicts:
+/// it captures first-order effects (buffer hits, spills, waves, shuffle
+/// volume) but omits noise, stragglers/heterogeneity, optimizer-statistics
+/// effects, GC dynamics and burst stalls — exactly the "models based on
+/// simplified assumptions" weakness Table 1 lists.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  virtual std::string name() const = 0;
+  /// Predicted runtime in seconds (no failure modeling beyond huge values).
+  virtual double PredictRuntime(
+      const Configuration& config, const Workload& workload,
+      const std::map<std::string, double>& descriptors) const = 0;
+};
+
+/// Model for SimulatedDbms (buffer pool / work_mem / commit path).
+std::unique_ptr<CostModel> MakeDbmsCostModel();
+/// Model for SimulatedMapReduce (waves / spills / shuffle).
+std::unique_ptr<CostModel> MakeMapReduceCostModel();
+/// Model for SimulatedSpark (stage waves / memory plan / shuffle).
+std::unique_ptr<CostModel> MakeSparkCostModel();
+
+/// Picks the model matching a system name; defaults to the DBMS model.
+std::unique_ptr<CostModel> MakeCostModelForSystem(
+    const std::string& system_name);
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_COST_MODEL_COST_MODELS_H_

@@ -1,0 +1,97 @@
+#include "tuners/cost_model/stmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "tuners/cost_model/cost_models.h"
+
+namespace atune {
+
+Status StmmTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  if (evaluator->system()->name() != "simulated-dbms") {
+    return Status::FailedPrecondition(
+        "stmm redistributes DBMS memory consumers; system is not a DBMS");
+  }
+  const ParameterSpace& space = evaluator->space();
+  std::map<std::string, double> descriptors =
+      evaluator->system()->Descriptors();
+  const Workload& workload = evaluator->workload();
+  std::unique_ptr<CostModel> model = MakeDbmsCostModel();
+
+  const double ram = [&] {
+    auto it = descriptors.find("total_ram_mb");
+    return it == descriptors.end() ? 16384.0 : it->second;
+  }();
+  const double clients = std::max(1.0, workload.PropertyOr("clients", 16.0));
+  const double budget = ram * budget_fraction_;
+
+  // Consumers and their current allocations (MB of budget each owns).
+  // work_mem is per client, so its budget share is work_mem * clients.
+  Configuration config = space.DefaultConfiguration();
+  double buffer_pool = 0.25 * budget;
+  double work_total = 0.10 * budget;
+  double wal = std::min(64.0, 0.01 * budget);
+
+  auto apply = [&](Configuration* c) {
+    c->SetInt("buffer_pool_mb",
+              std::max<int64_t>(64, static_cast<int64_t>(buffer_pool)));
+    c->SetInt("work_mem_mb",
+              std::max<int64_t>(
+                  1, static_cast<int64_t>(work_total / clients)));
+    c->SetInt("wal_buffer_mb",
+              std::max<int64_t>(1, static_cast<int64_t>(wal)));
+    *c = space.FromUnitVector(space.ToUnitVector(*c));
+  };
+
+  auto predict = [&]() {
+    Configuration c = config;
+    apply(&c);
+    return model->PredictRuntime(c, workload, descriptors);
+  };
+
+  // Cost-benefit loop: trial-move an increment between every ordered pair
+  // of consumers; take the move with the best predicted benefit; stop when
+  // no move helps. This is STMM's greedy equilibrium search.
+  const double step = budget * 0.02;
+  int moves = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double base = predict();
+    double best_gain = 1e-6;
+    int best_from = -1, best_to = -1;
+    double* pools[3] = {&buffer_pool, &work_total, &wal};
+    for (int from = 0; from < 3; ++from) {
+      for (int to = 0; to < 3; ++to) {
+        if (from == to || *pools[from] <= step) continue;
+        *pools[from] -= step;
+        *pools[to] += step;
+        double gain = base - predict();
+        *pools[from] += step;
+        *pools[to] -= step;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_from = from;
+          best_to = to;
+        }
+      }
+    }
+    if (best_from < 0) break;
+    *pools[best_from] -= step;
+    *pools[best_to] += step;
+    ++moves;
+  }
+
+  apply(&config);
+  report_ = StrFormat(
+      "equilibrium after %d transfers: buffer_pool=%.0f MB, work_mem=%.0f "
+      "MB/client, wal=%.0f MB (budget %.0f MB)",
+      moves, buffer_pool, work_total / clients, wal, budget);
+  if (!evaluator->Exhausted()) {
+    ATUNE_ASSIGN_OR_RETURN(double obj, evaluator->Evaluate(config));
+    (void)obj;
+  }
+  return Status::OK();
+}
+
+}  // namespace atune

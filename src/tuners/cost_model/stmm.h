@@ -1,0 +1,42 @@
+#ifndef ATUNE_TUNERS_COST_MODEL_STMM_H_
+#define ATUNE_TUNERS_COST_MODEL_STMM_H_
+
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Self-Tuning Memory Manager in the style of DB2's STMM [Storm et al.,
+/// VLDB'06]: distributes a fixed memory budget among memory consumers
+/// (buffer pool, sort/hash work memory, WAL buffer) by *cost-benefit
+/// analysis* — repeatedly move a memory increment from the consumer with
+/// the smallest marginal benefit to the one with the largest, where
+/// marginal benefits come from an analytical model (saved disk seconds per
+/// MB). Converges to an equilibrium allocation without experiments, then
+/// validates with one real run.
+///
+/// DBMS-specific (the knobs it redistributes are buffer_pool_mb,
+/// work_mem_mb, wal_buffer_mb); on other systems Tune returns
+/// FailedPrecondition.
+class StmmTuner : public Tuner {
+ public:
+  /// `memory_budget_fraction`: share of RAM the consumers may use together.
+  explicit StmmTuner(double memory_budget_fraction = 0.8)
+      : budget_fraction_(memory_budget_fraction) {}
+
+  std::string name() const override { return "stmm"; }
+  TunerCategory category() const override {
+    return TunerCategory::kCostModeling;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  double budget_fraction_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_COST_MODEL_STMM_H_

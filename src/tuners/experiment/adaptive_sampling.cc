@@ -1,0 +1,81 @@
+#include "tuners/experiment/adaptive_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/string_util.h"
+#include "math/sampling.h"
+
+namespace atune {
+
+Status AdaptiveSamplingTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  const ParameterSpace& space = evaluator->space();
+  size_t dims = space.dims();
+  std::vector<Vec> visited;
+
+  // Bootstrap: defaults + LHS design.
+  auto first = evaluator->Evaluate(space.DefaultConfiguration());
+  if (!first.ok()) return first.status();
+  visited.push_back(space.ToUnitVector(space.DefaultConfiguration()));
+
+  std::vector<Vec> seeds = LatinHypercubeSamples(bootstrap_, dims, rng);
+  for (const Vec& u : seeds) {
+    if (evaluator->Exhausted()) break;
+    auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    visited.push_back(u);
+  }
+
+  size_t exploit_runs = 0, explore_runs = 0;
+  double total_budget = static_cast<double>(evaluator->budget().max_evaluations);
+  while (!evaluator->Exhausted()) {
+    double progress = evaluator->used() / std::max(total_budget, 1.0);
+    double p_explore = explore_start_ * (1.0 - progress);
+    Vec next;
+    if (rng->Bernoulli(p_explore)) {
+      // Exploration: of k random candidates, take the one farthest from
+      // every visited point (greedy maximin).
+      double best_dist = -1.0;
+      for (int i = 0; i < 32; ++i) {
+        Vec cand(dims);
+        for (double& x : cand) x = rng->Uniform();
+        double dist = std::numeric_limits<double>::infinity();
+        for (const Vec& v : visited) {
+          dist = std::min(dist, SquaredDistance(cand, v));
+        }
+        if (dist > best_dist) {
+          best_dist = dist;
+          next = std::move(cand);
+        }
+      }
+      ++explore_runs;
+    } else {
+      // Exploitation: Gaussian step around the incumbent, shrinking with
+      // progress.
+      double sigma = 0.25 * (1.0 - 0.7 * progress);
+      Vec best_u = space.ToUnitVector(evaluator->best()->config);
+      next.resize(dims);
+      for (size_t d = 0; d < dims; ++d) {
+        next[d] = std::clamp(best_u[d] + rng->Normal(0.0, sigma), 0.0, 1.0);
+      }
+      ++exploit_runs;
+    }
+    auto obj = evaluator->Evaluate(space.FromUnitVector(next));
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    visited.push_back(next);
+  }
+  report_ = StrFormat(
+      "bootstrap %zu LHS runs, then %zu exploit + %zu explore samples",
+      seeds.size(), exploit_runs, explore_runs);
+  return Status::OK();
+}
+
+}  // namespace atune

@@ -1,0 +1,37 @@
+#ifndef ATUNE_TUNERS_EXPERIMENT_ADAPTIVE_SAMPLING_H_
+#define ATUNE_TUNERS_EXPERIMENT_ADAPTIVE_SAMPLING_H_
+
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Adaptive sampling in the spirit of Babu et al. [HotOS'09]
+/// ("Automated experiment-driven management of (database) systems"):
+/// bootstrap with a space-filling design, then choose each next experiment
+/// to balance *exploitation* (sample near the incumbent) against
+/// *exploration* (sample far from everything tried), without building a
+/// global surrogate model. The explore probability decays as the budget is
+/// spent.
+class AdaptiveSamplingTuner : public Tuner {
+ public:
+  AdaptiveSamplingTuner(size_t bootstrap = 6, double explore_start = 0.6)
+      : bootstrap_(bootstrap), explore_start_(explore_start) {}
+
+  std::string name() const override { return "adaptive-sampling"; }
+  TunerCategory category() const override {
+    return TunerCategory::kExperimentDriven;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  size_t bootstrap_;
+  double explore_start_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_EXPERIMENT_ADAPTIVE_SAMPLING_H_

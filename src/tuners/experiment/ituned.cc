@@ -1,0 +1,114 @@
+#include "tuners/experiment/ituned.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+#include "math/sampling.h"
+#include "ml/acquisition.h"
+
+namespace atune {
+
+Status ITunedTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  const ParameterSpace& space = evaluator->space();
+  size_t dims = space.dims();
+
+  std::vector<Vec> xs;
+  Vec ys;  // log objectives
+  auto record = [&](const Vec& u, double obj) {
+    xs.push_back(u);
+    ys.push_back(std::log(std::max(obj, 1e-6)));
+  };
+
+  // Defaults + maximin LHS bootstrap.
+  {
+    Configuration defaults = space.DefaultConfiguration();
+    auto obj = evaluator->Evaluate(defaults);
+    if (!obj.ok()) return obj.status();
+    record(space.ToUnitVector(defaults), *obj);
+  }
+  std::vector<Vec> design =
+      MaximinLatinHypercube(options_.initial_design, dims, 16, rng);
+  for (const Vec& u : design) {
+    if (evaluator->Exhausted()) break;
+    auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    record(u, *obj);
+  }
+
+  // Bayesian optimization loop.
+  size_t bo_iters = 0;
+  size_t aborts = 0;
+  double last_acq = 0.0;
+  while (!evaluator->Exhausted()) {
+    GaussianProcess gp(GpHyperParams{options_.kernel, {}, 1.0, 1e-4});
+    Status fit = gp.FitWithHyperSearch(xs, ys, options_.gp_hyper_budget, rng);
+    Vec next;
+    if (fit.ok()) {
+      double best_log = *std::min_element(ys.begin(), ys.end());
+      double best_acq = -std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < options_.acquisition_candidates; ++i) {
+        Vec cand(dims);
+        if (i % 3 == 0 && !xs.empty()) {
+          // A third of candidates perturb the incumbent (local refinement).
+          const Vec& inc = xs[static_cast<size_t>(
+              std::min_element(ys.begin(), ys.end()) - ys.begin())];
+          for (size_t d = 0; d < dims; ++d) {
+            cand[d] = std::clamp(inc[d] + rng->Normal(0.0, 0.08), 0.0, 1.0);
+          }
+        } else {
+          for (double& x : cand) x = rng->Uniform();
+        }
+        GpPrediction pred = gp.Predict(cand);
+        double acq;
+        if (options_.acquisition == "pi") {
+          acq = ProbabilityOfImprovement(pred, best_log);
+        } else if (options_.acquisition == "lcb") {
+          acq = LowerConfidenceBound(pred);
+        } else {
+          acq = ExpectedImprovement(pred, best_log);
+        }
+        if (acq > best_acq) {
+          best_acq = acq;
+          next = std::move(cand);
+        }
+      }
+      last_acq = best_acq;
+    } else {
+      // Degenerate GP (e.g. constant responses): fall back to random.
+      next.resize(dims);
+      for (double& x : next) x = rng->Uniform();
+    }
+    Result<double> obj = Status::Internal("unset");
+    bool aborted = false;
+    if (options_.early_abort_factor > 0.0 && evaluator->best() != nullptr) {
+      obj = evaluator->EvaluateWithEarlyAbort(
+          space.FromUnitVector(next),
+          options_.early_abort_factor * evaluator->best()->objective,
+          &aborted);
+      if (aborted) ++aborts;
+    } else {
+      obj = evaluator->Evaluate(space.FromUnitVector(next));
+    }
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    // Censored observations still enter the surrogate: the lower bound is
+    // enough for the GP to steer away from the region.
+    record(next, *obj);
+    ++bo_iters;
+  }
+  report_ = StrFormat(
+      "LHS design %zu + %zu GP/%s iterations (%zu early-aborted, final acq "
+      "%.4f, %zu obs)",
+      design.size(), bo_iters, options_.acquisition.c_str(), aborts, last_acq,
+      xs.size());
+  return Status::OK();
+}
+
+}  // namespace atune

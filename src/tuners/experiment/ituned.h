@@ -1,0 +1,59 @@
+#ifndef ATUNE_TUNERS_EXPERIMENT_ITUNED_H_
+#define ATUNE_TUNERS_EXPERIMENT_ITUNED_H_
+
+#include <string>
+
+#include "core/tuner.h"
+#include "ml/gaussian_process.h"
+
+namespace atune {
+
+/// Options for the iTuned loop.
+struct ITunedOptions {
+  /// Initial space-filling design size (iTuned's LHS bootstrap).
+  size_t initial_design = 8;
+  /// Candidate points scored by the acquisition function per iteration.
+  size_t acquisition_candidates = 2000;
+  /// Hyperparameter random-search budget per GP refit.
+  size_t gp_hyper_budget = 24;
+  /// GP kernel.
+  KernelType kernel = KernelType::kMatern52;
+  /// Acquisition: "ei" (default), "pi", or "lcb".
+  std::string acquisition = "ei";
+  /// iTuned's early abort of low-utility experiments: stop any run that
+  /// exceeds `early_abort_factor` x the incumbent objective and charge only
+  /// the budget actually burned. 0 disables (default, for exact
+  /// comparability with the other tuners; see the A6 ablation).
+  double early_abort_factor = 0.0;
+};
+
+/// iTuned [Duan, Thummala & Babu, VLDB'09]: experiment-driven tuning with
+/// a Gaussian-process response-surface model and Expected-Improvement
+/// planning — i.e. Bayesian optimization over the configuration space:
+///
+///   1. run a maximin Latin Hypercube design of initial experiments;
+///   2. fit a GP to (config, objective) observations;
+///   3. run the experiment maximizing Expected Improvement; goto 2.
+///
+/// Objectives are log-transformed before GP fitting (runtimes are
+/// positive and long-tailed, especially with failure penalties).
+class ITunedTuner : public Tuner {
+ public:
+  explicit ITunedTuner(ITunedOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "ituned"; }
+  TunerCategory category() const override {
+    return TunerCategory::kExperimentDriven;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  ITunedOptions options_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_EXPERIMENT_ITUNED_H_

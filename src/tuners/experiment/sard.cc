@@ -1,0 +1,89 @@
+#include "tuners/experiment/sard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "math/doe.h"
+
+namespace atune {
+
+Status SardTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  const ParameterSpace& space = evaluator->space();
+  size_t dims = space.dims();
+  ranking_.clear();
+  effects_.assign(dims, 0.0);
+
+  ATUNE_ASSIGN_OR_RETURN(
+      TwoLevelDesign design,
+      foldover_ ? PlackettBurmanFoldover(dims) : PlackettBurman(dims));
+
+  // Run the screening design (or as much of it as the budget allows).
+  std::vector<double> responses;
+  size_t completed = 0;
+  for (const std::vector<int>& row : design.rows) {
+    if (evaluator->Exhausted()) break;
+    Vec u(dims);
+    for (size_t d = 0; d < dims; ++d) u[d] = row[d] > 0 ? high_ : low_;
+    auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    responses.push_back(*obj);
+    ++completed;
+  }
+  if (completed < 4) {
+    report_ = StrFormat(
+        "budget too small for screening: %zu/%zu design runs completed",
+        completed, design.rows.size());
+    return Status::OK();
+  }
+  // Main effects over the completed prefix (orthogonality degrades if the
+  // design was truncated, which SARD accepts as an approximation).
+  TwoLevelDesign done = design;
+  done.rows.resize(completed);
+  ATUNE_ASSIGN_OR_RETURN(effects_, MainEffects(done, responses));
+  std::vector<size_t> order = RankByEffect(effects_);
+  for (size_t d : order) ranking_.push_back(space.param(d).name());
+
+  // Greedy refinement of the strongest knobs from the best screened point.
+  Vec current = space.ToUnitVector(evaluator->best()->config);
+  double best_obj = evaluator->best()->objective;
+  for (size_t rank = 0; rank < std::min(refine_top_k_, dims); ++rank) {
+    size_t d = order[rank];
+    // Search toward the better side first (sign of the effect tells which
+    // level helped; negative effect = high level lowers the objective).
+    std::vector<double> levels = effects_[d] < 0.0
+                                     ? std::vector<double>{1.0, 0.65, 0.35}
+                                     : std::vector<double>{0.0, 0.35, 0.65};
+    double best_level = current[d];
+    for (double level : levels) {
+      if (evaluator->Exhausted()) break;
+      Vec u = current;
+      u[d] = level;
+      auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+      if (*obj < best_obj) {
+        best_obj = *obj;
+        best_level = level;
+      }
+    }
+    current[d] = best_level;
+    if (evaluator->Exhausted()) break;
+  }
+
+  std::vector<std::string> top(
+      ranking_.begin(), ranking_.begin() + std::min<size_t>(5, ranking_.size()));
+  report_ = StrFormat(
+      "PB%s screening: %zu runs over %zu factors; top effects: %s",
+      foldover_ ? "+foldover" : "", completed, dims,
+      Join(top, " > ").c_str());
+  return Status::OK();
+}
+
+}  // namespace atune

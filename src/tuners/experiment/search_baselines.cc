@@ -1,0 +1,110 @@
+#include "tuners/experiment/search_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "math/sampling.h"
+
+namespace atune {
+
+Status RandomSearchTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  const ParameterSpace& space = evaluator->space();
+  size_t runs = 0;
+  // Always measure the defaults first: a sane incumbent.
+  auto first = evaluator->Evaluate(space.DefaultConfiguration());
+  if (!first.ok()) return first.status();
+  ++runs;
+  while (!evaluator->Exhausted()) {
+    auto obj = evaluator->Evaluate(space.RandomConfiguration(rng));
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    ++runs;
+  }
+  report_ = StrFormat("%zu uniform random evaluations", runs);
+  return Status::OK();
+}
+
+Status GridSearchTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  const ParameterSpace& space = evaluator->space();
+  size_t dims = space.dims();
+  size_t budget = evaluator->budget().max_evaluations;
+  // Lattice points via Halton, snapped to `levels_` levels per dimension:
+  // a budget-bounded stand-in for the exponential full grid.
+  std::vector<Vec> points = HaltonSamples(budget, dims);
+  double denom = static_cast<double>(std::max<size_t>(levels_, 2) - 1);
+  size_t runs = 0;
+  for (Vec& p : points) {
+    for (double& x : p) {
+      x = std::round(x * denom) / denom;
+    }
+    if (evaluator->Exhausted()) break;
+    auto obj = evaluator->Evaluate(space.FromUnitVector(p));
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    ++runs;
+  }
+  report_ = StrFormat("%zu lattice points at %zu levels/dim over %zu dims",
+                      runs, levels_, dims);
+  return Status::OK();
+}
+
+Status RecursiveRandomSearchTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  const ParameterSpace& space = evaluator->space();
+  size_t dims = space.dims();
+
+  auto first = evaluator->Evaluate(space.DefaultConfiguration());
+  if (!first.ok()) return first.status();
+
+  Vec center(dims, 0.5);
+  double radius = 0.5;  // full cube
+  double best_obj = *first;
+  Vec best_center = space.ToUnitVector(space.DefaultConfiguration());
+  size_t restarts = 0, shrinks = 0;
+
+  while (!evaluator->Exhausted()) {
+    // Sample `per_region_` points in the current box around the incumbent.
+    bool improved = false;
+    for (size_t i = 0; i < per_region_ && !evaluator->Exhausted(); ++i) {
+      Vec u(dims);
+      for (size_t d = 0; d < dims; ++d) {
+        double lo = std::max(0.0, center[d] - radius);
+        double hi = std::min(1.0, center[d] + radius);
+        u[d] = rng->Uniform(lo, hi);
+      }
+      auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+      if (*obj < best_obj) {
+        best_obj = *obj;
+        best_center = u;
+        improved = true;
+      }
+    }
+    if (improved) {
+      center = best_center;
+      radius *= shrink_;
+      ++shrinks;
+    } else if (radius > 0.05) {
+      radius *= shrink_;
+      ++shrinks;
+    } else {
+      // Region exhausted: restart globally.
+      center.assign(dims, 0.5);
+      radius = 0.5;
+      ++restarts;
+    }
+  }
+  report_ = StrFormat("%zu shrink steps, %zu global restarts, final best %.2f",
+                      shrinks, restarts, best_obj);
+  return Status::OK();
+}
+
+}  // namespace atune

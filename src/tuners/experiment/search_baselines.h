@@ -1,0 +1,67 @@
+#ifndef ATUNE_TUNERS_EXPERIMENT_SEARCH_BASELINES_H_
+#define ATUNE_TUNERS_EXPERIMENT_SEARCH_BASELINES_H_
+
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Uniform random search: the canonical experiment-driven baseline.
+class RandomSearchTuner : public Tuner {
+ public:
+  std::string name() const override { return "random-search"; }
+  TunerCategory category() const override {
+    return TunerCategory::kExperimentDriven;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  std::string report_;
+};
+
+/// Coarse grid over the most-varied unit-space levels. With d knobs a full
+/// grid explodes, so the grid covers `levels` points on every dimension of
+/// a low-discrepancy (Halton) enumeration — i.e. a budget-bounded lattice.
+class GridSearchTuner : public Tuner {
+ public:
+  explicit GridSearchTuner(size_t levels = 3) : levels_(levels) {}
+
+  std::string name() const override { return "grid-search"; }
+  TunerCategory category() const override {
+    return TunerCategory::kExperimentDriven;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  size_t levels_;
+  std::string report_;
+};
+
+/// Recursive Random Search (the search strategy used by several
+/// experiment-driven Hadoop tuners): sample uniformly, then repeatedly
+/// restrict sampling to a shrinking box around the incumbent, restarting
+/// globally when a region is exhausted.
+class RecursiveRandomSearchTuner : public Tuner {
+ public:
+  RecursiveRandomSearchTuner(double shrink = 0.5, size_t per_region = 5)
+      : shrink_(shrink), per_region_(per_region) {}
+
+  std::string name() const override { return "recursive-random"; }
+  TunerCategory category() const override {
+    return TunerCategory::kExperimentDriven;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  double shrink_;
+  size_t per_region_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_EXPERIMENT_SEARCH_BASELINES_H_

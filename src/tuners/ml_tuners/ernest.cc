@@ -1,0 +1,150 @@
+#include "tuners/ml_tuners/ernest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/string_util.h"
+#include "math/matrix.h"
+#include "ml/nnls.h"
+
+namespace atune {
+
+namespace {
+const char* ParallelismKnob(const std::string& system_name) {
+  if (system_name == "simulated-spark") return "num_executors";
+  if (system_name == "simulated-mapreduce") return "num_reducers";
+  return "max_workers";
+}
+
+Vec ErnestFeatures(double machines, double data_fraction) {
+  // time ~ th0*(serial) + th1*(work per machine) + th2*log(m) + th3*m,
+  // with work scaling by the data fraction.
+  return {data_fraction, data_fraction / machines, std::log(machines + 1.0),
+          machines};
+}
+}  // namespace
+
+Status ErnestTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  const ParameterSpace& space = evaluator->space();
+  const std::string knob = ParallelismKnob(evaluator->system()->name());
+  auto def = space.Find(knob);
+  if (!def.ok()) return def.status();
+  const ParameterDef& pdef = **def;
+  const int64_t lo = pdef.min_int();
+  int64_t hi = pdef.max_int();
+
+  Configuration base = space.DefaultConfiguration();
+
+  // Ernest sizes allocations *within the resource budget*: cap the ladder
+  // at what the cluster can actually grant, or every large training point
+  // would just be a denied request.
+  std::map<std::string, double> desc = evaluator->system()->Descriptors();
+  auto desc_or = [&desc](const char* key, double fallback) {
+    auto it = desc.find(key);
+    return it == desc.end() ? fallback : it->second;
+  };
+  if (std::string(knob) == "num_executors") {
+    double per_exec_cores =
+        static_cast<double>(base.IntOr("executor_cores", 1));
+    double per_exec_mem =
+        static_cast<double>(base.IntOr("executor_memory_mb", 1024));
+    double cap = std::min(desc_or("total_cores", 32.0) / per_exec_cores,
+                          desc_or("total_ram_mb", 65536.0) * 0.9 /
+                              per_exec_mem);
+    hi = std::min(hi, static_cast<int64_t>(std::max(1.0, cap)));
+  } else if (std::string(knob) == "max_workers") {
+    hi = std::min(hi, static_cast<int64_t>(desc_or("total_cores", 8.0)));
+  }
+
+  // Training: geometric ladder of parallelism levels, two sample sizes
+  // each (Ernest's experiment design collapses to this in one dimension).
+  std::vector<int64_t> levels;
+  for (size_t i = 0; i < training_points_; ++i) {
+    double t = training_points_ <= 1
+                   ? 0.0
+                   : static_cast<double>(i) /
+                         static_cast<double>(training_points_ - 1);
+    int64_t m = static_cast<int64_t>(std::llround(
+        std::exp(std::log(static_cast<double>(std::max<int64_t>(lo, 1))) +
+                 t * (std::log(static_cast<double>(hi)) -
+                      std::log(static_cast<double>(std::max<int64_t>(lo, 1)))))));
+    m = std::clamp(m, lo, hi);
+    if (levels.empty() || levels.back() != m) levels.push_back(m);
+  }
+
+  std::vector<Vec> rows;
+  Vec times;
+  size_t training_runs = 0;
+  for (int64_t m : levels) {
+    for (double frac : {sample_fraction_, sample_fraction_ * 2.0}) {
+      if (evaluator->Remaining() < frac) break;
+      Configuration c = base;
+      c.SetInt(knob, m);
+      auto obj = evaluator->EvaluateScaled(c, frac);
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+      ++training_runs;
+      // Failed sample runs (e.g. denied allocations) carry no timing
+      // signal for the scale model.
+      if (evaluator->history().back().result.failed) continue;
+      rows.push_back(ErnestFeatures(static_cast<double>(m), frac));
+      times.push_back(*obj);
+    }
+  }
+  if (rows.size() < 4) {
+    // Not enough signal; just validate the default.
+    if (!evaluator->Exhausted()) {
+      auto obj = evaluator->Evaluate(base);
+      if (!obj.ok() &&
+          obj.status().code() != StatusCode::kResourceExhausted) {
+        return obj.status();
+      }
+    }
+    report_ = "insufficient budget for Ernest training; used defaults";
+    return Status::OK();
+  }
+
+  Matrix a(rows.size(), 4);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < 4; ++j) a.At(i, j) = rows[i][j];
+  }
+  ATUNE_ASSIGN_OR_RETURN(Vec theta, SolveNnls(a, times));
+
+  // Pick the parallelism minimizing predicted full-scale time.
+  int64_t best_m = lo;
+  double best_pred = std::numeric_limits<double>::infinity();
+  for (int64_t m = lo; m <= hi; m = std::max(m + 1, m + (hi - lo) / 200)) {
+    double pred = Dot(theta, ErnestFeatures(static_cast<double>(m), 1.0));
+    if (pred < best_pred) {
+      best_pred = pred;
+      best_m = m;
+    }
+  }
+
+  // Validate at full scale; also measure the default for reference.
+  Configuration tuned = base;
+  tuned.SetInt(knob, best_m);
+  size_t validations = 0;
+  for (const Configuration& c : {tuned, base}) {
+    if (evaluator->Exhausted()) break;
+    auto obj = evaluator->Evaluate(c);
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    ++validations;
+  }
+  report_ = StrFormat(
+      "fit time(m) = %.2f + %.2f/m + %.2f*log(m) + %.4f*m from %zu sampled "
+      "runs; chose %s=%lld (predicted %.2fs), %zu full validations",
+      theta[0], theta[1], theta[2], theta[3], training_runs, knob.c_str(),
+      static_cast<long long>(best_m), best_pred, validations);
+  return Status::OK();
+}
+
+}  // namespace atune

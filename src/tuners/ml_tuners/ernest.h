@@ -1,0 +1,48 @@
+#ifndef ATUNE_TUNERS_ML_TUNERS_ERNEST_H_
+#define ATUNE_TUNERS_ML_TUNERS_ERNEST_H_
+
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Ernest [Venkataraman et al., NSDI'16]: predicts the performance of an
+/// analytics job at scale from a handful of *cheap training runs on small
+/// data samples*, using the parametric model
+///
+///   time(m) = theta_0 + theta_1 / m + theta_2 * log(m) + theta_3 * m
+///
+/// (serial term, parallelizable work, tree-aggregation, per-machine
+/// overhead), fit with non-negative least squares so every term keeps its
+/// physical meaning. The fitted model then picks the best degree of
+/// parallelism, which is validated at full scale.
+///
+/// The parallelism knob per system: "num_executors" (Spark),
+/// "max_workers" (DBMS), "num_reducers" (MapReduce). Other knobs stay at
+/// their defaults — Ernest sizes clusters, it does not tune arbitrary knobs.
+class ErnestTuner : public Tuner {
+ public:
+  /// `sample_fraction`: data fraction for training runs (each costs only
+  /// that fraction of a budget unit); `training_points`: distinct
+  /// parallelism levels measured (each at two sample sizes).
+  explicit ErnestTuner(double sample_fraction = 0.125,
+                       size_t training_points = 5)
+      : sample_fraction_(sample_fraction), training_points_(training_points) {}
+
+  std::string name() const override { return "ernest"; }
+  TunerCategory category() const override {
+    return TunerCategory::kMachineLearning;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  double sample_fraction_;
+  size_t training_points_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_ML_TUNERS_ERNEST_H_

@@ -1,0 +1,95 @@
+#include "tuners/ml_tuners/grey_box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "math/sampling.h"
+#include "ml/linear_model.h"
+#include "tuners/cost_model/cost_models.h"
+
+namespace atune {
+
+Status GreyBoxTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  const ParameterSpace& space = evaluator->space();
+  const size_t dims = space.dims();
+  std::unique_ptr<CostModel> model =
+      MakeCostModelForSystem(evaluator->system()->name());
+  const std::map<std::string, double> descriptors =
+      evaluator->system()->Descriptors();
+  const Workload& workload = evaluator->workload();
+
+  auto model_log = [&](const Configuration& config) {
+    return std::log(std::max(
+        model->PredictRuntime(config, workload, descriptors), 1e-6));
+  };
+
+  // Observations: unit-encoded configs and log residuals vs the model.
+  std::vector<Vec> xs;
+  Vec residuals;
+  auto observe = [&](const Configuration& config) -> Status {
+    auto obj = evaluator->Evaluate(config);
+    if (!obj.ok()) return obj.status();
+    xs.push_back(space.ToUnitVector(config));
+    residuals.push_back(std::log(std::max(*obj, 1e-6)) - model_log(config));
+    return Status::OK();
+  };
+
+  // Seed: defaults + a small LHS design.
+  ATUNE_RETURN_IF_ERROR(observe(space.DefaultConfiguration()));
+  for (const Vec& u : LatinHypercubeSamples(initial_samples_, dims, rng)) {
+    if (evaluator->Exhausted()) break;
+    Status s = observe(space.FromUnitVector(u));
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted) break;
+      return s;
+    }
+  }
+
+  // Refine: fit residual, search corrected predictor, validate, repeat.
+  size_t refinements = 0;
+  double residual_mean = 0.0;
+  while (!evaluator->Exhausted()) {
+    RidgeRegression residual_model(1e-2);
+    Status fit = residual_model.Fit(xs, residuals);
+    if (!fit.ok()) return fit;
+    residual_mean = 0.0;
+    for (double r : residuals) residual_mean += std::abs(r);
+    residual_mean /= static_cast<double>(residuals.size());
+
+    Configuration best_cand;
+    double best_pred = std::numeric_limits<double>::infinity();
+    const Vec incumbent_u = space.ToUnitVector(evaluator->best()->config);
+    for (size_t i = 0; i < search_size_; ++i) {
+      Vec u(dims);
+      if (i % 3 == 0) {
+        for (size_t d = 0; d < dims; ++d) {
+          u[d] = std::clamp(incumbent_u[d] + rng->Normal(0.0, 0.08), 0.0, 1.0);
+        }
+      } else {
+        for (double& x : u) x = rng->Uniform();
+      }
+      Configuration cand = space.FromUnitVector(u);
+      double pred = model_log(cand) + residual_model.Predict(u);
+      if (pred < best_pred) {
+        best_pred = pred;
+        best_cand = std::move(cand);
+      }
+    }
+    Status s = observe(best_cand);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted) break;
+      return s;
+    }
+    ++refinements;
+  }
+  report_ = StrFormat(
+      "grey-box: %zu observations, %zu refine cycles, mean |log residual| "
+      "%.3f (model alone would be off by e^%.2f = %.2fx)",
+      xs.size(), refinements, residual_mean, residual_mean,
+      std::exp(residual_mean));
+  return Status::OK();
+}
+
+}  // namespace atune

@@ -1,0 +1,41 @@
+#ifndef ATUNE_TUNERS_ML_TUNERS_GREY_BOX_H_
+#define ATUNE_TUNERS_ML_TUNERS_GREY_BOX_H_
+
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Grey-box performance prediction in the style of Kadirvel & Fortes
+/// [ICCCN'12] (cited in §2.3): combine a white-box analytical model with a
+/// black-box ML correction. The analytical model supplies structure the ML
+/// would need many samples to learn; the ML learns what the model's
+/// simplified assumptions miss (in log space, a multiplicative correction):
+///
+///   log t(config) ≈ log model(config) + residual(config)
+///
+/// where `residual` is a ridge regression over the unit-encoded knobs. Each
+/// observed run refines the residual; candidates are searched against the
+/// corrected predictor and the best is validated for real.
+class GreyBoxTuner : public Tuner {
+ public:
+  GreyBoxTuner(size_t initial_samples = 6, size_t search_size = 2500)
+      : initial_samples_(initial_samples), search_size_(search_size) {}
+
+  std::string name() const override { return "grey-box"; }
+  TunerCategory category() const override {
+    return TunerCategory::kMachineLearning;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  size_t initial_samples_;
+  size_t search_size_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_ML_TUNERS_GREY_BOX_H_

@@ -1,0 +1,89 @@
+#include "tuners/ml_tuners/rodd_nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "math/sampling.h"
+
+namespace atune {
+
+Status RoddNnTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  const ParameterSpace& space = evaluator->space();
+  size_t dims = space.dims();
+  size_t budget = evaluator->budget().max_evaluations;
+
+  std::vector<Vec> xs;
+  Vec ys;
+  auto observe = [&](const Vec& u) -> Result<double> {
+    auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+    if (!obj.ok()) return obj.status();
+    xs.push_back(u);
+    ys.push_back(std::log(std::max(*obj, 1e-6)));
+    return *obj;
+  };
+
+  // Training phase: defaults + LHS covering ~60% of the budget.
+  auto first = observe(space.ToUnitVector(space.DefaultConfiguration()));
+  if (!first.ok()) return first.status();
+  size_t train_n = std::max<size_t>(4, budget * 6 / 10);
+  std::vector<Vec> design = LatinHypercubeSamples(train_n, dims, rng);
+  for (const Vec& u : design) {
+    if (evaluator->Exhausted()) break;
+    auto r = observe(u);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kResourceExhausted) break;
+      return r.status();
+    }
+  }
+
+  // Train / search / validate loop.
+  size_t retrains = 0;
+  double model_loss = 0.0;
+  while (!evaluator->Exhausted()) {
+    MlpOptions opts = mlp_options_;
+    opts.seed = rng->Next();
+    Mlp model(opts);
+    Status fit = model.Fit(xs, ys);
+    if (!fit.ok()) return fit;
+    ++retrains;
+    model_loss = model.final_loss();
+
+    // Search the model: random + local around the model optimum.
+    Vec best_u(dims, 0.5);
+    double best_pred = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 3000; ++i) {
+      Vec cand(dims);
+      for (double& x : cand) x = rng->Uniform();
+      double pred = model.Predict(cand);
+      if (pred < best_pred) {
+        best_pred = pred;
+        best_u = std::move(cand);
+      }
+    }
+    for (int i = 0; i < 500; ++i) {
+      Vec cand = best_u;
+      for (double& x : cand) {
+        x = std::clamp(x + rng->Normal(0.0, 0.05), 0.0, 1.0);
+      }
+      double pred = model.Predict(cand);
+      if (pred < best_pred) {
+        best_pred = pred;
+        best_u = std::move(cand);
+      }
+    }
+    auto r = observe(best_u);
+    if (!r.ok()) {
+      if (r.status().code() == StatusCode::kResourceExhausted) break;
+      return r.status();
+    }
+  }
+  report_ = StrFormat(
+      "%zu training samples, %zu retrain/validate cycles, final training "
+      "MSE %.4f (log space)",
+      xs.size(), retrains, model_loss);
+  return Status::OK();
+}
+
+}  // namespace atune

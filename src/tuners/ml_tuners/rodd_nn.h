@@ -1,0 +1,37 @@
+#ifndef ATUNE_TUNERS_ML_TUNERS_RODD_NN_H_
+#define ATUNE_TUNERS_ML_TUNERS_RODD_NN_H_
+
+#include <string>
+
+#include "core/tuner.h"
+#include "ml/neural_net.h"
+
+namespace atune {
+
+/// Neural-network performance tuner in the style of Rodd & Kulkarni [19]:
+/// learn a feed-forward network mapping configuration -> performance from
+/// measured samples, then search the model for the best predicted
+/// configuration and validate it. Retrains as new observations accumulate.
+///
+/// Budget split: ~60% on training samples (LHS), the rest alternating
+/// model-optimum validation runs with retraining.
+class RoddNnTuner : public Tuner {
+ public:
+  explicit RoddNnTuner(MlpOptions mlp_options = {})
+      : mlp_options_(std::move(mlp_options)) {}
+
+  std::string name() const override { return "rodd-nn"; }
+  TunerCategory category() const override {
+    return TunerCategory::kMachineLearning;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  MlpOptions mlp_options_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_ML_TUNERS_RODD_NN_H_

@@ -1,0 +1,318 @@
+#include "tuners/rule_based/builtin_rules.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atune {
+
+namespace {
+bool Always(const RuleContext&) { return true; }
+}  // namespace
+
+std::vector<TuningRule> MakeDbmsRules() {
+  std::vector<TuningRule> rules;
+  rules.push_back({
+      "buffer_pool_25pct_ram",
+      "vendor guides size the buffer pool at ~25% of RAM to leave room for "
+      "the OS cache and per-session memory",
+      Always,
+      [](Configuration* c, const RuleContext& ctx) {
+        double ram = ctx.DescriptorOr("total_ram_mb", 16384.0);
+        c->SetInt("buffer_pool_mb", static_cast<int64_t>(ram * 0.25));
+      },
+  });
+  rules.push_back({
+      "work_mem_per_client",
+      "work_mem is allocated per operator per client; divide a quarter of "
+      "RAM by 4x the client count to avoid oversubscription",
+      Always,
+      [](Configuration* c, const RuleContext& ctx) {
+        double ram = ctx.DescriptorOr("total_ram_mb", 16384.0);
+        double clients = std::max(1.0, ctx.WorkloadOr("clients", 16.0));
+        c->SetInt("work_mem_mb",
+                  std::max<int64_t>(4, static_cast<int64_t>(
+                                           ram * 0.25 / (clients * 4.0))));
+      },
+  });
+  rules.push_back({
+      "parallel_workers_for_analytics",
+      "analytical workloads benefit from parallel scans: workers ~ cores; "
+      "OLTP keeps the default to avoid thrashing",
+      [](const RuleContext& ctx) {
+        return ctx.workload != nullptr && (ctx.workload->kind == "olap" ||
+                                           ctx.workload->kind == "scan" ||
+                                           ctx.workload->kind == "aggregate" ||
+                                           ctx.workload->kind == "join");
+      },
+      [](Configuration* c, const RuleContext& ctx) {
+        double cores = ctx.DescriptorOr("total_cores", 8.0);
+        double clients = std::max(1.0, ctx.WorkloadOr("clients", 4.0));
+        c->SetInt("max_workers",
+                  std::max<int64_t>(1, static_cast<int64_t>(cores / clients)));
+      },
+  });
+  rules.push_back({
+      "group_commit_high_concurrency",
+      "with many concurrent writers, group commit amortizes log fsyncs",
+      [](const RuleContext& ctx) {
+        return ctx.WorkloadOr("clients", 1.0) >= 16.0 &&
+               ctx.workload != nullptr && ctx.workload->kind != "olap";
+      },
+      [](Configuration* c, const RuleContext&) {
+        c->SetString("log_flush", "group");
+      },
+  });
+  rules.push_back({
+      "wal_buffer_for_writers",
+      "size WAL buffers ~1 MB per concurrent writer",
+      Always,
+      [](Configuration* c, const RuleContext& ctx) {
+        double clients = std::max(1.0, ctx.WorkloadOr("clients", 16.0));
+        c->SetInt("wal_buffer_mb",
+                  std::max<int64_t>(16, static_cast<int64_t>(clients)));
+      },
+  });
+  rules.push_back({
+      "checkpoint_10min",
+      "10-minute checkpoints balance recovery time against writeback churn",
+      Always,
+      [](Configuration* c, const RuleContext&) {
+        c->SetInt("checkpoint_interval_s", 600);
+      },
+  });
+  rules.push_back({
+      "prefetch_for_scans",
+      "raise prefetch depth and I/O concurrency for scan-heavy workloads",
+      [](const RuleContext& ctx) {
+        return ctx.WorkloadOr("seq_fraction", 0.0) >= 0.5;
+      },
+      [](Configuration* c, const RuleContext&) {
+        c->SetInt("prefetch_depth", 32);
+        c->SetInt("io_concurrency", 16);
+      },
+  });
+  rules.push_back({
+      "stats_for_joins",
+      "complex join workloads need detailed optimizer statistics",
+      [](const RuleContext& ctx) {
+        return ctx.WorkloadOr("join_complexity", 0.0) >= 0.4 ||
+               (ctx.workload != nullptr && ctx.workload->kind == "join");
+      },
+      [](Configuration* c, const RuleContext&) {
+        c->SetInt("stats_target", 400);
+      },
+  });
+  return rules;
+}
+
+std::vector<TuningRule> MakeMapReduceRules() {
+  std::vector<TuningRule> rules;
+  rules.push_back({
+      "slots_match_cores",
+      "run one task per core, split ~2:1 between map and reduce slots",
+      Always,
+      [](Configuration* c, const RuleContext& ctx) {
+        double cores = ctx.DescriptorOr("cores_per_node", 8.0);
+        c->SetInt("map_slots_per_node",
+                  std::max<int64_t>(1, static_cast<int64_t>(cores * 0.6)));
+        c->SetInt("reduce_slots_per_node",
+                  std::max<int64_t>(1, static_cast<int64_t>(cores * 0.4)));
+      },
+  });
+  rules.push_back({
+      "reducers_95pct_capacity",
+      "set reducer count to ~0.95x the reduce slot capacity so all reducers "
+      "finish in one wave",
+      Always,
+      [](Configuration* c, const RuleContext& ctx) {
+        double cores = ctx.DescriptorOr("cores_per_node", 8.0);
+        double nodes = ctx.DescriptorOr("num_nodes", 4.0);
+        double slots = std::max(1.0, cores * 0.4) * nodes;
+        c->SetInt("num_reducers",
+                  std::max<int64_t>(1, static_cast<int64_t>(slots * 0.95)));
+      },
+  });
+  rules.push_back({
+      "io_sort_avoid_spills",
+      "size io.sort.mb to hold a whole split's map output (capped by heap)",
+      Always,
+      [](Configuration* c, const RuleContext& ctx) {
+        double sel = ctx.WorkloadOr("map_selectivity", 1.0);
+        int64_t block = c->IntOr("dfs_block_mb", 64);
+        int64_t want = static_cast<int64_t>(
+            std::min(1024.0, static_cast<double>(block) * sel * 1.3));
+        c->SetInt("io_sort_mb", std::max<int64_t>(100, want));
+        c->SetInt("task_memory_mb",
+                  std::max<int64_t>(512, want * 2));
+      },
+  });
+  rules.push_back({
+      "compress_map_output",
+      "intermediate compression trades cheap CPU for shuffle bandwidth",
+      Always,
+      [](Configuration* c, const RuleContext&) {
+        c->SetBool("compress_map_output", true);
+        c->SetString("compress_codec", "lz4");
+      },
+  });
+  rules.push_back({
+      "combiner_when_reductive",
+      "enable the combiner whenever the job's aggregation collapses keys",
+      [](const RuleContext& ctx) {
+        return ctx.WorkloadOr("combiner_reduction", 1.0) < 0.9;
+      },
+      [](Configuration* c, const RuleContext&) {
+        c->SetBool("combiner", true);
+      },
+  });
+  rules.push_back({
+      "jvm_reuse_many_tasks",
+      "reuse JVMs when jobs have many short tasks",
+      Always,
+      [](Configuration* c, const RuleContext&) {
+        c->SetBool("jvm_reuse", true);
+      },
+  });
+  rules.push_back({
+      "bigger_blocks_for_big_inputs",
+      "128-256 MB blocks cut task scheduling overhead on large inputs",
+      [](const RuleContext& ctx) {
+        return ctx.WorkloadOr("input_mb", 0.0) >= 8192.0;
+      },
+      [](Configuration* c, const RuleContext&) {
+        c->SetInt("dfs_block_mb", 256);
+      },
+  });
+  rules.push_back({
+      "more_shuffle_copies",
+      "raise parallel fetch threads on larger clusters",
+      Always,
+      [](Configuration* c, const RuleContext& ctx) {
+        double nodes = ctx.DescriptorOr("num_nodes", 4.0);
+        c->SetInt("shuffle_parallel_copies",
+                  std::max<int64_t>(10, static_cast<int64_t>(nodes * 4)));
+      },
+  });
+  rules.push_back({
+      "slowstart_late_for_batch",
+      "start reducers only after most maps finish so they don't hog slots",
+      Always,
+      [](Configuration* c, const RuleContext&) {
+        c->SetDouble("slowstart", 0.8);
+      },
+  });
+  return rules;
+}
+
+std::vector<TuningRule> MakeSparkRules() {
+  std::vector<TuningRule> rules;
+  rules.push_back({
+      "kryo_serializer",
+      "the Tuning Spark guide's first advice: switch to kryo",
+      Always,
+      [](Configuration* c, const RuleContext&) {
+        c->SetString("serializer", "kryo");
+      },
+  });
+  rules.push_back({
+      "fat_executors_5_cores",
+      "size executors at ~5 cores and split node memory among them",
+      Always,
+      [](Configuration* c, const RuleContext& ctx) {
+        double cores_per_node = ctx.DescriptorOr("cores_per_node", 8.0);
+        double nodes = ctx.DescriptorOr("num_nodes", 4.0);
+        double ram_per_node = ctx.DescriptorOr("node_ram_mb", 16384.0);
+        int64_t exec_cores =
+            std::max<int64_t>(1, std::min<int64_t>(5, static_cast<int64_t>(
+                                                          cores_per_node)));
+        int64_t per_node =
+            std::max<int64_t>(1, static_cast<int64_t>(cores_per_node) /
+                                     exec_cores);
+        c->SetInt("executor_cores", exec_cores);
+        c->SetInt("num_executors",
+                  static_cast<int64_t>(nodes) * per_node);
+        c->SetInt("executor_memory_mb",
+                  static_cast<int64_t>(ram_per_node * 0.8 /
+                                       static_cast<double>(per_node)));
+      },
+  });
+  rules.push_back({
+      "partitions_3x_cores",
+      "use 2-3 tasks per core so waves stay balanced",
+      Always,
+      [](Configuration* c, const RuleContext& ctx) {
+        double cores = ctx.DescriptorOr("total_cores", 16.0);
+        c->SetInt("shuffle_partitions",
+                  std::max<int64_t>(8, static_cast<int64_t>(cores * 3.0)));
+      },
+  });
+  rules.push_back({
+      "storage_for_iterative",
+      "iterative jobs want cached data: raise storage fraction; batch SQL "
+      "wants execution memory instead",
+      [](const RuleContext& ctx) {
+        return ctx.workload != nullptr && ctx.workload->kind == "iterative_ml";
+      },
+      [](Configuration* c, const RuleContext&) {
+        c->SetDouble("memory_fraction", 0.8);
+        c->SetDouble("storage_fraction", 0.6);
+        c->SetBool("rdd_compress", true);
+      },
+  });
+  rules.push_back({
+      "execution_memory_for_sql",
+      "shuffle-heavy SQL lowers storage fraction to give joins memory",
+      [](const RuleContext& ctx) {
+        return ctx.workload != nullptr &&
+               (ctx.workload->kind == "sql_aggregate" ||
+                ctx.workload->kind == "sql_join");
+      },
+      [](Configuration* c, const RuleContext&) {
+        c->SetDouble("memory_fraction", 0.75);
+        c->SetDouble("storage_fraction", 0.2);
+      },
+  });
+  rules.push_back({
+      "broadcast_dimension_tables",
+      "raise the broadcast threshold to cover typical dimension tables",
+      [](const RuleContext& ctx) {
+        return ctx.workload != nullptr && ctx.workload->kind == "sql_join";
+      },
+      [](Configuration* c, const RuleContext& ctx) {
+        double small = ctx.WorkloadOr("small_table_mb", 64.0);
+        c->SetInt("broadcast_threshold_mb",
+                  static_cast<int64_t>(std::min(512.0, small * 1.5)));
+      },
+  });
+  rules.push_back({
+      "speculation_on_heterogeneous",
+      "speculative execution recovers stragglers on uneven hardware",
+      [](const RuleContext& ctx) {
+        return ctx.DescriptorOr("num_nodes", 1.0) > 1.0;
+      },
+      [](Configuration* c, const RuleContext&) {
+        c->SetBool("speculation", true);
+      },
+  });
+  rules.push_back({
+      "few_partitions_for_streaming",
+      "micro-batches drown in task overhead; cap partitions near core count",
+      [](const RuleContext& ctx) {
+        return ctx.workload != nullptr && ctx.workload->kind == "streaming";
+      },
+      [](Configuration* c, const RuleContext& ctx) {
+        double cores = ctx.DescriptorOr("total_cores", 16.0);
+        c->SetInt("shuffle_partitions",
+                  std::max<int64_t>(8, static_cast<int64_t>(cores)));
+      },
+  });
+  return rules;
+}
+
+std::vector<TuningRule> MakeRulesForSystem(const std::string& system_name) {
+  if (system_name == "simulated-mapreduce") return MakeMapReduceRules();
+  if (system_name == "simulated-spark") return MakeSparkRules();
+  return MakeDbmsRules();
+}
+
+}  // namespace atune

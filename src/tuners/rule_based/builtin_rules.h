@@ -1,0 +1,34 @@
+#ifndef ATUNE_TUNERS_RULE_BASED_BUILTIN_RULES_H_
+#define ATUNE_TUNERS_RULE_BASED_BUILTIN_RULES_H_
+
+#include <vector>
+
+#include "tuners/rule_based/rule_engine.h"
+
+namespace atune {
+
+/// Best-practice rule sets, transcribed from the kind of vendor tuning
+/// guides and community folklore the paper's rule-based category covers.
+/// Each rule records its rationale so Report() reads like a runbook.
+
+/// DBMS rules (PostgreSQL/DB2-style guidance): buffer pool ~ 25% of RAM,
+/// work_mem sized to RAM / (clients * 4), group commit for high concurrency,
+/// parallel workers ~ cores for analytics, etc.
+std::vector<TuningRule> MakeDbmsRules();
+
+/// Hadoop rules (classic cluster-tuning checklists): reducers ~ 0.95 * slot
+/// capacity, io.sort.mb to avoid spills, enable compression+combiner,
+/// slots ~ cores, JVM reuse for small tasks.
+std::vector<TuningRule> MakeMapReduceRules();
+
+/// Spark rules (the "Tuning Spark" guide distilled): kryo serializer,
+/// executors sized 2-5 cores each, partitions ~ 2-3x cores, moderate memory
+/// fractions, speculation on heterogeneous clusters.
+std::vector<TuningRule> MakeSparkRules();
+
+/// Picks the rule set matching a system name ("simulated-dbms", ...).
+std::vector<TuningRule> MakeRulesForSystem(const std::string& system_name);
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_RULE_BASED_BUILTIN_RULES_H_

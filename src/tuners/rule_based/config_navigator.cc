@@ -1,0 +1,88 @@
+#include "tuners/rule_based/config_navigator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+Status ConfigNavigatorTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  const ParameterSpace& space = evaluator->space();
+  size_t dims = space.dims();
+  ranking_.clear();
+
+  // Baseline at the defaults.
+  Configuration defaults = space.DefaultConfiguration();
+  auto base = evaluator->Evaluate(defaults);
+  if (!base.ok()) return base.status();
+  Vec base_u = space.ToUnitVector(defaults);
+
+  // One-at-a-time probes: move each parameter alone to 0.15 and 0.85.
+  std::vector<double> impact(dims, 0.0);
+  for (size_t d = 0; d < dims && !evaluator->Exhausted(); ++d) {
+    double best_delta = 0.0;
+    for (double level : {0.15, 0.85}) {
+      if (evaluator->Exhausted()) break;
+      Vec u = base_u;
+      u[d] = level;
+      auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+      best_delta = std::max(best_delta, std::abs(*obj - *base));
+    }
+    impact[d] = best_delta;
+  }
+
+  std::vector<size_t> order(dims);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&impact](size_t a, size_t b) { return impact[a] > impact[b]; });
+  for (size_t d : order) ranking_.push_back(space.param(d).name());
+
+  // Greedy line search over the most impactful knobs.
+  const Trial* best_trial = evaluator->best();
+  Vec current = best_trial != nullptr
+                    ? space.ToUnitVector(best_trial->config)
+                    : base_u;
+  size_t explored = 0;
+  for (size_t rank = 0; rank < std::min(top_k_, dims); ++rank) {
+    size_t d = order[rank];
+    double best_obj = evaluator->best() != nullptr
+                          ? evaluator->best()->objective
+                          : *base;
+    double best_level = current[d];
+    for (double level : {0.0, 0.3, 0.5, 0.7, 1.0}) {
+      if (evaluator->Exhausted()) break;
+      Vec u = current;
+      u[d] = level;
+      auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+      ++explored;
+      if (*obj < best_obj) {
+        best_obj = *obj;
+        best_level = level;
+      }
+    }
+    current[d] = best_level;
+    if (evaluator->Exhausted()) break;
+  }
+
+  std::vector<std::string> top(
+      ranking_.begin(),
+      ranking_.begin() + std::min(top_k_, ranking_.size()));
+  report_ = StrFormat(
+      "ranked %zu knobs by one-at-a-time impact; navigated top-%zu [%s] "
+      "with %zu refinement runs",
+      dims, top.size(), Join(top, ", ").c_str(), explored);
+  return Status::OK();
+}
+
+}  // namespace atune

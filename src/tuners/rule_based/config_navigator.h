@@ -1,0 +1,41 @@
+#ifndef ATUNE_TUNERS_RULE_BASED_CONFIG_NAVIGATOR_H_
+#define ATUNE_TUNERS_RULE_BASED_CONFIG_NAVIGATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Configuration navigation in the spirit of Xu et al. [26] ("Hey, you have
+/// given me too many knobs!"): most knobs don't matter for a given
+/// deployment, so first *rank* parameters by impact with cheap
+/// one-at-a-time probes from the default, then walk only the few impactful
+/// ones toward better values, leaving the long tail untouched.
+///
+/// Budget use: 2 probes per parameter (low/high) for ranking, then a greedy
+/// line search over the top-k parameters with the remaining budget.
+class ConfigNavigatorTuner : public Tuner {
+ public:
+  explicit ConfigNavigatorTuner(size_t top_k = 4) : top_k_(top_k) {}
+
+  std::string name() const override { return "config-navigator"; }
+  TunerCategory category() const override {
+    return TunerCategory::kRuleBased;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+  /// Parameter names ranked by measured impact (after Tune).
+  const std::vector<std::string>& ranking() const { return ranking_; }
+
+ private:
+  size_t top_k_;
+  std::vector<std::string> ranking_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_RULE_BASED_CONFIG_NAVIGATOR_H_

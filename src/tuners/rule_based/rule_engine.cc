@@ -1,0 +1,45 @@
+#include "tuners/rule_based/rule_engine.h"
+
+#include "common/string_util.h"
+
+namespace atune {
+
+namespace {
+// Clamps every value into its parameter's legal domain by round-tripping
+// through the unit encoding (which clamps).
+Configuration ClampToSpace(const ParameterSpace& space,
+                           const Configuration& config) {
+  return space.FromUnitVector(space.ToUnitVector(config));
+}
+}  // namespace
+
+Configuration ApplyRules(const ParameterSpace& space,
+                         const std::vector<TuningRule>& rules,
+                         const RuleContext& context,
+                         std::vector<std::string>* fired_rules) {
+  Configuration config = space.DefaultConfiguration();
+  for (const TuningRule& rule : rules) {
+    if (rule.applies && !rule.applies(context)) continue;
+    rule.apply(&config, context);
+    if (fired_rules != nullptr) fired_rules->push_back(rule.name);
+  }
+  return ClampToSpace(space, config);
+}
+
+Status RuleBasedTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  RuleContext context;
+  context.descriptors = evaluator->system()->Descriptors();
+  context.workload = &evaluator->workload();
+  std::vector<std::string> fired;
+  Configuration config = ApplyRules(evaluator->space(), rules_, context, &fired);
+  report_ = StrFormat("%zu/%zu rules fired: %s", fired.size(), rules_.size(),
+                      Join(fired, ", ").c_str());
+  if (!evaluator->Exhausted()) {
+    ATUNE_ASSIGN_OR_RETURN(double obj, evaluator->Evaluate(config));
+    (void)obj;
+  }
+  return Status::OK();
+}
+
+}  // namespace atune

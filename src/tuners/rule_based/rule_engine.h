@@ -1,0 +1,67 @@
+#ifndef ATUNE_TUNERS_RULE_BASED_RULE_ENGINE_H_
+#define ATUNE_TUNERS_RULE_BASED_RULE_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Context a tuning rule can consult: hardware descriptors and the workload
+/// description (what a DBA reads off the runbook before editing the config).
+struct RuleContext {
+  std::map<std::string, double> descriptors;
+  const Workload* workload = nullptr;
+
+  double DescriptorOr(const std::string& key, double fallback) const {
+    auto it = descriptors.find(key);
+    return it == descriptors.end() ? fallback : it->second;
+  }
+  double WorkloadOr(const std::string& key, double fallback) const {
+    return workload == nullptr ? fallback
+                               : workload->PropertyOr(key, fallback);
+  }
+};
+
+/// One best-practice rule: if Applies(), Apply() edits the configuration.
+/// Rules encode the expert folklore of the rule-based category (Table 1):
+/// cheap, no experiments, but static and risky.
+struct TuningRule {
+  std::string name;
+  std::string rationale;
+  std::function<bool(const RuleContext&)> applies;
+  std::function<void(Configuration*, const RuleContext&)> apply;
+};
+
+/// Applies every applicable rule (in order) on top of the space defaults and
+/// clamps the result into the space's legal ranges.
+Configuration ApplyRules(const ParameterSpace& space,
+                         const std::vector<TuningRule>& rules,
+                         const RuleContext& context,
+                         std::vector<std::string>* fired_rules = nullptr);
+
+/// Tuner wrapper: builds the rule-recommended configuration, spends one
+/// evaluation to measure it (if budget allows), done. Category: rule-based.
+class RuleBasedTuner : public Tuner {
+ public:
+  RuleBasedTuner(std::string name, std::vector<TuningRule> rules)
+      : name_(std::move(name)), rules_(std::move(rules)) {}
+
+  std::string name() const override { return name_; }
+  TunerCategory category() const override {
+    return TunerCategory::kRuleBased;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  std::string name_;
+  std::vector<TuningRule> rules_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_RULE_BASED_RULE_ENGINE_H_

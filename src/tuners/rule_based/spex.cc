@@ -1,0 +1,216 @@
+#include "tuners/rule_based/spex.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+namespace {
+double Desc(const std::map<std::string, double>& d, const std::string& key,
+            double fallback) {
+  auto it = d.find(key);
+  return it == d.end() ? fallback : it->second;
+}
+}  // namespace
+
+std::vector<ConfigConstraint> MakeConstraintsForSystem(
+    const std::string& system_name) {
+  std::vector<ConfigConstraint> cs;
+  if (system_name == "simulated-mapreduce") {
+    cs.push_back({
+        "sort_buffer_fits_heap",
+        "io.sort.mb must leave room in the task heap (<= 60% of it)",
+        [](const Configuration& c, const std::map<std::string, double>&) {
+          return static_cast<double>(c.IntOr("io_sort_mb", 100)) >
+                 0.6 * static_cast<double>(c.IntOr("task_memory_mb", 512));
+        },
+        [](Configuration* c, const std::map<std::string, double>&) {
+          c->SetInt("io_sort_mb",
+                    std::max<int64_t>(
+                        32, static_cast<int64_t>(
+                                0.5 * static_cast<double>(
+                                          c->IntOr("task_memory_mb", 512)))));
+        },
+    });
+    cs.push_back({
+        "slot_memory_fits_node",
+        "(map_slots + reduce_slots) * task heap must fit in node RAM",
+        [](const Configuration& c, const std::map<std::string, double>& d) {
+          double slots = static_cast<double>(
+              c.IntOr("map_slots_per_node", 2) +
+              c.IntOr("reduce_slots_per_node", 2));
+          return slots * static_cast<double>(c.IntOr("task_memory_mb", 512)) >
+                 Desc(d, "node_ram_mb", 16384.0) * 0.9;
+        },
+        [](Configuration* c, const std::map<std::string, double>& d) {
+          double slots = static_cast<double>(
+              c->IntOr("map_slots_per_node", 2) +
+              c->IntOr("reduce_slots_per_node", 2));
+          c->SetInt("task_memory_mb",
+                    std::max<int64_t>(
+                        256, static_cast<int64_t>(
+                                 Desc(d, "node_ram_mb", 16384.0) * 0.8 /
+                                 std::max(1.0, slots))));
+        },
+    });
+    cs.push_back({
+        "at_least_one_reducer_per_node",
+        "a single reducer serializes the whole reduce phase on big clusters",
+        [](const Configuration& c, const std::map<std::string, double>& d) {
+          return static_cast<double>(c.IntOr("num_reducers", 1)) <
+                 Desc(d, "num_nodes", 4.0) * 0.5;
+        },
+        [](Configuration* c, const std::map<std::string, double>& d) {
+          c->SetInt("num_reducers",
+                    static_cast<int64_t>(Desc(d, "num_nodes", 4.0)));
+        },
+    });
+  } else if (system_name == "simulated-spark") {
+    cs.push_back({
+        "executors_fit_cluster",
+        "requested executor memory/cores must fit the cluster",
+        [](const Configuration& c, const std::map<std::string, double>& d) {
+          double mem = static_cast<double>(c.IntOr("num_executors", 2) *
+                                           c.IntOr("executor_memory_mb", 1024));
+          double cores = static_cast<double>(c.IntOr("num_executors", 2) *
+                                             c.IntOr("executor_cores", 1));
+          return mem > Desc(d, "total_ram_mb", 65536.0) * 0.9 ||
+                 cores > Desc(d, "total_cores", 32.0);
+        },
+        [](Configuration* c, const std::map<std::string, double>& d) {
+          double total_mem = Desc(d, "total_ram_mb", 65536.0);
+          double total_cores = Desc(d, "total_cores", 32.0);
+          int64_t execs = c->IntOr("num_executors", 2);
+          int64_t cores = c->IntOr("executor_cores", 1);
+          while (execs > 1 &&
+                 (static_cast<double>(execs * c->IntOr("executor_memory_mb",
+                                                       1024)) >
+                      total_mem * 0.85 ||
+                  static_cast<double>(execs * cores) > total_cores)) {
+            --execs;
+          }
+          c->SetInt("num_executors", execs);
+        },
+    });
+    cs.push_back({
+        "broadcast_fits_executor",
+        "broadcast threshold must be well below executor memory",
+        [](const Configuration& c, const std::map<std::string, double>&) {
+          return static_cast<double>(c.IntOr("broadcast_threshold_mb", 10)) >
+                 0.1 * static_cast<double>(c.IntOr("executor_memory_mb", 1024));
+        },
+        [](Configuration* c, const std::map<std::string, double>&) {
+          c->SetInt("broadcast_threshold_mb",
+                    std::max<int64_t>(
+                        1, static_cast<int64_t>(
+                               0.1 * static_cast<double>(
+                                         c->IntOr("executor_memory_mb",
+                                                  1024)))));
+        },
+    });
+    cs.push_back({
+        "memory_fractions_sane",
+        "memory_fraction + reserved must leave user memory; storage in [0.1,0.9]",
+        [](const Configuration& c, const std::map<std::string, double>&) {
+          return c.DoubleOr("memory_fraction", 0.6) > 0.85;
+        },
+        [](Configuration* c, const std::map<std::string, double>&) {
+          c->SetDouble("memory_fraction", 0.75);
+        },
+    });
+  } else {  // DBMS
+    cs.push_back({
+        "memory_budget_fits_ram",
+        "buffer pool + clients*work_mem + WAL must fit in RAM",
+        [](const Configuration& c, const std::map<std::string, double>& d) {
+          double clients = Desc(d, "expected_clients", 32.0);
+          double reserved =
+              static_cast<double>(c.IntOr("buffer_pool_mb", 512)) +
+              clients * static_cast<double>(c.IntOr("work_mem_mb", 4)) +
+              static_cast<double>(c.IntOr("wal_buffer_mb", 16)) + 256.0;
+          return reserved > Desc(d, "total_ram_mb", 16384.0) * 0.95;
+        },
+        [](Configuration* c, const std::map<std::string, double>& d) {
+          double ram = Desc(d, "total_ram_mb", 16384.0);
+          double clients = Desc(d, "expected_clients", 32.0);
+          double wm = static_cast<double>(c->IntOr("work_mem_mb", 4));
+          double budget = ram * 0.85 - clients * wm - 256.0;
+          if (budget < 64.0) {
+            c->SetInt("work_mem_mb", 4);
+            budget = ram * 0.85 - clients * 4.0 - 256.0;
+          }
+          c->SetInt("buffer_pool_mb",
+                    std::max<int64_t>(64, static_cast<int64_t>(budget)));
+        },
+    });
+    cs.push_back({
+        "deadlock_timeout_not_trigger_happy",
+        "timeouts below typical lock hold times abort healthy transactions",
+        [](const Configuration& c, const std::map<std::string, double>&) {
+          return c.IntOr("deadlock_timeout_ms", 1000) < 100;
+        },
+        [](Configuration* c, const std::map<std::string, double>&) {
+          c->SetInt("deadlock_timeout_ms", 500);
+        },
+    });
+    cs.push_back({
+        "workers_bounded_by_cores",
+        "parallel workers beyond core count just context-switch",
+        [](const Configuration& c, const std::map<std::string, double>& d) {
+          return static_cast<double>(c.IntOr("max_workers", 2)) >
+                 Desc(d, "total_cores", 8.0);
+        },
+        [](Configuration* c, const std::map<std::string, double>& d) {
+          c->SetInt("max_workers",
+                    static_cast<int64_t>(Desc(d, "total_cores", 8.0)));
+        },
+    });
+  }
+  return cs;
+}
+
+std::vector<std::string> CheckConstraints(
+    const std::vector<ConfigConstraint>& constraints,
+    const Configuration& config,
+    const std::map<std::string, double>& descriptors) {
+  std::vector<std::string> violated;
+  for (const ConfigConstraint& c : constraints) {
+    if (c.violated(config, descriptors)) violated.push_back(c.name);
+  }
+  return violated;
+}
+
+Status SpexTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  std::map<std::string, double> descriptors =
+      evaluator->system()->Descriptors();
+  // SPEX knows the expected client load from the deployment descriptor.
+  descriptors["expected_clients"] =
+      evaluator->workload().PropertyOr("clients", 16.0);
+  std::vector<ConfigConstraint> constraints =
+      MakeConstraintsForSystem(evaluator->system()->name());
+  Configuration config =
+      has_candidate_ ? candidate_ : evaluator->space().DefaultConfiguration();
+
+  std::vector<std::string> violations =
+      CheckConstraints(constraints, config, descriptors);
+  for (const ConfigConstraint& c : constraints) {
+    if (c.violated(config, descriptors)) c.repair(&config, descriptors);
+  }
+  // Clamp into legal ranges after repair.
+  config = evaluator->space().FromUnitVector(
+      evaluator->space().ToUnitVector(config));
+  std::vector<std::string> remaining =
+      CheckConstraints(constraints, config, descriptors);
+  report_ = StrFormat("%zu constraint(s) violated [%s]; %zu after repair",
+                      violations.size(), Join(violations, ", ").c_str(),
+                      remaining.size());
+  if (!evaluator->Exhausted()) {
+    ATUNE_ASSIGN_OR_RETURN(double obj, evaluator->Evaluate(config));
+    (void)obj;
+  }
+  return Status::OK();
+}
+
+}  // namespace atune

@@ -1,0 +1,68 @@
+#ifndef ATUNE_TUNERS_RULE_BASED_SPEX_H_
+#define ATUNE_TUNERS_RULE_BASED_SPEX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// A configuration constraint in the style of SPEX [Xu et al., SOSP'13],
+/// which infers parameter constraints (ranges, inter-parameter
+/// relationships, resource bounds) and uses them to catch error-prone
+/// settings before deployment.
+struct ConfigConstraint {
+  std::string name;
+  std::string explanation;
+  /// Returns true when the configuration VIOLATES the constraint.
+  std::function<bool(const Configuration&,
+                     const std::map<std::string, double>& descriptors)>
+      violated;
+  /// Repairs the configuration to satisfy the constraint.
+  std::function<void(Configuration*,
+                     const std::map<std::string, double>& descriptors)>
+      repair;
+};
+
+/// Inter-parameter and resource constraints for each simulated system,
+/// mirroring what SPEX extracts from source code (e.g. "io.sort.mb must fit
+/// in the task heap", "slot memory must fit in node RAM").
+std::vector<ConfigConstraint> MakeConstraintsForSystem(
+    const std::string& system_name);
+
+/// Names of the constraints `config` violates.
+std::vector<std::string> CheckConstraints(
+    const std::vector<ConfigConstraint>& constraints,
+    const Configuration& config,
+    const std::map<std::string, double>& descriptors);
+
+/// SPEX as a tuner: takes a candidate configuration (by default the space
+/// defaults, or a caller-provided one), detects violations, repairs them,
+/// and evaluates the repaired config once. Its value shows up in the
+/// misconfiguration benches: repaired configs avoid the failure cliffs.
+class SpexTuner : public Tuner {
+ public:
+  SpexTuner() = default;
+  /// Tune this configuration instead of the defaults (e.g. a config another
+  /// tuner or a careless operator proposed).
+  explicit SpexTuner(Configuration candidate)
+      : candidate_(std::move(candidate)), has_candidate_(true) {}
+
+  std::string name() const override { return "spex"; }
+  TunerCategory category() const override {
+    return TunerCategory::kRuleBased;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+ private:
+  Configuration candidate_;
+  bool has_candidate_ = false;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_RULE_BASED_SPEX_H_

@@ -1,0 +1,234 @@
+#include "tuners/simulation/addm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+namespace {
+
+// Scales an integer knob by `factor`, staying in range.
+void ScaleInt(Configuration* c, const std::string& name, double factor) {
+  int64_t v = c->IntOr(name, 1);
+  c->SetInt(name, static_cast<int64_t>(
+                      std::max(1.0, std::round(static_cast<double>(v) * factor))));
+}
+
+std::string DiagnoseDbms(const ExecutionResult& r, const Configuration& cur,
+                         Configuration* fix) {
+  *fix = cur;
+  const double runtime = std::max(r.runtime_seconds, 1e-6);
+  const double swap = r.MetricOr("swap_penalty", 1.0);
+  if (r.failed || swap > 1.5) {
+    // Memory pressure beats everything: shed reservations.
+    ScaleInt(fix, "buffer_pool_mb", 0.5);
+    ScaleInt(fix, "work_mem_mb", 0.5);
+    return "memory-pressure";
+  }
+  struct Component {
+    const char* name;
+    double share;
+  };
+  const double io = r.MetricOr("io_time_s", 0.0);
+  const double cpu = r.MetricOr("cpu_time_s", 0.0);
+  const double lock = r.MetricOr("lock_wait_s", 0.0) * 0.1;
+  const double commit = r.MetricOr("commit_wait_s", 0.0);
+  const double checkpoint = r.MetricOr("checkpoint_io_mb", 0.0) / 500.0;
+  const double spill = r.MetricOr("spill_mb", 0.0);
+  Component comps[] = {
+      {"io", io / runtime},
+      {"cpu", cpu / runtime},
+      {"locks", lock / runtime},
+      {"commit", commit / runtime},
+      {"checkpoint", checkpoint / runtime},
+  };
+  const Component* top = &comps[0];
+  for (const Component& c : comps) {
+    if (c.share > top->share) top = &c;
+  }
+  std::string finding = top->name;
+  if (finding == "io") {
+    if (spill > 0.0 && r.MetricOr("buffer_hit_ratio", 1.0) > 0.8) {
+      ScaleInt(fix, "work_mem_mb", 4.0);
+      if (fix->Has("temp_compression")) fix->SetBool("temp_compression", true);
+      return "io:spill";
+    }
+    ScaleInt(fix, "buffer_pool_mb", 1.6);
+    ScaleInt(fix, "prefetch_depth", 2.0);
+    ScaleInt(fix, "io_concurrency", 2.0);
+    return "io:buffer-misses";
+  }
+  if (finding == "cpu") {
+    ScaleInt(fix, "max_workers", 2.0);
+    ScaleInt(fix, "stats_target", 3.0);
+    return "cpu";
+  }
+  if (finding == "locks") {
+    // Waits dominated by timeout-length stalls: shorten toward hold times.
+    ScaleInt(fix, "deadlock_timeout_ms",
+             r.MetricOr("deadlocks", 0.0) > 10.0 ? 0.4 : 2.0);
+    return "locks";
+  }
+  if (finding == "commit") {
+    fix->SetString("log_flush", cur.StringOr("log_flush", "immediate") ==
+                                        "immediate"
+                                    ? "group"
+                                    : "async");
+    ScaleInt(fix, "wal_buffer_mb", 2.0);
+    return "commit";
+  }
+  ScaleInt(fix, "checkpoint_interval_s", 2.5);
+  return "checkpoint";
+}
+
+std::string DiagnoseMr(const ExecutionResult& r, const Configuration& cur,
+                       Configuration* fix) {
+  *fix = cur;
+  if (r.failed) {
+    ScaleInt(fix, "task_memory_mb", 0.5);
+    ScaleInt(fix, "io_sort_mb", 0.5);
+    return "task-oom";
+  }
+  const double map_s = r.MetricOr("map_time_s", 0.0);
+  const double shuffle_s = r.MetricOr("shuffle_time_s", 0.0);
+  const double reduce_s = r.MetricOr("reduce_time_s", 0.0);
+  const double spill_per_map =
+      r.MetricOr("spill_count", 0.0) / std::max(1.0, r.MetricOr("map_tasks", 1.0));
+  if (map_s >= shuffle_s && map_s >= reduce_s) {
+    if (spill_per_map > 1.5) {
+      ScaleInt(fix, "io_sort_mb", 2.5);
+      ScaleInt(fix, "task_memory_mb", 2.0);
+      return "map:spills";
+    }
+    if (r.MetricOr("map_waves", 1.0) > 3.0) {
+      ScaleInt(fix, "map_slots_per_node", 2.0);
+      ScaleInt(fix, "dfs_block_mb", 2.0);
+      return "map:waves";
+    }
+    fix->SetBool("jvm_reuse", true);
+    ScaleInt(fix, "dfs_block_mb", 2.0);
+    return "map:startup";
+  }
+  if (shuffle_s >= reduce_s) {
+    fix->SetBool("compress_map_output", true);
+    fix->SetString("compress_codec", "lz4");
+    fix->SetBool("combiner", true);
+    ScaleInt(fix, "shuffle_parallel_copies", 3.0);
+    return "shuffle";
+  }
+  if (r.MetricOr("reduce_waves", 1.0) > 1.5) {
+    ScaleInt(fix, "reduce_slots_per_node", 2.0);
+    return "reduce:waves";
+  }
+  ScaleInt(fix, "num_reducers", 4.0);
+  return "reduce:parallelism";
+}
+
+std::string DiagnoseSpark(const ExecutionResult& r, const Configuration& cur,
+                          Configuration* fix) {
+  *fix = cur;
+  if (r.failed) {
+    // OOM or denied allocation: shrink request / raise partitions.
+    ScaleInt(fix, "num_executors", 0.7);
+    ScaleInt(fix, "shuffle_partitions", 2.0);
+    return "allocation-failure";
+  }
+  const double runtime = std::max(r.runtime_seconds, 1e-6);
+  const double gc = r.MetricOr("gc_time_s", 0.0);
+  const double sched = r.MetricOr("scheduling_overhead_s", 0.0);
+  const double spill = r.MetricOr("spill_mb", 0.0);
+  const double cache_hit = r.MetricOr("cache_hit_ratio", 1.0);
+  if (gc / runtime > 0.2) {
+    fix->SetString("serializer", "kryo");
+    ScaleInt(fix, "executor_memory_mb", 1.5);
+    return "gc-pressure";
+  }
+  if (sched / runtime > 0.25) {
+    ScaleInt(fix, "shuffle_partitions", 0.3);
+    return "task-overhead";
+  }
+  if (spill > 100.0) {
+    ScaleInt(fix, "shuffle_partitions", 2.0);
+    fix->SetDouble("storage_fraction",
+                   std::max(0.1, cur.DoubleOr("storage_fraction", 0.5) - 0.2));
+    return "execution-spill";
+  }
+  if (cache_hit < 0.7) {
+    fix->SetDouble("memory_fraction",
+                   std::min(0.9, cur.DoubleOr("memory_fraction", 0.6) + 0.15));
+    fix->SetDouble("storage_fraction",
+                   std::min(0.9, cur.DoubleOr("storage_fraction", 0.5) + 0.2));
+    fix->SetBool("rdd_compress", true);
+    return "cache-misses";
+  }
+  // Default: scale out compute.
+  ScaleInt(fix, "num_executors", 1.5);
+  ScaleInt(fix, "executor_cores", 2.0);
+  return "underprovisioned";
+}
+
+}  // namespace
+
+std::string AddmTuner::DiagnoseAndFix(const std::string& system_name,
+                                      const ExecutionResult& result,
+                                      const ParameterSpace& space,
+                                      const Configuration& current,
+                                      Configuration* fixed) {
+  std::string finding;
+  if (system_name == "simulated-mapreduce") {
+    finding = DiagnoseMr(result, current, fixed);
+  } else if (system_name == "simulated-spark") {
+    finding = DiagnoseSpark(result, current, fixed);
+  } else {
+    finding = DiagnoseDbms(result, current, fixed);
+  }
+  *fixed = space.FromUnitVector(space.ToUnitVector(*fixed));
+  return finding;
+}
+
+Status AddmTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  (void)rng;
+  const ParameterSpace& space = evaluator->space();
+  const std::string system_name = evaluator->system()->name();
+
+  Configuration current = space.DefaultConfiguration();
+  auto obj = evaluator->Evaluate(current);
+  if (!obj.ok()) return obj.status();
+  double current_obj = *obj;
+  ExecutionResult profile = evaluator->history().back().result;
+
+  std::vector<std::string> findings;
+  for (size_t iter = 0; iter < max_iterations_ && !evaluator->Exhausted();
+       ++iter) {
+    Configuration fixed;
+    std::string finding =
+        DiagnoseAndFix(system_name, profile, space, current, &fixed);
+    if (Configuration::Diff(fixed, current).empty()) {
+      findings.push_back(finding + "(no-op)");
+      break;
+    }
+    auto next = evaluator->Evaluate(fixed);
+    if (!next.ok()) {
+      if (next.status().code() == StatusCode::kResourceExhausted) break;
+      return next.status();
+    }
+    if (*next < current_obj) {
+      findings.push_back(finding + "(kept)");
+      current = std::move(fixed);
+      current_obj = *next;
+      profile = evaluator->history().back().result;
+    } else {
+      findings.push_back(finding + "(reverted)");
+      // Remedy didn't help: keep the old config but adopt the new profile's
+      // knowledge by falling through to the next-dominant component —
+      // approximate by using the *new* profile for diagnosis next round.
+      profile = evaluator->history().back().result;
+    }
+  }
+  report_ = StrFormat("diagnosis chain: %s", Join(findings, " -> ").c_str());
+  return Status::OK();
+}
+
+}  // namespace atune

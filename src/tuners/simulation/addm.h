@@ -1,0 +1,45 @@
+#ifndef ATUNE_TUNERS_SIMULATION_ADDM_H_
+#define ATUNE_TUNERS_SIMULATION_ADDM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Automatic Database Diagnostic Monitor in the style of Oracle's ADDM
+/// [Dias et al., CIDR'05]: attribute the run's time to components of an
+/// internal wait/DB-time model (I/O, CPU, locks, commit, checkpoint, GC,
+/// scheduling...), identify the dominant component, and apply that
+/// component's documented remedy to the configuration; re-profile and
+/// iterate. The diagnosis-to-remedy table below covers all three simulated
+/// systems.
+class AddmTuner : public Tuner {
+ public:
+  explicit AddmTuner(size_t max_iterations = 10)
+      : max_iterations_(max_iterations) {}
+
+  std::string name() const override { return "addm"; }
+  TunerCategory category() const override {
+    return TunerCategory::kSimulationBased;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+  /// One diagnosis step (exposed for tests): names the dominant component
+  /// of `result` for `system_name` and produces the remedied config.
+  static std::string DiagnoseAndFix(const std::string& system_name,
+                                    const ExecutionResult& result,
+                                    const ParameterSpace& space,
+                                    const Configuration& current,
+                                    Configuration* fixed);
+
+ private:
+  size_t max_iterations_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_SIMULATION_ADDM_H_

@@ -1,0 +1,151 @@
+#include "tuners/simulation/starfish.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+#include "systems/dbms/dbms_model.h"  // CompressionProfile
+#include "tuners/cost_model/cost_models.h"
+
+namespace atune {
+
+Workload StarfishTuner::ExtractProfile(const Workload& declared,
+                                       const Configuration& profiled_config,
+                                       const ExecutionResult& profiled_run) {
+  Workload profile = declared;
+  const double jobs = std::max(1.0, declared.PropertyOr("num_jobs", 1.0));
+  const double input_mb =
+      declared.PropertyOr("input_mb", 10240.0) * declared.scale;
+  if (input_mb <= 0.0) return profile;
+
+  // Undo the intermediate compression the profiled run happened to use.
+  const bool compressed =
+      profiled_config.BoolOr("compress_map_output", false);
+  const double codec_ratio =
+      compressed
+          ? GetCompressionProfile(
+                profiled_config.StringOr("compress_codec", "zlib"))
+                .ratio
+          : 1.0;
+  const double shuffle_mb =
+      profiled_run.MetricOr("shuffle_mb", 0.0) / jobs / codec_ratio;
+
+  // Data-flow statistics. If the profiled run used the combiner, the
+  // observed selectivity already folds the reduction in; the caller should
+  // profile with the combiner off for a clean separation (Tune() does).
+  double selectivity = shuffle_mb / input_mb;
+  if (profiled_config.BoolOr("combiner", false)) {
+    double declared_reduction = declared.PropertyOr("combiner_reduction", 1.0);
+    if (declared_reduction > 0.0) selectivity /= declared_reduction;
+  }
+  profile.properties["map_selectivity"] = std::max(selectivity, 1e-4);
+
+  // Cost statistics from the per-phase counters. These absorb the real
+  // cluster's CPU speed, which is exactly what calibration should do.
+  profile.properties["map_cpu_s_per_mb"] =
+      std::max(1e-6, profiled_run.MetricOr("map_func_cpu_s", 0.0) / jobs /
+                         input_mb);
+  const double map_out_mb = std::max(selectivity * input_mb, 1e-6);
+  profile.properties["reduce_cpu_s_per_mb"] =
+      std::max(1e-6, profiled_run.MetricOr("reduce_func_cpu_s", 0.0) / jobs /
+                         map_out_mb);
+  profile.properties["reducer_skew"] =
+      std::max(1.0, profiled_run.MetricOr("reducer_skew_measured", jobs) /
+                        jobs);
+  const double output_mb = profiled_run.MetricOr("output_mb", 0.0) / jobs;
+  profile.properties["reduce_selectivity"] =
+      std::clamp(output_mb / map_out_mb, 1e-3, 10.0);
+  return profile;
+}
+
+Status StarfishTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  if (evaluator->system()->name() != "simulated-mapreduce") {
+    return Status::FailedPrecondition(
+        "starfish profiles MapReduce jobs; system is not MapReduce");
+  }
+  const ParameterSpace& space = evaluator->space();
+  const Workload& declared = evaluator->workload();
+  std::map<std::string, double> descriptors =
+      evaluator->system()->Descriptors();
+
+  // Profile run 1: defaults (combiner off) — data-flow + cost statistics.
+  Configuration profile_config = space.DefaultConfiguration();
+  auto base = evaluator->Evaluate(profile_config);
+  if (!base.ok()) return base.status();
+  const ExecutionResult& run_a = evaluator->history().back().result;
+  Workload profile = ExtractProfile(declared, profile_config, run_a);
+
+  // Profile run 2: combiner on — measures the combiner's reduction factor
+  // (Starfish reads combine input/output record counters).
+  if (!evaluator->Exhausted()) {
+    Configuration with_combiner = profile_config;
+    with_combiner.SetBool("combiner", true);
+    auto obj = evaluator->Evaluate(with_combiner);
+    if (obj.ok()) {
+      const ExecutionResult& run_b = evaluator->history().back().result;
+      double jobs = std::max(1.0, declared.PropertyOr("num_jobs", 1.0));
+      double shuffle_a = run_a.MetricOr("shuffle_mb", 0.0) / jobs;
+      double shuffle_b = run_b.MetricOr("shuffle_mb", 0.0) / jobs;
+      if (shuffle_a > 0.0) {
+        profile.properties["combiner_reduction"] =
+            std::clamp(shuffle_b / shuffle_a, 0.01, 1.0);
+      }
+    } else if (obj.status().code() != StatusCode::kResourceExhausted) {
+      return obj.status();
+    }
+  }
+
+  // Cost-based optimization against the calibrated what-if model.
+  auto model = MakeMapReduceCostModel();
+  Configuration best_cand = profile_config;
+  double best_pred =
+      model->PredictRuntime(profile_config, profile, descriptors);
+  for (size_t i = 0; i < whatif_search_size_; ++i) {
+    Configuration cand = i % 4 == 0 ? space.Neighbor(best_cand, 0.12, rng)
+                                    : space.RandomConfiguration(rng);
+    double pred = model->PredictRuntime(cand, profile, descriptors);
+    if (pred < best_pred) {
+      best_pred = pred;
+      best_cand = std::move(cand);
+    }
+  }
+
+  // Validate with real runs, re-optimizing locally between validations.
+  size_t validated = 0;
+  while (!evaluator->Exhausted() && validated < validation_runs_) {
+    auto obj = evaluator->Evaluate(best_cand);
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    ++validated;
+    Configuration refined = best_cand;
+    double refined_pred = best_pred;
+    for (int i = 0; i < 400; ++i) {
+      Configuration cand = space.Neighbor(best_cand, 0.06, rng);
+      double pred = model->PredictRuntime(cand, profile, descriptors);
+      if (pred < refined_pred) {
+        refined_pred = pred;
+        refined = std::move(cand);
+      }
+    }
+    if (Configuration::Diff(refined, best_cand).empty()) break;
+    best_cand = std::move(refined);
+    best_pred = refined_pred;
+  }
+
+  report_ = StrFormat(
+      "profile: sel=%.3f map_cpu=%.4fs/MB reduce_cpu=%.4fs/MB skew=%.2f "
+      "combiner_red=%.2f; what-if search %zu candidates, %zu validations "
+      "(model best %.1fs)",
+      profile.PropertyOr("map_selectivity", 0.0),
+      profile.PropertyOr("map_cpu_s_per_mb", 0.0),
+      profile.PropertyOr("reduce_cpu_s_per_mb", 0.0),
+      profile.PropertyOr("reducer_skew", 1.0),
+      profile.PropertyOr("combiner_reduction", 1.0), whatif_search_size_,
+      validated, best_pred);
+  return Status::OK();
+}
+
+}  // namespace atune

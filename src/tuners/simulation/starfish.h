@@ -1,0 +1,58 @@
+#ifndef ATUNE_TUNERS_SIMULATION_STARFISH_H_
+#define ATUNE_TUNERS_SIMULATION_STARFISH_H_
+
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Starfish-style profile + what-if + cost-based optimization for MapReduce
+/// jobs [Herodotou et al., CIDR'11; Herodotou & Babu, PVLDB'11]:
+///
+///   1. *Profile*: run the job once with profiling on and extract a job
+///      profile — data-flow statistics (map selectivity, combiner
+///      reduction, reducer skew) and cost statistics (CPU seconds per MB in
+///      map/reduce functions) that belong to the *job*, not the config.
+///   2. *What-if engine*: plug the measured profile into the white-box
+///      Hadoop cost model, making its workload inputs calibrated instead of
+///      assumed.
+///   3. *Cost-based optimizer*: search the configuration space against the
+///      calibrated model (recursive random search, as in Starfish) and
+///      validate the winner with real runs.
+///
+/// This differs from TraceSimulatorTuner (which scales the *observed phase
+/// times* by resource ratios) in the classic profile-vs-trace way: the
+/// profile re-derives phase times from first principles, so it extrapolates
+/// to configurations far from the profiled one.
+///
+/// MapReduce-specific; Tune() returns FailedPrecondition on other systems.
+class StarfishTuner : public Tuner {
+ public:
+  explicit StarfishTuner(size_t whatif_search_size = 3000,
+                         size_t validation_runs = 3)
+      : whatif_search_size_(whatif_search_size),
+        validation_runs_(validation_runs) {}
+
+  std::string name() const override { return "starfish"; }
+  TunerCategory category() const override {
+    return TunerCategory::kSimulationBased;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+  /// Extracts a calibrated workload description (the "job profile") from a
+  /// profiled run. Exposed for tests and benches.
+  static Workload ExtractProfile(const Workload& declared,
+                                 const Configuration& profiled_config,
+                                 const ExecutionResult& profiled_run);
+
+ private:
+  size_t whatif_search_size_;
+  size_t validation_runs_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_SIMULATION_STARFISH_H_

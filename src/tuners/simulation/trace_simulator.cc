@@ -1,0 +1,282 @@
+#include "tuners/simulation/trace_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+namespace {
+
+double Ratio(double hypothetical, double traced) {
+  if (traced <= 0.0) return 1.0;
+  return hypothetical / traced;
+}
+
+double Desc(const std::map<std::string, double>& d, const std::string& key,
+            double fallback) {
+  auto it = d.find(key);
+  return it == d.end() ? fallback : it->second;
+}
+
+// DBMS: scale io/spill/commit/lock components by resource ratios.
+double PredictDbms(const Configuration& t, const ExecutionResult& trace,
+                   const Configuration& h,
+                   const std::map<std::string, double>& desc) {
+  double io = trace.MetricOr("io_time_s", 0.0);
+  double cpu = trace.MetricOr("cpu_time_s", 0.0);
+  double lock = trace.MetricOr("lock_wait_s", 0.0);
+  double commit = trace.MetricOr("commit_wait_s", 0.0);
+  double swap = trace.MetricOr("swap_penalty", 1.0);
+
+  // Buffer pool: misses scale roughly inversely with pool size^0.7.
+  double pool_ratio = Ratio(
+      static_cast<double>(h.IntOr("buffer_pool_mb", 512)),
+      static_cast<double>(t.IntOr("buffer_pool_mb", 512)));
+  double hit0 = trace.MetricOr("buffer_hit_ratio", 0.5);
+  double miss_scale = std::pow(std::max(pool_ratio, 1e-3), -0.7);
+  double miss1 = std::clamp((1.0 - hit0) * miss_scale, 0.0, 1.0);
+  double io_scaled = io * (hit0 < 1.0 ? miss1 / (1.0 - hit0) : 1.0);
+
+  // Spill: shrinks with work_mem; vanishes once the ratio is large.
+  double spill_mb = trace.MetricOr("spill_mb", 0.0);
+  if (spill_mb > 0.0) {
+    double wm_ratio = Ratio(static_cast<double>(h.IntOr("work_mem_mb", 4)),
+                            static_cast<double>(t.IntOr("work_mem_mb", 4)));
+    double spill_scale = wm_ratio >= 8.0 ? 0.0 : 1.0 / wm_ratio;
+    // The traced io_time includes spills; adjust its spill share.
+    double spill_share = std::min(0.8, spill_mb / (spill_mb + 1000.0));
+    io_scaled *= (1.0 - spill_share) + spill_share * spill_scale;
+  }
+
+  // I/O concurrency & prefetch raise effective bandwidth mildly.
+  double io_conc_ratio = Ratio(
+      static_cast<double>(h.IntOr("io_concurrency", 4)),
+      static_cast<double>(t.IntOr("io_concurrency", 4)));
+  io_scaled /= std::pow(std::max(io_conc_ratio, 0.1), 0.2);
+
+  // Workers speed up CPU sub-linearly.
+  double worker_ratio = Ratio(static_cast<double>(h.IntOr("max_workers", 2)),
+                              static_cast<double>(t.IntOr("max_workers", 2)));
+  double cpu_scaled = cpu / std::pow(std::max(worker_ratio, 0.05), 0.6);
+
+  // Commit policy: relative fsync burden.
+  auto flush_cost = [](const std::string& policy) {
+    if (policy == "group") return 0.2;
+    if (policy == "async") return 0.02;
+    return 1.0;
+  };
+  double commit_scaled = commit * flush_cost(h.StringOr("log_flush", "immediate")) /
+                         flush_cost(t.StringOr("log_flush", "immediate"));
+
+  // Deadlock timeout: waits scale with min(timeout, hold); crude ratio.
+  double to_ratio = Ratio(
+      static_cast<double>(h.IntOr("deadlock_timeout_ms", 1000)),
+      static_cast<double>(t.IntOr("deadlock_timeout_ms", 1000)));
+  double lock_scaled = lock * std::pow(std::clamp(to_ratio, 0.1, 10.0), 0.3);
+
+  // Memory pressure: recompute the reservation against actual RAM. The
+  // traced reservation is bp + sessions*workers*work_mem + wal + overhead;
+  // back out the per-work_mem-MB multiplier (sessions * workers) from the
+  // trace, then re-assemble for the hypothetical configuration.
+  double reserved0 = trace.MetricOr("mem_reserved_mb", 1024.0);
+  double bp0 = static_cast<double>(t.IntOr("buffer_pool_mb", 512));
+  double wm0 = std::max(1.0, static_cast<double>(t.IntOr("work_mem_mb", 4)));
+  double workers0 = std::max(1.0, static_cast<double>(t.IntOr("max_workers", 2)));
+  double wal0 = static_cast<double>(t.IntOr("wal_buffer_mb", 16));
+  double sessions =
+      std::max(0.0, (reserved0 - bp0 - wal0 - 256.0) / (wm0 * workers0));
+  double reserved1 =
+      static_cast<double>(h.IntOr("buffer_pool_mb", 512)) +
+      sessions * std::max(1.0, static_cast<double>(h.IntOr("max_workers", 2))) *
+          static_cast<double>(h.IntOr("work_mem_mb", 4)) +
+      static_cast<double>(h.IntOr("wal_buffer_mb", 16)) + 256.0;
+  double ram = Desc(desc, "total_ram_mb", 16384.0);
+  if (reserved1 > 1.2 * ram) {
+    // The hypothetical configuration would be OOM-killed.
+    return trace.runtime_seconds * 100.0;
+  }
+  double over = std::max(0.0, reserved1 / ram - 1.0);
+  double swap1 = 1.0 + 25.0 * over * over;
+
+  double other = std::max(0.0, trace.runtime_seconds -
+                                   (std::max(io, cpu) + commit + lock * 0.1));
+  return std::max(io_scaled * swap1 / swap, cpu_scaled) + commit_scaled +
+         lock_scaled * 0.1 + other;
+}
+
+// MapReduce: scale phase times by wave/volume ratios.
+double PredictMr(const Configuration& t, const ExecutionResult& trace,
+                 const Configuration& h,
+                 const std::map<std::string, double>& desc) {
+  double map_s = trace.MetricOr("map_time_s", 0.0);
+  double shuffle_s = trace.MetricOr("shuffle_time_s", 0.0);
+  double reduce_s = trace.MetricOr("reduce_time_s", 0.0);
+
+  double maps = std::max(1.0, trace.MetricOr("map_tasks", 1.0));
+  double block_ratio = Ratio(static_cast<double>(h.IntOr("dfs_block_mb", 64)),
+                             static_cast<double>(t.IntOr("dfs_block_mb", 64)));
+  double maps1 = std::ceil(maps / block_ratio);
+  double mslots_ratio =
+      Ratio(static_cast<double>(h.IntOr("map_slots_per_node", 2)),
+            static_cast<double>(t.IntOr("map_slots_per_node", 2)));
+  // Map phase ~ waves * per-task(α block); per-task time scales with block.
+  double waves0 = std::max(1.0, trace.MetricOr("map_waves", 1.0));
+  double waves1 = std::max(1.0, std::ceil(waves0 * (maps1 / maps) /
+                                          mslots_ratio));
+  double map_scaled = map_s * (waves1 / waves0) * block_ratio;
+
+  // Shuffle volume: compression and combiner toggles change wire bytes.
+  double vol_ratio = 1.0;
+  bool c0 = t.BoolOr("compress_map_output", false);
+  bool c1 = h.BoolOr("compress_map_output", false);
+  if (c0 != c1) vol_ratio *= c1 ? 0.5 : 2.0;
+  bool k0 = t.BoolOr("combiner", false);
+  bool k1 = h.BoolOr("combiner", false);
+  if (k0 != k1) vol_ratio *= k1 ? 0.4 : 2.5;
+  double copies_ratio = Ratio(
+      static_cast<double>(h.IntOr("shuffle_parallel_copies", 5)),
+      static_cast<double>(t.IntOr("shuffle_parallel_copies", 5)));
+  double shuffle_scaled =
+      shuffle_s * vol_ratio / std::pow(std::max(copies_ratio, 0.1), 0.4);
+
+  double red_ratio = Ratio(static_cast<double>(h.IntOr("num_reducers", 1)),
+                           static_cast<double>(t.IntOr("num_reducers", 1)));
+  // Waves recomputed from the hypothetical reducer count and the cluster's
+  // reduce-slot capacity (slots per node x nodes, both known).
+  double nodes = Desc(desc, "num_nodes", 4.0);
+  double slots1 =
+      std::max(1.0, static_cast<double>(h.IntOr("reduce_slots_per_node", 2)) *
+                        nodes);
+  double rwaves0 = std::max(1.0, trace.MetricOr("reduce_waves", 1.0));
+  double rwaves1 = std::max(
+      1.0, std::ceil(static_cast<double>(h.IntOr("num_reducers", 1)) / slots1));
+  // Per-reducer volume shrinks with the reducer count; the phase runs
+  // rwaves1 waves of those smaller reducers.
+  double reduce_scaled =
+      reduce_s * vol_ratio * (rwaves1 / rwaves0) / red_ratio;
+
+  double sort_ratio = Ratio(static_cast<double>(h.IntOr("io_sort_mb", 100)),
+                            static_cast<double>(t.IntOr("io_sort_mb", 100)));
+  if (trace.MetricOr("spill_count", 0.0) >
+      trace.MetricOr("map_tasks", 1.0) * 1.5) {
+    map_scaled /= std::pow(std::max(sort_ratio, 0.1), 0.3);
+  }
+  return map_scaled + shuffle_scaled + reduce_scaled + 3.0;
+}
+
+// Spark: scale by core grant, partitions and memory plan ratios.
+double PredictSpark(const Configuration& t, const ExecutionResult& trace,
+                    const Configuration& h,
+                    const std::map<std::string, double>& desc) {
+  double cores0 = std::max(1.0, trace.MetricOr("granted_cores", 2.0));
+  double cores1 = static_cast<double>(h.IntOr("num_executors", 2) *
+                                      h.IntOr("executor_cores", 1));
+  double base = trace.runtime_seconds;
+  // Compute scales with granted cores (sub-linear), overhead with tasks.
+  double sched = trace.MetricOr("scheduling_overhead_s", 0.0);
+  double parts_ratio = Ratio(
+      static_cast<double>(h.IntOr("shuffle_partitions", 200)),
+      static_cast<double>(t.IntOr("shuffle_partitions", 200)));
+  double mem_ratio = Ratio(
+      static_cast<double>(h.IntOr("executor_memory_mb", 1024) *
+                          h.IntOr("num_executors", 2)),
+      static_cast<double>(t.IntOr("executor_memory_mb", 1024) *
+                          t.IntOr("num_executors", 2)));
+  double spill = trace.MetricOr("spill_mb", 0.0);
+  double gc = trace.MetricOr("gc_time_s", 0.0);
+  bool kryo1 = h.StringOr("serializer", "java") == "kryo";
+  bool kryo0 = t.StringOr("serializer", "java") == "kryo";
+  // Requests beyond the cluster will simply be denied.
+  if (static_cast<double>(h.IntOr("num_executors", 2) *
+                          h.IntOr("executor_memory_mb", 1024)) >
+          Desc(desc, "total_ram_mb", 65536.0) * 0.95 ||
+      cores1 > Desc(desc, "total_cores", 32.0)) {
+    return base * 100.0;
+  }
+
+  double compute = std::max(0.0, base - sched - gc);
+  double scaled = compute / std::pow(std::max(cores1 / cores0, 0.05), 0.8);
+  // Per-task overhead follows the partition count.
+  scaled += sched * parts_ratio;
+  // GC eases with memory and kryo.
+  double gc_scale = 1.0 / std::max(mem_ratio, 0.2);
+  if (kryo1 != kryo0) gc_scale *= kryo1 ? 0.5 : 2.0;
+  scaled += gc * gc_scale;
+  // Spill shrinks with per-task memory (memory up or partitions up).
+  if (spill > 0.0) {
+    double relief = mem_ratio * parts_ratio;
+    scaled -= std::min(scaled * 0.2, spill / 500.0 * std::log2(
+                                         std::max(relief, 1.0)));
+  }
+  return std::max(scaled, base * 0.1);
+}
+
+}  // namespace
+
+double TraceSimulatorTuner::PredictFromTrace(
+    const std::string& system_name, const Configuration& traced,
+    const ExecutionResult& trace, const Configuration& h,
+    const std::map<std::string, double>& descriptors) {
+  if (system_name == "simulated-mapreduce") {
+    return PredictMr(traced, trace, h, descriptors);
+  }
+  if (system_name == "simulated-spark") {
+    return PredictSpark(traced, trace, h, descriptors);
+  }
+  return PredictDbms(traced, trace, h, descriptors);
+}
+
+Status TraceSimulatorTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  const ParameterSpace& space = evaluator->space();
+  const std::string system_name = evaluator->system()->name();
+  const std::map<std::string, double> descriptors =
+      evaluator->system()->Descriptors();
+
+  Configuration traced_config = space.DefaultConfiguration();
+  auto base = evaluator->Evaluate(traced_config);
+  if (!base.ok()) return base.status();
+  ExecutionResult trace = evaluator->history().back().result;
+
+  size_t validated = 0;
+  size_t recaptures = 0;
+  while (!evaluator->Exhausted() && validated < validation_runs_) {
+    // Free what-if search against the current trace.
+    Configuration best_cand = traced_config;
+    double best_pred = PredictFromTrace(system_name, traced_config, trace,
+                                        traced_config, descriptors);
+    for (size_t i = 0; i < whatif_search_size_; ++i) {
+      Configuration cand = i % 4 == 0
+                               ? space.Neighbor(best_cand, 0.15, rng)
+                               : space.RandomConfiguration(rng);
+      double pred = PredictFromTrace(system_name, traced_config, trace, cand,
+                                     descriptors);
+      if (pred < best_pred) {
+        best_pred = pred;
+        best_cand = std::move(cand);
+      }
+    }
+    auto obj = evaluator->Evaluate(best_cand);
+    if (!obj.ok()) {
+      if (obj.status().code() == StatusCode::kResourceExhausted) break;
+      return obj.status();
+    }
+    ++validated;
+    // Re-capture: the new run is a fresh trace from a better region.
+    const Trial& last = evaluator->history().back();
+    if (!last.result.failed && last.objective < evaluator->best()->objective * 1.5) {
+      traced_config = last.config;
+      trace = last.result;
+      ++recaptures;
+    }
+  }
+  report_ = StrFormat(
+      "captured trace at defaults (%.2fs), %zu what-if validations, %zu "
+      "trace recaptures over a %zu-candidate what-if search each",
+      *base, validated, recaptures, whatif_search_size_);
+  return Status::OK();
+}
+
+}  // namespace atune

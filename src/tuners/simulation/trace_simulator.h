@@ -1,0 +1,52 @@
+#ifndef ATUNE_TUNERS_SIMULATION_TRACE_SIMULATOR_H_
+#define ATUNE_TUNERS_SIMULATION_TRACE_SIMULATOR_H_
+
+#include <map>
+#include <string>
+
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Trace-based what-if simulation in the style of Narayanan et al.
+/// [MASCOTS'05] ("Continuous resource monitoring for self-predicting
+/// DBMS"): capture a resource trace of the running system under its current
+/// configuration, then answer "what if parameter X changed?" by replaying
+/// the trace against analytical resource scalings — no model of the
+/// workload is needed, only of the resources.
+///
+/// Budget use: 1 run to capture the trace, a free what-if search over the
+/// trace, then `validation_runs` real runs on the best predictions
+/// (optionally re-capturing and iterating).
+class TraceSimulatorTuner : public Tuner {
+ public:
+  explicit TraceSimulatorTuner(size_t whatif_search_size = 2000,
+                               size_t validation_runs = 4)
+      : whatif_search_size_(whatif_search_size),
+        validation_runs_(validation_runs) {}
+
+  std::string name() const override { return "trace-simulator"; }
+  TunerCategory category() const override {
+    return TunerCategory::kSimulationBased;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  std::string Report() const override { return report_; }
+
+  /// What-if runtime prediction from a captured trace (exposed for tests
+  /// and the Table-2 bench): scales the trace's time components to the
+  /// hypothetical configuration. `descriptors` supplies hardware facts
+  /// (RAM, node count) the resource scalings need.
+  static double PredictFromTrace(
+      const std::string& system_name, const Configuration& traced_config,
+      const ExecutionResult& trace, const Configuration& hypothetical,
+      const std::map<std::string, double>& descriptors);
+
+ private:
+  size_t whatif_search_size_;
+  size_t validation_runs_;
+  std::string report_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_SIMULATION_TRACE_SIMULATOR_H_

@@ -1,0 +1,52 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace atune {
+namespace {
+
+TEST(TableWriterTest, WritesCsvWithEscaping) {
+  TableWriter t({"name", "value"});
+  t.AddRow({"plain", "1"});
+  t.AddRow({"with,comma", "quote\"inside"});
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",\"quote\"\"inside\"\n");
+}
+
+TEST(TableWriterTest, RowsPaddedToHeaderWidth) {
+  TableWriter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableWriterTest, PrettyAlignsColumns) {
+  TableWriter t({"k", "longer"});
+  t.AddRow({"wide-cell", "x"});
+  std::ostringstream os;
+  t.WritePretty(os);
+  std::string out = os.str();
+  // Box borders present and all lines equal length.
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '+');
+  size_t first_nl = out.find('\n');
+  std::string first = out.substr(0, first_nl);
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, first.size());
+    pos = nl + 1;
+  }
+}
+
+}  // namespace
+}  // namespace atune

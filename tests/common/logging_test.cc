@@ -1,0 +1,29 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace atune {
+namespace {
+
+TEST(LoggingTest, LevelThresholdIsGlobal) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamingBelowThresholdIsCheapAndSafe) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Disabled messages must not evaluate into output (and must not crash on
+  // arbitrary streamed types).
+  ATUNE_LOG(Debug) << "invisible " << 42 << " " << 1.5;
+  ATUNE_LOG(Info) << "also invisible";
+  ATUNE_LOG(Error) << "visible in stderr (expected in test output)";
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,58 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace atune {
+namespace {
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d y=%.1f s=%s", 3, 2.5, "hi"), "x=3 y=2.5 s=hi");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyTokens) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"a", "bb", "ccc"};
+  EXPECT_EQ(Join(parts, ","), "a,bb,ccc");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello\t\n"), "hello");
+  EXPECT_EQ(Trim("nowhitespace"), "nowhitespace");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("buffer_pool_mb", "buffer"));
+  EXPECT_FALSE(StartsWith("buf", "buffer"));
+  EXPECT_TRUE(EndsWith("buffer_pool_mb", "_mb"));
+  EXPECT_FALSE(EndsWith("mb", "_mb"));
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("MiXeD-123"), "mixed-123");
+}
+
+TEST(StringUtilTest, DoubleToStringCompacts) {
+  EXPECT_EQ(DoubleToString(64.0), "64");
+  EXPECT_EQ(DoubleToString(0.75), "0.75");
+  EXPECT_EQ(DoubleToString(-3.0), "-3");
+}
+
+TEST(StringUtilTest, BytesToStringPicksUnits) {
+  EXPECT_EQ(BytesToString(512.0), "512 B");
+  EXPECT_EQ(BytesToString(1024.0), "1.0 KB");
+  EXPECT_EQ(BytesToString(64.0 * 1024 * 1024), "64.0 MB");
+  EXPECT_EQ(BytesToString(1.5 * 1024 * 1024 * 1024), "1.5 GB");
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,77 @@
+#include "core/comparator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "tests/core/mock_system.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MockWorkload;
+using testing_util::QuadraticSystem;
+
+class FixedTuner : public Tuner {
+ public:
+  explicit FixedTuner(double x) : x_(x) {}
+  std::string name() const override { return "fixed"; }
+  TunerCategory category() const override { return TunerCategory::kRuleBased; }
+  Status Tune(Evaluator* evaluator, Rng*) override {
+    Configuration c;
+    c.SetDouble("x", x_);
+    c.SetDouble("y", 0.3);
+    return evaluator->Evaluate(c).ok() ? Status::OK() : Status::OK();
+  }
+
+ private:
+  double x_;
+};
+
+TEST(ComparatorTest, RanksTunersByQuality) {
+  std::vector<std::pair<std::string, std::function<std::unique_ptr<Tuner>()>>>
+      tuners = {
+          {"near-optimal", [] { return std::make_unique<FixedTuner>(0.7); }},
+          {"far-off", [] { return std::make_unique<FixedTuner>(0.0); }},
+      };
+  auto report = CompareTuners(
+      tuners, [](uint64_t) { return std::make_unique<QuadraticSystem>(); },
+      MockWorkload(), TuningBudget{3}, /*seeds=*/3, "quadratic");
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->rows.size(), 2u);
+  EXPECT_LT(report->rows[0].mean_best_objective,
+            report->rows[1].mean_best_objective);
+  EXPECT_GT(report->rows[0].mean_speedup, report->rows[1].mean_speedup);
+  EXPECT_EQ(report->rows[0].seeds, 3u);
+  // Traces populated per seed.
+  ASSERT_EQ(report->traces.size(), 2u);
+  EXPECT_EQ(report->traces[0].size(), 3u);
+}
+
+TEST(ComparatorTest, TableRendering) {
+  std::vector<std::pair<std::string, std::function<std::unique_ptr<Tuner>()>>>
+      tuners = {
+          {"t", [] { return std::make_unique<FixedTuner>(0.5); }},
+      };
+  auto report = CompareTuners(
+      tuners, [](uint64_t) { return std::make_unique<QuadraticSystem>(); },
+      MockWorkload(), TuningBudget{2}, 2, "quadratic");
+  ASSERT_TRUE(report.ok());
+  std::ostringstream os;
+  report->ToTable().WritePretty(os);
+  EXPECT_NE(os.str().find("tuner"), std::string::npos);
+  EXPECT_NE(os.str().find("t"), std::string::npos);
+}
+
+TEST(ComparatorTest, RejectsEmptyInput) {
+  EXPECT_FALSE(CompareTuners({},
+                             [](uint64_t) {
+                               return std::make_unique<QuadraticSystem>();
+                             },
+                             MockWorkload(), TuningBudget{2}, 1, "x")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,66 @@
+#include "core/configuration.h"
+
+#include <gtest/gtest.h>
+
+namespace atune {
+namespace {
+
+TEST(ConfigurationTest, TypedSetGet) {
+  Configuration c;
+  c.SetInt("a", 5);
+  c.SetDouble("b", 2.5);
+  c.SetBool("c", true);
+  c.SetString("d", "kryo");
+  EXPECT_EQ(*c.GetInt("a"), 5);
+  EXPECT_DOUBLE_EQ(*c.GetDouble("b"), 2.5);
+  EXPECT_EQ(*c.GetBool("c"), true);
+  EXPECT_EQ(*c.GetString("d"), "kryo");
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(ConfigurationTest, NumericCoercion) {
+  Configuration c;
+  c.SetInt("i", 5);
+  c.SetDouble("d", 2.9);
+  EXPECT_DOUBLE_EQ(*c.GetDouble("i"), 5.0);
+  EXPECT_EQ(*c.GetInt("d"), 2);  // truncation
+  EXPECT_FALSE(c.GetBool("i").ok());
+  EXPECT_FALSE(c.GetString("d").ok());
+}
+
+TEST(ConfigurationTest, MissingKeyIsNotFound) {
+  Configuration c;
+  EXPECT_EQ(c.Get("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(c.IntOr("nope", 9), 9);
+  EXPECT_DOUBLE_EQ(c.DoubleOr("nope", 1.5), 1.5);
+  EXPECT_EQ(c.BoolOr("nope", true), true);
+  EXPECT_EQ(c.StringOr("nope", "x"), "x");
+}
+
+TEST(ConfigurationTest, DiffFindsChangedAndMissing) {
+  Configuration a, b;
+  a.SetInt("same", 1);
+  b.SetInt("same", 1);
+  a.SetInt("changed", 1);
+  b.SetInt("changed", 2);
+  a.SetInt("only_a", 1);
+  b.SetInt("only_b", 1);
+  auto diff = Configuration::Diff(a, b);
+  std::sort(diff.begin(), diff.end());
+  EXPECT_EQ(diff, (std::vector<std::string>{"changed", "only_a", "only_b"}));
+  EXPECT_TRUE(Configuration::Diff(a, a).empty());
+}
+
+TEST(ConfigurationTest, ToStringSortedAndEquality) {
+  Configuration a;
+  a.SetInt("z", 1);
+  a.SetBool("a", true);
+  EXPECT_EQ(a.ToString(), "a=true z=1");
+  Configuration b = a;
+  EXPECT_TRUE(a == b);
+  b.SetInt("z", 2);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,122 @@
+#include "core/objective.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "tests/core/mock_system.h"
+#include "tests/testing_util.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestSpark;
+using testing_util::MockWorkload;
+using testing_util::QuadraticSystem;
+
+TEST(CloudCostTest, SparkCostFollowsReservation) {
+  CloudPricing pricing;
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkSqlAggregateWorkload(2.0, 2.0);
+  Configuration small = spark->space().DefaultConfiguration();
+  Configuration big = small;
+  big.SetInt("num_executors", 16);
+  big.SetInt("executor_cores", 2);
+  big.SetInt("executor_memory_mb", 2048);
+  ExecutionResult result;
+  result.runtime_seconds = 3600.0;  // one hour
+  double cost_small = ComputeRunCostUsd(pricing, spark->name(),
+                                        spark->Descriptors(), small, result);
+  double cost_big = ComputeRunCostUsd(pricing, spark->name(),
+                                      spark->Descriptors(), big, result);
+  EXPECT_GT(cost_big, cost_small * 4.0);
+  // Known value: 2 executors x 1 core x 1h = 0.08 + 2GB x 1h = 0.01 + fixed.
+  EXPECT_NEAR(cost_small, 0.01 + 2 * 0.04 + 2.0 * 0.005, 1e-9);
+}
+
+TEST(CloudCostTest, NonElasticSystemsPayForWholeCluster) {
+  CloudPricing pricing;
+  QuadraticSystem system;
+  ExecutionResult result;
+  result.runtime_seconds = 3600.0;
+  Configuration c = system.space().DefaultConfiguration();
+  // Descriptors: total_ram_mb=1024 (1 GB), default cores 8.
+  double cost = ComputeRunCostUsd(pricing, system.name(),
+                                  system.Descriptors(), c, result);
+  EXPECT_NEAR(cost, 0.01 + 8.0 * 0.04 + 1.0 * 0.005, 1e-9);
+}
+
+TEST(CloudCostTest, ObjectivePenalizesDeadlineMissAndFailure) {
+  CloudPricing pricing;
+  auto spark = MakeTestSpark();
+  ObjectiveFunction obj = MakeCloudCostObjective(
+      pricing, spark->name(), spark->Descriptors(), /*deadline_s=*/100.0);
+  Configuration c = spark->space().DefaultConfiguration();
+  ExecutionResult in_time;
+  in_time.runtime_seconds = 80.0;
+  ExecutionResult late;
+  late.runtime_seconds = 200.0;
+  ExecutionResult crashed;
+  crashed.runtime_seconds = 80.0;
+  crashed.failed = true;
+  EXPECT_LT(obj(c, in_time), obj(c, late));
+  EXPECT_LT(obj(c, in_time), obj(c, crashed));
+  // The deadline penalty must be disproportionate: a 2x-late run costs far
+  // more than 2x the resource-seconds it consumed.
+  ExecutionResult just_in_time;
+  just_in_time.runtime_seconds = 99.0;
+  EXPECT_GT(obj(c, late), obj(c, just_in_time) * 5.0);
+}
+
+TEST(SlaObjectiveTest, ViolationsDominateFootprint) {
+  auto spark = MakeTestSpark();
+  ObjectiveFunction obj =
+      MakeLatencySlaObjective(spark->name(), spark->Descriptors());
+  Configuration small = spark->space().DefaultConfiguration();
+  Configuration big = small;
+  big.SetInt("num_executors", 16);
+  ExecutionResult meets;
+  meets.metrics["sla_violation_ratio"] = 0.0;
+  ExecutionResult violates;
+  violates.metrics["sla_violation_ratio"] = 0.5;
+  // Meeting the SLA with more resources beats violating it with fewer.
+  EXPECT_LT(obj(big, meets), obj(small, violates));
+  // Among SLA-meeting configs, the smaller footprint wins.
+  EXPECT_LT(obj(small, meets), obj(big, meets));
+  // Failure dominates everything.
+  ExecutionResult crashed;
+  crashed.failed = true;
+  EXPECT_GT(obj(small, crashed), obj(small, violates));
+}
+
+TEST(SlaObjectiveTest, FallsBackToRuntimeWithoutMetric) {
+  auto spark = MakeTestSpark();
+  ObjectiveFunction obj =
+      MakeLatencySlaObjective(spark->name(), spark->Descriptors());
+  Configuration c = spark->space().DefaultConfiguration();
+  ExecutionResult r;
+  r.runtime_seconds = 123.0;
+  EXPECT_DOUBLE_EQ(obj(c, r), 123.0);
+}
+
+TEST(EvaluatorObjectiveTest, CustomObjectiveDrivesBestTracking) {
+  QuadraticSystem system;
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{4});
+  // Invert the problem: prefer configurations with LARGE distance metric.
+  evaluator.set_objective(
+      [](const Configuration&, const ExecutionResult& result) {
+        return -result.MetricOr("distance", 0.0);
+      });
+  Configuration near_opt;
+  near_opt.SetDouble("x", 0.7);
+  near_opt.SetDouble("y", 0.3);
+  Configuration far;
+  far.SetDouble("x", 0.0);
+  far.SetDouble("y", 1.0);
+  ASSERT_TRUE(evaluator.Evaluate(near_opt).ok());
+  ASSERT_TRUE(evaluator.Evaluate(far).ok());
+  ASSERT_NE(evaluator.best(), nullptr);
+  EXPECT_TRUE(evaluator.best()->config == far);
+}
+
+}  // namespace
+}  // namespace atune

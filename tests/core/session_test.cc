@@ -1,0 +1,95 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/mock_system.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MockWorkload;
+using testing_util::QuadraticSystem;
+
+// A tiny tuner: evaluates defaults, then walks toward the optimum.
+class GreedyProbe : public Tuner {
+ public:
+  std::string name() const override { return "greedy-probe"; }
+  TunerCategory category() const override {
+    return TunerCategory::kExperimentDriven;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override {
+    const ParameterSpace& space = evaluator->space();
+    auto first = evaluator->Evaluate(space.DefaultConfiguration());
+    if (!first.ok()) return first.status();
+    while (!evaluator->Exhausted()) {
+      Configuration c =
+          space.Neighbor(evaluator->best()->config, 0.2, rng);
+      auto obj = evaluator->Evaluate(c);
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+    }
+    return Status::OK();
+  }
+  std::string Report() const override { return "probed"; }
+};
+
+TEST(SessionTest, PackagesOutcome) {
+  QuadraticSystem system;
+  GreedyProbe tuner;
+  SessionOptions options;
+  options.budget.max_evaluations = 12;
+  options.seed = 5;
+  auto outcome = RunTuningSession(&tuner, &system, MockWorkload(), options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->tuner_name, "greedy-probe");
+  EXPECT_EQ(outcome->category, TunerCategory::kExperimentDriven);
+  EXPECT_EQ(outcome->history.size(), 12u);
+  EXPECT_DOUBLE_EQ(outcome->evaluations_used, 12.0);
+  EXPECT_EQ(outcome->tuner_report, "probed");
+  EXPECT_GT(outcome->default_objective, 0.0);
+  // The greedy walk must not end worse than the defaults it started from.
+  EXPECT_LE(outcome->best_objective, outcome->default_objective * 1.01);
+  EXPECT_GE(outcome->speedup_over_default, 0.99);
+}
+
+TEST(SessionTest, ConvergenceIsMonotoneNonIncreasing) {
+  QuadraticSystem system;
+  GreedyProbe tuner;
+  SessionOptions options;
+  options.budget.max_evaluations = 15;
+  auto outcome = RunTuningSession(&tuner, &system, MockWorkload(), options);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->convergence.size(), outcome->history.size());
+  for (size_t i = 1; i < outcome->convergence.size(); ++i) {
+    EXPECT_LE(outcome->convergence[i], outcome->convergence[i - 1]);
+    EXPECT_GT(outcome->convergence_cost[i], outcome->convergence_cost[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(outcome->convergence.back(), outcome->best_objective);
+}
+
+TEST(SessionTest, NullArgumentsRejected) {
+  QuadraticSystem system;
+  GreedyProbe tuner;
+  SessionOptions options;
+  EXPECT_FALSE(RunTuningSession(nullptr, &system, MockWorkload(), options).ok());
+  EXPECT_FALSE(RunTuningSession(&tuner, nullptr, MockWorkload(), options).ok());
+}
+
+TEST(SessionTest, ReproducibleForSameSeed) {
+  SessionOptions options;
+  options.budget.max_evaluations = 10;
+  options.seed = 77;
+  QuadraticSystem s1, s2;
+  GreedyProbe t1, t2;
+  auto a = RunTuningSession(&t1, &s1, MockWorkload(), options);
+  auto b = RunTuningSession(&t2, &s2, MockWorkload(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->best_objective, b->best_objective);
+  EXPECT_TRUE(a->best_config == b->best_config);
+}
+
+}  // namespace
+}  // namespace atune

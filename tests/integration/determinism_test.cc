@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/session.h"
+#include "tests/testing_util.h"
+#include "tuners/builtin.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+
+/// Reproducibility contract: the whole stack is seeded, so re-running a
+/// session with the same seed on a fresh system must yield bit-identical
+/// histories — the property every experiment in EXPERIMENTS.md rests on.
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, IdenticalSessionsForIdenticalSeeds) {
+  const std::string& tuner_name = GetParam();
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+
+  auto run_once = [&]() -> Result<TuningOutcome> {
+    auto tuner = registry.Create(tuner_name);
+    if (!tuner.ok()) return tuner.status();
+    auto dbms = MakeTestDbms(42, /*noise=*/true);
+    SessionOptions options;
+    options.budget.max_evaluations = 10;
+    options.seed = 1234;
+    return RunTuningSession(tuner->get(), dbms.get(),
+                            MakeDbmsOlapWorkload(0.25), options);
+  };
+
+  auto a = run_once();
+  auto b = run_once();
+  if (!a.ok()) {
+    // DBMS-incompatible tuners refuse identically both times.
+    EXPECT_EQ(a.status().code(), b.status().code());
+    return;
+  }
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->history.size(), b->history.size()) << tuner_name;
+  for (size_t i = 0; i < a->history.size(); ++i) {
+    EXPECT_TRUE(a->history[i].config == b->history[i].config)
+        << tuner_name << " trial " << i;
+    EXPECT_DOUBLE_EQ(a->history[i].objective, b->history[i].objective)
+        << tuner_name << " trial " << i;
+  }
+  EXPECT_TRUE(a->best_config == b->best_config) << tuner_name;
+}
+
+std::vector<std::string> AllTunerNames() {
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  return registry.Names();
+}
+
+std::string SafeName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTuners, DeterminismTest,
+                         ::testing::ValuesIn(AllTunerNames()), SafeName);
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/session.h"
+#include "tests/testing_util.h"
+#include "tuners/builtin.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+using testing_util::MakeTestMapReduce;
+using testing_util::MakeTestSpark;
+
+struct Scenario {
+  std::string system;
+  std::string tuner;
+};
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  std::string name = info.param.system + "_" + info.param.tuner;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+std::unique_ptr<TunableSystem> MakeSystem(const std::string& name,
+                                          uint64_t seed) {
+  if (name == "mapreduce") return MakeTestMapReduce(seed, /*noise=*/true);
+  if (name == "spark") return MakeTestSpark(seed, /*noise=*/true);
+  return MakeTestDbms(seed, /*noise=*/true);
+}
+
+Workload MakeWorkloadFor(const std::string& system) {
+  if (system == "mapreduce") return MakeMrPageRankWorkload(2.0, 6);
+  if (system == "spark") return MakeSparkIterativeMlWorkload(2.0, 6.0);
+  return MakeDbmsOlapWorkload(0.25);
+}
+
+/// Contract test: every builtin tuner completes a session on every system
+/// it supports, stays within budget, and returns a valid configuration.
+class TunerSystemMatrixTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(TunerSystemMatrixTest, SessionCompletesWithinBudget) {
+  const Scenario& scenario = GetParam();
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  auto tuner = registry.Create(scenario.tuner);
+  ASSERT_TRUE(tuner.ok());
+
+  auto system = MakeSystem(scenario.system, 11);
+  Workload workload = MakeWorkloadFor(scenario.system);
+  SessionOptions options;
+  options.budget.max_evaluations = 12;
+  options.seed = 23;
+
+  auto outcome =
+      RunTuningSession(tuner->get(), system.get(), workload, options);
+  // DBMS-only / iterative-only tuners legitimately refuse some systems.
+  if (!outcome.ok()) {
+    EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition)
+        << outcome.status().ToString();
+    return;
+  }
+  EXPECT_LE(outcome->evaluations_used, 12.0 + 1e-9);
+  if (!outcome->history.empty()) {
+    EXPECT_TRUE(
+        system->space().ValidateConfiguration(outcome->best_config).ok());
+    EXPECT_GT(outcome->best_objective, 0.0);
+  }
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> scenarios;
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  for (const char* system : {"dbms", "mapreduce", "spark"}) {
+    for (const std::string& tuner : registry.Names()) {
+      scenarios.push_back({system, tuner});
+    }
+  }
+  return scenarios;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTunersAllSystems, TunerSystemMatrixTest,
+                         ::testing::ValuesIn(AllScenarios()), ScenarioName);
+
+/// Stronger property for the tuners that measure the defaults first: the
+/// session must never end *worse* than the defaults.
+class ImprovesOverDefaultTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ImprovesOverDefaultTest, BestIsAtMostDefault) {
+  const Scenario& scenario = GetParam();
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  auto tuner = registry.Create(scenario.tuner);
+  ASSERT_TRUE(tuner.ok());
+  auto system = MakeSystem(scenario.system, 5);
+  Workload workload = MakeWorkloadFor(scenario.system);
+  SessionOptions options;
+  options.budget.max_evaluations = 15;
+  options.seed = 31;
+  auto outcome =
+      RunTuningSession(tuner->get(), system.get(), workload, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_FALSE(outcome->history.empty());
+  // First trial is the measured default for these tuners.
+  EXPECT_LE(outcome->best_objective, outcome->history.front().objective);
+}
+
+std::vector<Scenario> DefaultFirstScenarios() {
+  std::vector<Scenario> scenarios;
+  for (const char* system : {"dbms", "mapreduce", "spark"}) {
+    for (const char* tuner :
+         {"random-search", "recursive-random", "adaptive-sampling", "ituned",
+          "addm", "trace-simulator", "config-navigator"}) {
+      scenarios.push_back({system, tuner});
+    }
+  }
+  return scenarios;
+}
+
+INSTANTIATE_TEST_SUITE_P(DefaultFirstTuners, ImprovesOverDefaultTest,
+                         ::testing::ValuesIn(DefaultFirstScenarios()),
+                         ScenarioName);
+
+}  // namespace
+}  // namespace atune

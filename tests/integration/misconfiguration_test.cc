@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+#include "tuners/rule_based/spex.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+using testing_util::MakeTestMapReduce;
+using testing_util::MakeTestSpark;
+
+/// Property (the paper's motivation): random configurations fail or degrade
+/// at a substantial rate, and SPEX-style constraint repair eliminates most
+/// of those failures. This is the unit-test-sized version of E3.
+class MisconfigurationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MisconfigurationTest, ConstraintRepairPreventsFailures) {
+  const std::string& which = GetParam();
+  std::unique_ptr<TunableSystem> system;
+  Workload workload;
+  if (which == "mapreduce") {
+    system = MakeTestMapReduce();
+    workload = MakeMrWordCountWorkload(2.0);
+  } else if (which == "spark") {
+    system = MakeTestSpark();
+    workload = MakeSparkSqlAggregateWorkload(2.0, 2.0);
+  } else {
+    system = MakeTestDbms();
+    workload = MakeDbmsOltpWorkload(0.25);
+  }
+  auto constraints = MakeConstraintsForSystem(system->name());
+  auto descriptors = system->Descriptors();
+  descriptors["expected_clients"] = workload.PropertyOr("clients", 16.0);
+
+  Rng rng(99);
+  int raw_failures = 0, repaired_failures = 0, flagged = 0;
+  const int trials = 120;
+  for (int i = 0; i < trials; ++i) {
+    Configuration config = system->space().RandomConfiguration(&rng);
+    auto raw = system->Execute(config, workload);
+    ASSERT_TRUE(raw.ok());
+    bool raw_failed = raw->failed;
+    raw_failures += raw_failed ? 1 : 0;
+    bool was_flagged =
+        !CheckConstraints(constraints, config, descriptors).empty();
+    flagged += was_flagged ? 1 : 0;
+    // Repair and re-run.
+    Configuration repaired = config;
+    for (const auto& c : constraints) {
+      if (c.violated(repaired, descriptors)) c.repair(&repaired, descriptors);
+    }
+    repaired = system->space().FromUnitVector(
+        system->space().ToUnitVector(repaired));
+    auto fixed = system->Execute(repaired, workload);
+    ASSERT_TRUE(fixed.ok());
+    repaired_failures += fixed->failed ? 1 : 0;
+  }
+  // Misconfiguration is a real hazard...
+  EXPECT_GT(raw_failures, trials / 20) << which;
+  // ...constraints notice risky configs...
+  EXPECT_GT(flagged, 0) << which;
+  // ...and repair removes at least half of the failures.
+  EXPECT_LT(repaired_failures, raw_failures / 2 + 1) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, MisconfigurationTest,
+                         ::testing::Values("dbms", "mapreduce", "spark"));
+
+}  // namespace
+}  // namespace atune

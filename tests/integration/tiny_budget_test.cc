@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/session.h"
+#include "tests/testing_util.h"
+#include "tuners/builtin.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+
+/// Robustness sweep: every tuner must degrade gracefully when the budget is
+/// absurdly small (1–3 runs) — finish without crashing, never overspend,
+/// and still return something valid. This guards every tuner's
+/// budget-exhaustion handling paths.
+class TinyBudgetTest
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {};
+
+TEST_P(TinyBudgetTest, GracefulUnderStarvation) {
+  auto [tuner_name, budget] = GetParam();
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  auto tuner = registry.Create(tuner_name);
+  ASSERT_TRUE(tuner.ok());
+  auto dbms = MakeTestDbms(3, /*noise=*/true);
+  SessionOptions options;
+  options.budget.max_evaluations = budget;
+  options.seed = 17;
+  auto outcome = RunTuningSession(tuner->get(), dbms.get(),
+                                  MakeDbmsOlapWorkload(0.25), options);
+  if (!outcome.ok()) {
+    EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+    return;
+  }
+  EXPECT_LE(outcome->evaluations_used, static_cast<double>(budget) + 1e-9);
+  if (!outcome->history.empty()) {
+    EXPECT_TRUE(
+        dbms->space().ValidateConfiguration(outcome->best_config).ok());
+  }
+}
+
+std::vector<std::tuple<std::string, size_t>> TinyBudgetCases() {
+  std::vector<std::tuple<std::string, size_t>> cases;
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  for (const std::string& name : registry.Names()) {
+    for (size_t budget : {1, 3}) {
+      cases.emplace_back(name, budget);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTuners, TinyBudgetTest, ::testing::ValuesIn(TinyBudgetCases()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, size_t>>& info) {
+      std::string name = std::get<0>(info.param) + "_b" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,62 @@
+#include "ml/acquisition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace atune {
+namespace {
+
+TEST(AcquisitionTest, NormalPdfCdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(AcquisitionTest, EiZeroVarianceReducesToPlainImprovement) {
+  GpPrediction certain{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(certain, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(certain, 1.0), 0.0);
+}
+
+TEST(AcquisitionTest, EiIncreasesWithUncertainty) {
+  GpPrediction narrow{5.0, 0.01};
+  GpPrediction wide{5.0, 1.0};
+  double best = 4.0;  // both means are worse than best
+  EXPECT_GT(ExpectedImprovement(wide, best),
+            ExpectedImprovement(narrow, best));
+}
+
+TEST(AcquisitionTest, EiDecreasesWithWorseMean) {
+  GpPrediction good{3.0, 0.5};
+  GpPrediction bad{6.0, 0.5};
+  EXPECT_GT(ExpectedImprovement(good, 4.0), ExpectedImprovement(bad, 4.0));
+}
+
+TEST(AcquisitionTest, EiAlwaysNonNegative) {
+  for (double mean : {-2.0, 0.0, 5.0, 100.0}) {
+    for (double var : {0.0, 0.1, 10.0}) {
+      EXPECT_GE(ExpectedImprovement({mean, var}, 1.0), 0.0);
+    }
+  }
+}
+
+TEST(AcquisitionTest, PiIsProbability) {
+  GpPrediction p{5.0, 4.0};
+  double pi = ProbabilityOfImprovement(p, 5.0);
+  EXPECT_NEAR(pi, 0.5, 1e-9);  // mean == best: 50/50
+  EXPECT_GE(ProbabilityOfImprovement(p, -100.0), 0.0);
+  EXPECT_LE(ProbabilityOfImprovement(p, 1000.0), 1.0);
+  GpPrediction certain{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(ProbabilityOfImprovement(certain, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilityOfImprovement(certain, 1.0), 0.0);
+}
+
+TEST(AcquisitionTest, LcbPrefersLowMeanAndHighVariance) {
+  EXPECT_GT(LowerConfidenceBound({1.0, 1.0}), LowerConfidenceBound({2.0, 1.0}));
+  EXPECT_GT(LowerConfidenceBound({1.0, 4.0}), LowerConfidenceBound({1.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,84 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace atune {
+namespace {
+
+// Three well-separated blobs in 2D.
+std::vector<Vec> ThreeBlobs(Rng* rng, size_t per_blob = 20) {
+  std::vector<Vec> pts;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (int b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      pts.push_back({centers[b][0] + rng->Normal(0.0, 0.3),
+                     centers[b][1] + rng->Normal(0.0, 0.3)});
+    }
+  }
+  return pts;
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(1);
+  auto pts = ThreeBlobs(&rng);
+  auto result = KMeans(pts, 3, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), 3u);
+  // All points of a blob share an assignment, and blobs differ.
+  std::set<size_t> blob_clusters;
+  for (int b = 0; b < 3; ++b) {
+    size_t first = result->assignments[b * 20];
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(result->assignments[b * 20 + i], first);
+    }
+    blob_clusters.insert(first);
+  }
+  EXPECT_EQ(blob_clusters.size(), 3u);
+  EXPECT_LT(result->inertia, 60.0 * 0.3 * 0.3 * 4.0);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Rng rng(2);
+  std::vector<Vec> pts = {{0.0}, {1.0}, {2.0}, {5.0}};
+  auto result = KMeans(pts, 4, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  Rng rng(3);
+  EXPECT_FALSE(KMeans({}, 1, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 0, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 2, &rng).ok());
+}
+
+TEST(KMeansTest, NearestCentroid) {
+  std::vector<Vec> centroids = {{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(NearestCentroid(centroids, {1.0, 1.0}), 0u);
+  EXPECT_EQ(NearestCentroid(centroids, {9.0, 9.0}), 1u);
+}
+
+TEST(KMeansAutoKTest, FindsRoughlyThreeForThreeBlobs) {
+  Rng rng(5);
+  auto pts = ThreeBlobs(&rng, 30);
+  auto result = KMeansAutoK(pts, 8, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->centroids.size(), 2u);
+  EXPECT_LE(result->centroids.size(), 4u);
+}
+
+TEST(KMeansAutoKTest, SingleTightBlobPicksOne) {
+  Rng rng(7);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.Normal(5.0, 0.05), rng.Normal(5.0, 0.05)});
+  }
+  auto result = KMeansAutoK(pts, 5, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->centroids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace atune

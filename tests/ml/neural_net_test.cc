@@ -1,0 +1,84 @@
+#include "ml/neural_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace atune {
+namespace {
+
+TEST(MlpTest, RejectsBadData) {
+  Mlp mlp;
+  EXPECT_FALSE(mlp.Fit({}, {}).ok());
+  EXPECT_FALSE(mlp.Fit({{1.0}}, {1.0, 2.0}).ok());
+  EXPECT_DOUBLE_EQ(mlp.Predict({1.0}), 0.0);  // unfitted
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  Rng rng(1);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 60; ++i) {
+    Vec x = {rng.Uniform(), rng.Uniform()};
+    ys.push_back(2.0 * x[0] - x[1]);
+    xs.push_back(std::move(x));
+  }
+  MlpOptions opts;
+  opts.hidden_layers = {8};
+  opts.epochs = 300;
+  Mlp mlp(opts);
+  ASSERT_TRUE(mlp.Fit(xs, ys).ok());
+  double err = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    Vec x = {rng.Uniform(), rng.Uniform()};
+    err += std::abs(mlp.Predict(x) - (2.0 * x[0] - x[1]));
+  }
+  EXPECT_LT(err / 30.0, 0.12);
+}
+
+TEST(MlpTest, LearnsNonlinearFunction) {
+  Rng rng(2);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (int i = 0; i < 120; ++i) {
+    Vec x = {rng.Uniform(-1.0, 1.0)};
+    ys.push_back(x[0] * x[0]);  // parabola: not linearly representable
+    xs.push_back(std::move(x));
+  }
+  MlpOptions opts;
+  opts.hidden_layers = {16, 16};
+  opts.epochs = 600;
+  Mlp mlp(opts);
+  ASSERT_TRUE(mlp.Fit(xs, ys).ok());
+  EXPECT_LT(mlp.final_loss(), 0.05);
+  EXPECT_NEAR(mlp.Predict({0.0}), 0.0, 0.12);
+  EXPECT_NEAR(mlp.Predict({0.8}), 0.64, 0.15);
+  EXPECT_NEAR(mlp.Predict({-0.8}), 0.64, 0.15);
+}
+
+TEST(MlpTest, DeterministicPerSeed) {
+  std::vector<Vec> xs = {{0.1}, {0.5}, {0.9}};
+  Vec ys = {1.0, 2.0, 3.0};
+  MlpOptions opts;
+  opts.epochs = 50;
+  opts.seed = 99;
+  Mlp a(opts), b(opts);
+  ASSERT_TRUE(a.Fit(xs, ys).ok());
+  ASSERT_TRUE(b.Fit(xs, ys).ok());
+  EXPECT_DOUBLE_EQ(a.Predict({0.3}), b.Predict({0.3}));
+}
+
+TEST(MlpTest, ConstantTargetsPredictConstant) {
+  std::vector<Vec> xs = {{0.0}, {0.5}, {1.0}};
+  Vec ys = {4.0, 4.0, 4.0};
+  MlpOptions opts;
+  opts.epochs = 50;
+  Mlp mlp(opts);
+  ASSERT_TRUE(mlp.Fit(xs, ys).ok());
+  EXPECT_NEAR(mlp.Predict({0.25}), 4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace atune

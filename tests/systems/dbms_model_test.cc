@@ -1,0 +1,122 @@
+#include "systems/dbms/dbms_model.h"
+
+#include <gtest/gtest.h>
+
+namespace atune {
+namespace {
+
+TEST(BufferHitRatioTest, MonotoneInPoolSize) {
+  double prev = -1.0;
+  for (double pool : {64.0, 128.0, 512.0, 1024.0, 2048.0}) {
+    double hit = BufferHitRatio(pool, 2048.0, 0.5);
+    EXPECT_GT(hit, prev);
+    EXPECT_GE(hit, 0.0);
+    EXPECT_LE(hit, 1.0);
+    prev = hit;
+  }
+  EXPECT_DOUBLE_EQ(BufferHitRatio(2048.0, 2048.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BufferHitRatio(4096.0, 2048.0, 0.5), 1.0);
+}
+
+TEST(BufferHitRatioTest, SkewMakesSmallCachesMoreEffective) {
+  double uniform = BufferHitRatio(256.0, 2048.0, 0.0);
+  double skewed = BufferHitRatio(256.0, 2048.0, 0.8);
+  EXPECT_GT(skewed, uniform);
+}
+
+TEST(ScanBandwidthTest, PrefetchAndConcurrencyHelp) {
+  NodeSpec node;
+  ClusterSpec cluster = ClusterSpec::MakeUniform(1, node);
+  double base = EffectiveScanBandwidthMbps(cluster, 0.5, 1, 0);
+  double prefetched = EffectiveScanBandwidthMbps(cluster, 0.5, 1, 16);
+  double concurrent = EffectiveScanBandwidthMbps(cluster, 0.5, 16, 0);
+  EXPECT_GT(prefetched, base);
+  EXPECT_GT(concurrent, base);
+  // Sequential mix is faster than random.
+  EXPECT_GT(EffectiveScanBandwidthMbps(cluster, 1.0, 4, 8),
+            EffectiveScanBandwidthMbps(cluster, 0.0, 4, 8));
+}
+
+TEST(CompressionProfileTest, Tradeoffs) {
+  CompressionProfile none = GetCompressionProfile("none");
+  CompressionProfile lz4 = GetCompressionProfile("lz4");
+  CompressionProfile zlib = GetCompressionProfile("zlib");
+  EXPECT_DOUBLE_EQ(none.ratio, 1.0);
+  EXPECT_DOUBLE_EQ(none.compress_cpu_s_per_mb, 0.0);
+  EXPECT_LT(zlib.ratio, lz4.ratio);              // zlib compresses better
+  EXPECT_GT(zlib.compress_cpu_s_per_mb,
+            lz4.compress_cpu_s_per_mb);          // but costs more CPU
+  EXPECT_DOUBLE_EQ(GetCompressionProfile("bogus").ratio, 1.0);
+}
+
+TEST(SpillTest, NoSpillWhenFits) {
+  EXPECT_DOUBLE_EQ(SpillExtraIoMb(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(SpillExtraIoMb(100.0, 200.0), 0.0);
+}
+
+TEST(SpillTest, SpillGrowsWithShortfallAndPasses) {
+  double mild = SpillExtraIoMb(200.0, 100.0);    // 1 pass
+  EXPECT_DOUBLE_EQ(mild, 2.0 * 200.0);
+  double severe = SpillExtraIoMb(3200.0, 10.0);  // needs multiple passes
+  EXPECT_GT(severe, 2.0 * 3200.0);
+}
+
+TEST(ParallelSpeedupTest, AmdahlProperties) {
+  EXPECT_DOUBLE_EQ(ParallelSpeedup(1, 8, 0.1), 1.0);
+  double s4 = ParallelSpeedup(4, 8, 0.1);
+  double s8 = ParallelSpeedup(8, 8, 0.1);
+  EXPECT_GT(s4, 1.0);
+  EXPECT_GT(s8, s4);
+  EXPECT_LT(s8, 8.0);                              // sub-linear
+  EXPECT_DOUBLE_EQ(ParallelSpeedup(64, 8, 0.1), s8);  // capped by cores
+  EXPECT_LT(ParallelSpeedup(1e9, 1e9, 0.1), 10.0 + 1e-9);  // serial limit
+}
+
+TEST(LockModelTest, NoContentionCases) {
+  LockOutcome single = ComputeLockOutcome(1.0, 0.9, 1000.0, 1e5);
+  EXPECT_DOUBLE_EQ(single.total_wait_s, 0.0);
+  LockOutcome none = ComputeLockOutcome(32.0, 0.5, 1000.0, 0.0);
+  EXPECT_DOUBLE_EQ(none.total_wait_s, 0.0);
+}
+
+TEST(LockModelTest, ShortTimeoutCausesAborts) {
+  LockOutcome hasty = ComputeLockOutcome(64.0, 0.8, 10.0, 1e5);
+  LockOutcome patient = ComputeLockOutcome(64.0, 0.8, 5000.0, 1e5);
+  EXPECT_GT(hasty.abort_fraction, patient.abort_fraction * 5.0);
+  EXPECT_GT(patient.total_wait_s, 0.0);
+}
+
+TEST(LockModelTest, TimeoutTradeoffIsUShaped) {
+  // Short timeouts abort healthy waiters (retry storms and redone work);
+  // long timeouts make deadlock victims wait forever. Moderate wins.
+  LockOutcome t10 = ComputeLockOutcome(64.0, 0.8, 10.0, 1e5);
+  LockOutcome t300 = ComputeLockOutcome(64.0, 0.8, 300.0, 1e5);
+  LockOutcome t10k = ComputeLockOutcome(64.0, 0.8, 10000.0, 1e5);
+  EXPECT_GT(t10.abort_fraction, t300.abort_fraction);
+  EXPECT_GE(t300.abort_fraction, t10k.abort_fraction);
+  EXPECT_GT(t10.extra_work_fraction, t300.extra_work_fraction);
+  EXPECT_GT(t10.total_wait_s, t300.total_wait_s);   // retry re-waits
+  EXPECT_GT(t10k.total_wait_s, t300.total_wait_s);  // deadlock stalls
+  EXPECT_GT(t10k.deadlocks, 0.0);
+}
+
+TEST(SwapTest, PenaltyAndOom) {
+  EXPECT_DOUBLE_EQ(SwapPenalty(1000.0, 2000.0), 1.0);
+  EXPECT_DOUBLE_EQ(SwapPenalty(2000.0, 2000.0), 1.0);
+  EXPECT_GT(SwapPenalty(2200.0, 2000.0), 1.0);
+  EXPECT_GT(SwapPenalty(2600.0, 2000.0), SwapPenalty(2200.0, 2000.0));
+  EXPECT_FALSE(OutOfMemory(2400.0, 2000.0));
+  EXPECT_TRUE(OutOfMemory(2600.0, 2000.0));
+}
+
+TEST(PlanQualityTest, StatisticsImproveComplexPlans) {
+  double sparse = PlanQualityMultiplier(10.0, 1.0);
+  double rich = PlanQualityMultiplier(1000.0, 1.0);
+  EXPECT_GT(sparse, rich);
+  EXPECT_GE(rich, 1.0);
+  // Simple queries don't care about statistics.
+  EXPECT_NEAR(PlanQualityMultiplier(10.0, 0.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace atune

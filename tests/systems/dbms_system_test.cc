@@ -1,0 +1,201 @@
+#include "systems/dbms/dbms_system.h"
+
+#include <gtest/gtest.h>
+
+#include "systems/dbms/dbms_workloads.h"
+#include "tests/testing_util.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+
+TEST(SimulatedDbmsTest, SpaceAndDescriptors) {
+  auto dbms = MakeTestDbms();
+  EXPECT_EQ(dbms->name(), "simulated-dbms");
+  EXPECT_EQ(dbms->space().dims(), 12u);
+  auto desc = dbms->Descriptors();
+  EXPECT_DOUBLE_EQ(desc["total_ram_mb"], 16384.0);
+  EXPECT_DOUBLE_EQ(desc["total_cores"], 8.0);
+  EXPECT_FALSE(dbms->MetricNames().empty());
+}
+
+TEST(SimulatedDbmsTest, DeterministicWithoutNoise) {
+  auto a = MakeTestDbms(1);
+  auto b = MakeTestDbms(2);  // different seed but noise off
+  Workload w = MakeDbmsOlapWorkload(0.25);
+  Configuration c = a->space().DefaultConfiguration();
+  auto ra = a->Execute(c, w);
+  auto rb = b->Execute(c, w);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_DOUBLE_EQ(ra->runtime_seconds, rb->runtime_seconds);
+}
+
+TEST(SimulatedDbmsTest, NoiseVariesRunsButSeedReproduces) {
+  auto a = MakeTestDbms(7, /*noise=*/true);
+  auto b = MakeTestDbms(7, /*noise=*/true);
+  Workload w = MakeDbmsOlapWorkload(0.25);
+  Configuration c = a->space().DefaultConfiguration();
+  double a1 = a->Execute(c, w)->runtime_seconds;
+  double a2 = a->Execute(c, w)->runtime_seconds;
+  EXPECT_NE(a1, a2);  // run-to-run variance
+  double b1 = b->Execute(c, w)->runtime_seconds;
+  EXPECT_DOUBLE_EQ(a1, b1);  // same seed, same stream
+}
+
+TEST(SimulatedDbmsTest, RejectsInvalidConfig) {
+  auto dbms = MakeTestDbms();
+  Configuration c = dbms->space().DefaultConfiguration();
+  c.SetInt("buffer_pool_mb", 1);  // below minimum
+  EXPECT_FALSE(dbms->Execute(c, MakeDbmsOlapWorkload(0.25)).ok());
+}
+
+TEST(SimulatedDbmsTest, BiggerBufferPoolSpeedsUpOlap) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  Configuration small = dbms->space().DefaultConfiguration();
+  small.SetInt("buffer_pool_mb", 128);
+  Configuration big = dbms->space().DefaultConfiguration();
+  big.SetInt("buffer_pool_mb", 8192);
+  EXPECT_GT(dbms->Execute(small, w)->runtime_seconds,
+            dbms->Execute(big, w)->runtime_seconds);
+}
+
+TEST(SimulatedDbmsTest, WorkMemRemovesSpill) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  Configuration tiny = dbms->space().DefaultConfiguration();
+  tiny.SetInt("work_mem_mb", 1);
+  Configuration ample = dbms->space().DefaultConfiguration();
+  ample.SetInt("work_mem_mb", 1024);
+  auto spilled = dbms->Execute(tiny, w);
+  auto fits = dbms->Execute(ample, w);
+  EXPECT_GT(spilled->MetricOr("spill_mb", 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fits->MetricOr("spill_mb", -1.0), 0.0);
+  EXPECT_GT(spilled->runtime_seconds, fits->runtime_seconds);
+}
+
+TEST(SimulatedDbmsTest, MemoryOversubscriptionFailsOom) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5, /*clients=*/8.0);
+  Configuration hog = dbms->space().DefaultConfiguration();
+  hog.SetInt("buffer_pool_mb", 14000);
+  hog.SetInt("work_mem_mb", 2048);
+  hog.SetInt("max_workers", 8);
+  auto r = dbms->Execute(hog, w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->failed);
+  EXPECT_NE(r->failure_reason.find("memory"), std::string::npos);
+  // Failures cost watchdog wall-clock, not a cheap crash.
+  EXPECT_GE(r->runtime_seconds, 1000.0);
+}
+
+TEST(SimulatedDbmsTest, TinyDeadlockTimeoutCausesAbortStorm) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOltpWorkload(0.5, /*clients=*/64.0, /*skew=*/0.9);
+  Configuration hasty = dbms->space().DefaultConfiguration();
+  hasty.SetInt("deadlock_timeout_ms", 10);
+  auto r = dbms->Execute(hasty, w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->failed);
+  EXPECT_NE(r->failure_reason.find("abort storm"), std::string::npos);
+  Configuration sane = dbms->space().DefaultConfiguration();
+  EXPECT_FALSE(dbms->Execute(sane, w)->failed);
+}
+
+TEST(SimulatedDbmsTest, DeadlockTimeoutUShapedRuntime) {
+  auto dbms = MakeTestDbms();
+  // Contention high enough to matter but below the storm cliff.
+  Workload w = MakeDbmsOltpWorkload(0.5, /*clients=*/48.0, /*skew=*/0.7);
+  auto runtime = [&](int64_t timeout_ms) {
+    Configuration c = dbms->space().DefaultConfiguration();
+    c.SetInt("deadlock_timeout_ms", timeout_ms);
+    auto r = dbms->Execute(c, w);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r->failed) << r->failure_reason;
+    return r->runtime_seconds;
+  };
+  double hasty = runtime(10);
+  double moderate = runtime(300);
+  double lax = runtime(10000);
+  EXPECT_LT(moderate, hasty);
+  EXPECT_LT(moderate, lax);
+}
+
+TEST(SimulatedDbmsTest, GroupCommitHelpsOltp) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOltpWorkload(0.5, 64.0);
+  Configuration imm = dbms->space().DefaultConfiguration();
+  imm.SetString("log_flush", "immediate");
+  Configuration grp = dbms->space().DefaultConfiguration();
+  grp.SetString("log_flush", "group");
+  EXPECT_GT(dbms->Execute(imm, w)->MetricOr("commit_wait_s", 0.0),
+            dbms->Execute(grp, w)->MetricOr("commit_wait_s", 0.0));
+}
+
+TEST(SimulatedDbmsTest, CheckpointIntervalIsUShaped) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOltpWorkload(1.0, 32.0);
+  auto runtime = [&](int64_t interval) {
+    Configuration c = dbms->space().DefaultConfiguration();
+    c.SetInt("checkpoint_interval_s", interval);
+    return dbms->Execute(c, w)->runtime_seconds;
+  };
+  double frantic = runtime(30);
+  double moderate = runtime(600);
+  EXPECT_GT(frantic, moderate);
+}
+
+TEST(SimulatedDbmsTest, CompressionHelpsIoBoundHurtsCpuBound) {
+  auto dbms = MakeTestDbms();
+  // IO-bound: tiny buffer pool, big scans.
+  Workload io_bound = MakeDbmsOlapWorkload(1.0);
+  Configuration none = dbms->space().DefaultConfiguration();
+  none.SetInt("buffer_pool_mb", 64);
+  Configuration lz4 = none;
+  lz4.SetString("page_compression", "lz4");
+  EXPECT_GT(dbms->Execute(none, io_bound)->runtime_seconds,
+            dbms->Execute(lz4, io_bound)->runtime_seconds);
+}
+
+TEST(SimulatedDbmsTest, UnitExecutionApproximatesFullRun) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOltpWorkload(0.5);
+  Configuration c = dbms->space().DefaultConfiguration();
+  size_t units = dbms->NumUnits(w);
+  ASSERT_GT(units, 1u);
+  double total_units = 0.0;
+  for (size_t u = 0; u < units; ++u) {
+    auto r = dbms->ExecuteUnit(c, w, u);
+    ASSERT_TRUE(r.ok());
+    total_units += r->runtime_seconds;
+  }
+  double full = dbms->Execute(c, w)->runtime_seconds;
+  // Units should roughly tile the full run (within 35%: per-unit overheads
+  // and nonlinear terms differ).
+  EXPECT_NEAR(total_units / full, 1.0, 0.35);
+}
+
+TEST(SimulatedDbmsTest, MixedWorkloadCombinesBoth) {
+  auto dbms = MakeTestDbms();
+  Workload mixed = MakeDbmsMixedWorkload(0.5);
+  auto r = dbms->Execute(dbms->space().DefaultConfiguration(), mixed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->runtime_seconds, 0.0);
+  EXPECT_GT(r->MetricOr("wal_mb", 0.0), 0.0);        // OLTP part present
+  EXPECT_GT(r->MetricOr("io_read_mb", 0.0), 0.0);    // OLAP part present
+}
+
+TEST(SimulatedDbmsTest, AnalyticalTasksRank) {
+  auto dbms = MakeTestDbms();
+  Configuration c = dbms->space().DefaultConfiguration();
+  double scan =
+      dbms->Execute(c, MakeDbmsAnalyticalTask("scan", 4096.0))->runtime_seconds;
+  double join =
+      dbms->Execute(c, MakeDbmsAnalyticalTask("join", 4096.0))->runtime_seconds;
+  EXPECT_GT(join, scan);  // joins do strictly more work
+}
+
+}  // namespace
+}  // namespace atune

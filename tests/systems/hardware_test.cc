@@ -1,0 +1,46 @@
+#include "systems/hardware.h"
+
+#include <gtest/gtest.h>
+
+namespace atune {
+namespace {
+
+TEST(ClusterSpecTest, UniformAggregates) {
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  node.disk_mbps = 200;
+  node.network_mbps = 1000;
+  ClusterSpec cluster = ClusterSpec::MakeUniform(4, node);
+  EXPECT_EQ(cluster.num_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(cluster.TotalCores(), 32.0);
+  EXPECT_DOUBLE_EQ(cluster.TotalRamMb(), 65536.0);
+  EXPECT_DOUBLE_EQ(cluster.TotalDiskMbps(), 800.0);
+  EXPECT_DOUBLE_EQ(cluster.TotalNetworkMbps(), 4000.0);
+  EXPECT_DOUBLE_EQ(cluster.SlowestNodeFactor(), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.MeanNode().cores, 8.0);
+}
+
+TEST(ClusterSpecTest, HeterogeneousSpreadsWithinBounds) {
+  NodeSpec base;
+  Rng rng(3);
+  ClusterSpec cluster = ClusterSpec::MakeHeterogeneous(16, base, 0.4, &rng);
+  EXPECT_EQ(cluster.num_nodes(), 16u);
+  bool varied = false;
+  for (const NodeSpec& n : cluster.nodes()) {
+    EXPECT_GE(n.cpu_speed, base.cpu_speed * 0.6 - 1e-9);
+    EXPECT_LE(n.cpu_speed, base.cpu_speed * 1.4 + 1e-9);
+    varied |= n.cpu_speed != base.cpu_speed;
+  }
+  EXPECT_TRUE(varied);
+  EXPECT_GT(cluster.SlowestNodeFactor(), 1.0);
+}
+
+TEST(ClusterSpecTest, EmptyClusterIsSafe) {
+  ClusterSpec cluster;
+  EXPECT_DOUBLE_EQ(cluster.TotalCores(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.SlowestNodeFactor(), 1.0);
+}
+
+}  // namespace
+}  // namespace atune

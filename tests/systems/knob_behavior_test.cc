@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+using testing_util::MakeTestMapReduce;
+using testing_util::MakeTestSpark;
+
+// Finer-grained knob semantics than the monotonicity sweep: interactions,
+// conditional effects, and second-order behaviors the tuners exploit.
+
+TEST(DbmsKnobTest, TempCompressionOnlyMattersWhenSpilling) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  // Spilling config: temp compression reduces spill bytes.
+  Configuration spilling = dbms->space().DefaultConfiguration();
+  spilling.SetInt("work_mem_mb", 1);
+  Configuration spilling_compressed = spilling;
+  spilling_compressed.SetBool("temp_compression", true);
+  double plain = dbms->Execute(spilling, w)->runtime_seconds;
+  double compressed =
+      dbms->Execute(spilling_compressed, w)->runtime_seconds;
+  EXPECT_LT(compressed, plain);
+  // Non-spilling config: the knob is inert.
+  Configuration ample = dbms->space().DefaultConfiguration();
+  ample.SetInt("work_mem_mb", 1024);
+  Configuration ample_compressed = ample;
+  ample_compressed.SetBool("temp_compression", true);
+  EXPECT_DOUBLE_EQ(dbms->Execute(ample, w)->runtime_seconds,
+                   dbms->Execute(ample_compressed, w)->runtime_seconds);
+}
+
+TEST(DbmsKnobTest, WalBufferMattersUnderImmediateCommitOnly) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOltpWorkload(0.5, /*clients=*/64.0);
+  auto commit_wait = [&](const std::string& flush, int64_t wal) {
+    Configuration c = dbms->space().DefaultConfiguration();
+    c.SetString("log_flush", flush);
+    c.SetInt("wal_buffer_mb", wal);
+    return dbms->Execute(c, w)->MetricOr("commit_wait_s", 0.0);
+  };
+  // Tiny WAL buffer stalls immediate commits...
+  EXPECT_GT(commit_wait("immediate", 1), commit_wait("immediate", 64));
+  // ...while group commit amortizes the fsyncs regardless.
+  EXPECT_LT(commit_wait("group", 1), commit_wait("immediate", 64));
+}
+
+TEST(DbmsKnobTest, PlanQualityMultiplierAppearsInMetrics) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.25);
+  Configuration sparse = dbms->space().DefaultConfiguration();
+  sparse.SetInt("stats_target", 10);
+  Configuration rich = dbms->space().DefaultConfiguration();
+  rich.SetInt("stats_target", 1000);
+  EXPECT_GT(dbms->Execute(sparse, w)->MetricOr("plan_multiplier", 0.0),
+            dbms->Execute(rich, w)->MetricOr("plan_multiplier", 10.0));
+}
+
+TEST(MrKnobTest, SortFactorReducesMergePassesForTinyBuffers) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrTeraSortWorkload(20.0);
+  Configuration narrow = mr->space().DefaultConfiguration();
+  narrow.SetInt("num_reducers", 16);
+  narrow.SetInt("dfs_block_mb", 512);  // large splits...
+  narrow.SetInt("io_sort_mb", 32);     // ...tiny buffer: ~20 spills per map
+  narrow.SetInt("io_sort_factor", 10);
+  Configuration wide = narrow;
+  wide.SetInt("io_sort_factor", 150);
+  auto narrow_run = mr->Execute(narrow, w);
+  auto wide_run = mr->Execute(wide, w);
+  EXPECT_GT(narrow_run->MetricOr("spill_io_mb", 0.0),
+            wide_run->MetricOr("spill_io_mb", 0.0));
+  EXPECT_GT(narrow_run->runtime_seconds, wide_run->runtime_seconds);
+}
+
+TEST(MrKnobTest, SpillPercentShiftsSpillCount) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrTeraSortWorkload(10.0);
+  Configuration low = mr->space().DefaultConfiguration();
+  low.SetInt("io_sort_mb", 64);
+  low.SetDouble("io_sort_spill_percent", 0.5);
+  Configuration high = low;
+  high.SetDouble("io_sort_spill_percent", 0.95);
+  EXPECT_GE(mr->Execute(low, w)->MetricOr("spill_count", 0.0),
+            mr->Execute(high, w)->MetricOr("spill_count", 0.0));
+}
+
+TEST(MrKnobTest, SlowstartOverlapsShuffleWithMaps) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrTeraSortWorkload(20.0);
+  Configuration eager = mr->space().DefaultConfiguration();
+  eager.SetInt("num_reducers", 16);
+  eager.SetInt("dfs_block_mb", 32);  // several map waves to overlap with
+  eager.SetDouble("slowstart", 0.05);
+  Configuration lazy = eager;
+  lazy.SetDouble("slowstart", 1.0);
+  EXPECT_LT(mr->Execute(eager, w)->MetricOr("shuffle_time_s", 1e9),
+            mr->Execute(lazy, w)->MetricOr("shuffle_time_s", 0.0));
+}
+
+TEST(SparkKnobTest, LocalityWaitTradesIdlenessForLocality) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkSqlAggregateWorkload(8.0, 4.0);
+  w.properties["locality"] = 0.3;  // poor locality: the knob matters
+  Configuration base = spark->space().DefaultConfiguration();
+  base.SetInt("num_executors", 8);
+  base.SetInt("executor_cores", 4);
+  base.SetInt("executor_memory_mb", 4096);
+  Configuration no_wait = base;
+  no_wait.SetDouble("locality_wait_s", 0.0);
+  Configuration long_wait = base;
+  long_wait.SetDouble("locality_wait_s", 10.0);
+  // With poor locality, long waits burn time on every non-local task.
+  EXPECT_LT(spark->Execute(no_wait, w)->runtime_seconds,
+            spark->Execute(long_wait, w)->runtime_seconds);
+}
+
+TEST(SparkKnobTest, RddCompressionStretchesCacheCapacity) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkIterativeMlWorkload(6.0, 6.0);
+  Configuration tight = spark->space().DefaultConfiguration();
+  tight.SetInt("num_executors", 8);
+  tight.SetInt("executor_memory_mb", 2048);
+  tight.SetDouble("storage_fraction", 0.5);
+  Configuration compressed = tight;
+  compressed.SetBool("rdd_compress", true);
+  EXPECT_GT(spark->Execute(compressed, w)->MetricOr("cache_hit_ratio", 0.0),
+            spark->Execute(tight, w)->MetricOr("cache_hit_ratio", 1.0));
+}
+
+TEST(SparkKnobTest, ShuffleCompressionTradesNetworkForCpu) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkSqlAggregateWorkload(16.0, 4.0);
+  Configuration base = spark->space().DefaultConfiguration();
+  base.SetInt("num_executors", 8);
+  base.SetInt("executor_cores", 4);
+  base.SetInt("executor_memory_mb", 4096);
+  Configuration off = base;
+  off.SetBool("shuffle_compress", false);
+  // Shuffle-heavy job on modest network: compression wins.
+  EXPECT_LT(spark->Execute(base, w)->runtime_seconds,
+            spark->Execute(off, w)->runtime_seconds);
+}
+
+}  // namespace
+}  // namespace atune

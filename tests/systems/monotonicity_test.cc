@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tests/testing_util.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+using testing_util::MakeTestMapReduce;
+using testing_util::MakeTestSpark;
+
+/// Documented directional responses of the simulators: for each (system,
+/// workload, knob) triple, moving the knob from `worse` to `better` while
+/// everything else stays at defaults must not slow the run down. These
+/// encode the knob semantics the tuning literature takes as ground truth;
+/// any simulator regression that flips one of these breaks the whole
+/// reproduction.
+struct Direction {
+  std::string label;
+  std::string system;   // "dbms" | "mr" | "spark"
+  std::string workload; // per-system workload key
+  std::string knob;
+  ParamValue worse;
+  ParamValue better;
+};
+
+class MonotonicityTest : public ::testing::TestWithParam<Direction> {};
+
+std::unique_ptr<TunableSystem> MakeSystemFor(const std::string& key) {
+  if (key == "mr") return MakeTestMapReduce();
+  if (key == "spark") return MakeTestSpark();
+  return MakeTestDbms();
+}
+
+Workload WorkloadFor(const std::string& system, const std::string& key) {
+  if (system == "mr") {
+    if (key == "wordcount") return MakeMrWordCountWorkload(10.0);
+    return MakeMrTeraSortWorkload(10.0);
+  }
+  if (system == "spark") {
+    if (key == "ml") return MakeSparkIterativeMlWorkload(4.0, 6.0);
+    return MakeSparkSqlAggregateWorkload(8.0, 4.0);
+  }
+  if (key == "oltp") return MakeDbmsOltpWorkload(0.5);
+  return MakeDbmsOlapWorkload(0.5);
+}
+
+TEST_P(MonotonicityTest, BetterSettingIsNotSlower) {
+  const Direction& d = GetParam();
+  auto system = MakeSystemFor(d.system);
+  Workload workload = WorkloadFor(d.system, d.workload);
+  Configuration worse_config = system->space().DefaultConfiguration();
+  worse_config.Set(d.knob, d.worse);
+  Configuration better_config = system->space().DefaultConfiguration();
+  better_config.Set(d.knob, d.better);
+  auto worse_run = system->Execute(worse_config, workload);
+  auto better_run = system->Execute(better_config, workload);
+  ASSERT_TRUE(worse_run.ok());
+  ASSERT_TRUE(better_run.ok());
+  ASSERT_FALSE(better_run->failed) << better_run->failure_reason;
+  double worse_obj =
+      worse_run->runtime_seconds * (worse_run->failed ? 10.0 : 1.0);
+  EXPECT_GE(worse_obj, better_run->runtime_seconds * 0.999) << d.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnobDirections, MonotonicityTest,
+    ::testing::Values(
+        Direction{"dbms_buffer_pool_olap", "dbms", "olap", "buffer_pool_mb",
+                  int64_t{64}, int64_t{8192}},
+        Direction{"dbms_buffer_pool_oltp", "dbms", "oltp", "buffer_pool_mb",
+                  int64_t{64}, int64_t{4096}},
+        Direction{"dbms_work_mem_olap", "dbms", "olap", "work_mem_mb",
+                  int64_t{1}, int64_t{512}},
+        Direction{"dbms_workers_olap", "dbms", "olap", "max_workers",
+                  int64_t{1}, int64_t{8}},
+        Direction{"dbms_prefetch_olap", "dbms", "olap", "prefetch_depth",
+                  int64_t{0}, int64_t{32}},
+        Direction{"dbms_group_commit_oltp", "dbms", "oltp", "log_flush",
+                  std::string("immediate"), std::string("group")},
+        Direction{"dbms_stats_olap", "dbms", "olap", "stats_target",
+                  int64_t{10}, int64_t{800}},
+        Direction{"mr_reducers_terasort", "mr", "terasort", "num_reducers",
+                  int64_t{1}, int64_t{24}},
+        Direction{"mr_combiner_wordcount", "mr", "wordcount", "combiner",
+                  false, true},
+        Direction{"mr_jvm_reuse_terasort", "mr", "terasort", "jvm_reuse",
+                  false, true},
+        Direction{"mr_compress_terasort", "mr", "terasort",
+                  "compress_map_output", false, true},
+        Direction{"spark_kryo_ml", "spark", "ml", "serializer",
+                  std::string("java"), std::string("kryo")},
+        Direction{"spark_executors_sql", "spark", "sql", "num_executors",
+                  int64_t{1}, int64_t{8}}),
+    [](const ::testing::TestParamInfo<Direction>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,162 @@
+#include "systems/mapreduce/mr_system.h"
+
+#include <gtest/gtest.h>
+
+#include "systems/mapreduce/mr_model.h"
+#include "systems/mapreduce/mr_workloads.h"
+#include "tests/testing_util.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestMapReduce;
+
+TEST(MrModelTest, SpillProfileBasics) {
+  SpillProfile none = ComputeMapSpill(50.0, 100.0, 0.8, 10);
+  EXPECT_DOUBLE_EQ(none.spill_count, 1.0);
+  EXPECT_DOUBLE_EQ(none.disk_read_mb, 0.0);  // single spill, no merge reread
+
+  SpillProfile many = ComputeMapSpill(1000.0, 50.0, 0.8, 10);
+  EXPECT_GT(many.spill_count, 10.0);
+  EXPECT_GT(many.merge_passes, 0.0);
+  EXPECT_GT(many.disk_write_mb, 1000.0);
+
+  // Bigger fan-in means fewer merge passes.
+  SpillProfile wide = ComputeMapSpill(1000.0, 50.0, 0.8, 100);
+  EXPECT_LE(wide.merge_passes, many.merge_passes);
+}
+
+TEST(MrModelTest, ReduceMergeAndWaves) {
+  EXPECT_DOUBLE_EQ(ComputeReduceMerge(100.0, 512.0, 10).disk_write_mb, 0.0);
+  EXPECT_GT(ComputeReduceMerge(5000.0, 512.0, 10).disk_write_mb, 0.0);
+  EXPECT_DOUBLE_EQ(Waves(100.0, 16.0), 7.0);
+  EXPECT_DOUBLE_EQ(Waves(16.0, 16.0), 1.0);
+}
+
+TEST(MrModelTest, ShuffleThroughputSaturates) {
+  double few = ShuffleThroughputMbps(4000.0, 4.0, 5);
+  double many = ShuffleThroughputMbps(4000.0, 64.0, 5);
+  EXPECT_GT(many, few);
+  EXPECT_LE(many, 4000.0);
+  EXPECT_LE(ShuffleThroughputMbps(4000.0, 1000.0, 100), 4000.0);
+}
+
+TEST(SimulatedMrTest, SpaceAndExecution) {
+  auto mr = MakeTestMapReduce();
+  EXPECT_EQ(mr->space().dims(), 14u);
+  auto r = mr->Execute(mr->space().DefaultConfiguration(),
+                       MakeMrWordCountWorkload(2.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->failed);
+  EXPECT_GT(r->runtime_seconds, 0.0);
+  EXPECT_GT(r->MetricOr("map_time_s", 0.0), 0.0);
+  EXPECT_GT(r->MetricOr("shuffle_mb", 0.0), 0.0);
+}
+
+TEST(SimulatedMrTest, SingleReducerDefaultIsACatastrophe) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrTeraSortWorkload(10.0);
+  Configuration one = mr->space().DefaultConfiguration();
+  ASSERT_EQ(one.IntOr("num_reducers", 0), 1);  // the classic bad default
+  Configuration many = one;
+  many.SetInt("num_reducers", 24);
+  double t1 = mr->Execute(one, w)->runtime_seconds;
+  double t24 = mr->Execute(many, w)->runtime_seconds;
+  EXPECT_GT(t1, t24 * 3.0);  // at least 3x from this one knob
+}
+
+TEST(SimulatedMrTest, CombinerHelpsWordCountNotTeraSort) {
+  auto mr = MakeTestMapReduce();
+  Configuration base = mr->space().DefaultConfiguration();
+  base.SetInt("num_reducers", 16);
+  Configuration combined = base;
+  combined.SetBool("combiner", true);
+  Workload wc = MakeMrWordCountWorkload(10.0);
+  EXPECT_GT(mr->Execute(base, wc)->runtime_seconds,
+            mr->Execute(combined, wc)->runtime_seconds);
+  Workload ts = MakeMrTeraSortWorkload(10.0);
+  // TeraSort gains nothing (combiner_reduction = 1): only CPU cost remains,
+  // so runtimes should be within a whisker.
+  EXPECT_NEAR(mr->Execute(base, ts)->runtime_seconds /
+                  mr->Execute(combined, ts)->runtime_seconds,
+              1.0, 0.05);
+}
+
+TEST(SimulatedMrTest, SortBufferBeyondHeapFails) {
+  auto mr = MakeTestMapReduce();
+  Configuration bad = mr->space().DefaultConfiguration();
+  bad.SetInt("io_sort_mb", 1024);
+  bad.SetInt("task_memory_mb", 512);
+  auto r = mr->Execute(bad, MakeMrWordCountWorkload(2.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->failed);
+  EXPECT_NE(r->failure_reason.find("io.sort.mb"), std::string::npos);
+}
+
+TEST(SimulatedMrTest, SlotMemoryOversubscriptionFails) {
+  auto mr = MakeTestMapReduce();
+  Configuration bad = mr->space().DefaultConfiguration();
+  bad.SetInt("map_slots_per_node", 16);
+  bad.SetInt("reduce_slots_per_node", 16);
+  bad.SetInt("task_memory_mb", 1024);  // 32 GB of heap on 8 GB nodes
+  auto r = mr->Execute(bad, MakeMrWordCountWorkload(2.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->failed);
+}
+
+TEST(SimulatedMrTest, CompressionHelpsShuffleHeavyJobs) {
+  auto mr = MakeTestMapReduce();
+  Workload ts = MakeMrTeraSortWorkload(20.0);
+  Configuration base = mr->space().DefaultConfiguration();
+  base.SetInt("num_reducers", 16);
+  Configuration compressed = base;
+  compressed.SetBool("compress_map_output", true);
+  compressed.SetString("compress_codec", "lz4");
+  EXPECT_GT(mr->Execute(base, ts)->runtime_seconds,
+            mr->Execute(compressed, ts)->runtime_seconds);
+}
+
+TEST(SimulatedMrTest, JvmReuseCutsStartupForManySmallTasks) {
+  auto mr = MakeTestMapReduce();
+  Workload grep = MakeMrGrepWorkload(20.0);
+  Configuration base = mr->space().DefaultConfiguration();
+  base.SetInt("dfs_block_mb", 32);  // many small tasks
+  Configuration reuse = base;
+  reuse.SetBool("jvm_reuse", true);
+  EXPECT_GT(mr->Execute(base, grep)->runtime_seconds,
+            mr->Execute(reuse, grep)->runtime_seconds);
+}
+
+TEST(SimulatedMrTest, HeterogeneityCausesStragglers) {
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 8192;
+  Rng rng(5);
+  SimulatedMapReduce uniform(ClusterSpec::MakeUniform(8, node), 1);
+  SimulatedMapReduce skewed(
+      ClusterSpec::MakeHeterogeneous(8, node, 0.5, &rng), 1);
+  uniform.set_noise_sigma(0.0);
+  skewed.set_noise_sigma(0.0);
+  Workload w = MakeMrTeraSortWorkload(10.0);
+  Configuration c = uniform.space().DefaultConfiguration();
+  auto ru = uniform.Execute(c, w);
+  auto rs = skewed.Execute(c, w);
+  EXPECT_GT(rs->MetricOr("straggler_factor", 1.0),
+            ru->MetricOr("straggler_factor", 1.0));
+  EXPECT_GT(rs->runtime_seconds, ru->runtime_seconds);
+}
+
+TEST(SimulatedMrTest, PageRankRunsAsChainedUnits) {
+  auto mr = MakeTestMapReduce();
+  Workload pr = MakeMrPageRankWorkload(2.0, 6);
+  EXPECT_EQ(mr->NumUnits(pr), 6u);
+  Configuration c = mr->space().DefaultConfiguration();
+  auto unit = mr->ExecuteUnit(c, pr, 0);
+  ASSERT_TRUE(unit.ok());
+  auto full = mr->Execute(c, pr);
+  ASSERT_TRUE(full.ok());
+  EXPECT_NEAR(full->runtime_seconds / unit->runtime_seconds, 6.0, 1.0);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,87 @@
+#include "systems/multi_tenant.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "tests/testing_util.h"
+#include "tuners/experiment/ituned.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+
+std::vector<Tenant> TwoTenants() {
+  // SLOs are deliberately tight: the stock defaults violate the analytics
+  // SLO, and only a configuration balancing both tenants satisfies both.
+  return {
+      {"analytics", MakeDbmsOlapWorkload(0.25), /*slo_seconds=*/70.0},
+      {"frontend", MakeDbmsOltpWorkload(0.25, /*clients=*/32.0),
+       /*slo_seconds=*/18.0},
+  };
+}
+
+TEST(MultiTenantTest, AggregatesPerTenantMetrics) {
+  auto dbms = MakeTestDbms();
+  MultiTenantSystem mt(dbms.get(), TwoTenants());
+  EXPECT_EQ(mt.name(), "simulated-dbms-multitenant");
+  EXPECT_EQ(mt.space().dims(), dbms->space().dims());
+  auto r = mt.Execute(mt.space().DefaultConfiguration(),
+                      MakeMultiTenantWorkload());
+  ASSERT_TRUE(r.ok());
+  double t0 = r->MetricOr("tenant_0_runtime_s", -1.0);
+  double t1 = r->MetricOr("tenant_1_runtime_s", -1.0);
+  EXPECT_GT(t0, 0.0);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_NEAR(r->runtime_seconds, t0 + t1, 1e-9);
+  double worst = r->MetricOr("worst_slo_ratio", -1.0);
+  EXPECT_GE(worst, r->MetricOr("tenant_0_slo_ratio", 0.0));
+  EXPECT_GE(worst, r->MetricOr("tenant_1_slo_ratio", 0.0));
+}
+
+TEST(MultiTenantTest, TenantFailurePropagates) {
+  auto dbms = MakeTestDbms();
+  MultiTenantSystem mt(dbms.get(), TwoTenants());
+  Configuration hog = mt.space().DefaultConfiguration();
+  hog.SetInt("buffer_pool_mb", 14000);
+  hog.SetInt("work_mem_mb", 2048);
+  hog.SetInt("max_workers", 8);
+  auto r = mt.Execute(hog, MakeMultiTenantWorkload());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->failed);
+  EXPECT_NE(r->failure_reason.find("tenant"), std::string::npos);
+  EXPECT_GE(r->MetricOr("worst_slo_ratio", 0.0), 10.0);
+}
+
+TEST(MultiTenantTest, RobustObjectivePrefersFairness) {
+  ObjectiveFunction obj = MakeRobustSloObjective();
+  Configuration c;
+  ExecutionResult fair;
+  fair.runtime_seconds = 200.0;
+  fair.metrics["worst_slo_ratio"] = 0.9;  // everyone satisfied
+  ExecutionResult skewed;
+  skewed.runtime_seconds = 100.0;  // faster in total...
+  skewed.metrics["worst_slo_ratio"] = 2.5;  // ...but one tenant starves
+  EXPECT_LT(obj(c, fair), obj(c, skewed));
+}
+
+TEST(MultiTenantTest, TuningTheSharedConfigSatisfiesBothSlos) {
+  auto dbms = MakeTestDbms();
+  MultiTenantSystem mt(dbms.get(), TwoTenants());
+  Evaluator evaluator(&mt, MakeMultiTenantWorkload(), TuningBudget{20});
+  evaluator.set_objective(MakeRobustSloObjective());
+  ITunedTuner tuner;
+  Rng rng(21);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  ASSERT_NE(evaluator.best(), nullptr);
+  // The defaults violate at least one SLO; the robust-tuned config must
+  // bring the worst tenant at or below its SLO.
+  auto defaults_run = mt.Execute(mt.space().DefaultConfiguration(),
+                                 MakeMultiTenantWorkload());
+  ASSERT_TRUE(defaults_run.ok());
+  EXPECT_GT(defaults_run->MetricOr("worst_slo_ratio", 0.0), 1.0);
+  EXPECT_LE(evaluator.best()->result.MetricOr("worst_slo_ratio", 10.0), 1.0);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,191 @@
+#include "systems/spark/spark_system.h"
+
+#include <gtest/gtest.h>
+
+#include "systems/spark/spark_model.h"
+#include "systems/spark/spark_workloads.h"
+#include "tests/testing_util.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestSpark;
+
+TEST(SparkModelTest, MemoryPlanAccounting) {
+  SparkMemoryPlan plan = ComputeMemoryPlan(4096.0, 0.6, 0.5, 4);
+  EXPECT_NEAR(plan.unified_mb, (4096.0 - 300.0) * 0.6, 1e-9);
+  EXPECT_NEAR(plan.storage_mb, plan.unified_mb * 0.5, 1e-9);
+  EXPECT_NEAR(plan.execution_mb + plan.storage_mb, plan.unified_mb, 1e-9);
+  EXPECT_NEAR(plan.per_task_execution_mb, plan.execution_mb / 4.0, 1e-9);
+}
+
+TEST(SparkModelTest, SerializerAndGc) {
+  SerializerProfile java = GetSerializerProfile("java");
+  SerializerProfile kryo = GetSerializerProfile("kryo");
+  EXPECT_GT(java.memory_expansion, kryo.memory_expansion);
+  EXPECT_GT(java.ser_cpu_s_per_mb, kryo.ser_cpu_s_per_mb);
+  EXPECT_GT(GcOverheadFraction(1.0, false), GcOverheadFraction(1.0, true));
+  EXPECT_GT(GcOverheadFraction(2.0, true), GcOverheadFraction(0.2, true));
+}
+
+TEST(SparkModelTest, SpillAndOom) {
+  EXPECT_DOUBLE_EQ(ExecutionSpillFactor(100.0, 200.0), 0.0);
+  EXPECT_GT(ExecutionSpillFactor(400.0, 200.0), 0.0);
+  EXPECT_FALSE(TaskOom(700.0, 200.0));
+  EXPECT_TRUE(TaskOom(900.0, 200.0));
+}
+
+TEST(SimulatedSparkTest, SpaceAndExecution) {
+  auto spark = MakeTestSpark();
+  EXPECT_EQ(spark->space().dims(), 12u);
+  auto r = spark->Execute(spark->space().DefaultConfiguration(),
+                          MakeSparkSqlAggregateWorkload(2.0, 4.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->failed) << r->failure_reason;
+  EXPECT_GT(r->runtime_seconds, 0.0);
+}
+
+TEST(SimulatedSparkTest, OverAllocationIsDenied) {
+  auto spark = MakeTestSpark();  // 4 nodes x 16 GB, 32 cores
+  Configuration greedy = spark->space().DefaultConfiguration();
+  greedy.SetInt("num_executors", 64);
+  greedy.SetInt("executor_memory_mb", 16384);
+  auto r = spark->Execute(greedy, MakeSparkSqlAggregateWorkload(2.0, 2.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->failed);
+  EXPECT_NE(r->failure_reason.find("resource request denied"),
+            std::string::npos);
+}
+
+TEST(SimulatedSparkTest, MoreExecutorsSpeedUpBigJobs) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkSqlAggregateWorkload(8.0, 4.0);
+  Configuration small = spark->space().DefaultConfiguration();
+  Configuration big = small;
+  big.SetInt("num_executors", 8);
+  big.SetInt("executor_cores", 4);
+  big.SetInt("executor_memory_mb", 4096);
+  EXPECT_GT(spark->Execute(small, w)->runtime_seconds,
+            spark->Execute(big, w)->runtime_seconds);
+}
+
+TEST(SimulatedSparkTest, PartitionCountIsUShapedForStreaming) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkStreamingWorkload(64.0, 6.0, 30.0);
+  auto runtime = [&](int64_t parts) {
+    Configuration c = spark->space().DefaultConfiguration();
+    c.SetInt("num_executors", 8);
+    c.SetInt("executor_cores", 4);
+    c.SetInt("executor_memory_mb", 2048);
+    c.SetInt("shuffle_partitions", parts);
+    auto r = spark->Execute(c, w);
+    EXPECT_TRUE(r.ok());
+    return r->runtime_seconds;
+  };
+  double tiny = runtime(8);
+  double right = runtime(64);
+  double huge = runtime(2000);
+  EXPECT_GT(huge, right);  // task-launch overhead dominates
+  EXPECT_GE(tiny, right * 0.8);  // too-few partitions at least not better
+}
+
+TEST(SimulatedSparkTest, KryoBeatsJavaSerializer) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkIterativeMlWorkload(4.0, 5.0);
+  Configuration java = spark->space().DefaultConfiguration();
+  java.SetInt("num_executors", 8);
+  java.SetInt("executor_memory_mb", 4096);
+  Configuration kryo = java;
+  kryo.SetString("serializer", "kryo");
+  EXPECT_GT(spark->Execute(java, w)->runtime_seconds,
+            spark->Execute(kryo, w)->runtime_seconds);
+}
+
+TEST(SimulatedSparkTest, CachingNeedsStorageMemory) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkIterativeMlWorkload(4.0, 8.0);
+  Configuration starved = spark->space().DefaultConfiguration();
+  starved.SetInt("num_executors", 8);
+  starved.SetInt("executor_memory_mb", 1024);
+  starved.SetDouble("storage_fraction", 0.1);
+  Configuration cached = starved;
+  cached.SetInt("executor_memory_mb", 6144);
+  cached.SetDouble("storage_fraction", 0.6);
+  auto r_starved = spark->Execute(starved, w);
+  auto r_cached = spark->Execute(cached, w);
+  EXPECT_LT(r_starved->MetricOr("cache_hit_ratio", 1.0),
+            r_cached->MetricOr("cache_hit_ratio", 0.0));
+  EXPECT_GT(r_starved->runtime_seconds, r_cached->runtime_seconds);
+}
+
+TEST(SimulatedSparkTest, BroadcastJoinCliff) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkJoinWorkload(8.0, /*small_table_mb=*/128.0);
+  Configuration base = spark->space().DefaultConfiguration();
+  base.SetInt("num_executors", 8);
+  base.SetInt("executor_cores", 4);
+  base.SetInt("executor_memory_mb", 6144);
+  // Below threshold: shuffle join.
+  Configuration shuffle_join = base;
+  shuffle_join.SetInt("broadcast_threshold_mb", 10);
+  // Above table size: broadcast join, much less shuffle.
+  Configuration bcast_join = base;
+  bcast_join.SetInt("broadcast_threshold_mb", 256);
+  auto rs = spark->Execute(shuffle_join, w);
+  auto rb = spark->Execute(bcast_join, w);
+  ASSERT_FALSE(rb->failed) << rb->failure_reason;
+  EXPECT_GT(rs->MetricOr("shuffle_write_mb", 0.0),
+            rb->MetricOr("shuffle_write_mb", 0.0));
+  EXPECT_GT(rs->runtime_seconds, rb->runtime_seconds);
+  // Broadcasting into tiny executors OOMs.
+  Configuration tiny = bcast_join;
+  tiny.SetInt("executor_memory_mb", 512);
+  tiny.SetInt("num_executors", 4);
+  auto oom = spark->Execute(tiny, w);
+  EXPECT_TRUE(oom->failed);
+}
+
+TEST(SimulatedSparkTest, StreamingBacklogFails) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkStreamingWorkload(512.0, 5.0, /*interval_s=*/1.0);
+  Configuration weak = spark->space().DefaultConfiguration();  // 2 executors
+  auto r = spark->Execute(weak, w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->failed);
+  EXPECT_NE(r->failure_reason.find("backlog"), std::string::npos);
+}
+
+TEST(SimulatedSparkTest, IterativeUnitsColdThenWarm) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkIterativeMlWorkload(4.0, 6.0);
+  Configuration c = spark->space().DefaultConfiguration();
+  c.SetInt("num_executors", 8);
+  c.SetInt("executor_memory_mb", 6144);
+  c.SetDouble("storage_fraction", 0.6);
+  auto cold = spark->ExecuteUnit(c, w, 0);
+  auto warm = spark->ExecuteUnit(c, w, 3);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(cold->runtime_seconds, warm->runtime_seconds);
+}
+
+TEST(SimulatedSparkTest, SpeculationMitigatesHeterogeneity) {
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  Rng rng(9);
+  SimulatedSpark spark(ClusterSpec::MakeHeterogeneous(6, node, 0.5, &rng), 1);
+  spark.set_noise_sigma(0.0);
+  Workload w = MakeSparkSqlAggregateWorkload(8.0, 4.0);
+  Configuration base = spark.space().DefaultConfiguration();
+  base.SetInt("num_executors", 6);
+  base.SetInt("executor_cores", 4);
+  base.SetInt("executor_memory_mb", 4096);
+  Configuration spec = base;
+  spec.SetBool("speculation", true);
+  EXPECT_GT(spark.Execute(base, w)->runtime_seconds,
+            spark.Execute(spec, w)->runtime_seconds);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "tests/core/mock_system.h"
+#include "tests/testing_util.h"
+#include "tuners/adaptive/adaptive_memory.h"
+#include "tuners/adaptive/colt.h"
+#include "tuners/adaptive/stage_retuner.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+using testing_util::MakeTestMapReduce;
+using testing_util::MakeTestSpark;
+using testing_util::MockWorkload;
+using testing_util::QuadraticSystem;
+
+// A TunableSystem that is *not* iterative, for precondition tests.
+class OneShotSystem : public TunableSystem {
+ public:
+  OneShotSystem() {
+    Status s = space_.Add(ParameterDef::Double("x", 0.0, 1.0, 0.5));
+    (void)s;
+  }
+  std::string name() const override { return "one-shot"; }
+  const ParameterSpace& space() const override { return space_; }
+  Result<ExecutionResult> Execute(const Configuration&,
+                                  const Workload&) override {
+    ExecutionResult r;
+    r.runtime_seconds = 1.0;
+    return r;
+  }
+
+ private:
+  ParameterSpace space_;
+};
+
+TEST(ColtTest, RequiresIterativeSystem) {
+  OneShotSystem system;
+  ColtTuner tuner;
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{5});
+  Rng rng(1);
+  EXPECT_EQ(tuner.Tune(&evaluator, &rng).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ColtTest, ImprovesWhileRunning) {
+  QuadraticSystem system;
+  ColtTuner tuner(/*explore_fraction=*/0.35, /*perturb_sigma=*/0.2);
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{30});
+  Rng rng(2);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  ASSERT_GE(evaluator.history().size(), 2u);
+  // Composite per-pass trials: the last pass should be no worse than the
+  // first (online convergence), and the report should show adoptions.
+  double first = evaluator.history().front().objective;
+  double last = evaluator.history().back().objective;
+  EXPECT_LE(last, first * 1.05);
+  EXPECT_LT(evaluator.best()->objective, first * 1.01);
+  EXPECT_NE(tuner.Report().find("adoptions"), std::string::npos);
+  EXPECT_LE(evaluator.used(), 30.0 + 1e-9);
+}
+
+TEST(ColtTest, AllTrialsAreCompositePasses) {
+  QuadraticSystem system;
+  ColtTuner tuner;
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{10});
+  Rng rng(3);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  for (const Trial& trial : evaluator.history()) {
+    EXPECT_LE(trial.cost, 1.0 + 1e-9);
+    EXPECT_GT(trial.cost, 0.0);
+  }
+}
+
+TEST(AdaptiveMemoryTest, RequiresDbms) {
+  auto spark = MakeTestSpark();
+  AdaptiveMemoryTuner tuner;
+  Evaluator evaluator(spark.get(), MakeSparkSqlAggregateWorkload(2.0, 2.0),
+                      TuningBudget{3});
+  Rng rng(4);
+  EXPECT_EQ(tuner.Tune(&evaluator, &rng).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AdaptiveMemoryTest, GrowsStarvedConsumersOnline) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);  // spills at default work_mem
+  AdaptiveMemoryTuner tuner;
+  Evaluator evaluator(dbms.get(), w, TuningBudget{6});
+  Rng rng(5);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  ASSERT_NE(evaluator.best(), nullptr);
+  const Configuration& final_config = evaluator.history().back().config;
+  // Online cost-benefit must have grown work_mem (spills) and buffer pool
+  // (misses) from the stock defaults.
+  EXPECT_GT(final_config.IntOr("work_mem_mb", 0), 4);
+  EXPECT_GT(final_config.IntOr("buffer_pool_mb", 0), 512);
+  // Later passes beat the first (defaults) pass.
+  EXPECT_LT(evaluator.history().back().objective,
+            evaluator.history().front().objective);
+}
+
+TEST(AdaptiveMemoryTest, BacksOffUnderPressure) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOltpWorkload(0.25, /*clients=*/8.0);
+  AdaptiveMemoryTuner tuner;
+  Evaluator evaluator(dbms.get(), w, TuningBudget{5});
+  Rng rng(6);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  // Whatever it grew, the final configuration must not OOM.
+  const Configuration& final_config = evaluator.history().back().config;
+  auto result = dbms->Execute(final_config, w);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->failed);
+}
+
+TEST(StageRetunerTest, RequiresIterativeSystem) {
+  OneShotSystem system;
+  StageRetunerTuner tuner;
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{5});
+  Rng rng(7);
+  EXPECT_EQ(tuner.Tune(&evaluator, &rng).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StageRetunerTest, AdaptsMrChainBetweenJobs) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrPageRankWorkload(4.0, 8);
+  StageRetunerTuner tuner;
+  Evaluator evaluator(mr.get(), w, TuningBudget{6});
+  Rng rng(8);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  ASSERT_GE(evaluator.history().size(), 2u);
+  EXPECT_LT(evaluator.history().back().objective,
+            evaluator.history().front().objective);
+  EXPECT_NE(tuner.Report().find("stage adaptations"), std::string::npos);
+}
+
+TEST(StageRetunerTest, AdaptsSparkIterations) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkIterativeMlWorkload(4.0, 10.0);
+  StageRetunerTuner tuner;
+  Evaluator evaluator(spark.get(), w, TuningBudget{6});
+  Rng rng(9);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  EXPECT_LE(evaluator.history().back().objective,
+            evaluator.history().front().objective * 1.02);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "tests/testing_util.h"
+#include "tuners/cost_model/cost_model_tuner.h"
+#include "tuners/cost_model/cost_models.h"
+#include "tuners/cost_model/stmm.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+using testing_util::MakeTestMapReduce;
+using testing_util::MakeTestSpark;
+
+TEST(CostModelsTest, FactoryDispatch) {
+  EXPECT_EQ(MakeCostModelForSystem("simulated-dbms")->name(),
+            "dbms-cost-model");
+  EXPECT_EQ(MakeCostModelForSystem("simulated-mapreduce")->name(),
+            "mapreduce-cost-model");
+  EXPECT_EQ(MakeCostModelForSystem("simulated-spark")->name(),
+            "spark-cost-model");
+}
+
+TEST(CostModelsTest, DbmsModelRanksBufferPoolCorrectly) {
+  auto dbms = MakeTestDbms();
+  auto model = MakeDbmsCostModel();
+  Workload w = MakeDbmsOlapWorkload(1.0);
+  auto desc = dbms->Descriptors();
+  Configuration small = dbms->space().DefaultConfiguration();
+  small.SetInt("buffer_pool_mb", 128);
+  Configuration big = dbms->space().DefaultConfiguration();
+  big.SetInt("buffer_pool_mb", 8192);
+  EXPECT_GT(model->PredictRuntime(small, w, desc),
+            model->PredictRuntime(big, w, desc));
+}
+
+// The model must rank configurations in roughly the same order as the real
+// system — that is what makes cost-model tuning work on basic scenarios.
+TEST(CostModelsTest, RankCorrelationWithSimulatorIsPositive) {
+  auto dbms = MakeTestDbms();
+  auto model = MakeDbmsCostModel();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  auto desc = dbms->Descriptors();
+  Rng rng(3);
+  std::vector<double> predicted, actual;
+  for (int i = 0; i < 40; ++i) {
+    Configuration c = dbms->space().RandomConfiguration(&rng);
+    auto real = dbms->Execute(c, w);
+    ASSERT_TRUE(real.ok());
+    if (real->failed) continue;  // the model doesn't predict failures
+    predicted.push_back(model->PredictRuntime(c, w, desc));
+    actual.push_back(real->runtime_seconds);
+  }
+  ASSERT_GT(predicted.size(), 15u);
+  EXPECT_GT(SpearmanCorrelation(predicted, actual), 0.4);
+}
+
+TEST(CostModelTunerTest, FindsGoodConfigWithFewRealRuns) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  CostModelTuner tuner(/*model_search_size=*/1500, /*validation_runs=*/3);
+  Evaluator evaluator(dbms.get(), w, TuningBudget{5});
+  Rng rng(4);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  EXPECT_LE(evaluator.used(), 3.0);  // validation runs only
+  Configuration dbms_defaults = dbms->space().DefaultConfiguration();
+  double default_obj =
+      evaluator.ObjectiveOf(dbms_defaults, *dbms->Execute(dbms_defaults, w));
+  EXPECT_LT(evaluator.best()->objective, default_obj);
+  EXPECT_NE(tuner.Report().find("validated"), std::string::npos);
+}
+
+TEST(CostModelTunerTest, WorksOnAllThreeSystems) {
+  Rng rng(5);
+  {
+    auto mr = MakeTestMapReduce();
+    CostModelTuner tuner(800, 2);
+    Evaluator evaluator(mr.get(), MakeMrTeraSortWorkload(5.0),
+                        TuningBudget{3});
+    ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+    EXPECT_NE(evaluator.best(), nullptr);
+  }
+  {
+    auto spark = MakeTestSpark();
+    CostModelTuner tuner(800, 2);
+    Evaluator evaluator(spark.get(), MakeSparkSqlAggregateWorkload(4.0, 4.0),
+                        TuningBudget{3});
+    ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+    EXPECT_NE(evaluator.best(), nullptr);
+  }
+}
+
+TEST(StmmTest, RejectsNonDbmsSystems) {
+  auto spark = MakeTestSpark();
+  StmmTuner tuner;
+  Evaluator evaluator(spark.get(), MakeSparkSqlAggregateWorkload(2.0, 2.0),
+                      TuningBudget{3});
+  Rng rng(6);
+  EXPECT_EQ(tuner.Tune(&evaluator, &rng).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StmmTest, RedistributesMemoryAndImproves) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  StmmTuner tuner(0.8);
+  Evaluator evaluator(dbms.get(), w, TuningBudget{2});
+  Rng rng(7);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  ASSERT_NE(evaluator.best(), nullptr);
+  Configuration dbms_defaults = dbms->space().DefaultConfiguration();
+  double default_obj =
+      evaluator.ObjectiveOf(dbms_defaults, *dbms->Execute(dbms_defaults, w));
+  EXPECT_LT(evaluator.best()->objective, default_obj);
+  EXPECT_NE(tuner.Report().find("equilibrium"), std::string::npos);
+  // The recommendation must respect the memory budget (no OOM).
+  EXPECT_FALSE(evaluator.best()->result.failed);
+  // Analytical work memory should have grown from the spill-inducing 4 MB
+  // default for this sort-heavy workload.
+  EXPECT_GT(evaluator.best()->config.IntOr("work_mem_mb", 0), 4);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+#include "tuners/adaptive/adaptive_memory.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+
+TEST(DiurnalWorkloadTest, UnitsVaryWithPhase) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOltpWorkload(0.5, /*clients=*/32.0);
+  w.properties["diurnal_amplitude"] = 0.6;
+  Configuration c = dbms->space().DefaultConfiguration();
+  size_t units = dbms->NumUnits(w);
+  ASSERT_GE(units, 4u);
+  // Peak (quarter cycle) vs trough (three-quarter cycle).
+  auto peak = dbms->ExecuteUnit(c, w, units / 4);
+  auto trough = dbms->ExecuteUnit(c, w, 3 * units / 4);
+  ASSERT_TRUE(peak.ok());
+  ASSERT_TRUE(trough.ok());
+  EXPECT_GT(peak->runtime_seconds, trough->runtime_seconds * 1.3);
+}
+
+TEST(DiurnalWorkloadTest, FullRunSeesTheAverage) {
+  auto dbms = MakeTestDbms();
+  Workload flat = MakeDbmsOltpWorkload(0.5);
+  Workload wavy = flat;
+  wavy.properties["diurnal_amplitude"] = 0.6;
+  Configuration c = dbms->space().DefaultConfiguration();
+  // Execute() is phase-blind: identical for flat and wavy declarations.
+  EXPECT_DOUBLE_EQ(dbms->Execute(c, flat)->runtime_seconds,
+                   dbms->Execute(c, wavy)->runtime_seconds);
+}
+
+TEST(DiurnalWorkloadTest, AdaptiveTunerRidesTheWave) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOltpWorkload(0.5, /*clients=*/32.0);
+  w.properties["diurnal_amplitude"] = 0.5;
+  AdaptiveMemoryTuner tuner;
+  Evaluator evaluator(dbms.get(), w, TuningBudget{6});
+  Rng rng(3);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  // Later passes (adapted) beat the first pass (defaults) even though the
+  // load keeps swinging underneath.
+  ASSERT_GE(evaluator.history().size(), 2u);
+  EXPECT_LT(evaluator.history().back().objective,
+            evaluator.history().front().objective);
+}
+
+}  // namespace
+}  // namespace atune

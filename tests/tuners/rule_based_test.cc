@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "tests/core/mock_system.h"
+#include "tests/testing_util.h"
+#include "tuners/rule_based/builtin_rules.h"
+#include "tuners/rule_based/config_navigator.h"
+#include "tuners/rule_based/rule_engine.h"
+#include "tuners/rule_based/spex.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+using testing_util::MakeTestMapReduce;
+using testing_util::MakeTestSpark;
+
+TEST(RuleEngineTest, AppliesOnlyApplicableRules) {
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add(ParameterDef::Int("a", 0, 100, 10)).ok());
+  ASSERT_TRUE(space.Add(ParameterDef::Int("b", 0, 100, 10)).ok());
+  std::vector<TuningRule> rules;
+  rules.push_back({"always", "", [](const RuleContext&) { return true; },
+                   [](Configuration* c, const RuleContext&) {
+                     c->SetInt("a", 50);
+                   }});
+  rules.push_back({"never", "", [](const RuleContext&) { return false; },
+                   [](Configuration* c, const RuleContext&) {
+                     c->SetInt("b", 99);
+                   }});
+  RuleContext context;
+  std::vector<std::string> fired;
+  Configuration config = ApplyRules(space, rules, context, &fired);
+  EXPECT_EQ(*config.GetInt("a"), 50);
+  EXPECT_EQ(*config.GetInt("b"), 10);  // untouched default
+  EXPECT_EQ(fired, std::vector<std::string>{"always"});
+}
+
+TEST(RuleEngineTest, OutOfRangeRuleOutputIsClamped) {
+  ParameterSpace space;
+  ASSERT_TRUE(space.Add(ParameterDef::Int("a", 0, 100, 10)).ok());
+  std::vector<TuningRule> rules = {
+      {"overshoot", "", [](const RuleContext&) { return true; },
+       [](Configuration* c, const RuleContext&) { c->SetInt("a", 5000); }}};
+  Configuration config = ApplyRules(space, rules, RuleContext{});
+  EXPECT_EQ(*config.GetInt("a"), 100);
+  EXPECT_TRUE(space.ValidateConfiguration(config).ok());
+}
+
+// The built-in rule sets must improve on the stock defaults for their
+// system's flagship workloads — that is the entire point of a runbook.
+TEST(BuiltinRulesTest, DbmsRulesBeatDefaultsOnOlap) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  RuleBasedTuner tuner("rules-dbms", MakeDbmsRules());
+  Evaluator evaluator(dbms.get(), w, TuningBudget{2});
+  Rng rng(1);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  ASSERT_NE(evaluator.best(), nullptr);
+  double rule_obj = evaluator.best()->objective;
+  Configuration dbms_defaults = dbms->space().DefaultConfiguration();
+  double default_obj =
+      evaluator.ObjectiveOf(dbms_defaults, *dbms->Execute(dbms_defaults, w));
+  EXPECT_LT(rule_obj, default_obj);
+  EXPECT_LE(evaluator.used(), 1.0);  // one shot, no experiments
+  EXPECT_NE(tuner.Report().find("rules fired"), std::string::npos);
+}
+
+TEST(BuiltinRulesTest, MapReduceRulesBeatDefaultsOnTeraSort) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrTeraSortWorkload(10.0);
+  RuleBasedTuner tuner("rules-mapreduce", MakeMapReduceRules());
+  Evaluator evaluator(mr.get(), w, TuningBudget{2});
+  Rng rng(1);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  Configuration mr_defaults = mr->space().DefaultConfiguration();
+  double default_obj =
+      evaluator.ObjectiveOf(mr_defaults, *mr->Execute(mr_defaults, w));
+  EXPECT_LT(evaluator.best()->objective, default_obj / 2.0);
+}
+
+TEST(BuiltinRulesTest, SparkRulesBeatDefaultsOnIterativeMl) {
+  auto spark = MakeTestSpark();
+  Workload w = MakeSparkIterativeMlWorkload(4.0, 6.0);
+  RuleBasedTuner tuner("rules-spark", MakeSparkRules());
+  Evaluator evaluator(spark.get(), w, TuningBudget{2});
+  Rng rng(1);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  Configuration spark_defaults = spark->space().DefaultConfiguration();
+  double default_obj =
+      evaluator.ObjectiveOf(spark_defaults, *spark->Execute(spark_defaults, w));
+  EXPECT_LT(evaluator.best()->objective, default_obj);
+  EXPECT_FALSE(evaluator.best()->result.failed);
+}
+
+TEST(BuiltinRulesTest, RulesForSystemDispatch) {
+  EXPECT_FALSE(MakeRulesForSystem("simulated-dbms").empty());
+  EXPECT_FALSE(MakeRulesForSystem("simulated-mapreduce").empty());
+  EXPECT_FALSE(MakeRulesForSystem("simulated-spark").empty());
+}
+
+TEST(SpexTest, ConstraintsCatchKnownBadConfigs) {
+  auto mr = MakeTestMapReduce();
+  auto constraints = MakeConstraintsForSystem("simulated-mapreduce");
+  Configuration bad = mr->space().DefaultConfiguration();
+  bad.SetInt("io_sort_mb", 2048);
+  bad.SetInt("task_memory_mb", 512);
+  auto violations =
+      CheckConstraints(constraints, bad, mr->Descriptors());
+  EXPECT_FALSE(violations.empty());
+  Configuration good = mr->space().DefaultConfiguration();
+  good.SetInt("num_reducers", 8);
+  EXPECT_TRUE(CheckConstraints(constraints, good, mr->Descriptors()).empty());
+}
+
+TEST(SpexTest, RepairsFailingCandidateIntoWorkingConfig) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrWordCountWorkload(2.0);
+  Configuration doomed = mr->space().DefaultConfiguration();
+  doomed.SetInt("io_sort_mb", 2048);
+  doomed.SetInt("task_memory_mb", 512);
+  // Sanity: the candidate really fails.
+  ASSERT_TRUE(mr->Execute(doomed, w)->failed);
+  SpexTuner tuner(doomed);
+  Evaluator evaluator(mr.get(), w, TuningBudget{2});
+  Rng rng(1);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  ASSERT_NE(evaluator.best(), nullptr);
+  EXPECT_FALSE(evaluator.best()->result.failed);
+  EXPECT_NE(tuner.Report().find("after repair"), std::string::npos);
+}
+
+TEST(SpexTest, DbmsMemoryConstraintRepair) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOltpWorkload(0.25);
+  Configuration doomed = dbms->space().DefaultConfiguration();
+  doomed.SetInt("buffer_pool_mb", 14000);
+  doomed.SetInt("work_mem_mb", 2048);
+  ASSERT_TRUE(dbms->Execute(doomed, w)->failed);
+  SpexTuner tuner(doomed);
+  Evaluator evaluator(dbms.get(), w, TuningBudget{2});
+  Rng rng(1);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  EXPECT_FALSE(evaluator.best()->result.failed);
+}
+
+TEST(ConfigNavigatorTest, RanksAndRefinesWithinBudget) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.25);
+  ConfigNavigatorTuner tuner(/*top_k=*/3);
+  Evaluator evaluator(dbms.get(), w, TuningBudget{40});
+  Rng rng(2);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  EXPECT_LE(evaluator.used(), 40.0);
+  EXPECT_EQ(tuner.ranking().size(), dbms->space().dims());
+  // It measured the default first, so the best can only be <= default.
+  double default_obj = evaluator.history().front().objective;
+  EXPECT_LE(evaluator.best()->objective, default_obj);
+  // On OLAP, memory/IO knobs must outrank the OLTP-only checkpoint knob.
+  size_t checkpoint_rank = 0;
+  for (size_t i = 0; i < tuner.ranking().size(); ++i) {
+    if (tuner.ranking()[i] == "checkpoint_interval_s") checkpoint_rank = i;
+  }
+  EXPECT_GT(checkpoint_rank, 2u);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+#include "tuners/simulation/addm.h"
+#include "tuners/simulation/trace_simulator.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestDbms;
+using testing_util::MakeTestMapReduce;
+using testing_util::MakeTestSpark;
+
+TEST(TraceSimulatorTest, WhatIfPredictsBufferPoolBenefit) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  Configuration traced = dbms->space().DefaultConfiguration();
+  auto trace = dbms->Execute(traced, w);
+  ASSERT_TRUE(trace.ok());
+  Configuration bigger = traced;
+  bigger.SetInt("buffer_pool_mb", 8192);
+  double pred_same = TraceSimulatorTuner::PredictFromTrace(
+      "simulated-dbms", traced, *trace, traced, dbms->Descriptors());
+  double pred_big = TraceSimulatorTuner::PredictFromTrace(
+      "simulated-dbms", traced, *trace, bigger, dbms->Descriptors());
+  EXPECT_LT(pred_big, pred_same);
+  // Self-prediction should be near the observed runtime.
+  EXPECT_NEAR(pred_same, trace->runtime_seconds,
+              trace->runtime_seconds * 0.3);
+}
+
+TEST(TraceSimulatorTest, WhatIfPredictsReducerBenefitForMr) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrTeraSortWorkload(10.0);
+  Configuration traced = mr->space().DefaultConfiguration();
+  auto trace = mr->Execute(traced, w);
+  ASSERT_TRUE(trace.ok());
+  Configuration more_reducers = traced;
+  more_reducers.SetInt("num_reducers", 16);
+  EXPECT_LT(TraceSimulatorTuner::PredictFromTrace(
+                "simulated-mapreduce", traced, *trace, more_reducers,
+                mr->Descriptors()),
+            TraceSimulatorTuner::PredictFromTrace(
+                "simulated-mapreduce", traced, *trace, traced,
+                mr->Descriptors()));
+}
+
+TEST(TraceSimulatorTest, TunerImprovesOverDefault) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  TraceSimulatorTuner tuner(/*whatif_search_size=*/800, /*validation_runs=*/4);
+  Evaluator evaluator(dbms.get(), w, TuningBudget{6});
+  Rng rng(8);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  double default_obj = evaluator.history().front().objective;
+  EXPECT_LT(evaluator.best()->objective, default_obj);
+  EXPECT_LE(evaluator.used(), 6.0);
+  EXPECT_NE(tuner.Report().find("what-if"), std::string::npos);
+}
+
+TEST(AddmTest, DiagnosesIoBoundDbms) {
+  auto dbms = MakeTestDbms();
+  Configuration current = dbms->space().DefaultConfiguration();
+  ExecutionResult profile;
+  profile.runtime_seconds = 100.0;
+  profile.metrics = {{"io_time_s", 80.0},     {"cpu_time_s", 10.0},
+                     {"lock_wait_s", 0.0},    {"commit_wait_s", 1.0},
+                     {"checkpoint_io_mb", 0}, {"buffer_hit_ratio", 0.4},
+                     {"spill_mb", 0.0},       {"swap_penalty", 1.0}};
+  Configuration fixed;
+  std::string finding = AddmTuner::DiagnoseAndFix(
+      "simulated-dbms", profile, dbms->space(), current, &fixed);
+  EXPECT_EQ(finding, "io:buffer-misses");
+  EXPECT_GT(fixed.IntOr("buffer_pool_mb", 0), current.IntOr("buffer_pool_mb", 0));
+}
+
+TEST(AddmTest, DiagnosesSpillVsMisses) {
+  auto dbms = MakeTestDbms();
+  Configuration current = dbms->space().DefaultConfiguration();
+  ExecutionResult profile;
+  profile.runtime_seconds = 100.0;
+  profile.metrics = {{"io_time_s", 80.0},  {"cpu_time_s", 10.0},
+                     {"spill_mb", 5000.0}, {"buffer_hit_ratio", 0.95},
+                     {"swap_penalty", 1.0}};
+  Configuration fixed;
+  std::string finding = AddmTuner::DiagnoseAndFix(
+      "simulated-dbms", profile, dbms->space(), current, &fixed);
+  EXPECT_EQ(finding, "io:spill");
+  EXPECT_GT(fixed.IntOr("work_mem_mb", 0), current.IntOr("work_mem_mb", 0));
+}
+
+TEST(AddmTest, DiagnosesMemoryPressureFirst) {
+  auto dbms = MakeTestDbms();
+  Configuration current = dbms->space().DefaultConfiguration();
+  current.SetInt("buffer_pool_mb", 8192);
+  ExecutionResult profile;
+  profile.runtime_seconds = 100.0;
+  profile.metrics = {{"io_time_s", 90.0}, {"swap_penalty", 3.0}};
+  Configuration fixed;
+  std::string finding = AddmTuner::DiagnoseAndFix(
+      "simulated-dbms", profile, dbms->space(), current, &fixed);
+  EXPECT_EQ(finding, "memory-pressure");
+  EXPECT_LT(fixed.IntOr("buffer_pool_mb", 0), 8192);
+}
+
+TEST(AddmTest, DiagnosesSparkGcAndOverhead) {
+  auto spark = MakeTestSpark();
+  Configuration current = spark->space().DefaultConfiguration();
+  ExecutionResult gc_bound;
+  gc_bound.runtime_seconds = 100.0;
+  gc_bound.metrics = {{"gc_time_s", 40.0}, {"scheduling_overhead_s", 2.0}};
+  Configuration fixed;
+  EXPECT_EQ(AddmTuner::DiagnoseAndFix("simulated-spark", gc_bound,
+                                      spark->space(), current, &fixed),
+            "gc-pressure");
+  EXPECT_EQ(fixed.StringOr("serializer", ""), "kryo");
+
+  ExecutionResult overhead_bound;
+  overhead_bound.runtime_seconds = 100.0;
+  overhead_bound.metrics = {{"gc_time_s", 2.0},
+                            {"scheduling_overhead_s", 40.0}};
+  EXPECT_EQ(AddmTuner::DiagnoseAndFix("simulated-spark", overhead_bound,
+                                      spark->space(), current, &fixed),
+            "task-overhead");
+  EXPECT_LT(fixed.IntOr("shuffle_partitions", 0),
+            current.IntOr("shuffle_partitions", 0));
+}
+
+TEST(AddmTest, DiagnosesMrShuffle) {
+  auto mr = MakeTestMapReduce();
+  Configuration current = mr->space().DefaultConfiguration();
+  ExecutionResult profile;
+  profile.runtime_seconds = 100.0;
+  profile.metrics = {{"map_time_s", 20.0},
+                     {"shuffle_time_s", 60.0},
+                     {"reduce_time_s", 15.0}};
+  Configuration fixed;
+  EXPECT_EQ(AddmTuner::DiagnoseAndFix("simulated-mapreduce", profile,
+                                      mr->space(), current, &fixed),
+            "shuffle");
+  EXPECT_TRUE(fixed.BoolOr("compress_map_output", false));
+}
+
+TEST(AddmTest, IterativeTuningImprovesDbms) {
+  auto dbms = MakeTestDbms();
+  Workload w = MakeDbmsOlapWorkload(0.5);
+  AddmTuner tuner(/*max_iterations=*/8);
+  Evaluator evaluator(dbms.get(), w, TuningBudget{10});
+  Rng rng(9);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  double default_obj = evaluator.history().front().objective;
+  EXPECT_LT(evaluator.best()->objective, default_obj);
+  EXPECT_NE(tuner.Report().find("diagnosis chain"), std::string::npos);
+}
+
+TEST(AddmTest, IterativeTuningImprovesMr) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrTeraSortWorkload(10.0);
+  AddmTuner tuner(8);
+  Evaluator evaluator(mr.get(), w, TuningBudget{10});
+  Rng rng(10);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  EXPECT_LT(evaluator.best()->objective,
+            evaluator.history().front().objective);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,111 @@
+#include "tuners/simulation/starfish.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing_util.h"
+#include "tuners/cost_model/cost_models.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MakeTestMapReduce;
+
+TEST(StarfishTest, RejectsNonMapReduceSystems) {
+  auto dbms = testing_util::MakeTestDbms();
+  StarfishTuner tuner;
+  Evaluator evaluator(dbms.get(), MakeDbmsOlapWorkload(0.25), TuningBudget{5});
+  Rng rng(1);
+  EXPECT_EQ(tuner.Tune(&evaluator, &rng).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StarfishTest, ProfileRecoversJobStatistics) {
+  auto mr = MakeTestMapReduce();
+  Workload truth = MakeMrWordCountWorkload(5.0);
+  Configuration defaults = mr->space().DefaultConfiguration();
+  auto run = mr->Execute(defaults, truth);
+  ASSERT_TRUE(run.ok());
+
+  // Hand the extractor a *wrong* declared workload: only input size and
+  // job count may be trusted; everything else must come from measurement.
+  Workload declared = truth;
+  declared.properties["map_selectivity"] = 0.123;
+  declared.properties["map_cpu_s_per_mb"] = 0.5;
+  declared.properties["reduce_cpu_s_per_mb"] = 0.5;
+  declared.properties["reducer_skew"] = 9.0;
+
+  Workload profile = StarfishTuner::ExtractProfile(declared, defaults, *run);
+  EXPECT_NEAR(profile.PropertyOr("map_selectivity", 0.0),
+              truth.PropertyOr("map_selectivity", 0.0), 0.05);
+  EXPECT_NEAR(profile.PropertyOr("map_cpu_s_per_mb", 0.0),
+              truth.PropertyOr("map_cpu_s_per_mb", 0.0), 0.001);
+  EXPECT_NEAR(profile.PropertyOr("reduce_cpu_s_per_mb", 0.0),
+              truth.PropertyOr("reduce_cpu_s_per_mb", 0.0), 0.001);
+  EXPECT_NEAR(profile.PropertyOr("reducer_skew", 0.0),
+              truth.PropertyOr("reducer_skew", 0.0), 0.05);
+}
+
+TEST(StarfishTest, ProfileUndoesCompression) {
+  auto mr = MakeTestMapReduce();
+  Workload truth = MakeMrTeraSortWorkload(5.0);
+  Configuration compressed = mr->space().DefaultConfiguration();
+  compressed.SetBool("compress_map_output", true);
+  compressed.SetString("compress_codec", "lz4");
+  auto run = mr->Execute(compressed, truth);
+  ASSERT_TRUE(run.ok());
+  Workload profile = StarfishTuner::ExtractProfile(truth, compressed, *run);
+  EXPECT_NEAR(profile.PropertyOr("map_selectivity", 0.0), 1.0, 0.05);
+}
+
+TEST(StarfishTest, CalibratedModelBeatsAssumedModel) {
+  // The point of profiling: a model fed measured statistics predicts much
+  // better than the same model fed a wrong workload guess.
+  auto mr = MakeTestMapReduce();
+  Workload truth = MakeMrWordCountWorkload(8.0);
+  Configuration defaults = mr->space().DefaultConfiguration();
+  auto run = mr->Execute(defaults, truth);
+  ASSERT_TRUE(run.ok());
+  Workload wrong_guess = truth;
+  wrong_guess.properties["map_selectivity"] = 0.05;  // grep-like guess
+  wrong_guess.properties["map_cpu_s_per_mb"] = 0.001;
+  Workload profile = StarfishTuner::ExtractProfile(wrong_guess, defaults, *run);
+
+  auto model = MakeMapReduceCostModel();
+  auto desc = mr->Descriptors();
+  Rng rng(5);
+  double err_calibrated = 0.0, err_guess = 0.0;
+  int n = 0;
+  for (int i = 0; i < 150 && n < 20; ++i) {
+    Configuration c = mr->space().RandomConfiguration(&rng);
+    auto actual = mr->Execute(c, truth);
+    ASSERT_TRUE(actual.ok());
+    if (actual->failed) continue;  // random MR configs fail often (see E3)
+    double pred_cal = model->PredictRuntime(c, profile, desc);
+    double pred_guess = model->PredictRuntime(c, wrong_guess, desc);
+    // 1e6 is the model's infeasibility sentinel, not a time prediction.
+    if (pred_cal >= 1e6 || pred_guess >= 1e6) continue;
+    err_calibrated +=
+        std::abs(pred_cal - actual->runtime_seconds) / actual->runtime_seconds;
+    err_guess += std::abs(pred_guess - actual->runtime_seconds) /
+                 actual->runtime_seconds;
+    ++n;
+  }
+  ASSERT_GT(n, 10);
+  EXPECT_LT(err_calibrated, err_guess * 0.7);
+}
+
+TEST(StarfishTest, TunesTeraSortWithFewRuns) {
+  auto mr = MakeTestMapReduce();
+  Workload w = MakeMrTeraSortWorkload(10.0);
+  StarfishTuner tuner(/*whatif_search_size=*/1500, /*validation_runs=*/3);
+  Evaluator evaluator(mr.get(), w, TuningBudget{6});
+  Rng rng(7);
+  ASSERT_TRUE(tuner.Tune(&evaluator, &rng).ok());
+  EXPECT_LE(evaluator.used(), 6.0);
+  double default_obj = evaluator.history().front().objective;
+  EXPECT_LT(evaluator.best()->objective, default_obj / 2.0);
+  EXPECT_NE(tuner.Report().find("profile:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,217 @@
+// atune — command-line driver for the tuning framework.
+//
+//   atune --system=dbms --workload=olap --tuner=ituned --budget=30
+//   atune --system=mapreduce --workload=terasort --tuner=starfish
+//   atune --system=spark --workload=iterative_ml --tuner=ottertune --csv
+//   atune --list
+//
+// Flags:
+//   --system=dbms|mapreduce|spark   platform to tune         [dbms]
+//   --workload=<name>               see --list                [per system]
+//   --tuner=<name>                  see --list                [ituned]
+//   --budget=N                      experiment budget         [30]
+//   --seed=N                        session seed              [1]
+//   --nodes=N                       cluster size              [1 dbms / 4 other]
+//   --scale=F                       workload scale factor     [1.0]
+//   --csv                           machine-readable trial log on stdout
+//   --list                          print available tuners and workloads
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/registry.h"
+#include "core/session.h"
+#include "systems/dbms/dbms_system.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/mapreduce/mr_system.h"
+#include "systems/mapreduce/mr_workloads.h"
+#include "systems/spark/spark_system.h"
+#include "systems/spark/spark_workloads.h"
+#include "tuners/builtin.h"
+
+namespace atune {
+namespace {
+
+struct CliOptions {
+  std::string system = "dbms";
+  std::string workload;
+  std::string tuner = "ituned";
+  size_t budget = 30;
+  uint64_t seed = 1;
+  size_t nodes = 0;  // 0 = per-system default
+  double scale = 1.0;
+  bool csv = false;
+  bool list = false;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (!StartsWith(arg, prefix)) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (ParseFlag(arg, "system", &value)) {
+      options.system = value;
+    } else if (ParseFlag(arg, "workload", &value)) {
+      options.workload = value;
+    } else if (ParseFlag(arg, "tuner", &value)) {
+      options.tuner = value;
+    } else if (ParseFlag(arg, "budget", &value)) {
+      options.budget = static_cast<size_t>(std::strtoull(value.c_str(),
+                                                         nullptr, 10));
+    } else if (ParseFlag(arg, "seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "nodes", &value)) {
+      options.nodes = static_cast<size_t>(std::strtoull(value.c_str(),
+                                                        nullptr, 10));
+    } else if (ParseFlag(arg, "scale", &value)) {
+      options.scale = std::strtod(value.c_str(), nullptr);
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  return options;
+}
+
+std::map<std::string, Workload> WorkloadsFor(const std::string& system,
+                                             double scale) {
+  if (system == "mapreduce") {
+    return {{"wordcount", MakeMrWordCountWorkload(10.0 * scale)},
+            {"terasort", MakeMrTeraSortWorkload(10.0 * scale)},
+            {"grep", MakeMrGrepWorkload(10.0 * scale)},
+            {"join", MakeMrJoinWorkload(10.0 * scale)},
+            {"pagerank", MakeMrPageRankWorkload(5.0 * scale, 8)}};
+  }
+  if (system == "spark") {
+    return {{"sql_aggregate", MakeSparkSqlAggregateWorkload(8.0 * scale)},
+            {"sql_join", MakeSparkJoinWorkload(8.0 * scale)},
+            {"iterative_ml", MakeSparkIterativeMlWorkload(4.0 * scale)},
+            {"streaming", MakeSparkStreamingWorkload(64.0 * scale)}};
+  }
+  return {{"olap", MakeDbmsOlapWorkload(scale)},
+          {"oltp", MakeDbmsOltpWorkload(scale)},
+          {"mixed", MakeDbmsMixedWorkload(scale)}};
+}
+
+std::unique_ptr<TunableSystem> MakeSystemFor(const std::string& system,
+                                             size_t nodes, uint64_t seed) {
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  if (system == "mapreduce") {
+    node.ram_mb = 8192;
+    return std::make_unique<SimulatedMapReduce>(
+        ClusterSpec::MakeUniform(nodes == 0 ? 4 : nodes, node), seed);
+  }
+  if (system == "spark") {
+    return std::make_unique<SimulatedSpark>(
+        ClusterSpec::MakeUniform(nodes == 0 ? 4 : nodes, node), seed);
+  }
+  return std::make_unique<SimulatedDbms>(
+      ClusterSpec::MakeUniform(nodes == 0 ? 1 : nodes, node), seed);
+}
+
+int RunCli(const CliOptions& options) {
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+
+  if (options.list) {
+    std::printf("tuners:\n");
+    for (const std::string& name : registry.Names()) {
+      auto tuner = registry.Create(name);
+      std::printf("  %-18s (%s)\n", name.c_str(),
+                  TunerCategoryToString((*tuner)->category()));
+    }
+    for (const char* system : {"dbms", "mapreduce", "spark"}) {
+      std::printf("workloads for --system=%s:\n", system);
+      for (const auto& [name, workload] : WorkloadsFor(system, 1.0)) {
+        (void)workload;
+        std::printf("  %s\n", name.c_str());
+      }
+    }
+    return 0;
+  }
+
+  auto workloads = WorkloadsFor(options.system, options.scale);
+  std::string workload_name =
+      options.workload.empty() ? workloads.begin()->first : options.workload;
+  auto wit = workloads.find(workload_name);
+  if (wit == workloads.end()) {
+    std::fprintf(stderr, "unknown workload '%s' for system '%s' (try --list)\n",
+                 workload_name.c_str(), options.system.c_str());
+    return 2;
+  }
+  auto tuner = registry.Create(options.tuner);
+  if (!tuner.ok()) {
+    std::fprintf(stderr, "%s (try --list)\n",
+                 tuner.status().ToString().c_str());
+    return 2;
+  }
+  auto system = MakeSystemFor(options.system, options.nodes, options.seed);
+
+  SessionOptions session;
+  session.budget.max_evaluations = options.budget;
+  session.seed = options.seed;
+  auto outcome =
+      RunTuningSession(tuner->get(), system.get(), wit->second, session);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "tuning failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  if (options.csv) {
+    TableWriter table({"trial", "cost", "objective", "failed", "config"});
+    for (size_t i = 0; i < outcome->history.size(); ++i) {
+      const Trial& t = outcome->history[i];
+      table.AddRow({StrFormat("%zu", i + 1), StrFormat("%.3f", t.cost),
+                    StrFormat("%.3f", t.objective),
+                    t.result.failed ? "1" : "0", t.config.ToString()});
+    }
+    table.WriteCsv(std::cout);
+    return 0;
+  }
+
+  std::printf("system:    %s (%s)\n", options.system.c_str(),
+              system->name().c_str());
+  std::printf("workload:  %s\n", wit->second.name.c_str());
+  std::printf("tuner:     %s [%s]\n", options.tuner.c_str(),
+              TunerCategoryToString(outcome->category));
+  std::printf("default:   %.2f s\n", outcome->default_objective);
+  std::printf("best:      %.2f s  (%.2fx speedup, %.1f/%zu budget used, "
+              "%zu failed runs)\n",
+              outcome->best_objective, outcome->speedup_over_default,
+              outcome->evaluations_used, options.budget,
+              outcome->failed_runs);
+  std::printf("config:    %s\n", outcome->best_config.ToString().c_str());
+  std::printf("report:    %s\n", outcome->tuner_report.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace atune
+
+int main(int argc, char** argv) {
+  auto options = atune::ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 2;
+  }
+  return atune::RunCli(*options);
+}
