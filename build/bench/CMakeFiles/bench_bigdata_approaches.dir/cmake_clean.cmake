@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bigdata_approaches.dir/bench_bigdata_approaches.cc.o"
+  "CMakeFiles/bench_bigdata_approaches.dir/bench_bigdata_approaches.cc.o.d"
+  "bench_bigdata_approaches"
+  "bench_bigdata_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bigdata_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

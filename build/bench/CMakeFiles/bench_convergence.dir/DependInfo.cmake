@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_convergence.cc" "bench/CMakeFiles/bench_convergence.dir/bench_convergence.cc.o" "gcc" "bench/CMakeFiles/bench_convergence.dir/bench_convergence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuners/CMakeFiles/atune_tuners.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/atune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/atune_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/atune_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hadoop_vs_dbms.dir/bench_hadoop_vs_dbms.cc.o"
+  "CMakeFiles/bench_hadoop_vs_dbms.dir/bench_hadoop_vs_dbms.cc.o.d"
+  "bench_hadoop_vs_dbms"
+  "bench_hadoop_vs_dbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hadoop_vs_dbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

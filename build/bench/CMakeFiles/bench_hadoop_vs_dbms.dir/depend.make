@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hadoop_vs_dbms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heterogeneity.dir/bench_heterogeneity.cc.o"
+  "CMakeFiles/bench_heterogeneity.dir/bench_heterogeneity.cc.o.d"
+  "bench_heterogeneity"
+  "bench_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

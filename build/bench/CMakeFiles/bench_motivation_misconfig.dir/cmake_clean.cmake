@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_misconfig.dir/bench_motivation_misconfig.cc.o"
+  "CMakeFiles/bench_motivation_misconfig.dir/bench_motivation_misconfig.cc.o.d"
+  "bench_motivation_misconfig"
+  "bench_motivation_misconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_misconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spark_param_impact.dir/bench_spark_param_impact.cc.o"
+  "CMakeFiles/bench_spark_param_impact.dir/bench_spark_param_impact.cc.o.d"
+  "bench_spark_param_impact"
+  "bench_spark_param_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spark_param_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dbms_approaches.dir/bench_table2_dbms_approaches.cc.o"
+  "CMakeFiles/bench_table2_dbms_approaches.dir/bench_table2_dbms_approaches.cc.o.d"
+  "bench_table2_dbms_approaches"
+  "bench_table2_dbms_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dbms_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_provisioning.dir/cloud_provisioning.cpp.o"
+  "CMakeFiles/cloud_provisioning.dir/cloud_provisioning.cpp.o.d"
+  "cloud_provisioning"
+  "cloud_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_all_categories.dir/compare_all_categories.cpp.o"
+  "CMakeFiles/compare_all_categories.dir/compare_all_categories.cpp.o.d"
+  "compare_all_categories"
+  "compare_all_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_all_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

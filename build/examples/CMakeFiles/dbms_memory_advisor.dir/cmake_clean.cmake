@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_memory_advisor.dir/dbms_memory_advisor.cpp.o"
+  "CMakeFiles/dbms_memory_advisor.dir/dbms_memory_advisor.cpp.o.d"
+  "dbms_memory_advisor"
+  "dbms_memory_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_memory_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_terasort_tuning.dir/hadoop_terasort_tuning.cpp.o"
+  "CMakeFiles/hadoop_terasort_tuning.dir/hadoop_terasort_tuning.cpp.o.d"
+  "hadoop_terasort_tuning"
+  "hadoop_terasort_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_terasort_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_shuffle_tuning.dir/spark_shuffle_tuning.cpp.o"
+  "CMakeFiles/spark_shuffle_tuning.dir/spark_shuffle_tuning.cpp.o.d"
+  "spark_shuffle_tuning"
+  "spark_shuffle_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_shuffle_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_shift_adaptation.dir/workload_shift_adaptation.cpp.o"
+  "CMakeFiles/workload_shift_adaptation.dir/workload_shift_adaptation.cpp.o.d"
+  "workload_shift_adaptation"
+  "workload_shift_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_shift_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

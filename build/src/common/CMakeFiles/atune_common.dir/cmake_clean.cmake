@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_common.dir/csv.cc.o"
+  "CMakeFiles/atune_common.dir/csv.cc.o.d"
+  "CMakeFiles/atune_common.dir/logging.cc.o"
+  "CMakeFiles/atune_common.dir/logging.cc.o.d"
+  "CMakeFiles/atune_common.dir/random.cc.o"
+  "CMakeFiles/atune_common.dir/random.cc.o.d"
+  "CMakeFiles/atune_common.dir/stats.cc.o"
+  "CMakeFiles/atune_common.dir/stats.cc.o.d"
+  "CMakeFiles/atune_common.dir/status.cc.o"
+  "CMakeFiles/atune_common.dir/status.cc.o.d"
+  "CMakeFiles/atune_common.dir/string_util.cc.o"
+  "CMakeFiles/atune_common.dir/string_util.cc.o.d"
+  "libatune_common.a"
+  "libatune_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comparator.cc" "src/core/CMakeFiles/atune_core.dir/comparator.cc.o" "gcc" "src/core/CMakeFiles/atune_core.dir/comparator.cc.o.d"
+  "/root/repo/src/core/configuration.cc" "src/core/CMakeFiles/atune_core.dir/configuration.cc.o" "gcc" "src/core/CMakeFiles/atune_core.dir/configuration.cc.o.d"
+  "/root/repo/src/core/objective.cc" "src/core/CMakeFiles/atune_core.dir/objective.cc.o" "gcc" "src/core/CMakeFiles/atune_core.dir/objective.cc.o.d"
+  "/root/repo/src/core/parameter.cc" "src/core/CMakeFiles/atune_core.dir/parameter.cc.o" "gcc" "src/core/CMakeFiles/atune_core.dir/parameter.cc.o.d"
+  "/root/repo/src/core/parameter_space.cc" "src/core/CMakeFiles/atune_core.dir/parameter_space.cc.o" "gcc" "src/core/CMakeFiles/atune_core.dir/parameter_space.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/atune_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/atune_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/atune_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/atune_core.dir/session.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/atune_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/atune_core.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/atune_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_core.dir/comparator.cc.o"
+  "CMakeFiles/atune_core.dir/comparator.cc.o.d"
+  "CMakeFiles/atune_core.dir/configuration.cc.o"
+  "CMakeFiles/atune_core.dir/configuration.cc.o.d"
+  "CMakeFiles/atune_core.dir/objective.cc.o"
+  "CMakeFiles/atune_core.dir/objective.cc.o.d"
+  "CMakeFiles/atune_core.dir/parameter.cc.o"
+  "CMakeFiles/atune_core.dir/parameter.cc.o.d"
+  "CMakeFiles/atune_core.dir/parameter_space.cc.o"
+  "CMakeFiles/atune_core.dir/parameter_space.cc.o.d"
+  "CMakeFiles/atune_core.dir/registry.cc.o"
+  "CMakeFiles/atune_core.dir/registry.cc.o.d"
+  "CMakeFiles/atune_core.dir/session.cc.o"
+  "CMakeFiles/atune_core.dir/session.cc.o.d"
+  "CMakeFiles/atune_core.dir/tuner.cc.o"
+  "CMakeFiles/atune_core.dir/tuner.cc.o.d"
+  "libatune_core.a"
+  "libatune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

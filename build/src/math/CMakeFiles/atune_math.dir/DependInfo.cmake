@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/doe.cc" "src/math/CMakeFiles/atune_math.dir/doe.cc.o" "gcc" "src/math/CMakeFiles/atune_math.dir/doe.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/math/CMakeFiles/atune_math.dir/matrix.cc.o" "gcc" "src/math/CMakeFiles/atune_math.dir/matrix.cc.o.d"
+  "/root/repo/src/math/sampling.cc" "src/math/CMakeFiles/atune_math.dir/sampling.cc.o" "gcc" "src/math/CMakeFiles/atune_math.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_math.dir/doe.cc.o"
+  "CMakeFiles/atune_math.dir/doe.cc.o.d"
+  "CMakeFiles/atune_math.dir/matrix.cc.o"
+  "CMakeFiles/atune_math.dir/matrix.cc.o.d"
+  "CMakeFiles/atune_math.dir/sampling.cc.o"
+  "CMakeFiles/atune_math.dir/sampling.cc.o.d"
+  "libatune_math.a"
+  "libatune_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/acquisition.cc" "src/ml/CMakeFiles/atune_ml.dir/acquisition.cc.o" "gcc" "src/ml/CMakeFiles/atune_ml.dir/acquisition.cc.o.d"
+  "/root/repo/src/ml/gaussian_process.cc" "src/ml/CMakeFiles/atune_ml.dir/gaussian_process.cc.o" "gcc" "src/ml/CMakeFiles/atune_ml.dir/gaussian_process.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/atune_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/atune_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/linear_model.cc" "src/ml/CMakeFiles/atune_ml.dir/linear_model.cc.o" "gcc" "src/ml/CMakeFiles/atune_ml.dir/linear_model.cc.o.d"
+  "/root/repo/src/ml/neural_net.cc" "src/ml/CMakeFiles/atune_ml.dir/neural_net.cc.o" "gcc" "src/ml/CMakeFiles/atune_ml.dir/neural_net.cc.o.d"
+  "/root/repo/src/ml/nnls.cc" "src/ml/CMakeFiles/atune_ml.dir/nnls.cc.o" "gcc" "src/ml/CMakeFiles/atune_ml.dir/nnls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/atune_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_ml.dir/acquisition.cc.o"
+  "CMakeFiles/atune_ml.dir/acquisition.cc.o.d"
+  "CMakeFiles/atune_ml.dir/gaussian_process.cc.o"
+  "CMakeFiles/atune_ml.dir/gaussian_process.cc.o.d"
+  "CMakeFiles/atune_ml.dir/kmeans.cc.o"
+  "CMakeFiles/atune_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/atune_ml.dir/linear_model.cc.o"
+  "CMakeFiles/atune_ml.dir/linear_model.cc.o.d"
+  "CMakeFiles/atune_ml.dir/neural_net.cc.o"
+  "CMakeFiles/atune_ml.dir/neural_net.cc.o.d"
+  "CMakeFiles/atune_ml.dir/nnls.cc.o"
+  "CMakeFiles/atune_ml.dir/nnls.cc.o.d"
+  "libatune_ml.a"
+  "libatune_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/dbms/dbms_model.cc" "src/systems/CMakeFiles/atune_systems.dir/dbms/dbms_model.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/dbms/dbms_model.cc.o.d"
+  "/root/repo/src/systems/dbms/dbms_system.cc" "src/systems/CMakeFiles/atune_systems.dir/dbms/dbms_system.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/dbms/dbms_system.cc.o.d"
+  "/root/repo/src/systems/dbms/dbms_workloads.cc" "src/systems/CMakeFiles/atune_systems.dir/dbms/dbms_workloads.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/dbms/dbms_workloads.cc.o.d"
+  "/root/repo/src/systems/hardware.cc" "src/systems/CMakeFiles/atune_systems.dir/hardware.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/hardware.cc.o.d"
+  "/root/repo/src/systems/mapreduce/mr_model.cc" "src/systems/CMakeFiles/atune_systems.dir/mapreduce/mr_model.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/mapreduce/mr_model.cc.o.d"
+  "/root/repo/src/systems/mapreduce/mr_system.cc" "src/systems/CMakeFiles/atune_systems.dir/mapreduce/mr_system.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/mapreduce/mr_system.cc.o.d"
+  "/root/repo/src/systems/mapreduce/mr_workloads.cc" "src/systems/CMakeFiles/atune_systems.dir/mapreduce/mr_workloads.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/mapreduce/mr_workloads.cc.o.d"
+  "/root/repo/src/systems/multi_tenant.cc" "src/systems/CMakeFiles/atune_systems.dir/multi_tenant.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/multi_tenant.cc.o.d"
+  "/root/repo/src/systems/spark/spark_model.cc" "src/systems/CMakeFiles/atune_systems.dir/spark/spark_model.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/spark/spark_model.cc.o.d"
+  "/root/repo/src/systems/spark/spark_system.cc" "src/systems/CMakeFiles/atune_systems.dir/spark/spark_system.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/spark/spark_system.cc.o.d"
+  "/root/repo/src/systems/spark/spark_workloads.cc" "src/systems/CMakeFiles/atune_systems.dir/spark/spark_workloads.cc.o" "gcc" "src/systems/CMakeFiles/atune_systems.dir/spark/spark_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/atune_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

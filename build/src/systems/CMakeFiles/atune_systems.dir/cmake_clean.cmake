@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_systems.dir/dbms/dbms_model.cc.o"
+  "CMakeFiles/atune_systems.dir/dbms/dbms_model.cc.o.d"
+  "CMakeFiles/atune_systems.dir/dbms/dbms_system.cc.o"
+  "CMakeFiles/atune_systems.dir/dbms/dbms_system.cc.o.d"
+  "CMakeFiles/atune_systems.dir/dbms/dbms_workloads.cc.o"
+  "CMakeFiles/atune_systems.dir/dbms/dbms_workloads.cc.o.d"
+  "CMakeFiles/atune_systems.dir/hardware.cc.o"
+  "CMakeFiles/atune_systems.dir/hardware.cc.o.d"
+  "CMakeFiles/atune_systems.dir/mapreduce/mr_model.cc.o"
+  "CMakeFiles/atune_systems.dir/mapreduce/mr_model.cc.o.d"
+  "CMakeFiles/atune_systems.dir/mapreduce/mr_system.cc.o"
+  "CMakeFiles/atune_systems.dir/mapreduce/mr_system.cc.o.d"
+  "CMakeFiles/atune_systems.dir/mapreduce/mr_workloads.cc.o"
+  "CMakeFiles/atune_systems.dir/mapreduce/mr_workloads.cc.o.d"
+  "CMakeFiles/atune_systems.dir/multi_tenant.cc.o"
+  "CMakeFiles/atune_systems.dir/multi_tenant.cc.o.d"
+  "CMakeFiles/atune_systems.dir/spark/spark_model.cc.o"
+  "CMakeFiles/atune_systems.dir/spark/spark_model.cc.o.d"
+  "CMakeFiles/atune_systems.dir/spark/spark_system.cc.o"
+  "CMakeFiles/atune_systems.dir/spark/spark_system.cc.o.d"
+  "CMakeFiles/atune_systems.dir/spark/spark_workloads.cc.o"
+  "CMakeFiles/atune_systems.dir/spark/spark_workloads.cc.o.d"
+  "libatune_systems.a"
+  "libatune_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuners/adaptive/adaptive_memory.cc" "src/tuners/CMakeFiles/atune_tuners.dir/adaptive/adaptive_memory.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/adaptive/adaptive_memory.cc.o.d"
+  "/root/repo/src/tuners/adaptive/colt.cc" "src/tuners/CMakeFiles/atune_tuners.dir/adaptive/colt.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/adaptive/colt.cc.o.d"
+  "/root/repo/src/tuners/adaptive/stage_retuner.cc" "src/tuners/CMakeFiles/atune_tuners.dir/adaptive/stage_retuner.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/adaptive/stage_retuner.cc.o.d"
+  "/root/repo/src/tuners/builtin.cc" "src/tuners/CMakeFiles/atune_tuners.dir/builtin.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/builtin.cc.o.d"
+  "/root/repo/src/tuners/cost_model/cost_model_tuner.cc" "src/tuners/CMakeFiles/atune_tuners.dir/cost_model/cost_model_tuner.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/cost_model/cost_model_tuner.cc.o.d"
+  "/root/repo/src/tuners/cost_model/cost_models.cc" "src/tuners/CMakeFiles/atune_tuners.dir/cost_model/cost_models.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/cost_model/cost_models.cc.o.d"
+  "/root/repo/src/tuners/cost_model/stmm.cc" "src/tuners/CMakeFiles/atune_tuners.dir/cost_model/stmm.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/cost_model/stmm.cc.o.d"
+  "/root/repo/src/tuners/experiment/adaptive_sampling.cc" "src/tuners/CMakeFiles/atune_tuners.dir/experiment/adaptive_sampling.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/experiment/adaptive_sampling.cc.o.d"
+  "/root/repo/src/tuners/experiment/ituned.cc" "src/tuners/CMakeFiles/atune_tuners.dir/experiment/ituned.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/experiment/ituned.cc.o.d"
+  "/root/repo/src/tuners/experiment/sard.cc" "src/tuners/CMakeFiles/atune_tuners.dir/experiment/sard.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/experiment/sard.cc.o.d"
+  "/root/repo/src/tuners/experiment/search_baselines.cc" "src/tuners/CMakeFiles/atune_tuners.dir/experiment/search_baselines.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/experiment/search_baselines.cc.o.d"
+  "/root/repo/src/tuners/ml_tuners/ernest.cc" "src/tuners/CMakeFiles/atune_tuners.dir/ml_tuners/ernest.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/ml_tuners/ernest.cc.o.d"
+  "/root/repo/src/tuners/ml_tuners/grey_box.cc" "src/tuners/CMakeFiles/atune_tuners.dir/ml_tuners/grey_box.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/ml_tuners/grey_box.cc.o.d"
+  "/root/repo/src/tuners/ml_tuners/ottertune.cc" "src/tuners/CMakeFiles/atune_tuners.dir/ml_tuners/ottertune.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/ml_tuners/ottertune.cc.o.d"
+  "/root/repo/src/tuners/ml_tuners/rodd_nn.cc" "src/tuners/CMakeFiles/atune_tuners.dir/ml_tuners/rodd_nn.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/ml_tuners/rodd_nn.cc.o.d"
+  "/root/repo/src/tuners/rule_based/builtin_rules.cc" "src/tuners/CMakeFiles/atune_tuners.dir/rule_based/builtin_rules.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/rule_based/builtin_rules.cc.o.d"
+  "/root/repo/src/tuners/rule_based/config_navigator.cc" "src/tuners/CMakeFiles/atune_tuners.dir/rule_based/config_navigator.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/rule_based/config_navigator.cc.o.d"
+  "/root/repo/src/tuners/rule_based/rule_engine.cc" "src/tuners/CMakeFiles/atune_tuners.dir/rule_based/rule_engine.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/rule_based/rule_engine.cc.o.d"
+  "/root/repo/src/tuners/rule_based/spex.cc" "src/tuners/CMakeFiles/atune_tuners.dir/rule_based/spex.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/rule_based/spex.cc.o.d"
+  "/root/repo/src/tuners/simulation/addm.cc" "src/tuners/CMakeFiles/atune_tuners.dir/simulation/addm.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/simulation/addm.cc.o.d"
+  "/root/repo/src/tuners/simulation/starfish.cc" "src/tuners/CMakeFiles/atune_tuners.dir/simulation/starfish.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/simulation/starfish.cc.o.d"
+  "/root/repo/src/tuners/simulation/trace_simulator.cc" "src/tuners/CMakeFiles/atune_tuners.dir/simulation/trace_simulator.cc.o" "gcc" "src/tuners/CMakeFiles/atune_tuners.dir/simulation/trace_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/atune_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/atune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/atune_systems.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatune_tuners.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/atune_common_tests.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/atune_common_tests.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/atune_common_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/atune_common_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/atune_common_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/atune_common_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/atune_common_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/atune_common_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/atune_common_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/atune_common_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/atune_common_tests.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/atune_common_tests.dir/common/string_util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuners/CMakeFiles/atune_tuners.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/atune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/atune_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/atune_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_common_tests.dir/common/csv_test.cc.o"
+  "CMakeFiles/atune_common_tests.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/atune_common_tests.dir/common/logging_test.cc.o"
+  "CMakeFiles/atune_common_tests.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/atune_common_tests.dir/common/random_test.cc.o"
+  "CMakeFiles/atune_common_tests.dir/common/random_test.cc.o.d"
+  "CMakeFiles/atune_common_tests.dir/common/stats_test.cc.o"
+  "CMakeFiles/atune_common_tests.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/atune_common_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/atune_common_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/atune_common_tests.dir/common/string_util_test.cc.o"
+  "CMakeFiles/atune_common_tests.dir/common/string_util_test.cc.o.d"
+  "atune_common_tests"
+  "atune_common_tests.pdb"
+  "atune_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

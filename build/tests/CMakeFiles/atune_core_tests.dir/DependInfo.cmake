@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/comparator_test.cc" "tests/CMakeFiles/atune_core_tests.dir/core/comparator_test.cc.o" "gcc" "tests/CMakeFiles/atune_core_tests.dir/core/comparator_test.cc.o.d"
+  "/root/repo/tests/core/configuration_test.cc" "tests/CMakeFiles/atune_core_tests.dir/core/configuration_test.cc.o" "gcc" "tests/CMakeFiles/atune_core_tests.dir/core/configuration_test.cc.o.d"
+  "/root/repo/tests/core/objective_test.cc" "tests/CMakeFiles/atune_core_tests.dir/core/objective_test.cc.o" "gcc" "tests/CMakeFiles/atune_core_tests.dir/core/objective_test.cc.o.d"
+  "/root/repo/tests/core/parameter_space_test.cc" "tests/CMakeFiles/atune_core_tests.dir/core/parameter_space_test.cc.o" "gcc" "tests/CMakeFiles/atune_core_tests.dir/core/parameter_space_test.cc.o.d"
+  "/root/repo/tests/core/parameter_test.cc" "tests/CMakeFiles/atune_core_tests.dir/core/parameter_test.cc.o" "gcc" "tests/CMakeFiles/atune_core_tests.dir/core/parameter_test.cc.o.d"
+  "/root/repo/tests/core/registry_test.cc" "tests/CMakeFiles/atune_core_tests.dir/core/registry_test.cc.o" "gcc" "tests/CMakeFiles/atune_core_tests.dir/core/registry_test.cc.o.d"
+  "/root/repo/tests/core/session_test.cc" "tests/CMakeFiles/atune_core_tests.dir/core/session_test.cc.o" "gcc" "tests/CMakeFiles/atune_core_tests.dir/core/session_test.cc.o.d"
+  "/root/repo/tests/core/tuner_evaluator_test.cc" "tests/CMakeFiles/atune_core_tests.dir/core/tuner_evaluator_test.cc.o" "gcc" "tests/CMakeFiles/atune_core_tests.dir/core/tuner_evaluator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuners/CMakeFiles/atune_tuners.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/atune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/atune_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/atune_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_core_tests.dir/core/comparator_test.cc.o"
+  "CMakeFiles/atune_core_tests.dir/core/comparator_test.cc.o.d"
+  "CMakeFiles/atune_core_tests.dir/core/configuration_test.cc.o"
+  "CMakeFiles/atune_core_tests.dir/core/configuration_test.cc.o.d"
+  "CMakeFiles/atune_core_tests.dir/core/objective_test.cc.o"
+  "CMakeFiles/atune_core_tests.dir/core/objective_test.cc.o.d"
+  "CMakeFiles/atune_core_tests.dir/core/parameter_space_test.cc.o"
+  "CMakeFiles/atune_core_tests.dir/core/parameter_space_test.cc.o.d"
+  "CMakeFiles/atune_core_tests.dir/core/parameter_test.cc.o"
+  "CMakeFiles/atune_core_tests.dir/core/parameter_test.cc.o.d"
+  "CMakeFiles/atune_core_tests.dir/core/registry_test.cc.o"
+  "CMakeFiles/atune_core_tests.dir/core/registry_test.cc.o.d"
+  "CMakeFiles/atune_core_tests.dir/core/session_test.cc.o"
+  "CMakeFiles/atune_core_tests.dir/core/session_test.cc.o.d"
+  "CMakeFiles/atune_core_tests.dir/core/tuner_evaluator_test.cc.o"
+  "CMakeFiles/atune_core_tests.dir/core/tuner_evaluator_test.cc.o.d"
+  "atune_core_tests"
+  "atune_core_tests.pdb"
+  "atune_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

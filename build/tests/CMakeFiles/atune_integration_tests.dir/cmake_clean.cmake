@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_integration_tests.dir/integration/determinism_test.cc.o"
+  "CMakeFiles/atune_integration_tests.dir/integration/determinism_test.cc.o.d"
+  "CMakeFiles/atune_integration_tests.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/atune_integration_tests.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/atune_integration_tests.dir/integration/misconfiguration_test.cc.o"
+  "CMakeFiles/atune_integration_tests.dir/integration/misconfiguration_test.cc.o.d"
+  "CMakeFiles/atune_integration_tests.dir/integration/tiny_budget_test.cc.o"
+  "CMakeFiles/atune_integration_tests.dir/integration/tiny_budget_test.cc.o.d"
+  "atune_integration_tests"
+  "atune_integration_tests.pdb"
+  "atune_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_math_tests.dir/math/doe_test.cc.o"
+  "CMakeFiles/atune_math_tests.dir/math/doe_test.cc.o.d"
+  "CMakeFiles/atune_math_tests.dir/math/matrix_test.cc.o"
+  "CMakeFiles/atune_math_tests.dir/math/matrix_test.cc.o.d"
+  "CMakeFiles/atune_math_tests.dir/math/sampling_test.cc.o"
+  "CMakeFiles/atune_math_tests.dir/math/sampling_test.cc.o.d"
+  "atune_math_tests"
+  "atune_math_tests.pdb"
+  "atune_math_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_math_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

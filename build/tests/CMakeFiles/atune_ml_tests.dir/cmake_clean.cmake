@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_ml_tests.dir/ml/acquisition_test.cc.o"
+  "CMakeFiles/atune_ml_tests.dir/ml/acquisition_test.cc.o.d"
+  "CMakeFiles/atune_ml_tests.dir/ml/gaussian_process_test.cc.o"
+  "CMakeFiles/atune_ml_tests.dir/ml/gaussian_process_test.cc.o.d"
+  "CMakeFiles/atune_ml_tests.dir/ml/kmeans_test.cc.o"
+  "CMakeFiles/atune_ml_tests.dir/ml/kmeans_test.cc.o.d"
+  "CMakeFiles/atune_ml_tests.dir/ml/linear_model_test.cc.o"
+  "CMakeFiles/atune_ml_tests.dir/ml/linear_model_test.cc.o.d"
+  "CMakeFiles/atune_ml_tests.dir/ml/neural_net_test.cc.o"
+  "CMakeFiles/atune_ml_tests.dir/ml/neural_net_test.cc.o.d"
+  "CMakeFiles/atune_ml_tests.dir/ml/nnls_test.cc.o"
+  "CMakeFiles/atune_ml_tests.dir/ml/nnls_test.cc.o.d"
+  "atune_ml_tests"
+  "atune_ml_tests.pdb"
+  "atune_ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/systems/dbms_model_test.cc" "tests/CMakeFiles/atune_systems_tests.dir/systems/dbms_model_test.cc.o" "gcc" "tests/CMakeFiles/atune_systems_tests.dir/systems/dbms_model_test.cc.o.d"
+  "/root/repo/tests/systems/dbms_system_test.cc" "tests/CMakeFiles/atune_systems_tests.dir/systems/dbms_system_test.cc.o" "gcc" "tests/CMakeFiles/atune_systems_tests.dir/systems/dbms_system_test.cc.o.d"
+  "/root/repo/tests/systems/hardware_test.cc" "tests/CMakeFiles/atune_systems_tests.dir/systems/hardware_test.cc.o" "gcc" "tests/CMakeFiles/atune_systems_tests.dir/systems/hardware_test.cc.o.d"
+  "/root/repo/tests/systems/knob_behavior_test.cc" "tests/CMakeFiles/atune_systems_tests.dir/systems/knob_behavior_test.cc.o" "gcc" "tests/CMakeFiles/atune_systems_tests.dir/systems/knob_behavior_test.cc.o.d"
+  "/root/repo/tests/systems/monotonicity_test.cc" "tests/CMakeFiles/atune_systems_tests.dir/systems/monotonicity_test.cc.o" "gcc" "tests/CMakeFiles/atune_systems_tests.dir/systems/monotonicity_test.cc.o.d"
+  "/root/repo/tests/systems/mr_system_test.cc" "tests/CMakeFiles/atune_systems_tests.dir/systems/mr_system_test.cc.o" "gcc" "tests/CMakeFiles/atune_systems_tests.dir/systems/mr_system_test.cc.o.d"
+  "/root/repo/tests/systems/multi_tenant_test.cc" "tests/CMakeFiles/atune_systems_tests.dir/systems/multi_tenant_test.cc.o" "gcc" "tests/CMakeFiles/atune_systems_tests.dir/systems/multi_tenant_test.cc.o.d"
+  "/root/repo/tests/systems/spark_system_test.cc" "tests/CMakeFiles/atune_systems_tests.dir/systems/spark_system_test.cc.o" "gcc" "tests/CMakeFiles/atune_systems_tests.dir/systems/spark_system_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuners/CMakeFiles/atune_tuners.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/atune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/atune_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/atune_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_systems_tests.dir/systems/dbms_model_test.cc.o"
+  "CMakeFiles/atune_systems_tests.dir/systems/dbms_model_test.cc.o.d"
+  "CMakeFiles/atune_systems_tests.dir/systems/dbms_system_test.cc.o"
+  "CMakeFiles/atune_systems_tests.dir/systems/dbms_system_test.cc.o.d"
+  "CMakeFiles/atune_systems_tests.dir/systems/hardware_test.cc.o"
+  "CMakeFiles/atune_systems_tests.dir/systems/hardware_test.cc.o.d"
+  "CMakeFiles/atune_systems_tests.dir/systems/knob_behavior_test.cc.o"
+  "CMakeFiles/atune_systems_tests.dir/systems/knob_behavior_test.cc.o.d"
+  "CMakeFiles/atune_systems_tests.dir/systems/monotonicity_test.cc.o"
+  "CMakeFiles/atune_systems_tests.dir/systems/monotonicity_test.cc.o.d"
+  "CMakeFiles/atune_systems_tests.dir/systems/mr_system_test.cc.o"
+  "CMakeFiles/atune_systems_tests.dir/systems/mr_system_test.cc.o.d"
+  "CMakeFiles/atune_systems_tests.dir/systems/multi_tenant_test.cc.o"
+  "CMakeFiles/atune_systems_tests.dir/systems/multi_tenant_test.cc.o.d"
+  "CMakeFiles/atune_systems_tests.dir/systems/spark_system_test.cc.o"
+  "CMakeFiles/atune_systems_tests.dir/systems/spark_system_test.cc.o.d"
+  "atune_systems_tests"
+  "atune_systems_tests.pdb"
+  "atune_systems_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_systems_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

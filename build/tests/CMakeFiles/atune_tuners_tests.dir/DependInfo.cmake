@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tuners/adaptive_test.cc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/adaptive_test.cc.o" "gcc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/adaptive_test.cc.o.d"
+  "/root/repo/tests/tuners/cost_model_test.cc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/cost_model_test.cc.o.d"
+  "/root/repo/tests/tuners/diurnal_adaptation_test.cc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/diurnal_adaptation_test.cc.o" "gcc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/diurnal_adaptation_test.cc.o.d"
+  "/root/repo/tests/tuners/experiment_test.cc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/experiment_test.cc.o" "gcc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/experiment_test.cc.o.d"
+  "/root/repo/tests/tuners/ml_tuners_test.cc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/ml_tuners_test.cc.o" "gcc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/ml_tuners_test.cc.o.d"
+  "/root/repo/tests/tuners/repository_test.cc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/repository_test.cc.o" "gcc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/repository_test.cc.o.d"
+  "/root/repo/tests/tuners/rule_based_test.cc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/rule_based_test.cc.o" "gcc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/rule_based_test.cc.o.d"
+  "/root/repo/tests/tuners/simulation_test.cc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/simulation_test.cc.o" "gcc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/simulation_test.cc.o.d"
+  "/root/repo/tests/tuners/starfish_test.cc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/starfish_test.cc.o" "gcc" "tests/CMakeFiles/atune_tuners_tests.dir/tuners/starfish_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuners/CMakeFiles/atune_tuners.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/atune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/atune_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/atune_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_tuners_tests.dir/tuners/adaptive_test.cc.o"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/adaptive_test.cc.o.d"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/cost_model_test.cc.o"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/cost_model_test.cc.o.d"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/diurnal_adaptation_test.cc.o"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/diurnal_adaptation_test.cc.o.d"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/experiment_test.cc.o"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/experiment_test.cc.o.d"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/ml_tuners_test.cc.o"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/ml_tuners_test.cc.o.d"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/repository_test.cc.o"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/repository_test.cc.o.d"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/rule_based_test.cc.o"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/rule_based_test.cc.o.d"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/simulation_test.cc.o"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/simulation_test.cc.o.d"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/starfish_test.cc.o"
+  "CMakeFiles/atune_tuners_tests.dir/tuners/starfish_test.cc.o.d"
+  "atune_tuners_tests"
+  "atune_tuners_tests.pdb"
+  "atune_tuners_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_tuners_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

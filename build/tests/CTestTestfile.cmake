@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/atune_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/atune_math_tests[1]_include.cmake")
+include("/root/repo/build/tests/atune_ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/atune_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/atune_systems_tests[1]_include.cmake")
+include("/root/repo/build/tests/atune_tuners_tests[1]_include.cmake")
+include("/root/repo/build/tests/atune_integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atune_cli.dir/atune_cli.cc.o"
+  "CMakeFiles/atune_cli.dir/atune_cli.cc.o.d"
+  "atune"
+  "atune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
