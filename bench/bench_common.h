@@ -2,10 +2,13 @@
 #define ATUNE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <future>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "systems/dbms/dbms_system.h"
 #include "systems/dbms/dbms_workloads.h"
 #include "systems/hardware.h"
@@ -46,6 +49,30 @@ inline std::unique_ptr<SimulatedSpark> MakeSpark(uint64_t seed,
                                                  size_t nodes = 4) {
   return std::make_unique<SimulatedSpark>(
       ClusterSpec::MakeUniform(nodes, ReferenceNode()), seed);
+}
+
+/// Runs fn(seed) for seeds [0, num_seeds) and returns the results in seed
+/// order. With a non-null pool the replicates run concurrently on it — each
+/// replicate must be self-contained (own system/evaluator/rng), which every
+/// harness here already guarantees, so results are identical to the serial
+/// sweep. With pool == nullptr, runs inline.
+template <typename Fn>
+auto RunSeedReplicates(size_t num_seeds, ThreadPool* pool, Fn fn)
+    -> std::vector<decltype(fn(uint64_t{0}))> {
+  using R = decltype(fn(uint64_t{0}));
+  std::vector<R> out;
+  out.reserve(num_seeds);
+  if (pool == nullptr) {
+    for (uint64_t s = 0; s < num_seeds; ++s) out.push_back(fn(s));
+    return out;
+  }
+  std::vector<std::future<R>> futures;
+  futures.reserve(num_seeds);
+  for (uint64_t s = 0; s < num_seeds; ++s) {
+    futures.push_back(pool->Submit([fn, s]() { return fn(s); }));
+  }
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
 }
 
 inline void PrintHeader(const std::string& experiment,

@@ -8,6 +8,19 @@
 
 namespace atune {
 
+/// Derives an independent seed for stream `stream` of a component seeded
+/// with `seed` (splitmix64 finalizer). Unlike Rng::Fork(), the result does
+/// not depend on how many draws the parent has made — only on (seed,
+/// stream) — which is what lets cloned systems reproduce exactly the
+/// measurement noise the parent would have drawn at a given run index (see
+/// TunableSystem::Clone).
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Seeded pseudo-random number generator used throughout the framework.
 ///
 /// Every stochastic component (samplers, simulators, tuners) takes an

@@ -48,6 +48,7 @@ Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
     cumulative_cost += trial.cost;
     outcome.convergence.push_back(running_best);
     outcome.convergence_cost.push_back(cumulative_cost);
+    outcome.convergence_round.push_back(static_cast<double>(trial.round));
     if (trial.result.failed) ++outcome.failed_runs;
   }
 

@@ -27,6 +27,12 @@ struct TuningOutcome {
   std::vector<double> convergence;
   /// Cumulative budget spent at each convergence point.
   std::vector<double> convergence_cost;
+  /// Wall-clock rounds elapsed at each convergence point. A batch of k
+  /// parallel experiments (Evaluator::EvaluateBatch) costs k budget units
+  /// but one round, so plotting `convergence` against this curve instead of
+  /// `convergence_cost` shows the wall-clock saving of parallel experiments
+  /// (iTuned §2.4) while the budget curve stays comparable across tuners.
+  std::vector<double> convergence_round;
   std::string tuner_report;
 };
 

@@ -2,6 +2,7 @@
 #define ATUNE_CORE_SYSTEM_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,27 @@ class TunableSystem {
   /// runtime — exactly how a real system punishes misconfiguration.
   virtual Result<ExecutionResult> Execute(const Configuration& config,
                                           const Workload& workload) = 0;
+
+  /// Deep-copies the system for parallel batch evaluation. Each simulator
+  /// derives its per-run measurement noise from (construction seed, run
+  /// index), so a clone created with `runs_ahead = i` draws on its next
+  /// execution exactly the noise the parent would draw on its (i+1)-th
+  /// execution from now — its own derived noise stream, disjoint from its
+  /// sibling clones'. Together with SkipRuns() this makes a batch of k runs
+  /// fanned out over k clones bit-identical to k serial Execute() calls on
+  /// the parent (see Evaluator::EvaluateBatch and DESIGN.md §6).
+  ///
+  /// Returns nullptr when cloning is unsupported (the default); callers
+  /// must then fall back to serial execution.
+  virtual std::unique_ptr<TunableSystem> Clone(uint64_t runs_ahead) const {
+    (void)runs_ahead;
+    return nullptr;
+  }
+
+  /// Advances the measurement-noise stream as if `n` executions had
+  /// happened, keeping a parent system aligned after its clones ran a batch
+  /// on its behalf. No-op for systems without per-run noise accounting.
+  virtual void SkipRuns(uint64_t n) { (void)n; }
 
   /// Hardware/system facts rule-based tuners may consult (total_ram_mb,
   /// cores_per_node, num_nodes, disk_mbps, network_mbps, ...).

@@ -40,6 +40,23 @@ double Evaluator::ObjectiveOf(const Configuration& config,
   return obj;
 }
 
+void Evaluator::CommitTrial(const Configuration& config,
+                            const ExecutionResult& result, double cost) {
+  used_ += cost;
+  Trial trial;
+  trial.config = config;
+  trial.result = result;
+  trial.objective = ObjectiveOf(config, result);
+  trial.cost = cost;
+  trial.round = round_;
+  history_.push_back(std::move(trial));
+  if (!has_best_ ||
+      history_.back().objective < history_[best_index_].objective) {
+    best_index_ = history_.size() - 1;
+    has_best_ = true;
+  }
+}
+
 Result<double> Evaluator::Evaluate(const Configuration& config) {
   if (used_ + 1.0 > budget_max_ + 1e-9) {
     return Status::ResourceExhausted(
@@ -49,18 +66,79 @@ Result<double> Evaluator::Evaluate(const Configuration& config) {
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
   ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
                          system_->Execute(config, workload_));
-  used_ += 1.0;
-  Trial trial;
-  trial.config = config;
-  trial.result = result;
-  trial.objective = ObjectiveOf(config, result);
-  trial.cost = 1.0;
-  history_.push_back(std::move(trial));
-  if (!has_best_ || history_.back().objective < history_[best_index_].objective) {
-    best_index_ = history_.size() - 1;
-    has_best_ = true;
-  }
+  ++round_;
+  CommitTrial(config, result, 1.0);
   return history_.back().objective;
+}
+
+ThreadPool* Evaluator::thread_pool(size_t min_threads) {
+  min_threads = std::max<size_t>(min_threads, 1);
+  if (pool_ == nullptr || pool_->num_threads() < min_threads) {
+    pool_ = std::make_unique<ThreadPool>(min_threads);
+  }
+  return pool_.get();
+}
+
+Result<std::vector<double>> Evaluator::EvaluateBatch(
+    const std::vector<Configuration>& configs, size_t parallelism) {
+  if (configs.empty()) return std::vector<double>();
+  for (const Configuration& config : configs) {
+    ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  }
+  // Deterministic mid-batch truncation: only whole runs that still fit.
+  size_t affordable =
+      static_cast<size_t>(std::max(0.0, Remaining() + 1e-9));
+  if (affordable == 0) {
+    return Status::ResourceExhausted(
+        StrFormat("tuning budget exhausted (%.1f/%.1f runs)", used_,
+                  budget_max_));
+  }
+  size_t k = std::min(configs.size(), affordable);
+  ++round_;  // the whole batch is one wall-clock round
+
+  std::vector<Result<ExecutionResult>> results;
+  results.reserve(k);
+  std::unique_ptr<TunableSystem> probe =
+      parallelism > 1 ? system_->Clone(0) : nullptr;
+  if (probe == nullptr) {
+    // Serial fallback (parallelism 1 or non-clonable system): identical
+    // semantics, executed in submission order on the parent.
+    for (size_t i = 0; i < k; ++i) {
+      results.push_back(system_->Execute(configs[i], workload_));
+    }
+  } else {
+    // Fan out over clones. Clone i replays exactly the noise the parent
+    // would draw on its i-th execution from now, so the committed history
+    // is bit-identical to the serial loop above.
+    std::vector<std::unique_ptr<TunableSystem>> clones;
+    clones.reserve(k);
+    clones.push_back(std::move(probe));  // probe == Clone(0); reuse it
+    for (size_t i = 1; i < k; ++i) clones.push_back(system_->Clone(i));
+    ThreadPool* pool = thread_pool(parallelism);
+    std::vector<std::future<Result<ExecutionResult>>> futures;
+    futures.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      TunableSystem* clone = clones[i].get();
+      const Configuration* config = &configs[i];
+      futures.push_back(pool->Submit([clone, config, this]() {
+        return clone->Execute(*config, workload_);
+      }));
+    }
+    for (size_t i = 0; i < k; ++i) results.push_back(futures[i].get());
+    system_->SkipRuns(k);
+  }
+
+  // Commit in submission order; an execution error (impossible for
+  // validated configs on the built-in simulators, but systems may fail)
+  // aborts the batch after committing the preceding trials.
+  std::vector<double> objectives;
+  objectives.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    if (!results[i].ok()) return results[i].status();
+    CommitTrial(configs[i], *results[i], 1.0);
+    objectives.push_back(history_.back().objective);
+  }
+  return objectives;
 }
 
 Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
@@ -79,8 +157,7 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
   ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
                          system_->Execute(config, workload_));
-  Trial trial;
-  trial.config = config;
+  ++round_;
   if (result.runtime_seconds > abort_at_seconds && !result.failed) {
     // Censor: we only watched the run for abort_at_seconds of wall clock.
     double fraction =
@@ -90,6 +167,8 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
     if (aborted != nullptr) *aborted = true;
     result.failure_reason = "aborted by early-abort threshold";
     result.runtime_seconds = abort_at_seconds;
+    Trial trial;
+    trial.config = config;
     trial.result = result;
     // The objective is a *lower bound*; keep it clearly worse than any
     // incumbent below the threshold and exclude it from best-tracking via
@@ -97,19 +176,11 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
     trial.objective = ObjectiveOf(config, result);
     trial.cost = cost;
     trial.scaled = true;
+    trial.round = round_;
     history_.push_back(std::move(trial));
     return history_.back().objective;
   }
-  used_ += 1.0;
-  trial.result = result;
-  trial.objective = ObjectiveOf(config, result);
-  trial.cost = 1.0;
-  history_.push_back(std::move(trial));
-  if (!has_best_ ||
-      history_.back().objective < history_[best_index_].objective) {
-    best_index_ = history_.size() - 1;
-    has_best_ = true;
-  }
+  CommitTrial(config, result, 1.0);
   return history_.back().objective;
 }
 
@@ -126,6 +197,7 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
   sample.scale *= fraction;
   ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
                          system_->Execute(config, sample));
+  ++round_;
   used_ += fraction;
   Trial trial;
   trial.config = config;
@@ -133,6 +205,7 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
   trial.objective = ObjectiveOf(config, result);
   trial.cost = fraction;
   trial.scaled = true;
+  trial.round = round_;
   history_.push_back(std::move(trial));
   return history_.back().objective;
 }
@@ -161,17 +234,11 @@ Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
 void Evaluator::RecordCompositeTrial(const Configuration& config,
                                      const ExecutionResult& aggregate,
                                      double cost) {
-  Trial trial;
-  trial.config = config;
-  trial.result = aggregate;
-  trial.objective = ObjectiveOf(config, aggregate);
-  trial.cost = cost;
-  history_.push_back(std::move(trial));
-  if (!has_best_ ||
-      history_.back().objective < history_[best_index_].objective) {
-    best_index_ = history_.size() - 1;
-    has_best_ = true;
-  }
+  ++round_;
+  // The budget was already charged by the unit-level evaluations; commit
+  // with zero cost, then stamp the trial's nominal cost for reporting.
+  CommitTrial(config, aggregate, 0.0);
+  history_.back().cost = cost;
 }
 
 const Trial* Evaluator::best() const {

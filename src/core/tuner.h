@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/configuration.h"
 #include "core/objective.h"
 #include "core/system.h"
@@ -43,6 +44,12 @@ struct Trial {
   /// runs); their objectives are not comparable to full runs, so they are
   /// excluded from best() tracking.
   bool scaled = false;
+  /// Wall-clock round the trial ran in. Every Evaluate* call is one round;
+  /// an EvaluateBatch of k configs is also ONE round (its experiments run
+  /// concurrently), so a batch of k costs k budget units but one round —
+  /// iTuned §2.4's parallel-experiment saving. Convergence-vs-rounds curves
+  /// are derived from this (TuningOutcome::convergence_round).
+  size_t round = 0;
 };
 
 /// Budget-enforcing gateway between a tuner and the system under tuning.
@@ -82,6 +89,29 @@ class Evaluator {
   /// when the budget is spent and with the system's error for invalid
   /// configs. Each call costs 1 budget unit.
   Result<double> Evaluate(const Configuration& config);
+
+  /// Evaluates a batch of configurations as ONE wall-clock round of
+  /// parallel experiments (iTuned §2.4): configs fan out across
+  /// TunableSystem::Clone()s on an internal thread pool of `parallelism`
+  /// workers, and the trials are committed to the history in submission
+  /// order, so the history/best/budget are bit-identical to calling
+  /// Evaluate() serially on each config (only Trial::round differs).
+  ///
+  /// Budget: a batch of k configs costs k units. If fewer than k units
+  /// remain, the batch is deterministically truncated to the first
+  /// floor(remaining) configs; with no full unit left, returns
+  /// kResourceExhausted. All configs are validated before anything runs.
+  /// Returns the objectives of the evaluated (possibly truncated) prefix.
+  ///
+  /// Falls back to serial in-order execution — same results — when
+  /// `parallelism` <= 1 or the system does not support Clone().
+  Result<std::vector<double>> EvaluateBatch(
+      const std::vector<Configuration>& configs, size_t parallelism);
+
+  /// Shared worker pool for batch evaluation and tuner-internal parallel
+  /// work (e.g. GP hyperparameter search). Created lazily; grows if a
+  /// larger `min_threads` is requested later.
+  ThreadPool* thread_pool(size_t min_threads);
 
   /// Like Evaluate, but kills the run once it exceeds `abort_at_seconds`
   /// (iTuned's early abort of low-utility experiments: an experiment already
@@ -123,6 +153,10 @@ class Evaluator {
                      const ExecutionResult& result) const;
 
  private:
+  /// Appends a fully-executed trial and updates best-tracking.
+  void CommitTrial(const Configuration& config, const ExecutionResult& result,
+                   double cost);
+
   TunableSystem* system_;
   Workload workload_;
   TuningBudget budget_;
@@ -133,6 +167,9 @@ class Evaluator {
   std::vector<Trial> history_;
   size_t best_index_ = 0;
   bool has_best_ = false;
+  /// Wall-clock round counter: +1 per Evaluate* call, +1 per whole batch.
+  size_t round_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Interface implemented by every tuning approach. Tune() explores via the
@@ -150,6 +187,12 @@ class Tuner {
   /// evaluate their recommendation once if budget allows so the outcome is
   /// recorded.
   virtual Status Tune(Evaluator* evaluator, Rng* rng) = 0;
+
+  /// Requests that the tuner evaluate up to `parallelism` experiments per
+  /// round via Evaluator::EvaluateBatch. Tuners without a batch strategy
+  /// ignore this (the default); batch-aware tuners must behave identically
+  /// to their serial path when parallelism <= 1.
+  virtual void set_parallelism(size_t parallelism) { (void)parallelism; }
 
   /// Human-readable summary of what the tuner did/learned (rankings,
   /// model quality, rules fired). Valid after Tune().

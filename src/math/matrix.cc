@@ -128,6 +128,40 @@ Result<Matrix> Matrix::Cholesky() const {
   return l;
 }
 
+Status Matrix::CholeskyAppendRow(const Vec& row) {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument(
+        "CholeskyAppendRow requires a square factor");
+  }
+  if (row.size() != rows_ + 1) {
+    return Status::InvalidArgument(
+        "CholeskyAppendRow: row must have rows()+1 entries");
+  }
+  size_t n = rows_;
+  // New off-diagonal row: forward-substitute L l12 = k12, term order
+  // matching Cholesky()'s inner loop so the factor stays bit-identical.
+  Vec l12(n);
+  for (size_t j = 0; j < n; ++j) {
+    double sum = row[j];
+    for (size_t k = 0; k < j; ++k) sum -= l12[k] * At(j, k);
+    l12[j] = sum / At(j, j);
+  }
+  double diag = row[n];
+  for (size_t k = 0; k < n; ++k) diag -= l12[k] * l12[k];
+  if (diag <= 0.0) {
+    return Status::FailedPrecondition(
+        "matrix is not positive definite (Cholesky pivot <= 0)");
+  }
+  Matrix grown(n + 1, n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) grown.At(i, j) = At(i, j);
+  }
+  for (size_t j = 0; j < n; ++j) grown.At(n, j) = l12[j];
+  grown.At(n, n) = std::sqrt(diag);
+  *this = std::move(grown);
+  return Status::OK();
+}
+
 Vec Matrix::ForwardSolve(const Matrix& l, const Vec& b) {
   size_t n = l.rows();
   assert(b.size() == n);

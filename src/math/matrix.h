@@ -63,6 +63,16 @@ class Matrix {
   /// Returns the lower-triangular factor, or an error if not SPD.
   Result<Matrix> Cholesky() const;
 
+  /// Treating *this as the lower Cholesky factor L of an n x n SPD matrix
+  /// A, grows it in place to the factor of A bordered by one symmetric
+  /// row/column: `row` holds the n cross terms followed by the new diagonal
+  /// entry (n+1 values). Performs exactly the arithmetic of the last row of
+  /// a full factorization, so the result is bit-identical to refactorizing
+  /// from scratch — in O(n²) instead of O(n³). This is what makes
+  /// GaussianProcess::AddObservation incremental. Fails (leaving *this
+  /// unchanged) if the bordered matrix is not positive definite.
+  Status CholeskyAppendRow(const Vec& row);
+
   /// Solves L y = b with L lower triangular.
   static Vec ForwardSolve(const Matrix& l, const Vec& b);
   /// Solves L^T x = y with L lower triangular (i.e. backward pass).

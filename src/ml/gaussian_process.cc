@@ -12,8 +12,12 @@ constexpr double kTwoPi = 6.283185307179586;
 
 double ScaledDistance(const Vec& a, const Vec& b,
                       const std::vector<double>& ls) {
+  // Guard ragged inputs: only the overlapping dimensions contribute (a
+  // mismatched caller gets a sane distance instead of an out-of-bounds
+  // read of the shorter vector).
+  size_t dims = std::min(a.size(), b.size());
   double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < dims; ++i) {
     double l = i < ls.size() ? ls[i] : 1.0;
     double d = (a[i] - b[i]) / (l > 1e-12 ? l : 1e-12);
     acc += d * d;
@@ -46,15 +50,12 @@ Status GaussianProcess::Fit(const std::vector<Vec>& xs, const Vec& ys) {
   }
 
   xs_ = xs;
-  y_mean_ = 0.0;
-  for (double y : ys) y_mean_ += y;
-  y_mean_ /= static_cast<double>(n);
-  Vec centered(n);
-  for (size_t i = 0; i < n; ++i) centered[i] = ys[i] - y_mean_;
+  ys_ = ys;
 
   Matrix k(n, n);
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i; j < n; ++j) {
+    k.At(i, i) = SelfKernel();
+    for (size_t j = i + 1; j < n; ++j) {
       double v = KernelValue(xs[i], xs[j]);
       k.At(i, j) = v;
       k.At(j, i) = v;
@@ -73,6 +74,18 @@ Status GaussianProcess::Fit(const std::vector<Vec>& xs, const Vec& ys) {
     return Status::Internal("GP Fit: kernel matrix not positive definite");
   }
   chol_ = std::move(chol).value();
+  jitter_ = jitter;
+  RecomputePosterior();
+  return Status::OK();
+}
+
+void GaussianProcess::RecomputePosterior() {
+  size_t n = xs_.size();
+  y_mean_ = 0.0;
+  for (double y : ys_) y_mean_ += y;
+  y_mean_ /= static_cast<double>(n);
+  Vec centered(n);
+  for (size_t i = 0; i < n; ++i) centered[i] = ys_[i] - y_mean_;
   Vec y1 = Matrix::ForwardSolve(chol_, centered);
   alpha_ = Matrix::BackwardSolveTranspose(chol_, y1);
 
@@ -82,12 +95,36 @@ Status GaussianProcess::Fit(const std::vector<Vec>& xs, const Vec& ys) {
   double const_term = -0.5 * static_cast<double>(n) * std::log(kTwoPi);
   log_marginal_likelihood_ = fit_term + det_term + const_term;
   fitted_ = true;
+}
+
+Status GaussianProcess::AddObservation(const Vec& x, double y) {
+  if (!fitted_) return Fit({x}, Vec{y});
+  if (x.size() != xs_[0].size()) {
+    return Status::InvalidArgument(
+        "GP AddObservation: dimension mismatch with fitted data");
+  }
+  size_t n = xs_.size();
+  Vec row(n + 1);
+  for (size_t i = 0; i < n; ++i) row[i] = KernelValue(x, xs_[i]);
+  row[n] = SelfKernel() + jitter_;
+  Status appended = chol_.CholeskyAppendRow(row);
+  xs_.push_back(x);
+  ys_.push_back(y);
+  if (!appended.ok()) {
+    // Degenerate append (duplicate/near-duplicate point): rebuild from
+    // scratch, letting Fit escalate the jitter. Copy out first — Fit
+    // overwrites the members it reads from.
+    std::vector<Vec> xs = xs_;
+    Vec ys = ys_;
+    return Fit(xs, ys);
+  }
+  RecomputePosterior();
   return Status::OK();
 }
 
 Status GaussianProcess::FitWithHyperSearch(const std::vector<Vec>& xs,
                                            const Vec& ys, size_t budget,
-                                           Rng* rng) {
+                                           Rng* rng, ThreadPool* pool) {
   if (xs.empty() || xs.size() != ys.size()) {
     return Status::InvalidArgument("GP Fit: empty data or size mismatch");
   }
@@ -102,11 +139,10 @@ Status GaussianProcess::FitWithHyperSearch(const std::vector<Vec>& xs,
     if (y_var <= 0.0) y_var = 1.0;
   }
 
-  GpHyperParams best;
-  double best_lml = -std::numeric_limits<double>::infinity();
-  bool found = false;
-  for (size_t trial = 0; trial < std::max<size_t>(budget, 1); ++trial) {
-    GpHyperParams cand;
+  // Candidates are drawn up front — the same rng sequence whether they are
+  // then scored serially or on the pool, keeping the search deterministic.
+  std::vector<GpHyperParams> candidates(std::max<size_t>(budget, 1));
+  for (GpHyperParams& cand : candidates) {
     cand.kernel = params_.kernel;
     cand.lengthscales.resize(dims);
     for (double& l : cand.lengthscales) {
@@ -117,11 +153,38 @@ Status GaussianProcess::FitWithHyperSearch(const std::vector<Vec>& xs,
                                                          std::log(5.0)));
     cand.noise_variance =
         y_var * std::exp(rng->Uniform(std::log(1e-6), std::log(1e-1)));
+  }
+
+  // Score each candidate's log marginal likelihood (NaN = failed fit).
+  std::vector<double> lml(candidates.size());
+  auto score = [&xs, &ys](const GpHyperParams& cand) -> double {
     GaussianProcess probe(cand);
-    if (!probe.Fit(xs, ys).ok()) continue;
-    if (probe.LogMarginalLikelihood() > best_lml) {
-      best_lml = probe.LogMarginalLikelihood();
-      best = cand;
+    if (!probe.Fit(xs, ys).ok()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return probe.LogMarginalLikelihood();
+  };
+  if (pool != nullptr && candidates.size() > 1) {
+    std::vector<std::future<double>> futures;
+    futures.reserve(candidates.size());
+    for (const GpHyperParams& cand : candidates) {
+      futures.push_back(pool->Submit([&score, &cand]() { return score(cand); }));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) lml[i] = futures[i].get();
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) lml[i] = score(candidates[i]);
+  }
+
+  // First strictly-better candidate wins — index order breaks ties exactly
+  // like the serial loop did.
+  GpHyperParams best;
+  double best_lml = -std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (std::isnan(lml[i])) continue;
+    if (lml[i] > best_lml) {
+      best_lml = lml[i];
+      best = candidates[i];
       found = true;
     }
   }
@@ -144,7 +207,7 @@ GpPrediction GaussianProcess::Predict(const Vec& x) const {
   for (size_t i = 0; i < n; ++i) kstar[i] = KernelValue(x, xs_[i]);
   out.mean = y_mean_ + Dot(kstar, alpha_);
   Vec v = Matrix::ForwardSolve(chol_, kstar);
-  double var = KernelValue(x, x) - Dot(v, v);
+  double var = SelfKernel() - Dot(v, v);
   out.variance = std::max(var, 0.0);
   return out;
 }

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "math/matrix.h"
 
 namespace atune {
@@ -48,11 +49,27 @@ class GaussianProcess {
   /// Adds jitter to the kernel diagonal as needed for stability.
   Status Fit(const std::vector<Vec>& xs, const Vec& ys);
 
+  /// Incrementally absorbs one observation into a fitted model. Appends a
+  /// row to the cached Cholesky factor (Matrix::CholeskyAppendRow) and
+  /// redoes only the O(n²) triangular solves, so growing the model by one
+  /// point costs O(n²) instead of the O(n³) full refit — the per-iteration
+  /// hot path of Bayesian optimization. The resulting posterior is
+  /// bit-identical to Fit() on the extended data with the same
+  /// hyperparameters (it performs the same arithmetic); if the append is
+  /// numerically degenerate (e.g. a duplicate point), falls back to a full
+  /// refit with jitter escalation. On an unfitted model, equivalent to
+  /// Fit({x}, {y}).
+  Status AddObservation(const Vec& x, double y);
+
   /// Fits hyperparameters by maximizing the log marginal likelihood over a
   /// random search of `budget` candidate hyperparameter settings, then fits
-  /// the posterior with the winner.
+  /// the posterior with the winner. With a non-null `pool`, candidate fits
+  /// are evaluated concurrently on it; candidates are pre-drawn from `rng`
+  /// and ties broken by candidate index, so the winner — and therefore the
+  /// fitted model — is identical to the serial search.
   Status FitWithHyperSearch(const std::vector<Vec>& xs, const Vec& ys,
-                            size_t budget, Rng* rng);
+                            size_t budget, Rng* rng,
+                            ThreadPool* pool = nullptr);
 
   /// Posterior mean/variance at x. Requires a successful Fit.
   GpPrediction Predict(const Vec& x) const;
@@ -66,12 +83,21 @@ class GaussianProcess {
 
  private:
   double KernelValue(const Vec& a, const Vec& b) const;
+  /// k(x, x) for any x: both kernels evaluate to the signal variance at
+  /// distance zero, so the self-kernel is a cached constant rather than a
+  /// per-point distance computation.
+  double SelfKernel() const { return params_.signal_variance; }
+  /// Recomputes y_mean_/alpha_/LML from xs_, ys_ and the current chol_
+  /// (two O(n²) triangular solves); shared by Fit and AddObservation.
+  void RecomputePosterior();
 
   GpHyperParams params_;
   std::vector<Vec> xs_;
+  Vec ys_;           // raw targets (kept for recentering and refits)
   Vec alpha_;        // K^{-1} (y - mean)
-  Matrix chol_;      // lower Cholesky factor of K + noise I
+  Matrix chol_;      // lower Cholesky factor of K + jitter I
   double y_mean_ = 0.0;
+  double jitter_ = 0.0;  // diagonal jitter chol_ was computed with
   double log_marginal_likelihood_ = 0.0;
   bool fitted_ = false;
 };

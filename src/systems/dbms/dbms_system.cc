@@ -20,7 +20,7 @@ constexpr double kSerialFraction = 0.12;
 }  // namespace
 
 SimulatedDbms::SimulatedDbms(ClusterSpec cluster, uint64_t seed)
-    : cluster_(std::move(cluster)), noise_rng_(seed) {
+    : cluster_(std::move(cluster)), seed_(seed) {
   double ram = cluster_.MeanNode().ram_mb;
   int64_t bp_max = static_cast<int64_t>(std::max(1024.0, ram * 0.9));
   auto add = [this](ParameterDef def) {
@@ -146,12 +146,22 @@ ExecutionResult SimulatedDbms::Run(const Configuration& config,
     result = RunOlap(config, workload, fraction);
   }
   // Seeded measurement noise (real systems never measure twice the same).
+  // Each run draws from its own (seed, run-index)-derived stream so that
+  // clones can replay exactly the noise of any future run (see Clone()).
+  Rng run_rng(DeriveSeed(seed_, run_index_++));
   if (noise_sigma_ > 0.0 && !result.failed) {
-    double noise = std::exp(noise_rng_.Normal(0.0, noise_sigma_));
-    if (noise_rng_.Bernoulli(0.02)) noise *= 1.25;  // occasional hiccup
+    double noise = std::exp(run_rng.Normal(0.0, noise_sigma_));
+    if (run_rng.Bernoulli(0.02)) noise *= 1.25;  // occasional hiccup
     result.runtime_seconds *= noise;
   }
   return result;
+}
+
+std::unique_ptr<TunableSystem> SimulatedDbms::Clone(uint64_t runs_ahead) const {
+  auto clone = std::make_unique<SimulatedDbms>(cluster_, seed_);
+  clone->noise_sigma_ = noise_sigma_;
+  clone->run_index_ = run_index_ + runs_ahead;
+  return clone;
 }
 
 ExecutionResult SimulatedDbms::RunOlap(const Configuration& config,

@@ -48,6 +48,9 @@ class SimulatedDbms : public IterativeSystem {
                                       size_t unit_index) override;
   double ReconfigurationCost() const override { return 0.05; }
 
+  std::unique_ptr<TunableSystem> Clone(uint64_t runs_ahead) const override;
+  void SkipRuns(uint64_t n) override { run_index_ += n; }
+
   /// Noise level (lognormal sigma) of measured runtimes; tests set 0.
   void set_noise_sigma(double sigma) { noise_sigma_ = sigma; }
 
@@ -66,7 +69,12 @@ class SimulatedDbms : public IterativeSystem {
 
   ClusterSpec cluster_;
   ParameterSpace space_;
-  Rng noise_rng_;
+  uint64_t seed_;
+  /// Executions performed so far. Run i's measurement noise comes from an
+  /// Rng seeded with DeriveSeed(seed_, i), so it depends only on (seed_, i)
+  /// — never on how much entropy earlier runs consumed. Clones at run index
+  /// i therefore reproduce the parent's i-th run exactly.
+  uint64_t run_index_ = 0;
   double noise_sigma_ = 0.02;
 };
 

@@ -17,7 +17,7 @@ constexpr double kReplication = 2.0;            // effective extra output writes
 }  // namespace
 
 SimulatedMapReduce::SimulatedMapReduce(ClusterSpec cluster, uint64_t seed)
-    : cluster_(std::move(cluster)), noise_rng_(seed) {
+    : cluster_(std::move(cluster)), seed_(seed) {
   auto add = [this](ParameterDef def) {
     Status s = space_.Add(std::move(def));
     (void)s;
@@ -83,8 +83,9 @@ Result<ExecutionResult> SimulatedMapReduce::ExecuteUnit(
   (void)unit_index;
   ATUNE_RETURN_IF_ERROR(space_.ValidateConfiguration(config));
   ExecutionResult r = RunJob(config, workload);
+  Rng run_rng(DeriveSeed(seed_, run_index_++));
   if (noise_sigma_ > 0.0 && !r.failed) {
-    r.runtime_seconds *= std::exp(noise_rng_.Normal(0.0, noise_sigma_));
+    r.runtime_seconds *= std::exp(run_rng.Normal(0.0, noise_sigma_));
   }
   return r;
 }
@@ -104,12 +105,21 @@ Result<ExecutionResult> SimulatedMapReduce::Execute(const Configuration& config,
       break;
     }
   }
+  Rng run_rng(DeriveSeed(seed_, run_index_++));
   if (noise_sigma_ > 0.0 && !total.failed) {
-    double noise = std::exp(noise_rng_.Normal(0.0, noise_sigma_));
-    if (noise_rng_.Bernoulli(0.03)) noise *= 1.3;  // straggler hiccup
+    double noise = std::exp(run_rng.Normal(0.0, noise_sigma_));
+    if (run_rng.Bernoulli(0.03)) noise *= 1.3;  // straggler hiccup
     total.runtime_seconds *= noise;
   }
   return total;
+}
+
+std::unique_ptr<TunableSystem> SimulatedMapReduce::Clone(
+    uint64_t runs_ahead) const {
+  auto clone = std::make_unique<SimulatedMapReduce>(cluster_, seed_);
+  clone->noise_sigma_ = noise_sigma_;
+  clone->run_index_ = run_index_ + runs_ahead;
+  return clone;
 }
 
 ExecutionResult SimulatedMapReduce::RunJob(const Configuration& config,

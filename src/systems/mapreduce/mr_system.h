@@ -44,6 +44,9 @@ class SimulatedMapReduce : public IterativeSystem {
                                       size_t unit_index) override;
   double ReconfigurationCost() const override { return 0.02; }
 
+  std::unique_ptr<TunableSystem> Clone(uint64_t runs_ahead) const override;
+  void SkipRuns(uint64_t n) override { run_index_ += n; }
+
   void set_noise_sigma(double sigma) { noise_sigma_ = sigma; }
   const ClusterSpec& cluster() const { return cluster_; }
 
@@ -55,7 +58,10 @@ class SimulatedMapReduce : public IterativeSystem {
 
   ClusterSpec cluster_;
   ParameterSpace space_;
-  Rng noise_rng_;
+  uint64_t seed_;
+  /// Executions so far; run i's noise is seeded with DeriveSeed(seed_, i)
+  /// so clones can replay any future run (see TunableSystem::Clone).
+  uint64_t run_index_ = 0;
   double noise_sigma_ = 0.03;
 };
 

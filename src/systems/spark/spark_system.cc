@@ -16,7 +16,7 @@ constexpr double kScanPartitionMb = 128.0;
 }  // namespace
 
 SimulatedSpark::SimulatedSpark(ClusterSpec cluster, uint64_t seed)
-    : cluster_(std::move(cluster)), noise_rng_(seed) {
+    : cluster_(std::move(cluster)), seed_(seed) {
   double node_ram = cluster_.MeanNode().ram_mb;
   auto add = [this](ParameterDef def) {
     Status s = space_.Add(std::move(def));
@@ -87,8 +87,9 @@ Result<ExecutionResult> SimulatedSpark::ExecuteUnit(const Configuration& config,
   // First iteration of an iterative job runs cold (cache not built yet).
   unit.properties["__cold"] = unit_index == 0 ? 1.0 : 0.0;
   ExecutionResult r = RunUnit(config, unit);
+  Rng run_rng(DeriveSeed(seed_, run_index_++));
   if (noise_sigma_ > 0.0 && !r.failed) {
-    r.runtime_seconds *= std::exp(noise_rng_.Normal(0.0, noise_sigma_));
+    r.runtime_seconds *= std::exp(run_rng.Normal(0.0, noise_sigma_));
   }
   return r;
 }
@@ -124,12 +125,20 @@ Result<ExecutionResult> SimulatedSpark::Execute(const Configuration& config,
                     mean_batch, interval);
     }
   }
+  Rng run_rng(DeriveSeed(seed_, run_index_++));
   if (noise_sigma_ > 0.0 && !total.failed) {
-    double noise = std::exp(noise_rng_.Normal(0.0, noise_sigma_));
-    if (noise_rng_.Bernoulli(0.03)) noise *= 1.3;
+    double noise = std::exp(run_rng.Normal(0.0, noise_sigma_));
+    if (run_rng.Bernoulli(0.03)) noise *= 1.3;
     total.runtime_seconds *= noise;
   }
   return total;
+}
+
+std::unique_ptr<TunableSystem> SimulatedSpark::Clone(uint64_t runs_ahead) const {
+  auto clone = std::make_unique<SimulatedSpark>(cluster_, seed_);
+  clone->noise_sigma_ = noise_sigma_;
+  clone->run_index_ = run_index_ + runs_ahead;
+  return clone;
 }
 
 ExecutionResult SimulatedSpark::RunUnit(const Configuration& config,

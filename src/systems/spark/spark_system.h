@@ -46,6 +46,9 @@ class SimulatedSpark : public IterativeSystem {
                                       size_t unit_index) override;
   double ReconfigurationCost() const override { return 0.08; }
 
+  std::unique_ptr<TunableSystem> Clone(uint64_t runs_ahead) const override;
+  void SkipRuns(uint64_t n) override { run_index_ += n; }
+
   void set_noise_sigma(double sigma) { noise_sigma_ = sigma; }
   const ClusterSpec& cluster() const { return cluster_; }
 
@@ -70,7 +73,10 @@ class SimulatedSpark : public IterativeSystem {
 
   ClusterSpec cluster_;
   ParameterSpace space_;
-  Rng noise_rng_;
+  uint64_t seed_;
+  /// Executions so far; run i's noise is seeded with DeriveSeed(seed_, i)
+  /// so clones can replay any future run (see TunableSystem::Clone).
+  uint64_t run_index_ = 0;
   double noise_sigma_ = 0.03;
 };
 

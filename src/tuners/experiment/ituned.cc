@@ -10,7 +10,51 @@
 
 namespace atune {
 
+namespace {
+
+/// Acquisition-maximizing candidate over `acquisition_candidates` random
+/// proposals (a third perturb the incumbent). Shared by the serial loop and
+/// the constant-liar batch loop; `xs`/`ys` may include liar observations.
+Vec ProposeCandidate(const GaussianProcess& gp, const ITunedOptions& options,
+                     const std::vector<Vec>& xs, const Vec& ys, size_t dims,
+                     Rng* rng, double* best_acq_out) {
+  double best_log = *std::min_element(ys.begin(), ys.end());
+  double best_acq = -std::numeric_limits<double>::infinity();
+  Vec next;
+  for (size_t i = 0; i < options.acquisition_candidates; ++i) {
+    Vec cand(dims);
+    if (i % 3 == 0 && !xs.empty()) {
+      // A third of candidates perturb the incumbent (local refinement).
+      const Vec& inc = xs[static_cast<size_t>(
+          std::min_element(ys.begin(), ys.end()) - ys.begin())];
+      for (size_t d = 0; d < dims; ++d) {
+        cand[d] = std::clamp(inc[d] + rng->Normal(0.0, 0.08), 0.0, 1.0);
+      }
+    } else {
+      for (double& x : cand) x = rng->Uniform();
+    }
+    GpPrediction pred = gp.Predict(cand);
+    double acq;
+    if (options.acquisition == "pi") {
+      acq = ProbabilityOfImprovement(pred, best_log);
+    } else if (options.acquisition == "lcb") {
+      acq = LowerConfidenceBound(pred);
+    } else {
+      acq = ExpectedImprovement(pred, best_log);
+    }
+    if (acq > best_acq) {
+      best_acq = acq;
+      next = std::move(cand);
+    }
+  }
+  if (best_acq_out != nullptr) *best_acq_out = best_acq;
+  return next;
+}
+
+}  // namespace
+
 Status ITunedTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  if (options_.parallelism > 1) return TuneBatch(evaluator, rng);
   const ParameterSpace& space = evaluator->space();
   size_t dims = space.dims();
 
@@ -49,35 +93,7 @@ Status ITunedTuner::Tune(Evaluator* evaluator, Rng* rng) {
     Status fit = gp.FitWithHyperSearch(xs, ys, options_.gp_hyper_budget, rng);
     Vec next;
     if (fit.ok()) {
-      double best_log = *std::min_element(ys.begin(), ys.end());
-      double best_acq = -std::numeric_limits<double>::infinity();
-      for (size_t i = 0; i < options_.acquisition_candidates; ++i) {
-        Vec cand(dims);
-        if (i % 3 == 0 && !xs.empty()) {
-          // A third of candidates perturb the incumbent (local refinement).
-          const Vec& inc = xs[static_cast<size_t>(
-              std::min_element(ys.begin(), ys.end()) - ys.begin())];
-          for (size_t d = 0; d < dims; ++d) {
-            cand[d] = std::clamp(inc[d] + rng->Normal(0.0, 0.08), 0.0, 1.0);
-          }
-        } else {
-          for (double& x : cand) x = rng->Uniform();
-        }
-        GpPrediction pred = gp.Predict(cand);
-        double acq;
-        if (options_.acquisition == "pi") {
-          acq = ProbabilityOfImprovement(pred, best_log);
-        } else if (options_.acquisition == "lcb") {
-          acq = LowerConfidenceBound(pred);
-        } else {
-          acq = ExpectedImprovement(pred, best_log);
-        }
-        if (acq > best_acq) {
-          best_acq = acq;
-          next = std::move(cand);
-        }
-      }
-      last_acq = best_acq;
+      next = ProposeCandidate(gp, options_, xs, ys, dims, rng, &last_acq);
     } else {
       // Degenerate GP (e.g. constant responses): fall back to random.
       next.resize(dims);
@@ -108,6 +124,107 @@ Status ITunedTuner::Tune(Evaluator* evaluator, Rng* rng) {
       "%.4f, %zu obs)",
       design.size(), bo_iters, options_.acquisition.c_str(), aborts, last_acq,
       xs.size());
+  return Status::OK();
+}
+
+Status ITunedTuner::TuneBatch(Evaluator* evaluator, Rng* rng) {
+  const ParameterSpace& space = evaluator->space();
+  size_t dims = space.dims();
+  size_t parallelism = options_.parallelism;
+
+  std::vector<Vec> xs;
+  Vec ys;  // log objectives
+  auto record = [&](const Vec& u, double obj) {
+    xs.push_back(u);
+    ys.push_back(std::log(std::max(obj, 1e-6)));
+  };
+
+  // Defaults, then the LHS bootstrap dispatched `parallelism` at a time —
+  // the design is fixed up front, so batching it is pure chunking.
+  {
+    Configuration defaults = space.DefaultConfiguration();
+    auto obj = evaluator->Evaluate(defaults);
+    if (!obj.ok()) return obj.status();
+    record(space.ToUnitVector(defaults), *obj);
+  }
+  std::vector<Vec> design =
+      MaximinLatinHypercube(options_.initial_design, dims, 16, rng);
+  for (size_t start = 0; start < design.size() && !evaluator->Exhausted();
+       start += parallelism) {
+    size_t end = std::min(design.size(), start + parallelism);
+    std::vector<Configuration> batch;
+    batch.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      batch.push_back(space.FromUnitVector(design[i]));
+    }
+    auto objs = evaluator->EvaluateBatch(batch, parallelism);
+    if (!objs.ok()) {
+      if (objs.status().code() == StatusCode::kResourceExhausted) break;
+      return objs.status();
+    }
+    for (size_t i = 0; i < objs->size(); ++i) record(design[start + i], (*objs)[i]);
+  }
+
+  // Batched Bayesian optimization: each round fits one GP (hyper search on
+  // the evaluator's pool), then picks k candidates with the constant-liar
+  // heuristic — after each pick, pretend the point observed the incumbent
+  // best ("lie"), absorb it into the GP incrementally (AddObservation,
+  // O(n²)), and re-run the acquisition so the k proposals repel each other.
+  ThreadPool* pool = evaluator->thread_pool(parallelism);
+  size_t bo_rounds = 0;
+  size_t proposed = 0;
+  double last_acq = 0.0;
+  while (!evaluator->Exhausted()) {
+    size_t affordable = static_cast<size_t>(
+        std::max(0.0, evaluator->Remaining() + 1e-9));
+    size_t k = std::min(parallelism, affordable);
+    if (k == 0) break;
+    GaussianProcess gp(GpHyperParams{options_.kernel, {}, 1.0, 1e-4});
+    Status fit =
+        gp.FitWithHyperSearch(xs, ys, options_.gp_hyper_budget, rng, pool);
+    std::vector<Vec> proposals;
+    std::vector<Configuration> batch;
+    proposals.reserve(k);
+    batch.reserve(k);
+    if (fit.ok()) {
+      double lie = *std::min_element(ys.begin(), ys.end());
+      std::vector<Vec> lie_xs = xs;
+      Vec lie_ys = ys;
+      for (size_t j = 0; j < k; ++j) {
+        Vec cand =
+            ProposeCandidate(gp, options_, lie_xs, lie_ys, dims, rng, &last_acq);
+        batch.push_back(space.FromUnitVector(cand));
+        if (j + 1 < k) {
+          // Liar update; a degenerate append falls back to a full refit
+          // inside AddObservation, so the status is advisory only.
+          (void)gp.AddObservation(cand, lie);
+          lie_xs.push_back(cand);
+          lie_ys.push_back(lie);
+        }
+        proposals.push_back(std::move(cand));
+      }
+    } else {
+      // Degenerate GP (e.g. constant responses): fall back to random.
+      for (size_t j = 0; j < k; ++j) {
+        Vec cand(dims);
+        for (double& x : cand) x = rng->Uniform();
+        batch.push_back(space.FromUnitVector(cand));
+        proposals.push_back(std::move(cand));
+      }
+    }
+    auto objs = evaluator->EvaluateBatch(batch, parallelism);
+    if (!objs.ok()) {
+      if (objs.status().code() == StatusCode::kResourceExhausted) break;
+      return objs.status();
+    }
+    for (size_t i = 0; i < objs->size(); ++i) record(proposals[i], (*objs)[i]);
+    proposed += objs->size();
+    ++bo_rounds;
+  }
+  report_ = StrFormat(
+      "LHS design %zu + %zu constant-liar rounds of %zu (%zu proposals, "
+      "final acq %.4f, %zu obs)",
+      design.size(), bo_rounds, parallelism, proposed, last_acq, xs.size());
   return Status::OK();
 }
 

@@ -25,6 +25,13 @@ struct ITunedOptions {
   /// the budget actually burned. 0 disables (default, for exact
   /// comparability with the other tuners; see the A6 ablation).
   double early_abort_factor = 0.0;
+  /// Experiments run per wall-clock round (iTuned §2.4's parallel
+  /// experiments). With k > 1 the LHS bootstrap is evaluated k at a time
+  /// and each BO round proposes k candidates via constant-liar acquisition
+  /// batching before dispatching them as one Evaluator::EvaluateBatch call.
+  /// Early abort is only honored in serial mode (aborting one lane of a
+  /// batch would serialize the round). 1 = the exact serial loop.
+  size_t parallelism = 1;
 };
 
 /// iTuned [Duan, Thummala & Babu, VLDB'09]: experiment-driven tuning with
@@ -47,9 +54,16 @@ class ITunedTuner : public Tuner {
     return TunerCategory::kExperimentDriven;
   }
   Status Tune(Evaluator* evaluator, Rng* rng) override;
+  void set_parallelism(size_t parallelism) override {
+    options_.parallelism = parallelism;
+  }
   std::string Report() const override { return report_; }
 
  private:
+  /// Batched variant of the loop (options_.parallelism > 1): constant-liar
+  /// candidate selection + EvaluateBatch dispatch.
+  Status TuneBatch(Evaluator* evaluator, Rng* rng);
+
   ITunedOptions options_;
   std::string report_;
 };

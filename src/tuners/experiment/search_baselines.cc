@@ -15,15 +15,39 @@ Status RandomSearchTuner::Tune(Evaluator* evaluator, Rng* rng) {
   auto first = evaluator->Evaluate(space.DefaultConfiguration());
   if (!first.ok()) return first.status();
   ++runs;
-  while (!evaluator->Exhausted()) {
-    auto obj = evaluator->Evaluate(space.RandomConfiguration(rng));
-    if (!obj.ok()) {
-      if (obj.status().code() == StatusCode::kResourceExhausted) break;
-      return obj.status();
+  if (parallelism_ <= 1) {
+    while (!evaluator->Exhausted()) {
+      auto obj = evaluator->Evaluate(space.RandomConfiguration(rng));
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+      ++runs;
     }
-    ++runs;
+    report_ = StrFormat("%zu uniform random evaluations", runs);
+    return Status::OK();
   }
-  report_ = StrFormat("%zu uniform random evaluations", runs);
+  // Batch mode: draw the same configurations in the same rng order as the
+  // serial loop, `parallelism_` at a time. A truncated final batch draws a
+  // few extra configs from the rng, but those correspond exactly to the
+  // proposals the serial loop would never get to evaluate.
+  size_t rounds = 0;
+  while (!evaluator->Exhausted()) {
+    std::vector<Configuration> batch;
+    batch.reserve(parallelism_);
+    for (size_t i = 0; i < parallelism_; ++i) {
+      batch.push_back(space.RandomConfiguration(rng));
+    }
+    auto objs = evaluator->EvaluateBatch(batch, parallelism_);
+    if (!objs.ok()) {
+      if (objs.status().code() == StatusCode::kResourceExhausted) break;
+      return objs.status();
+    }
+    runs += objs->size();
+    ++rounds;
+  }
+  report_ = StrFormat("%zu uniform random evaluations in %zu rounds of %zu",
+                      runs, rounds, parallelism_);
   return Status::OK();
 }
 
@@ -36,18 +60,40 @@ Status GridSearchTuner::Tune(Evaluator* evaluator, Rng* rng) {
   // a budget-bounded stand-in for the exponential full grid.
   std::vector<Vec> points = HaltonSamples(budget, dims);
   double denom = static_cast<double>(std::max<size_t>(levels_, 2) - 1);
-  size_t runs = 0;
   for (Vec& p : points) {
     for (double& x : p) {
       x = std::round(x * denom) / denom;
     }
-    if (evaluator->Exhausted()) break;
-    auto obj = evaluator->Evaluate(space.FromUnitVector(p));
-    if (!obj.ok()) {
-      if (obj.status().code() == StatusCode::kResourceExhausted) break;
-      return obj.status();
+  }
+  size_t runs = 0;
+  if (parallelism_ <= 1) {
+    for (const Vec& p : points) {
+      if (evaluator->Exhausted()) break;
+      auto obj = evaluator->Evaluate(space.FromUnitVector(p));
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+      ++runs;
     }
-    ++runs;
+  } else {
+    // Batch mode: the lattice is precomputed, so batching is pure chunking —
+    // identical evaluation order to the serial sweep.
+    for (size_t start = 0; start < points.size() && !evaluator->Exhausted();
+         start += parallelism_) {
+      size_t end = std::min(points.size(), start + parallelism_);
+      std::vector<Configuration> batch;
+      batch.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        batch.push_back(space.FromUnitVector(points[i]));
+      }
+      auto objs = evaluator->EvaluateBatch(batch, parallelism_);
+      if (!objs.ok()) {
+        if (objs.status().code() == StatusCode::kResourceExhausted) break;
+        return objs.status();
+      }
+      runs += objs->size();
+    }
   }
   report_ = StrFormat("%zu lattice points at %zu levels/dim over %zu dims",
                       runs, levels_, dims);
@@ -69,23 +115,60 @@ Status RecursiveRandomSearchTuner::Tune(Evaluator* evaluator, Rng* rng) {
 
   while (!evaluator->Exhausted()) {
     // Sample `per_region_` points in the current box around the incumbent.
+    // In batch mode the region's samples are drawn up front (same rng order
+    // as the serial loop) and evaluated `parallelism_` at a time; the
+    // incumbent only moves after the whole region anyway, so batching does
+    // not change which configurations get proposed.
     bool improved = false;
-    for (size_t i = 0; i < per_region_ && !evaluator->Exhausted(); ++i) {
-      Vec u(dims);
-      for (size_t d = 0; d < dims; ++d) {
-        double lo = std::max(0.0, center[d] - radius);
-        double hi = std::min(1.0, center[d] + radius);
-        u[d] = rng->Uniform(lo, hi);
+    if (parallelism_ > 1) {
+      std::vector<Vec> us(per_region_);
+      std::vector<Configuration> configs;
+      configs.reserve(per_region_);
+      for (Vec& u : us) {
+        u.resize(dims);
+        for (size_t d = 0; d < dims; ++d) {
+          double lo = std::max(0.0, center[d] - radius);
+          double hi = std::min(1.0, center[d] + radius);
+          u[d] = rng->Uniform(lo, hi);
+        }
+        configs.push_back(space.FromUnitVector(u));
       }
-      auto obj = evaluator->Evaluate(space.FromUnitVector(u));
-      if (!obj.ok()) {
-        if (obj.status().code() == StatusCode::kResourceExhausted) break;
-        return obj.status();
+      for (size_t start = 0; start < configs.size() && !evaluator->Exhausted();
+           start += parallelism_) {
+        size_t end = std::min(configs.size(), start + parallelism_);
+        std::vector<Configuration> batch(configs.begin() + start,
+                                         configs.begin() + end);
+        auto objs = evaluator->EvaluateBatch(batch, parallelism_);
+        if (!objs.ok()) {
+          if (objs.status().code() == StatusCode::kResourceExhausted) break;
+          return objs.status();
+        }
+        for (size_t i = 0; i < objs->size(); ++i) {
+          if ((*objs)[i] < best_obj) {
+            best_obj = (*objs)[i];
+            best_center = us[start + i];
+            improved = true;
+          }
+        }
       }
-      if (*obj < best_obj) {
-        best_obj = *obj;
-        best_center = u;
-        improved = true;
+    } else {
+      for (size_t i = 0; i < per_region_ && !evaluator->Exhausted(); ++i) {
+        Vec u(dims);
+        for (size_t d = 0; d < dims; ++d) {
+          double lo = std::max(0.0, center[d] - radius);
+          double hi = std::min(1.0, center[d] + radius);
+          u[d] = rng->Uniform(lo, hi);
+        }
+        auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+        if (!obj.ok()) {
+          if (obj.status().code() == StatusCode::kResourceExhausted) break;
+          return obj.status();
+        }
+        if (*obj < best_obj) {
+          best_obj = *obj;
+          best_center = u;
+          improved = true;
+        }
       }
     }
     if (improved) {

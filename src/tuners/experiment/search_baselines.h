@@ -8,6 +8,9 @@
 namespace atune {
 
 /// Uniform random search: the canonical experiment-driven baseline.
+/// Batch-aware: with parallelism k, proposes k configurations per round and
+/// evaluates them as one parallel batch (same configs, same history as the
+/// serial loop — one wall-clock round instead of k).
 class RandomSearchTuner : public Tuner {
  public:
   std::string name() const override { return "random-search"; }
@@ -15,9 +18,13 @@ class RandomSearchTuner : public Tuner {
     return TunerCategory::kExperimentDriven;
   }
   Status Tune(Evaluator* evaluator, Rng* rng) override;
+  void set_parallelism(size_t parallelism) override {
+    parallelism_ = parallelism;
+  }
   std::string Report() const override { return report_; }
 
  private:
+  size_t parallelism_ = 1;
   std::string report_;
 };
 
@@ -33,10 +40,14 @@ class GridSearchTuner : public Tuner {
     return TunerCategory::kExperimentDriven;
   }
   Status Tune(Evaluator* evaluator, Rng* rng) override;
+  void set_parallelism(size_t parallelism) override {
+    parallelism_ = parallelism;
+  }
   std::string Report() const override { return report_; }
 
  private:
   size_t levels_;
+  size_t parallelism_ = 1;
   std::string report_;
 };
 
@@ -54,11 +65,15 @@ class RecursiveRandomSearchTuner : public Tuner {
     return TunerCategory::kExperimentDriven;
   }
   Status Tune(Evaluator* evaluator, Rng* rng) override;
+  void set_parallelism(size_t parallelism) override {
+    parallelism_ = parallelism;
+  }
   std::string Report() const override { return report_; }
 
  private:
   double shrink_;
   size_t per_region_;
+  size_t parallelism_ = 1;
   std::string report_;
 };
 

@@ -73,7 +73,9 @@ Status StarfishTuner::Tune(Evaluator* evaluator, Rng* rng) {
   Configuration profile_config = space.DefaultConfiguration();
   auto base = evaluator->Evaluate(profile_config);
   if (!base.ok()) return base.status();
-  const ExecutionResult& run_a = evaluator->history().back().result;
+  // Copy, not reference: the next Evaluate() grows the history vector and
+  // would invalidate a reference into it.
+  const ExecutionResult run_a = evaluator->history().back().result;
   Workload profile = ExtractProfile(declared, profile_config, run_a);
 
   // Profile run 2: combiner on — measures the combiner's reduction factor

@@ -1,0 +1,180 @@
+// Determinism contract of Evaluator::EvaluateBatch (DESIGN.md §6): a batch
+// of k configurations must commit exactly the trials the serial loop would
+// have — bit-identical configs, objectives, runtimes, costs, budget — with
+// only Trial::round differing (the whole batch is one wall-clock round).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "systems/dbms/dbms_system.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/hardware.h"
+#include "tests/core/mock_system.h"
+
+namespace atune {
+namespace {
+
+std::unique_ptr<SimulatedDbms> MakeDbms(uint64_t seed) {
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  return std::make_unique<SimulatedDbms>(ClusterSpec::MakeUniform(1, node),
+                                         seed);
+}
+
+std::vector<Configuration> SampleConfigs(const ParameterSpace& space,
+                                         size_t n) {
+  Rng rng(7);
+  std::vector<Configuration> configs;
+  configs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    configs.push_back(space.RandomConfiguration(&rng));
+  }
+  return configs;
+}
+
+// Everything except `round` must match bitwise; EXPECT_EQ on doubles is
+// deliberate — the contract is bit-identity, not tolerance.
+void ExpectTrialsIdentical(const std::vector<Trial>& serial,
+                           const std::vector<Trial>& batched) {
+  ASSERT_EQ(serial.size(), batched.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].config == batched[i].config) << "trial " << i;
+    EXPECT_EQ(serial[i].objective, batched[i].objective) << "trial " << i;
+    EXPECT_EQ(serial[i].result.runtime_seconds,
+              batched[i].result.runtime_seconds)
+        << "trial " << i;
+    EXPECT_EQ(serial[i].result.failed, batched[i].result.failed)
+        << "trial " << i;
+    EXPECT_EQ(serial[i].cost, batched[i].cost) << "trial " << i;
+    EXPECT_EQ(serial[i].scaled, batched[i].scaled) << "trial " << i;
+  }
+}
+
+TEST(EvaluatorBatchTest, BatchIdenticalToSerialLoop) {
+  auto serial_system = MakeDbms(11);
+  auto batch_system = MakeDbms(11);
+  Workload workload = MakeDbmsOlapWorkload(0.5);
+  std::vector<Configuration> configs =
+      SampleConfigs(serial_system->space(), 7);
+
+  Evaluator serial(serial_system.get(), workload, TuningBudget{10});
+  for (const Configuration& c : configs) {
+    ASSERT_TRUE(serial.Evaluate(c).ok());
+  }
+
+  Evaluator batched(batch_system.get(), workload, TuningBudget{10});
+  auto objs = batched.EvaluateBatch(configs, /*parallelism=*/4);
+  ASSERT_TRUE(objs.ok()) << objs.status().ToString();
+  ASSERT_EQ(objs->size(), configs.size());
+
+  ExpectTrialsIdentical(serial.history(), batched.history());
+  EXPECT_EQ(serial.used(), batched.used());
+  ASSERT_NE(serial.best(), nullptr);
+  ASSERT_NE(batched.best(), nullptr);
+  EXPECT_EQ(serial.best()->objective, batched.best()->objective);
+  EXPECT_TRUE(serial.best()->config == batched.best()->config);
+  for (size_t i = 0; i < objs->size(); ++i) {
+    EXPECT_EQ((*objs)[i], serial.history()[i].objective);
+  }
+  // The one allowed difference: the batch was a single round.
+  EXPECT_EQ(batched.history().front().round, batched.history().back().round);
+  EXPECT_NE(serial.history().front().round, serial.history().back().round);
+}
+
+TEST(EvaluatorBatchTest, InterleavedBatchesMatchSerial) {
+  // Serial singles and batches interleave on the same evaluator; the clone
+  // run-index bookkeeping (Clone + SkipRuns) must keep the noise stream
+  // aligned with a pure-serial evaluator throughout.
+  auto serial_system = MakeDbms(23);
+  auto batch_system = MakeDbms(23);
+  Workload workload = MakeDbmsOlapWorkload(0.5);
+  std::vector<Configuration> configs =
+      SampleConfigs(serial_system->space(), 8);
+
+  Evaluator serial(serial_system.get(), workload, TuningBudget{10});
+  for (const Configuration& c : configs) {
+    ASSERT_TRUE(serial.Evaluate(c).ok());
+  }
+
+  Evaluator mixed(batch_system.get(), workload, TuningBudget{10});
+  ASSERT_TRUE(mixed.Evaluate(configs[0]).ok());
+  ASSERT_TRUE(mixed
+                  .EvaluateBatch({configs[1], configs[2], configs[3]},
+                                 /*parallelism=*/3)
+                  .ok());
+  ASSERT_TRUE(mixed.Evaluate(configs[4]).ok());
+  ASSERT_TRUE(mixed
+                  .EvaluateBatch({configs[5], configs[6], configs[7]},
+                                 /*parallelism=*/2)
+                  .ok());
+
+  ExpectTrialsIdentical(serial.history(), mixed.history());
+  EXPECT_EQ(serial.used(), mixed.used());
+}
+
+TEST(EvaluatorBatchTest, BudgetExhaustionTruncatesDeterministically) {
+  auto serial_system = MakeDbms(31);
+  auto batch_system = MakeDbms(31);
+  Workload workload = MakeDbmsOlapWorkload(0.5);
+  std::vector<Configuration> configs =
+      SampleConfigs(serial_system->space(), 6);
+
+  // Serial reference under the same budget of 5: evaluates 5, then fails.
+  Evaluator serial(serial_system.get(), workload, TuningBudget{5});
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(serial.Evaluate(configs[i]).ok());
+  }
+
+  Evaluator batched(batch_system.get(), workload, TuningBudget{5});
+  ASSERT_TRUE(batched.Evaluate(configs[0]).ok());
+  ASSERT_TRUE(batched.Evaluate(configs[1]).ok());
+  // 3 budget units remain; a batch of 4 must truncate to exactly 3.
+  auto objs = batched.EvaluateBatch(
+      {configs[2], configs[3], configs[4], configs[5]}, /*parallelism=*/4);
+  ASSERT_TRUE(objs.ok()) << objs.status().ToString();
+  EXPECT_EQ(objs->size(), 3u);
+  EXPECT_TRUE(batched.Exhausted());
+  EXPECT_DOUBLE_EQ(batched.used(), 5.0);
+  ExpectTrialsIdentical(serial.history(), batched.history());
+
+  // With no whole unit left, a further batch is refused outright.
+  auto over = batched.EvaluateBatch({configs[5]}, /*parallelism=*/2);
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(batched.history().size(), 5u);
+}
+
+TEST(EvaluatorBatchTest, ValidatesWholeBatchUpFront) {
+  auto system = MakeDbms(5);
+  Workload workload = MakeDbmsOlapWorkload(0.5);
+  std::vector<Configuration> configs = SampleConfigs(system->space(), 2);
+  Configuration bad;
+  bad.SetDouble("nonexistent_knob", 1.0);
+
+  Evaluator evaluator(system.get(), workload, TuningBudget{10});
+  auto objs =
+      evaluator.EvaluateBatch({configs[0], bad, configs[1]}, 2);
+  EXPECT_FALSE(objs.ok());
+  // Nothing ran, nothing was charged: all-or-nothing validation.
+  EXPECT_TRUE(evaluator.history().empty());
+  EXPECT_DOUBLE_EQ(evaluator.used(), 0.0);
+}
+
+TEST(EvaluatorBatchTest, NonClonableSystemFallsBackToSerial) {
+  // The mock system does not override Clone(); the batch must still run
+  // (serially, on the parent) with identical accounting.
+  testing_util::QuadraticSystem system;
+  Evaluator evaluator(&system, testing_util::MockWorkload(), TuningBudget{4});
+  Configuration c = system.space().DefaultConfiguration();
+  auto objs = evaluator.EvaluateBatch({c, c, c}, /*parallelism=*/4);
+  ASSERT_TRUE(objs.ok());
+  EXPECT_EQ(objs->size(), 3u);
+  EXPECT_EQ(system.executions(), 3u);
+  EXPECT_DOUBLE_EQ(evaluator.used(), 3.0);
+  EXPECT_EQ(evaluator.history()[0].round, evaluator.history()[2].round);
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,127 @@
+// GaussianProcess::AddObservation must agree with a from-scratch Fit on the
+// extended data: CholeskyAppendRow performs exactly the arithmetic of the
+// full factorization's last row, so predictions should match far below the
+// 1e-9 tolerance demanded here.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/gaussian_process.h"
+
+namespace atune {
+namespace {
+
+constexpr size_t kDims = 4;
+
+double Response(const Vec& x) {
+  double acc = 0.0;
+  for (size_t d = 0; d < kDims; ++d) {
+    acc += std::sin(2.5 * x[d]) + 0.4 * x[d] * x[d];
+  }
+  return acc;
+}
+
+Vec RandomPoint(Rng* rng) {
+  Vec x(kDims);
+  for (double& v : x) v = rng->Uniform();
+  return x;
+}
+
+GpHyperParams TestParams() {
+  GpHyperParams params;
+  params.kernel = KernelType::kMatern52;
+  params.lengthscales.assign(kDims, 0.5);
+  params.signal_variance = 1.3;
+  params.noise_variance = 1e-5;
+  return params;
+}
+
+TEST(GpIncrementalTest, AddObservationMatchesFullFitOver50Points) {
+  Rng rng(99);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (size_t i = 0; i < 5; ++i) {
+    xs.push_back(RandomPoint(&rng));
+    ys.push_back(Response(xs.back()));
+  }
+  std::vector<Vec> probes;
+  for (size_t i = 0; i < 8; ++i) probes.push_back(RandomPoint(&rng));
+
+  GaussianProcess incremental(TestParams());
+  ASSERT_TRUE(incremental.Fit(xs, ys).ok());
+
+  for (size_t i = 0; i < 50; ++i) {
+    Vec x = RandomPoint(&rng);
+    double y = Response(x) + rng.Normal(0.0, 0.01);
+    xs.push_back(x);
+    ys.push_back(y);
+    ASSERT_TRUE(incremental.AddObservation(x, y).ok()) << "append " << i;
+
+    GaussianProcess full(TestParams());
+    ASSERT_TRUE(full.Fit(xs, ys).ok()) << "refit " << i;
+    ASSERT_EQ(incremental.num_points(), full.num_points());
+    EXPECT_NEAR(incremental.LogMarginalLikelihood(),
+                full.LogMarginalLikelihood(), 1e-9)
+        << "append " << i;
+    for (const Vec& probe : probes) {
+      GpPrediction a = incremental.Predict(probe);
+      GpPrediction b = full.Predict(probe);
+      EXPECT_NEAR(a.mean, b.mean, 1e-9) << "append " << i;
+      EXPECT_NEAR(a.variance, b.variance, 1e-9) << "append " << i;
+    }
+  }
+}
+
+TEST(GpIncrementalTest, AddObservationOnUnfittedModelActsAsFit) {
+  GaussianProcess gp(TestParams());
+  Rng rng(3);
+  Vec x = RandomPoint(&rng);
+  ASSERT_TRUE(gp.AddObservation(x, 2.0).ok());
+  EXPECT_TRUE(gp.fitted());
+  EXPECT_EQ(gp.num_points(), 1u);
+  // A single observation's posterior mean at the observed point is ~y.
+  EXPECT_NEAR(gp.Predict(x).mean, 2.0, 1e-3);
+}
+
+TEST(GpIncrementalTest, DuplicatePointFallsBackToFullRefit) {
+  // Appending an exact duplicate makes the bordered kernel matrix (nearly)
+  // singular; AddObservation must recover via the full-refit fallback and
+  // still agree with Fit on the same data.
+  Rng rng(17);
+  std::vector<Vec> xs;
+  Vec ys;
+  for (size_t i = 0; i < 6; ++i) {
+    xs.push_back(RandomPoint(&rng));
+    ys.push_back(Response(xs.back()));
+  }
+  GaussianProcess incremental(TestParams());
+  ASSERT_TRUE(incremental.Fit(xs, ys).ok());
+
+  Vec dup = xs[2];
+  double dup_y = ys[2] + 0.05;
+  xs.push_back(dup);
+  ys.push_back(dup_y);
+  ASSERT_TRUE(incremental.AddObservation(dup, dup_y).ok());
+
+  GaussianProcess full(TestParams());
+  ASSERT_TRUE(full.Fit(xs, ys).ok());
+  Vec probe = RandomPoint(&rng);
+  EXPECT_NEAR(incremental.Predict(probe).mean, full.Predict(probe).mean,
+              1e-9);
+  EXPECT_NEAR(incremental.Predict(probe).variance,
+              full.Predict(probe).variance, 1e-9);
+}
+
+TEST(GpIncrementalTest, RejectsDimensionMismatch) {
+  GaussianProcess gp(TestParams());
+  Rng rng(5);
+  ASSERT_TRUE(gp.Fit({RandomPoint(&rng), RandomPoint(&rng)}, {1.0, 2.0}).ok());
+  Vec wrong(kDims + 2, 0.5);
+  EXPECT_FALSE(gp.AddObservation(wrong, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace atune

@@ -13,6 +13,9 @@
 //   --seed=N                        session seed              [1]
 //   --nodes=N                       cluster size              [1 dbms / 4 other]
 //   --scale=F                       workload scale factor     [1.0]
+//   --parallelism=N                 experiments per round     [1]
+//       batch-aware tuners (random/grid/recursive-random/ituned) run N
+//       experiments concurrently per wall-clock round; budget unchanged
 //   --csv                           machine-readable trial log on stdout
 //   --list                          print available tuners and workloads
 
@@ -46,6 +49,7 @@ struct CliOptions {
   uint64_t seed = 1;
   size_t nodes = 0;  // 0 = per-system default
   double scale = 1.0;
+  size_t parallelism = 1;
   bool csv = false;
   bool list = false;
 };
@@ -82,6 +86,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
                                                         nullptr, 10));
     } else if (ParseFlag(arg, "scale", &value)) {
       options.scale = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "parallelism", &value)) {
+      options.parallelism = static_cast<size_t>(std::strtoull(value.c_str(),
+                                                              nullptr, 10));
+      if (options.parallelism == 0) options.parallelism = 1;
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -164,6 +172,7 @@ int RunCli(const CliOptions& options) {
     return 2;
   }
   auto system = MakeSystemFor(options.system, options.nodes, options.seed);
+  (*tuner)->set_parallelism(options.parallelism);
 
   SessionOptions session;
   session.budget.max_evaluations = options.budget;

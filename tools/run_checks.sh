@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer and Address+UBSanitizer configurations (see
+# CMakePresets.json) and runs the full test suite under each. The thread
+# pool, batched evaluation, and pooled GP hyper search are the code paths
+# these exist for; everything else rides along for free.
+#
+#   tools/run_checks.sh            # both sanitizers, full ctest
+#   tools/run_checks.sh tsan       # just one preset
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(tsan asan-ubsan)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] ctest ==="
+  ctest --preset "$preset" -j "$jobs"
+done
+echo "all checks passed: ${presets[*]}"
