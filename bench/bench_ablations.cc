@@ -27,8 +27,8 @@ namespace atune {
 namespace bench {
 namespace {
 
-constexpr size_t kSeeds = 5;
-constexpr size_t kBudget = 25;
+const size_t kSeeds = SmokeSize(5, 1);
+const size_t kBudget = SmokeSize(25, 6);
 
 struct AblationResult {
   double mean_best = 0.0;

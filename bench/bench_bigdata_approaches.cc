@@ -28,8 +28,8 @@ namespace atune {
 namespace bench {
 namespace {
 
-constexpr size_t kSeeds = 3;
-constexpr size_t kBudget = 20;
+const size_t kSeeds = SmokeSize(3, 1);
+const size_t kBudget = SmokeSize(20, 6);
 
 struct Entry {
   std::string approach;

@@ -36,7 +36,7 @@ GoalResult TuneWithObjective(const Workload& workload,
   auto spark = MakeSpark(seed);
   ITunedTuner tuner;
   SessionOptions options;
-  options.budget.max_evaluations = 30;
+  options.budget.max_evaluations = SmokeSize(30, 6);
   options.seed = seed;
   options.objective = objective;
   auto outcome = RunTuningSession(&tuner, spark.get(), workload, options);
@@ -170,7 +170,7 @@ int main() {
       auto solo = MakeDbms(6);
       ITunedTuner tuner;
       SessionOptions options;
-      options.budget.max_evaluations = 25;
+      options.budget.max_evaluations = SmokeSize(25, 6);
       options.seed = 321;
       auto outcome = RunTuningSession(&tuner, solo.get(),
                                       MakeDbmsOlapWorkload(0.5), options);
@@ -180,7 +180,7 @@ int main() {
     {
       ITunedTuner tuner;
       SessionOptions options;
-      options.budget.max_evaluations = 25;
+      options.budget.max_evaluations = SmokeSize(25, 6);
       options.seed = 322;
       options.objective = MakeRobustSloObjective();
       auto outcome = RunTuningSession(&tuner, &mt, MakeMultiTenantWorkload(),

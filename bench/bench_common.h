@@ -1,7 +1,10 @@
 #ifndef ATUNE_BENCH_BENCH_COMMON_H_
 #define ATUNE_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -9,6 +12,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/tuner.h"
 #include "systems/dbms/dbms_system.h"
 #include "systems/dbms/dbms_workloads.h"
 #include "systems/hardware.h"
@@ -73,6 +77,57 @@ auto RunSeedReplicates(size_t num_seeds, ThreadPool* pool, Fn fn)
   }
   for (auto& f : futures) out.push_back(f.get());
   return out;
+}
+
+/// Smoke mode (ATUNE_SMOKE=1, see tools/run_checks.sh --smoke): every bench
+/// shrinks its sweep to a seconds-long sanity pass and skips its acceptance
+/// exit-code gating — the point is "does the harness still run end to end",
+/// not the paper-scale numbers.
+inline bool SmokeMode() {
+  const char* env = std::getenv("ATUNE_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// `full` normally, `smoke` under ATUNE_SMOKE.
+inline size_t SmokeSize(size_t full, size_t smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+/// Bench exit code honoring smoke mode: acceptance failures only fail the
+/// binary in a full run.
+inline int AcceptanceExit(bool pass) {
+  return pass || SmokeMode() ? 0 : 1;
+}
+
+/// FNV-1a over a byte range, seeded with `h` (offset-basis
+/// 0xcbf29ce484222325 for a fresh hash). Used for bitwise history
+/// equivalence checks across the bench harnesses.
+inline uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// Checksum of a trial history: config string, objective bits, cost bits.
+/// Trial::round is deliberately excluded — it is the one field batching is
+/// *supposed* to change.
+inline uint64_t HistoryChecksum(const std::vector<Trial>& history) {
+  uint64_t h = kFnvOffsetBasis;
+  for (const Trial& t : history) {
+    std::string cfg = t.config.ToString();
+    h = Fnv1a(h, cfg.data(), cfg.size());
+    uint64_t bits;
+    std::memcpy(&bits, &t.objective, sizeof(bits));
+    h = Fnv1a(h, &bits, sizeof(bits));
+    std::memcpy(&bits, &t.cost, sizeof(bits));
+    h = Fnv1a(h, &bits, sizeof(bits));
+  }
+  return h;
 }
 
 inline void PrintHeader(const std::string& experiment,

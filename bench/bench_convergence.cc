@@ -54,7 +54,7 @@ int main() {
               "Mean best-objective vs budget per category (DBMS OLAP, 5 "
               "seeds, CSV below).");
 
-  const size_t budget = 30;
+  const size_t budget = SmokeSize(30, 8);
   std::vector<std::pair<std::string, std::function<std::unique_ptr<Tuner>()>>>
       tuners = {
           {"rule-based",
@@ -76,7 +76,7 @@ int main() {
       [](uint64_t seed) -> std::unique_ptr<TunableSystem> {
         return MakeDbms(seed);
       },
-      MakeDbmsOlapWorkload(1.0), TuningBudget{budget}, /*seeds=*/5,
+      MakeDbmsOlapWorkload(1.0), TuningBudget{budget}, SmokeSize(5, 1),
       "dbms-olap");
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());

@@ -54,7 +54,7 @@ double MrTunedRuntime(const std::string& op, double data_mb) {
   Workload task = MakeMrAnalyticalTask(op, data_mb);
   ITunedTuner tuner;
   SessionOptions options;
-  options.budget.max_evaluations = 30;
+  options.budget.max_evaluations = SmokeSize(30, 6);
   options.seed = 7;
   auto outcome = RunTuningSession(&tuner, mr.get(), task, options);
   if (!outcome.ok()) return -1.0;

@@ -27,7 +27,7 @@ namespace atune {
 namespace bench {
 namespace {
 
-constexpr size_t kSeeds = 5;
+const size_t kSeeds = SmokeSize(5, 1);
 
 double MeanSpeedup(Tuner* (*make)(), double spread, uint64_t base_seed) {
   RunningStats speedup;

@@ -96,7 +96,7 @@ int main() {
 
   for (const Scenario& s : scenarios) {
     auto system = s.make();
-    SpreadResult r = MeasureSpread(system.get(), s.workload, 400, 999);
+    SpreadResult r = MeasureSpread(system.get(), s.workload, SmokeSize(400, 40), 999);
     table.AddRow({s.label, StrFormat("%.0fs", r.best),
                   StrFormat("%.0fs", r.default_runtime),
                   StrFormat("%.0fs", r.median),

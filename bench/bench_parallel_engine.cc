@@ -41,8 +41,8 @@ namespace atune {
 namespace bench {
 namespace {
 
-constexpr size_t kSeeds = 8;
-constexpr size_t kBudget = 25;
+const size_t kSeeds = SmokeSize(8, 2);
+const size_t kBudget = SmokeSize(25, 6);
 const size_t kParallelisms[] = {1, 2, 4, 8};
 
 std::unique_ptr<Tuner> MakeTuner(const std::string& name) {
@@ -56,31 +56,8 @@ std::unique_ptr<Tuner> MakeTuner(const std::string& name) {
   return std::make_unique<ITunedTuner>(options);
 }
 
-uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-/// Checksum of a trial history: config string, objective bits, cost bits.
-/// Trial::round is deliberately excluded — it is the one field batching is
-/// *supposed* to change.
-uint64_t HistoryChecksum(const std::vector<Trial>& history) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (const Trial& t : history) {
-    std::string cfg = t.config.ToString();
-    h = Fnv1a(h, cfg.data(), cfg.size());
-    uint64_t bits;
-    std::memcpy(&bits, &t.objective, sizeof(bits));
-    h = Fnv1a(h, &bits, sizeof(bits));
-    std::memcpy(&bits, &t.cost, sizeof(bits));
-    h = Fnv1a(h, &bits, sizeof(bits));
-  }
-  return h;
-}
+// Fnv1a / HistoryChecksum live in bench_common.h, shared with
+// bench_robustness's bit-identity checks.
 
 /// Re-executes the history's configurations serially, in order, on a fresh
 /// system with the same seed, and checksums the resulting trials. Per-run
@@ -376,7 +353,6 @@ int main() {
     std::fclose(json);
     std::printf("wrote BENCH_parallel_engine.json\n");
   }
-  return (speedup_pass && gp_pass && all_replays_ok && baselines_serial_equal)
-             ? 0
-             : 1;
+  return AcceptanceExit(speedup_pass && gp_pass && all_replays_ok &&
+                        baselines_serial_equal);
 }

@@ -1,0 +1,362 @@
+// E13 — measurement robustness: real tuning campaigns fight transient run
+// failures, stragglers, and hung experiments (the practical barrier the
+// cloud-tuning literature highlights; the paper's experiment-driven section
+// assumes measurements can be trusted). This harness wraps the DBMS
+// simulator in the deterministic fault-injection layer
+// (systems/fault_injector.h) and measures how the Evaluator's
+// RobustnessPolicy defends the tuners:
+//
+//   * bit-identity: with the fault layer installed at rate 0, every tuner's
+//     trial history must be bitwise identical (FNV-1a checksum) to tuning
+//     the bare system — serial AND at parallelism 8 — proving the layer and
+//     the robustness plumbing are exact no-ops when nothing goes wrong.
+//   * regret degradation: tuner x fault-rate matrix (0/5/15/30%) under a
+//     fault-hardened policy (retries + timeout watchdog + MAD outlier
+//     re-measurement), reporting mean best objective and how gracefully it
+//     degrades as the cluster gets nastier.
+//   * graceful completion: every registered tuner that works on the DBMS
+//     fault-free must also complete at 15% transient failures under the
+//     *default* policy, and must not leak budget: the sum of its trial
+//     costs must equal Evaluator::used().
+//
+// Results go to console + BENCH_robustness.json.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/string_util.h"
+#include "core/registry.h"
+#include "core/session.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/fault_injector.h"
+#include "tuners/builtin.h"
+
+namespace atune {
+namespace bench {
+namespace {
+
+const size_t kSeeds = SmokeSize(3, 1);
+const size_t kBudget = SmokeSize(20, 6);
+const size_t kIdentityParallelism = 8;
+
+/// The matrix tuners: one per category that tunes the DBMS without help,
+/// spanning search baselines, BO, SARD's DOE, and OtterTune's ML pipeline.
+const char* kMatrixTuners[] = {"random-search",    "grid-search",
+                               "recursive-random", "ituned",
+                               "sard",             "ottertune"};
+
+std::vector<double> FaultRates() {
+  if (SmokeMode()) return {0.0, 0.15};
+  return {0.0, 0.05, 0.15, 0.30};
+}
+
+/// Fault-hardened policy used for the degradation matrix.
+RobustnessPolicy HardenedPolicy() {
+  RobustnessPolicy policy;
+  policy.max_retries = 2;
+  // Above any honest DBMS run (failures cap at kFailedRunWallClockSec) but
+  // far below a hang, so only hung runs get censored.
+  policy.timeout_seconds = 3600.0;
+  policy.outlier_mad_threshold = 3.5;
+  return policy;
+}
+
+struct SessionStats {
+  bool ok = false;
+  double best = 0.0;
+  uint64_t checksum = 0;
+  double used = 0.0;
+  double cost_sum = 0.0;
+  size_t retried = 0, timed_out = 0, remeasured = 0, censored = 0, failed = 0;
+};
+
+SessionStats RunOne(const std::string& tuner_name, TunableSystem* system,
+                    uint64_t seed, const RobustnessPolicy& policy,
+                    size_t parallelism) {
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  auto tuner = registry.Create(tuner_name);
+  SessionStats stats;
+  if (!tuner.ok()) return stats;
+  (*tuner)->set_parallelism(parallelism);
+  SessionOptions options;
+  options.budget = TuningBudget{kBudget};
+  options.seed = seed + 100;
+  options.robustness = policy;
+  options.measure_default = false;
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  auto outcome = RunTuningSession(tuner->get(), system, workload, options);
+  if (!outcome.ok()) return stats;
+  stats.ok = true;
+  stats.best = outcome->best_objective;
+  stats.checksum = HistoryChecksum(outcome->history);
+  stats.used = outcome->evaluations_used;
+  for (const Trial& t : outcome->history) stats.cost_sum += t.cost;
+  stats.retried = outcome->retried_runs;
+  stats.timed_out = outcome->timed_out_runs;
+  stats.remeasured = outcome->remeasured_runs;
+  stats.censored = outcome->censored_runs;
+  stats.failed = outcome->failed_runs;
+  return stats;
+}
+
+struct IdentityRow {
+  std::string tuner;
+  bool serial_identical = false;
+  bool parallel_identical = false;
+};
+
+/// Part 1: the fault layer at rate 0 must be invisible, bit for bit.
+std::vector<IdentityRow> RunIdentityChecks() {
+  std::vector<IdentityRow> rows;
+  const RobustnessPolicy policy;  // default: retries armed, nothing to retry
+  for (const char* name : kMatrixTuners) {
+    IdentityRow row;
+    row.tuner = name;
+    row.serial_identical = true;
+    row.parallel_identical = true;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      // Each comparison holds the parallelism fixed and varies only the
+      // rate-0 fault layer: batch-aware tuners (iTuned's constant liar)
+      // legitimately produce a different history at k=8 than serially, so
+      // the bare reference must be measured at the same k.
+      auto bare = MakeDbms(seed + 1);
+      SessionStats reference = RunOne(name, bare.get(), seed, policy, 1);
+      auto bare_parallel = MakeDbms(seed + 1);
+      SessionStats reference_parallel =
+          RunOne(name, bare_parallel.get(), seed, policy,
+                 kIdentityParallelism);
+
+      auto inner_serial = MakeDbms(seed + 1);
+      FaultInjectingSystem faulty_serial(inner_serial.get(),
+                                         FaultProfile::FromRate(0.0));
+      SessionStats serial = RunOne(name, &faulty_serial, seed, policy, 1);
+
+      auto inner_parallel = MakeDbms(seed + 1);
+      FaultInjectingSystem faulty_parallel(inner_parallel.get(),
+                                           FaultProfile::FromRate(0.0));
+      SessionStats parallel = RunOne(name, &faulty_parallel, seed, policy,
+                                     kIdentityParallelism);
+
+      row.serial_identical = row.serial_identical && reference.ok &&
+                             serial.ok &&
+                             serial.checksum == reference.checksum;
+      row.parallel_identical =
+          row.parallel_identical && reference_parallel.ok && parallel.ok &&
+          parallel.checksum == reference_parallel.checksum;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+struct MatrixCell {
+  double mean_best = 0.0;
+  double degradation = 1.0;  // mean_best / mean_best at rate 0
+  size_t retried = 0, timed_out = 0, remeasured = 0, censored = 0, failed = 0;
+  bool all_ok = true;
+};
+
+/// Part 2: tuner x fault-rate degradation matrix under the hardened policy.
+std::map<std::string, std::map<double, MatrixCell>> RunDegradationMatrix() {
+  std::map<std::string, std::map<double, MatrixCell>> matrix;
+  for (const char* name : kMatrixTuners) {
+    for (double rate : FaultRates()) {
+      MatrixCell cell;
+      for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+        auto inner = MakeDbms(seed + 1);
+        FaultInjectingSystem faulty(
+            inner.get(), FaultProfile::FromRate(rate, /*seed=*/seed + 7));
+        SessionStats stats =
+            RunOne(name, &faulty, seed, HardenedPolicy(), 1);
+        cell.all_ok = cell.all_ok && stats.ok;
+        cell.mean_best += stats.best / static_cast<double>(kSeeds);
+        cell.retried += stats.retried;
+        cell.timed_out += stats.timed_out;
+        cell.remeasured += stats.remeasured;
+        cell.censored += stats.censored;
+        cell.failed += stats.failed;
+      }
+      matrix[name][rate] = cell;
+    }
+    double base = matrix[name][0.0].mean_best;
+    for (auto& [rate, cell] : matrix[name]) {
+      cell.degradation = base > 0.0 ? cell.mean_best / base : 1.0;
+    }
+  }
+  return matrix;
+}
+
+struct CompletionRow {
+  std::string tuner;
+  bool works_fault_free = false;
+  bool completes_at_15 = false;
+  bool no_leak = false;
+  size_t retried = 0;
+  size_t failed = 0;
+};
+
+/// Part 3: graceful degradation across the whole registry. Tuners that
+/// cannot tune this system at all (wrong platform) are reported but not
+/// held against the acceptance bar.
+std::vector<CompletionRow> RunCompletionChecks() {
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  FaultProfile transient_only;
+  transient_only.transient_failure_rate = 0.15;
+  std::vector<CompletionRow> rows;
+  for (const std::string& name : registry.Names()) {
+    CompletionRow row;
+    row.tuner = name;
+    auto bare = MakeDbms(11);
+    row.works_fault_free =
+        RunOne(name, bare.get(), /*seed=*/3, RobustnessPolicy(), 1).ok;
+
+    auto inner = MakeDbms(11);
+    FaultInjectingSystem faulty(inner.get(), transient_only);
+    SessionStats stats =
+        RunOne(name, &faulty, /*seed=*/3, RobustnessPolicy(), 1);
+    row.completes_at_15 = stats.ok;
+    row.no_leak = stats.ok && std::abs(stats.used - stats.cost_sum) < 1e-6;
+    row.retried = stats.retried;
+    row.failed = stats.failed;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace atune
+
+int main() {
+  using namespace atune;
+  using namespace atune::bench;
+
+  PrintHeader("E13: bench_robustness",
+              "fault-injection layer + measurement-robust Evaluator",
+              "bit-identity at fault rate 0; tuner x fault-rate degradation "
+              "matrix; whole-registry graceful completion at 15% transient "
+              "failures.");
+
+  // Part 1: rate-0 bit-identity.
+  std::vector<IdentityRow> identity = RunIdentityChecks();
+  std::printf("\nfault layer at rate 0 (vs bare system, %zu seeds):\n",
+              kSeeds);
+  std::printf("%-17s  %10s  %14s\n", "tuner", "serial", "parallelism=8");
+  bool identity_pass = true;
+  for (const IdentityRow& row : identity) {
+    identity_pass =
+        identity_pass && row.serial_identical && row.parallel_identical;
+    std::printf("%-17s  %10s  %14s\n", row.tuner.c_str(),
+                row.serial_identical ? "identical" : "DIFFERS",
+                row.parallel_identical ? "identical" : "DIFFERS");
+  }
+
+  // Part 2: degradation matrix.
+  auto matrix = RunDegradationMatrix();
+  std::printf(
+      "\nmean best objective under faults (hardened policy: retries + "
+      "3600s watchdog + MAD 3.5; %zu seeds x %zu budget):\n",
+      kSeeds, kBudget);
+  std::printf("%-17s", "tuner");
+  for (double rate : FaultRates()) std::printf("  %8.0f%%", rate * 100.0);
+  std::printf("  %28s\n", "repairs@max-rate (R/T/M/C)");
+  bool matrix_pass = true;
+  for (const char* name : kMatrixTuners) {
+    std::printf("%-17s", name);
+    for (double rate : FaultRates()) {
+      const MatrixCell& cell = matrix[name][rate];
+      matrix_pass = matrix_pass && cell.all_ok;
+      std::printf("  %9.1f", cell.mean_best);
+    }
+    const MatrixCell& worst = matrix[name][FaultRates().back()];
+    std::printf("  %10zu/%zu/%zu/%zu\n", worst.retried, worst.timed_out,
+                worst.remeasured, worst.censored);
+  }
+
+  // Part 3: whole-registry completion + budget-leak check.
+  std::vector<CompletionRow> completion = RunCompletionChecks();
+  bool completion_pass = true;
+  size_t applicable = 0;
+  std::printf(
+      "\ngraceful completion at 15%% transient failures, default policy "
+      "(budget leak = |used - sum(trial costs)| > 1e-6):\n");
+  for (const CompletionRow& row : completion) {
+    if (!row.works_fault_free) continue;  // wrong platform for this system
+    ++applicable;
+    bool pass = row.completes_at_15 && row.no_leak;
+    completion_pass = completion_pass && pass;
+    std::printf("  %-18s %s  (%zu retries, %zu failed trials%s)\n",
+                row.tuner.c_str(), pass ? "ok " : "FAIL", row.retried,
+                row.failed, row.no_leak ? "" : ", BUDGET LEAK");
+  }
+  std::printf("  (%zu of %zu registered tuners tune this system)\n",
+              applicable, completion.size());
+
+  bool pass = identity_pass && matrix_pass && completion_pass;
+  std::printf("\nacceptance: rate-0 bit-identity %s, matrix completion %s, "
+              "15%%-transient graceful completion + no budget leak %s\n",
+              identity_pass ? "PASS" : "FAIL", matrix_pass ? "PASS" : "FAIL",
+              completion_pass ? "PASS" : "FAIL");
+
+  FILE* json = std::fopen("BENCH_robustness.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"experiment\": \"bench_robustness\",\n");
+    std::fprintf(json, "  \"seeds\": %zu,\n  \"budget\": %zu,\n", kSeeds,
+                 kBudget);
+    std::fprintf(json, "  \"identity\": [\n");
+    for (size_t i = 0; i < identity.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"tuner\": \"%s\", \"serial_identical\": %s, "
+                   "\"parallel8_identical\": %s}%s\n",
+                   identity[i].tuner.c_str(),
+                   identity[i].serial_identical ? "true" : "false",
+                   identity[i].parallel_identical ? "true" : "false",
+                   i + 1 < identity.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"matrix\": [\n");
+    bool first = true;
+    for (const char* name : kMatrixTuners) {
+      for (double rate : FaultRates()) {
+        const MatrixCell& cell = matrix[name][rate];
+        std::fprintf(json,
+                     "%s    {\"tuner\": \"%s\", \"fault_rate\": %.2f, "
+                     "\"mean_best\": %.6f, \"degradation\": %.4f, "
+                     "\"retried\": %zu, \"timed_out\": %zu, "
+                     "\"remeasured\": %zu, \"censored\": %zu, "
+                     "\"failed\": %zu}",
+                     first ? "" : ",\n", name, rate, cell.mean_best,
+                     cell.degradation, cell.retried, cell.timed_out,
+                     cell.remeasured, cell.censored, cell.failed);
+        first = false;
+      }
+    }
+    std::fprintf(json, "\n  ],\n  \"completion\": [\n");
+    for (size_t i = 0; i < completion.size(); ++i) {
+      const CompletionRow& row = completion[i];
+      std::fprintf(json,
+                   "    {\"tuner\": \"%s\", \"works_fault_free\": %s, "
+                   "\"completes_at_15pct\": %s, \"no_budget_leak\": %s}%s\n",
+                   row.tuner.c_str(), row.works_fault_free ? "true" : "false",
+                   row.completes_at_15 ? "true" : "false",
+                   row.no_leak ? "true" : "false",
+                   i + 1 < completion.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"pass\": {\"identity\": %s, \"matrix\": %s, "
+                 "\"completion\": %s}\n}\n",
+                 identity_pass ? "true" : "false",
+                 matrix_pass ? "true" : "false",
+                 completion_pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_robustness.json\n");
+  }
+  return AcceptanceExit(pass);
+}

@@ -60,7 +60,7 @@ CategoryTuners(const std::string& system_name) {
 void RunScenario(const std::string& label, const SystemFactory& factory,
                  const Workload& workload, const std::string& system_name) {
   auto report = CompareTuners(CategoryTuners(system_name), factory, workload,
-                              TuningBudget{25}, /*seeds=*/5, label);
+                              TuningBudget{SmokeSize(25, 6)}, SmokeSize(5, 1), label);
   if (!report.ok()) {
     std::fprintf(stderr, "scenario %s failed: %s\n", label.c_str(),
                  report.status().ToString().c_str());

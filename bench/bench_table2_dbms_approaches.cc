@@ -39,7 +39,7 @@ namespace atune {
 namespace bench {
 namespace {
 
-constexpr size_t kBudget = 25;
+const size_t kBudget = SmokeSize(25, 6);
 
 struct Row {
   std::string approach;

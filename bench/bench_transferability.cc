@@ -52,7 +52,7 @@ int main() {
     auto dbms = MakeDbms(77);
     ITunedTuner tuner;
     SessionOptions options;
-    options.budget.max_evaluations = 25;
+    options.budget.max_evaluations = SmokeSize(25, 6);
     options.seed = 99;
     auto outcome = RunTuningSession(&tuner, dbms.get(), workload, options);
     tuned.push_back(outcome.ok() ? outcome->best_config

@@ -16,6 +16,7 @@ Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
   Evaluator evaluator(system, workload, options.budget,
                       options.failure_penalty);
   if (options.objective) evaluator.set_objective(options.objective);
+  evaluator.set_robustness_policy(options.robustness);
   Rng rng(options.seed);
   Status tune_status = tuner->Tune(&evaluator, &rng);
   // Budget exhaustion mid-algorithm is an expected way for tuning to end.
@@ -29,6 +30,9 @@ Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
   outcome.category = tuner->category();
   outcome.history = evaluator.history();
   outcome.evaluations_used = evaluator.used();
+  outcome.retried_runs = evaluator.retried_runs();
+  outcome.timed_out_runs = evaluator.timed_out_runs();
+  outcome.remeasured_runs = evaluator.remeasured_runs();
   outcome.tuner_report = tuner->Report();
 
   const Trial* best = evaluator.best();
@@ -49,7 +53,11 @@ Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
     outcome.convergence.push_back(running_best);
     outcome.convergence_cost.push_back(cumulative_cost);
     outcome.convergence_round.push_back(static_cast<double>(trial.round));
-    if (trial.result.failed) ++outcome.failed_runs;
+    if (trial.result.censored) {
+      ++outcome.censored_runs;
+    } else if (trial.result.failed) {
+      ++outcome.failed_runs;
+    }
   }
 
   if (options.measure_default) {

@@ -20,7 +20,17 @@ struct TuningOutcome {
   /// best_objective improvement over default: default/best (>1 = speedup).
   double speedup_over_default = 1.0;
   double evaluations_used = 0.0;
+  /// Trials whose run genuinely failed (OOM, abort storm, unretried
+  /// transient fault). Censored runs are counted separately below.
   size_t failed_runs = 0;
+  /// Trials cut off before completion (early-abort threshold or timeout
+  /// watchdog) — the measurement stopped, the configuration did not fail.
+  size_t censored_runs = 0;
+  /// Robustness-policy activity (see RobustnessPolicy): transient-failure
+  /// re-executions, watchdog kills, and outlier re-measurements.
+  size_t retried_runs = 0;
+  size_t timed_out_runs = 0;
+  size_t remeasured_runs = 0;
   std::vector<Trial> history;
   /// Best objective seen after the i-th unit of budget was spent
   /// (cumulative-cost-aligned convergence curve, one entry per trial).
@@ -43,6 +53,9 @@ struct SessionOptions {
   double failure_penalty = 10.0;
   /// Custom objective (see core/objective.h); empty = penalized runtime.
   ObjectiveFunction objective;
+  /// Measurement-robustness policy applied by the session's Evaluator
+  /// (transient-failure retries, timeout watchdog, outlier re-measurement).
+  RobustnessPolicy robustness;
   /// If true (default), one extra out-of-budget run measures the system
   /// defaults so speedups can be reported. Not counted against the budget.
   bool measure_default = true;

@@ -12,6 +12,8 @@
 
 namespace atune {
 
+class IterativeSystem;
+
 /// Description of a job/query mix submitted to a tunable system. The system
 /// interprets `kind` and `properties`; tuners treat workloads opaquely
 /// (except rule-based tuners, which may read descriptive properties, and ML
@@ -42,10 +44,22 @@ inline constexpr double kFailedRunWallClockSec = 1800.0;
 /// Outcome of executing a workload under one configuration.
 struct ExecutionResult {
   /// End-to-end latency of the run in (simulated) seconds. For failed runs
-  /// this is the time until failure.
+  /// this is the time until failure; for censored runs, the time observed
+  /// before the measurement was cut off (a lower bound on the true runtime).
   double runtime_seconds = 0.0;
   /// True if the run failed (OOM, deadlock storm, spill death, ...).
   bool failed = false;
+  /// True if the failure is config-independent (a lost node, a preempted
+  /// container, a disk hiccup) rather than caused by the configuration
+  /// under test. Transient failures are safe — and worthwhile — to retry;
+  /// the Evaluator's RobustnessPolicy does so. Config-caused failures
+  /// (OOM, abort storms) keep this false and are never retried.
+  bool transient = false;
+  /// True if the measurement was stopped before the run finished — by the
+  /// early-abort threshold or the timeout watchdog. Censored runs are
+  /// charged only the budget fraction actually observed and are excluded
+  /// from best-tracking; they are *not* failures of the configuration.
+  bool censored = false;
   std::string failure_reason;
   /// Internal counters exposed by the system (buffer miss ratio, spill
   /// bytes, shuffle time, GC time, ...). Keys are system-specific; see each
@@ -109,6 +123,13 @@ class TunableSystem {
 
   /// Names of the metrics Execute() reports, for ML feature pipelines.
   virtual std::vector<std::string> MetricNames() const { return {}; }
+
+  /// The iterative (unit-level) view of this system, or nullptr if it has
+  /// none. Callers must use this instead of dynamic_cast: decorators such
+  /// as FaultInjectingSystem are IterativeSystems themselves (so unit runs
+  /// stay instrumented) but only *behave* iteratively when the system they
+  /// wrap does. Defined out of line below, after IterativeSystem.
+  virtual IterativeSystem* AsIterative();
 };
 
 /// A long-running system whose execution decomposes into sequential units
@@ -127,7 +148,11 @@ class IterativeSystem : public TunableSystem {
   /// Cost (relative to a full run, in [0,1]) of switching configurations
   /// between units — e.g. flushing caches or restarting executors.
   virtual double ReconfigurationCost() const { return 0.0; }
+
+  IterativeSystem* AsIterative() override { return this; }
 };
+
+inline IterativeSystem* TunableSystem::AsIterative() { return nullptr; }
 
 }  // namespace atune
 

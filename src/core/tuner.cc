@@ -1,6 +1,7 @@
 #include "core/tuner.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/string_util.h"
 
@@ -41,33 +42,152 @@ double Evaluator::ObjectiveOf(const Configuration& config,
 }
 
 void Evaluator::CommitTrial(const Configuration& config,
-                            const ExecutionResult& result, double cost) {
+                            const ExecutionResult& result, double cost,
+                            bool exclude_from_best) {
   used_ += cost;
   Trial trial;
   trial.config = config;
   trial.result = result;
   trial.objective = ObjectiveOf(config, result);
   trial.cost = cost;
+  trial.scaled = exclude_from_best;
   trial.round = round_;
   history_.push_back(std::move(trial));
-  if (!has_best_ ||
-      history_.back().objective < history_[best_index_].objective) {
+  if (!exclude_from_best &&
+      (!has_best_ ||
+       history_.back().objective < history_[best_index_].objective)) {
     best_index_ = history_.size() - 1;
     has_best_ = true;
   }
 }
 
+ExecutionResult Evaluator::RetryTransient(const Configuration& config,
+                                          const Workload& workload,
+                                          ExecutionResult result,
+                                          double base_cost, double reserved,
+                                          double* cost) {
+  size_t attempts = 0;
+  while (result.failed && result.transient &&
+         attempts < policy_.max_retries) {
+    double retry_cost = policy_.retry_cost_fraction * base_cost;
+    // `reserved` already includes this run's base cost; only the extras
+    // accrued so far (*cost - base_cost) and the new retry come on top.
+    if (used_ + reserved + (*cost - base_cost) + retry_cost >
+        budget_max_ + kBudgetEpsilon) {
+      break;  // no budget left to retry; degrade to the failed measurement
+    }
+    auto again = system_->Execute(config, workload);
+    if (!again.ok()) break;  // repair impossible; keep what we measured
+    *cost += retry_cost;
+    ++attempts;
+    ++retried_runs_;
+    result = *std::move(again);
+  }
+  return result;
+}
+
+double Evaluator::OutlierScore(double runtime) const {
+  std::vector<double> runtimes;
+  runtimes.reserve(history_.size());
+  for (const Trial& t : history_) {
+    if (t.scaled || t.result.failed || t.result.censored) continue;
+    runtimes.push_back(t.result.runtime_seconds);
+  }
+  if (runtimes.size() < policy_.outlier_min_history) return 0.0;
+  auto median_of = [](std::vector<double>* v) {
+    std::nth_element(v->begin(), v->begin() + v->size() / 2, v->end());
+    return (*v)[v->size() / 2];
+  };
+  double median = median_of(&runtimes);
+  for (double& r : runtimes) r = std::abs(r - median);
+  double mad = median_of(&runtimes);
+  // Floor the MAD so a near-degenerate history (repeated identical
+  // measurements) doesn't make every new config look suspicious.
+  mad = std::max({mad, 0.01 * std::abs(median), 1e-12});
+  return 0.6745 * std::abs(runtime - median) / mad;
+}
+
+ExecutionResult Evaluator::ApplyRobustnessPolicy(const Configuration& config,
+                                                 ExecutionResult result,
+                                                 double reserved,
+                                                 double* cost,
+                                                 bool* exclude_from_best) {
+  *cost = 1.0;
+  *exclude_from_best = false;
+  result = RetryTransient(config, workload_, std::move(result), 1.0,
+                          reserved, cost);
+
+  // Timeout watchdog: reclaim hung (or merely interminable) runs at the
+  // threshold. Early-abort cost accounting: we only watched the run for
+  // timeout_seconds of its wall-clock, so charge that fraction (with the
+  // same 0.05 setup floor); the censored lower bound never becomes a best.
+  if (policy_.timeout_seconds > 0.0 &&
+      result.runtime_seconds > policy_.timeout_seconds) {
+    double fraction = policy_.timeout_seconds / result.runtime_seconds;
+    // Written as (cost - 1) + floor so the 0.05 floor is exact when no
+    // retry surcharges preceded it (cost == 1.0).
+    *cost = (*cost - 1.0) + std::max(0.05, std::min(1.0, fraction));
+    result.runtime_seconds = policy_.timeout_seconds;
+    result.censored = true;
+    result.failure_reason = StrFormat(
+        "killed by timeout watchdog after %.0f s", policy_.timeout_seconds);
+    ++timed_out_runs_;
+    *exclude_from_best = true;
+    return result;
+  }
+
+  // MAD outlier re-measurement: a completed run far outside the history's
+  // runtime distribution is either a straggler, a corrupted measurement, or
+  // a genuinely extreme configuration — re-running distinguishes them, and
+  // committing the median measurement is right in every case.
+  if (policy_.outlier_mad_threshold > 0.0 && !result.failed &&
+      OutlierScore(result.runtime_seconds) > policy_.outlier_mad_threshold) {
+    std::vector<ExecutionResult> measurements;
+    measurements.push_back(result);
+    for (size_t i = 0; i < policy_.remeasure_runs; ++i) {
+      if (used_ + reserved + (*cost - 1.0) + 1.0 >
+          budget_max_ + kBudgetEpsilon) {
+        break;  // keep what we can afford
+      }
+      auto again = system_->Execute(config, workload_);
+      if (!again.ok()) break;
+      *cost += 1.0;
+      ++remeasured_runs_;
+      measurements.push_back(RetryTransient(config, workload_,
+                                            *std::move(again), 1.0, reserved,
+                                            cost));
+    }
+    if (measurements.size() > 1) {
+      std::sort(measurements.begin(), measurements.end(),
+                [](const ExecutionResult& a, const ExecutionResult& b) {
+                  return a.runtime_seconds < b.runtime_seconds;
+                });
+      result = measurements[measurements.size() / 2];
+    }
+  }
+  return result;
+}
+
+Status Evaluator::RefuseBudget() {
+  budget_refused_ = true;
+  return Status::ResourceExhausted(
+      StrFormat("tuning budget exhausted (%.1f/%.1f runs)", used_,
+                budget_max_));
+}
+
 Result<double> Evaluator::Evaluate(const Configuration& config) {
-  if (used_ + 1.0 > budget_max_ + 1e-9) {
-    return Status::ResourceExhausted(
-        StrFormat("tuning budget exhausted (%.1f/%.1f runs)", used_,
-                  budget_max_));
+  if (used_ + 1.0 > budget_max_ + kBudgetEpsilon) {
+    return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
   ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
                          system_->Execute(config, workload_));
   ++round_;
-  CommitTrial(config, result, 1.0);
+  double cost = 1.0;
+  bool exclude = false;
+  result = ApplyRobustnessPolicy(config, std::move(result), /*reserved=*/1.0,
+                                 &cost, &exclude);
+  CommitTrial(config, result, cost, exclude);
   return history_.back().objective;
 }
 
@@ -87,11 +207,9 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
   }
   // Deterministic mid-batch truncation: only whole runs that still fit.
   size_t affordable =
-      static_cast<size_t>(std::max(0.0, Remaining() + 1e-9));
+      static_cast<size_t>(std::max(0.0, Remaining() + kBudgetEpsilon));
   if (affordable == 0) {
-    return Status::ResourceExhausted(
-        StrFormat("tuning budget exhausted (%.1f/%.1f runs)", used_,
-                  budget_max_));
+    return RefuseBudget();
   }
   size_t k = std::min(configs.size(), affordable);
   ++round_;  // the whole batch is one wall-clock round
@@ -130,12 +248,22 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
 
   // Commit in submission order; an execution error (impossible for
   // validated configs on the built-in simulators, but systems may fail)
-  // aborts the batch after committing the preceding trials.
+  // aborts the batch after committing the preceding trials. Robustness
+  // repairs (transient retries, outlier re-measurement) re-execute on the
+  // parent — realigned by SkipRuns above — so a faulty wave behaves like a
+  // parallel wave followed by a serial repair phase; with nothing to repair
+  // this is bit-identical to committing the wave directly.
   std::vector<double> objectives;
   objectives.reserve(k);
+  double reserved = static_cast<double>(k);  // base cost of uncommitted lanes
   for (size_t i = 0; i < k; ++i) {
     if (!results[i].ok()) return results[i].status();
-    CommitTrial(configs[i], *results[i], 1.0);
+    double cost = 1.0;
+    bool exclude = false;
+    ExecutionResult repaired = ApplyRobustnessPolicy(
+        configs[i], *std::move(results[i]), reserved, &cost, &exclude);
+    CommitTrial(configs[i], repaired, cost, exclude);
+    reserved -= 1.0;
     objectives.push_back(history_.back().objective);
   }
   return objectives;
@@ -151,36 +279,44 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
   }
   // Conservative gate: a run that completes under the threshold costs a
   // full unit, so require one up front (never overspends).
-  if (used_ + 1.0 > budget_max_ + 1e-9) {
-    return Status::ResourceExhausted("tuning budget exhausted");
+  if (used_ + 1.0 > budget_max_ + kBudgetEpsilon) {
+    return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
   ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
                          system_->Execute(config, workload_));
   ++round_;
-  if (result.runtime_seconds > abort_at_seconds && !result.failed) {
-    // Censor: we only watched the run for abort_at_seconds of wall clock.
-    double fraction =
-        std::min(1.0, abort_at_seconds / result.runtime_seconds);
-    double cost = std::max(0.05, fraction);  // setup isn't free either
-    used_ += cost;
+  double cost = 1.0;
+  result = RetryTransient(config, workload_, std::move(result), 1.0,
+                          /*reserved=*/1.0, &cost);
+  // The watchdog, when armed and tighter than the caller's threshold, kills
+  // the run first — a hung run never gets to burn abort_at_seconds.
+  double censor_at = abort_at_seconds;
+  bool watchdog = false;
+  if (policy_.timeout_seconds > 0.0 &&
+      policy_.timeout_seconds < abort_at_seconds) {
+    censor_at = policy_.timeout_seconds;
+    watchdog = true;
+  }
+  if (result.runtime_seconds > censor_at && !result.failed) {
+    // Censor: we only watched the run for censor_at of wall clock.
+    double fraction = std::min(1.0, censor_at / result.runtime_seconds);
+    cost = (cost - 1.0) + std::max(0.05, fraction);  // setup isn't free
     if (aborted != nullptr) *aborted = true;
-    result.failure_reason = "aborted by early-abort threshold";
-    result.runtime_seconds = abort_at_seconds;
-    Trial trial;
-    trial.config = config;
-    trial.result = result;
+    if (watchdog) ++timed_out_runs_;
+    result.censored = true;
+    result.failure_reason = watchdog
+                                ? StrFormat("killed by timeout watchdog "
+                                            "after %.0f s", censor_at)
+                                : "aborted by early-abort threshold";
+    result.runtime_seconds = censor_at;
     // The objective is a *lower bound*; keep it clearly worse than any
-    // incumbent below the threshold and exclude it from best-tracking via
-    // the scaled flag (its objective is not a completed measurement).
-    trial.objective = ObjectiveOf(config, result);
-    trial.cost = cost;
-    trial.scaled = true;
-    trial.round = round_;
-    history_.push_back(std::move(trial));
+    // incumbent below the threshold and exclude it from best-tracking
+    // (its objective is not a completed measurement).
+    CommitTrial(config, result, cost, /*exclude_from_best=*/true);
     return history_.back().objective;
   }
-  CommitTrial(config, result, 1.0);
+  CommitTrial(config, result, cost);
   return history_.back().objective;
 }
 
@@ -189,8 +325,8 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
   if (fraction <= 0.0 || fraction > 1.0) {
     return Status::InvalidArgument("EvaluateScaled: fraction must be in (0,1]");
   }
-  if (used_ + fraction > budget_max_ + 1e-9) {
-    return Status::ResourceExhausted("tuning budget exhausted");
+  if (used_ + fraction > budget_max_ + kBudgetEpsilon) {
+    return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
   Workload sample = workload_;
@@ -198,21 +334,18 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
   ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
                          system_->Execute(config, sample));
   ++round_;
-  used_ += fraction;
-  Trial trial;
-  trial.config = config;
-  trial.result = result;
-  trial.objective = ObjectiveOf(config, result);
-  trial.cost = fraction;
-  trial.scaled = true;
-  trial.round = round_;
-  history_.push_back(std::move(trial));
+  // Transient faults hit cheap sample runs too; a retry costs the same
+  // fraction of the (scaled-down) run it re-executes.
+  double cost = fraction;
+  result = RetryTransient(config, sample, std::move(result), fraction,
+                          /*reserved=*/fraction, &cost);
+  CommitTrial(config, result, cost, /*exclude_from_best=*/true);
   return history_.back().objective;
 }
 
 Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
                                                 size_t unit_index) {
-  auto* iterative = dynamic_cast<IterativeSystem*>(system_);
+  IterativeSystem* iterative = system_->AsIterative();
   if (iterative == nullptr) {
     return Status::FailedPrecondition(
         StrFormat("system '%s' does not support unit-level execution",
@@ -220,8 +353,8 @@ Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
   }
   size_t units = std::max<size_t>(iterative->NumUnits(workload_), 1);
   double cost = 1.0 / static_cast<double>(units);
-  if (used_ + cost > budget_max_ + 1e-9) {
-    return Status::ResourceExhausted("tuning budget exhausted");
+  if (used_ + cost > budget_max_ + kBudgetEpsilon) {
+    return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
   ATUNE_ASSIGN_OR_RETURN(

@@ -34,6 +34,47 @@ struct TuningBudget {
   size_t max_evaluations = 30;
 };
 
+/// Tolerance for all budget comparisons (accumulated fractional costs carry
+/// floating-point dust; a run that fits "up to epsilon" is admitted, a
+/// budget spent "up to epsilon" is exhausted). One constant everywhere so
+/// Exhausted() and the per-call admission gates can never disagree.
+inline constexpr double kBudgetEpsilon = 1e-9;
+
+/// How the Evaluator defends tuners against the measurement pathologies of
+/// real clusters: transient run failures, hung runs, and straggler noise
+/// (the practical barrier the cloud-tuning literature highlights). All
+/// mechanisms are deterministic — they depend only on the measurements and
+/// the policy, never on wall-clock — and every repair charges real budget.
+/// The default policy retries transient failures but leaves the timeout
+/// watchdog and outlier re-measurement off, so it is behavior-preserving on
+/// systems that never report transient faults.
+struct RobustnessPolicy {
+  /// Max re-executions of a run whose failure is marked transient
+  /// (ExecutionResult::transient). Tuners then see the final attempt —
+  /// usually a clean measurement — instead of a spurious failure.
+  size_t max_retries = 2;
+  /// Budget charged per superseded transient attempt, in full-run units
+  /// (transient faults typically kill a run partway through, so a retry
+  /// costs less than a full experiment but is never free).
+  double retry_cost_fraction = 0.3;
+  /// Wall-clock watchdog: a run measuring longer than this is killed and
+  /// recorded as censored at the threshold, with early-abort cost
+  /// accounting (the budget fraction actually observed). This is the only
+  /// defense against hung runs, which would otherwise eat the whole
+  /// session. 0 disables the watchdog.
+  double timeout_seconds = 0.0;
+  /// Outlier re-measurement: a successful run whose runtime's modified
+  /// z-score against the history of completed runs — 0.6745 * |x - median|
+  /// / MAD — exceeds this threshold is suspicious (straggler or corrupted
+  /// measurement) and is re-measured; the median measurement is committed.
+  /// 0 disables; 3.5 is the classical cutoff.
+  double outlier_mad_threshold = 0.0;
+  /// Completed-run history required before MAD is trustworthy.
+  size_t outlier_min_history = 6;
+  /// Extra measurements (full budget units each) for a suspicious trial.
+  size_t remeasure_runs = 2;
+};
+
 /// One recorded system run.
 struct Trial {
   Configuration config;
@@ -72,6 +113,13 @@ class Evaluator {
     objective_ = std::move(objective);
   }
 
+  /// Installs a measurement-robustness policy (see RobustnessPolicy). Set
+  /// before the first Evaluate call.
+  void set_robustness_policy(const RobustnessPolicy& policy) {
+    policy_ = policy;
+  }
+  const RobustnessPolicy& robustness_policy() const { return policy_; }
+
   Evaluator(const Evaluator&) = delete;
   Evaluator& operator=(const Evaluator&) = delete;
 
@@ -82,7 +130,18 @@ class Evaluator {
 
   /// Budget remaining, in full-run units.
   double Remaining() const { return budget_max_ - used_; }
-  bool Exhausted() const { return used_ >= budget_max_ - 1e-9; }
+  /// True once the budget is spent — or once any evaluation has been
+  /// refused for budget reasons. The refusal clause is what makes
+  /// fractional leftovers safe: censored/scaled trials can leave
+  /// 0 < Remaining() < 1, where a full run no longer fits; without it a
+  /// tuner looping `while (!Exhausted())` around an Evaluate() that keeps
+  /// refusing would spin forever. A refusal proves the caller's next
+  /// request cannot be funded, so it is terminal. With whole-unit costs a
+  /// refusal only ever happens at Remaining() == 0, where Exhausted() was
+  /// already true — the clause changes nothing there.
+  bool Exhausted() const {
+    return budget_refused_ || used_ >= budget_max_ - kBudgetEpsilon;
+  }
 
   /// Runs the workload under `config`; returns the scalar objective
   /// (penalized runtime, lower is better). Fails with kResourceExhausted
@@ -147,15 +206,51 @@ class Evaluator {
   const Trial* best() const;
   double used() const { return used_; }
 
+  /// Robustness-policy activity this session (see RobustnessPolicy).
+  size_t retried_runs() const { return retried_runs_; }
+  size_t timed_out_runs() const { return timed_out_runs_; }
+  size_t remeasured_runs() const { return remeasured_runs_; }
+
   /// Objective value for a run under this evaluator's objective (custom if
   /// set, penalized runtime otherwise).
   double ObjectiveOf(const Configuration& config,
                      const ExecutionResult& result) const;
 
  private:
-  /// Appends a fully-executed trial and updates best-tracking.
+  /// Appends a trial and updates best-tracking. `exclude_from_best` marks
+  /// the trial scaled (censored/partial measurements whose objectives are
+  /// not comparable to completed full runs).
   void CommitTrial(const Configuration& config, const ExecutionResult& result,
-                   double cost);
+                   double cost, bool exclude_from_best = false);
+
+  /// Re-executes `config` on the parent system while `result` is a
+  /// transient failure, up to policy_.max_retries times, charging
+  /// retry_cost_fraction * base_cost per superseded attempt into *cost.
+  /// `reserved` is budget already spoken for by not-yet-committed runs
+  /// (including this one's base cost); a retry only happens if it still
+  /// fits. Returns the final attempt's measurement.
+  ExecutionResult RetryTransient(const Configuration& config,
+                                 const Workload& workload,
+                                 ExecutionResult result, double base_cost,
+                                 double reserved, double* cost);
+
+  /// Full robustness pipeline for one full-cost measurement: transient
+  /// retries, timeout censoring, MAD outlier re-measurement. Repairs
+  /// execute serially on the parent system (in a batch, after SkipRuns has
+  /// realigned it). Sets *cost to the total budget to charge and
+  /// *exclude_from_best for censored results.
+  ExecutionResult ApplyRobustnessPolicy(const Configuration& config,
+                                        ExecutionResult result,
+                                        double reserved, double* cost,
+                                        bool* exclude_from_best);
+
+  /// Modified z-score of `runtime` against completed unscaled trials, or
+  /// 0 when the history is too short or degenerate.
+  double OutlierScore(double runtime) const;
+
+  /// Marks the budget terminally refused (see Exhausted()) and returns the
+  /// kResourceExhausted status every admission gate hands back.
+  Status RefuseBudget();
 
   TunableSystem* system_;
   Workload workload_;
@@ -163,7 +258,12 @@ class Evaluator {
   double budget_max_;
   double failure_penalty_;
   ObjectiveFunction objective_;  // empty = penalized runtime
+  RobustnessPolicy policy_;
   double used_ = 0.0;
+  bool budget_refused_ = false;
+  size_t retried_runs_ = 0;
+  size_t timed_out_runs_ = 0;
+  size_t remeasured_runs_ = 0;
   std::vector<Trial> history_;
   size_t best_index_ = 0;
   bool has_best_ = false;

@@ -1,0 +1,123 @@
+#include "systems/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace atune {
+
+FaultProfile FaultProfile::FromRate(double rate, uint64_t seed) {
+  FaultProfile profile;
+  profile.transient_failure_rate = rate;
+  profile.straggler_rate = rate * 0.5;
+  profile.hang_rate = rate * 0.2;
+  profile.metric_dropout_rate = rate * 0.5;
+  profile.seed = seed;
+  return profile;
+}
+
+FaultInjectingSystem::FaultInjectingSystem(TunableSystem* inner,
+                                           FaultProfile profile)
+    : inner_(inner), profile_(profile) {}
+
+FaultInjectingSystem::FaultInjectingSystem(std::unique_ptr<TunableSystem> inner,
+                                           FaultProfile profile)
+    : owned_(std::move(inner)), inner_(owned_.get()), profile_(profile) {}
+
+ExecutionResult FaultInjectingSystem::Inject(ExecutionResult result,
+                                             double scale) {
+  Rng rng(DeriveSeed(profile_.seed, run_index_++));
+  // Fixed draw order, every decision drawn unconditionally: which faults
+  // fire on run i must not depend on the inner result (or on each other),
+  // or the stream would stop being a pure function of (seed, run index).
+  const bool transient = rng.Bernoulli(profile_.transient_failure_rate);
+  const double died_at_fraction = rng.Uniform(0.05, 0.6);
+  const bool hang = rng.Bernoulli(profile_.hang_rate);
+  const bool straggler = rng.Bernoulli(profile_.straggler_rate);
+  const double straggler_multiplier = rng.Uniform(
+      profile_.straggler_multiplier_min, profile_.straggler_multiplier_max);
+  const bool dropout = rng.Bernoulli(profile_.metric_dropout_rate);
+
+  // Config-caused failures from the inner system take precedence: the fault
+  // layer must not mask what the configuration did.
+  if (transient && !result.failed) {
+    result.failed = true;
+    result.transient = true;
+    result.failure_reason = "injected: node lost mid-run";
+    result.runtime_seconds *= died_at_fraction;
+  } else if (hang && !result.failed) {
+    result.runtime_seconds = profile_.hang_runtime_seconds * scale;
+    result.metrics.clear();  // a hung run reports nothing
+  } else if (straggler && !result.failed) {
+    result.runtime_seconds *= straggler_multiplier;
+  }
+
+  if (dropout && !result.metrics.empty()) {
+    // Drop roughly half the metrics and corrupt one survivor — the damaged
+    // feature vector metric-driven tuners see after a collector glitch.
+    auto it = result.metrics.begin();
+    while (it != result.metrics.end()) {
+      if (rng.Bernoulli(0.5)) {
+        it = result.metrics.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!result.metrics.empty()) {
+      auto victim = result.metrics.begin();
+      std::advance(victim, rng.UniformInt(
+                               0, static_cast<int64_t>(result.metrics.size()) -
+                                      1));
+      victim->second *= rng.Uniform(10.0, 100.0);
+    }
+  }
+  return result;
+}
+
+Result<ExecutionResult> FaultInjectingSystem::Execute(
+    const Configuration& config, const Workload& workload) {
+  auto result = inner_->Execute(config, workload);
+  if (!result.ok()) return result;
+  return Inject(*std::move(result), /*scale=*/1.0);
+}
+
+std::unique_ptr<TunableSystem> FaultInjectingSystem::Clone(
+    uint64_t runs_ahead) const {
+  std::unique_ptr<TunableSystem> inner_clone = inner_->Clone(runs_ahead);
+  if (inner_clone == nullptr) return nullptr;
+  auto clone = std::make_unique<FaultInjectingSystem>(std::move(inner_clone),
+                                                      profile_);
+  clone->run_index_ = run_index_ + runs_ahead;
+  return clone;
+}
+
+size_t FaultInjectingSystem::NumUnits(const Workload& workload) const {
+  const IterativeSystem* iterative =
+      const_cast<TunableSystem*>(inner_)->AsIterative();
+  return iterative == nullptr ? 0 : iterative->NumUnits(workload);
+}
+
+Result<ExecutionResult> FaultInjectingSystem::ExecuteUnit(
+    const Configuration& config, const Workload& workload, size_t unit_index) {
+  IterativeSystem* iterative = inner_->AsIterative();
+  if (iterative == nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("FaultInjectingSystem: inner system '%s' is not iterative",
+                  inner_->name().c_str()));
+  }
+  auto result = iterative->ExecuteUnit(config, workload, unit_index);
+  if (!result.ok()) return result;
+  // A hung unit should stall on the unit's time scale, not the full run's.
+  const size_t units = std::max<size_t>(1, iterative->NumUnits(workload));
+  return Inject(*std::move(result), /*scale=*/1.0 / static_cast<double>(units));
+}
+
+double FaultInjectingSystem::ReconfigurationCost() const {
+  const IterativeSystem* iterative =
+      const_cast<TunableSystem*>(inner_)->AsIterative();
+  return iterative == nullptr ? 0.0 : iterative->ReconfigurationCost();
+}
+
+}  // namespace atune

@@ -13,7 +13,7 @@ Status AdaptiveMemoryTuner::Tune(Evaluator* evaluator, Rng* rng) {
     return Status::FailedPrecondition(
         "adaptive-memory manages DBMS memory consumers");
   }
-  auto* iterative = dynamic_cast<IterativeSystem*>(evaluator->system());
+  IterativeSystem* iterative = evaluator->system()->AsIterative();
   if (iterative == nullptr) {
     return Status::FailedPrecondition("system has no unit execution");
   }
@@ -29,13 +29,14 @@ Status AdaptiveMemoryTuner::Tune(Evaluator* evaluator, Rng* rng) {
     double pass_runtime = 0.0;
     double pass_cost = 0.0;
     bool failed = false;
+    bool exhausted = false;
     std::string failure;
     ExecutionResult aggregate;
     for (size_t u = 0; u < units; ++u) {
       auto result = evaluator->EvaluateUnit(config, u);
       if (!result.ok()) {
         if (result.status().code() == StatusCode::kResourceExhausted) {
-          pass_cost = -1.0;
+          exhausted = true;
           break;
         }
         return result.status();
@@ -79,13 +80,15 @@ Status AdaptiveMemoryTuner::Tune(Evaluator* evaluator, Rng* rng) {
       }
       config = space.FromUnitVector(space.ToUnitVector(config));
     }
-    if (pass_cost < 0.0) break;
+    // Commit even a budget-truncated pass: its unit costs were already
+    // charged, so skipping the composite trial would leak budget.
     if (pass_cost > 0.0) {
       aggregate.runtime_seconds = pass_runtime / pass_cost;
       aggregate.failed = failed;
       aggregate.failure_reason = failure;
       evaluator->RecordCompositeTrial(config, aggregate, pass_cost);
     }
+    if (exhausted) break;
   }
   report_ = StrFormat(
       "online memory moves: %zu buffer-pool grows, %zu work-mem grows, %zu "

@@ -8,8 +8,7 @@
 namespace atune {
 
 Status ColtTuner::Tune(Evaluator* evaluator, Rng* rng) {
-  auto* iterative =
-      dynamic_cast<IterativeSystem*>(evaluator->system());
+  IterativeSystem* iterative = evaluator->system()->AsIterative();
   if (iterative == nullptr) {
     return Status::FailedPrecondition(
         "colt tunes long-running applications; system has no unit execution");
@@ -30,6 +29,7 @@ Status ColtTuner::Tune(Evaluator* evaluator, Rng* rng) {
     double pass_runtime = 0.0;
     double pass_cost = 0.0;
     bool pass_failed = false;
+    bool exhausted = false;
     std::string failure;
     ExecutionResult aggregate;
 
@@ -44,7 +44,7 @@ Status ColtTuner::Tune(Evaluator* evaluator, Rng* rng) {
       auto result = evaluator->EvaluateUnit(config, u);
       if (!result.ok()) {
         if (result.status().code() == StatusCode::kResourceExhausted) {
-          pass_cost = -1.0;  // signal: stop everything
+          exhausted = true;  // record the partial pass, then stop
           break;
         }
         return result.status();
@@ -73,14 +73,16 @@ Status ColtTuner::Tune(Evaluator* evaluator, Rng* rng) {
         ++incumbent_n;
       }
     }
-    if (pass_cost < 0.0) break;
-
+    // A pass cut short by budget exhaustion is still committed: its unit
+    // costs were charged, so dropping it would leak budget from the trial
+    // history (sum of trial costs must equal Evaluator::used()).
     if (pass_cost > 0.0) {
       aggregate.runtime_seconds = pass_runtime / pass_cost;  // full-run scale
       aggregate.failed = pass_failed;
       aggregate.failure_reason = failure;
       evaluator->RecordCompositeTrial(incumbent, aggregate, pass_cost);
     }
+    if (exhausted) break;
 
     // Cost-vs-gain adoption test.
     if (challenger_n > 0 && !challenger_failed && incumbent_n > 0) {

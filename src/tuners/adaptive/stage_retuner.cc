@@ -9,7 +9,7 @@ namespace atune {
 
 Status StageRetunerTuner::Tune(Evaluator* evaluator, Rng* rng) {
   (void)rng;
-  auto* iterative = dynamic_cast<IterativeSystem*>(evaluator->system());
+  IterativeSystem* iterative = evaluator->system()->AsIterative();
   if (iterative == nullptr) {
     return Status::FailedPrecondition(
         "stage-retuner needs a unit-decomposable system");
@@ -27,6 +27,7 @@ Status StageRetunerTuner::Tune(Evaluator* evaluator, Rng* rng) {
     double pass_runtime = 0.0;
     double pass_cost = 0.0;
     bool failed = false;
+    bool exhausted = false;
     std::string failure;
     ExecutionResult aggregate;
 
@@ -38,7 +39,7 @@ Status StageRetunerTuner::Tune(Evaluator* evaluator, Rng* rng) {
       auto result = evaluator->EvaluateUnit(current, u);
       if (!result.ok()) {
         if (result.status().code() == StatusCode::kResourceExhausted) {
-          pass_cost = -1.0;
+          exhausted = true;
           break;
         }
         return result.status();
@@ -79,13 +80,15 @@ Status StageRetunerTuner::Tune(Evaluator* evaluator, Rng* rng) {
       }
       prev_unit_time = unit_time;
     }
-    if (pass_cost < 0.0) break;
+    // Commit even a budget-truncated pass: its unit costs were already
+    // charged, so skipping the composite trial would leak budget.
     if (pass_cost > 0.0) {
       aggregate.runtime_seconds = pass_runtime / pass_cost;
       aggregate.failed = failed;
       aggregate.failure_reason = failure;
       evaluator->RecordCompositeTrial(current, aggregate, pass_cost);
     }
+    if (exhausted) break;
   }
   report_ = StrFormat("%zu stage adaptations kept, %zu rolled back; chain: %s",
                       kept, reverted, Join(chain, " -> ").c_str());

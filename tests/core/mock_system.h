@@ -2,7 +2,9 @@
 #define ATUNE_TESTS_CORE_MOCK_SYSTEM_H_
 
 #include <cmath>
+#include <deque>
 #include <string>
+#include <utility>
 
 #include "core/system.h"
 
@@ -68,6 +70,62 @@ class QuadraticSystem : public IterativeSystem {
   double floor_;
   size_t executions_ = 0;
   size_t unit_executions_ = 0;
+};
+
+/// Replays a scripted sequence of ExecutionResults, one per Execute() call
+/// (the last result repeats once the script runs dry). Gives robustness
+/// tests exact control over failures, transience, and runtimes. Shares
+/// QuadraticSystem's two-knob space so real configurations validate.
+class ScriptedSystem : public TunableSystem {
+ public:
+  ScriptedSystem() {
+    Status s = space_.Add(ParameterDef::Double("x", 0.0, 1.0, 0.0));
+    s = space_.Add(ParameterDef::Double("y", 0.0, 1.0, 1.0));
+    (void)s;
+  }
+
+  /// Appends a successful run of the given runtime to the script.
+  ScriptedSystem& Runs(double runtime_seconds) {
+    ExecutionResult r;
+    r.runtime_seconds = runtime_seconds;
+    script_.push_back(std::move(r));
+    return *this;
+  }
+
+  /// Appends a failed run; `transient` marks it retryable.
+  ScriptedSystem& Fails(double runtime_seconds, bool transient) {
+    ExecutionResult r;
+    r.runtime_seconds = runtime_seconds;
+    r.failed = true;
+    r.transient = transient;
+    r.failure_reason = transient ? "scripted transient fault"
+                                 : "scripted config failure";
+    script_.push_back(std::move(r));
+    return *this;
+  }
+
+  std::string name() const override { return "scripted"; }
+  const ParameterSpace& space() const override { return space_; }
+
+  Result<ExecutionResult> Execute(const Configuration&,
+                                  const Workload&) override {
+    ++executions_;
+    if (script_.empty()) {
+      ExecutionResult r;
+      r.runtime_seconds = 1.0;
+      return r;
+    }
+    ExecutionResult r = script_.front();
+    if (script_.size() > 1) script_.pop_front();
+    return r;
+  }
+
+  size_t executions() const { return executions_; }
+
+ private:
+  ParameterSpace space_;
+  std::deque<ExecutionResult> script_;
+  size_t executions_ = 0;
 };
 
 inline Workload MockWorkload() {

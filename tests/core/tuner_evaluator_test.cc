@@ -9,6 +9,7 @@ namespace {
 
 using testing_util::MockWorkload;
 using testing_util::QuadraticSystem;
+using testing_util::ScriptedSystem;
 
 TEST(EvaluatorTest, EnforcesBudget) {
   QuadraticSystem system;
@@ -139,6 +140,86 @@ TEST(EvaluatorTest, EarlyAbortCensorsAndChargesFraction) {
   EXPECT_DOUBLE_EQ(evaluator.used(), used_before + 1.0);
   ASSERT_NE(evaluator.best(), nullptr);
   EXPECT_FALSE(evaluator.EvaluateWithEarlyAbort(good, 0.0, &aborted).ok());
+}
+
+TEST(EvaluatorTest, EarlyAbortThresholdAtRuntimeRunsToCompletion) {
+  // Threshold exactly equal to (and above) the runtime: the run finishes,
+  // is never censored, and pays full cost.
+  QuadraticSystem system;
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{5});
+  Configuration good;
+  good.SetDouble("x", 0.7);
+  good.SetDouble("y", 0.3);  // runtime exactly 10.0
+  bool aborted = true;
+  auto at = evaluator.EvaluateWithEarlyAbort(good, 10.0, &aborted);
+  ASSERT_TRUE(at.ok());
+  EXPECT_FALSE(aborted);
+  EXPECT_NEAR(*at, 10.0, 1e-9);
+  EXPECT_FALSE(evaluator.history().back().result.censored);
+  EXPECT_DOUBLE_EQ(evaluator.used(), 1.0);
+
+  aborted = true;
+  auto above = evaluator.EvaluateWithEarlyAbort(good, 1.0e9, &aborted);
+  ASSERT_TRUE(above.ok());
+  EXPECT_FALSE(aborted);
+  EXPECT_DOUBLE_EQ(evaluator.used(), 2.0);
+}
+
+TEST(EvaluatorTest, EarlyAbortDoesNotCensorFailedRuns) {
+  // A run that already failed is not "aborted early" — the failure's
+  // wall-clock charge stands in full and the trial stays uncensored, so
+  // crashing never masquerades as a cheap censored measurement.
+  ScriptedSystem system;
+  system.Fails(300.0, /*transient=*/false);
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{5});
+  bool aborted = true;
+  auto obj = evaluator.EvaluateWithEarlyAbort(
+      system.space().DefaultConfiguration(), 20.0, &aborted);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_FALSE(aborted);
+  const Trial& trial = evaluator.history().back();
+  EXPECT_TRUE(trial.result.failed);
+  EXPECT_FALSE(trial.result.censored);
+  EXPECT_DOUBLE_EQ(trial.result.runtime_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(evaluator.used(), 1.0);
+}
+
+TEST(EvaluatorTest, EarlyAbortCostFloorsNearExhaustion) {
+  // Even an abort at a tiny observed fraction charges at least 0.05 of a
+  // budget unit: detecting "this config is bad" is never free, and the
+  // floor keeps a pathological tuner from probing forever on fumes.
+  ScriptedSystem system;
+  system.Runs(10000.0);
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{1});
+  bool aborted = false;
+  auto obj = evaluator.EvaluateWithEarlyAbort(
+      system.space().DefaultConfiguration(), 20.0, &aborted);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_TRUE(aborted);
+  // Observed fraction 20/10000 = 0.002 floors at 0.05.
+  EXPECT_DOUBLE_EQ(evaluator.used(), 0.05);
+  EXPECT_DOUBLE_EQ(evaluator.history().back().cost, 0.05);
+  EXPECT_FALSE(evaluator.Exhausted());
+}
+
+TEST(EvaluatorTest, BudgetRefusalIsTerminal) {
+  // Censored trials can strand a fractional budget remnant where a full
+  // run no longer fits. The first refused evaluation must flip
+  // Exhausted() — otherwise a tuner looping `while (!Exhausted())` around
+  // a refusing Evaluate() livelocks on the remnant.
+  ScriptedSystem system;
+  system.Runs(10000.0);
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{1});
+  bool aborted = false;
+  ASSERT_TRUE(evaluator
+                  .EvaluateWithEarlyAbort(system.space().DefaultConfiguration(),
+                                          20.0, &aborted)
+                  .ok());
+  ASSERT_TRUE(aborted);
+  EXPECT_FALSE(evaluator.Exhausted());  // 0.95 of a unit still unspent
+  auto refused = evaluator.Evaluate(system.space().DefaultConfiguration());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(evaluator.Exhausted());  // refusal is terminal
 }
 
 TEST(TunerCategoryTest, Names) {

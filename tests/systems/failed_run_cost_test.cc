@@ -1,0 +1,190 @@
+// Every simulator must honor the kFailedRunWallClockSec partial-attempt
+// contract (core/system.h): a failed run wastes real wall-clock — scaled to
+// the fraction of the workload it attempted — so that crashing is never
+// cheaper than finishing. These tests pin the contract for all three
+// platforms, including runs executed on clones inside a parallel batch.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "systems/dbms/dbms_system.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/hardware.h"
+#include "systems/mapreduce/mr_system.h"
+#include "systems/mapreduce/mr_workloads.h"
+#include "systems/spark/spark_system.h"
+#include "systems/spark/spark_workloads.h"
+
+namespace atune {
+namespace {
+
+NodeSpec TestNode() {
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  return node;
+}
+
+TEST(FailedRunCostTest, DbmsOomChargesFullWallClock) {
+  SimulatedDbms dbms(ClusterSpec::MakeUniform(1, TestNode()), /*seed=*/7);
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  Configuration config = dbms.space().DefaultConfiguration();
+  config.SetInt("work_mem_mb", 2048);
+  config.SetInt("max_workers", 64);  // clients x workers x work_mem >> RAM
+  auto result = dbms.Execute(config, workload);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->failed) << result->failure_reason;
+  // A full-run OOM wastes the whole watchdog window.
+  EXPECT_DOUBLE_EQ(result->runtime_seconds, kFailedRunWallClockSec);
+}
+
+TEST(FailedRunCostTest, DbmsUnitFailureChargesUnitFraction) {
+  SimulatedDbms dbms(ClusterSpec::MakeUniform(1, TestNode()), /*seed=*/7);
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  Configuration config = dbms.space().DefaultConfiguration();
+  config.SetInt("work_mem_mb", 2048);
+  config.SetInt("max_workers", 64);
+  const size_t units = dbms.NumUnits(workload);
+  ASSERT_GT(units, 1u);
+  auto result = dbms.ExecuteUnit(config, workload, 0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->failed);
+  EXPECT_DOUBLE_EQ(result->runtime_seconds,
+                   kFailedRunWallClockSec / static_cast<double>(units));
+}
+
+TEST(FailedRunCostTest, MapReduceOversubscriptionChargesPerJob) {
+  SimulatedMapReduce mr(ClusterSpec::MakeUniform(4, TestNode()), /*seed=*/7);
+  const Workload workload = MakeMrWordCountWorkload(10.0);
+  Configuration config = mr.space().DefaultConfiguration();
+  config.SetInt("map_slots_per_node", 16);
+  config.SetInt("reduce_slots_per_node", 16);
+  config.SetInt("task_memory_mb", 4096);  // 32 x 4 GB heaps per 16 GB node
+  auto result = mr.Execute(config, workload);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->failed) << result->failure_reason;
+  const double num_jobs = workload.PropertyOr("num_jobs", 1.0);
+  EXPECT_DOUBLE_EQ(result->runtime_seconds,
+                   kFailedRunWallClockSec / num_jobs);
+}
+
+TEST(FailedRunCostTest, MapReduceMultiJobWorkloadSplitsTheCharge) {
+  SimulatedMapReduce mr(ClusterSpec::MakeUniform(4, TestNode()), /*seed=*/7);
+  const Workload workload = MakeMrPageRankWorkload(5.0, /*iterations=*/8);
+  Configuration config = mr.space().DefaultConfiguration();
+  config.SetInt("map_slots_per_node", 16);
+  config.SetInt("reduce_slots_per_node", 16);
+  config.SetInt("task_memory_mb", 4096);
+  auto result = mr.Execute(config, workload);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->failed);
+  EXPECT_DOUBLE_EQ(result->runtime_seconds, kFailedRunWallClockSec / 8.0);
+}
+
+TEST(FailedRunCostTest, SparkResourceDenialChargesPerUnit) {
+  SimulatedSpark spark(ClusterSpec::MakeUniform(4, TestNode()), /*seed=*/7);
+  const Workload workload = MakeSparkSqlAggregateWorkload(8.0);
+  Configuration config = spark.space().DefaultConfiguration();
+  config.SetInt("num_executors", 64);
+  config.SetInt("executor_cores", 8);       // 512 cores on a 32-core cluster
+  config.SetInt("executor_memory_mb", 16384);
+  auto result = spark.Execute(config, workload);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->failed) << result->failure_reason;
+  const double units =
+      static_cast<double>(std::max<size_t>(spark.NumUnits(workload), 1));
+  // The failed unit charges its wall-clock fraction; the flat 4 s driver/app
+  // startup was also genuinely spent before the denial.
+  EXPECT_DOUBLE_EQ(result->runtime_seconds,
+                   kFailedRunWallClockSec / units + 4.0);
+}
+
+TEST(FailedRunCostTest, CloneChargesFailuresIdentically) {
+  // The partial-attempt contract must survive Clone(): a failed run on a
+  // batch clone charges the same wall-clock as the same run executed
+  // serially on the parent — for every platform.
+  const Workload dbms_workload = MakeDbmsOlapWorkload(1.0);
+  const Workload mr_workload = MakeMrWordCountWorkload(10.0);
+  const Workload spark_workload = MakeSparkSqlAggregateWorkload(8.0);
+
+  SimulatedDbms dbms(ClusterSpec::MakeUniform(1, TestNode()), /*seed=*/7);
+  SimulatedMapReduce mr(ClusterSpec::MakeUniform(4, TestNode()), /*seed=*/7);
+  SimulatedSpark spark(ClusterSpec::MakeUniform(4, TestNode()), /*seed=*/7);
+
+  Configuration dbms_bad = dbms.space().DefaultConfiguration();
+  dbms_bad.SetInt("work_mem_mb", 2048);
+  dbms_bad.SetInt("max_workers", 64);
+  Configuration mr_bad = mr.space().DefaultConfiguration();
+  mr_bad.SetInt("map_slots_per_node", 16);
+  mr_bad.SetInt("reduce_slots_per_node", 16);
+  mr_bad.SetInt("task_memory_mb", 4096);
+  Configuration spark_bad = spark.space().DefaultConfiguration();
+  spark_bad.SetInt("num_executors", 64);
+  spark_bad.SetInt("executor_cores", 8);
+  spark_bad.SetInt("executor_memory_mb", 16384);
+
+  struct Case {
+    TunableSystem* system;
+    const Workload* workload;
+    const Configuration* config;
+  };
+  for (const Case& c :
+       {Case{&dbms, &dbms_workload, &dbms_bad},
+        Case{&mr, &mr_workload, &mr_bad},
+        Case{&spark, &spark_workload, &spark_bad}}) {
+    auto clone = c.system->Clone(0);
+    ASSERT_NE(clone, nullptr) << c.system->name();
+    auto on_clone = clone->Execute(*c.config, *c.workload);
+    auto on_parent = c.system->Execute(*c.config, *c.workload);
+    ASSERT_TRUE(on_clone.ok() && on_parent.ok()) << c.system->name();
+    EXPECT_TRUE(on_clone->failed) << c.system->name();
+    EXPECT_DOUBLE_EQ(on_clone->runtime_seconds, on_parent->runtime_seconds)
+        << c.system->name();
+  }
+}
+
+TEST(FailedRunCostTest, BatchOfFailuresMatchesSerialCharging) {
+  // Failed runs inside EvaluateBatch (clone path) must land in the history
+  // with exactly the serial objective/cost: failures carry their wall-clock
+  // charge through the parallel engine too.
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  Configuration bad;
+  {
+    SimulatedDbms probe(ClusterSpec::MakeUniform(1, TestNode()), /*seed=*/7);
+    bad = probe.space().DefaultConfiguration();
+    bad.SetInt("work_mem_mb", 2048);
+    bad.SetInt("max_workers", 64);
+  }
+  std::vector<Configuration> configs(4, bad);
+
+  SimulatedDbms serial_dbms(ClusterSpec::MakeUniform(1, TestNode()),
+                            /*seed=*/7);
+  Evaluator serial(&serial_dbms, workload, TuningBudget{4});
+  for (const Configuration& c : configs) {
+    ASSERT_TRUE(serial.Evaluate(c).ok());
+  }
+
+  SimulatedDbms batch_dbms(ClusterSpec::MakeUniform(1, TestNode()),
+                           /*seed=*/7);
+  Evaluator batch(&batch_dbms, workload, TuningBudget{4});
+  ASSERT_TRUE(batch.EvaluateBatch(configs, /*parallelism=*/4).ok());
+
+  ASSERT_EQ(serial.history().size(), batch.history().size());
+  for (size_t i = 0; i < serial.history().size(); ++i) {
+    EXPECT_TRUE(batch.history()[i].result.failed) << i;
+    EXPECT_DOUBLE_EQ(serial.history()[i].objective,
+                     batch.history()[i].objective)
+        << i;
+    EXPECT_DOUBLE_EQ(serial.history()[i].cost, batch.history()[i].cost) << i;
+    EXPECT_DOUBLE_EQ(serial.history()[i].result.runtime_seconds,
+                     batch.history()[i].result.runtime_seconds)
+        << i;
+  }
+  EXPECT_DOUBLE_EQ(serial.used(), batch.used());
+}
+
+}  // namespace
+}  // namespace atune

@@ -1,0 +1,245 @@
+#include "systems/fault_injector.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "systems/dbms/dbms_system.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/hardware.h"
+#include "tests/core/mock_system.h"
+
+namespace atune {
+namespace {
+
+using testing_util::MockWorkload;
+using testing_util::QuadraticSystem;
+using testing_util::ScriptedSystem;
+
+std::unique_ptr<SimulatedDbms> MakeDbms(uint64_t seed) {
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  return std::make_unique<SimulatedDbms>(ClusterSpec::MakeUniform(1, node),
+                                         seed);
+}
+
+bool SameResult(const ExecutionResult& a, const ExecutionResult& b) {
+  return a.runtime_seconds == b.runtime_seconds && a.failed == b.failed &&
+         a.transient == b.transient && a.censored == b.censored &&
+         a.metrics == b.metrics;
+}
+
+TEST(FaultInjectorTest, RateZeroIsExactPassthrough) {
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  auto bare = MakeDbms(5);
+  auto inner = MakeDbms(5);
+  FaultInjectingSystem injected(inner.get(), FaultProfile::FromRate(0.0));
+  Configuration config = bare->space().DefaultConfiguration();
+  for (int i = 0; i < 6; ++i) {
+    auto a = bare->Execute(config, workload);
+    auto b = injected.Execute(config, workload);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(SameResult(*a, *b)) << "run " << i;
+  }
+}
+
+TEST(FaultInjectorTest, FaultStreamIsDeterministic) {
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  FaultProfile profile = FaultProfile::FromRate(0.3, /*seed=*/99);
+  auto inner_a = MakeDbms(5);
+  auto inner_b = MakeDbms(5);
+  FaultInjectingSystem a(inner_a.get(), profile);
+  FaultInjectingSystem b(inner_b.get(), profile);
+  Configuration config = a.space().DefaultConfiguration();
+  for (int i = 0; i < 12; ++i) {
+    auto ra = a.Execute(config, workload);
+    auto rb = b.Execute(config, workload);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_TRUE(SameResult(*ra, *rb)) << "run " << i;
+  }
+}
+
+TEST(FaultInjectorTest, TransientFailureIsFlaggedAndPartial) {
+  ScriptedSystem inner;
+  inner.Runs(100.0);
+  FaultProfile profile;
+  profile.transient_failure_rate = 1.0;
+  FaultInjectingSystem injected(&inner, profile);
+  auto result = injected.Execute(inner.space().DefaultConfiguration(),
+                                 MockWorkload());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->failed);
+  EXPECT_TRUE(result->transient);
+  // The run died partway through: it wasted real but partial wall-clock.
+  EXPECT_GT(result->runtime_seconds, 0.0);
+  EXPECT_LT(result->runtime_seconds, 100.0);
+}
+
+TEST(FaultInjectorTest, HangAndStragglerShapes) {
+  ScriptedSystem inner_hang;
+  inner_hang.Runs(100.0);
+  FaultProfile hang_profile;
+  hang_profile.hang_rate = 1.0;
+  FaultInjectingSystem hung(&inner_hang, hang_profile);
+  auto hung_result = hung.Execute(inner_hang.space().DefaultConfiguration(),
+                                  MockWorkload());
+  ASSERT_TRUE(hung_result.ok());
+  EXPECT_FALSE(hung_result->failed);
+  EXPECT_DOUBLE_EQ(hung_result->runtime_seconds,
+                   hang_profile.hang_runtime_seconds);
+
+  ScriptedSystem inner_straggle;
+  inner_straggle.Runs(100.0);
+  FaultProfile straggler_profile;
+  straggler_profile.straggler_rate = 1.0;
+  FaultInjectingSystem straggling(&inner_straggle, straggler_profile);
+  auto slow = straggling.Execute(
+      inner_straggle.space().DefaultConfiguration(), MockWorkload());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_FALSE(slow->failed);
+  EXPECT_GE(slow->runtime_seconds,
+            100.0 * straggler_profile.straggler_multiplier_min);
+  EXPECT_LE(slow->runtime_seconds,
+            100.0 * straggler_profile.straggler_multiplier_max);
+}
+
+TEST(FaultInjectorTest, ConfigCausedFailureIsNotMasked) {
+  ScriptedSystem inner;
+  inner.Fails(300.0, /*transient=*/false);
+  FaultProfile profile;
+  profile.transient_failure_rate = 1.0;  // would fire on a healthy run
+  FaultInjectingSystem injected(&inner, profile);
+  auto result = injected.Execute(inner.space().DefaultConfiguration(),
+                                 MockWorkload());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->failed);
+  EXPECT_FALSE(result->transient);  // the config's own failure survives
+  EXPECT_EQ(result->failure_reason, "scripted config failure");
+}
+
+TEST(FaultInjectorTest, CloneSkipRunsReproducesSerialFaultStream) {
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  const FaultProfile profile = FaultProfile::FromRate(0.3, /*seed=*/17);
+  Configuration config;
+
+  // Serial reference: 8 straight executions.
+  auto serial_inner = MakeDbms(5);
+  FaultInjectingSystem serial(serial_inner.get(), profile);
+  config = serial.space().DefaultConfiguration();
+  std::vector<ExecutionResult> reference;
+  for (int i = 0; i < 8; ++i) {
+    auto r = serial.Execute(config, workload);
+    ASSERT_TRUE(r.ok());
+    reference.push_back(*r);
+  }
+
+  // Wave of 4 over clones, SkipRuns(4), then 4 more on the parent.
+  auto wave_inner = MakeDbms(5);
+  FaultInjectingSystem wave(wave_inner.get(), profile);
+  std::vector<ExecutionResult> results;
+  std::vector<std::unique_ptr<TunableSystem>> clones;
+  for (uint64_t i = 0; i < 4; ++i) {
+    clones.push_back(wave.Clone(i));
+    ASSERT_NE(clones.back(), nullptr);
+  }
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto r = clones[i]->Execute(config, workload);
+    ASSERT_TRUE(r.ok());
+    results.push_back(*r);
+  }
+  wave.SkipRuns(4);
+  for (int i = 0; i < 4; ++i) {
+    auto r = wave.Execute(config, workload);
+    ASSERT_TRUE(r.ok());
+    results.push_back(*r);
+  }
+
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(SameResult(reference[i], results[i])) << "run " << i;
+  }
+}
+
+TEST(FaultInjectorTest, BatchMatchesSerialWithRepairsDisabled) {
+  // With retries off (and faults flowing through untouched) a parallel
+  // batch over the fault layer must be bit-identical to serial evaluation,
+  // even at a high fault rate: faults are part of the deterministic stream.
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  const FaultProfile profile = FaultProfile::FromRate(0.4, /*seed=*/23);
+  RobustnessPolicy no_repair;
+  no_repair.max_retries = 0;
+
+  auto serial_inner = MakeDbms(5);
+  FaultInjectingSystem serial_system(serial_inner.get(), profile);
+  Evaluator serial(&serial_system, workload, TuningBudget{8});
+  serial.set_robustness_policy(no_repair);
+
+  auto batch_inner = MakeDbms(5);
+  FaultInjectingSystem batch_system(batch_inner.get(), profile);
+  Evaluator batch(&batch_system, workload, TuningBudget{8});
+  batch.set_robustness_policy(no_repair);
+
+  std::vector<Configuration> configs;
+  Rng rng(3);
+  for (int i = 0; i < 8; ++i) {
+    configs.push_back(serial_system.space().RandomConfiguration(&rng));
+  }
+  for (const Configuration& c : configs) {
+    ASSERT_TRUE(serial.Evaluate(c).ok());
+  }
+  std::vector<Configuration> first(configs.begin(), configs.begin() + 4);
+  std::vector<Configuration> second(configs.begin() + 4, configs.end());
+  ASSERT_TRUE(batch.EvaluateBatch(first, /*parallelism=*/4).ok());
+  ASSERT_TRUE(batch.EvaluateBatch(second, /*parallelism=*/4).ok());
+
+  ASSERT_EQ(serial.history().size(), batch.history().size());
+  for (size_t i = 0; i < serial.history().size(); ++i) {
+    const Trial& a = serial.history()[i];
+    const Trial& b = batch.history()[i];
+    EXPECT_EQ(a.objective, b.objective) << "trial " << i;
+    EXPECT_EQ(a.cost, b.cost) << "trial " << i;
+    EXPECT_TRUE(SameResult(a.result, b.result)) << "trial " << i;
+  }
+}
+
+TEST(FaultInjectorTest, IterativenessFollowsInnerSystem) {
+  ScriptedSystem flat;
+  FaultInjectingSystem over_flat(&flat, FaultProfile::FromRate(0.0));
+  EXPECT_EQ(over_flat.AsIterative(), nullptr);
+
+  QuadraticSystem iterative;
+  FaultInjectingSystem over_iterative(&iterative,
+                                      FaultProfile::FromRate(0.0));
+  IterativeSystem* as_iterative = over_iterative.AsIterative();
+  ASSERT_NE(as_iterative, nullptr);
+  EXPECT_EQ(as_iterative->NumUnits(MockWorkload()), 4u);
+  auto unit = as_iterative->ExecuteUnit(
+      iterative.space().DefaultConfiguration(), MockWorkload(), 0);
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(iterative.unit_executions(), 1u);
+}
+
+TEST(FaultInjectorTest, MetricDropoutDamagesMetricsDeterministically) {
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  FaultProfile profile;
+  profile.metric_dropout_rate = 1.0;
+  auto bare = MakeDbms(5);
+  auto inner = MakeDbms(5);
+  auto inner_twin = MakeDbms(5);
+  FaultInjectingSystem injected(inner.get(), profile);
+  FaultInjectingSystem twin(inner_twin.get(), profile);
+  Configuration config = bare->space().DefaultConfiguration();
+  auto clean = bare->Execute(config, workload);
+  auto damaged = injected.Execute(config, workload);
+  auto damaged_twin = twin.Execute(config, workload);
+  ASSERT_TRUE(clean.ok() && damaged.ok() && damaged_twin.ok());
+  // Runtime is untouched; the metric vector is what the glitch hits.
+  EXPECT_DOUBLE_EQ(clean->runtime_seconds, damaged->runtime_seconds);
+  EXPECT_LT(damaged->metrics.size(), clean->metrics.size());
+  EXPECT_TRUE(SameResult(*damaged, *damaged_twin));
+}
+
+}  // namespace
+}  // namespace atune

@@ -16,6 +16,12 @@
 //   --parallelism=N                 experiments per round     [1]
 //       batch-aware tuners (random/grid/recursive-random/ituned) run N
 //       experiments concurrently per wall-clock round; budget unchanged
+//   --fault-rate=F                  inject faults at rate F   [0]
+//       wraps the system in FaultInjectingSystem (FaultProfile::FromRate):
+//       transient failures at F, stragglers/metric dropout at F/2, hangs
+//       at F/5 — exercise the Evaluator's measurement-robustness policy
+//   --timeout-seconds=F             watchdog kill threshold   [0 = off]
+//   --max-retries=N                 transient-failure retries [2]
 //   --csv                           machine-readable trial log on stdout
 //   --list                          print available tuners and workloads
 
@@ -31,6 +37,7 @@
 #include "core/registry.h"
 #include "core/session.h"
 #include "systems/dbms/dbms_system.h"
+#include "systems/fault_injector.h"
 #include "systems/dbms/dbms_workloads.h"
 #include "systems/mapreduce/mr_system.h"
 #include "systems/mapreduce/mr_workloads.h"
@@ -50,6 +57,9 @@ struct CliOptions {
   size_t nodes = 0;  // 0 = per-system default
   double scale = 1.0;
   size_t parallelism = 1;
+  double fault_rate = 0.0;
+  double timeout_seconds = 0.0;
+  size_t max_retries = 2;
   bool csv = false;
   bool list = false;
 };
@@ -90,6 +100,16 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.parallelism = static_cast<size_t>(std::strtoull(value.c_str(),
                                                               nullptr, 10));
       if (options.parallelism == 0) options.parallelism = 1;
+    } else if (ParseFlag(arg, "fault-rate", &value)) {
+      options.fault_rate = std::strtod(value.c_str(), nullptr);
+      if (options.fault_rate < 0.0 || options.fault_rate > 1.0) {
+        return Status::InvalidArgument("--fault-rate must be in [0, 1]");
+      }
+    } else if (ParseFlag(arg, "timeout-seconds", &value)) {
+      options.timeout_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "max-retries", &value)) {
+      options.max_retries = static_cast<size_t>(std::strtoull(value.c_str(),
+                                                              nullptr, 10));
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -172,13 +192,23 @@ int RunCli(const CliOptions& options) {
     return 2;
   }
   auto system = MakeSystemFor(options.system, options.nodes, options.seed);
+  TunableSystem* target = system.get();
+  std::unique_ptr<FaultInjectingSystem> faulty;
+  if (options.fault_rate > 0.0) {
+    faulty = std::make_unique<FaultInjectingSystem>(
+        system.get(),
+        FaultProfile::FromRate(options.fault_rate, options.seed ^ 0xFA17));
+    target = faulty.get();
+  }
   (*tuner)->set_parallelism(options.parallelism);
 
   SessionOptions session;
   session.budget.max_evaluations = options.budget;
   session.seed = options.seed;
+  session.robustness.max_retries = options.max_retries;
+  session.robustness.timeout_seconds = options.timeout_seconds;
   auto outcome =
-      RunTuningSession(tuner->get(), system.get(), wit->second, session);
+      RunTuningSession(tuner->get(), target, wit->second, session);
   if (!outcome.ok()) {
     std::fprintf(stderr, "tuning failed: %s\n",
                  outcome.status().ToString().c_str());
@@ -208,6 +238,14 @@ int RunCli(const CliOptions& options) {
               outcome->best_objective, outcome->speedup_over_default,
               outcome->evaluations_used, options.budget,
               outcome->failed_runs);
+  if (options.fault_rate > 0.0 || options.timeout_seconds > 0.0 ||
+      outcome->retried_runs + outcome->timed_out_runs +
+          outcome->remeasured_runs + outcome->censored_runs > 0) {
+    std::printf("robust:    %zu retried, %zu timed out, %zu re-measured, "
+                "%zu censored\n",
+                outcome->retried_runs, outcome->timed_out_runs,
+                outcome->remeasured_runs, outcome->censored_runs);
+  }
   std::printf("config:    %s\n", outcome->best_config.ToString().c_str());
   std::printf("report:    %s\n", outcome->tuner_report.c_str());
   return 0;

@@ -6,9 +6,34 @@
 #
 #   tools/run_checks.sh            # both sanitizers, full ctest
 #   tools/run_checks.sh tsan       # just one preset
+#   tools/run_checks.sh --smoke    # default build + every bench binary on a
+#                                  # tiny budget (ATUNE_SMOKE=1): catches
+#                                  # harness rot without the paper-scale cost
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--smoke" ]; then
+  jobs="$(nproc 2>/dev/null || echo 2)"
+  echo "=== [smoke] configure + build (default preset) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  echo "=== [smoke] benches at ATUNE_SMOKE=1 ==="
+  # bench_micro is a google-benchmark binary: listing its benchmarks proves
+  # it links and registers without paying for a timing run.
+  ./build/bench/bench_micro --benchmark_list_tests > /dev/null
+  echo "bench_micro: ok (listed)"
+  for bench in build/bench/bench_*; do
+    name="$(basename "$bench")"
+    [ "$name" = "bench_micro" ] && continue
+    [ -x "$bench" ] || continue
+    echo "--- $name ---"
+    ATUNE_SMOKE=1 "$bench" > /dev/null
+    echo "$name: ok"
+  done
+  echo "smoke checks passed"
+  exit 0
+fi
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
