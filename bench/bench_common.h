@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/session.h"
 #include "core/tuner.h"
 #include "systems/dbms/dbms_system.h"
 #include "systems/dbms/dbms_workloads.h"
@@ -127,6 +128,31 @@ inline uint64_t HistoryChecksum(const std::vector<Trial>& history) {
     std::memcpy(&bits, &t.cost, sizeof(bits));
     h = Fnv1a(h, &bits, sizeof(bits));
   }
+  return h;
+}
+
+/// Checksum of a whole session outcome: the trial history (as above) plus
+/// best config/objective, budget used, and every robustness/failure
+/// counter. Two sessions with equal OutcomeChecksums made the same
+/// measurements, spent the same budget, and repaired the same faults —
+/// the durability harness's definition of "bit-identical resume".
+/// TuningOutcome::replayed_records is deliberately excluded: it is the one
+/// field resumption is *supposed* to change.
+inline uint64_t OutcomeChecksum(const TuningOutcome& outcome) {
+  uint64_t h = HistoryChecksum(outcome.history);
+  std::string best_cfg = outcome.best_config.ToString();
+  h = Fnv1a(h, best_cfg.data(), best_cfg.size());
+  auto mix_double = [&h](double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    h = Fnv1a(h, &bits, sizeof(bits));
+  };
+  mix_double(outcome.best_objective);
+  mix_double(outcome.evaluations_used);
+  uint64_t counters[] = {outcome.failed_runs,   outcome.censored_runs,
+                         outcome.retried_runs,  outcome.timed_out_runs,
+                         outcome.remeasured_runs};
+  h = Fnv1a(h, counters, sizeof(counters));
   return h;
 }
 

@@ -1,0 +1,427 @@
+// E14 — durability: a tuning campaign on a real cluster is hours long and
+// dies for boring reasons (preemption, OOM on the driver, an operator ^C).
+// The write-ahead trial journal (core/journal.h) makes every committed
+// observation durable before the tuner sees it, and ResumeTuningSession
+// reconstructs the session by deterministic replay. This harness is the
+// acceptance gate for that guarantee:
+//
+//   * kill/resume bit-identity: for every registered tuner that tunes the
+//     DBMS, at parallelism 1 AND 8, kill the session after 1, n/2, n-1, and
+//     a seeded-random number of journaled records, resume, and require the
+//     final OutcomeChecksum (history + best + budget + robustness counters)
+//     to equal the uninterrupted baseline's, with zero budget leak
+//     (|used - sum(trial costs)| < 1e-6).
+//   * torn-journal fuzzing: truncate the journal mid-record, flip a byte,
+//     append duplicate record bytes, or empty the file entirely; recovery
+//     must keep the longest valid prefix without aborting, and the resumed
+//     session must still reach the identical outcome (dropped records are
+//     simply re-executed — corruption costs wall-clock, never correctness).
+//
+// Results go to console + BENCH_durability.json + BENCH_durability.csv.
+// Unlike the other harnesses this one gates its exit code even under
+// ATUNE_SMOKE: durability is a correctness property, not a paper-scale
+// number, so the smoke pass must still prove it.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/csv.h"
+#include "common/file_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/journal.h"
+#include "core/registry.h"
+#include "core/session.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/fault_injector.h"
+#include "tuners/builtin.h"
+
+namespace atune {
+namespace bench {
+namespace {
+
+const size_t kBudget = SmokeSize(14, 6);
+const uint64_t kSeed = 5;
+const double kFuzzFaultRate = 0.15;
+
+struct RunSpec {
+  std::string tuner;
+  size_t parallelism = 1;
+  std::string journal_path;  // empty = un-journaled
+  uint64_t kill_after = 0;   // 0 = run to completion
+  bool resume = false;
+  double fault_rate = 0.0;
+};
+
+struct RunResult {
+  Status status = Status::OK();
+  bool ok = false;
+  uint64_t checksum = 0;
+  double used = 0.0;
+  double cost_sum = 0.0;
+  size_t trials = 0;
+  size_t replayed = 0;
+};
+
+RunResult RunSession(const RunSpec& spec) {
+  RunResult out;
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  auto tuner = registry.Create(spec.tuner);
+  if (!tuner.ok()) {
+    out.status = tuner.status();
+    return out;
+  }
+  (*tuner)->set_parallelism(spec.parallelism);
+
+  auto dbms = MakeDbms(kSeed + 1);
+  TunableSystem* target = dbms.get();
+  std::unique_ptr<FaultInjectingSystem> faulty;
+  if (spec.fault_rate > 0.0) {
+    FaultProfile profile;
+    profile.transient_failure_rate = spec.fault_rate;
+    faulty = std::make_unique<FaultInjectingSystem>(dbms.get(), profile);
+    target = faulty.get();
+  }
+
+  SessionOptions options;
+  options.budget = TuningBudget{kBudget};
+  options.seed = kSeed + 100;
+  options.measure_default = false;
+  options.journal_path = spec.journal_path;
+  options.interrupt_after_records = spec.kill_after;
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  auto outcome =
+      spec.resume
+          ? ResumeTuningSession(tuner->get(), target, workload, options)
+          : RunTuningSession(tuner->get(), target, workload, options);
+  if (!outcome.ok()) {
+    out.status = outcome.status();
+    return out;
+  }
+  out.ok = true;
+  out.checksum = OutcomeChecksum(*outcome);
+  out.used = outcome->evaluations_used;
+  for (const Trial& t : outcome->history) out.cost_sum += t.cost;
+  out.trials = outcome->history.size();
+  out.replayed = outcome->replayed_records;
+  return out;
+}
+
+/// Record count of a finished journal (reopens it read-mostly; the file is
+/// intact, so recovery returns everything).
+uint64_t JournalRecordCount(const std::string& path) {
+  auto recovered = TrialJournal::OpenForResume(path);
+  if (!recovered.ok()) return 0;
+  return recovered->records.size();
+}
+
+struct KillCase {
+  uint64_t kill_after = 0;
+  bool aborted_cleanly = false;
+  bool checksum_match = false;
+  bool no_leak = false;
+  size_t replayed = 0;
+};
+
+struct TunerRow {
+  std::string tuner;
+  size_t parallelism = 1;
+  bool applicable = false;
+  bool baseline_ok = false;
+  uint64_t records = 0;
+  uint64_t baseline_checksum = 0;
+  std::vector<KillCase> kills;
+  bool pass = true;
+};
+
+/// Kill the session after `kill_after` journaled records, then resume on a
+/// fresh identical system and compare against the uninterrupted baseline.
+KillCase RunKillResume(const std::string& tuner, size_t parallelism,
+                       uint64_t kill_after, uint64_t baseline_checksum,
+                       const std::string& path, double fault_rate) {
+  KillCase kc;
+  kc.kill_after = kill_after;
+  std::remove(path.c_str());
+
+  RunSpec killed;
+  killed.tuner = tuner;
+  killed.parallelism = parallelism;
+  killed.journal_path = path;
+  killed.kill_after = kill_after;
+  killed.fault_rate = fault_rate;
+  RunResult interrupted = RunSession(killed);
+  // The kill must surface as a clean kAborted, never a success or a crash.
+  kc.aborted_cleanly =
+      !interrupted.ok && interrupted.status.code() == StatusCode::kAborted;
+
+  RunSpec resumed = killed;
+  resumed.kill_after = 0;
+  resumed.resume = true;
+  RunResult final = RunSession(resumed);
+  kc.checksum_match = final.ok && final.checksum == baseline_checksum;
+  kc.no_leak = final.ok && std::abs(final.used - final.cost_sum) < 1e-6;
+  kc.replayed = final.replayed;
+  std::remove(path.c_str());
+  return kc;
+}
+
+TunerRow RunTunerMatrix(const std::string& tuner, size_t parallelism) {
+  TunerRow row;
+  row.tuner = tuner;
+  row.parallelism = parallelism;
+  const std::string path =
+      StrFormat("bench_durability_%s_p%zu.wal", tuner.c_str(), parallelism);
+
+  // Probe: does this tuner tune the DBMS at all (without a journal)?
+  RunSpec probe;
+  probe.tuner = tuner;
+  probe.parallelism = parallelism;
+  if (!RunSession(probe).ok) return row;  // wrong platform; not applicable
+  row.applicable = true;
+
+  // Uninterrupted journaled baseline.
+  std::remove(path.c_str());
+  RunSpec base = probe;
+  base.journal_path = path;
+  RunResult baseline = RunSession(base);
+  row.baseline_ok = baseline.ok;
+  row.records = JournalRecordCount(path);
+  row.baseline_checksum = baseline.checksum;
+  std::remove(path.c_str());
+  if (!baseline.ok || row.records < 2) {
+    // One-shot tuners have no mid-run to kill; the journaled baseline
+    // itself passing is the whole durability story for them.
+    row.pass = baseline.ok;
+    return row;
+  }
+
+  std::set<uint64_t> kill_points = {1, row.records / 2, row.records - 1};
+  Rng rng(DeriveSeed(kSeed, Fnv1a(kFnvOffsetBasis, tuner.data(),
+                                  tuner.size())));
+  kill_points.insert(static_cast<uint64_t>(
+      rng.UniformInt(1, static_cast<int64_t>(row.records - 1))));
+  for (uint64_t kill : kill_points) {
+    if (kill == 0 || kill >= row.records) continue;
+    KillCase kc = RunKillResume(tuner, parallelism, kill,
+                                row.baseline_checksum, path, 0.0);
+    row.pass = row.pass && kc.aborted_cleanly && kc.checksum_match &&
+               kc.no_leak;
+    row.kills.push_back(kc);
+  }
+  return row;
+}
+
+struct FuzzCase {
+  std::string name;
+  bool recovered = false;  // OpenForResume did not error out
+  bool checksum_match = false;
+};
+
+/// Corrupt a mid-session journal in byte-level ways a real crash (or a bad
+/// disk) produces, then resume: recovery must keep the longest valid prefix
+/// without aborting and the final outcome must still match the baseline.
+std::vector<FuzzCase> RunFuzz(const std::string& tuner) {
+  std::vector<FuzzCase> cases;
+  const std::string path =
+      StrFormat("bench_durability_fuzz_%s.wal", tuner.c_str());
+
+  // Baseline under fault injection, so robustness counters are live state
+  // the journal must carry too.
+  std::remove(path.c_str());
+  RunSpec base;
+  base.tuner = tuner;
+  base.journal_path = path;
+  base.fault_rate = kFuzzFaultRate;
+  RunResult baseline = RunSession(base);
+  const uint64_t records = JournalRecordCount(path);
+  std::remove(path.c_str());
+  if (!baseline.ok || records < 2) return cases;
+
+  // A mid-session journal to corrupt (killed partway through).
+  RunSpec killed = base;
+  killed.kill_after = std::min<uint64_t>(4, records - 1);
+  RunSession(killed);
+  std::string victim;
+  ReadFileToString(path, &victim);
+  std::remove(path.c_str());
+
+  struct Mutation {
+    std::string name;
+    std::string bytes;
+  };
+  std::vector<Mutation> mutations;
+  Rng rng(DeriveSeed(kSeed, 0xF022));
+  if (victim.size() > 16) {
+    // Torn tail: the last record was half-written when the machine died.
+    size_t cut = victim.size() -
+                 static_cast<size_t>(rng.UniformInt(
+                     1, static_cast<int64_t>(victim.size() / 2)));
+    mutations.push_back({"truncated_mid_record", victim.substr(0, cut)});
+    // Bit rot: one byte in a committed record flips.
+    std::string flipped = victim;
+    flipped[flipped.size() / 2] =
+        static_cast<char>(flipped[flipped.size() / 2] ^ 0x40);
+    mutations.push_back({"flipped_byte", flipped});
+    // Duplicate tail bytes: a confused writer appended the last frame again
+    // (the duplicate seq must be rejected, not replayed twice).
+    size_t tail = std::min<size_t>(48, victim.size() / 2);
+    mutations.push_back(
+        {"duplicated_tail_bytes", victim + victim.substr(victim.size() - tail)});
+  }
+  // Total loss: the journal file exists but is empty.
+  mutations.push_back({"empty_file", ""});
+
+  for (const Mutation& mutation : mutations) {
+    FuzzCase fc;
+    fc.name = mutation.name;
+    std::remove(path.c_str());
+    if (!AtomicWriteFile(path, mutation.bytes).ok()) {
+      cases.push_back(fc);
+      continue;
+    }
+    // Recovery itself must never abort on corruption.
+    auto recovered = TrialJournal::OpenForResume(path);
+    fc.recovered = recovered.ok();
+    RunSpec resume = base;
+    resume.resume = true;
+    RunResult final = RunSession(resume);
+    fc.checksum_match = final.ok && final.checksum == baseline.checksum;
+    cases.push_back(fc);
+  }
+  std::remove(path.c_str());
+  return cases;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace atune
+
+int main() {
+  using namespace atune;
+  using namespace atune::bench;
+
+  PrintHeader("E14: bench_durability",
+              "write-ahead trial journal + deterministic replay resume",
+              "kill/resume bit-identity for every registry tuner at "
+              "parallelism 1 and 8; torn-journal fuzzing recovers the "
+              "longest valid prefix.");
+
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+
+  std::vector<TunerRow> rows;
+  bool matrix_pass = true;
+  size_t applicable = 0;
+  std::printf("\nkill/resume bit-identity (budget %zu, kill points "
+              "{1, n/2, n-1, random}):\n",
+              kBudget);
+  std::printf("%-18s %3s  %7s  %5s  %s\n", "tuner", "par", "records",
+              "kills", "verdict");
+  for (const std::string& name : registry.Names()) {
+    for (size_t parallelism : {size_t{1}, size_t{8}}) {
+      TunerRow row = RunTunerMatrix(name, parallelism);
+      if (!row.applicable) continue;
+      if (parallelism == 1) ++applicable;
+      matrix_pass = matrix_pass && row.pass;
+      std::printf("%-18s %3zu  %7llu  %5zu  %s\n", row.tuner.c_str(),
+                  row.parallelism,
+                  static_cast<unsigned long long>(row.records),
+                  row.kills.size(),
+                  row.pass ? "identical" : "DIFFERS/FAILED");
+      rows.push_back(std::move(row));
+    }
+  }
+  std::printf("(%zu registered tuners tune this system)\n", applicable);
+
+  std::vector<FuzzCase> fuzz = RunFuzz("ituned");
+  bool fuzz_pass = !fuzz.empty();
+  std::printf("\ntorn-journal fuzzing (ituned, %.0f%% transient faults):\n",
+              kFuzzFaultRate * 100.0);
+  for (const FuzzCase& fc : fuzz) {
+    bool pass = fc.recovered && fc.checksum_match;
+    fuzz_pass = fuzz_pass && pass;
+    std::printf("  %-24s recovery %-4s  resumed outcome %s\n",
+                fc.name.c_str(), fc.recovered ? "ok" : "FAIL",
+                fc.checksum_match ? "identical" : "DIFFERS");
+  }
+
+  bool pass = matrix_pass && fuzz_pass;
+  std::printf("\nacceptance: kill/resume bit-identity %s, fuzz recovery %s\n",
+              matrix_pass ? "PASS" : "FAIL", fuzz_pass ? "PASS" : "FAIL");
+
+  // JSON + CSV artifacts, both published atomically (write-temp-then-
+  // rename): a crash mid-report can't leave a torn half-written file.
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"bench_durability\",\n";
+  json << "  \"budget\": " << kBudget << ",\n  \"matrix\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TunerRow& row = rows[i];
+    json << StrFormat(
+        "    {\"tuner\": \"%s\", \"parallelism\": %zu, \"records\": %llu, "
+        "\"baseline_checksum\": \"%016llx\", \"kill_cases\": [",
+        row.tuner.c_str(), row.parallelism,
+        static_cast<unsigned long long>(row.records),
+        static_cast<unsigned long long>(row.baseline_checksum));
+    for (size_t k = 0; k < row.kills.size(); ++k) {
+      const KillCase& kc = row.kills[k];
+      json << StrFormat(
+          "%s{\"kill_after\": %llu, \"aborted_cleanly\": %s, "
+          "\"checksum_match\": %s, \"no_budget_leak\": %s, "
+          "\"replayed\": %zu}",
+          k > 0 ? ", " : "", static_cast<unsigned long long>(kc.kill_after),
+          kc.aborted_cleanly ? "true" : "false",
+          kc.checksum_match ? "true" : "false",
+          kc.no_leak ? "true" : "false", kc.replayed);
+    }
+    json << StrFormat("], \"pass\": %s}%s\n", row.pass ? "true" : "false",
+                      i + 1 < rows.size() ? "," : "");
+  }
+  json << "  ],\n  \"fuzz\": [\n";
+  for (size_t i = 0; i < fuzz.size(); ++i) {
+    json << StrFormat(
+        "    {\"case\": \"%s\", \"recovered\": %s, \"checksum_match\": "
+        "%s}%s\n",
+        fuzz[i].name.c_str(), fuzz[i].recovered ? "true" : "false",
+        fuzz[i].checksum_match ? "true" : "false",
+        i + 1 < fuzz.size() ? "," : "");
+  }
+  json << StrFormat(
+      "  ],\n  \"pass\": {\"matrix\": %s, \"fuzz\": %s}\n}\n",
+      matrix_pass ? "true" : "false", fuzz_pass ? "true" : "false");
+  if (AtomicWriteFile("BENCH_durability.json", json.str()).ok()) {
+    std::printf("wrote BENCH_durability.json\n");
+  }
+
+  TableWriter csv({"tuner", "parallelism", "records", "kill_after",
+                   "aborted_cleanly", "checksum_match", "no_budget_leak",
+                   "replayed"});
+  for (const TunerRow& row : rows) {
+    for (const KillCase& kc : row.kills) {
+      csv.AddRow({row.tuner, StrFormat("%zu", row.parallelism),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(row.records)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(kc.kill_after)),
+                  kc.aborted_cleanly ? "1" : "0",
+                  kc.checksum_match ? "1" : "0", kc.no_leak ? "1" : "0",
+                  StrFormat("%zu", kc.replayed)});
+    }
+  }
+  if (csv.WriteCsvFile("BENCH_durability.csv").ok()) {
+    std::printf("wrote BENCH_durability.csv\n");
+  }
+
+  // Deliberately NOT AcceptanceExit(): durability must gate smoke runs too.
+  return pass ? 0 : 1;
+}

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/file_util.h"
 #include "common/string_util.h"
 #include "core/session.h"
 #include "ml/gaussian_process.h"
@@ -301,8 +302,9 @@ int main() {
               all_replays_ok && baselines_serial_equal ? "PASS" : "FAIL",
               gp_timings.back().ratio, gp_pass ? "PASS" : "FAIL");
 
-  // Machine-readable mirror of everything above.
-  FILE* json = std::fopen("BENCH_parallel_engine.json", "w");
+  // Machine-readable mirror of everything above, published atomically
+  // (write-temp-then-rename) so a crash can't leave a torn report.
+  FILE* json = std::fopen("BENCH_parallel_engine.json.tmp", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"experiment\": \"bench_parallel_engine\",\n");
     std::fprintf(json, "  \"seeds\": %zu,\n  \"budget\": %zu,\n", kSeeds,
@@ -350,8 +352,9 @@ int main() {
                  speedup_pass ? "true" : "false",
                  all_replays_ok && baselines_serial_equal ? "true" : "false",
                  gp_pass ? "true" : "false");
-    std::fclose(json);
-    std::printf("wrote BENCH_parallel_engine.json\n");
+    if (CommitTempFile(json, "BENCH_parallel_engine.json").ok()) {
+      std::printf("wrote BENCH_parallel_engine.json\n");
+    }
   }
   return AcceptanceExit(speedup_pass && gp_pass && all_replays_ok &&
                         baselines_serial_equal);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/file_util.h"
 #include "common/string_util.h"
 #include "core/registry.h"
 #include "core/session.h"
@@ -305,7 +306,9 @@ int main() {
               identity_pass ? "PASS" : "FAIL", matrix_pass ? "PASS" : "FAIL",
               completion_pass ? "PASS" : "FAIL");
 
-  FILE* json = std::fopen("BENCH_robustness.json", "w");
+  // Published atomically (write-temp-then-rename): a crash mid-report
+  // can't leave a torn half-written file.
+  FILE* json = std::fopen("BENCH_robustness.json.tmp", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"experiment\": \"bench_robustness\",\n");
     std::fprintf(json, "  \"seeds\": %zu,\n  \"budget\": %zu,\n", kSeeds,
@@ -355,8 +358,9 @@ int main() {
                  identity_pass ? "true" : "false",
                  matrix_pass ? "true" : "false",
                  completion_pass ? "true" : "false");
-    std::fclose(json);
-    std::printf("wrote BENCH_robustness.json\n");
+    if (CommitTempFile(json, "BENCH_robustness.json").ok()) {
+      std::printf("wrote BENCH_robustness.json\n");
+    }
   }
   return AcceptanceExit(pass);
 }

@@ -1,6 +1,9 @@
 #include "common/csv.h"
 
 #include <algorithm>
+#include <sstream>
+
+#include "common/file_util.h"
 
 namespace atune {
 
@@ -38,6 +41,12 @@ void TableWriter::WriteCsv(std::ostream& os) const {
     }
     os << "\n";
   }
+}
+
+Status TableWriter::WriteCsvFile(const std::string& path) const {
+  std::ostringstream buffer;
+  WriteCsv(buffer);
+  return AtomicWriteFile(path, buffer.str());
 }
 
 void TableWriter::WritePretty(std::ostream& os) const {

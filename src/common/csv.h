@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace atune {
 
 /// Minimal CSV/table emitter used by benchmark harnesses: collects rows and
@@ -21,6 +23,11 @@ class TableWriter {
   /// Writes comma-separated values (fields containing commas/quotes are
   /// quoted).
   void WriteCsv(std::ostream& os) const;
+
+  /// Crash-safe file variant of WriteCsv: renders the whole table and
+  /// publishes it via AtomicWriteFile (write-temp, fsync, rename), so an
+  /// interrupted harness never leaves a truncated CSV behind.
+  Status WriteCsvFile(const std::string& path) const;
 
   /// Writes an aligned, boxed ASCII table.
   void WritePretty(std::ostream& os) const;

@@ -1,0 +1,128 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace atune {
+namespace {
+
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::Internal(
+      StrFormat("%s '%s': %s", op, path.c_str(), std::strerror(errno)));
+}
+
+}  // namespace
+
+uint32_t Crc32(uint32_t seed, const void* data, size_t n) {
+  static const std::array<uint32_t, 256> table = MakeCrc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrFormat("no such file: '%s'", path.c_str()));
+    }
+    return Errno("open", path);
+  }
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Errno("read", path);
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("create", tmp);
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Errno("write", tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("rename", tmp);
+  }
+  return Status::OK();
+}
+
+Status CommitTempFile(std::FILE* f, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  if (f == nullptr) return Status::InvalidArgument("CommitTempFile: null file");
+  bool flushed = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  Status flush_error = flushed ? Status::OK() : Errno("flush", tmp);
+  if (std::fclose(f) != 0 && flushed) flush_error = Errno("close", tmp);
+  if (!flush_error.ok()) {
+    ::unlink(tmp.c_str());
+    return flush_error;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("rename", tmp);
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t length) {
+  if (::truncate(path.c_str(), static_cast<off_t>(length)) != 0) {
+    return Errno("truncate", path);
+  }
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Errno("open", path);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync", path);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace atune

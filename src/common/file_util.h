@@ -1,0 +1,39 @@
+#ifndef ATUNE_COMMON_FILE_UTIL_H_
+#define ATUNE_COMMON_FILE_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace atune {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `n` bytes, continuing from
+/// `seed` (pass 0 for a fresh checksum). Used to frame write-ahead journal
+/// records so torn or corrupted tails are detectable on recovery.
+uint32_t Crc32(uint32_t seed, const void* data, size_t n);
+
+/// Reads an entire file into `*out`. NotFound if the file does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Crash-safe whole-file write: writes `contents` to `path + ".tmp"`,
+/// flushes and fsyncs it, then atomically renames it over `path`. A reader
+/// (or a restart after a crash) therefore sees either the old file or the
+/// complete new one — never a torn mixture. This is how every BENCH_*.json
+/// and CSV artifact is published.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Truncates `path` to `length` bytes and fsyncs it. Used by journal
+/// recovery to physically discard a corrupt tail.
+Status TruncateFile(const std::string& path, uint64_t length);
+
+/// Completes an atomic publish for a stream opened on `path + ".tmp"`:
+/// flushes and fsyncs `f`, closes it (always, even on error), and renames
+/// the temp file over `path`. Lets FILE*-style report writers get the same
+/// crash-safety as AtomicWriteFile without buffering everything in memory.
+Status CommitTempFile(std::FILE* f, const std::string& path);
+
+}  // namespace atune
+
+#endif  // ATUNE_COMMON_FILE_UTIL_H_

@@ -1,0 +1,495 @@
+#include "core/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+
+namespace atune {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'T', 'U', 'N', 'E', 'W', 'A', 'L'};
+constexpr uint32_t kVersion = 1;
+/// Sanity cap on one frame; a corrupt length field must not trigger a
+/// gigantic allocation during recovery.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// ---- byte-buffer primitives (little-endian) -------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked reader over a payload; any overrun marks it bad and all
+/// later Gets fail, so parse code can check ok() once at the end.
+class Reader {
+ public:
+  Reader(const char* data, size_t n) : p_(data), end_(data + n) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return p_ == end_; }
+
+  uint8_t GetU8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(*p_++);
+  }
+  uint32_t GetU32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(*p_++)) << (8 * i);
+    }
+    return v;
+  }
+  uint64_t GetU64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(*p_++)) << (8 * i);
+    }
+    return v;
+  }
+  double GetDouble() {
+    uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string GetString() {
+    uint32_t n = GetU32();
+    if (!Require(n)) return std::string();
+    std::string s(p_, n);
+    p_ += n;
+    return s;
+  }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || static_cast<size_t>(end_ - p_) < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+// ---- domain-type serialization --------------------------------------------
+
+void PutConfiguration(std::string* out, const Configuration& config) {
+  PutU32(out, static_cast<uint32_t>(config.values().size()));
+  for (const auto& [name, value] : config.values()) {  // sorted: std::map
+    PutString(out, name);
+    PutU8(out, static_cast<uint8_t>(value.index()));
+    if (const auto* i = std::get_if<int64_t>(&value)) {
+      PutU64(out, static_cast<uint64_t>(*i));
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      PutDouble(out, *d);
+    } else if (const auto* b = std::get_if<bool>(&value)) {
+      PutU8(out, *b ? 1 : 0);
+    } else {
+      PutString(out, std::get<std::string>(value));
+    }
+  }
+}
+
+bool GetConfiguration(Reader* in, Configuration* config) {
+  uint32_t n = in->GetU32();
+  for (uint32_t i = 0; i < n && in->ok(); ++i) {
+    std::string name = in->GetString();
+    uint8_t tag = in->GetU8();
+    switch (tag) {
+      case 0:
+        config->SetInt(name, static_cast<int64_t>(in->GetU64()));
+        break;
+      case 1:
+        config->SetDouble(name, in->GetDouble());
+        break;
+      case 2:
+        config->SetBool(name, in->GetU8() != 0);
+        break;
+      case 3:
+        config->SetString(name, in->GetString());
+        break;
+      default:
+        return false;
+    }
+  }
+  return in->ok();
+}
+
+void PutExecutionResult(std::string* out, const ExecutionResult& result) {
+  PutDouble(out, result.runtime_seconds);
+  PutU8(out, result.failed ? 1 : 0);
+  PutU8(out, result.transient ? 1 : 0);
+  PutU8(out, result.censored ? 1 : 0);
+  PutString(out, result.failure_reason);
+  PutU32(out, static_cast<uint32_t>(result.metrics.size()));
+  for (const auto& [key, value] : result.metrics) {
+    PutString(out, key);
+    PutDouble(out, value);
+  }
+}
+
+bool GetExecutionResult(Reader* in, ExecutionResult* result) {
+  result->runtime_seconds = in->GetDouble();
+  result->failed = in->GetU8() != 0;
+  result->transient = in->GetU8() != 0;
+  result->censored = in->GetU8() != 0;
+  result->failure_reason = in->GetString();
+  uint32_t n = in->GetU32();
+  for (uint32_t i = 0; i < n && in->ok(); ++i) {
+    std::string key = in->GetString();
+    result->metrics[key] = in->GetDouble();
+  }
+  return in->ok();
+}
+
+std::string SerializeHeader(const JournalHeader& header) {
+  std::string out;
+  PutString(&out, header.tuner_name);
+  PutString(&out, header.system_name);
+  PutString(&out, header.workload_name);
+  PutString(&out, header.workload_kind);
+  PutDouble(&out, header.workload_scale);
+  PutU32(&out, static_cast<uint32_t>(header.workload_properties.size()));
+  for (const auto& [key, value] : header.workload_properties) {
+    PutString(&out, key);
+    PutDouble(&out, value);
+  }
+  PutU64(&out, header.seed);
+  PutU64(&out, header.max_evaluations);
+  PutDouble(&out, header.failure_penalty);
+  PutU64(&out, header.max_retries);
+  PutDouble(&out, header.retry_cost_fraction);
+  PutDouble(&out, header.timeout_seconds);
+  PutDouble(&out, header.outlier_mad_threshold);
+  PutU64(&out, header.outlier_min_history);
+  PutU64(&out, header.remeasure_runs);
+  return out;
+}
+
+bool ParseHeader(const std::string& payload, JournalHeader* header) {
+  Reader in(payload.data(), payload.size());
+  header->tuner_name = in.GetString();
+  header->system_name = in.GetString();
+  header->workload_name = in.GetString();
+  header->workload_kind = in.GetString();
+  header->workload_scale = in.GetDouble();
+  uint32_t n = in.GetU32();
+  for (uint32_t i = 0; i < n && in.ok(); ++i) {
+    std::string key = in.GetString();
+    header->workload_properties[key] = in.GetDouble();
+  }
+  header->seed = in.GetU64();
+  header->max_evaluations = in.GetU64();
+  header->failure_penalty = in.GetDouble();
+  header->max_retries = in.GetU64();
+  header->retry_cost_fraction = in.GetDouble();
+  header->timeout_seconds = in.GetDouble();
+  header->outlier_mad_threshold = in.GetDouble();
+  header->outlier_min_history = in.GetU64();
+  header->remeasure_runs = in.GetU64();
+  return in.ok() && in.AtEnd();
+}
+
+std::string SerializeRecord(const JournalRecord& record) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(record.kind));
+  PutU64(&out, record.seq);
+  PutConfiguration(&out, record.config);
+  PutExecutionResult(&out, record.result);
+  PutDouble(&out, record.objective);
+  PutDouble(&out, record.cost);
+  PutU8(&out, record.scaled ? 1 : 0);
+  PutU64(&out, record.round);
+  PutU64(&out, record.batch_size);
+  PutU64(&out, record.lane);
+  PutU64(&out, record.unit_index);
+  PutU64(&out, record.system_runs);
+  PutDouble(&out, record.used);
+  PutU64(&out, record.retried_runs);
+  PutU64(&out, record.timed_out_runs);
+  PutU64(&out, record.remeasured_runs);
+  return out;
+}
+
+bool ParseRecord(const std::string& payload, JournalRecord* record) {
+  Reader in(payload.data(), payload.size());
+  uint8_t kind = in.GetU8();
+  if (kind != static_cast<uint8_t>(JournalRecordKind::kTrial) &&
+      kind != static_cast<uint8_t>(JournalRecordKind::kUnit)) {
+    return false;
+  }
+  record->kind = static_cast<JournalRecordKind>(kind);
+  record->seq = in.GetU64();
+  if (!GetConfiguration(&in, &record->config)) return false;
+  if (!GetExecutionResult(&in, &record->result)) return false;
+  record->objective = in.GetDouble();
+  record->cost = in.GetDouble();
+  record->scaled = in.GetU8() != 0;
+  record->round = in.GetU64();
+  record->batch_size = in.GetU64();
+  record->lane = in.GetU64();
+  record->unit_index = in.GetU64();
+  record->system_runs = in.GetU64();
+  record->used = in.GetDouble();
+  record->retried_runs = in.GetU64();
+  record->timed_out_runs = in.GetU64();
+  record->remeasured_runs = in.GetU64();
+  return in.ok() && in.AtEnd();
+}
+
+std::string Frame(const std::string& payload) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32(0, payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+/// Reads one frame at `*offset`, advancing it past the frame on success.
+/// Returns false on a truncated, torn, oversized, or CRC-mismatched frame
+/// (*offset is left at the frame start: the recovery truncation point).
+bool ReadFrame(const std::string& file, size_t* offset, std::string* payload) {
+  size_t pos = *offset;
+  if (file.size() - pos < 8) return false;
+  Reader head(file.data() + pos, 8);
+  uint32_t len = head.GetU32();
+  uint32_t crc = head.GetU32();
+  if (len > kMaxFrameBytes || file.size() - pos - 8 < len) return false;
+  if (Crc32(0, file.data() + pos + 8, len) != crc) return false;
+  payload->assign(file.data() + pos + 8, len);
+  *offset = pos + 8 + len;
+  return true;
+}
+
+Status WriteAll(int fd, const std::string& bytes, const std::string& path) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrFormat("journal write '%s': %s", path.c_str(),
+                                        std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool JournalHeader::operator==(const JournalHeader& other) const {
+  return SerializeHeader(*this) == SerializeHeader(other);
+}
+
+std::string JournalHeader::DiffString(const JournalHeader& other) const {
+  std::vector<std::string> diffs;
+  auto check = [&diffs](const char* field, const std::string& a,
+                        const std::string& b) {
+    if (a != b) {
+      diffs.push_back(StrFormat("%s ('%s' vs '%s')", field, a.c_str(),
+                                b.c_str()));
+    }
+  };
+  check("tuner", tuner_name, other.tuner_name);
+  check("system", system_name, other.system_name);
+  check("workload", workload_name, other.workload_name);
+  check("workload kind", workload_kind, other.workload_kind);
+  if (workload_scale != other.workload_scale) diffs.push_back("scale");
+  if (workload_properties != other.workload_properties) {
+    diffs.push_back("workload properties");
+  }
+  if (seed != other.seed) {
+    diffs.push_back(StrFormat("seed (%llu vs %llu)",
+                              static_cast<unsigned long long>(seed),
+                              static_cast<unsigned long long>(other.seed)));
+  }
+  if (max_evaluations != other.max_evaluations) diffs.push_back("budget");
+  if (failure_penalty != other.failure_penalty) {
+    diffs.push_back("failure penalty");
+  }
+  if (max_retries != other.max_retries ||
+      retry_cost_fraction != other.retry_cost_fraction ||
+      timeout_seconds != other.timeout_seconds ||
+      outlier_mad_threshold != other.outlier_mad_threshold ||
+      outlier_min_history != other.outlier_min_history ||
+      remeasure_runs != other.remeasure_runs) {
+    diffs.push_back("robustness policy");
+  }
+  return diffs.empty() ? "identical" : Join(diffs, ", ");
+}
+
+TrialJournal::~TrialJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<TrialJournal>> TrialJournal::Create(
+    const std::string& path, const JournalHeader& header) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("create journal '%s': %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  std::string preamble(kMagic, sizeof(kMagic));
+  PutU32(&preamble, kVersion);
+  preamble += Frame(SerializeHeader(header));
+  Status write_status = WriteAll(fd, preamble, path);
+  if (!write_status.ok()) {
+    ::close(fd);
+    return write_status;
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::Internal(StrFormat("fsync journal '%s': %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  return std::unique_ptr<TrialJournal>(new TrialJournal(path, fd, 0));
+}
+
+Result<TrialJournal::Recovered> TrialJournal::OpenForResume(
+    const std::string& path) {
+  std::string file;
+  ATUNE_RETURN_IF_ERROR(ReadFileToString(path, &file));
+
+  Recovered recovered;
+  size_t offset = 0;
+  // Magic + version + header frame. Damage here leaves nothing to trust
+  // (we cannot even verify the session fingerprint), so the whole file is
+  // discarded and the caller starts a fresh journal.
+  bool preamble_ok =
+      file.size() >= sizeof(kMagic) + 4 &&
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) == 0;
+  if (preamble_ok) {
+    Reader version_reader(file.data() + sizeof(kMagic), 4);
+    preamble_ok = version_reader.GetU32() == kVersion;
+  }
+  std::string payload;
+  if (preamble_ok) {
+    offset = sizeof(kMagic) + 4;
+    preamble_ok = ReadFrame(file, &offset, &payload) &&
+                  ParseHeader(payload, &recovered.header);
+  }
+  if (!preamble_ok) {
+    recovered.header_valid = false;
+    recovered.warnings.push_back(StrFormat(
+        "journal '%s': unreadable magic/header (%zu bytes); discarding file "
+        "and starting fresh",
+        path.c_str(), file.size()));
+    return recovered;
+  }
+  recovered.header_valid = true;
+
+  // Longest valid prefix: stop at the first bad frame or sequence break.
+  std::vector<size_t> record_ends;  // byte offset after record i
+  while (offset < file.size()) {
+    size_t frame_start = offset;
+    JournalRecord record;
+    if (!ReadFrame(file, &offset, &payload) ||
+        !ParseRecord(payload, &record)) {
+      recovered.warnings.push_back(StrFormat(
+          "journal '%s': corrupt or torn frame at byte %zu; keeping the %zu "
+          "valid records before it",
+          path.c_str(), frame_start, recovered.records.size()));
+      offset = frame_start;
+      break;
+    }
+    if (record.seq != recovered.records.size()) {
+      recovered.warnings.push_back(StrFormat(
+          "journal '%s': record at byte %zu has sequence %llu, expected %zu "
+          "(duplicate or out-of-order); truncating there",
+          path.c_str(), frame_start,
+          static_cast<unsigned long long>(record.seq),
+          recovered.records.size()));
+      offset = frame_start;
+      break;
+    }
+    recovered.records.push_back(std::move(record));
+    record_ends.push_back(offset);
+  }
+
+  // Drop a trailing incomplete batch: its lanes were committed one by one,
+  // so a crash mid-batch leaves a prefix of the wave. Replay hands a
+  // batch-aware tuner whole waves only; the dropped lanes re-execute.
+  size_t dropped_lanes = 0;
+  while (!recovered.records.empty()) {
+    const JournalRecord& last = recovered.records.back();
+    if (last.kind != JournalRecordKind::kTrial || last.batch_size <= 1 ||
+        last.lane + 1 == last.batch_size) {
+      break;
+    }
+    recovered.records.pop_back();
+    record_ends.pop_back();
+    ++dropped_lanes;
+  }
+  if (dropped_lanes > 0) {
+    recovered.warnings.push_back(StrFormat(
+        "journal '%s': dropped %zu trailing lane(s) of an incomplete batch",
+        path.c_str(), dropped_lanes));
+  }
+
+  size_t valid_end;
+  if (!record_ends.empty()) {
+    valid_end = record_ends.back();
+  } else {
+    // No surviving records: keep just the preamble + header frame.
+    size_t header_end = sizeof(kMagic) + 4;
+    std::string ignored;
+    ReadFrame(file, &header_end, &ignored);
+    valid_end = header_end;
+  }
+  if (valid_end < file.size()) {
+    ATUNE_RETURN_IF_ERROR(TruncateFile(path, valid_end));
+  }
+
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("reopen journal '%s': %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  recovered.journal = std::unique_ptr<TrialJournal>(
+      new TrialJournal(path, fd, recovered.records.size()));
+  return recovered;
+}
+
+Status TrialJournal::Append(const JournalRecord& record) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal is not open for appending");
+  }
+  ATUNE_RETURN_IF_ERROR(WriteAll(fd_, Frame(SerializeRecord(record)), path_));
+  if (sync_ && ::fsync(fd_) != 0) {
+    return Status::Internal(StrFormat("fsync journal '%s': %s", path_.c_str(),
+                                      std::strerror(errno)));
+  }
+  next_seq_ = record.seq + 1;
+  return Status::OK();
+}
+
+}  // namespace atune

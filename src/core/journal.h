@@ -1,0 +1,159 @@
+#ifndef ATUNE_CORE_JOURNAL_H_
+#define ATUNE_CORE_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/configuration.h"
+#include "core/system.h"
+
+namespace atune {
+
+/// Fingerprint of the session a journal belongs to. Written once at journal
+/// creation; checked on resume so a journal is never replayed into a session
+/// with different parameters (which would silently diverge). Custom
+/// objective functions cannot be fingerprinted — callers must pass the same
+/// objective on resume (see DESIGN.md §8).
+struct JournalHeader {
+  std::string tuner_name;
+  std::string system_name;
+  std::string workload_name;
+  std::string workload_kind;
+  double workload_scale = 1.0;
+  std::map<std::string, double> workload_properties;
+  uint64_t seed = 0;
+  uint64_t max_evaluations = 0;
+  double failure_penalty = 0.0;
+  /// RobustnessPolicy fields, spelled out so core/journal.h does not depend
+  /// on core/tuner.h (which depends on this header).
+  uint64_t max_retries = 0;
+  double retry_cost_fraction = 0.0;
+  double timeout_seconds = 0.0;
+  double outlier_mad_threshold = 0.0;
+  uint64_t outlier_min_history = 0;
+  uint64_t remeasure_runs = 0;
+
+  bool operator==(const JournalHeader& other) const;
+  bool operator!=(const JournalHeader& other) const {
+    return !(*this == other);
+  }
+
+  /// Human-readable list of fields that differ (for mismatch diagnostics).
+  std::string DiffString(const JournalHeader& other) const;
+};
+
+/// One committed observation. kTrial mirrors a Trial the Evaluator appended
+/// to its history (serial evaluation, one lane of a batch, a scaled or
+/// censored run, or an adaptive tuner's composite trial); kUnit mirrors a
+/// unit-level execution (Evaluator::EvaluateUnit), which charges budget and
+/// feeds the tuner a measurement but creates no history entry.
+enum class JournalRecordKind : uint8_t { kTrial = 1, kUnit = 2 };
+
+struct JournalRecord {
+  JournalRecordKind kind = JournalRecordKind::kTrial;
+  /// Dense 0-based record index. Recovery stops at the first gap or
+  /// duplicate, so a damaged tail can never smuggle records out of order.
+  uint64_t seq = 0;
+  Configuration config;
+  ExecutionResult result;
+  double objective = 0.0;
+  /// Trial::cost for kTrial (the trial's reported cost); the budget charge
+  /// for kUnit.
+  double cost = 0.0;
+  bool scaled = false;  ///< Trial::scaled (excluded from best-tracking)
+  uint64_t round = 0;
+  /// Lanes in the EvaluateBatch call this trial belongs to (1 for serial
+  /// evaluations) and this trial's lane index. Recovery drops a trailing
+  /// *incomplete* batch — its lanes re-execute on resume — so replay always
+  /// hands a batch-aware tuner either the whole wave or none of it.
+  uint64_t batch_size = 1;
+  uint64_t lane = 0;
+  uint64_t unit_index = 0;  ///< kUnit only
+  /// Cumulative Evaluator state after this record committed. `system_runs`
+  /// is the measurement-noise cursor: the number of parent-system executions
+  /// the Evaluator has charged so far. During replay the Evaluator advances
+  /// a fresh system by each record's delta with SkipRuns, so both replayed
+  /// trials and any off-journal runs the tuner performs directly on the
+  /// system land on the same run indices — and therefore draw exactly the
+  /// noise — as in the uninterrupted session.
+  uint64_t system_runs = 0;
+  double used = 0.0;
+  uint64_t retried_runs = 0;
+  uint64_t timed_out_runs = 0;
+  uint64_t remeasured_runs = 0;
+};
+
+/// Write-ahead trial journal: an append-only file of fsynced, checksummed
+/// records, one per committed observation, written by the Evaluator before
+/// the measurement reaches the tuner. Because every tuner is deterministic
+/// given (seed, evaluator responses), the journal is a complete checkpoint:
+/// ResumeTuningSession re-runs the tuner from scratch while the Evaluator
+/// serves journaled observations instead of executing the system, then goes
+/// live — no tuner needs bespoke serialization (DESIGN.md §8).
+///
+/// On-disk format (little-endian):
+///   magic "ATUNEWAL" | version u32 | frame(header) | frame(record)*
+///   frame := payload_len u32 | crc32(payload) u32 | payload
+/// Recovery keeps the longest valid prefix: parsing stops at the first
+/// truncated, torn, CRC-mismatched, or out-of-sequence frame, trailing
+/// incomplete batches are dropped, and the file is physically truncated to
+/// what survived. Anything discarded is simply re-executed on resume —
+/// corruption costs wall-clock, never correctness.
+class TrialJournal {
+ public:
+  ~TrialJournal();
+  TrialJournal(const TrialJournal&) = delete;
+  TrialJournal& operator=(const TrialJournal&) = delete;
+
+  /// Creates (or truncates) `path`, writes the header, and opens the
+  /// journal for appending.
+  static Result<std::unique_ptr<TrialJournal>> Create(
+      const std::string& path, const JournalHeader& header);
+
+  struct Recovered {
+    /// Open for appending after the recovered prefix. nullptr when the
+    /// file's magic/header was unreadable (header_valid == false) — the
+    /// caller should Create() a fresh journal instead.
+    std::unique_ptr<TrialJournal> journal;
+    bool header_valid = false;
+    JournalHeader header;
+    std::vector<JournalRecord> records;
+    /// What recovery had to discard, for operator visibility.
+    std::vector<std::string> warnings;
+  };
+
+  /// Loads `path`, recovering the longest valid record prefix and
+  /// truncating the file to it. NotFound if the file does not exist; any
+  /// *corrupt* file recovers (possibly to zero records) rather than erroring.
+  static Result<Recovered> OpenForResume(const std::string& path);
+
+  /// Appends one record: frames it with a CRC32, writes, and (by default)
+  /// fsyncs before returning, so a committed record survives any crash.
+  /// `record.seq` is written verbatim — callers stamp it with next_seq().
+  Status Append(const JournalRecord& record);
+
+  /// Sequence number the next appended record should carry.
+  uint64_t next_seq() const { return next_seq_; }
+  const std::string& path() const { return path_; }
+
+  /// Disables the per-append fsync (testing only; the durability guarantee
+  /// requires it on).
+  void set_sync(bool sync) { sync_ = sync; }
+
+ private:
+  TrialJournal(std::string path, int fd, uint64_t next_seq)
+      : path_(std::move(path)), fd_(fd), next_seq_(next_seq) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t next_seq_ = 0;
+  bool sync_ = true;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_CORE_JOURNAL_H_

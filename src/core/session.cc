@@ -1,28 +1,88 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "core/journal.h"
 
 namespace atune {
 
-Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
-                                       const Workload& workload,
-                                       const SessionOptions& options) {
-  if (tuner == nullptr || system == nullptr) {
-    return Status::InvalidArgument("RunTuningSession: null tuner or system");
-  }
+namespace {
+
+JournalHeader MakeHeader(const Tuner& tuner, const TunableSystem& system,
+                         const Workload& workload,
+                         const SessionOptions& options) {
+  JournalHeader header;
+  header.tuner_name = tuner.name();
+  header.system_name = system.name();
+  header.workload_name = workload.name;
+  header.workload_kind = workload.kind;
+  header.workload_scale = workload.scale;
+  header.workload_properties = workload.properties;
+  header.seed = options.seed;
+  header.max_evaluations = options.budget.max_evaluations;
+  header.failure_penalty = options.failure_penalty;
+  header.max_retries = options.robustness.max_retries;
+  header.retry_cost_fraction = options.robustness.retry_cost_fraction;
+  header.timeout_seconds = options.robustness.timeout_seconds;
+  header.outlier_mad_threshold = options.robustness.outlier_mad_threshold;
+  header.outlier_min_history = options.robustness.outlier_min_history;
+  header.remeasure_runs = options.robustness.remeasure_runs;
+  return header;
+}
+
+/// Shared core of RunTuningSession / ResumeTuningSession. `journal` may be
+/// null (un-journaled session); `replay` holds the recovered records to
+/// serve before going live (empty for fresh sessions).
+Result<TuningOutcome> RunSessionImpl(Tuner* tuner, TunableSystem* system,
+                                     const Workload& workload,
+                                     const SessionOptions& options,
+                                     TrialJournal* journal,
+                                     std::vector<JournalRecord> replay,
+                                     std::vector<std::string> warnings) {
   Evaluator evaluator(system, workload, options.budget,
                       options.failure_penalty);
   if (options.objective) evaluator.set_objective(options.objective);
   evaluator.set_robustness_policy(options.robustness);
+  if (journal != nullptr) evaluator.set_journal(journal);
+  if (options.interrupt_check) {
+    evaluator.set_interrupt_check(options.interrupt_check);
+  }
+  evaluator.set_interrupt_after_records(options.interrupt_after_records);
+  if (!replay.empty()) evaluator.SetReplay(std::move(replay));
+
   Rng rng(options.seed);
   Status tune_status = tuner->Tune(&evaluator, &rng);
+
+  // A journal append failure means measurements outran the checkpoint;
+  // nothing after that point is trustworthy, so it overrides everything.
+  if (!evaluator.journal_error().ok()) return evaluator.journal_error();
+  // An interrupt aborts the session whatever the tuner returned (some
+  // tuners translate the refusal into a clean exit); the journal already
+  // holds every committed trial.
+  if (evaluator.interrupted()) {
+    return Status::Aborted(StrFormat(
+        "tuning session interrupted after %zu journaled records; resume "
+        "with the same parameters to continue",
+        journal != nullptr ? static_cast<size_t>(journal->next_seq())
+                           : evaluator.history().size()));
+  }
   // Budget exhaustion mid-algorithm is an expected way for tuning to end.
   if (!tune_status.ok() &&
       tune_status.code() != StatusCode::kResourceExhausted) {
     return tune_status;
+  }
+  // Leftover replay records mean the tuner asked for fewer evaluations than
+  // the journal holds — the sessions diverged.
+  if (evaluator.replay_active()) {
+    return Status::Internal(StrFormat(
+        "journal replay finished with %zu unconsumed records; the resumed "
+        "session does not match the journaled one",
+        evaluator.replay_pending()));
   }
 
   TuningOutcome outcome;
@@ -34,6 +94,8 @@ Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
   outcome.timed_out_runs = evaluator.timed_out_runs();
   outcome.remeasured_runs = evaluator.remeasured_runs();
   outcome.tuner_report = tuner->Report();
+  outcome.replayed_records = evaluator.replayed_records();
+  outcome.recovery_warnings = std::move(warnings);
 
   const Trial* best = evaluator.best();
   if (best != nullptr) {
@@ -73,6 +135,73 @@ Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
     }
   }
   return outcome;
+}
+
+}  // namespace
+
+Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
+                                       const Workload& workload,
+                                       const SessionOptions& options) {
+  if (tuner == nullptr || system == nullptr) {
+    return Status::InvalidArgument("RunTuningSession: null tuner or system");
+  }
+  if (options.journal_path.empty()) {
+    return RunSessionImpl(tuner, system, workload, options,
+                          /*journal=*/nullptr, {}, {});
+  }
+  ATUNE_ASSIGN_OR_RETURN(
+      std::unique_ptr<TrialJournal> journal,
+      TrialJournal::Create(options.journal_path,
+                           MakeHeader(*tuner, *system, workload, options)));
+  return RunSessionImpl(tuner, system, workload, options, journal.get(), {},
+                        {});
+}
+
+Result<TuningOutcome> ResumeTuningSession(Tuner* tuner, TunableSystem* system,
+                                          const Workload& workload,
+                                          const SessionOptions& options) {
+  if (tuner == nullptr || system == nullptr) {
+    return Status::InvalidArgument("ResumeTuningSession: null tuner or system");
+  }
+  if (options.journal_path.empty()) {
+    return Status::InvalidArgument(
+        "ResumeTuningSession: options.journal_path must be set");
+  }
+  auto recovered_or = TrialJournal::OpenForResume(options.journal_path);
+  if (!recovered_or.ok()) {
+    if (recovered_or.status().code() == StatusCode::kNotFound) {
+      // Nothing to resume; "always resume" should be a safe operating mode.
+      ATUNE_LOG(Warning) << "no journal at " << options.journal_path
+                         << "; starting a fresh session";
+      return RunTuningSession(tuner, system, workload, options);
+    }
+    return recovered_or.status();
+  }
+  TrialJournal::Recovered recovered = std::move(*recovered_or);
+  for (const std::string& warning : recovered.warnings) {
+    ATUNE_LOG(Warning) << "journal recovery: " << warning;
+  }
+  if (!recovered.header_valid) {
+    // The preamble itself was unreadable — treat like a missing journal.
+    ATUNE_LOG(Warning) << "journal at " << options.journal_path
+                       << " has an unreadable header; starting fresh";
+    return RunTuningSession(tuner, system, workload, options);
+  }
+  JournalHeader expected = MakeHeader(*tuner, *system, workload, options);
+  if (recovered.header != expected) {
+    return Status::InvalidArgument(StrFormat(
+        "journal at %s belongs to a different session (%s); refusing to "
+        "resume",
+        options.journal_path.c_str(),
+        expected.DiffString(recovered.header).c_str()));
+  }
+  // Note: the system is NOT fast-forwarded here. The Evaluator advances the
+  // measurement-noise cursor incrementally as records replay, so any runs a
+  // tuner performs directly on the system between trials (e.g. OtterTune's
+  // offline repository) land on the same run indices as the original session.
+  return RunSessionImpl(tuner, system, workload, options,
+                        recovered.journal.get(), std::move(recovered.records),
+                        std::move(recovered.warnings));
 }
 
 }  // namespace atune

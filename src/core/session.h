@@ -44,6 +44,13 @@ struct TuningOutcome {
   /// (iTuned §2.4) while the budget curve stays comparable across tuners.
   std::vector<double> convergence_round;
   std::string tuner_report;
+  /// Journal records served by deterministic replay (ResumeTuningSession);
+  /// 0 for a fresh session. Excluded from outcome checksums — a resumed
+  /// session is otherwise bit-identical to an uninterrupted one.
+  size_t replayed_records = 0;
+  /// What journal recovery had to discard (torn/corrupt tail, incomplete
+  /// batch), for operator visibility. Empty for fresh sessions.
+  std::vector<std::string> recovery_warnings;
 };
 
 /// Options controlling a session.
@@ -59,6 +66,17 @@ struct SessionOptions {
   /// If true (default), one extra out-of-budget run measures the system
   /// defaults so speedups can be reported. Not counted against the budget.
   bool measure_default = true;
+  /// Path of the write-ahead trial journal. Empty = no journal (sessions
+  /// are then not resumable). When set, every committed trial is fsynced to
+  /// this file before its measurement reaches the tuner, and
+  /// ResumeTuningSession can reconstruct a crashed/interrupted session.
+  std::string journal_path;
+  /// Polled before every evaluation; returning true aborts the session with
+  /// kAborted after checkpointing (the CLI wires SIGINT/SIGTERM here).
+  std::function<bool()> interrupt_check;
+  /// Deterministic kill switch for durability testing: abort the session as
+  /// soon as the journal holds this many records (0 = off).
+  uint64_t interrupt_after_records = 0;
 };
 
 /// Runs one tuner against one system+workload with a budget and packages the
@@ -70,6 +88,21 @@ struct SessionOptions {
 Result<TuningOutcome> RunTuningSession(Tuner* tuner, TunableSystem* system,
                                        const Workload& workload,
                                        const SessionOptions& options);
+
+/// Resumes a session from the write-ahead journal at options.journal_path
+/// (which must be set). Recovery keeps the journal's longest valid record
+/// prefix, then the tuner is re-run from scratch with the Evaluator serving
+/// the journaled observations (deterministic replay) — the system is only
+/// executed for trials past the journal's end, after fast-forwarding its
+/// noise cursor — so the outcome is bit-identical to a never-interrupted
+/// session. The caller must pass the same tuner/system/workload/options as
+/// the original session (the journal header is checked; custom objectives
+/// cannot be fingerprinted and are the caller's responsibility). A missing
+/// or header-corrupt journal starts a fresh session (with a warning), so
+/// "always resume" is a safe operating mode.
+Result<TuningOutcome> ResumeTuningSession(Tuner* tuner, TunableSystem* system,
+                                          const Workload& workload,
+                                          const SessionOptions& options);
 
 }  // namespace atune
 

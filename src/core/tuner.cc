@@ -76,7 +76,7 @@ ExecutionResult Evaluator::RetryTransient(const Configuration& config,
         budget_max_ + kBudgetEpsilon) {
       break;  // no budget left to retry; degrade to the failed measurement
     }
-    auto again = system_->Execute(config, workload);
+    auto again = CountedExecute(config, workload);
     if (!again.ok()) break;  // repair impossible; keep what we measured
     *cost += retry_cost;
     ++attempts;
@@ -149,7 +149,7 @@ ExecutionResult Evaluator::ApplyRobustnessPolicy(const Configuration& config,
           budget_max_ + kBudgetEpsilon) {
         break;  // keep what we can afford
       }
-      auto again = system_->Execute(config, workload_);
+      auto again = CountedExecute(config, workload_);
       if (!again.ok()) break;
       *cost += 1.0;
       ++remeasured_runs_;
@@ -175,19 +175,207 @@ Status Evaluator::RefuseBudget() {
                 budget_max_));
 }
 
+namespace {
+Status InterruptedStatus() {
+  return Status::Aborted(
+      "tuning session interrupted; progress is checkpointed in the trial "
+      "journal");
+}
+}  // namespace
+
+bool Evaluator::InterruptRequested() {
+  if (interrupted_) return true;
+  bool fire = interrupt_check_ && interrupt_check_();
+  if (record_limit_ > 0 && journal_ != nullptr &&
+      journal_->next_seq() >= record_limit_) {
+    fire = true;
+  }
+  if (fire) {
+    interrupted_ = true;
+    // Also refuse the budget so `while (!Exhausted())` tuners wind down
+    // even if they swallow the kAborted status.
+    budget_refused_ = true;
+  }
+  return fire;
+}
+
+Status Evaluator::EntryGate() {
+  if (!journal_error_.ok()) return journal_error_;
+  if (InterruptRequested()) return InterruptedStatus();
+  return Status::OK();
+}
+
+Result<ExecutionResult> Evaluator::CountedExecute(const Configuration& config,
+                                                  const Workload& workload) {
+  ++system_runs_;
+  return system_->Execute(config, workload);
+}
+
+Status Evaluator::JournalTrial(uint64_t batch_size, uint64_t lane) {
+  if (journal_ == nullptr) return Status::OK();
+  const Trial& trial = history_.back();
+  JournalRecord rec;
+  rec.kind = JournalRecordKind::kTrial;
+  rec.seq = journal_->next_seq();
+  rec.config = trial.config;
+  rec.result = trial.result;
+  rec.objective = trial.objective;
+  rec.cost = trial.cost;
+  rec.scaled = trial.scaled;
+  rec.round = trial.round;
+  rec.batch_size = batch_size;
+  rec.lane = lane;
+  rec.system_runs = system_runs_;
+  rec.used = used_;
+  rec.retried_runs = retried_runs_;
+  rec.timed_out_runs = timed_out_runs_;
+  rec.remeasured_runs = remeasured_runs_;
+  Status status = journal_->Append(rec);
+  if (!status.ok()) {
+    journal_error_ = status;
+    return status;
+  }
+  // The append is the commit boundary: firing the interrupt here (rather
+  // than at the next call's entry gate) means a kill lands with the record
+  // durable but the measurement never reaching the tuner — exactly the
+  // crash the journal defends against — and stops a long batch mid-commit.
+  if (InterruptRequested()) return InterruptedStatus();
+  return Status::OK();
+}
+
+Status Evaluator::JournalUnit(const Configuration& config, size_t unit_index,
+                              const ExecutionResult& result, double cost) {
+  if (journal_ == nullptr) return Status::OK();
+  JournalRecord rec;
+  rec.kind = JournalRecordKind::kUnit;
+  rec.seq = journal_->next_seq();
+  rec.config = config;
+  rec.result = result;
+  rec.objective = ObjectiveOf(config, result);
+  rec.cost = cost;
+  rec.round = round_;
+  rec.unit_index = unit_index;
+  rec.system_runs = system_runs_;
+  rec.used = used_;
+  rec.retried_runs = retried_runs_;
+  rec.timed_out_runs = timed_out_runs_;
+  rec.remeasured_runs = remeasured_runs_;
+  Status status = journal_->Append(rec);
+  if (!status.ok()) {
+    journal_error_ = status;
+    return status;
+  }
+  if (InterruptRequested()) return InterruptedStatus();
+  return Status::OK();
+}
+
+Status Evaluator::ReplayTrial(const Configuration& config,
+                              uint64_t batch_size, uint64_t lane) {
+  if (replay_pos_ >= replay_.size()) {
+    return Status::Internal(
+        "journal replay ended mid-call; the journal does not match the "
+        "tuner's request sequence");
+  }
+  const JournalRecord& rec = replay_[replay_pos_];
+  if (rec.kind != JournalRecordKind::kTrial || rec.batch_size != batch_size ||
+      rec.lane != lane || !(rec.config == config)) {
+    return Status::Internal(StrFormat(
+        "journal replay diverged at record %llu: the tuner requested a "
+        "different evaluation than the one journaled (check that the resumed "
+        "session uses identical parameters, including any custom objective)",
+        static_cast<unsigned long long>(rec.seq)));
+  }
+  ++replay_pos_;
+  ATUNE_RETURN_IF_ERROR(FastForwardSystem(rec));
+  // Re-apply the committed trial exactly: same round, same cost, same
+  // cumulative budget/counters/noise cursor as the uninterrupted session.
+  round_ = rec.round;
+  Trial trial;
+  trial.config = rec.config;
+  trial.result = rec.result;
+  trial.objective = rec.objective;
+  trial.cost = rec.cost;
+  trial.scaled = rec.scaled;
+  trial.round = rec.round;
+  history_.push_back(std::move(trial));
+  if (!rec.scaled &&
+      (!has_best_ ||
+       history_.back().objective < history_[best_index_].objective)) {
+    best_index_ = history_.size() - 1;
+    has_best_ = true;
+  }
+  used_ = rec.used;
+  retried_runs_ = rec.retried_runs;
+  timed_out_runs_ = rec.timed_out_runs;
+  remeasured_runs_ = rec.remeasured_runs;
+  return Status::OK();
+}
+
+Status Evaluator::FastForwardSystem(const JournalRecord& rec) {
+  // Skip exactly the runs this record consumed, leaving any runs the tuner
+  // performed directly on the system (off-journal, e.g. OtterTune's offline
+  // repository build) to re-execute live. Because measurement noise depends
+  // only on (seed, run index), re-running those interleaved at the same
+  // indices reproduces them bit-identically — no tuner-side state to save.
+  if (rec.system_runs < system_runs_) {
+    return Status::Internal(StrFormat(
+        "journal replay diverged at record %llu: system-run cursor moved "
+        "backwards (%llu -> %llu)",
+        static_cast<unsigned long long>(rec.seq),
+        static_cast<unsigned long long>(system_runs_),
+        static_cast<unsigned long long>(rec.system_runs)));
+  }
+  if (rec.system_runs > system_runs_) {
+    system_->SkipRuns(rec.system_runs - system_runs_);
+    system_runs_ = rec.system_runs;
+  }
+  return Status::OK();
+}
+
+Result<ExecutionResult> Evaluator::ReplayUnit(const Configuration& config,
+                                              size_t unit_index) {
+  if (replay_pos_ >= replay_.size()) {
+    return Status::Internal(
+        "journal replay ended mid-call; the journal does not match the "
+        "tuner's request sequence");
+  }
+  const JournalRecord& rec = replay_[replay_pos_];
+  if (rec.kind != JournalRecordKind::kUnit || rec.unit_index != unit_index ||
+      !(rec.config == config)) {
+    return Status::Internal(StrFormat(
+        "journal replay diverged at record %llu: the tuner requested a "
+        "different unit execution than the one journaled",
+        static_cast<unsigned long long>(rec.seq)));
+  }
+  ++replay_pos_;
+  ATUNE_RETURN_IF_ERROR(FastForwardSystem(rec));
+  round_ = rec.round;
+  used_ = rec.used;
+  retried_runs_ = rec.retried_runs;
+  timed_out_runs_ = rec.timed_out_runs;
+  remeasured_runs_ = rec.remeasured_runs;
+  return rec.result;
+}
+
 Result<double> Evaluator::Evaluate(const Configuration& config) {
+  ATUNE_RETURN_IF_ERROR(EntryGate());
   if (used_ + 1.0 > budget_max_ + kBudgetEpsilon) {
     return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  if (replay_active()) {
+    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0));
+    return history_.back().objective;
+  }
   ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
-                         system_->Execute(config, workload_));
+                         CountedExecute(config, workload_));
   ++round_;
   double cost = 1.0;
   bool exclude = false;
   result = ApplyRobustnessPolicy(config, std::move(result), /*reserved=*/1.0,
                                  &cost, &exclude);
   CommitTrial(config, result, cost, exclude);
+  ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/1, /*lane=*/0));
   return history_.back().objective;
 }
 
@@ -202,6 +390,7 @@ ThreadPool* Evaluator::thread_pool(size_t min_threads) {
 Result<std::vector<double>> Evaluator::EvaluateBatch(
     const std::vector<Configuration>& configs, size_t parallelism) {
   if (configs.empty()) return std::vector<double>();
+  ATUNE_RETURN_IF_ERROR(EntryGate());
   for (const Configuration& config : configs) {
     ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
   }
@@ -212,6 +401,18 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     return RefuseBudget();
   }
   size_t k = std::min(configs.size(), affordable);
+  if (replay_active()) {
+    // Recovery only ever keeps whole batches, so replay serves the full
+    // wave or none of it; running dry mid-wave means the journal belongs to
+    // a different request sequence.
+    std::vector<double> objectives;
+    objectives.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      ATUNE_RETURN_IF_ERROR(ReplayTrial(configs[i], k, i));
+      objectives.push_back(history_.back().objective);
+    }
+    return objectives;
+  }
   ++round_;  // the whole batch is one wall-clock round
 
   std::vector<Result<ExecutionResult>> results;
@@ -222,7 +423,7 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     // Serial fallback (parallelism 1 or non-clonable system): identical
     // semantics, executed in submission order on the parent.
     for (size_t i = 0; i < k; ++i) {
-      results.push_back(system_->Execute(configs[i], workload_));
+      results.push_back(CountedExecute(configs[i], workload_));
     }
   } else {
     // Fan out over clones. Clone i replays exactly the noise the parent
@@ -244,6 +445,7 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     }
     for (size_t i = 0; i < k; ++i) results.push_back(futures[i].get());
     system_->SkipRuns(k);
+    system_runs_ += k;  // the cursor tracks SkipRuns as well as executions
   }
 
   // Commit in submission order; an execution error (impossible for
@@ -264,6 +466,7 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
         configs[i], *std::move(results[i]), reserved, &cost, &exclude);
     CommitTrial(configs[i], repaired, cost, exclude);
     reserved -= 1.0;
+    ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/k, /*lane=*/i));
     objectives.push_back(history_.back().objective);
   }
   return objectives;
@@ -277,14 +480,20 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
     return Status::InvalidArgument(
         "EvaluateWithEarlyAbort: abort threshold must be positive");
   }
+  ATUNE_RETURN_IF_ERROR(EntryGate());
   // Conservative gate: a run that completes under the threshold costs a
   // full unit, so require one up front (never overspends).
   if (used_ + 1.0 > budget_max_ + kBudgetEpsilon) {
     return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  if (replay_active()) {
+    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0));
+    if (aborted != nullptr) *aborted = history_.back().result.censored;
+    return history_.back().objective;
+  }
   ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
-                         system_->Execute(config, workload_));
+                         CountedExecute(config, workload_));
   ++round_;
   double cost = 1.0;
   result = RetryTransient(config, workload_, std::move(result), 1.0,
@@ -314,9 +523,11 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
     // incumbent below the threshold and exclude it from best-tracking
     // (its objective is not a completed measurement).
     CommitTrial(config, result, cost, /*exclude_from_best=*/true);
+    ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/1, /*lane=*/0));
     return history_.back().objective;
   }
   CommitTrial(config, result, cost);
+  ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/1, /*lane=*/0));
   return history_.back().objective;
 }
 
@@ -325,14 +536,19 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
   if (fraction <= 0.0 || fraction > 1.0) {
     return Status::InvalidArgument("EvaluateScaled: fraction must be in (0,1]");
   }
+  ATUNE_RETURN_IF_ERROR(EntryGate());
   if (used_ + fraction > budget_max_ + kBudgetEpsilon) {
     return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  if (replay_active()) {
+    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0));
+    return history_.back().objective;
+  }
   Workload sample = workload_;
   sample.scale *= fraction;
   ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
-                         system_->Execute(config, sample));
+                         CountedExecute(config, sample));
   ++round_;
   // Transient faults hit cheap sample runs too; a retry costs the same
   // fraction of the (scaled-down) run it re-executes.
@@ -340,11 +556,13 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
   result = RetryTransient(config, sample, std::move(result), fraction,
                           /*reserved=*/fraction, &cost);
   CommitTrial(config, result, cost, /*exclude_from_best=*/true);
+  ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/1, /*lane=*/0));
   return history_.back().objective;
 }
 
 Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
                                                 size_t unit_index) {
+  ATUNE_RETURN_IF_ERROR(EntryGate());
   IterativeSystem* iterative = system_->AsIterative();
   if (iterative == nullptr) {
     return Status::FailedPrecondition(
@@ -357,21 +575,35 @@ Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
     return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  if (replay_active()) {
+    return ReplayUnit(config, unit_index);
+  }
+  ++system_runs_;  // ExecuteUnit advances the system's run index like Execute
   ATUNE_ASSIGN_OR_RETURN(
       ExecutionResult result,
       iterative->ExecuteUnit(config, workload_, unit_index));
   used_ += cost;
+  ATUNE_RETURN_IF_ERROR(JournalUnit(config, unit_index, result, cost));
   return result;
 }
 
 void Evaluator::RecordCompositeTrial(const Configuration& config,
                                      const ExecutionResult& aggregate,
                                      double cost) {
+  if (replay_active()) {
+    // The composite trial was journaled like a serial trial; any divergence
+    // surfaces through the sticky journal_error_ (this API is void).
+    Status status = ReplayTrial(config, /*batch_size=*/1, /*lane=*/0);
+    if (!status.ok() && journal_error_.ok()) journal_error_ = status;
+    return;
+  }
   ++round_;
   // The budget was already charged by the unit-level evaluations; commit
   // with zero cost, then stamp the trial's nominal cost for reporting.
   CommitTrial(config, aggregate, 0.0);
   history_.back().cost = cost;
+  // Journal after the cost stamp so the record carries the display cost.
+  JournalTrial(/*batch_size=*/1, /*lane=*/0);
 }
 
 const Trial* Evaluator::best() const {

@@ -1,6 +1,7 @@
 #ifndef ATUNE_CORE_TUNER_H_
 #define ATUNE_CORE_TUNER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/configuration.h"
+#include "core/journal.h"
 #include "core/objective.h"
 #include "core/system.h"
 
@@ -119,6 +121,53 @@ class Evaluator {
     policy_ = policy;
   }
   const RobustnessPolicy& robustness_policy() const { return policy_; }
+
+  /// Attaches a write-ahead trial journal (not owned): every committed
+  /// observation — trial or unit run — is appended, checksummed, and fsynced
+  /// before its measurement is returned to the tuner, so a crashed session
+  /// can be reconstructed by ResumeTuningSession. A journal append failure
+  /// is sticky and fails the session (measurements must never outrun the
+  /// journal). Set before the first Evaluate call.
+  void set_journal(TrialJournal* journal) { journal_ = journal; }
+  const Status& journal_error() const { return journal_error_; }
+
+  /// Installs the recovered journal records for deterministic replay.
+  /// While records remain, every Evaluate* call is served from the journal
+  /// — configs are checked against the journaled ones, the recorded
+  /// measurements/costs/rounds/robustness counters are re-applied, and the
+  /// system is never executed. When the queue drains, evaluation continues
+  /// live; the caller must have fast-forwarded the system with
+  /// SkipRuns(last record's system_runs) so live runs draw exactly the
+  /// noise an uninterrupted session would have drawn. Set before Tune().
+  void SetReplay(std::vector<JournalRecord> records) {
+    replay_ = std::move(records);
+    replay_pos_ = 0;
+  }
+  /// True while Evaluate* calls are still being served from the journal.
+  bool replay_active() const { return replay_pos_ < replay_.size(); }
+  /// Journal records consumed by replay so far.
+  size_t replayed_records() const { return replay_pos_; }
+  /// Journal records still waiting to be served.
+  size_t replay_pending() const { return replay_.size() - replay_pos_; }
+
+  /// Cooperative interruption (SIGINT/SIGTERM in the CLI): `check` is
+  /// polled at the top of every Evaluate* call; once it returns true the
+  /// evaluator refuses all further measurements with kAborted, marks the
+  /// budget refused so `while (!Exhausted())` tuners wind down, and the
+  /// session reports kAborted. The journal is per-record durable, so an
+  /// interrupted session is already checkpointed.
+  void set_interrupt_check(std::function<bool()> check) {
+    interrupt_check_ = std::move(check);
+  }
+  /// Deterministic kill switch: interrupt as soon as the attached journal
+  /// holds `limit` records (0 = off). The durability harness uses this to
+  /// simulate operator kills at exact trial boundaries.
+  void set_interrupt_after_records(uint64_t limit) { record_limit_ = limit; }
+  bool interrupted() const { return interrupted_; }
+
+  /// Parent-system executions so far (the measurement-noise cursor synced
+  /// to TunableSystem::SkipRuns accounting; see JournalRecord::system_runs).
+  uint64_t system_runs() const { return system_runs_; }
 
   Evaluator(const Evaluator&) = delete;
   Evaluator& operator=(const Evaluator&) = delete;
@@ -252,6 +301,42 @@ class Evaluator {
   /// kResourceExhausted status every admission gate hands back.
   Status RefuseBudget();
 
+  /// Polls the interrupt sources (callback + record limit); once any fires,
+  /// latches interrupted_ and budget_refused_ so Exhausted()-looping tuners
+  /// wind down. Sticky.
+  bool InterruptRequested();
+
+  /// Common prologue of every Evaluate* call: fails with the sticky journal
+  /// error if one occurred, and with kAborted once an interrupt fired.
+  Status EntryGate();
+
+  /// system_->Execute with the measurement-noise cursor advanced; replaces
+  /// every direct parent execution so system_runs_ stays in lockstep with
+  /// the system's internal run index.
+  Result<ExecutionResult> CountedExecute(const Configuration& config,
+                                         const Workload& workload);
+
+  /// Appends a journal record for history_.back() (call after the trial is
+  /// fully finalized, including RecordCompositeTrial's cost stamp). A
+  /// failure is sticky in journal_error_ and returned.
+  Status JournalTrial(uint64_t batch_size, uint64_t lane);
+  /// Appends a kUnit record for an EvaluateUnit measurement.
+  Status JournalUnit(const Configuration& config, size_t unit_index,
+                     const ExecutionResult& result, double cost);
+
+  /// Serves the next replay record as this trial: verifies kind/config/
+  /// batch coordinates against the journal (divergence is kInternal),
+  /// re-applies the recorded measurement to history/best/budget/counters.
+  Status ReplayTrial(const Configuration& config, uint64_t batch_size,
+                     uint64_t lane);
+  /// Serves the next replay record as a unit execution.
+  Result<ExecutionResult> ReplayUnit(const Configuration& config,
+                                     size_t unit_index);
+  /// Advances the system's run cursor to the record's cumulative count so
+  /// post-replay (and off-journal) runs draw the same measurement noise as
+  /// the uninterrupted session would have.
+  Status FastForwardSystem(const JournalRecord& rec);
+
   TunableSystem* system_;
   Workload workload_;
   TuningBudget budget_;
@@ -270,6 +355,18 @@ class Evaluator {
   /// Wall-clock round counter: +1 per Evaluate* call, +1 per whole batch.
   size_t round_ = 0;
   std::unique_ptr<ThreadPool> pool_;
+
+  TrialJournal* journal_ = nullptr;  // not owned
+  Status journal_error_;
+  std::vector<JournalRecord> replay_;
+  size_t replay_pos_ = 0;
+  /// Parent-system executions so far (== the system's run index, which
+  /// SkipRuns fast-forwards on resume). Every Execute, ExecuteUnit, retry,
+  /// re-measurement, and batch clone run advances it.
+  uint64_t system_runs_ = 0;
+  std::function<bool()> interrupt_check_;
+  uint64_t record_limit_ = 0;
+  bool interrupted_ = false;
 };
 
 /// Interface implemented by every tuning approach. Tune() explores via the

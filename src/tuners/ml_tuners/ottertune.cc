@@ -5,7 +5,9 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <sstream>
 
+#include "common/file_util.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "math/sampling.h"
@@ -44,10 +46,9 @@ std::vector<Workload> DefaultHistoryWorkloads(const std::string& system_name,
 
 Status SaveOtterTuneRepository(const OtterTuneRepository& repository,
                                const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::Internal("cannot open '" + path + "' for writing");
-  }
+  // Buffer the whole repository and publish it atomically (write-temp-
+  // then-rename): a crash mid-save can never tear an existing repository.
+  std::ostringstream out;
   out << "atune-repository v1\n";
   out << "metrics " << repository.metric_names.size();
   for (const std::string& m : repository.metric_names) out << " " << m;
@@ -70,7 +71,7 @@ Status SaveOtterTuneRepository(const OtterTuneRepository& repository,
       out << "| " << session.objectives[i] << "\n";
     }
   }
-  return out ? Status::OK() : Status::Internal("write to '" + path + "' failed");
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<OtterTuneRepository> LoadOtterTuneRepository(const std::string& path) {

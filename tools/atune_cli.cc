@@ -22,9 +22,16 @@
 //       at F/5 — exercise the Evaluator's measurement-robustness policy
 //   --timeout-seconds=F             watchdog kill threshold   [0 = off]
 //   --max-retries=N                 transient-failure retries [2]
+//   --journal=PATH                  write-ahead trial journal [off]
+//       every committed trial is fsynced to PATH before the tuner sees it;
+//       SIGINT/SIGTERM (and crashes) leave a resumable checkpoint
+//   --resume                        resume from --journal=PATH
+//       replays the journaled trials deterministically, then continues
+//       live; the finished outcome is bit-identical to an uninterrupted run
 //   --csv                           machine-readable trial log on stdout
 //   --list                          print available tuners and workloads
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +55,13 @@
 namespace atune {
 namespace {
 
+/// Set by the SIGINT/SIGTERM handler; the Evaluator polls it before every
+/// evaluation and aborts cleanly (the journal already holds every committed
+/// trial, so a later --resume continues where we stopped).
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleSignal(int sig) { g_signal = sig; }
+
 struct CliOptions {
   std::string system = "dbms";
   std::string workload;
@@ -60,6 +74,8 @@ struct CliOptions {
   double fault_rate = 0.0;
   double timeout_seconds = 0.0;
   size_t max_retries = 2;
+  std::string journal;
+  bool resume = false;
   bool csv = false;
   bool list = false;
 };
@@ -110,9 +126,16 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (ParseFlag(arg, "max-retries", &value)) {
       options.max_retries = static_cast<size_t>(std::strtoull(value.c_str(),
                                                               nullptr, 10));
+    } else if (ParseFlag(arg, "journal", &value)) {
+      options.journal = value;
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
+  }
+  if (options.resume && options.journal.empty()) {
+    return Status::InvalidArgument("--resume requires --journal=PATH");
   }
   return options;
 }
@@ -207,9 +230,26 @@ int RunCli(const CliOptions& options) {
   session.seed = options.seed;
   session.robustness.max_retries = options.max_retries;
   session.robustness.timeout_seconds = options.timeout_seconds;
+  session.journal_path = options.journal;
+  if (!options.journal.empty()) {
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    session.interrupt_check = []() { return g_signal != 0; };
+  }
   auto outcome =
-      RunTuningSession(tuner->get(), target, wit->second, session);
+      options.resume
+          ? ResumeTuningSession(tuner->get(), target, wit->second, session)
+          : RunTuningSession(tuner->get(), target, wit->second, session);
   if (!outcome.ok()) {
+    if (outcome.status().code() == StatusCode::kAborted) {
+      // Interrupted, not failed: the journal holds a resumable checkpoint.
+      std::fprintf(stderr,
+                   "interrupted: progress checkpointed at %s "
+                   "(rerun with --resume to continue)\n",
+                   options.journal.c_str());
+      return 130;
+    }
+    // Never emit a partial result table — one clean line, non-zero exit.
     std::fprintf(stderr, "tuning failed: %s\n",
                  outcome.status().ToString().c_str());
     return 1;
@@ -245,6 +285,13 @@ int RunCli(const CliOptions& options) {
                 "%zu censored\n",
                 outcome->retried_runs, outcome->timed_out_runs,
                 outcome->remeasured_runs, outcome->censored_runs);
+  }
+  if (outcome->replayed_records > 0) {
+    std::printf("resumed:   %zu trials replayed from %s\n",
+                outcome->replayed_records, options.journal.c_str());
+  }
+  for (const std::string& warning : outcome->recovery_warnings) {
+    std::printf("recovery:  %s\n", warning.c_str());
   }
   std::printf("config:    %s\n", outcome->best_config.ToString().c_str());
   std::printf("report:    %s\n", outcome->tuner_report.c_str());

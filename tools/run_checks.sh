@@ -18,6 +18,14 @@ if [ "${1:-}" = "--smoke" ]; then
   echo "=== [smoke] configure + build (default preset) ==="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "$jobs"
+  echo "=== [smoke] durability gate ==="
+  # Unlike the paper-scale benches, durability is a correctness property:
+  # bench_durability gates its exit code even under ATUNE_SMOKE (small kill
+  # matrix: every registry tuner, kill points {1, n/2, n-1, random},
+  # parallelism 1 and 8, plus torn-journal fuzzing). Run it first and
+  # loudly so a broken resume path fails the smoke run on its own line.
+  ATUNE_SMOKE=1 ./build/bench/bench_durability > /dev/null
+  echo "bench_durability: kill/resume bit-identity + fuzz recovery ok"
   echo "=== [smoke] benches at ATUNE_SMOKE=1 ==="
   # bench_micro is a google-benchmark binary: listing its benchmarks proves
   # it links and registers without paying for a timing run.
@@ -26,6 +34,7 @@ if [ "${1:-}" = "--smoke" ]; then
   for bench in build/bench/bench_*; do
     name="$(basename "$bench")"
     [ "$name" = "bench_micro" ] && continue
+    [ "$name" = "bench_durability" ] && continue
     [ -x "$bench" ] || continue
     echo "--- $name ---"
     ATUNE_SMOKE=1 "$bench" > /dev/null
@@ -35,6 +44,10 @@ if [ "${1:-}" = "--smoke" ]; then
   exit 0
 fi
 
+# The sanitizer presets run the full ctest suite, which includes the
+# journal fuzz tests (tests/core/journal_test.cc) and the per-tuner
+# resume-equivalence tests (tests/core/resume_test.cc) — torn-frame
+# parsing and replay are exactly the code that should meet asan/ubsan.
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(tsan asan-ubsan)
