@@ -162,6 +162,58 @@ struct GpTiming {
   double ratio;
 };
 
+/// E15 — observability overhead: the same serial iTuned session run
+/// untraced and then with the full tracing+metrics stack attached. The
+/// budgeted claim (EXPERIMENTS.md E15) is that the host-time cost of
+/// tracing stays under 2% of the MODELED experiment wall-clock — the
+/// quantity a real campaign is made of — so instrumentation is effectively
+/// free next to even one real experiment.
+struct ObsOverhead {
+  double untraced_host_s = 0.0;   // median host seconds per session
+  double traced_host_s = 0.0;
+  double modeled_wallclock_s = 0.0;
+  double overhead_pct = 0.0;      // host delta / modeled wall-clock * 100
+  size_t spans = 0;               // spans per traced session
+  MetricsSnapshot metrics;        // registry snapshot of the traced run
+};
+
+ObsOverhead MeasureObservabilityOverhead() {
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  ObsOverhead out;
+  const size_t reps = SmokeSize(5, 3);
+  auto run_session = [&](Tracer* tracer, MetricsRegistry* metrics) {
+    auto system = MakeDbms(1234);
+    std::unique_ptr<Tuner> tuner = MakeTuner("ituned");
+    SessionOptions options;
+    options.budget = TuningBudget{kBudget};
+    options.seed = 7;
+    options.measure_default = false;
+    options.tracer = tracer;
+    options.metrics = metrics;
+    auto outcome = RunTuningSession(tuner.get(), system.get(), workload,
+                                    options);
+    if (outcome.ok()) {
+      out.modeled_wallclock_s = ModeledWallClock(outcome->history);
+    }
+  };
+  out.untraced_host_s =
+      TimeMedian(reps, [&] { run_session(nullptr, nullptr); });
+  // Fresh tracer/registry per rep (construction is part of the measured
+  // cost); the last rep's snapshot is published.
+  std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<MetricsRegistry> metrics;
+  out.traced_host_s = TimeMedian(reps, [&] {
+    tracer = std::make_unique<Tracer>();
+    metrics = std::make_unique<MetricsRegistry>();
+    run_session(tracer.get(), metrics.get());
+  });
+  out.spans = tracer->span_count();
+  out.metrics = metrics->Snapshot();
+  out.overhead_pct = 100.0 * (out.traced_host_s - out.untraced_host_s) /
+                     std::max(out.modeled_wallclock_s, 1e-9);
+  return out;
+}
+
 GpTiming TimeGpRefit(size_t n) {
   // Smooth synthetic response over [0,1]^5 — representative of the log
   // objectives the tuners model.
@@ -294,13 +346,31 @@ int main() {
                 t.incremental_ms, t.ratio);
   }
 
+  // E15: observability overhead of the full tracing+metrics stack.
+  ObsOverhead obs = MeasureObservabilityOverhead();
+  std::printf(
+      "\nObservability overhead (E15, serial ituned, %zu spans/session):\n"
+      "  untraced %.4fs -> traced %.4fs host time per session;\n"
+      "  delta = %.2f%% of the %.1fs modeled experiment wall-clock "
+      "(gate < 2%%)\n",
+      obs.spans, obs.untraced_host_s, obs.traced_host_s, obs.overhead_pct,
+      obs.modeled_wallclock_s);
+  for (const auto& e : obs.metrics.entries) {
+    if (e.kind != "histogram" || e.count == 0) continue;
+    std::printf("  %-30s n=%llu mean=%.3f p99=%.3f\n", e.name.c_str(),
+                static_cast<unsigned long long>(e.count), e.mean, e.p99);
+  }
+
   bool speedup_pass = modeled_speedup_8 >= 2.5;
   bool gp_pass = gp_timings.back().ratio >= 10.0;
+  bool obs_pass = obs.overhead_pct < 2.0;
   std::printf("\nacceptance: modeled speedup@8 %.2fx (>=2.5x: %s), "
-              "equivalence %s, GP incremental@300 %.1fx (>=10x: %s)\n",
+              "equivalence %s, GP incremental@300 %.1fx (>=10x: %s), "
+              "tracing overhead %.2f%% (<2%%: %s)\n",
               modeled_speedup_8, speedup_pass ? "PASS" : "FAIL",
               all_replays_ok && baselines_serial_equal ? "PASS" : "FAIL",
-              gp_timings.back().ratio, gp_pass ? "PASS" : "FAIL");
+              gp_timings.back().ratio, gp_pass ? "PASS" : "FAIL",
+              obs.overhead_pct, obs_pass ? "PASS" : "FAIL");
 
   // Machine-readable mirror of everything above, published atomically
   // (write-temp-then-rename) so a crash can't leave a torn report.
@@ -346,16 +416,45 @@ int main() {
                    i + 1 < gp_timings.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
+    // E15: host-time cost of the observability layer, plus the traced
+    // session's metric histograms (machine-readable mirror of the console
+    // block above; "host" metrics vary run to run by design).
+    std::fprintf(json,
+                 "  \"observability\": {\n"
+                 "    \"untraced_host_s\": %.6f,\n"
+                 "    \"traced_host_s\": %.6f,\n"
+                 "    \"modeled_wallclock_s\": %.4f,\n"
+                 "    \"overhead_pct_of_modeled\": %.4f,\n"
+                 "    \"spans_per_session\": %zu,\n"
+                 "    \"histograms\": [\n",
+                 obs.untraced_host_s, obs.traced_host_s,
+                 obs.modeled_wallclock_s, obs.overhead_pct, obs.spans);
+    {
+      bool first_hist = true;
+      for (const auto& e : obs.metrics.entries) {
+        if (e.kind != "histogram") continue;
+        std::fprintf(json,
+                     "%s      {\"name\": \"%s\", \"count\": %llu, "
+                     "\"mean\": %.6f, \"p50\": %.6f, \"p99\": %.6f, "
+                     "\"max\": %.6f}",
+                     first_hist ? "" : ",\n", e.name.c_str(),
+                     static_cast<unsigned long long>(e.count), e.mean, e.p50,
+                     e.p99, e.max);
+        first_hist = false;
+      }
+    }
+    std::fprintf(json, "\n    ]\n  },\n");
     std::fprintf(json,
                  "  \"pass\": {\"modeled_speedup_ge_2p5\": %s, "
-                 "\"equivalence\": %s, \"gp_incremental_ge_10x\": %s}\n}\n",
+                 "\"equivalence\": %s, \"gp_incremental_ge_10x\": %s, "
+                 "\"tracing_overhead_lt_2pct\": %s}\n}\n",
                  speedup_pass ? "true" : "false",
                  all_replays_ok && baselines_serial_equal ? "true" : "false",
-                 gp_pass ? "true" : "false");
+                 gp_pass ? "true" : "false", obs_pass ? "true" : "false");
     if (CommitTempFile(json, "BENCH_parallel_engine.json").ok()) {
       std::printf("wrote BENCH_parallel_engine.json\n");
     }
   }
   return AcceptanceExit(speedup_pass && gp_pass && all_replays_ok &&
-                        baselines_serial_equal);
+                        baselines_serial_equal && obs_pass);
 }

@@ -75,6 +75,23 @@ double Quantile(std::vector<double> xs, double q) {
 
 double Median(const std::vector<double>& xs) { return Quantile(xs, 0.5); }
 
+double UpperMedianInPlace(std::vector<double>* xs) {
+  if (xs->empty()) return 0.0;
+  std::nth_element(xs->begin(), xs->begin() + xs->size() / 2, xs->end());
+  return (*xs)[xs->size() / 2];
+}
+
+MadResult Mad(std::vector<double> xs) {
+  MadResult r;
+  if (xs.empty()) return r;
+  r.median = UpperMedianInPlace(&xs);
+  // The deviations are computed over the partially reordered vector; that
+  // is fine — they form the same multiset, and nth_element is order-blind.
+  for (double& x : xs) x = std::abs(x - r.median);
+  r.mad = UpperMedianInPlace(&xs);
+  return r;
+}
+
 double PearsonCorrelation(const std::vector<double>& xs,
                           const std::vector<double>& ys) {
   size_t n = std::min(xs.size(), ys.size());

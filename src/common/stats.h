@@ -44,6 +44,23 @@ double Quantile(std::vector<double> xs, double q);
 
 double Median(const std::vector<double>& xs);
 
+/// Upper median: the element at index size/2 after a partial sort
+/// (nth_element), i.e. for even n the upper of the two middle elements —
+/// no interpolation, always an actual sample. Partially reorders *xs.
+/// 0 for empty input.
+double UpperMedianInPlace(std::vector<double>* xs);
+
+/// Median absolute deviation about the upper median. Both the center and
+/// the spread use UpperMedianInPlace, matching the classical
+/// modified-z-score recipe on actual samples (the Evaluator's outlier
+/// detector depends on these exact semantics — see
+/// RobustnessPolicy::outlier_mad_threshold). Empty input yields {0, 0}.
+struct MadResult {
+  double median = 0.0;
+  double mad = 0.0;
+};
+MadResult Mad(std::vector<double> xs);
+
 /// Pearson correlation coefficient; 0 if either side is constant.
 double PearsonCorrelation(const std::vector<double>& xs,
                           const std::vector<double>& ys);

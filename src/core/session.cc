@@ -54,6 +54,25 @@ Result<TuningOutcome> RunSessionImpl(Tuner* tuner, TunableSystem* system,
   }
   evaluator.set_interrupt_after_records(options.interrupt_after_records);
   if (!replay.empty()) evaluator.SetReplay(std::move(replay));
+  evaluator.set_tracer(options.tracer);
+  evaluator.set_metrics(options.metrics);
+  // A reused Evaluator would otherwise leak one session's repair counters
+  // into the next outcome; replay re-establishes them from the journal.
+  evaluator.ResetSessionCounters();
+
+  // Install tracer/metrics process-wide so instrumentation the session
+  // object can't reach (GP fits, acquisition loops) finds them; installing
+  // null keeps whatever is current, so untraced sessions can run
+  // concurrently with a traced one without clobbering it.
+  ScopedTracerInstall tracer_install(options.tracer);
+  ScopedMetricsInstall metrics_install(options.metrics);
+  ScopedSpan session_span(options.tracer, "session");
+  if (session_span.active()) {
+    session_span.AddArg("tuner", tuner->name());
+    session_span.AddArg("system", system->name());
+    session_span.AddArg("workload", workload.name);
+    session_span.AddArg("seed", std::to_string(options.seed));
+  }
 
   Rng rng(options.seed);
   Status tune_status = tuner->Tune(&evaluator, &rng);
@@ -123,6 +142,8 @@ Result<TuningOutcome> RunSessionImpl(Tuner* tuner, TunableSystem* system,
   }
 
   if (options.measure_default) {
+    ScopedSpan default_span(options.tracer, "default_measure",
+                            session_span.id());
     Configuration defaults = system->space().DefaultConfiguration();
     auto default_run = system->Execute(defaults, workload);
     if (default_run.ok()) {
@@ -133,6 +154,11 @@ Result<TuningOutcome> RunSessionImpl(Tuner* tuner, TunableSystem* system,
             outcome.default_objective / outcome.best_objective;
       }
     }
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->GetGauge("session.replayed_records")
+        ->Set(static_cast<double>(outcome.replayed_records));
+    outcome.metrics = options.metrics->Snapshot();
   }
   return outcome;
 }

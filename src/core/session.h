@@ -7,6 +7,8 @@
 
 #include "common/status.h"
 #include "core/tuner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace atune {
 
@@ -51,6 +53,11 @@ struct TuningOutcome {
   /// What journal recovery had to discard (torn/corrupt tail, incomplete
   /// batch), for operator visibility. Empty for fresh sessions.
   std::vector<std::string> recovery_warnings;
+  /// Snapshot of SessionOptions::metrics taken when the session ended.
+  /// Empty when no registry was attached. Metrics whose name contains
+  /// "host" are host wall-clock and vary run to run; everything else is
+  /// deterministic and survives a resume bit-identically (DESIGN.md §9).
+  MetricsSnapshot metrics;
 };
 
 /// Options controlling a session.
@@ -77,6 +84,17 @@ struct SessionOptions {
   /// Deterministic kill switch for durability testing: abort the session as
   /// soon as the journal holds this many records (0 = off).
   uint64_t interrupt_after_records = 0;
+  /// Span tracer for this session (not owned; null = tracing off). The
+  /// session emits the span taxonomy of DESIGN.md §9 (session → round →
+  /// batch → trial → {measure, retry, remeasure, commit}, plus gp_fit /
+  /// acquisition / unit) and installs the tracer as the process-wide
+  /// CurrentTracer() for its duration, so at most one traced session should
+  /// run at a time (concurrent untraced sessions are unaffected).
+  Tracer* tracer = nullptr;
+  /// Metrics registry for this session (not owned; null = metrics off);
+  /// snapshot returned in TuningOutcome::metrics. Installed as
+  /// CurrentMetrics() for the session's duration, like `tracer`.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs one tuner against one system+workload with a budget and packages the

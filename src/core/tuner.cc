@@ -1,11 +1,42 @@
 #include "core/tuner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "common/stats.h"
 #include "common/string_util.h"
 
 namespace atune {
+
+namespace {
+
+/// Deterministic annotations shared by live and replayed trial spans: every
+/// value either comes from (live) the committed trial / upcoming journal seq
+/// or (replay) the journal record — bit-identical by construction, so the
+/// structural tree comparison can include them.
+void AnnotateTrialSpan(ScopedSpan* span, bool has_seq, uint64_t seq,
+                       const Trial& trial, uint64_t batch_size,
+                       uint64_t lane) {
+  if (!span->active()) return;
+  if (has_seq) span->AddArg("seq", std::to_string(seq));
+  span->AddArg("round", std::to_string(trial.round));
+  if (batch_size > 1) {
+    span->AddArg("batch_size", std::to_string(batch_size));
+    span->AddArg("lane", std::to_string(lane));
+  }
+  span->AddArg("cost", TraceDouble(trial.cost));
+  span->AddArg("objective", TraceDouble(trial.objective));
+  span->AddArg("runtime", TraceDouble(trial.result.runtime_seconds));
+  if (trial.scaled) span->AddArg("scaled", "1");
+  if (trial.result.censored) {
+    span->AddArg("censored", "1");
+  } else if (trial.result.failed) {
+    span->AddArg("failed", "1");
+  }
+}
+
+}  // namespace
 
 const char* TunerCategoryToString(TunerCategory category) {
   switch (category) {
@@ -32,6 +63,52 @@ Evaluator::Evaluator(TunableSystem* system, Workload workload,
       budget_(budget),
       budget_max_(static_cast<double>(budget.max_evaluations)),
       failure_penalty_(failure_penalty) {}
+
+void Evaluator::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  m_ = MetricSet{};
+  if (metrics_ == nullptr) return;
+  m_.trial_latency = metrics_->GetHistogram("trial.latency_seconds");
+  m_.trial_cost = metrics_->GetHistogram("trial.cost_units");
+  m_.queue_wait = metrics_->GetHistogram("pool.queue_wait_host_seconds");
+  m_.trials = metrics_->GetCounter("trial.total");
+  m_.failed = metrics_->GetCounter("trial.failed");
+  m_.censored = metrics_->GetCounter("trial.censored");
+  m_.retried = metrics_->GetCounter("trial.retried");
+  m_.timed_out = metrics_->GetCounter("trial.timed_out");
+  m_.remeasured = metrics_->GetCounter("trial.remeasured");
+  m_.replayed = metrics_->GetCounter("trial.replayed");
+  m_.budget_used = metrics_->GetGauge("budget.used_units");
+  m_.budget_retry = metrics_->GetGauge("budget.retry_units");
+  m_.budget_remeasure = metrics_->GetGauge("budget.remeasure_units");
+}
+
+void Evaluator::RecordTrialMetrics(const Trial& trial) {
+  if (metrics_ == nullptr) return;
+  m_.trials->Increment();
+  if (trial.result.censored) {
+    m_.censored->Increment();
+  } else if (trial.result.failed) {
+    m_.failed->Increment();
+  }
+  m_.trial_latency->Record(trial.result.runtime_seconds);
+  m_.trial_cost->Record(trial.cost);
+  m_.budget_used->Set(used_);
+}
+
+void Evaluator::SynthesizeRepairSpans(uint64_t trial_span, bool synth_measure,
+                                      uint64_t retries, uint64_t remeasures) {
+  if (tracer_ == nullptr) return;
+  if (synth_measure) {
+    tracer_->RecordSynthetic(trial_span, "measure", nullptr, {});
+  }
+  for (uint64_t i = 0; i < retries; ++i) {
+    tracer_->RecordSynthetic(trial_span, "retry", nullptr, {});
+  }
+  for (uint64_t i = 0; i < remeasures; ++i) {
+    tracer_->RecordSynthetic(trial_span, "remeasure", nullptr, {});
+  }
+}
 
 double Evaluator::ObjectiveOf(const Configuration& config,
                               const ExecutionResult& result) const {
@@ -65,7 +142,8 @@ ExecutionResult Evaluator::RetryTransient(const Configuration& config,
                                           const Workload& workload,
                                           ExecutionResult result,
                                           double base_cost, double reserved,
-                                          double* cost) {
+                                          double* cost,
+                                          uint64_t parent_span) {
   size_t attempts = 0;
   while (result.failed && result.transient &&
          attempts < policy_.max_retries) {
@@ -76,11 +154,27 @@ ExecutionResult Evaluator::RetryTransient(const Configuration& config,
         budget_max_ + kBudgetEpsilon) {
       break;  // no budget left to retry; degrade to the failed measurement
     }
+    // Manual span rather than ScopedSpan: a retry that fails to execute is
+    // never recorded, matching replay synthesis (which only sees the
+    // counted retries).
+    uint64_t span_id = 0;
+    uint64_t begin_ns = 0;
+    if (tracer_ != nullptr) {
+      span_id = tracer_->BeginSpan();
+      begin_ns = tracer_->NowNs();
+    }
     auto again = CountedExecute(config, workload);
     if (!again.ok()) break;  // repair impossible; keep what we measured
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(span_id, parent_span, "retry", nullptr, begin_ns, {});
+    }
     *cost += retry_cost;
     ++attempts;
     ++retried_runs_;
+    if (m_.retried != nullptr) {
+      m_.retried->Increment();
+      m_.budget_retry->Add(retry_cost);
+    }
     result = *std::move(again);
   }
   return result;
@@ -94,28 +188,24 @@ double Evaluator::OutlierScore(double runtime) const {
     runtimes.push_back(t.result.runtime_seconds);
   }
   if (runtimes.size() < policy_.outlier_min_history) return 0.0;
-  auto median_of = [](std::vector<double>* v) {
-    std::nth_element(v->begin(), v->begin() + v->size() / 2, v->end());
-    return (*v)[v->size() / 2];
-  };
-  double median = median_of(&runtimes);
-  for (double& r : runtimes) r = std::abs(r - median);
-  double mad = median_of(&runtimes);
+  MadResult stats = Mad(std::move(runtimes));
   // Floor the MAD so a near-degenerate history (repeated identical
   // measurements) doesn't make every new config look suspicious.
-  mad = std::max({mad, 0.01 * std::abs(median), 1e-12});
-  return 0.6745 * std::abs(runtime - median) / mad;
+  double mad =
+      std::max({stats.mad, 0.01 * std::abs(stats.median), 1e-12});
+  return 0.6745 * std::abs(runtime - stats.median) / mad;
 }
 
 ExecutionResult Evaluator::ApplyRobustnessPolicy(const Configuration& config,
                                                  ExecutionResult result,
                                                  double reserved,
                                                  double* cost,
-                                                 bool* exclude_from_best) {
+                                                 bool* exclude_from_best,
+                                                 uint64_t parent_span) {
   *cost = 1.0;
   *exclude_from_best = false;
   result = RetryTransient(config, workload_, std::move(result), 1.0,
-                          reserved, cost);
+                          reserved, cost, parent_span);
 
   // Timeout watchdog: reclaim hung (or merely interminable) runs at the
   // threshold. Early-abort cost accounting: we only watched the run for
@@ -132,6 +222,7 @@ ExecutionResult Evaluator::ApplyRobustnessPolicy(const Configuration& config,
     result.failure_reason = StrFormat(
         "killed by timeout watchdog after %.0f s", policy_.timeout_seconds);
     ++timed_out_runs_;
+    if (m_.timed_out != nullptr) m_.timed_out->Increment();
     *exclude_from_best = true;
     return result;
   }
@@ -149,13 +240,27 @@ ExecutionResult Evaluator::ApplyRobustnessPolicy(const Configuration& config,
           budget_max_ + kBudgetEpsilon) {
         break;  // keep what we can afford
       }
+      uint64_t span_id = 0;
+      uint64_t begin_ns = 0;
+      if (tracer_ != nullptr) {
+        span_id = tracer_->BeginSpan();
+        begin_ns = tracer_->NowNs();
+      }
       auto again = CountedExecute(config, workload_);
       if (!again.ok()) break;
+      if (tracer_ != nullptr) {
+        tracer_->EndSpan(span_id, parent_span, "remeasure", nullptr, begin_ns,
+                         {});
+      }
       *cost += 1.0;
       ++remeasured_runs_;
+      if (m_.remeasured != nullptr) {
+        m_.remeasured->Increment();
+        m_.budget_remeasure->Add(1.0);
+      }
       measurements.push_back(RetryTransient(config, workload_,
                                             *std::move(again), 1.0, reserved,
-                                            cost));
+                                            cost, parent_span));
     }
     if (measurements.size() > 1) {
       std::sort(measurements.begin(), measurements.end(),
@@ -211,7 +316,8 @@ Result<ExecutionResult> Evaluator::CountedExecute(const Configuration& config,
   return system_->Execute(config, workload);
 }
 
-Status Evaluator::JournalTrial(uint64_t batch_size, uint64_t lane) {
+Status Evaluator::JournalTrial(uint64_t batch_size, uint64_t lane,
+                               uint64_t parent_span) {
   if (journal_ == nullptr) return Status::OK();
   const Trial& trial = history_.back();
   JournalRecord rec;
@@ -230,10 +336,23 @@ Status Evaluator::JournalTrial(uint64_t batch_size, uint64_t lane) {
   rec.retried_runs = retried_runs_;
   rec.timed_out_runs = timed_out_runs_;
   rec.remeasured_runs = remeasured_runs_;
+  uint64_t span_id = 0;
+  uint64_t begin_ns = 0;
+  if (tracer_ != nullptr) {
+    span_id = tracer_->BeginSpan();
+    begin_ns = tracer_->NowNs();
+  }
   Status status = journal_->Append(rec);
   if (!status.ok()) {
     journal_error_ = status;
     return status;
+  }
+  // The span marks the commit boundary; structurally it is "commit", the
+  // same structural name the replay path emits, so resumed and
+  // uninterrupted traces agree.
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(span_id, parent_span, "journal_append", "commit",
+                     begin_ns, {});
   }
   // The append is the commit boundary: firing the interrupt here (rather
   // than at the next call's entry gate) means a kill lands with the record
@@ -244,7 +363,8 @@ Status Evaluator::JournalTrial(uint64_t batch_size, uint64_t lane) {
 }
 
 Status Evaluator::JournalUnit(const Configuration& config, size_t unit_index,
-                              const ExecutionResult& result, double cost) {
+                              const ExecutionResult& result, double cost,
+                              uint64_t parent_span) {
   if (journal_ == nullptr) return Status::OK();
   JournalRecord rec;
   rec.kind = JournalRecordKind::kUnit;
@@ -260,17 +380,28 @@ Status Evaluator::JournalUnit(const Configuration& config, size_t unit_index,
   rec.retried_runs = retried_runs_;
   rec.timed_out_runs = timed_out_runs_;
   rec.remeasured_runs = remeasured_runs_;
+  uint64_t span_id = 0;
+  uint64_t begin_ns = 0;
+  if (tracer_ != nullptr) {
+    span_id = tracer_->BeginSpan();
+    begin_ns = tracer_->NowNs();
+  }
   Status status = journal_->Append(rec);
   if (!status.ok()) {
     journal_error_ = status;
     return status;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(span_id, parent_span, "journal_append", "commit",
+                     begin_ns, {});
   }
   if (InterruptRequested()) return InterruptedStatus();
   return Status::OK();
 }
 
 Status Evaluator::ReplayTrial(const Configuration& config,
-                              uint64_t batch_size, uint64_t lane) {
+                              uint64_t batch_size, uint64_t lane,
+                              uint64_t parent_span, bool synth_measure) {
   if (replay_pos_ >= replay_.size()) {
     return Status::Internal(
         "journal replay ended mid-call; the journal does not match the "
@@ -287,6 +418,12 @@ Status Evaluator::ReplayTrial(const Configuration& config,
   }
   ++replay_pos_;
   ATUNE_RETURN_IF_ERROR(FastForwardSystem(rec));
+  // Counter deltas relative to the previous record reconstruct the repair
+  // activity this trial performed live (the journal stores the counters
+  // cumulatively) — capture them before the counters are overwritten.
+  uint64_t delta_retried = rec.retried_runs - retried_runs_;
+  uint64_t delta_timed_out = rec.timed_out_runs - timed_out_runs_;
+  uint64_t delta_remeasured = rec.remeasured_runs - remeasured_runs_;
   // Re-apply the committed trial exactly: same round, same cost, same
   // cumulative budget/counters/noise cursor as the uninterrupted session.
   round_ = rec.round;
@@ -308,6 +445,37 @@ Status Evaluator::ReplayTrial(const Configuration& config,
   retried_runs_ = rec.retried_runs;
   timed_out_runs_ = rec.timed_out_runs;
   remeasured_runs_ = rec.remeasured_runs;
+  // Emit the same span structure the live trial emitted: the trial span
+  // with synthesized measure/retry/remeasure children and a commit-boundary
+  // span (structural name "commit", like the live journal_append).
+  {
+    ScopedSpan trial_span(tracer_, "trial", parent_span);
+    AnnotateTrialSpan(&trial_span, /*has_seq=*/true, rec.seq, history_.back(),
+                      batch_size, lane);
+    SynthesizeRepairSpans(trial_span.id(), synth_measure, delta_retried,
+                          delta_remeasured);
+    if (tracer_ != nullptr) {
+      tracer_->RecordSynthetic(trial_span.id(), "replay", "commit", {});
+    }
+  }
+  if (metrics_ != nullptr) {
+    // Deterministic metrics are re-recorded from the journal, mirroring the
+    // live recording sequence so a resumed registry matches bit-for-bit
+    // (budget.retry_units reconstructs each live Add(retry_cost); the
+    // full-run retry cost is exact, scaled-trial retries are approximated
+    // with base cost 1.0 — see DESIGN.md §9).
+    for (uint64_t i = 0; i < delta_retried; ++i) {
+      m_.retried->Increment();
+      m_.budget_retry->Add(policy_.retry_cost_fraction);
+    }
+    m_.timed_out->Increment(delta_timed_out);
+    for (uint64_t i = 0; i < delta_remeasured; ++i) {
+      m_.remeasured->Increment();
+      m_.budget_remeasure->Add(1.0);
+    }
+    m_.replayed->Increment();
+    RecordTrialMetrics(history_.back());
+  }
   return Status::OK();
 }
 
@@ -354,6 +522,24 @@ Result<ExecutionResult> Evaluator::ReplayUnit(const Configuration& config,
   retried_runs_ = rec.retried_runs;
   timed_out_runs_ = rec.timed_out_runs;
   remeasured_runs_ = rec.remeasured_runs;
+  {
+    ScopedSpan unit_span(tracer_, "unit");
+    if (unit_span.active()) {
+      unit_span.AddArg("seq", std::to_string(rec.seq));
+      unit_span.AddArg("unit", std::to_string(unit_index));
+      unit_span.AddArg("cost", TraceDouble(rec.cost));
+      unit_span.AddArg("objective", TraceDouble(rec.objective));
+      unit_span.AddArg("runtime", TraceDouble(rec.result.runtime_seconds));
+    }
+    if (tracer_ != nullptr) {
+      tracer_->RecordSynthetic(unit_span.id(), "measure", nullptr, {});
+      tracer_->RecordSynthetic(unit_span.id(), "replay", "commit", {});
+    }
+  }
+  if (metrics_ != nullptr) {
+    m_.budget_used->Set(used_);
+    m_.replayed->Increment();
+  }
   return rec.result;
 }
 
@@ -363,19 +549,31 @@ Result<double> Evaluator::Evaluate(const Configuration& config) {
     return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
-    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0));
+    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0,
+                                      round_span.id(),
+                                      /*synth_measure=*/true));
     return history_.back().objective;
   }
-  ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
-                         CountedExecute(config, workload_));
+  ScopedSpan trial_span(tracer_, "trial", round_span.id());
+  ExecutionResult result;
+  {
+    ScopedSpan measure_span(tracer_, "measure", trial_span.id());
+    ATUNE_ASSIGN_OR_RETURN(result, CountedExecute(config, workload_));
+  }
   ++round_;
   double cost = 1.0;
   bool exclude = false;
   result = ApplyRobustnessPolicy(config, std::move(result), /*reserved=*/1.0,
-                                 &cost, &exclude);
+                                 &cost, &exclude, trial_span.id());
   CommitTrial(config, result, cost, exclude);
-  ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/1, /*lane=*/0));
+  RecordTrialMetrics(history_.back());
+  AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
+                    journal_ != nullptr ? journal_->next_seq() : 0,
+                    history_.back(), /*batch_size=*/1, /*lane=*/0);
+  ATUNE_RETURN_IF_ERROR(
+      JournalTrial(/*batch_size=*/1, /*lane=*/0, trial_span.id()));
   return history_.back().objective;
 }
 
@@ -401,6 +599,9 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     return RefuseBudget();
   }
   size_t k = std::min(configs.size(), affordable);
+  ScopedSpan round_span(tracer_, "round");
+  ScopedSpan batch_span(tracer_, "batch", round_span.id());
+  if (batch_span.active()) batch_span.AddArg("size", std::to_string(k));
   if (replay_active()) {
     // Recovery only ever keeps whole batches, so replay serves the full
     // wave or none of it; running dry mid-wave means the journal belongs to
@@ -408,12 +609,27 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     std::vector<double> objectives;
     objectives.reserve(k);
     for (size_t i = 0; i < k; ++i) {
-      ATUNE_RETURN_IF_ERROR(ReplayTrial(configs[i], k, i));
+      ATUNE_RETURN_IF_ERROR(ReplayTrial(configs[i], k, i, batch_span.id(),
+                                        /*synth_measure=*/true));
       objectives.push_back(history_.back().objective);
     }
     return objectives;
   }
   ++round_;  // the whole batch is one wall-clock round
+
+  // Lane trial spans open before the fan-out so each worker's "measure"
+  // span can parent to its lane; they close lane-by-lane at commit.
+  std::vector<std::unique_ptr<ScopedSpan>> lane_spans;
+  if (tracer_ != nullptr) {
+    lane_spans.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      lane_spans.push_back(
+          std::make_unique<ScopedSpan>(tracer_, "trial", batch_span.id()));
+    }
+  }
+  auto lane_span_id = [&](size_t i) -> uint64_t {
+    return tracer_ != nullptr ? lane_spans[i]->id() : 0;
+  };
 
   std::vector<Result<ExecutionResult>> results;
   results.reserve(k);
@@ -423,6 +639,7 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     // Serial fallback (parallelism 1 or non-clonable system): identical
     // semantics, executed in submission order on the parent.
     for (size_t i = 0; i < k; ++i) {
+      ScopedSpan measure_span(tracer_, "measure", lane_span_id(i));
       results.push_back(CountedExecute(configs[i], workload_));
     }
   } else {
@@ -439,9 +656,21 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     for (size_t i = 0; i < k; ++i) {
       TunableSystem* clone = clones[i].get();
       const Configuration* config = &configs[i];
-      futures.push_back(pool->Submit([clone, config, this]() {
-        return clone->Execute(*config, workload_);
-      }));
+      uint64_t lane_span = lane_span_id(i);
+      Histogram* queue_wait = m_.queue_wait;  // host-clock; see naming note
+      auto submitted = std::chrono::steady_clock::now();
+      futures.push_back(
+          pool->Submit([clone, config, this, lane_span, queue_wait,
+                        submitted]() {
+            if (queue_wait != nullptr) {
+              queue_wait->Record(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     submitted)
+                                     .count());
+            }
+            ScopedSpan measure_span(tracer_, "measure", lane_span);
+            return clone->Execute(*config, workload_);
+          }));
     }
     for (size_t i = 0; i < k; ++i) results.push_back(futures[i].get());
     system_->SkipRuns(k);
@@ -463,10 +692,20 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     double cost = 1.0;
     bool exclude = false;
     ExecutionResult repaired = ApplyRobustnessPolicy(
-        configs[i], *std::move(results[i]), reserved, &cost, &exclude);
+        configs[i], *std::move(results[i]), reserved, &cost, &exclude,
+        lane_span_id(i));
     CommitTrial(configs[i], repaired, cost, exclude);
+    RecordTrialMetrics(history_.back());
     reserved -= 1.0;
-    ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/k, /*lane=*/i));
+    if (tracer_ != nullptr) {
+      AnnotateTrialSpan(lane_spans[i].get(), /*has_seq=*/journal_ != nullptr,
+                        journal_ != nullptr ? journal_->next_seq() : 0,
+                        history_.back(), /*batch_size=*/k, /*lane=*/i);
+    }
+    Status append_status = JournalTrial(/*batch_size=*/k, /*lane=*/i,
+                                        lane_span_id(i));
+    if (tracer_ != nullptr) lane_spans[i].reset();  // lane committed
+    ATUNE_RETURN_IF_ERROR(append_status);
     objectives.push_back(history_.back().objective);
   }
   return objectives;
@@ -487,17 +726,24 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
     return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
-    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0));
+    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0,
+                                      round_span.id(),
+                                      /*synth_measure=*/true));
     if (aborted != nullptr) *aborted = history_.back().result.censored;
     return history_.back().objective;
   }
-  ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
-                         CountedExecute(config, workload_));
+  ScopedSpan trial_span(tracer_, "trial", round_span.id());
+  ExecutionResult result;
+  {
+    ScopedSpan measure_span(tracer_, "measure", trial_span.id());
+    ATUNE_ASSIGN_OR_RETURN(result, CountedExecute(config, workload_));
+  }
   ++round_;
   double cost = 1.0;
   result = RetryTransient(config, workload_, std::move(result), 1.0,
-                          /*reserved=*/1.0, &cost);
+                          /*reserved=*/1.0, &cost, trial_span.id());
   // The watchdog, when armed and tighter than the caller's threshold, kills
   // the run first — a hung run never gets to burn abort_at_seconds.
   double censor_at = abort_at_seconds;
@@ -512,7 +758,10 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
     double fraction = std::min(1.0, censor_at / result.runtime_seconds);
     cost = (cost - 1.0) + std::max(0.05, fraction);  // setup isn't free
     if (aborted != nullptr) *aborted = true;
-    if (watchdog) ++timed_out_runs_;
+    if (watchdog) {
+      ++timed_out_runs_;
+      if (m_.timed_out != nullptr) m_.timed_out->Increment();
+    }
     result.censored = true;
     result.failure_reason = watchdog
                                 ? StrFormat("killed by timeout watchdog "
@@ -523,11 +772,21 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
     // incumbent below the threshold and exclude it from best-tracking
     // (its objective is not a completed measurement).
     CommitTrial(config, result, cost, /*exclude_from_best=*/true);
-    ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/1, /*lane=*/0));
+    RecordTrialMetrics(history_.back());
+    AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
+                      journal_ != nullptr ? journal_->next_seq() : 0,
+                      history_.back(), /*batch_size=*/1, /*lane=*/0);
+    ATUNE_RETURN_IF_ERROR(
+        JournalTrial(/*batch_size=*/1, /*lane=*/0, trial_span.id()));
     return history_.back().objective;
   }
   CommitTrial(config, result, cost);
-  ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/1, /*lane=*/0));
+  RecordTrialMetrics(history_.back());
+  AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
+                    journal_ != nullptr ? journal_->next_seq() : 0,
+                    history_.back(), /*batch_size=*/1, /*lane=*/0);
+  ATUNE_RETURN_IF_ERROR(
+      JournalTrial(/*batch_size=*/1, /*lane=*/0, trial_span.id()));
   return history_.back().objective;
 }
 
@@ -541,22 +800,34 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
     return RefuseBudget();
   }
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
-    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0));
+    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0,
+                                      round_span.id(),
+                                      /*synth_measure=*/true));
     return history_.back().objective;
   }
   Workload sample = workload_;
   sample.scale *= fraction;
-  ATUNE_ASSIGN_OR_RETURN(ExecutionResult result,
-                         CountedExecute(config, sample));
+  ScopedSpan trial_span(tracer_, "trial", round_span.id());
+  ExecutionResult result;
+  {
+    ScopedSpan measure_span(tracer_, "measure", trial_span.id());
+    ATUNE_ASSIGN_OR_RETURN(result, CountedExecute(config, sample));
+  }
   ++round_;
   // Transient faults hit cheap sample runs too; a retry costs the same
   // fraction of the (scaled-down) run it re-executes.
   double cost = fraction;
   result = RetryTransient(config, sample, std::move(result), fraction,
-                          /*reserved=*/fraction, &cost);
+                          /*reserved=*/fraction, &cost, trial_span.id());
   CommitTrial(config, result, cost, /*exclude_from_best=*/true);
-  ATUNE_RETURN_IF_ERROR(JournalTrial(/*batch_size=*/1, /*lane=*/0));
+  RecordTrialMetrics(history_.back());
+  AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
+                    journal_ != nullptr ? journal_->next_seq() : 0,
+                    history_.back(), /*batch_size=*/1, /*lane=*/0);
+  ATUNE_RETURN_IF_ERROR(
+      JournalTrial(/*batch_size=*/1, /*lane=*/0, trial_span.id()));
   return history_.back().objective;
 }
 
@@ -578,32 +849,55 @@ Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
   if (replay_active()) {
     return ReplayUnit(config, unit_index);
   }
+  ScopedSpan unit_span(tracer_, "unit");
   ++system_runs_;  // ExecuteUnit advances the system's run index like Execute
-  ATUNE_ASSIGN_OR_RETURN(
-      ExecutionResult result,
-      iterative->ExecuteUnit(config, workload_, unit_index));
+  ExecutionResult result;
+  {
+    ScopedSpan measure_span(tracer_, "measure", unit_span.id());
+    ATUNE_ASSIGN_OR_RETURN(
+        result, iterative->ExecuteUnit(config, workload_, unit_index));
+  }
   used_ += cost;
-  ATUNE_RETURN_IF_ERROR(JournalUnit(config, unit_index, result, cost));
+  if (m_.budget_used != nullptr) m_.budget_used->Set(used_);
+  if (unit_span.active()) {
+    if (journal_ != nullptr) {
+      unit_span.AddArg("seq", std::to_string(journal_->next_seq()));
+    }
+    unit_span.AddArg("unit", std::to_string(unit_index));
+    unit_span.AddArg("cost", TraceDouble(cost));
+    unit_span.AddArg("objective", TraceDouble(ObjectiveOf(config, result)));
+    unit_span.AddArg("runtime", TraceDouble(result.runtime_seconds));
+  }
+  ATUNE_RETURN_IF_ERROR(
+      JournalUnit(config, unit_index, result, cost, unit_span.id()));
   return result;
 }
 
 void Evaluator::RecordCompositeTrial(const Configuration& config,
                                      const ExecutionResult& aggregate,
                                      double cost) {
+  ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
     // The composite trial was journaled like a serial trial; any divergence
-    // surfaces through the sticky journal_error_ (this API is void).
-    Status status = ReplayTrial(config, /*batch_size=*/1, /*lane=*/0);
+    // surfaces through the sticky journal_error_ (this API is void). No
+    // measure span is synthesized — the live path performs no base run.
+    Status status = ReplayTrial(config, /*batch_size=*/1, /*lane=*/0,
+                                round_span.id(), /*synth_measure=*/false);
     if (!status.ok() && journal_error_.ok()) journal_error_ = status;
     return;
   }
   ++round_;
+  ScopedSpan trial_span(tracer_, "trial", round_span.id());
   // The budget was already charged by the unit-level evaluations; commit
   // with zero cost, then stamp the trial's nominal cost for reporting.
   CommitTrial(config, aggregate, 0.0);
   history_.back().cost = cost;
+  RecordTrialMetrics(history_.back());
+  AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
+                    journal_ != nullptr ? journal_->next_seq() : 0,
+                    history_.back(), /*batch_size=*/1, /*lane=*/0);
   // Journal after the cost stamp so the record carries the display cost.
-  JournalTrial(/*batch_size=*/1, /*lane=*/0);
+  JournalTrial(/*batch_size=*/1, /*lane=*/0, trial_span.id());
 }
 
 const Trial* Evaluator::best() const {

@@ -13,6 +13,8 @@
 #include "core/journal.h"
 #include "core/objective.h"
 #include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace atune {
 
@@ -260,6 +262,30 @@ class Evaluator {
   size_t timed_out_runs() const { return timed_out_runs_; }
   size_t remeasured_runs() const { return remeasured_runs_; }
 
+  /// Zeroes the per-session robustness counters (retried/timed-out/
+  /// re-measured). RunTuningSession calls this at session start so an
+  /// Evaluator reused across Tune() invocations never carries one
+  /// session's repair activity into the next session's outcome.
+  void ResetSessionCounters() {
+    retried_runs_ = 0;
+    timed_out_runs_ = 0;
+    remeasured_runs_ = 0;
+  }
+
+  /// Attaches a span tracer (not owned; null = tracing off, the default).
+  /// The Evaluator emits the measurement half of the span taxonomy
+  /// (DESIGN.md §9): round → [batch] → trial → {measure, retry, remeasure,
+  /// commit}, with the same commit-boundary identifiers as the journal, so
+  /// a replayed session reconstructs a structurally identical tree. Set
+  /// before the first Evaluate call.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() { return tracer_; }
+
+  /// Attaches a metrics registry (not owned; null = metrics off). Hot-path
+  /// recording is atomic through cached pointers; see DESIGN.md §9 for the
+  /// metric inventory. Set before the first Evaluate call.
+  void set_metrics(MetricsRegistry* metrics);
+
   /// Objective value for a run under this evaluator's objective (custom if
   /// set, penalized runtime otherwise).
   double ObjectiveOf(const Configuration& config,
@@ -278,10 +304,13 @@ class Evaluator {
   /// `reserved` is budget already spoken for by not-yet-committed runs
   /// (including this one's base cost); a retry only happens if it still
   /// fits. Returns the final attempt's measurement.
+  /// `parent_span` parents the per-retry "retry" spans (0 = root; pass the
+  /// enclosing trial span's id so repairs nest under their trial).
   ExecutionResult RetryTransient(const Configuration& config,
                                  const Workload& workload,
                                  ExecutionResult result, double base_cost,
-                                 double reserved, double* cost);
+                                 double reserved, double* cost,
+                                 uint64_t parent_span);
 
   /// Full robustness pipeline for one full-cost measurement: transient
   /// retries, timeout censoring, MAD outlier re-measurement. Repairs
@@ -291,7 +320,8 @@ class Evaluator {
   ExecutionResult ApplyRobustnessPolicy(const Configuration& config,
                                         ExecutionResult result,
                                         double reserved, double* cost,
-                                        bool* exclude_from_best);
+                                        bool* exclude_from_best,
+                                        uint64_t parent_span);
 
   /// Modified z-score of `runtime` against completed unscaled trials, or
   /// 0 when the history is too short or degenerate.
@@ -319,23 +349,42 @@ class Evaluator {
   /// Appends a journal record for history_.back() (call after the trial is
   /// fully finalized, including RecordCompositeTrial's cost stamp). A
   /// failure is sticky in journal_error_ and returned.
-  Status JournalTrial(uint64_t batch_size, uint64_t lane);
+  Status JournalTrial(uint64_t batch_size, uint64_t lane,
+                      uint64_t parent_span);
   /// Appends a kUnit record for an EvaluateUnit measurement.
   Status JournalUnit(const Configuration& config, size_t unit_index,
-                     const ExecutionResult& result, double cost);
+                     const ExecutionResult& result, double cost,
+                     uint64_t parent_span);
 
   /// Serves the next replay record as this trial: verifies kind/config/
   /// batch coordinates against the journal (divergence is kInternal),
   /// re-applies the recorded measurement to history/best/budget/counters.
+  /// Emits a "trial" span under `parent_span` with measure/retry/remeasure
+  /// children synthesized from the record's counter deltas and a "replay"
+  /// span sharing the live journal_append's structural name, so a resumed
+  /// session's span tree is structurally identical to the uninterrupted
+  /// one. `synth_measure` is false for composite trials, whose live path
+  /// performs no base measurement.
   Status ReplayTrial(const Configuration& config, uint64_t batch_size,
-                     uint64_t lane);
-  /// Serves the next replay record as a unit execution.
+                     uint64_t lane, uint64_t parent_span, bool synth_measure);
+  /// Serves the next replay record as a unit execution (emits the "unit"
+  /// span and its synthesized children, mirroring the live EvaluateUnit).
   Result<ExecutionResult> ReplayUnit(const Configuration& config,
                                      size_t unit_index);
   /// Advances the system's run cursor to the record's cumulative count so
   /// post-replay (and off-journal) runs draw the same measurement noise as
   /// the uninterrupted session would have.
   Status FastForwardSystem(const JournalRecord& rec);
+
+  /// Records the committed trial into the metrics registry (no-op when
+  /// metrics are off). Call after the trial is fully finalized; replay
+  /// calls it too, so deterministic trial metrics survive a resume.
+  void RecordTrialMetrics(const Trial& trial);
+
+  /// Emits the zero-duration measure/retry/remeasure children of a replayed
+  /// trial span from the journal record's counter deltas.
+  void SynthesizeRepairSpans(uint64_t trial_span, bool synth_measure,
+                             uint64_t retries, uint64_t remeasures);
 
   TunableSystem* system_;
   Workload workload_;
@@ -367,6 +416,26 @@ class Evaluator {
   std::function<bool()> interrupt_check_;
   uint64_t record_limit_ = 0;
   bool interrupted_ = false;
+
+  Tracer* tracer_ = nullptr;            // not owned; null = tracing off
+  MetricsRegistry* metrics_ = nullptr;  // not owned; null = metrics off
+  /// Metric pointers cached once in set_metrics so hot paths never take the
+  /// registry lock. All null when metrics are off.
+  struct MetricSet {
+    Histogram* trial_latency = nullptr;  // trial.latency_seconds
+    Histogram* trial_cost = nullptr;     // trial.cost_units
+    Histogram* queue_wait = nullptr;     // pool.queue_wait_host_seconds
+    Counter* trials = nullptr;           // trial.total
+    Counter* failed = nullptr;           // trial.failed
+    Counter* censored = nullptr;         // trial.censored
+    Counter* retried = nullptr;          // trial.retried
+    Counter* timed_out = nullptr;        // trial.timed_out
+    Counter* remeasured = nullptr;       // trial.remeasured
+    Counter* replayed = nullptr;         // trial.replayed
+    Gauge* budget_used = nullptr;        // budget.used_units
+    Gauge* budget_retry = nullptr;       // budget.retry_units
+    Gauge* budget_remeasure = nullptr;   // budget.remeasure_units
+  } m_;
 };
 
 /// Interface implemented by every tuning approach. Tune() explores via the

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace atune {
 
@@ -103,6 +106,11 @@ Status GaussianProcess::AddObservation(const Vec& x, double y) {
     return Status::InvalidArgument(
         "GP AddObservation: dimension mismatch with fitted data");
   }
+  ScopedSpan span(CurrentTracer(), "gp_fit");
+  if (span.active()) {
+    span.AddArg("mode", "incremental");
+    span.AddArg("n", std::to_string(xs_.size() + 1));
+  }
   size_t n = xs_.size();
   Vec row(n + 1);
   for (size_t i = 0; i < n; ++i) row[i] = KernelValue(x, xs_[i]);
@@ -114,9 +122,15 @@ Status GaussianProcess::AddObservation(const Vec& x, double y) {
     // Degenerate append (duplicate/near-duplicate point): rebuild from
     // scratch, letting Fit escalate the jitter. Copy out first — Fit
     // overwrites the members it reads from.
+    if (MetricsRegistry* metrics = CurrentMetrics()) {
+      metrics->GetCounter("gp.incremental_fallbacks")->Increment();
+    }
     std::vector<Vec> xs = xs_;
     Vec ys = ys_;
     return Fit(xs, ys);
+  }
+  if (MetricsRegistry* metrics = CurrentMetrics()) {
+    metrics->GetCounter("gp.incremental_refits")->Increment();
   }
   RecomputePosterior();
   return Status::OK();
@@ -127,6 +141,15 @@ Status GaussianProcess::FitWithHyperSearch(const std::vector<Vec>& xs,
                                            Rng* rng, ThreadPool* pool) {
   if (xs.empty() || xs.size() != ys.size()) {
     return Status::InvalidArgument("GP Fit: empty data or size mismatch");
+  }
+  ScopedSpan span(CurrentTracer(), "gp_fit");
+  if (span.active()) {
+    span.AddArg("mode", "hyper_search");
+    span.AddArg("n", std::to_string(xs.size()));
+    span.AddArg("budget", std::to_string(budget));
+  }
+  if (MetricsRegistry* metrics = CurrentMetrics()) {
+    metrics->GetCounter("gp.hyper_searches")->Increment();
   }
   size_t dims = xs[0].size();
   double y_var = 0.0;

@@ -1,0 +1,258 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace atune {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::atomic<MetricsRegistry*> g_current_metrics{nullptr};
+
+}  // namespace
+
+MetricsRegistry* CurrentMetrics() {
+  return g_current_metrics.load(std::memory_order_acquire);
+}
+
+ScopedMetricsInstall::ScopedMetricsInstall(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  previous_ = g_current_metrics.exchange(metrics, std::memory_order_acq_rel);
+  installed_ = true;
+}
+
+ScopedMetricsInstall::~ScopedMetricsInstall() {
+  if (installed_) {
+    g_current_metrics.store(previous_, std::memory_order_release);
+  }
+}
+
+void Gauge::Set(double v) {
+  bits_.store(DoubleBits(v), std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  uint64_t observed = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(
+      observed, DoubleBits(BitsDouble(observed) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::Value() const {
+  return BitsDouble(bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Snapshot::BucketBound(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) - kZeroExponent + 1);
+}
+
+void Histogram::Record(double v) {
+  size_t bucket = 0;
+  if (v > 0.0 && std::isfinite(v)) {
+    int exponent = 0;
+    std::frexp(v, &exponent);  // v = m * 2^exponent, m in [0.5, 1)
+    // frexp's exponent is one above the power-of-two lower bound, so
+    // 2^e <= v < 2^(e+1) has frexp exponent e+1.
+    long idx = static_cast<long>(exponent) - 1 + kZeroExponent;
+    bucket = static_cast<size_t>(std::clamp<long>(
+        idx, 0, static_cast<long>(kBuckets) - 1));
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      observed, DoubleBits(BitsDouble(observed) + v),
+      std::memory_order_relaxed)) {
+  }
+  // min/max: first writer seeds both, later writers CAS their side only.
+  if (!has_minmax_.load(std::memory_order_acquire)) {
+    uint64_t zero_bits = 0;
+    if (min_bits_.compare_exchange_strong(zero_bits, DoubleBits(v),
+                                          std::memory_order_acq_rel)) {
+      max_bits_.store(DoubleBits(v), std::memory_order_release);
+      has_minmax_.store(true, std::memory_order_release);
+      return;
+    }
+    // Lost the seeding race; fall through once the seeder published.
+    while (!has_minmax_.load(std::memory_order_acquire)) {
+    }
+  }
+  uint64_t mn = min_bits_.load(std::memory_order_relaxed);
+  while (v < BitsDouble(mn) &&
+         !min_bits_.compare_exchange_weak(mn, DoubleBits(v),
+                                          std::memory_order_relaxed)) {
+  }
+  uint64_t mx = max_bits_.load(std::memory_order_relaxed);
+  while (v > BitsDouble(mx) &&
+         !max_bits_.compare_exchange_weak(mx, DoubleBits(v),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot s;
+  s.buckets.resize(kBuckets);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+  if (has_minmax_.load(std::memory_order_acquire)) {
+    s.min = BitsDouble(min_bits_.load(std::memory_order_relaxed));
+    s.max = BitsDouble(max_bits_.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  uint64_t in_buckets = 0;
+  for (uint64_t c : buckets) in_buckets += c;
+  if (in_buckets == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(in_buckets);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(seen + buckets[i]) >= target) {
+      // Linear interpolation within the bucket's [lo, hi).
+      double lo = i == 0 ? 0.0 : BucketBound(i - 1);
+      double hi = BucketBound(i);
+      double into =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      double v = lo + into * (hi - lo);
+      return std::clamp(v, min, max);  // exact extremes beat bucket edges
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric& m = metrics_[name];
+  if (m.counter == nullptr) {
+    m.kind = "counter";
+    m.counter = std::make_unique<Counter>();
+  }
+  return m.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric& m = metrics_[name];
+  if (m.gauge == nullptr) {
+    m.kind = "gauge";
+    m.gauge = std::make_unique<Gauge>();
+  }
+  return m.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metric& m = metrics_[name];
+  if (m.histogram == nullptr) {
+    m.kind = "histogram";
+    m.histogram = std::make_unique<Histogram>();
+  }
+  return m.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, metric] : metrics_) {  // std::map: sorted by name
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = metric.kind;
+    if (metric.counter != nullptr) {
+      e.count = metric.counter->Value();
+    } else if (metric.gauge != nullptr) {
+      e.value = metric.gauge->Value();
+    } else if (metric.histogram != nullptr) {
+      Histogram::Snapshot h = metric.histogram->Snap();
+      e.count = h.count;
+      e.sum = h.sum;
+      e.min = h.min;
+      e.max = h.max;
+      e.mean = h.mean();
+      e.p50 = h.Quantile(0.50);
+      e.p90 = h.Quantile(0.90);
+      e.p99 = h.Quantile(0.99);
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out += i == 0 ? "\n" : ",\n";
+    if (e.kind == "counter") {
+      out += StrFormat("  \"%s\": {\"kind\": \"counter\", \"count\": %llu}",
+                       e.name.c_str(),
+                       static_cast<unsigned long long>(e.count));
+    } else if (e.kind == "gauge") {
+      out += StrFormat("  \"%s\": {\"kind\": \"gauge\", \"value\": %s}",
+                       e.name.c_str(), TraceDouble(e.value).c_str());
+    } else {
+      out += StrFormat(
+          "  \"%s\": {\"kind\": \"histogram\", \"count\": %llu, "
+          "\"sum\": %s, \"min\": %s, \"max\": %s, \"mean\": %s, "
+          "\"p50\": %s, \"p90\": %s, \"p99\": %s}",
+          e.name.c_str(), static_cast<unsigned long long>(e.count),
+          TraceDouble(e.sum).c_str(), TraceDouble(e.min).c_str(),
+          TraceDouble(e.max).c_str(), TraceDouble(e.mean).c_str(),
+          TraceDouble(e.p50).c_str(), TraceDouble(e.p90).c_str(),
+          TraceDouble(e.p99).c_str());
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::SummaryTable() const {
+  std::string out =
+      StrFormat("%-34s %-9s %10s %12s %12s %12s %12s\n", "metric", "kind",
+                "count", "value/mean", "p50", "p99", "max");
+  for (const Entry& e : entries) {
+    if (e.kind == "counter") {
+      out += StrFormat("%-34s %-9s %10llu\n", e.name.c_str(), e.kind.c_str(),
+                       static_cast<unsigned long long>(e.count));
+    } else if (e.kind == "gauge") {
+      out += StrFormat("%-34s %-9s %10s %12.4f\n", e.name.c_str(),
+                       e.kind.c_str(), "-", e.value);
+    } else {
+      out += StrFormat("%-34s %-9s %10llu %12.4f %12.4f %12.4f %12.4f\n",
+                       e.name.c_str(), e.kind.c_str(),
+                       static_cast<unsigned long long>(e.count), e.mean,
+                       e.p50, e.p99, e.max);
+    }
+  }
+  return out;
+}
+
+Status MetricsRegistry::PublishJson(const std::string& path) const {
+  return AtomicWriteFile(path, Snapshot().ToJson());
+}
+
+}  // namespace atune

@@ -1,0 +1,145 @@
+#ifndef ATUNE_OBS_METRICS_H_
+#define ATUNE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace atune {
+
+/// Monotonic event counter. Increment is a relaxed atomic add — safe and
+/// cheap on any measurement hot path.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-value / accumulating double gauge (budget units spent per phase,
+/// replayed-record count...). Add() is a CAS loop — contention on gauges is
+/// rare (they sit off the per-candidate hot paths), correctness is not.
+class Gauge {
+ public:
+  void Set(double v);
+  void Add(double delta);
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit-cast double
+};
+
+/// Lock-free histogram over base-2 exponential buckets: bucket i covers
+/// [2^(i - kZeroExponent), 2^(i - kZeroExponent + 1)), spanning ~1 µs to
+/// ~4 Gs when recording seconds — wide enough for both simulated runtimes
+/// and host-clock waits. Values <= 0 land in bucket 0. Also tracks exact
+/// count/sum/min/max, so mean is exact and only the quantiles are
+/// bucket-resolution estimates.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 52;
+  static constexpr int kZeroExponent = 20;  // bucket 0 upper bound 2^-20
+
+  void Record(double v);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<uint64_t> buckets;  // kBuckets entries
+
+    double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+    /// Bucket-interpolated quantile estimate, q in [0, 1].
+    double Quantile(double q) const;
+    /// Upper bound of bucket i (lower bound of bucket i+1).
+    static double BucketBound(size_t i);
+  };
+  Snapshot Snap() const;
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+  std::atomic<uint64_t> min_bits_{0};
+  std::atomic<uint64_t> max_bits_{0};
+  std::atomic<bool> has_minmax_{false};
+};
+
+/// One registry entry rendered for export.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    std::string kind;  // "counter" | "gauge" | "histogram"
+    uint64_t count = 0;       // counter value / histogram count
+    double value = 0.0;       // gauge value
+    double sum = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  };
+  std::vector<Entry> entries;  // sorted by name
+
+  /// Stable-field-order JSON object {"name": {...}, ...}. Convention:
+  /// metrics whose name contains "host" measure host wall-clock and are
+  /// excluded from determinism comparisons (everything else must be
+  /// bit-identical between a resumed and an uninterrupted session).
+  std::string ToJson() const;
+  /// Aligned human-readable table, sorted by name.
+  std::string SummaryTable() const;
+};
+
+/// Named counters/gauges/histograms with atomic hot-path recording and
+/// snapshot-on-demand. Get*() returns a stable pointer (entries are never
+/// removed); call sites cache the pointer and record lock-free thereafter.
+/// Thread-safe throughout.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Publishes Snapshot().ToJson() atomically (write-temp-then-rename via
+  /// common/file_util), so a crash can never leave a torn metrics file.
+  Status PublishJson(const std::string& path) const;
+
+ private:
+  struct Metric {
+    std::string kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Metric> metrics_;  // guarded by mu_; ptrs stable
+};
+
+/// Per-process current registry, the metrics twin of CurrentTracer():
+/// instrumentation sites deep in the ML layer (incremental-GP hit counters)
+/// read it with one atomic load; null disables them.
+MetricsRegistry* CurrentMetrics();
+
+/// RAII install/restore; installing null keeps the current registry.
+class ScopedMetricsInstall {
+ public:
+  explicit ScopedMetricsInstall(MetricsRegistry* metrics);
+  ~ScopedMetricsInstall();
+  ScopedMetricsInstall(const ScopedMetricsInstall&) = delete;
+  ScopedMetricsInstall& operator=(const ScopedMetricsInstall&) = delete;
+
+ private:
+  MetricsRegistry* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_OBS_METRICS_H_

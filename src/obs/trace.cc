@@ -1,0 +1,300 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+
+namespace atune {
+
+namespace {
+
+/// Innermost open span per (thread, tracer). A plain vector: sessions open
+/// a handful of nested spans, never hundreds, and lookup is "walk from the
+/// back for the first matching tracer".
+thread_local std::vector<std::pair<const Tracer*, uint64_t>> tls_span_stack;
+
+std::atomic<Tracer*> g_current_tracer{nullptr};
+
+uint64_t ThreadParentFor(const Tracer* tracer) {
+  for (auto it = tls_span_stack.rbegin(); it != tls_span_stack.rend(); ++it) {
+    if (it->first == tracer) return it->second;
+  }
+  return 0;
+}
+
+/// JSON string escaping for the Chrome export (names/args are ASCII-ish;
+/// control characters are \u-escaped for safety).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceDouble(double v) { return StrFormat("%.17g", v); }
+
+Tracer* CurrentTracer() {
+  return g_current_tracer.load(std::memory_order_acquire);
+}
+
+ScopedTracerInstall::ScopedTracerInstall(Tracer* tracer) {
+  if (tracer == nullptr) return;  // never clobber a traced session
+  previous_ = g_current_tracer.exchange(tracer, std::memory_order_acq_rel);
+  installed_ = true;
+}
+
+ScopedTracerInstall::~ScopedTracerInstall() {
+  if (installed_) {
+    g_current_tracer.store(previous_, std::memory_order_release);
+  }
+}
+
+Tracer::Tracer(std::function<uint64_t()> clock) : clock_(std::move(clock)) {}
+
+uint64_t Tracer::NowNs() const {
+  if (clock_) return clock_();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint64_t Tracer::BeginSpan() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t Tracer::ThreadIndexLocked() {
+  std::thread::id self = std::this_thread::get_id();
+  for (size_t i = 0; i < thread_ids_.size(); ++i) {
+    if (thread_ids_[i] == self) return static_cast<uint32_t>(i);
+  }
+  thread_ids_.push_back(self);
+  return static_cast<uint32_t>(thread_ids_.size() - 1);
+}
+
+void Tracer::EndSpan(uint64_t id, uint64_t parent_id, const char* name,
+                     const char* structural_name, uint64_t begin_ns,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  SpanRecord rec;
+  rec.id = id;
+  rec.parent_id = parent_id;
+  rec.name = name;
+  rec.structural_name = structural_name != nullptr ? structural_name : name;
+  rec.start_ns = begin_ns;
+  rec.end_ns = NowNs();
+  if (rec.end_ns < rec.start_ns) rec.end_ns = rec.start_ns;
+  rec.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.thread_index = ThreadIndexLocked();
+  records_.push_back(std::move(rec));
+}
+
+void Tracer::RecordSynthetic(
+    uint64_t parent_id, const char* name, const char* structural_name,
+    std::vector<std::pair<std::string, std::string>> args) {
+  uint64_t id = BeginSpan();
+  uint64_t now = NowNs();
+  SpanRecord rec;
+  rec.id = id;
+  rec.parent_id = parent_id;
+  rec.name = name;
+  rec.structural_name = structural_name != nullptr ? structural_name : name;
+  rec.start_ns = now;
+  rec.end_ns = now;
+  rec.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.thread_index = ThreadIndexLocked();
+  records_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.id < b.id;
+            });
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (i > 0) out += ",";
+    out += StrFormat(
+        "\n{\"name\":\"%s\",\"cat\":\"atune\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"span_id\":%llu,"
+        "\"parent_id\":%llu",
+        JsonEscape(s.name).c_str(), static_cast<double>(s.start_ns) / 1e3,
+        static_cast<double>(s.end_ns - s.start_ns) / 1e3, s.thread_index,
+        static_cast<unsigned long long>(s.id),
+        static_cast<unsigned long long>(s.parent_id));
+    for (const auto& [key, value] : s.args) {
+      out += StrFormat(",\"%s\":\"%s\"", JsonEscape(key).c_str(),
+                       JsonEscape(value).c_str());
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  return AtomicWriteFile(path, ChromeTraceJson());
+}
+
+std::string Tracer::SummaryTable() const {
+  struct Agg {
+    size_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;  // sorted for stable output
+  for (const SpanRecord& s : Snapshot()) {
+    Agg& a = by_name[s.name];
+    uint64_t dur = s.end_ns - s.start_ns;
+    ++a.count;
+    a.total_ns += dur;
+    a.max_ns = std::max(a.max_ns, dur);
+  }
+  std::string out = StrFormat("%-16s %8s %12s %12s %12s\n", "span", "count",
+                              "total-ms", "mean-ms", "max-ms");
+  for (const auto& [name, a] : by_name) {
+    out += StrFormat("%-16s %8zu %12.3f %12.3f %12.3f\n", name.c_str(),
+                     a.count, static_cast<double>(a.total_ns) / 1e6,
+                     static_cast<double>(a.total_ns) / 1e6 /
+                         static_cast<double>(a.count),
+                     static_cast<double>(a.max_ns) / 1e6);
+  }
+  return out;
+}
+
+namespace {
+
+/// Renders `span` + its subtree into a canonical string: structural name,
+/// args in emission order, children rendered recursively and sorted by
+/// their own rendering (concurrent lanes end in nondeterministic order;
+/// sorting makes the rendering a pure function of the tree).
+std::string RenderSubtree(const SpanRecord& span,
+                          const std::map<uint64_t, std::vector<size_t>>& kids,
+                          const std::vector<SpanRecord>& spans, int depth) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += span.structural_name;
+  if (!span.args.empty()) {
+    line += "{";
+    for (size_t i = 0; i < span.args.size(); ++i) {
+      if (i > 0) line += ",";
+      line += span.args[i].first + "=" + span.args[i].second;
+    }
+    line += "}";
+  }
+  line += "\n";
+  auto it = kids.find(span.id);
+  if (it != kids.end()) {
+    std::vector<std::string> rendered;
+    rendered.reserve(it->second.size());
+    for (size_t child : it->second) {
+      rendered.push_back(RenderSubtree(spans[child], kids, spans, depth + 1));
+    }
+    std::sort(rendered.begin(), rendered.end());
+    for (const std::string& r : rendered) line += r;
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string Tracer::StructuralTreeString() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::map<uint64_t, size_t> by_id;
+  for (size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+  std::map<uint64_t, std::vector<size_t>> kids;
+  std::vector<std::string> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    // An orphan (parent never recorded — e.g. still open at snapshot time)
+    // renders as a root rather than vanishing from the oracle.
+    if (spans[i].parent_id != 0 && by_id.count(spans[i].parent_id) == 0) {
+      kids[0].push_back(i);
+    } else {
+      kids[spans[i].parent_id].push_back(i);
+    }
+  }
+  auto it = kids.find(0);
+  if (it != kids.end()) {
+    for (size_t root : it->second) {
+      roots.push_back(RenderSubtree(spans[root], kids, spans, 0));
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  std::string out;
+  for (const std::string& r : roots) out += r;
+  return out;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name, uint64_t parent_id,
+                       const char* structural_name)
+    : tracer_(tracer), name_(name), structural_name_(structural_name) {
+  if (tracer_ == nullptr) return;
+  id_ = tracer_->BeginSpan();
+  parent_id_ =
+      parent_id == kThreadParent ? ThreadParentFor(tracer_) : parent_id;
+  begin_ns_ = tracer_->NowNs();
+  tls_span_stack.emplace_back(tracer_, id_);
+  pushed_tls_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  if (pushed_tls_) {
+    // Spans are destroyed in reverse construction order within a thread,
+    // so the top of the stack is this span (erase defensively anyway).
+    for (auto it = tls_span_stack.rbegin(); it != tls_span_stack.rend();
+         ++it) {
+      if (it->first == tracer_ && it->second == id_) {
+        tls_span_stack.erase(std::next(it).base());
+        break;
+      }
+    }
+  }
+  tracer_->EndSpan(id_, parent_id_, name_, structural_name_, begin_ns_,
+                   std::move(args_));
+}
+
+void ScopedSpan::AddArg(const char* key, std::string value) {
+  if (tracer_ == nullptr) return;
+  args_.emplace_back(key, std::move(value));
+}
+
+}  // namespace atune

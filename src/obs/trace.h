@@ -1,0 +1,181 @@
+#ifndef ATUNE_OBS_TRACE_H_
+#define ATUNE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace atune {
+
+/// One finished span. Spans form a forest: parent_id == 0 means root.
+/// Timestamps are nanoseconds of monotonic time since the Tracer was
+/// constructed (or ticks of the injected test clock), so traces from
+/// different processes are comparable only structurally — which is the
+/// point: the structural tree is the correctness oracle (DESIGN.md §9),
+/// the timestamps are the profile.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root of the forest
+  std::string name;
+  /// Name used by structural comparisons. Defaults to `name`; spans whose
+  /// live and replayed forms differ by design (journal_append vs replay)
+  /// share a structural name ("commit") so a resumed session's tree is
+  /// bit-identical to the uninterrupted one.
+  std::string structural_name;
+  /// Small dense thread index (0 = first thread seen), stable enough for
+  /// Chrome's per-tid lanes; excluded from structural comparisons (pool
+  /// scheduling is nondeterministic).
+  uint32_t thread_index = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  /// Deterministic key/value annotations (journal seq, round, batch
+  /// coordinates, objective bits...). Insertion order is preserved and is
+  /// part of the structural identity — emit args deterministically.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Thread-safe span collector with zero heap or lock activity until a span
+/// actually ends (ids are allocated from an atomic; the record vector is
+/// appended under a mutex once per span). All methods may be called from
+/// any thread. Tracing is opt-in everywhere: every instrumentation site
+/// takes a `Tracer*` that may be null, and the null path is a pointer test.
+class Tracer {
+ public:
+  Tracer() = default;
+  /// `clock` overrides the monotonic clock (testing: deterministic
+  /// timestamps make the Chrome export and summary table golden-testable).
+  explicit Tracer(std::function<uint64_t()> clock);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Allocates a span id and stamps its start time. `parent_id` 0 makes a
+  /// root span. Thread-safe, lock-free.
+  uint64_t BeginSpan();
+
+  /// Completes a span begun with BeginSpan(). `begin_ns` is the value
+  /// NowNs() returned at begin time (the caller carries it — usually inside
+  /// a ScopedSpan — so Begin doesn't need shared storage).
+  void EndSpan(uint64_t id, uint64_t parent_id, const char* name,
+               const char* structural_name, uint64_t begin_ns,
+               std::vector<std::pair<std::string, std::string>> args);
+
+  /// Records an already-shaped span verbatim (replay synthesis: the
+  /// Evaluator reconstructs measure/retry/remeasure spans from journal
+  /// counter deltas; they carry zero duration but full structure).
+  void RecordSynthetic(uint64_t parent_id, const char* name,
+                       const char* structural_name,
+                       std::vector<std::pair<std::string, std::string>> args);
+
+  /// Monotonic nanoseconds since construction (or the injected clock).
+  uint64_t NowNs() const;
+
+  /// Copy of every finished span, in end order. Spans still open are not
+  /// included — snapshot after the traced region completes.
+  std::vector<SpanRecord> Snapshot() const;
+  size_t span_count() const;
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
+  /// Load in chrome://tracing or Perfetto. Field order is fixed so the
+  /// export is golden-testable; events are sorted by (start, id).
+  std::string ChromeTraceJson() const;
+  /// Writes ChromeTraceJson() atomically (write-temp-then-rename).
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Human-readable per-name aggregate: count, total/mean/max wall within
+  /// the span, sorted by name for stable output.
+  std::string SummaryTable() const;
+
+  /// Timestamp-free canonical rendering of the span forest, the
+  /// trace-as-oracle artifact: one line per span (`structural_name` +
+  /// args), children indented and sorted by their own rendering, roots
+  /// likewise sorted. Two tracers with equal StructuralTreeString()s
+  /// observed the same tree of events regardless of timing, thread
+  /// placement, or end order. A resumed session must produce a string
+  /// bit-identical to the uninterrupted session's (tests/obs enforces it).
+  std::string StructuralTreeString() const;
+
+ private:
+  uint32_t ThreadIndexLocked();
+
+  std::function<uint64_t()> clock_;  ///< empty = steady_clock
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;                    // guarded by mu_
+  std::vector<std::thread::id> thread_ids_;            // guarded by mu_
+};
+
+/// The per-process "current" tracer, used by instrumentation sites that a
+/// session object cannot reach (GP fits, acquisition loops deep inside
+/// tuners). Null (the default) disables those sites at the cost of one
+/// atomic load. RunTuningSession installs SessionOptions::tracer for the
+/// session's duration; at most one traced session may run at a time
+/// (concurrent *untraced* sessions are unaffected — they never install).
+Tracer* CurrentTracer();
+
+/// RAII install/restore of the current tracer. Installing null is a no-op
+/// (keeps whatever is current), so untraced sessions cannot clobber a
+/// traced one.
+class ScopedTracerInstall {
+ public:
+  explicit ScopedTracerInstall(Tracer* tracer);
+  ~ScopedTracerInstall();
+  ScopedTracerInstall(const ScopedTracerInstall&) = delete;
+  ScopedTracerInstall& operator=(const ScopedTracerInstall&) = delete;
+
+ private:
+  Tracer* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+/// RAII span. With a null tracer every method is a no-op (tracing off costs
+/// one branch). Parentage: by default the span parents to the innermost
+/// open ScopedSpan on the *same thread* for the same tracer (a thread-local
+/// stack); pass `parent_id` explicitly to stitch spans across threads
+/// (e.g. batch lanes running on pool workers parent to the batch span).
+class ScopedSpan {
+ public:
+  static constexpr uint64_t kThreadParent = ~uint64_t{0};
+
+  ScopedSpan(Tracer* tracer, const char* name,
+             uint64_t parent_id = kThreadParent,
+             const char* structural_name = nullptr);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Adds a deterministic annotation. Args are emitted in AddArg order.
+  void AddArg(const char* key, std::string value);
+
+  /// This span's id, for use as an explicit cross-thread parent.
+  uint64_t id() const { return id_; }
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* structural_name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint64_t begin_ns_ = 0;
+  bool pushed_tls_ = false;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Formats a double so that parsing the string back yields the same bits
+/// (%.17g); span/metric args must round-trip for bit-identity checks.
+std::string TraceDouble(double v);
+
+}  // namespace atune
+
+#endif  // ATUNE_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "math/sampling.h"
 #include "ml/acquisition.h"
+#include "obs/trace.h"
 
 namespace atune {
 
@@ -18,6 +19,11 @@ namespace {
 Vec ProposeCandidate(const GaussianProcess& gp, const ITunedOptions& options,
                      const std::vector<Vec>& xs, const Vec& ys, size_t dims,
                      Rng* rng, double* best_acq_out) {
+  ScopedSpan span(CurrentTracer(), "acquisition");
+  if (span.active()) {
+    span.AddArg("candidates", std::to_string(options.acquisition_candidates));
+    span.AddArg("kind", options.acquisition);
+  }
   double best_log = *std::min_element(ys.begin(), ys.end());
   double best_acq = -std::numeric_limits<double>::infinity();
   Vec next;

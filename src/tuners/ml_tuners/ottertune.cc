@@ -15,6 +15,7 @@
 #include "ml/gaussian_process.h"
 #include "ml/kmeans.h"
 #include "ml/linear_model.h"
+#include "obs/trace.h"
 #include "systems/dbms/dbms_workloads.h"
 #include "systems/mapreduce/mr_workloads.h"
 #include "systems/spark/spark_workloads.h"
@@ -370,6 +371,8 @@ Status OtterTuneTuner::Tune(Evaluator* evaluator, Rng* rng) {
         std::min_element(target_objectives.begin(), target_objectives.end()) -
         target_objectives.begin())];
     if (fit.ok()) {
+      ScopedSpan acq_span(CurrentTracer(), "acquisition");
+      if (acq_span.active()) acq_span.AddArg("candidates", "1500");
       double best_log = *std::min_element(target_objectives.begin(),
                                           target_objectives.end());
       double best_acq = -std::numeric_limits<double>::infinity();

@@ -64,6 +64,58 @@ TEST(StatsTest, EmptyInputsAreSafe) {
   EXPECT_DOUBLE_EQ(PearsonCorrelation(empty, empty), 0.0);
 }
 
+TEST(StatsTest, QuantileDegenerateInputs) {
+  // Seed-era gap: the empty and 1-element paths were only exercised
+  // indirectly through the Evaluator. Pin them down directly.
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 1.0), 0.0);
+  std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(Quantile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(Quantile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(Quantile(one, 1.0), 42.0);
+  EXPECT_DOUBLE_EQ(Median(one), 42.0);
+  // Out-of-range q clamps to the extremes instead of indexing out of
+  // bounds.
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.5), 3.0);
+}
+
+TEST(StatsTest, UpperMedianIsAnActualSample) {
+  // Odd n: the middle element. Even n: the UPPER of the two middle
+  // elements — no interpolation (Median() would give 2.5 here).
+  std::vector<double> odd = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(UpperMedianInPlace(&odd), 2.0);
+  std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(UpperMedianInPlace(&even), 3.0);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(UpperMedianInPlace(&empty), 0.0);
+  std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(UpperMedianInPlace(&one), 7.0);
+}
+
+TEST(StatsTest, MadMatchesModifiedZScoreRecipe) {
+  // {1,2,3,4,100}: upper median 3, |x-3| = {2,1,0,1,97}, upper median 1.
+  MadResult r = Mad({1.0, 2.0, 3.0, 4.0, 100.0});
+  EXPECT_DOUBLE_EQ(r.median, 3.0);
+  EXPECT_DOUBLE_EQ(r.mad, 1.0);
+  // The modified z-score of the outlier: 0.6745 * 97 / 1.
+  EXPECT_NEAR(0.6745 * std::abs(100.0 - r.median) / r.mad, 65.4265, 1e-9);
+}
+
+TEST(StatsTest, MadDegenerateInputs) {
+  MadResult empty = Mad({});
+  EXPECT_DOUBLE_EQ(empty.median, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mad, 0.0);
+  MadResult one = Mad({5.0});
+  EXPECT_DOUBLE_EQ(one.median, 5.0);
+  EXPECT_DOUBLE_EQ(one.mad, 0.0);
+  // Constant history: MAD 0 (the Evaluator floors it before dividing).
+  MadResult constant = Mad({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(constant.median, 2.0);
+  EXPECT_DOUBLE_EQ(constant.mad, 0.0);
+}
+
 TEST(StatsTest, PearsonPerfectCorrelation) {
   std::vector<double> xs = {1, 2, 3, 4, 5};
   std::vector<double> ys = {2, 4, 6, 8, 10};

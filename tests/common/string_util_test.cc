@@ -54,5 +54,53 @@ TEST(StringUtilTest, BytesToStringPicksUnits) {
   EXPECT_EQ(BytesToString(1.5 * 1024 * 1024 * 1024), "1.5 GB");
 }
 
+TEST(StringUtilTest, StrFormatGrowsPastInternalBuffer) {
+  // Seed-era gap: nothing exercised the second vsnprintf pass for results
+  // longer than the stack buffer.
+  std::string big(1000, 'x');
+  std::string out = StrFormat("[%s]", big.c_str());
+  EXPECT_EQ(out.size(), big.size() + 2);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+  EXPECT_EQ(out.substr(1, big.size()), big);
+}
+
+TEST(StringUtilTest, SplitDelimiterAtEnds) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, TrimEmptyAndInterior) {
+  EXPECT_EQ(Trim(""), "");
+  // Interior whitespace survives; only the edges are stripped.
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\r\na\r\n"), "a");
+}
+
+TEST(StringUtilTest, StartsEndsWithEmptyAffixes) {
+  EXPECT_TRUE(StartsWith("anything", ""));
+  EXPECT_TRUE(EndsWith("anything", ""));
+  EXPECT_TRUE(StartsWith("", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_FALSE(EndsWith("", "x"));
+  // Exact match counts as both prefix and suffix.
+  EXPECT_TRUE(StartsWith("exact", "exact"));
+  EXPECT_TRUE(EndsWith("exact", "exact"));
+}
+
+TEST(StringUtilTest, DoubleToStringEdgeValues) {
+  EXPECT_EQ(DoubleToString(0.0), "0");
+  EXPECT_EQ(DoubleToString(-0.75), "-0.75");
+  // Max 6 significant decimals, trailing zeros trimmed.
+  EXPECT_EQ(DoubleToString(0.1), "0.1");
+  EXPECT_EQ(DoubleToString(1.0 / 3.0), "0.333333");
+}
+
+TEST(StringUtilTest, ToLowerLeavesNonAsciiAloneAndIsIdempotent) {
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("ALL_CAPS_123"), "all_caps_123");
+  EXPECT_EQ(ToLower(ToLower("MiXeD")), ToLower("MiXeD"));
+}
+
 }  // namespace
 }  // namespace atune

@@ -195,5 +195,33 @@ TEST(RobustnessPolicyTest, SessionSurfacesRobustnessCounters) {
   EXPECT_EQ(censored, 1u);
 }
 
+TEST(RobustnessPolicyTest, ResetSessionCountersClearsRepairActivity) {
+  // Regression: an Evaluator reused across sessions used to carry one
+  // session's repair counters into the next session's outcome.
+  // RunTuningSession now calls ResetSessionCounters() at session start.
+  ScriptedSystem system;
+  system.Fails(300.0, /*transient=*/true).Runs(1.0e6).Runs(10.0);
+  Evaluator evaluator(&system, MockWorkload(), TuningBudget{6});
+  RobustnessPolicy policy;
+  policy.timeout_seconds = 100.0;
+  evaluator.set_robustness_policy(policy);
+  ASSERT_TRUE(evaluator.Evaluate(DefaultOf(system)).ok());
+  ASSERT_EQ(evaluator.retried_runs(), 1u);
+  ASSERT_EQ(evaluator.timed_out_runs(), 1u);
+
+  evaluator.ResetSessionCounters();
+  EXPECT_EQ(evaluator.retried_runs(), 0u);
+  EXPECT_EQ(evaluator.timed_out_runs(), 0u);
+  EXPECT_EQ(evaluator.remeasured_runs(), 0u);
+  // Only the session counters reset — history, budget and best survive.
+  EXPECT_EQ(evaluator.history().size(), 1u);
+  EXPECT_GT(evaluator.used(), 0.0);
+
+  // A fresh measurement after the reset counts from zero.
+  ASSERT_TRUE(evaluator.Evaluate(DefaultOf(system)).ok());
+  EXPECT_EQ(evaluator.retried_runs(), 0u);
+  EXPECT_EQ(evaluator.timed_out_runs(), 0u);
+}
+
 }  // namespace
 }  // namespace atune

@@ -1,0 +1,219 @@
+// Property tests for the span forest (DESIGN.md §9): whatever a random
+// thread-pool workload does — nested scopes, cross-thread lane parents,
+// synthetic spans racing from every worker — the recorded spans must form a
+// well-formed forest (unique ids, every parent recorded or root, children
+// contained in their same-thread parents) and StructuralTreeString() must
+// render every span exactly once. These run under the tsan preset too
+// (tools/run_checks.sh --tsan), which is the real point of the racy ones.
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+
+namespace atune {
+namespace {
+
+// Structural well-formedness of a snapshot: ids unique and nonzero,
+// parents either root (0) or some recorded span.
+void ExpectWellFormedForest(const std::vector<SpanRecord>& spans) {
+  std::set<uint64_t> ids;
+  for (const SpanRecord& s : spans) {
+    EXPECT_NE(s.id, 0u);
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate span id " << s.id;
+    EXPECT_LE(s.start_ns, s.end_ns);
+  }
+  for (const SpanRecord& s : spans) {
+    if (s.parent_id != 0) {
+      EXPECT_TRUE(ids.count(s.parent_id))
+          << "span " << s.id << " has unrecorded parent " << s.parent_id;
+    }
+  }
+}
+
+TEST(SpanTreeTest, NullTracerScopedSpanIsInert) {
+  ScopedSpan span(nullptr, "anything");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0u);
+  span.AddArg("key", "value");  // must not crash
+}
+
+TEST(SpanTreeTest, ThreadLocalNestingParentsToInnermostOpenSpan) {
+  Tracer tracer;
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    outer_id = outer.id();
+    {
+      ScopedSpan inner(&tracer, "inner");
+      inner_id = inner.id();
+    }
+  }
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  std::map<uint64_t, SpanRecord> by_id;
+  for (const SpanRecord& s : spans) by_id[s.id] = s;
+  EXPECT_EQ(by_id[outer_id].parent_id, 0u);
+  EXPECT_EQ(by_id[inner_id].parent_id, outer_id);
+}
+
+TEST(SpanTreeTest, TlsNestingIsPerTracer) {
+  // An open span on tracer A must never become the parent of a span on
+  // tracer B (the TLS stack is keyed by tracer).
+  Tracer a, b;
+  {
+    ScopedSpan on_a(&a, "a_root");
+    ScopedSpan on_b(&b, "b_root");
+    ScopedSpan nested_b(&b, "b_child");
+  }
+  for (const SpanRecord& s : a.Snapshot()) EXPECT_EQ(s.parent_id, 0u);
+  auto spans_b = b.Snapshot();
+  ASSERT_EQ(spans_b.size(), 2u);
+  // b_child (ends first) parents to b_root, which is a root of B's forest.
+  std::map<std::string, SpanRecord> by_name;
+  for (const SpanRecord& s : spans_b) by_name[s.name] = s;
+  EXPECT_EQ(by_name["b_root"].parent_id, 0u);
+  EXPECT_EQ(by_name["b_child"].parent_id, by_name["b_root"].id);
+}
+
+TEST(SpanTreeTest, ExplicitParentStitchesAcrossThreads) {
+  // The batch-lane pattern: the main thread holds a lane span open while a
+  // pool worker records a child against it by explicit id.
+  Tracer tracer;
+  {
+    ScopedSpan batch(&tracer, "batch");
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(pool.Submit([&tracer, parent = batch.id()]() {
+        ScopedSpan measure(&tracer, "measure", parent);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  ExpectWellFormedForest(spans);
+  uint64_t batch_id = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name == "batch") batch_id = s.id;
+  }
+  for (const SpanRecord& s : spans) {
+    if (s.name == "measure") {
+      EXPECT_EQ(s.parent_id, batch_id);
+    }
+  }
+  // Exactly one line per span, children indented under the batch root.
+  std::string tree = tracer.StructuralTreeString();
+  EXPECT_EQ(std::count(tree.begin(), tree.end(), '\n'), 5);
+  EXPECT_EQ(tree.find("batch\n"), 0u);
+}
+
+// The headline property: a randomized thread-pool workload — every task
+// opens a random-depth nest of scoped spans with random names/args and
+// records synthetic children — always yields a well-formed forest whose
+// same-thread children are contained in their parents' intervals.
+TEST(SpanTreeTest, RandomThreadPoolWorkloadYieldsWellFormedForest) {
+  constexpr int kTasks = 64;
+  const char* kNames[] = {"alpha", "beta", "gamma", "delta"};
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    Tracer tracer;
+    {
+      ThreadPool pool(4);
+      std::vector<std::future<void>> futures;
+      for (int t = 0; t < kTasks; ++t) {
+        futures.push_back(pool.Submit([&tracer, seed, t, &kNames]() {
+          Rng rng(DeriveSeed(seed, static_cast<uint64_t>(t)));
+          std::vector<std::unique_ptr<ScopedSpan>> nest;
+          size_t depth = static_cast<size_t>(rng.UniformInt(1, 4));
+          for (size_t d = 0; d < depth; ++d) {
+            nest.push_back(std::make_unique<ScopedSpan>(
+                &tracer, kNames[rng.UniformInt(0, 3)]));
+            if (rng.Bernoulli(0.5)) {
+              nest.back()->AddArg("task", std::to_string(t));
+            }
+            if (rng.Bernoulli(0.25)) {
+              tracer.RecordSynthetic(nest.back()->id(), "synthetic", nullptr,
+                                     {{"depth", std::to_string(d)}});
+            }
+          }
+          while (!nest.empty()) nest.pop_back();  // innermost-first
+        }));
+      }
+      for (auto& f : futures) f.get();
+    }
+    auto spans = tracer.Snapshot();
+    ASSERT_GE(spans.size(), static_cast<size_t>(kTasks));
+    ExpectWellFormedForest(spans);
+    std::map<uint64_t, SpanRecord> by_id;
+    for (const SpanRecord& s : spans) by_id[s.id] = s;
+    for (const SpanRecord& s : spans) {
+      if (s.parent_id == 0) continue;
+      const SpanRecord& parent = by_id[s.parent_id];
+      // Every parent here is same-thread (TLS nesting or a synthetic child
+      // recorded while its parent scope was open), so intervals nest.
+      EXPECT_EQ(s.thread_index, parent.thread_index);
+      EXPECT_GE(s.start_ns, parent.start_ns);
+      EXPECT_LE(s.end_ns, parent.end_ns);
+    }
+    // The oracle renders each span exactly once.
+    std::string tree = tracer.StructuralTreeString();
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(tree.begin(), tree.end(), '\n')),
+              spans.size());
+  }
+}
+
+TEST(SpanTreeTest, OrphanedSpansRenderAsRoots) {
+  // A span whose parent was never recorded (e.g. still open at snapshot
+  // time) must show up in the oracle as a root, not vanish.
+  Tracer tracer;
+  uint64_t missing_parent = 777;
+  tracer.RecordSynthetic(missing_parent, "orphan", nullptr, {});
+  std::string tree = tracer.StructuralTreeString();
+  EXPECT_EQ(tree, "orphan\n");
+}
+
+TEST(SpanTreeTest, StructuralTreeSortsConcurrentSiblingsCanonically) {
+  // Two tracers record the same logical children in opposite end orders
+  // (as concurrent lanes do); the canonical rendering must be identical.
+  auto build = [](bool reversed) {
+    auto tracer = std::make_unique<Tracer>();
+    ScopedSpan parent(tracer.get(), "parent");
+    if (reversed) {
+      tracer->RecordSynthetic(parent.id(), "z_lane", nullptr, {});
+      tracer->RecordSynthetic(parent.id(), "a_lane", nullptr, {});
+    } else {
+      tracer->RecordSynthetic(parent.id(), "a_lane", nullptr, {});
+      tracer->RecordSynthetic(parent.id(), "z_lane", nullptr, {});
+    }
+    return tracer;
+  };
+  auto forward = build(false);
+  auto backward = build(true);
+  EXPECT_EQ(forward->StructuralTreeString(), backward->StructuralTreeString());
+}
+
+TEST(SpanTreeTest, ScopedTracerInstallNullKeepsCurrent) {
+  Tracer tracer;
+  ScopedTracerInstall outer(&tracer);
+  EXPECT_EQ(CurrentTracer(), &tracer);
+  {
+    // An untraced session starting concurrently must not clobber us.
+    ScopedTracerInstall inner(nullptr);
+    EXPECT_EQ(CurrentTracer(), &tracer);
+  }
+  EXPECT_EQ(CurrentTracer(), &tracer);
+}
+
+}  // namespace
+}  // namespace atune

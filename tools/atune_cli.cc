@@ -28,6 +28,12 @@
 //   --resume                        resume from --journal=PATH
 //       replays the journaled trials deterministically, then continues
 //       live; the finished outcome is bit-identical to an uninterrupted run
+//   --trace=PATH (or --trace PATH)  Chrome trace_event JSON to PATH
+//       spans for every session/round/trial/measure/repair/commit plus the
+//       GP and acquisition hot paths; load in chrome://tracing or Perfetto.
+//       A --resume session writes a structurally identical span tree.
+//   --trace-summary                 per-span-name aggregate table on stdout
+//   --metrics                       session metrics table on stdout
 //   --csv                           machine-readable trial log on stdout
 //   --list                          print available tuners and workloads
 
@@ -78,6 +84,9 @@ struct CliOptions {
   bool resume = false;
   bool csv = false;
   bool list = false;
+  std::string trace_path;
+  bool trace_summary = false;
+  bool metrics = false;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
@@ -130,6 +139,18 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.journal = value;
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (ParseFlag(arg, "trace", &value)) {
+      options.trace_path = value;
+    } else if (arg == "--trace") {
+      // Two-argument form: --trace out.json
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--trace requires a path");
+      }
+      options.trace_path = argv[++i];
+    } else if (arg == "--trace-summary") {
+      options.trace_summary = true;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -236,10 +257,25 @@ int RunCli(const CliOptions& options) {
     std::signal(SIGTERM, HandleSignal);
     session.interrupt_check = []() { return g_signal != 0; };
   }
+  Tracer tracer;
+  MetricsRegistry metrics;
+  if (!options.trace_path.empty() || options.trace_summary) {
+    session.tracer = &tracer;
+  }
+  if (options.metrics) session.metrics = &metrics;
   auto outcome =
       options.resume
           ? ResumeTuningSession(tuner->get(), target, wit->second, session)
           : RunTuningSession(tuner->get(), target, wit->second, session);
+  // Write the trace before interpreting the outcome: an interrupted or
+  // failed session still leaves a loadable (partial) profile behind.
+  if (!options.trace_path.empty()) {
+    Status written = tracer.WriteChromeTrace(options.trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+    }
+  }
   if (!outcome.ok()) {
     if (outcome.status().code() == StatusCode::kAborted) {
       // Interrupted, not failed: the journal holds a resumable checkpoint.
@@ -295,6 +331,16 @@ int RunCli(const CliOptions& options) {
   }
   std::printf("config:    %s\n", outcome->best_config.ToString().c_str());
   std::printf("report:    %s\n", outcome->tuner_report.c_str());
+  if (!options.trace_path.empty()) {
+    std::printf("trace:     %zu spans written to %s\n", tracer.span_count(),
+                options.trace_path.c_str());
+  }
+  if (options.trace_summary) {
+    std::printf("\nspan summary:\n%s", tracer.SummaryTable().c_str());
+  }
+  if (options.metrics) {
+    std::printf("\nmetrics:\n%s", outcome->metrics.SummaryTable().c_str());
+  }
   return 0;
 }
 

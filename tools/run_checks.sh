@@ -1,14 +1,32 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer and Address+UBSanitizer configurations (see
 # CMakePresets.json) and runs the full test suite under each. The thread
-# pool, batched evaluation, and pooled GP hyper search are the code paths
-# these exist for; everything else rides along for free.
+# pool, batched evaluation, pooled GP hyper search, and the lock-free
+# tracing/metrics paths (src/obs) are the code these exist for; everything
+# else rides along for free.
 #
-#   tools/run_checks.sh            # both sanitizers, full ctest
-#   tools/run_checks.sh tsan       # just one preset
-#   tools/run_checks.sh --smoke    # default build + every bench binary on a
-#                                  # tiny budget (ATUNE_SMOKE=1): catches
-#                                  # harness rot without the paper-scale cost
+#   tools/run_checks.sh             # both sanitizers, full ctest
+#   tools/run_checks.sh tsan        # just one preset
+#   tools/run_checks.sh --smoke     # default build + obs test suite + a CLI
+#                                   # --trace round trip + every bench binary
+#                                   # on a tiny budget (ATUNE_SMOKE=1):
+#                                   # catches harness rot without the
+#                                   # paper-scale cost
+#   tools/run_checks.sh --coverage  # instrumented Debug build + full ctest +
+#                                   # per-directory line-coverage summary for
+#                                   # src/. Uses gcovr if installed, else
+#                                   # lcov, else falls back to parsing raw
+#                                   # `gcov` output (always available with
+#                                   # gcc). Nothing is installed.
+#
+# Coverage thresholds (enforced only in --coverage mode):
+#   - gate:     src/ overall line coverage >= 70% or the run fails. This is
+#               deliberately below the observed ~85%+ so routine refactors
+#               don't trip it; ratchet it upward, never downward.
+#   - advisory: per-directory table is printed for review. src/obs is the
+#               observability layer grown by its own test suite and is
+#               expected to stay >= 90%; a drop below that is a smell even
+#               though it does not fail the run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +44,24 @@ if [ "${1:-}" = "--smoke" ]; then
   # loudly so a broken resume path fails the smoke run on its own line.
   ATUNE_SMOKE=1 ./build/bench/bench_durability > /dev/null
   echo "bench_durability: kill/resume bit-identity + fuzz recovery ok"
+  echo "=== [smoke] observability suite ==="
+  # The obs tests are cheap (seconds) and guard the trace-as-oracle that
+  # bench_durability's bit-identity checks stand on, so the smoke run pays
+  # for them directly instead of waiting for a full ctest pass.
+  ./build/tests/atune_obs_tests --gtest_brief=1
+  echo "atune_obs_tests: ok"
+  echo "=== [smoke] CLI --trace round trip ==="
+  # End-to-end: a tiny tuning session must leave a loadable Chrome trace
+  # behind. grep-level validation only; the byte-exact goldens live in
+  # tests/obs/trace_export_test.cc.
+  smoke_trace="$(mktemp /tmp/atune_smoke_trace.XXXXXX.json)"
+  ./build/tools/atune --tuner=random-search --budget=4 --seed=7 \
+      --trace="$smoke_trace" --trace-summary --metrics > /dev/null
+  grep -q '"traceEvents"' "$smoke_trace"
+  grep -q '"name":"session"' "$smoke_trace"
+  grep -q '"name":"trial"' "$smoke_trace"
+  rm -f "$smoke_trace"
+  echo "atune --trace: ok (session/trial spans present)"
   echo "=== [smoke] benches at ATUNE_SMOKE=1 ==="
   # bench_micro is a google-benchmark binary: listing its benchmarks proves
   # it links and registers without paying for a timing run.
@@ -44,10 +80,90 @@ if [ "${1:-}" = "--smoke" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--coverage" ]; then
+  jobs="$(nproc 2>/dev/null || echo 2)"
+  echo "=== [coverage] configure + build (gcov instrumentation) ==="
+  cmake -B build-coverage -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="-O0 --coverage" \
+      -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+  cmake --build build-coverage -j "$jobs"
+  echo "=== [coverage] full ctest ==="
+  # Counter files (.gcda) accumulate across processes, so one full suite
+  # pass is enough; reruns keep adding without resetting.
+  ctest --test-dir build-coverage -j "$jobs" --output-on-failure
+  echo "=== [coverage] report (src/ only) ==="
+  if command -v gcovr > /dev/null 2>&1; then
+    # Preferred: gcovr does the per-file table and totals natively.
+    gcovr -r . --object-directory build-coverage --filter 'src/' \
+        --print-summary
+  elif command -v lcov > /dev/null 2>&1; then
+    lcov --capture --directory build-coverage \
+        --output-file build-coverage/coverage.info > /dev/null
+    lcov --extract build-coverage/coverage.info "$(pwd)/src/*" \
+        --output-file build-coverage/coverage.src.info > /dev/null
+    lcov --list build-coverage/coverage.src.info
+  else
+    # Raw-gcov fallback (gcov ships with gcc, so this always works). Each
+    # src/ translation unit compiles exactly once into its atune_* static
+    # library, so its single .gcda already holds the union of every test
+    # binary's runs; header lines inlined into test objects also show up,
+    # and we keep the best-covered record per file to avoid double counting.
+    find build-coverage/src -name '*.gcda' | while read -r gcda; do
+      gcov -n -o "$(dirname "$gcda")" "$gcda" 2> /dev/null
+    done | awk -v root="$(pwd)/" '
+      /^File / {
+        # Lines look like: File QUOTE/abs/path/src/obs/trace.ccQUOTE
+        f = substr($0, 7, length($0) - 7)   # strip "File <quote>" + trailing quote
+        sub("^" root, "", f); sub(/^\.\//, "", f)
+        keep = (f ~ /^src\//)
+        next
+      }
+      keep && /^Lines executed:/ {
+        split($0, a, /[:% ]+/)   # a[3]=pct, a[5]=total lines
+        hit = a[3] / 100.0 * a[5]
+        if (!(f in best_total) || hit > best_hit[f]) {
+          best_hit[f] = hit; best_total[f] = a[5]
+        }
+        keep = 0
+      }
+      END {
+        for (f in best_hit) {
+          d = f; sub(/\/[^\/]*$/, "", d)
+          dir_hit[d] += best_hit[f]; dir_total[d] += best_total[f]
+          all_hit += best_hit[f]; all_total += best_total[f]
+        }
+        printf "%-14s %10s %10s %8s\n", "directory", "lines", "covered", "pct"
+        n = 0
+        for (d in dir_hit) dirs[++n] = d
+        for (i = 1; i < n; ++i)        # selection sort: mawk has no asorti
+          for (j = i + 1; j <= n; ++j)
+            if (dirs[j] < dirs[i]) { t = dirs[i]; dirs[i] = dirs[j]; dirs[j] = t }
+        for (i = 1; i <= n; ++i) {
+          d = dirs[i]
+          printf "%-14s %10d %10d %7.1f%%\n", d, dir_total[d], dir_hit[d],
+                 100.0 * dir_hit[d] / dir_total[d]
+        }
+        pct = all_total ? 100.0 * all_hit / all_total : 0.0
+        printf "%-14s %10d %10d %7.1f%%\n", "TOTAL src/", all_total, all_hit,
+               pct
+        if (pct < 70.0) {
+          printf "coverage gate FAILED: %.1f%% < 70%% (see thresholds in the\n", pct
+          printf "header of tools/run_checks.sh)\n"
+          exit 1
+        }
+        printf "coverage gate ok: %.1f%% >= 70%%\n", pct
+      }'
+  fi
+  echo "coverage checks passed"
+  exit 0
+fi
+
 # The sanitizer presets run the full ctest suite, which includes the
-# journal fuzz tests (tests/core/journal_test.cc) and the per-tuner
-# resume-equivalence tests (tests/core/resume_test.cc) — torn-frame
-# parsing and replay are exactly the code that should meet asan/ubsan.
+# journal fuzz tests (tests/core/journal_test.cc), the per-tuner
+# resume-equivalence tests (tests/core/resume_test.cc), and the racy span
+# forest / metrics property tests (tests/obs/) — torn-frame parsing,
+# replay, and the lock-free trace buffer are exactly the code that should
+# meet tsan/asan/ubsan.
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(tsan asan-ubsan)
