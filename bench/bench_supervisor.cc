@@ -1,0 +1,467 @@
+// E16 — tuner supervision layer: production tuning services must survive
+// tuners that misbehave (non-finite proposals, stuck acquisition loops,
+// numerically poisoned models) and systems that punish them (crash cliffs,
+// NaN-reporting sensors). This harness points the full tuner registry at
+// deliberately hostile systems and measures what the supervision layer
+// (core/supervisor.h: sanitization + circuit breaker + failover) buys:
+//
+//   * hostile completion: every registry tuner that tunes the DBMS
+//     fault-free must finish WITHOUT a session-fatal error on each hostile
+//     stack (NaN-objective region / crash cliff / ill-conditioned runtimes,
+//     each under 15% injected transient faults) when supervised.
+//     kAllTrialsFailed is non-fatal (an honest "nothing usable" verdict).
+//   * fault-free overhead: on the bare DBMS the supervised session must be
+//     within 2% of the unsupervised best objective for the matrix tuners —
+//     supervision may not tax healthy sessions (it is in fact bit-identical;
+//     the checksum comparison is reported too).
+//   * supervised resume: a supervised session on a hostile stack killed
+//     mid-run and resumed from its journal must reproduce the uninterrupted
+//     session's OutcomeChecksum bit for bit (failover decisions are a pure
+//     function of the journaled observations).
+//
+// Results go to console + BENCH_supervisor.json.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "core/registry.h"
+#include "core/session.h"
+#include "core/supervisor.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/fault_injector.h"
+#include "tuners/builtin.h"
+
+namespace atune {
+namespace bench {
+namespace {
+
+const size_t kSeeds = SmokeSize(3, 1);
+const size_t kBudget = SmokeSize(20, 8);
+const double kFaultRate = 0.15;
+/// Fault-free supervised best may regress at most this much vs unsupervised.
+const double kMaxOverheadRatio = 1.02;
+
+/// Matrix tuners for the overhead comparison (same set as bench_robustness:
+/// one per category that tunes the DBMS unaided).
+const char* kMatrixTuners[] = {"random-search",    "grid-search",
+                               "recursive-random", "ituned",
+                               "sard",             "ottertune"};
+
+/// What a hostile region does to runs landing inside it.
+enum class Hostility {
+  kNaNObjective,  ///< run "succeeds" but reports a NaN runtime
+  kCrashCliff,    ///< run fails hard (config-caused, never retried)
+  kOverflow,      ///< runtime ~1e160: poisons GP variance into non-finite
+};
+
+const char* HostilityName(Hostility h) {
+  switch (h) {
+    case Hostility::kNaNObjective: return "nan-region";
+    case Hostility::kCrashCliff: return "crash-cliff";
+    case Hostility::kOverflow: return "ill-conditioned";
+  }
+  return "?";
+}
+
+/// Decorator that makes a ball of the unit cube hostile. Membership is a
+/// pure function of the configuration, so the decorator is deterministic
+/// and honors the Clone/SkipRuns batch contract by construction.
+class HostileRegionSystem : public IterativeSystem {
+ public:
+  HostileRegionSystem(std::unique_ptr<TunableSystem> inner, Hostility mode,
+                      double center, double radius)
+      : owned_(std::move(inner)),
+        inner_(owned_.get()),
+        mode_(mode),
+        center_(center),
+        radius_(radius) {}
+
+  std::string name() const override { return inner_->name(); }
+  const ParameterSpace& space() const override { return inner_->space(); }
+  std::map<std::string, double> Descriptors() const override {
+    return inner_->Descriptors();
+  }
+  std::vector<std::string> MetricNames() const override {
+    return inner_->MetricNames();
+  }
+
+  Result<ExecutionResult> Execute(const Configuration& config,
+                                  const Workload& workload) override {
+    auto result = inner_->Execute(config, workload);
+    if (!result.ok() || !InRegion(config)) return result;
+    return MakeHostile(*result);
+  }
+
+  std::unique_ptr<TunableSystem> Clone(uint64_t runs_ahead) const override {
+    auto inner_clone = inner_->Clone(runs_ahead);
+    if (inner_clone == nullptr) return nullptr;
+    return std::make_unique<HostileRegionSystem>(std::move(inner_clone),
+                                                 mode_, center_, radius_);
+  }
+  void SkipRuns(uint64_t n) override { inner_->SkipRuns(n); }
+
+  IterativeSystem* AsIterative() override {
+    return inner_->AsIterative() != nullptr ? this : nullptr;
+  }
+  size_t NumUnits(const Workload& workload) const override {
+    IterativeSystem* it = inner_->AsIterative();
+    return it != nullptr ? it->NumUnits(workload) : 0;
+  }
+  Result<ExecutionResult> ExecuteUnit(const Configuration& config,
+                                      const Workload& workload,
+                                      size_t unit_index) override {
+    IterativeSystem* it = inner_->AsIterative();
+    if (it == nullptr) return Status::Unimplemented("not iterative");
+    auto result = it->ExecuteUnit(config, workload, unit_index);
+    if (!result.ok() || !InRegion(config)) return result;
+    return MakeHostile(*result);
+  }
+  double ReconfigurationCost() const override {
+    IterativeSystem* it = inner_->AsIterative();
+    return it != nullptr ? it->ReconfigurationCost() : 0.0;
+  }
+
+ private:
+  bool InRegion(const Configuration& config) const {
+    Vec u = inner_->space().ToUnitVector(config);
+    double d2 = 0.0;
+    for (double v : u) d2 += (v - center_) * (v - center_);
+    double dist = std::sqrt(d2 / static_cast<double>(u.empty() ? 1 : u.size()));
+    return dist <= radius_;
+  }
+
+  ExecutionResult MakeHostile(ExecutionResult result) const {
+    switch (mode_) {
+      case Hostility::kNaNObjective:
+        result.runtime_seconds = std::numeric_limits<double>::quiet_NaN();
+        result.failed = false;
+        result.censored = false;
+        break;
+      case Hostility::kCrashCliff:
+        result.failed = true;
+        result.transient = false;  // config-caused: the breaker's food
+        result.censored = false;
+        result.runtime_seconds = kFailedRunWallClockSec;
+        result.failure_reason = "crash cliff";
+        break;
+      case Hostility::kOverflow:
+        result.runtime_seconds = 1.0e160;  // squares overflow in GP algebra
+        result.failed = false;
+        result.censored = false;
+        break;
+    }
+    return result;
+  }
+
+  std::unique_ptr<TunableSystem> owned_;
+  TunableSystem* inner_;
+  Hostility mode_;
+  double center_;
+  double radius_;
+};
+
+/// One hostile stack: region decorator over the DBMS, under 15% injected
+/// transient faults.
+std::unique_ptr<TunableSystem> MakeHostileStack(Hostility mode,
+                                                uint64_t seed) {
+  auto hostile = std::make_unique<HostileRegionSystem>(
+      MakeDbms(seed + 1), mode, /*center=*/0.75, /*radius=*/0.30);
+  return std::make_unique<FaultInjectingSystem>(
+      std::move(hostile), FaultProfile::FromRate(kFaultRate, seed + 7));
+}
+
+struct SessionResult {
+  Status status = Status::OK();
+  double best = 0.0;
+  uint64_t checksum = 0;
+  std::string report;
+};
+
+SessionResult RunOne(const std::string& tuner_name, bool supervise,
+                     TunableSystem* system, uint64_t seed,
+                     const std::string& journal = "",
+                     bool resume = false, uint64_t kill_after = 0) {
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  SessionResult out;
+  auto created = registry.Create(tuner_name);
+  if (!created.ok()) {
+    out.status = created.status();
+    return out;
+  }
+  std::unique_ptr<Tuner> tuner = std::move(*created);
+  if (supervise) tuner = MakeSupervisedTuner(std::move(tuner));
+  SessionOptions options;
+  options.budget = TuningBudget{kBudget};
+  options.seed = seed + 100;
+  options.measure_default = false;
+  options.journal_path = journal;
+  options.interrupt_after_records = kill_after;
+  auto outcome = resume
+                     ? ResumeTuningSession(tuner.get(), system,
+                                           MakeDbmsOlapWorkload(1.0), options)
+                     : RunTuningSession(tuner.get(), system,
+                                        MakeDbmsOlapWorkload(1.0), options);
+  out.status = outcome.status();
+  if (outcome.ok()) {
+    out.best = outcome->best_objective;
+    out.checksum = OutcomeChecksum(*outcome);
+    out.report = outcome->tuner_report;
+  }
+  return out;
+}
+
+/// Session-fatal = any terminal status other than success or the honest
+/// "every trial failed" verdict. kAborted would also be fatal here (nothing
+/// interrupts these sessions).
+bool SessionFatal(const Status& status) {
+  return !status.ok() && status.code() != StatusCode::kAllTrialsFailed;
+}
+
+struct HostileRow {
+  std::string tuner;
+  std::string stack;
+  bool supervised_ok = false;
+  bool unsupervised_ok = false;  // informational: what supervision rescued
+  std::string supervised_status;
+};
+
+/// Part 1: registry x hostile-stack completion matrix.
+std::vector<HostileRow> RunHostileMatrix(bool* pass) {
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  const Hostility kModes[] = {Hostility::kNaNObjective, Hostility::kCrashCliff,
+                              Hostility::kOverflow};
+  std::vector<HostileRow> rows;
+  *pass = true;
+  for (const std::string& name : registry.Names()) {
+    // Applicability filter (as in bench_robustness): tuners that cannot
+    // tune this system at all are reported but not held against the bar.
+    auto bare = MakeDbms(11);
+    std::fprintf(stderr, "[hostile] %s: applicability probe\n", name.c_str());
+    if (SessionFatal(RunOne(name, /*supervise=*/false, bare.get(), 3).status)) {
+      continue;
+    }
+    for (Hostility mode : kModes) {
+      HostileRow row;
+      row.tuner = name;
+      row.stack = HostilityName(mode);
+      bool ok = true;
+      for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+        std::fprintf(stderr, "[hostile] %s x %s seed %llu\n", name.c_str(),
+                     HostilityName(mode),
+                     static_cast<unsigned long long>(seed));
+        auto stack = MakeHostileStack(mode, seed);
+        SessionResult supervised =
+            RunOne(name, /*supervise=*/true, stack.get(), seed);
+        if (SessionFatal(supervised.status)) {
+          ok = false;
+          row.supervised_status = supervised.status.ToString();
+        }
+        if (seed == 0) {
+          auto stack2 = MakeHostileStack(mode, seed);
+          row.unsupervised_ok = !SessionFatal(
+              RunOne(name, /*supervise=*/false, stack2.get(), seed).status);
+        }
+      }
+      row.supervised_ok = ok;
+      *pass = *pass && ok;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+struct OverheadRow {
+  std::string tuner;
+  double unsupervised_best = 0.0;
+  double supervised_best = 0.0;
+  double ratio = 1.0;
+  bool bit_identical = false;
+  bool pass = false;
+};
+
+/// Part 2: fault-free supervised-vs-unsupervised overhead on the bare DBMS.
+std::vector<OverheadRow> RunOverheadMatrix(bool* pass) {
+  std::vector<OverheadRow> rows;
+  *pass = true;
+  for (const char* name : kMatrixTuners) {
+    OverheadRow row;
+    row.tuner = name;
+    row.bit_identical = true;
+    bool all_ok = true;
+    for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+      auto bare_a = MakeDbms(seed + 1);
+      SessionResult plain = RunOne(name, /*supervise=*/false, bare_a.get(),
+                                   seed);
+      auto bare_b = MakeDbms(seed + 1);
+      SessionResult supervised = RunOne(name, /*supervise=*/true, bare_b.get(),
+                                        seed);
+      all_ok = all_ok && plain.status.ok() && supervised.status.ok();
+      row.unsupervised_best += plain.best / static_cast<double>(kSeeds);
+      row.supervised_best += supervised.best / static_cast<double>(kSeeds);
+      row.bit_identical =
+          row.bit_identical && plain.checksum == supervised.checksum;
+    }
+    // Lower objective is better: ratio > 1 means supervision cost quality.
+    row.ratio = row.unsupervised_best > 0.0
+                    ? row.supervised_best / row.unsupervised_best
+                    : 1.0;
+    row.pass = all_ok && row.ratio <= kMaxOverheadRatio;
+    *pass = *pass && row.pass;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+struct ResumeResult {
+  bool ran = false;
+  bool identical = false;
+  uint64_t full_checksum = 0;
+  uint64_t resumed_checksum = 0;
+};
+
+/// Part 3: supervised session on the NaN-region stack, killed after a few
+/// journal records, resumed, compared bitwise to the uninterrupted run.
+ResumeResult RunSupervisedResume() {
+  ResumeResult result;
+  const std::string journal = "bench_supervisor_resume.journal";
+  const uint64_t kill_after = kBudget / 2;
+
+  std::remove(journal.c_str());
+  auto full_stack = MakeHostileStack(Hostility::kNaNObjective, /*seed=*/0);
+  SessionResult full = RunOne("ituned", /*supervise=*/true, full_stack.get(),
+                              /*seed=*/0, journal);
+  std::remove(journal.c_str());
+  auto killed_stack = MakeHostileStack(Hostility::kNaNObjective, /*seed=*/0);
+  SessionResult killed =
+      RunOne("ituned", /*supervise=*/true, killed_stack.get(), /*seed=*/0,
+             journal, /*resume=*/false, kill_after);
+  auto resumed_stack = MakeHostileStack(Hostility::kNaNObjective, /*seed=*/0);
+  SessionResult resumed =
+      RunOne("ituned", /*supervise=*/true, resumed_stack.get(), /*seed=*/0,
+             journal, /*resume=*/true);
+  std::remove(journal.c_str());
+
+  result.ran = full.status.ok() &&
+               killed.status.code() == StatusCode::kAborted &&
+               resumed.status.ok();
+  result.full_checksum = full.checksum;
+  result.resumed_checksum = resumed.checksum;
+  result.identical = result.ran && full.checksum == resumed.checksum;
+  return result;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace atune
+
+int main() {
+  using namespace atune;
+  using namespace atune::bench;
+
+  PrintHeader("E16: bench_supervisor",
+              "tuner supervision layer (sanitize + breaker + failover)",
+              "registry completion on hostile systems at 15% faults; "
+              "fault-free supervised overhead < 2%; supervised kill+resume "
+              "bit-identity.");
+
+  bool hostile_pass = false;
+  std::vector<HostileRow> hostile = RunHostileMatrix(&hostile_pass);
+  std::printf("\nhostile completion (supervised, %zu seeds x %zu budget, "
+              "15%% transient faults):\n", kSeeds, kBudget);
+  std::printf("%-18s  %-15s  %-10s  %s\n", "tuner", "stack", "supervised",
+              "unsupervised");
+  size_t rescued = 0;
+  for (const HostileRow& row : hostile) {
+    if (row.supervised_ok && !row.unsupervised_ok) ++rescued;
+    std::printf("%-18s  %-15s  %-10s  %s%s\n", row.tuner.c_str(),
+                row.stack.c_str(), row.supervised_ok ? "ok" : "FATAL",
+                row.unsupervised_ok ? "ok" : "fatal",
+                row.supervised_status.empty()
+                    ? ""
+                    : ("  (" + row.supervised_status + ")").c_str());
+  }
+  std::printf("(%zu tuner/stack cells rescued by supervision)\n", rescued);
+
+  bool overhead_pass = false;
+  std::vector<OverheadRow> overhead = RunOverheadMatrix(&overhead_pass);
+  std::printf("\nfault-free overhead (bare DBMS, lower objective = better):\n");
+  std::printf("%-18s  %12s  %12s  %7s  %s\n", "tuner", "unsupervised",
+              "supervised", "ratio", "history");
+  for (const OverheadRow& row : overhead) {
+    std::printf("%-18s  %12.2f  %12.2f  %7.4f  %s%s\n", row.tuner.c_str(),
+                row.unsupervised_best, row.supervised_best, row.ratio,
+                row.bit_identical ? "bit-identical" : "differs",
+                row.pass ? "" : "  FAIL");
+  }
+
+  ResumeResult resume = RunSupervisedResume();
+  std::printf("\nsupervised resume on nan-region stack: %s (full=%016llx "
+              "resumed=%016llx)\n",
+              resume.identical ? "bit-identical"
+                               : (resume.ran ? "DIFFERS" : "DID NOT RUN"),
+              static_cast<unsigned long long>(resume.full_checksum),
+              static_cast<unsigned long long>(resume.resumed_checksum));
+
+  bool pass = hostile_pass && overhead_pass && resume.identical;
+  std::printf("\nacceptance: hostile completion %s, fault-free overhead "
+              "< %.0f%% %s, supervised resume bit-identity %s\n",
+              hostile_pass ? "PASS" : "FAIL",
+              (kMaxOverheadRatio - 1.0) * 100.0,
+              overhead_pass ? "PASS" : "FAIL",
+              resume.identical ? "PASS" : "FAIL");
+
+  FILE* json = std::fopen("BENCH_supervisor.json.tmp", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"experiment\": \"bench_supervisor\",\n");
+    std::fprintf(json, "  \"seeds\": %zu,\n  \"budget\": %zu,\n", kSeeds,
+                 kBudget);
+    std::fprintf(json, "  \"fault_rate\": %.2f,\n", kFaultRate);
+    std::fprintf(json, "  \"hostile\": [\n");
+    for (size_t i = 0; i < hostile.size(); ++i) {
+      const HostileRow& row = hostile[i];
+      std::fprintf(json,
+                   "    {\"tuner\": \"%s\", \"stack\": \"%s\", "
+                   "\"supervised_ok\": %s, \"unsupervised_ok\": %s}%s\n",
+                   row.tuner.c_str(), row.stack.c_str(),
+                   row.supervised_ok ? "true" : "false",
+                   row.unsupervised_ok ? "true" : "false",
+                   i + 1 < hostile.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"overhead\": [\n");
+    for (size_t i = 0; i < overhead.size(); ++i) {
+      const OverheadRow& row = overhead[i];
+      std::fprintf(json,
+                   "    {\"tuner\": \"%s\", \"unsupervised_best\": %.6f, "
+                   "\"supervised_best\": %.6f, \"ratio\": %.6f, "
+                   "\"bit_identical\": %s}%s\n",
+                   row.tuner.c_str(), row.unsupervised_best,
+                   row.supervised_best, row.ratio,
+                   row.bit_identical ? "true" : "false",
+                   i + 1 < overhead.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"resume_bit_identical\": %s,\n",
+                 resume.identical ? "true" : "false");
+    std::fprintf(json, "  \"rescued_cells\": %zu,\n", rescued);
+    std::fprintf(json,
+                 "  \"pass\": {\"hostile\": %s, \"overhead\": %s, "
+                 "\"resume\": %s}\n}\n",
+                 hostile_pass ? "true" : "false",
+                 overhead_pass ? "true" : "false",
+                 resume.identical ? "true" : "false");
+    if (CommitTempFile(json, "BENCH_supervisor.json").ok()) {
+      std::printf("wrote BENCH_supervisor.json\n");
+    }
+  }
+  return AcceptanceExit(pass);
+}

@@ -20,6 +20,9 @@ enum class StatusCode {
   kAborted,
   kUnimplemented,
   kInternal,
+  /// Every trial in a tuning session failed or was censored; the session ran
+  /// to completion but produced no usable recommendation.
+  kAllTrialsFailed,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
@@ -61,6 +64,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status AllTrialsFailed(std::string msg) {
+    return Status(StatusCode::kAllTrialsFailed, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -47,9 +47,16 @@ Result<ComparisonReport> CompareTuners(
       SessionOptions options;
       options.budget = budget;
       options.seed = seed * 7919 + t;
-      ATUNE_ASSIGN_OR_RETURN(
-          TuningOutcome outcome,
-          RunTuningSession(tuner.get(), system.get(), workload, options));
+      auto outcome_or =
+          RunTuningSession(tuner.get(), system.get(), workload, options);
+      if (!outcome_or.ok() &&
+          outcome_or.status().code() == StatusCode::kAllTrialsFailed) {
+        // Every trial this seed failed: there is no recommendation to
+        // aggregate (previously surfaced as a NaN best, skipped below), but
+        // one hostile seed must not abort the whole comparison.
+        continue;
+      }
+      ATUNE_ASSIGN_OR_RETURN(TuningOutcome outcome, std::move(outcome_or));
       if (!std::isnan(outcome.best_objective)) {
         best_obj.Add(outcome.best_objective);
         speedup.Add(outcome.speedup_over_default);

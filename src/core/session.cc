@@ -116,12 +116,34 @@ Result<TuningOutcome> RunSessionImpl(Tuner* tuner, TunableSystem* system,
   outcome.replayed_records = evaluator.replayed_records();
   outcome.recovery_warnings = std::move(warnings);
 
+  // If every full measurement failed or was censored, the session has no
+  // recommendation to stand behind (even a penalized-objective "best" is a
+  // config whose run failed) — surface that as a distinct status instead of
+  // the old silent best_objective = NaN with kOk. Successful scaled
+  // training runs (Ernest-style) count toward neither side.
+  size_t attempts = 0;
+  size_t usable = 0;
+  for (const Trial& trial : outcome.history) {
+    if (trial.scaled && !trial.result.failed && !trial.result.censored) {
+      continue;
+    }
+    ++attempts;
+    if (!trial.result.failed && !trial.result.censored) ++usable;
+  }
+  if (attempts > 0 && usable == 0) {
+    return Status::AllTrialsFailed(StrFormat(
+        "all %zu measured trials failed or were censored; no usable "
+        "recommendation",
+        attempts));
+  }
+
   const Trial* best = evaluator.best();
   if (best != nullptr) {
     outcome.best_config = best->config;
     outcome.best_objective = best->objective;
   } else {
-    // Tuner made no measured recommendation; fall back to defaults.
+    // Tuner made no measured recommendation (e.g. rule-based, or only
+    // scaled training runs); fall back to defaults.
     outcome.best_config = system->space().DefaultConfiguration();
     outcome.best_objective = std::numeric_limits<double>::quiet_NaN();
   }

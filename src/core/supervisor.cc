@@ -1,0 +1,477 @@
+#include "core/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/string_util.h"
+#include "math/sampling.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace atune {
+
+namespace {
+
+/// Substitution draws are generated in waves of this size; LHS stratifies
+/// within a wave, so consecutive substitutes spread across the space.
+constexpr size_t kSubstituteWave = 16;
+
+/// Repairs one proposed value against its definition. Returns the value to
+/// use and sets *changed when the proposal had to be repaired (wrong type,
+/// non-finite, out of range). In-range well-typed values pass through
+/// untouched, so a well-behaved tuner is unaffected.
+ParamValue SanitizeValue(const ParameterDef& def, const ParamValue& value,
+                         bool* changed) {
+  switch (def.type()) {
+    case ParamType::kInt: {
+      double d;
+      if (std::holds_alternative<int64_t>(value)) {
+        d = static_cast<double>(std::get<int64_t>(value));
+      } else if (std::holds_alternative<double>(value)) {
+        d = std::get<double>(value);
+      } else {
+        *changed = true;
+        return def.default_value();
+      }
+      if (!std::isfinite(d)) {
+        *changed = true;
+        return def.default_value();
+      }
+      double lo = static_cast<double>(def.min_int());
+      double hi = static_cast<double>(def.max_int());
+      int64_t repaired =
+          static_cast<int64_t>(std::llround(std::clamp(d, lo, hi)));
+      if (!std::holds_alternative<int64_t>(value) ||
+          repaired != std::get<int64_t>(value)) {
+        *changed = true;
+      }
+      return repaired;
+    }
+    case ParamType::kDouble: {
+      double d;
+      if (std::holds_alternative<double>(value)) {
+        d = std::get<double>(value);
+      } else if (std::holds_alternative<int64_t>(value)) {
+        d = static_cast<double>(std::get<int64_t>(value));
+      } else {
+        *changed = true;
+        return def.default_value();
+      }
+      if (!std::isfinite(d)) {
+        *changed = true;
+        return def.default_value();
+      }
+      double repaired = std::clamp(d, def.min_double(), def.max_double());
+      if (!std::holds_alternative<double>(value) ||
+          repaired != std::get<double>(value)) {
+        *changed = true;
+      }
+      return repaired;
+    }
+    case ParamType::kBool: {
+      if (std::holds_alternative<bool>(value)) return value;
+      *changed = true;
+      return def.default_value();
+    }
+    case ParamType::kCategorical: {
+      if (std::holds_alternative<std::string>(value)) {
+        const std::string& s = std::get<std::string>(value);
+        const auto& cats = def.categories();
+        if (std::find(cats.begin(), cats.end(), s) != cats.end()) return value;
+      }
+      *changed = true;
+      return def.default_value();
+    }
+  }
+  *changed = true;
+  return def.default_value();
+}
+
+Counter* GuardCounter(const char* name) {
+  MetricsRegistry* metrics = CurrentMetrics();
+  return metrics != nullptr ? metrics->GetCounter(name) : nullptr;
+}
+
+void Bump(Counter* counter) {
+  if (counter != nullptr) counter->Increment();
+}
+
+}  // namespace
+
+SupervisorGuard::SupervisorGuard(const SupervisionPolicy& policy,
+                                 const ParameterSpace* space)
+    : policy_(policy), space_(space), substitute_rng_(policy.guard_seed) {
+  MetricsRegistry* metrics = CurrentMetrics();
+  if (metrics != nullptr) {
+    m_sanitized_ = metrics->GetCounter("supervisor.sanitized");
+    m_duplicates_ = metrics->GetCounter("supervisor.duplicates_broken");
+    m_vetoes_ = metrics->GetCounter("supervisor.vetoes");
+    m_breaker_opened_ = metrics->GetCounter("supervisor.breaker_opened");
+    m_breaker_reopened_ = metrics->GetCounter("supervisor.breaker_reopened");
+    m_breaker_closed_ = metrics->GetCounter("supervisor.breaker_closed");
+    m_open_regions_ = metrics->GetGauge("supervisor.open_regions");
+  }
+}
+
+Configuration SupervisorGuard::Sanitize(const Configuration& proposed) {
+  Configuration sanitized;
+  bool any_changed = false;
+  for (const ParameterDef& def : space_->params()) {
+    bool changed = false;
+    auto it = proposed.values().find(def.name());
+    if (it == proposed.values().end()) {
+      sanitized.Set(def.name(), def.default_value());
+      any_changed = true;
+      ++stats_.sanitized_values;
+      continue;
+    }
+    sanitized.Set(def.name(), SanitizeValue(def, it->second, &changed));
+    if (changed) {
+      any_changed = true;
+      ++stats_.sanitized_values;
+    }
+  }
+  // Extra keys the space does not define are dropped by construction; count
+  // the repair (never silently).
+  if (proposed.size() > space_->dims()) any_changed = true;
+  if (any_changed) {
+    ++stats_.sanitized_configs;
+    Bump(m_sanitized_);
+  }
+  return sanitized;
+}
+
+Vec SupervisorGuard::NextSubstitute() {
+  if (substitute_pos_ >= substitute_pool_.size()) {
+    substitute_pool_ = LatinHypercubeSamples(
+        kSubstituteWave, std::max<size_t>(space_->dims(), 1),
+        &substitute_rng_);
+    substitute_pos_ = 0;
+  }
+  return substitute_pool_[substitute_pos_++];
+}
+
+double SupervisorGuard::NormalizedDistance(const Vec& a, const Vec& b) const {
+  double d2 = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) d2 += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(d2 / std::max<size_t>(n, 1));
+}
+
+void SupervisorGuard::AdvanceBreakerClock() {
+  for (Region& region : regions_) {
+    if (region.state == Region::State::kOpen &&
+        trials_seen_ >= region.opened_at + policy_.breaker_cooldown_trials) {
+      region.state = Region::State::kHalfOpen;
+    }
+  }
+}
+
+bool SupervisorGuard::Vetoed(const Vec& u) const {
+  for (const Region& region : regions_) {
+    if (region.state == Region::State::kOpen &&
+        NormalizedDistance(u, region.center) <= policy_.breaker_radius) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t SupervisorGuard::open_regions() const {
+  size_t open = 0;
+  for (const Region& region : regions_) {
+    if (region.state == Region::State::kOpen) ++open;
+  }
+  return open;
+}
+
+Configuration SupervisorGuard::Admit(const Configuration& proposed) {
+  Configuration config = Sanitize(proposed);
+
+  // Duplicate-livelock breaker: tolerate policy_.duplicate_limit identical
+  // consecutive proposals (legitimate re-measurement), then substitute
+  // deterministic LHS draws until the proposer moves on.
+  if (has_last_ && config == last_sanitized_) {
+    ++consecutive_duplicates_;
+  } else {
+    consecutive_duplicates_ = 0;
+    last_sanitized_ = config;
+    has_last_ = true;
+  }
+  if (policy_.duplicate_limit > 0 &&
+      consecutive_duplicates_ >= policy_.duplicate_limit) {
+    config = space_->FromUnitVector(NextSubstitute());
+    ++stats_.duplicates_broken;
+    Bump(m_duplicates_);
+  }
+
+  // Crash-region veto: proposals inside an open breaker region are replaced
+  // by an LHS draw outside every open region. Cooldown is checked lazily
+  // against the trial clock, so an expired breaker half-opens here and lets
+  // this proposal through as its probe.
+  AdvanceBreakerClock();
+  Vec u = space_->ToUnitVector(config);
+  if (Vetoed(u)) {
+    ++stats_.vetoes;
+    Bump(m_vetoes_);
+    ScopedSpan span(CurrentTracer(), "veto");
+    if (span.active()) {
+      span.AddArg("open_regions", std::to_string(open_regions()));
+      span.AddArg("proposed", config.ToString());
+    }
+    Vec draw;
+    for (size_t attempt = 0; attempt < std::max<size_t>(policy_.veto_max_draws,
+                                                        1);
+         ++attempt) {
+      draw = NextSubstitute();
+      if (!Vetoed(draw)) break;
+    }
+    config = space_->FromUnitVector(draw);
+    if (span.active()) span.AddArg("substituted", config.ToString());
+  }
+  return config;
+}
+
+void SupervisorGuard::Observe(const Trial& trial) {
+  ++trials_seen_;
+  Vec u = space_->ToUnitVector(trial.config);
+  if (!trial.result.failed) {
+    // A successful run inside a half-open region closes its breaker.
+    for (Region& region : regions_) {
+      if (region.state == Region::State::kHalfOpen &&
+          NormalizedDistance(u, region.center) <= policy_.breaker_radius) {
+        region.state = Region::State::kTracking;
+        region.failures = 0;
+        ++stats_.breaker_closed;
+        Bump(m_breaker_closed_);
+      }
+    }
+    if (m_open_regions_ != nullptr) {
+      m_open_regions_->Set(static_cast<double>(open_regions()));
+    }
+    return;
+  }
+  // Failed run: attribute it to the nearest region within the radius, or
+  // found a new region around it.
+  Region* nearest = nullptr;
+  double nearest_dist = std::numeric_limits<double>::infinity();
+  for (Region& region : regions_) {
+    double dist = NormalizedDistance(u, region.center);
+    if (dist <= policy_.breaker_radius && dist < nearest_dist) {
+      nearest = &region;
+      nearest_dist = dist;
+    }
+  }
+  if (nearest == nullptr) {
+    Region region;
+    region.center = u;
+    region.failures = 1;
+    regions_.push_back(std::move(region));
+  } else {
+    ++nearest->failures;
+    if (nearest->state == Region::State::kHalfOpen) {
+      // The probe failed: reopen with a fresh cooldown.
+      nearest->state = Region::State::kOpen;
+      nearest->opened_at = trials_seen_;
+      ++stats_.breaker_reopened;
+      Bump(m_breaker_reopened_);
+    } else if (nearest->state == Region::State::kTracking &&
+               nearest->failures >= policy_.breaker_failure_threshold) {
+      nearest->state = Region::State::kOpen;
+      nearest->opened_at = trials_seen_;
+      ++stats_.breaker_opened;
+      Bump(m_breaker_opened_);
+    }
+  }
+  if (m_open_regions_ != nullptr) {
+    m_open_regions_->Set(static_cast<double>(open_regions()));
+  }
+}
+
+namespace {
+
+/// Model-free Latin-hypercube fallback (see MakeLhsFallbackTuner).
+class LhsFallbackTuner : public Tuner {
+ public:
+  std::string name() const override { return "lhs-fallback"; }
+  TunerCategory category() const override {
+    return TunerCategory::kExperimentDriven;
+  }
+  void set_parallelism(size_t parallelism) override {
+    parallelism_ = std::max<size_t>(parallelism, 1);
+  }
+
+  Status Tune(Evaluator* evaluator, Rng* rng) override {
+    const ParameterSpace& space = evaluator->space();
+    size_t dims = std::max<size_t>(space.dims(), 1);
+    size_t waves = 0;
+    size_t evaluated = 0;
+    while (!evaluator->Exhausted()) {
+      size_t wave = std::max<size_t>(parallelism_, 4);
+      std::vector<Vec> design = LatinHypercubeSamples(wave, dims, rng);
+      ++waves;
+      if (parallelism_ > 1) {
+        std::vector<Configuration> batch;
+        batch.reserve(design.size());
+        for (const Vec& u : design) batch.push_back(space.FromUnitVector(u));
+        auto objs = evaluator->EvaluateBatch(batch, parallelism_);
+        if (!objs.ok()) {
+          if (objs.status().code() == StatusCode::kResourceExhausted) break;
+          return objs.status();
+        }
+        evaluated += objs->size();
+      } else {
+        for (const Vec& u : design) {
+          if (evaluator->Exhausted()) break;
+          auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+          if (!obj.ok()) {
+            if (obj.status().code() == StatusCode::kResourceExhausted) break;
+            return obj.status();
+          }
+          ++evaluated;
+        }
+      }
+    }
+    report_ = StrFormat("lhs-fallback: %zu samples over %zu waves", evaluated,
+                        waves);
+    return Status::OK();
+  }
+
+  std::string Report() const override { return report_; }
+
+ private:
+  size_t parallelism_ = 1;
+  std::string report_;
+};
+
+}  // namespace
+
+SupervisedTuner::SupervisedTuner(std::unique_ptr<Tuner> primary,
+                                 std::unique_ptr<Tuner> fallback,
+                                 SupervisionPolicy policy)
+    : primary_(std::move(primary)),
+      fallback_(fallback != nullptr ? std::move(fallback)
+                                    : MakeLhsFallbackTuner()),
+      policy_(policy),
+      name_("supervised:" + primary_->name()) {}
+
+void SupervisedTuner::set_parallelism(size_t parallelism) {
+  primary_->set_parallelism(parallelism);
+  fallback_->set_parallelism(parallelism);
+}
+
+Status SupervisedTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  SupervisorGuard guard(policy_, &evaluator->space());
+  evaluator->set_proposal_guard(&guard);
+  // The guard lives on this stack frame; never leave it (or a stale lease)
+  // installed past Tune().
+  struct Uninstall {
+    Evaluator* evaluator;
+    ~Uninstall() {
+      evaluator->set_proposal_guard(nullptr);
+      evaluator->ClearLease();
+    }
+  } uninstall{evaluator};
+
+  stats_ = SupervisionStats{};
+  last_failover_cause_.clear();
+  Counter* failover_metric = GuardCounter("supervisor.failovers");
+
+  Status status = Status::OK();
+  while (true) {
+    status = primary_->Tune(evaluator, rng);
+    // A journal error means measurements outran the checkpoint — that is a
+    // durability failure, never something to paper over with a fallback.
+    if (!evaluator->journal_error().ok()) break;
+    if (status.code() != StatusCode::kInternal) break;
+    if (evaluator->Exhausted()) {
+      // The numerical failure coincided with budget exhaustion: nothing a
+      // fallback could spend; the session already has its history.
+      status = Status::OK();
+      break;
+    }
+    ++stats_.failovers;
+    last_failover_cause_ = status.message();
+    const bool terminal = stats_.failovers >= policy_.max_failover_episodes;
+    {
+      ScopedSpan span(CurrentTracer(), "failover");
+      if (span.active()) {
+        span.AddArg("episode", std::to_string(stats_.failovers));
+        span.AddArg("from", primary_->name());
+        span.AddArg("to", fallback_->name());
+        span.AddArg("terminal", terminal ? "1" : "0");
+        span.AddArg("cause", status.message());
+      }
+      Bump(failover_metric);
+    }
+    // Lease K units to the fallback; the terminal episode gets the rest of
+    // the budget instead (the primary has proven persistently unstable).
+    if (!terminal) {
+      evaluator->SetLease(
+          static_cast<double>(std::max<size_t>(policy_.failover_cooldown_trials,
+                                               1)));
+    }
+    Status fallback_status = fallback_->Tune(evaluator, rng);
+    evaluator->ClearLease();
+    if (!evaluator->journal_error().ok()) {
+      status = fallback_status;
+      break;
+    }
+    if (!fallback_status.ok() &&
+        fallback_status.code() != StatusCode::kResourceExhausted) {
+      status = fallback_status;
+      break;
+    }
+    if (terminal || evaluator->Exhausted()) {
+      status = Status::OK();
+      break;
+    }
+    // Cooldown over: probe the primary again (a fresh Tune() pass — tuners
+    // keep their working state in locals, so this restarts the algorithm
+    // against the same budget/history).
+  }
+  stats_.sanitized_values = guard.stats().sanitized_values;
+  stats_.sanitized_configs = guard.stats().sanitized_configs;
+  stats_.duplicates_broken = guard.stats().duplicates_broken;
+  stats_.vetoes = guard.stats().vetoes;
+  stats_.breaker_opened = guard.stats().breaker_opened;
+  stats_.breaker_reopened = guard.stats().breaker_reopened;
+  stats_.breaker_closed = guard.stats().breaker_closed;
+  return status;
+}
+
+std::string SupervisedTuner::Report() const {
+  std::string report = StrFormat(
+      "supervised(%s): %zu sanitized configs (%zu values), %zu duplicates "
+      "broken, %zu vetoes, breaker %zu opened/%zu reopened/%zu closed, %zu "
+      "failover episodes",
+      primary_->name().c_str(), stats_.sanitized_configs,
+      stats_.sanitized_values, stats_.duplicates_broken, stats_.vetoes,
+      stats_.breaker_opened, stats_.breaker_reopened, stats_.breaker_closed,
+      stats_.failovers);
+  if (!last_failover_cause_.empty()) {
+    report += StrFormat(" (last cause: %s)", last_failover_cause_.c_str());
+  }
+  std::string primary_report = primary_->Report();
+  if (!primary_report.empty()) report += " | " + primary_report;
+  if (stats_.failovers > 0) {
+    std::string fallback_report = fallback_->Report();
+    if (!fallback_report.empty()) report += " | " + fallback_report;
+  }
+  return report;
+}
+
+std::unique_ptr<Tuner> MakeLhsFallbackTuner() {
+  return std::make_unique<LhsFallbackTuner>();
+}
+
+std::unique_ptr<Tuner> MakeSupervisedTuner(std::unique_ptr<Tuner> primary,
+                                           std::unique_ptr<Tuner> fallback,
+                                           SupervisionPolicy policy) {
+  return std::make_unique<SupervisedTuner>(std::move(primary),
+                                           std::move(fallback), policy);
+}
+
+}  // namespace atune

@@ -136,6 +136,9 @@ void Evaluator::CommitTrial(const Configuration& config,
     best_index_ = history_.size() - 1;
     has_best_ = true;
   }
+  // The guard sees every committed observation (ReplayTrial mirrors this),
+  // so breaker state is a pure function of the journaled sequence.
+  if (guard_ != nullptr) guard_->Observe(history_.back());
 }
 
 ExecutionResult Evaluator::RetryTransient(const Configuration& config,
@@ -280,6 +283,21 @@ Status Evaluator::RefuseBudget() {
                 budget_max_));
 }
 
+Status Evaluator::Refuse(double needed) {
+  if (lease_active_ && used_ + needed <= budget_max_ + kBudgetEpsilon) {
+    // The lease is spent but the real budget would still fund this call:
+    // refuse without the terminal latch so the session resumes normal
+    // accounting once the lease clears. The lease-scoped latch makes
+    // fractional leftovers safe for `while (!Exhausted())` tuners (see
+    // Exhausted()); ClearLease() resets it.
+    lease_refused_ = true;
+    return Status::ResourceExhausted(
+        StrFormat("evaluation lease exhausted (%.1f/%.1f leased units)",
+                  used_, lease_limit_));
+  }
+  return RefuseBudget();
+}
+
 namespace {
 Status InterruptedStatus() {
   return Status::Aborted(
@@ -402,22 +420,26 @@ Status Evaluator::JournalUnit(const Configuration& config, size_t unit_index,
 Status Evaluator::ReplayTrial(const Configuration& config,
                               uint64_t batch_size, uint64_t lane,
                               uint64_t parent_span, bool synth_measure) {
+  // Replay-consistency errors latch into journal_error_: they are
+  // durability failures, and the latch keeps supervision layers from
+  // mistaking them for a tuner's numerical failure and failing over past a
+  // corrupted resume.
   if (replay_pos_ >= replay_.size()) {
-    return Status::Internal(
+    return StickyReplayError(Status::Internal(
         "journal replay ended mid-call; the journal does not match the "
-        "tuner's request sequence");
+        "tuner's request sequence"));
   }
   const JournalRecord& rec = replay_[replay_pos_];
   if (rec.kind != JournalRecordKind::kTrial || rec.batch_size != batch_size ||
       rec.lane != lane || !(rec.config == config)) {
-    return Status::Internal(StrFormat(
+    return StickyReplayError(Status::Internal(StrFormat(
         "journal replay diverged at record %llu: the tuner requested a "
         "different evaluation than the one journaled (check that the resumed "
         "session uses identical parameters, including any custom objective)",
-        static_cast<unsigned long long>(rec.seq)));
+        static_cast<unsigned long long>(rec.seq))));
   }
   ++replay_pos_;
-  ATUNE_RETURN_IF_ERROR(FastForwardSystem(rec));
+  ATUNE_RETURN_IF_ERROR(StickyReplayError(FastForwardSystem(rec)));
   // Counter deltas relative to the previous record reconstruct the repair
   // activity this trial performed live (the journal stores the counters
   // cumulatively) — capture them before the counters are overwritten.
@@ -445,6 +467,9 @@ Status Evaluator::ReplayTrial(const Configuration& config,
   retried_runs_ = rec.retried_runs;
   timed_out_runs_ = rec.timed_out_runs;
   remeasured_runs_ = rec.remeasured_runs;
+  // Mirror the live CommitTrial's guard feedback so replayed sessions
+  // rebuild identical supervision state (crash regions, trial clock).
+  if (guard_ != nullptr) guard_->Observe(history_.back());
   // Emit the same span structure the live trial emitted: the trial span
   // with synthesized measure/retry/remeasure children and a commit-boundary
   // span (structural name "commit", like the live journal_append).
@@ -503,20 +528,20 @@ Status Evaluator::FastForwardSystem(const JournalRecord& rec) {
 Result<ExecutionResult> Evaluator::ReplayUnit(const Configuration& config,
                                               size_t unit_index) {
   if (replay_pos_ >= replay_.size()) {
-    return Status::Internal(
+    return StickyReplayError(Status::Internal(
         "journal replay ended mid-call; the journal does not match the "
-        "tuner's request sequence");
+        "tuner's request sequence"));
   }
   const JournalRecord& rec = replay_[replay_pos_];
   if (rec.kind != JournalRecordKind::kUnit || rec.unit_index != unit_index ||
       !(rec.config == config)) {
-    return Status::Internal(StrFormat(
+    return StickyReplayError(Status::Internal(StrFormat(
         "journal replay diverged at record %llu: the tuner requested a "
         "different unit execution than the one journaled",
-        static_cast<unsigned long long>(rec.seq)));
+        static_cast<unsigned long long>(rec.seq))));
   }
   ++replay_pos_;
-  ATUNE_RETURN_IF_ERROR(FastForwardSystem(rec));
+  ATUNE_RETURN_IF_ERROR(StickyReplayError(FastForwardSystem(rec)));
   round_ = rec.round;
   used_ = rec.used;
   retried_runs_ = rec.retried_runs;
@@ -545,13 +570,14 @@ Result<ExecutionResult> Evaluator::ReplayUnit(const Configuration& config,
 
 Result<double> Evaluator::Evaluate(const Configuration& config) {
   ATUNE_RETURN_IF_ERROR(EntryGate());
-  if (used_ + 1.0 > budget_max_ + kBudgetEpsilon) {
-    return RefuseBudget();
+  if (used_ + 1.0 > EffectiveMax() + kBudgetEpsilon) {
+    return Refuse(1.0);
   }
-  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  const Configuration admitted = AdmitProposal(config);
+  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(admitted));
   ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
-    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0,
+    ATUNE_RETURN_IF_ERROR(ReplayTrial(admitted, /*batch_size=*/1, /*lane=*/0,
                                       round_span.id(),
                                       /*synth_measure=*/true));
     return history_.back().objective;
@@ -560,14 +586,14 @@ Result<double> Evaluator::Evaluate(const Configuration& config) {
   ExecutionResult result;
   {
     ScopedSpan measure_span(tracer_, "measure", trial_span.id());
-    ATUNE_ASSIGN_OR_RETURN(result, CountedExecute(config, workload_));
+    ATUNE_ASSIGN_OR_RETURN(result, CountedExecute(admitted, workload_));
   }
   ++round_;
   double cost = 1.0;
   bool exclude = false;
-  result = ApplyRobustnessPolicy(config, std::move(result), /*reserved=*/1.0,
+  result = ApplyRobustnessPolicy(admitted, std::move(result), /*reserved=*/1.0,
                                  &cost, &exclude, trial_span.id());
-  CommitTrial(config, result, cost, exclude);
+  CommitTrial(admitted, result, cost, exclude);
   RecordTrialMetrics(history_.back());
   AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
                     journal_ != nullptr ? journal_->next_seq() : 0,
@@ -589,16 +615,24 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     const std::vector<Configuration>& configs, size_t parallelism) {
   if (configs.empty()) return std::vector<double>();
   ATUNE_RETURN_IF_ERROR(EntryGate());
+  // Admit the whole submission before validation/truncation so the guard's
+  // call sequence is identical live and on replay (truncation depends on
+  // budget state, admission must not).
+  std::vector<Configuration> admitted;
+  admitted.reserve(configs.size());
   for (const Configuration& config : configs) {
+    admitted.push_back(AdmitProposal(config));
+  }
+  for (const Configuration& config : admitted) {
     ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
   }
   // Deterministic mid-batch truncation: only whole runs that still fit.
   size_t affordable =
       static_cast<size_t>(std::max(0.0, Remaining() + kBudgetEpsilon));
   if (affordable == 0) {
-    return RefuseBudget();
+    return Refuse(1.0);
   }
-  size_t k = std::min(configs.size(), affordable);
+  size_t k = std::min(admitted.size(), affordable);
   ScopedSpan round_span(tracer_, "round");
   ScopedSpan batch_span(tracer_, "batch", round_span.id());
   if (batch_span.active()) batch_span.AddArg("size", std::to_string(k));
@@ -609,7 +643,7 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     std::vector<double> objectives;
     objectives.reserve(k);
     for (size_t i = 0; i < k; ++i) {
-      ATUNE_RETURN_IF_ERROR(ReplayTrial(configs[i], k, i, batch_span.id(),
+      ATUNE_RETURN_IF_ERROR(ReplayTrial(admitted[i], k, i, batch_span.id(),
                                         /*synth_measure=*/true));
       objectives.push_back(history_.back().objective);
     }
@@ -640,7 +674,7 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     // semantics, executed in submission order on the parent.
     for (size_t i = 0; i < k; ++i) {
       ScopedSpan measure_span(tracer_, "measure", lane_span_id(i));
-      results.push_back(CountedExecute(configs[i], workload_));
+      results.push_back(CountedExecute(admitted[i], workload_));
     }
   } else {
     // Fan out over clones. Clone i replays exactly the noise the parent
@@ -655,7 +689,7 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     futures.reserve(k);
     for (size_t i = 0; i < k; ++i) {
       TunableSystem* clone = clones[i].get();
-      const Configuration* config = &configs[i];
+      const Configuration* config = &admitted[i];
       uint64_t lane_span = lane_span_id(i);
       Histogram* queue_wait = m_.queue_wait;  // host-clock; see naming note
       auto submitted = std::chrono::steady_clock::now();
@@ -692,9 +726,9 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     double cost = 1.0;
     bool exclude = false;
     ExecutionResult repaired = ApplyRobustnessPolicy(
-        configs[i], *std::move(results[i]), reserved, &cost, &exclude,
+        admitted[i], *std::move(results[i]), reserved, &cost, &exclude,
         lane_span_id(i));
-    CommitTrial(configs[i], repaired, cost, exclude);
+    CommitTrial(admitted[i], repaired, cost, exclude);
     RecordTrialMetrics(history_.back());
     reserved -= 1.0;
     if (tracer_ != nullptr) {
@@ -722,13 +756,14 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
   ATUNE_RETURN_IF_ERROR(EntryGate());
   // Conservative gate: a run that completes under the threshold costs a
   // full unit, so require one up front (never overspends).
-  if (used_ + 1.0 > budget_max_ + kBudgetEpsilon) {
-    return RefuseBudget();
+  if (used_ + 1.0 > EffectiveMax() + kBudgetEpsilon) {
+    return Refuse(1.0);
   }
-  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  const Configuration admitted = AdmitProposal(config);
+  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(admitted));
   ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
-    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0,
+    ATUNE_RETURN_IF_ERROR(ReplayTrial(admitted, /*batch_size=*/1, /*lane=*/0,
                                       round_span.id(),
                                       /*synth_measure=*/true));
     if (aborted != nullptr) *aborted = history_.back().result.censored;
@@ -738,11 +773,11 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
   ExecutionResult result;
   {
     ScopedSpan measure_span(tracer_, "measure", trial_span.id());
-    ATUNE_ASSIGN_OR_RETURN(result, CountedExecute(config, workload_));
+    ATUNE_ASSIGN_OR_RETURN(result, CountedExecute(admitted, workload_));
   }
   ++round_;
   double cost = 1.0;
-  result = RetryTransient(config, workload_, std::move(result), 1.0,
+  result = RetryTransient(admitted, workload_, std::move(result), 1.0,
                           /*reserved=*/1.0, &cost, trial_span.id());
   // The watchdog, when armed and tighter than the caller's threshold, kills
   // the run first — a hung run never gets to burn abort_at_seconds.
@@ -771,7 +806,7 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
     // The objective is a *lower bound*; keep it clearly worse than any
     // incumbent below the threshold and exclude it from best-tracking
     // (its objective is not a completed measurement).
-    CommitTrial(config, result, cost, /*exclude_from_best=*/true);
+    CommitTrial(admitted, result, cost, /*exclude_from_best=*/true);
     RecordTrialMetrics(history_.back());
     AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
                       journal_ != nullptr ? journal_->next_seq() : 0,
@@ -780,7 +815,7 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
         JournalTrial(/*batch_size=*/1, /*lane=*/0, trial_span.id()));
     return history_.back().objective;
   }
-  CommitTrial(config, result, cost);
+  CommitTrial(admitted, result, cost);
   RecordTrialMetrics(history_.back());
   AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
                     journal_ != nullptr ? journal_->next_seq() : 0,
@@ -796,13 +831,16 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
     return Status::InvalidArgument("EvaluateScaled: fraction must be in (0,1]");
   }
   ATUNE_RETURN_IF_ERROR(EntryGate());
-  if (used_ + fraction > budget_max_ + kBudgetEpsilon) {
-    return RefuseBudget();
+  if (used_ + fraction > EffectiveMax() + kBudgetEpsilon) {
+    return Refuse(fraction);
   }
-  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  // Sanitize-only: Ernest-style tuners legitimately re-propose the same
+  // config at several scales, so the duplicate/veto pipeline stays out.
+  const Configuration admitted = SanitizeProposal(config);
+  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(admitted));
   ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
-    ATUNE_RETURN_IF_ERROR(ReplayTrial(config, /*batch_size=*/1, /*lane=*/0,
+    ATUNE_RETURN_IF_ERROR(ReplayTrial(admitted, /*batch_size=*/1, /*lane=*/0,
                                       round_span.id(),
                                       /*synth_measure=*/true));
     return history_.back().objective;
@@ -813,15 +851,15 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
   ExecutionResult result;
   {
     ScopedSpan measure_span(tracer_, "measure", trial_span.id());
-    ATUNE_ASSIGN_OR_RETURN(result, CountedExecute(config, sample));
+    ATUNE_ASSIGN_OR_RETURN(result, CountedExecute(admitted, sample));
   }
   ++round_;
   // Transient faults hit cheap sample runs too; a retry costs the same
   // fraction of the (scaled-down) run it re-executes.
   double cost = fraction;
-  result = RetryTransient(config, sample, std::move(result), fraction,
+  result = RetryTransient(admitted, sample, std::move(result), fraction,
                           /*reserved=*/fraction, &cost, trial_span.id());
-  CommitTrial(config, result, cost, /*exclude_from_best=*/true);
+  CommitTrial(admitted, result, cost, /*exclude_from_best=*/true);
   RecordTrialMetrics(history_.back());
   AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
                     journal_ != nullptr ? journal_->next_seq() : 0,
@@ -842,12 +880,15 @@ Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
   }
   size_t units = std::max<size_t>(iterative->NumUnits(workload_), 1);
   double cost = 1.0 / static_cast<double>(units);
-  if (used_ + cost > budget_max_ + kBudgetEpsilon) {
-    return RefuseBudget();
+  if (used_ + cost > EffectiveMax() + kBudgetEpsilon) {
+    return Refuse(cost);
   }
-  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(config));
+  // Sanitize-only: unit sequences legitimately repeat a config per unit,
+  // so the duplicate/veto pipeline would corrupt composite runs.
+  const Configuration admitted = SanitizeProposal(config);
+  ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(admitted));
   if (replay_active()) {
-    return ReplayUnit(config, unit_index);
+    return ReplayUnit(admitted, unit_index);
   }
   ScopedSpan unit_span(tracer_, "unit");
   ++system_runs_;  // ExecuteUnit advances the system's run index like Execute
@@ -855,7 +896,7 @@ Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
   {
     ScopedSpan measure_span(tracer_, "measure", unit_span.id());
     ATUNE_ASSIGN_OR_RETURN(
-        result, iterative->ExecuteUnit(config, workload_, unit_index));
+        result, iterative->ExecuteUnit(admitted, workload_, unit_index));
   }
   used_ += cost;
   if (m_.budget_used != nullptr) m_.budget_used->Set(used_);
@@ -865,23 +906,26 @@ Result<ExecutionResult> Evaluator::EvaluateUnit(const Configuration& config,
     }
     unit_span.AddArg("unit", std::to_string(unit_index));
     unit_span.AddArg("cost", TraceDouble(cost));
-    unit_span.AddArg("objective", TraceDouble(ObjectiveOf(config, result)));
+    unit_span.AddArg("objective", TraceDouble(ObjectiveOf(admitted, result)));
     unit_span.AddArg("runtime", TraceDouble(result.runtime_seconds));
   }
   ATUNE_RETURN_IF_ERROR(
-      JournalUnit(config, unit_index, result, cost, unit_span.id()));
+      JournalUnit(admitted, unit_index, result, cost, unit_span.id()));
   return result;
 }
 
 void Evaluator::RecordCompositeTrial(const Configuration& config,
                                      const ExecutionResult& aggregate,
                                      double cost) {
+  // Sanitize so composite history entries match the configs the unit-level
+  // path actually executed (EvaluateUnit sanitizes the same way).
+  const Configuration admitted = SanitizeProposal(config);
   ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
     // The composite trial was journaled like a serial trial; any divergence
     // surfaces through the sticky journal_error_ (this API is void). No
     // measure span is synthesized — the live path performs no base run.
-    Status status = ReplayTrial(config, /*batch_size=*/1, /*lane=*/0,
+    Status status = ReplayTrial(admitted, /*batch_size=*/1, /*lane=*/0,
                                 round_span.id(), /*synth_measure=*/false);
     if (!status.ok() && journal_error_.ok()) journal_error_ = status;
     return;
@@ -890,7 +934,7 @@ void Evaluator::RecordCompositeTrial(const Configuration& config,
   ScopedSpan trial_span(tracer_, "trial", round_span.id());
   // The budget was already charged by the unit-level evaluations; commit
   // with zero cost, then stamp the trial's nominal cost for reporting.
-  CommitTrial(config, aggregate, 0.0);
+  CommitTrial(admitted, aggregate, 0.0);
   history_.back().cost = cost;
   RecordTrialMetrics(history_.back());
   AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,

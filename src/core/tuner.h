@@ -1,6 +1,7 @@
 #ifndef ATUNE_CORE_TUNER_H_
 #define ATUNE_CORE_TUNER_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -97,6 +98,33 @@ struct Trial {
   size_t round = 0;
 };
 
+/// Admission hook between a tuner's proposals and the Evaluator (the
+/// supervision layer's seam; see core/supervisor.h). The guard may rewrite
+/// a proposal before it is validated, executed, and journaled — the
+/// *admitted* config is what enters the history and the journal, so replay
+/// compares against it. Both hooks must be deterministic functions of the
+/// call sequence so a resumed session reconstructs identical decisions.
+class ProposalGuard {
+ public:
+  virtual ~ProposalGuard() = default;
+
+  /// Full admission pipeline for a full-cost proposal (sanitization,
+  /// duplicate-livelock substitution, crash-region veto). Returns the
+  /// config to actually evaluate.
+  virtual Configuration Admit(const Configuration& proposed) = 0;
+
+  /// Sanitization only (finiteness + projection into the space). Used for
+  /// unit-level and scaled-sample executions, where re-proposing the same
+  /// config consecutively is legitimate (iterating units, Ernest-style
+  /// scale sweeps) and substitution would corrupt the composite run.
+  virtual Configuration Sanitize(const Configuration& proposed) = 0;
+
+  /// Observes every committed trial — live and replayed — so guard state
+  /// (crash regions, trial clock) is a pure function of the journaled
+  /// observation sequence.
+  virtual void Observe(const Trial& trial) = 0;
+};
+
 /// Budget-enforcing gateway between a tuner and the system under tuning.
 ///
 /// All tuners must obtain measurements through an Evaluator: it counts
@@ -171,6 +199,31 @@ class Evaluator {
   /// to TunableSystem::SkipRuns accounting; see JournalRecord::system_runs).
   uint64_t system_runs() const { return system_runs_; }
 
+  /// Installs a proposal guard (not owned; null = off, the default). Every
+  /// Evaluate* proposal passes through the guard before validation, and
+  /// every committed trial (live or replayed) is fed back via Observe().
+  /// Null keeps the evaluator bit-identical to the pre-supervision
+  /// behavior. Set before the first Evaluate call.
+  void set_proposal_guard(ProposalGuard* guard) { guard_ = guard; }
+  ProposalGuard* proposal_guard() { return guard_; }
+
+  /// Caps further spending at `units` budget units from the current used()
+  /// mark (the supervision layer's failover cooldown). While a lease is
+  /// active, Remaining()/Exhausted() and the admission gates see the lease
+  /// bound; a lease-bounded refusal returns kResourceExhausted WITHOUT
+  /// latching the sticky budget refusal, so clearing the lease restores
+  /// normal accounting and the session continues. A lease never extends
+  /// the real budget.
+  void SetLease(double units) {
+    lease_active_ = true;
+    lease_limit_ = used_ + units;
+  }
+  void ClearLease() {
+    lease_active_ = false;
+    lease_refused_ = false;
+  }
+  bool lease_active() const { return lease_active_; }
+
   Evaluator(const Evaluator&) = delete;
   Evaluator& operator=(const Evaluator&) = delete;
 
@@ -179,8 +232,9 @@ class Evaluator {
   TunableSystem* system() { return system_; }
   const TuningBudget& budget() const { return budget_; }
 
-  /// Budget remaining, in full-run units.
-  double Remaining() const { return budget_max_ - used_; }
+  /// Budget remaining, in full-run units (lease-bounded while a lease is
+  /// active, so leased tuners plan against what they may actually spend).
+  double Remaining() const { return EffectiveMax() - used_; }
   /// True once the budget is spent — or once any evaluation has been
   /// refused for budget reasons. The refusal clause is what makes
   /// fractional leftovers safe: censored/scaled trials can leave
@@ -189,9 +243,14 @@ class Evaluator {
   /// refusing would spin forever. A refusal proves the caller's next
   /// request cannot be funded, so it is terminal. With whole-unit costs a
   /// refusal only ever happens at Remaining() == 0, where Exhausted() was
-  /// already true — the clause changes nothing there.
+  /// already true — the clause changes nothing there. An active lease
+  /// additionally reports exhaustion once the leased units are spent,
+  /// through a lease-scoped (non-terminal) refusal latch that ClearLease()
+  /// resets — fractional leftovers under a lease would otherwise leave
+  /// Exhausted() false while every request is refused (see SetLease).
   bool Exhausted() const {
-    return budget_refused_ || used_ >= budget_max_ - kBudgetEpsilon;
+    return budget_refused_ || lease_refused_ ||
+           used_ >= EffectiveMax() - kBudgetEpsilon;
   }
 
   /// Runs the workload under `config`; returns the scalar objective
@@ -331,6 +390,28 @@ class Evaluator {
   /// kResourceExhausted status every admission gate hands back.
   Status RefuseBudget();
 
+  /// Spending cap currently in force: the real budget, tightened by an
+  /// active lease (a lease never extends the budget).
+  double EffectiveMax() const {
+    return lease_active_ ? std::min(budget_max_, lease_limit_) : budget_max_;
+  }
+
+  /// Admission-gate refusal that distinguishes lease exhaustion (the next
+  /// `needed` units would still fit the real budget — non-sticky, the
+  /// session continues once the lease clears) from true budget exhaustion
+  /// (terminal; latches via RefuseBudget).
+  Status Refuse(double needed);
+
+  /// Runs the proposal guard's full admission pipeline (no-op when no
+  /// guard is installed).
+  Configuration AdmitProposal(const Configuration& config) {
+    return guard_ != nullptr ? guard_->Admit(config) : config;
+  }
+  /// Sanitization-only guard pass for unit/scaled/composite paths.
+  Configuration SanitizeProposal(const Configuration& config) {
+    return guard_ != nullptr ? guard_->Sanitize(config) : config;
+  }
+
   /// Polls the interrupt sources (callback + record limit); once any fires,
   /// latches interrupted_ and budget_refused_ so Exhausted()-looping tuners
   /// wind down. Sticky.
@@ -376,6 +457,15 @@ class Evaluator {
   /// the uninterrupted session would have.
   Status FastForwardSystem(const JournalRecord& rec);
 
+  /// Latches a replay-consistency error into journal_error_ (first one
+  /// wins) and returns it, so divergence is terminal for the whole session
+  /// even if a tuner — or the supervision layer — would otherwise swallow
+  /// the kInternal it surfaces as.
+  Status StickyReplayError(Status status) {
+    if (!status.ok() && journal_error_.ok()) journal_error_ = status;
+    return status;
+  }
+
   /// Records the committed trial into the metrics registry (no-op when
   /// metrics are off). Call after the trial is fully finalized; replay
   /// calls it too, so deterministic trial metrics survive a resume.
@@ -395,6 +485,10 @@ class Evaluator {
   RobustnessPolicy policy_;
   double used_ = 0.0;
   bool budget_refused_ = false;
+  bool lease_active_ = false;
+  double lease_limit_ = 0.0;
+  bool lease_refused_ = false;
+  ProposalGuard* guard_ = nullptr;  // not owned; null = supervision off
   size_t retried_runs_ = 0;
   size_t timed_out_runs_ = 0;
   size_t remeasured_runs_ = 0;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -212,11 +213,14 @@ Status GaussianProcess::FitWithHyperSearch(const std::vector<Vec>& xs,
     }
   }
   if (!found) {
-    // Fall back to defaults if every candidate failed (degenerate data).
-    params_.lengthscales.assign(dims, 0.3);
-    params_.signal_variance = y_var;
-    params_.noise_variance = 1e-4 * y_var;
-    return Fit(xs, ys);
+    // Every candidate produced a non-finite log marginal likelihood: the
+    // design is degenerate (duplicated points, non-finite targets). Fitting
+    // defaults anyway would hand callers a model built on garbage; surface
+    // kInternal so a supervision layer can fail over instead.
+    return Status::Internal(StrFormat(
+        "GP hyper search: all %zu candidates produced a non-finite log "
+        "marginal likelihood (degenerate design of %zu points)",
+        candidates.size(), xs.size()));
   }
   params_ = best;
   return Fit(xs, ys);

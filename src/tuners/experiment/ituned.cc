@@ -13,6 +13,13 @@ namespace atune {
 
 namespace {
 
+/// Consecutive GP-fit failures tolerated (with a random-draw fallback per
+/// failure) before the fit status escalates out of Tune(). Random draws fix
+/// transient degeneracy (constant early responses); they cannot fix poisoned
+/// observations, and looping forever on a dead surrogate hides the failure
+/// from any supervision layer.
+constexpr size_t kMaxConsecutiveModelFailures = 3;
+
 /// Acquisition-maximizing candidate over `acquisition_candidates` random
 /// proposals (a third perturb the incumbent). Shared by the serial loop and
 /// the constant-liar batch loop; `xs`/`ys` may include liar observations.
@@ -93,15 +100,23 @@ Status ITunedTuner::Tune(Evaluator* evaluator, Rng* rng) {
   // Bayesian optimization loop.
   size_t bo_iters = 0;
   size_t aborts = 0;
+  size_t model_failures = 0;
   double last_acq = 0.0;
   while (!evaluator->Exhausted()) {
     GaussianProcess gp(GpHyperParams{options_.kernel, {}, 1.0, 1e-4});
     Status fit = gp.FitWithHyperSearch(xs, ys, options_.gp_hyper_budget, rng);
     Vec next;
     if (fit.ok()) {
+      model_failures = 0;
       next = ProposeCandidate(gp, options_, xs, ys, dims, rng, &last_acq);
     } else {
-      // Degenerate GP (e.g. constant responses): fall back to random.
+      // Degenerate GP (e.g. constant responses): one-off failures fall back
+      // to a random draw, which usually adds enough diversity to recover.
+      // Persistent failures mean the observations themselves are poisoned
+      // (NaN objectives, duplicated designs) and no amount of random
+      // sampling inside this loop repairs the surrogate — escalate so a
+      // supervision layer can fail over.
+      if (++model_failures >= kMaxConsecutiveModelFailures) return fit;
       next.resize(dims);
       for (double& x : next) x = rng->Uniform();
     }
@@ -179,6 +194,7 @@ Status ITunedTuner::TuneBatch(Evaluator* evaluator, Rng* rng) {
   ThreadPool* pool = evaluator->thread_pool(parallelism);
   size_t bo_rounds = 0;
   size_t proposed = 0;
+  size_t model_failures = 0;
   double last_acq = 0.0;
   while (!evaluator->Exhausted()) {
     size_t affordable = static_cast<size_t>(
@@ -193,6 +209,7 @@ Status ITunedTuner::TuneBatch(Evaluator* evaluator, Rng* rng) {
     proposals.reserve(k);
     batch.reserve(k);
     if (fit.ok()) {
+      model_failures = 0;
       double lie = *std::min_element(ys.begin(), ys.end());
       std::vector<Vec> lie_xs = xs;
       Vec lie_ys = ys;
@@ -210,7 +227,9 @@ Status ITunedTuner::TuneBatch(Evaluator* evaluator, Rng* rng) {
         proposals.push_back(std::move(cand));
       }
     } else {
-      // Degenerate GP (e.g. constant responses): fall back to random.
+      // Degenerate GP: random fallback for one-off failures, escalate when
+      // persistent (see the serial loop for rationale).
+      if (++model_failures >= kMaxConsecutiveModelFailures) return fit;
       for (size_t j = 0; j < k; ++j) {
         Vec cand(dims);
         for (double& x : cand) x = rng->Uniform();

@@ -341,6 +341,7 @@ Status OtterTuneTuner::Tune(Evaluator* evaluator, Rng* rng) {
   // Recommendation loop: map -> GP on mapped + target -> EI -> observe.
   size_t mapped = 0;
   size_t recommendations = 0;
+  size_t model_failures = 0;
   while (!evaluator->Exhausted()) {
     mapped = MapWorkload(repository_, metric_idx, target_configs,
                          target_metrics);
@@ -371,6 +372,7 @@ Status OtterTuneTuner::Tune(Evaluator* evaluator, Rng* rng) {
         std::min_element(target_objectives.begin(), target_objectives.end()) -
         target_objectives.begin())];
     if (fit.ok()) {
+      model_failures = 0;
       ScopedSpan acq_span(CurrentTracer(), "acquisition");
       if (acq_span.active()) acq_span.AddArg("candidates", "1500");
       double best_log = *std::min_element(target_objectives.begin(),
@@ -392,6 +394,10 @@ Status OtterTuneTuner::Tune(Evaluator* evaluator, Rng* rng) {
         }
       }
     } else {
+      // One-off GP failures fall back to perturbing the incumbent; three in
+      // a row mean the training set itself is numerically poisoned —
+      // escalate so a supervision layer can fail over.
+      if (++model_failures >= 3) return fit;
       next = incumbent;
       for (size_t j = 0; j < k; ++j) {
         next[knob_order[j]] = rng->Uniform();

@@ -91,5 +91,63 @@ TEST(SessionTest, ReproducibleForSameSeed) {
   EXPECT_TRUE(a->best_config == b->best_config);
 }
 
+// Blindly evaluates distinct configurations until the budget runs out,
+// ignoring each trial's outcome — the shape of tuner that used to make a
+// session of 100% failed runs report best_objective = NaN with kOk.
+class BlindSweep : public Tuner {
+ public:
+  std::string name() const override { return "blind-sweep"; }
+  TunerCategory category() const override {
+    return TunerCategory::kExperimentDriven;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override {
+    const ParameterSpace& space = evaluator->space();
+    while (!evaluator->Exhausted()) {
+      Vec u(space.dims());
+      for (double& v : u) v = rng->Uniform();
+      Configuration c = space.FromUnitVector(u);
+      auto obj = evaluator->Evaluate(c);
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+    }
+    return Status::OK();
+  }
+  std::string Report() const override { return ""; }
+};
+
+TEST(SessionTest, AllTrialsFailedIsReportedNotNaN) {
+  // Every run fails with a config-caused (non-retryable) failure: there is
+  // no usable recommendation, and the session must say so with a distinct
+  // status instead of returning kOk with best_objective = NaN.
+  testing_util::ScriptedSystem system;
+  system.Fails(50.0, /*transient=*/false);
+  BlindSweep tuner;
+  SessionOptions options;
+  options.budget.max_evaluations = 4;
+  options.seed = 5;
+  options.measure_default = false;
+  auto outcome = RunTuningSession(&tuner, &system, MockWorkload(), options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kAllTrialsFailed);
+}
+
+TEST(SessionTest, PartialFailuresStillProduceARecommendation) {
+  // One good run among the failures: the session recommends it normally.
+  testing_util::ScriptedSystem system;
+  system.Fails(50.0, /*transient=*/false)
+      .Fails(50.0, /*transient=*/false)
+      .Runs(12.0);
+  BlindSweep tuner;
+  SessionOptions options;
+  options.budget.max_evaluations = 3;
+  options.seed = 5;
+  options.measure_default = false;
+  auto outcome = RunTuningSession(&tuner, &system, MockWorkload(), options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome->best_objective, 12.0);
+}
+
 }  // namespace
 }  // namespace atune

@@ -58,9 +58,11 @@ TEST_P(TunerSystemMatrixTest, SessionCompletesWithinBudget) {
 
   auto outcome =
       RunTuningSession(tuner->get(), system.get(), workload, options);
-  // DBMS-only / iterative-only tuners legitimately refuse some systems.
+  // DBMS-only / iterative-only tuners legitimately refuse some systems,
+  // and a tiny probe budget can honestly end with every trial failed.
   if (!outcome.ok()) {
-    EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition)
+    EXPECT_TRUE(outcome.status().code() == StatusCode::kFailedPrecondition ||
+                outcome.status().code() == StatusCode::kAllTrialsFailed)
         << outcome.status().ToString();
     return;
   }

@@ -31,7 +31,11 @@ TEST_P(TinyBudgetTest, GracefulUnderStarvation) {
   auto outcome = RunTuningSession(tuner->get(), dbms.get(),
                                   MakeDbmsOlapWorkload(0.25), options);
   if (!outcome.ok()) {
-    EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+    // Refusing an unsupported system, or honestly reporting that the only
+    // trials the starvation budget allowed all failed, are both graceful.
+    EXPECT_TRUE(outcome.status().code() == StatusCode::kFailedPrecondition ||
+                outcome.status().code() == StatusCode::kAllTrialsFailed)
+        << outcome.status().ToString();
     return;
   }
   EXPECT_LE(outcome->evaluations_used, static_cast<double>(budget) + 1e-9);

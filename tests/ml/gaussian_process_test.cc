@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace atune {
 namespace {
@@ -60,6 +61,19 @@ TEST(GpTest, RejectsBadInput) {
   EXPECT_FALSE(gp.Fit({}, {}).ok());
   EXPECT_FALSE(gp.Fit({{0.1}}, {1.0, 2.0}).ok());
   EXPECT_DOUBLE_EQ(gp.Predict({0.1}).mean, 0.0);  // unfitted
+}
+
+TEST(GpTest, HyperSearchRejectsDegenerateDesign) {
+  // All-duplicate points with non-finite targets: every hyper candidate's
+  // log marginal likelihood comes out NaN. Fitting defaults anyway would
+  // hand callers a model built on garbage — the search must surface
+  // kInternal instead (the supervision layer's failover trigger).
+  std::vector<Vec> xs(5, Vec{0.5, 0.5});
+  Vec ys(5, std::numeric_limits<double>::quiet_NaN());
+  GaussianProcess gp;
+  Rng rng(3);
+  Status fit = gp.FitWithHyperSearch(xs, ys, 10, &rng);
+  EXPECT_EQ(fit.code(), StatusCode::kInternal);
 }
 
 TEST(GpTest, HandlesDuplicateInputsViaJitter) {

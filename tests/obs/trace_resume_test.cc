@@ -17,6 +17,7 @@
 #include "core/journal.h"
 #include "core/registry.h"
 #include "core/session.h"
+#include "core/supervisor.h"
 #include "systems/fault_injector.h"
 #include "tests/testing_util.h"
 #include "tuners/builtin.h"
@@ -26,6 +27,55 @@ namespace {
 
 constexpr uint64_t kSeed = 11;
 constexpr double kFaultRate = 0.2;
+
+/// Deterministic numerically-unstable primary for supervised-resume cases:
+/// evaluates three configs per Tune() pass, then reports kInternal, so the
+/// supervisor fails over on a fixed cadence and the kill-point matrix lands
+/// inside fallback cooldowns.
+class NumericallyFailingTuner : public Tuner {
+ public:
+  std::string name() const override { return "numerically-failing"; }
+  TunerCategory category() const override {
+    return TunerCategory::kMachineLearning;
+  }
+  Status Tune(Evaluator* evaluator, Rng* rng) override {
+    for (int i = 0; i < 3; ++i) {
+      if (evaluator->Exhausted()) return Status::OK();
+      Vec u(evaluator->space().dims());
+      for (double& v : u) v = rng->Uniform();
+      auto obj = evaluator->Evaluate(evaluator->space().FromUnitVector(u));
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) {
+          return Status::OK();
+        }
+        return obj.status();
+      }
+    }
+    return Status::Internal("synthetic model collapse");
+  }
+  std::string Report() const override { return ""; }
+};
+
+/// Resolves a tuner spec: "supervised:failing" is the synthetic unstable
+/// primary above under supervision; "supervised:<registry-name>" wraps a
+/// registry tuner; anything else is a plain registry lookup.
+Result<std::unique_ptr<Tuner>> MakeTunerFor(const std::string& spec) {
+  SupervisionPolicy policy;
+  policy.failover_cooldown_trials = 3;
+  if (spec == "supervised:failing") {
+    return MakeSupervisedTuner(std::make_unique<NumericallyFailingTuner>(),
+                               nullptr, policy);
+  }
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+  const std::string prefix = "supervised:";
+  if (spec.rfind(prefix, 0) == 0) {
+    auto inner = registry.Create(spec.substr(prefix.size()));
+    if (!inner.ok()) return inner.status();
+    return MakeSupervisedTuner(std::move(*inner), nullptr, policy);
+  }
+  return registry.Create(spec);
+}
 
 std::string JournalPath(const std::string& name) {
   return ::testing::TempDir() + "/trace_resume_" + name + ".wal";
@@ -45,9 +95,7 @@ TracedRun RunTraced(const std::string& tuner_name, const std::string& journal,
                     size_t budget, uint64_t kill_after, bool resume,
                     size_t parallelism = 1) {
   TracedRun run;
-  TunerRegistry registry;
-  RegisterBuiltinTuners(&registry);
-  auto tuner = registry.Create(tuner_name);
+  auto tuner = MakeTunerFor(tuner_name);
   if (!tuner.ok()) {
     run.status = tuner.status();
     return run;
@@ -214,6 +262,38 @@ TEST(TraceResumeTest, ReplayedTreeContainsSynthesizedRepairSpans) {
   EXPECT_EQ(baseline.tree, resumed.tree);
   EXPECT_EQ(baseline.outcome.retried_runs, resumed.outcome.retried_runs);
   std::remove(path.c_str());
+}
+
+TEST(TraceResumeTest, SupervisedHealthySessionResumesWithIdenticalTrace) {
+  // The supervision layer's guard hooks run on both the live and the replay
+  // path; on a healthy tuner they must not perturb the span tree at all.
+  RunMetamorphicCase("supervised:random-search", /*budget=*/8,
+                     /*parallelism=*/1);
+}
+
+TEST(TraceResumeTest, SupervisedFailoverResumesWithIdenticalTrace) {
+  // The unstable primary collapses every 3 trials, so the session contains
+  // several failover episodes and the kill-point matrix {1, n/2, n-1} kills
+  // it mid-cooldown (while the fallback holds the lease). Replay must
+  // reconstruct the same failover decisions — they are a pure function of
+  // the journaled observations — and re-emit an identical tree, failover
+  // spans included.
+  const std::string path = JournalPath("supervised_failing_probe");
+  std::remove(path.c_str());
+  TracedRun probe = RunTraced("supervised:failing", path, /*budget=*/10,
+                              /*kill_after=*/0, /*resume=*/false);
+  ASSERT_TRUE(probe.ok()) << probe.status.message();
+  EXPECT_NE(probe.tree.find("failover{"), std::string::npos);
+  std::remove(path.c_str());
+  RunMetamorphicCase("supervised:failing", /*budget=*/10, /*parallelism=*/1);
+}
+
+TEST(TraceResumeTest, SupervisedBatchedSessionResumesWithIdenticalTrace) {
+  // Supervision over the batched evaluation path: admission happens for the
+  // whole submitted batch before truncation, so mid-batch kills must still
+  // converge to the uninterrupted tree.
+  RunMetamorphicCase("supervised:random-search", /*budget=*/8,
+                     /*parallelism=*/2);
 }
 
 }  // namespace

@@ -22,6 +22,12 @@
 //       at F/5 — exercise the Evaluator's measurement-robustness policy
 //   --timeout-seconds=F             watchdog kill threshold   [0 = off]
 //   --max-retries=N                 transient-failure retries [2]
+//   --supervise                     wrap the tuner in the supervision layer
+//       proposal sanitization, duplicate-livelock substitution, the
+//       crash-region circuit breaker, and numerical-failure failover to
+//       --fallback-tuner (see DESIGN.md §10)
+//   --fallback-tuner=<name>         failover tuner under --supervise
+//       any registry tuner; default is the built-in LHS random fallback
 //   --journal=PATH                  write-ahead trial journal [off]
 //       every committed trial is fsynced to PATH before the tuner sees it;
 //       SIGINT/SIGTERM (and crashes) leave a resumable checkpoint
@@ -49,6 +55,7 @@
 #include "common/string_util.h"
 #include "core/registry.h"
 #include "core/session.h"
+#include "core/supervisor.h"
 #include "systems/dbms/dbms_system.h"
 #include "systems/fault_injector.h"
 #include "systems/dbms/dbms_workloads.h"
@@ -80,6 +87,8 @@ struct CliOptions {
   double fault_rate = 0.0;
   double timeout_seconds = 0.0;
   size_t max_retries = 2;
+  bool supervise = false;
+  std::string fallback_tuner;
   std::string journal;
   bool resume = false;
   bool csv = false;
@@ -135,6 +144,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (ParseFlag(arg, "max-retries", &value)) {
       options.max_retries = static_cast<size_t>(std::strtoull(value.c_str(),
                                                               nullptr, 10));
+    } else if (arg == "--supervise") {
+      options.supervise = true;
+    } else if (ParseFlag(arg, "fallback-tuner", &value)) {
+      options.fallback_tuner = value;
     } else if (ParseFlag(arg, "journal", &value)) {
       options.journal = value;
     } else if (arg == "--resume") {
@@ -157,6 +170,9 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   }
   if (options.resume && options.journal.empty()) {
     return Status::InvalidArgument("--resume requires --journal=PATH");
+  }
+  if (!options.fallback_tuner.empty() && !options.supervise) {
+    return Status::InvalidArgument("--fallback-tuner requires --supervise");
   }
   return options;
 }
@@ -229,11 +245,25 @@ int RunCli(const CliOptions& options) {
                  workload_name.c_str(), options.system.c_str());
     return 2;
   }
-  auto tuner = registry.Create(options.tuner);
-  if (!tuner.ok()) {
+  auto created = registry.Create(options.tuner);
+  if (!created.ok()) {
     std::fprintf(stderr, "%s (try --list)\n",
-                 tuner.status().ToString().c_str());
+                 created.status().ToString().c_str());
     return 2;
+  }
+  std::unique_ptr<Tuner> tuner = std::move(*created);
+  if (options.supervise) {
+    std::unique_ptr<Tuner> fallback;
+    if (!options.fallback_tuner.empty()) {
+      auto fb = registry.Create(options.fallback_tuner);
+      if (!fb.ok()) {
+        std::fprintf(stderr, "%s (try --list)\n",
+                     fb.status().ToString().c_str());
+        return 2;
+      }
+      fallback = std::move(*fb);
+    }
+    tuner = MakeSupervisedTuner(std::move(tuner), std::move(fallback));
   }
   auto system = MakeSystemFor(options.system, options.nodes, options.seed);
   TunableSystem* target = system.get();
@@ -244,7 +274,7 @@ int RunCli(const CliOptions& options) {
         FaultProfile::FromRate(options.fault_rate, options.seed ^ 0xFA17));
     target = faulty.get();
   }
-  (*tuner)->set_parallelism(options.parallelism);
+  tuner->set_parallelism(options.parallelism);
 
   SessionOptions session;
   session.budget.max_evaluations = options.budget;
@@ -265,8 +295,8 @@ int RunCli(const CliOptions& options) {
   if (options.metrics) session.metrics = &metrics;
   auto outcome =
       options.resume
-          ? ResumeTuningSession(tuner->get(), target, wit->second, session)
-          : RunTuningSession(tuner->get(), target, wit->second, session);
+          ? ResumeTuningSession(tuner.get(), target, wit->second, session)
+          : RunTuningSession(tuner.get(), target, wit->second, session);
   // Write the trace before interpreting the outcome: an interrupted or
   // failed session still leaves a loadable (partial) profile behind.
   if (!options.trace_path.empty()) {
@@ -306,8 +336,9 @@ int RunCli(const CliOptions& options) {
   std::printf("system:    %s (%s)\n", options.system.c_str(),
               system->name().c_str());
   std::printf("workload:  %s\n", wit->second.name.c_str());
-  std::printf("tuner:     %s [%s]\n", options.tuner.c_str(),
-              TunerCategoryToString(outcome->category));
+  std::printf("tuner:     %s [%s]%s\n", options.tuner.c_str(),
+              TunerCategoryToString(outcome->category),
+              options.supervise ? " (supervised)" : "");
   std::printf("default:   %.2f s\n", outcome->default_objective);
   std::printf("best:      %.2f s  (%.2fx speedup, %.1f/%zu budget used, "
               "%zu failed runs)\n",

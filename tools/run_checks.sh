@@ -12,6 +12,13 @@
 #                                   # on a tiny budget (ATUNE_SMOKE=1):
 #                                   # catches harness rot without the
 #                                   # paper-scale cost
+#   tools/run_checks.sh --hostile   # default build + bench_supervisor under
+#                                   # ATUNE_SMOKE=1, gated on the pass flags
+#                                   # it records in BENCH_supervisor.json:
+#                                   # hostile-matrix survival, supervision
+#                                   # overhead, and supervised kill/resume
+#                                   # bit-identity (the binary itself exits 0
+#                                   # in smoke mode, so the gate lives here)
 #   tools/run_checks.sh --coverage  # instrumented Debug build + full ctest +
 #                                   # per-directory line-coverage summary for
 #                                   # src/. Uses gcovr if installed, else
@@ -62,6 +69,30 @@ if [ "${1:-}" = "--smoke" ]; then
   grep -q '"name":"trial"' "$smoke_trace"
   rm -f "$smoke_trace"
   echo "atune --trace: ok (session/trial spans present)"
+  echo "=== [smoke] CLI --supervise round trip ==="
+  # Supervised session must complete, say so, and keep the exit-code
+  # contract: 0 ok, 2 usage error (bad flag combos / unknown fallback).
+  ./build/tools/atune --tuner=random-search --supervise \
+      --fallback-tuner=random-search --budget=4 --seed=7 \
+      | grep -q '(supervised)'
+  echo "atune --supervise: ok (session completed)"
+  if ./build/tools/atune --tuner=random-search --fallback-tuner=random-search \
+      --budget=2 > /dev/null 2>&1; then
+    echo "atune: --fallback-tuner without --supervise should exit 2" >&2
+    exit 1
+  elif [ $? -ne 2 ]; then
+    echo "atune: wrong exit code for --fallback-tuner without --supervise" >&2
+    exit 1
+  fi
+  if ./build/tools/atune --tuner=random-search --supervise \
+      --fallback-tuner=no-such-tuner --budget=2 > /dev/null 2>&1; then
+    echo "atune: unknown --fallback-tuner should exit 2" >&2
+    exit 1
+  elif [ $? -ne 2 ]; then
+    echo "atune: wrong exit code for unknown --fallback-tuner" >&2
+    exit 1
+  fi
+  echo "atune --supervise: ok (usage errors exit 2)"
   echo "=== [smoke] benches at ATUNE_SMOKE=1 ==="
   # bench_micro is a google-benchmark binary: listing its benchmarks proves
   # it links and registers without paying for a timing run.
@@ -77,6 +108,28 @@ if [ "${1:-}" = "--smoke" ]; then
     echo "$name: ok"
   done
   echo "smoke checks passed"
+  exit 0
+fi
+
+if [ "${1:-}" = "--hostile" ]; then
+  jobs="$(nproc 2>/dev/null || echo 2)"
+  echo "=== [hostile] configure + build (default preset) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  echo "=== [hostile] bench_supervisor (ATUNE_SMOKE=1) ==="
+  # Supervision is a correctness property like durability, so this stage
+  # gates even at smoke scale. The binary's own exit code is advisory under
+  # ATUNE_SMOKE (see AcceptanceExit in bench/bench_common.h); the recorded
+  # pass flags in BENCH_supervisor.json are not.
+  ATUNE_SMOKE=1 ./build/bench/bench_supervisor
+  if ! grep -q '"pass": {"hostile": true, "overhead": true, "resume": true}' \
+      BENCH_supervisor.json; then
+    echo "hostile gate FAILED:" >&2
+    grep '"pass"' BENCH_supervisor.json >&2 || true
+    exit 1
+  fi
+  echo "hostile checks passed: zero session-fatal errors under faults,"
+  echo "supervision overhead within bound, supervised resume bit-identical"
   exit 0
 fi
 
