@@ -1,0 +1,20 @@
+#include "common/alloc_hook.h"
+
+#include <atomic>
+
+namespace atune {
+
+namespace {
+std::atomic<AllocCountFn> g_alloc_count_fn{nullptr};
+}  // namespace
+
+void SetAllocCountHookForTesting(AllocCountFn fn) {
+  g_alloc_count_fn.store(fn, std::memory_order_release);
+}
+
+uint64_t SampleAllocCount() {
+  AllocCountFn fn = g_alloc_count_fn.load(std::memory_order_acquire);
+  return fn == nullptr ? 0 : fn();
+}
+
+}  // namespace atune

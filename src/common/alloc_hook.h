@@ -1,0 +1,31 @@
+#ifndef ATUNE_COMMON_ALLOC_HOOK_H_
+#define ATUNE_COMMON_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace atune {
+
+/// Allocation-counting test hook (DESIGN.md §11).
+///
+/// The zero-allocation guarantee on the Evaluator commit path is enforced by
+/// tests and bench_hotpath, not trusted by inspection. Library code samples
+/// an allocation counter around the guarded region via SampleAllocCount();
+/// in ordinary builds no counter is installed and the sample is always 0, so
+/// the hook costs one relaxed atomic load per commit. Binaries that want
+/// real counts (tests/core/commit_alloc_test.cc, bench_hotpath) additionally
+/// compile src/common/alloc_hook_override.cc, whose global operator new
+/// replacement bumps a thread-local counter and self-installs here. The
+/// override translation unit must NEVER be linked into the atune libraries —
+/// it changes allocator behavior process-wide.
+using AllocCountFn = uint64_t (*)();
+
+/// Installs (or, with nullptr, removes) the process-wide counter source.
+void SetAllocCountHookForTesting(AllocCountFn fn);
+
+/// Current thread's allocation count, or 0 when no hook is installed.
+/// Meaningful only as a delta between two samples on the same thread.
+uint64_t SampleAllocCount();
+
+}  // namespace atune
+
+#endif  // ATUNE_COMMON_ALLOC_HOOK_H_

@@ -1,0 +1,79 @@
+// Global operator new/delete replacement that counts allocations per thread
+// and self-installs as the SampleAllocCount() source (see alloc_hook.h).
+//
+// Link this translation unit ONLY into binaries that assert on allocation
+// counts (tests/core/commit_alloc_test.cc, bench/bench_hotpath.cc). It is
+// deliberately kept out of every atune library target: replacing the global
+// allocator is a whole-process decision the library must not make.
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_hook.h"
+
+namespace {
+
+thread_local uint64_t t_alloc_count = 0;
+
+uint64_t ThreadAllocCount() { return t_alloc_count; }
+
+void* CountedAlloc(std::size_t size) {
+  ++t_alloc_count;
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  ++t_alloc_count;
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of align.
+  std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+// Runs before main: installs the counter for the whole process lifetime.
+[[maybe_unused]] const bool g_installed = [] {
+  atune::SetAllocCountHookForTesting(&ThreadAllocCount);
+  return true;
+}();
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -3,6 +3,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <sys/stat.h>
+#endif
+
 #include <array>
 #include <cerrno>
 #include <cstdio>
@@ -109,6 +114,81 @@ Status CommitTempFile(std::FILE* f, const std::string& path) {
     return Errno("rename", tmp);
   }
   return Status::OK();
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+Result<MappedFile> MappedFile::Map(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrFormat("no such file: '%s'", path.c_str()));
+    }
+    return Errno("open", path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("stat", path);
+    ::close(fd);
+    return s;
+  }
+  MappedFile mapped;
+  mapped.size_ = static_cast<size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    void* addr = ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status s = Errno("mmap", path);
+      ::close(fd);
+      return s;
+    }
+    mapped.addr_ = addr;
+  }
+  // The mapping outlives the descriptor.
+  ::close(fd);
+  return mapped;
+}
+
+bool MappedFile::Supported() { return true; }
+
+void MappedFile::Unmap() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+  addr_ = nullptr;
+  size_ = 0;
+}
+
+#else  // !(__unix__ || __APPLE__)
+
+Result<MappedFile> MappedFile::Map(const std::string& path) {
+  (void)path;
+  return Status::Unimplemented("mmap is not available on this platform");
+}
+
+bool MappedFile::Supported() { return false; }
+
+void MappedFile::Unmap() {
+  addr_ = nullptr;
+  size_ = 0;
+}
+
+#endif  // __unix__ || __APPLE__
+
+MappedFile::~MappedFile() { Unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(other.addr_), size_(other.size_) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    addr_ = other.addr_;
+    size_ = other.size_;
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
 }
 
 Status TruncateFile(const std::string& path, uint64_t length) {

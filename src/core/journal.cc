@@ -3,7 +3,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/file_util.h"
@@ -195,8 +197,8 @@ std::string SerializeHeader(const JournalHeader& header) {
   return out;
 }
 
-bool ParseHeader(const std::string& payload, JournalHeader* header) {
-  Reader in(payload.data(), payload.size());
+bool ParseHeader(const char* payload, size_t len, JournalHeader* header) {
+  Reader in(payload, len);
   header->tuner_name = in.GetString();
   header->system_name = in.GetString();
   header->workload_name = in.GetString();
@@ -219,29 +221,49 @@ bool ParseHeader(const std::string& payload, JournalHeader* header) {
   return in.ok() && in.AtEnd();
 }
 
-std::string SerializeRecord(const JournalRecord& record) {
-  std::string out;
-  PutU8(&out, static_cast<uint8_t>(record.kind));
-  PutU64(&out, record.seq);
-  PutConfiguration(&out, record.config);
-  PutExecutionResult(&out, record.result);
-  PutDouble(&out, record.objective);
-  PutDouble(&out, record.cost);
-  PutU8(&out, record.scaled ? 1 : 0);
-  PutU64(&out, record.round);
-  PutU64(&out, record.batch_size);
-  PutU64(&out, record.lane);
-  PutU64(&out, record.unit_index);
-  PutU64(&out, record.system_runs);
-  PutDouble(&out, record.used);
-  PutU64(&out, record.retried_runs);
-  PutU64(&out, record.timed_out_runs);
-  PutU64(&out, record.remeasured_runs);
-  return out;
+void SerializeRecordInto(std::string* out, const JournalRecordRef& record) {
+  PutU8(out, static_cast<uint8_t>(record.kind));
+  PutU64(out, record.seq);
+  PutConfiguration(out, *record.config);
+  PutExecutionResult(out, *record.result);
+  PutDouble(out, record.objective);
+  PutDouble(out, record.cost);
+  PutU8(out, record.scaled ? 1 : 0);
+  PutU64(out, record.round);
+  PutU64(out, record.batch_size);
+  PutU64(out, record.lane);
+  PutU64(out, record.unit_index);
+  PutU64(out, record.system_runs);
+  PutDouble(out, record.used);
+  PutU64(out, record.retried_runs);
+  PutU64(out, record.timed_out_runs);
+  PutU64(out, record.remeasured_runs);
 }
 
-bool ParseRecord(const std::string& payload, JournalRecord* record) {
-  Reader in(payload.data(), payload.size());
+/// Borrowing view of an owning record, for the Append -> AppendRef funnel.
+JournalRecordRef RefOf(const JournalRecord& record) {
+  JournalRecordRef ref;
+  ref.kind = record.kind;
+  ref.seq = record.seq;
+  ref.config = &record.config;
+  ref.result = &record.result;
+  ref.objective = record.objective;
+  ref.cost = record.cost;
+  ref.scaled = record.scaled;
+  ref.round = record.round;
+  ref.batch_size = record.batch_size;
+  ref.lane = record.lane;
+  ref.unit_index = record.unit_index;
+  ref.system_runs = record.system_runs;
+  ref.used = record.used;
+  ref.retried_runs = record.retried_runs;
+  ref.timed_out_runs = record.timed_out_runs;
+  ref.remeasured_runs = record.remeasured_runs;
+  return ref;
+}
+
+bool ParseRecord(const char* payload, size_t len, JournalRecord* record) {
+  Reader in(payload, len);
   uint8_t kind = in.GetU8();
   if (kind != static_cast<uint8_t>(JournalRecordKind::kTrial) &&
       kind != static_cast<uint8_t>(JournalRecordKind::kUnit)) {
@@ -274,21 +296,27 @@ std::string Frame(const std::string& payload) {
   return out;
 }
 
-/// Reads one frame at `*offset`, advancing it past the frame on success.
-/// Returns false on a truncated, torn, oversized, or CRC-mismatched frame
-/// (*offset is left at the frame start: the recovery truncation point).
-bool ReadFrame(const std::string& file, size_t* offset, std::string* payload) {
+/// Reads one frame at `*offset` of the (data, size) span, advancing past it
+/// on success. The payload is returned as a view into the span — no copy —
+/// so recovery parses a memory-mapped journal in place. Returns false on a
+/// truncated, torn, oversized, or CRC-mismatched frame (*offset is left at
+/// the frame start: the recovery truncation point).
+bool ReadFrame(const char* data, size_t size, size_t* offset,
+               const char** payload, size_t* payload_len) {
   size_t pos = *offset;
-  if (file.size() - pos < 8) return false;
-  Reader head(file.data() + pos, 8);
+  if (size - pos < 8) return false;
+  Reader head(data + pos, 8);
   uint32_t len = head.GetU32();
   uint32_t crc = head.GetU32();
-  if (len > kMaxFrameBytes || file.size() - pos - 8 < len) return false;
-  if (Crc32(0, file.data() + pos + 8, len) != crc) return false;
-  payload->assign(file.data() + pos + 8, len);
+  if (len > kMaxFrameBytes || size - pos - 8 < len) return false;
+  if (Crc32(0, data + pos + 8, len) != crc) return false;
+  *payload = data + pos + 8;
+  *payload_len = len;
   *offset = pos + 8 + len;
   return true;
 }
+
+std::atomic<JournalReplayMode> g_replay_mode{JournalReplayMode::kAuto};
 
 Status WriteAll(int fd, const std::string& bytes, const std::string& path) {
   size_t written = 0;
@@ -305,6 +333,14 @@ Status WriteAll(int fd, const std::string& bytes, const std::string& path) {
 }
 
 }  // namespace
+
+void SetJournalReplayModeForTesting(JournalReplayMode mode) {
+  g_replay_mode.store(mode, std::memory_order_relaxed);
+}
+
+JournalReplayMode JournalReplayModeForTesting() {
+  return g_replay_mode.load(std::memory_order_relaxed);
+}
 
 bool JournalHeader::operator==(const JournalHeader& other) const {
   return SerializeHeader(*this) == SerializeHeader(other);
@@ -376,44 +412,76 @@ Result<std::unique_ptr<TrialJournal>> TrialJournal::Create(
 
 Result<TrialJournal::Recovered> TrialJournal::OpenForResume(
     const std::string& path) {
-  std::string file;
-  ATUNE_RETURN_IF_ERROR(ReadFileToString(path, &file));
+  // Zero-copy fast path: mmap the file and parse frames in place. Streaming
+  // (read-into-memory) remains the fallback for platforms without mmap, any
+  // mapping failure under kAuto, or an explicit override. A missing file is
+  // NotFound in every mode, matching the pre-mmap behavior.
+  JournalReplayMode mode = JournalReplayModeForTesting();
+  const char* no_mmap_env = std::getenv("ATUNE_JOURNAL_NO_MMAP");
+  bool env_disables =
+      no_mmap_env != nullptr && *no_mmap_env != '\0' &&
+      std::strcmp(no_mmap_env, "0") != 0;
+  MappedFile mapped;
+  std::string streamed;
+  const char* data = nullptr;
+  size_t size = 0;
+  bool use_mmap = false;
+  if (mode == JournalReplayMode::kMmap ||
+      (mode == JournalReplayMode::kAuto && MappedFile::Supported() &&
+       !env_disables)) {
+    Result<MappedFile> map = MappedFile::Map(path);
+    if (map.ok()) {
+      mapped = std::move(*map);
+      data = mapped.data();
+      size = mapped.size();
+      use_mmap = true;
+    } else if (mode == JournalReplayMode::kMmap ||
+               map.status().code() == StatusCode::kNotFound) {
+      return map.status();
+    }
+    // kAuto with a non-NotFound mapping failure: fall back to streaming.
+  }
+  if (!use_mmap) {
+    ATUNE_RETURN_IF_ERROR(ReadFileToString(path, &streamed));
+    data = streamed.data();
+    size = streamed.size();
+  }
 
   Recovered recovered;
   size_t offset = 0;
   // Magic + version + header frame. Damage here leaves nothing to trust
   // (we cannot even verify the session fingerprint), so the whole file is
   // discarded and the caller starts a fresh journal.
-  bool preamble_ok =
-      file.size() >= sizeof(kMagic) + 4 &&
-      std::memcmp(file.data(), kMagic, sizeof(kMagic)) == 0;
+  bool preamble_ok = size >= sizeof(kMagic) + 4 &&
+                     std::memcmp(data, kMagic, sizeof(kMagic)) == 0;
   if (preamble_ok) {
-    Reader version_reader(file.data() + sizeof(kMagic), 4);
+    Reader version_reader(data + sizeof(kMagic), 4);
     preamble_ok = version_reader.GetU32() == kVersion;
   }
-  std::string payload;
+  const char* payload = nullptr;
+  size_t payload_len = 0;
   if (preamble_ok) {
     offset = sizeof(kMagic) + 4;
-    preamble_ok = ReadFrame(file, &offset, &payload) &&
-                  ParseHeader(payload, &recovered.header);
+    preamble_ok = ReadFrame(data, size, &offset, &payload, &payload_len) &&
+                  ParseHeader(payload, payload_len, &recovered.header);
   }
   if (!preamble_ok) {
     recovered.header_valid = false;
     recovered.warnings.push_back(StrFormat(
         "journal '%s': unreadable magic/header (%zu bytes); discarding file "
         "and starting fresh",
-        path.c_str(), file.size()));
+        path.c_str(), size));
     return recovered;
   }
   recovered.header_valid = true;
 
   // Longest valid prefix: stop at the first bad frame or sequence break.
   std::vector<size_t> record_ends;  // byte offset after record i
-  while (offset < file.size()) {
+  while (offset < size) {
     size_t frame_start = offset;
     JournalRecord record;
-    if (!ReadFrame(file, &offset, &payload) ||
-        !ParseRecord(payload, &record)) {
+    if (!ReadFrame(data, size, &offset, &payload, &payload_len) ||
+        !ParseRecord(payload, payload_len, &record)) {
       recovered.warnings.push_back(StrFormat(
           "journal '%s': corrupt or torn frame at byte %zu; keeping the %zu "
           "valid records before it",
@@ -461,11 +529,15 @@ Result<TrialJournal::Recovered> TrialJournal::OpenForResume(
   } else {
     // No surviving records: keep just the preamble + header frame.
     size_t header_end = sizeof(kMagic) + 4;
-    std::string ignored;
-    ReadFrame(file, &header_end, &ignored);
+    ReadFrame(data, size, &header_end, &payload, &payload_len);
     valid_end = header_end;
   }
-  if (valid_end < file.size()) {
+  size_t file_size = size;
+  // Release the mapping before truncating: shrinking a file under a live
+  // mapping leaves pages whose reads are undefined.
+  mapped = MappedFile();
+  data = nullptr;
+  if (valid_end < file_size) {
     ATUNE_RETURN_IF_ERROR(TruncateFile(path, valid_end));
   }
 
@@ -480,10 +552,26 @@ Result<TrialJournal::Recovered> TrialJournal::OpenForResume(
 }
 
 Status TrialJournal::Append(const JournalRecord& record) {
+  return AppendRef(RefOf(record));
+}
+
+Status TrialJournal::AppendRef(const JournalRecordRef& record) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("journal is not open for appending");
   }
-  ATUNE_RETURN_IF_ERROR(WriteAll(fd_, Frame(SerializeRecord(record)), path_));
+  // Serialize after an 8-byte placeholder, then patch the frame header in
+  // place — the same bytes Frame(SerializeRecord(...)) produced, without the
+  // two temporary strings.
+  frame_buf_.clear();
+  frame_buf_.append(8, '\0');
+  SerializeRecordInto(&frame_buf_, record);
+  uint32_t len = static_cast<uint32_t>(frame_buf_.size() - 8);
+  uint32_t crc = Crc32(0, frame_buf_.data() + 8, len);
+  for (int i = 0; i < 4; ++i) {
+    frame_buf_[i] = static_cast<char>((len >> (8 * i)) & 0xFF);
+    frame_buf_[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  ATUNE_RETURN_IF_ERROR(WriteAll(fd_, frame_buf_, path_));
   if (sync_ && ::fsync(fd_) != 0) {
     return Status::Internal(StrFormat("fsync journal '%s': %s", path_.c_str(),
                                       std::strerror(errno)));

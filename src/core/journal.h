@@ -87,6 +87,43 @@ struct JournalRecord {
   uint64_t remeasured_runs = 0;
 };
 
+/// View-based twin of JournalRecord for the Evaluator's zero-allocation
+/// commit path: the config/result a trial just committed already live in the
+/// Evaluator's history, so the journal borrows them by pointer instead of
+/// copying them into a JournalRecord. The pointed-to objects must outlive
+/// the AppendRef call (they are read during serialization only).
+struct JournalRecordRef {
+  JournalRecordKind kind = JournalRecordKind::kTrial;
+  uint64_t seq = 0;
+  const Configuration* config = nullptr;
+  const ExecutionResult* result = nullptr;
+  double objective = 0.0;
+  double cost = 0.0;
+  bool scaled = false;
+  uint64_t round = 0;
+  uint64_t batch_size = 1;
+  uint64_t lane = 0;
+  uint64_t unit_index = 0;
+  uint64_t system_runs = 0;
+  double used = 0.0;
+  uint64_t retried_runs = 0;
+  uint64_t timed_out_runs = 0;
+  uint64_t remeasured_runs = 0;
+};
+
+/// How OpenForResume reads the file. kAuto (the default) memory-maps when
+/// the platform supports it and falls back to the streaming read on any
+/// mapping failure other than the file not existing; kStreaming forces the
+/// read-into-memory path; kMmap requires the mapping (errors surface). The
+/// env var ATUNE_JOURNAL_NO_MMAP=1 disables mapping under kAuto. Recovery
+/// semantics are identical in every mode — the bench_hotpath replay section
+/// and journal_mmap_test assert record-for-record equality.
+enum class JournalReplayMode { kAuto, kStreaming, kMmap };
+
+/// Process-wide replay-mode override (testing/benchmarking).
+void SetJournalReplayModeForTesting(JournalReplayMode mode);
+JournalReplayMode JournalReplayModeForTesting();
+
 /// Write-ahead trial journal: an append-only file of fsynced, checksummed
 /// records, one per committed observation, written by the Evaluator before
 /// the measurement reaches the tuner. Because every tuner is deterministic
@@ -136,6 +173,12 @@ class TrialJournal {
   /// `record.seq` is written verbatim — callers stamp it with next_seq().
   Status Append(const JournalRecord& record);
 
+  /// Allocation-free Append: serializes into a reused member buffer and
+  /// borrows config/result through the ref. Byte-identical on disk to
+  /// Append with the equivalent JournalRecord. Not thread-safe (the
+  /// Evaluator serializes commits under its own lock).
+  Status AppendRef(const JournalRecordRef& record);
+
   /// Sequence number the next appended record should carry.
   uint64_t next_seq() const { return next_seq_; }
   const std::string& path() const { return path_; }
@@ -152,6 +195,9 @@ class TrialJournal {
   int fd_ = -1;
   uint64_t next_seq_ = 0;
   bool sync_ = true;
+  /// Reused frame buffer for AppendRef: after the first append it has the
+  /// high-water capacity and appends allocate nothing.
+  std::string frame_buf_;
 };
 
 }  // namespace atune

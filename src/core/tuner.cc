@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/alloc_hook.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 
@@ -62,7 +63,13 @@ Evaluator::Evaluator(TunableSystem* system, Workload workload,
       workload_(std::move(workload)),
       budget_(budget),
       budget_max_(static_cast<double>(budget.max_evaluations)),
-      failure_penalty_(failure_penalty) {}
+      failure_penalty_(failure_penalty) {
+  // Reserve the history up front (bounded for absurd budgets) so steady-state
+  // commits never reallocate the trial vector. Repairs can commit more
+  // trials than the budget counts; the slack covers typical overage and a
+  // rare regrowth is correct, just not free.
+  history_.reserve(std::min<size_t>(budget.max_evaluations + 16, 4096));
+}
 
 void Evaluator::set_metrics(MetricsRegistry* metrics) {
   metrics_ = metrics;
@@ -118,14 +125,14 @@ double Evaluator::ObjectiveOf(const Configuration& config,
   return obj;
 }
 
-void Evaluator::CommitTrial(const Configuration& config,
-                            const ExecutionResult& result, double cost,
-                            bool exclude_from_best) {
+void Evaluator::CommitTrial(Configuration config, ExecutionResult result,
+                            double cost, bool exclude_from_best) {
+  commit_allocs_sample_ = SampleAllocCount();
   used_ += cost;
   Trial trial;
-  trial.config = config;
-  trial.result = result;
   trial.objective = ObjectiveOf(config, result);
+  trial.config = std::move(config);
+  trial.result = std::move(result);
   trial.cost = cost;
   trial.scaled = exclude_from_best;
   trial.round = round_;
@@ -336,13 +343,19 @@ Result<ExecutionResult> Evaluator::CountedExecute(const Configuration& config,
 
 Status Evaluator::JournalTrial(uint64_t batch_size, uint64_t lane,
                                uint64_t parent_span) {
-  if (journal_ == nullptr) return Status::OK();
+  if (journal_ == nullptr) {
+    last_commit_allocs_ = SampleAllocCount() - commit_allocs_sample_;
+    return Status::OK();
+  }
   const Trial& trial = history_.back();
-  JournalRecord rec;
+  // Borrow the committed trial's config/result instead of copying them into
+  // an owning record — with AppendRef's reused frame buffer, the journal
+  // half of the commit path allocates nothing in steady state.
+  JournalRecordRef rec;
   rec.kind = JournalRecordKind::kTrial;
   rec.seq = journal_->next_seq();
-  rec.config = trial.config;
-  rec.result = trial.result;
+  rec.config = &trial.config;
+  rec.result = &trial.result;
   rec.objective = trial.objective;
   rec.cost = trial.cost;
   rec.scaled = trial.scaled;
@@ -360,7 +373,8 @@ Status Evaluator::JournalTrial(uint64_t batch_size, uint64_t lane,
     span_id = tracer_->BeginSpan();
     begin_ns = tracer_->NowNs();
   }
-  Status status = journal_->Append(rec);
+  Status status = journal_->AppendRef(rec);
+  last_commit_allocs_ = SampleAllocCount() - commit_allocs_sample_;
   if (!status.ok()) {
     journal_error_ = status;
     return status;
@@ -383,12 +397,16 @@ Status Evaluator::JournalTrial(uint64_t batch_size, uint64_t lane,
 Status Evaluator::JournalUnit(const Configuration& config, size_t unit_index,
                               const ExecutionResult& result, double cost,
                               uint64_t parent_span) {
-  if (journal_ == nullptr) return Status::OK();
-  JournalRecord rec;
+  uint64_t sample = SampleAllocCount();
+  if (journal_ == nullptr) {
+    last_commit_allocs_ = SampleAllocCount() - sample;
+    return Status::OK();
+  }
+  JournalRecordRef rec;
   rec.kind = JournalRecordKind::kUnit;
   rec.seq = journal_->next_seq();
-  rec.config = config;
-  rec.result = result;
+  rec.config = &config;
+  rec.result = &result;
   rec.objective = ObjectiveOf(config, result);
   rec.cost = cost;
   rec.round = round_;
@@ -404,7 +422,8 @@ Status Evaluator::JournalUnit(const Configuration& config, size_t unit_index,
     span_id = tracer_->BeginSpan();
     begin_ns = tracer_->NowNs();
   }
-  Status status = journal_->Append(rec);
+  Status status = journal_->AppendRef(rec);
+  last_commit_allocs_ = SampleAllocCount() - sample;
   if (!status.ok()) {
     journal_error_ = status;
     return status;
@@ -573,7 +592,7 @@ Result<double> Evaluator::Evaluate(const Configuration& config) {
   if (used_ + 1.0 > EffectiveMax() + kBudgetEpsilon) {
     return Refuse(1.0);
   }
-  const Configuration admitted = AdmitProposal(config);
+  Configuration admitted = AdmitProposal(config);
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(admitted));
   ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
@@ -593,7 +612,7 @@ Result<double> Evaluator::Evaluate(const Configuration& config) {
   bool exclude = false;
   result = ApplyRobustnessPolicy(admitted, std::move(result), /*reserved=*/1.0,
                                  &cost, &exclude, trial_span.id());
-  CommitTrial(admitted, result, cost, exclude);
+  CommitTrial(std::move(admitted), std::move(result), cost, exclude);
   RecordTrialMetrics(history_.back());
   AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
                     journal_ != nullptr ? journal_->next_seq() : 0,
@@ -728,7 +747,7 @@ Result<std::vector<double>> Evaluator::EvaluateBatch(
     ExecutionResult repaired = ApplyRobustnessPolicy(
         admitted[i], *std::move(results[i]), reserved, &cost, &exclude,
         lane_span_id(i));
-    CommitTrial(admitted[i], repaired, cost, exclude);
+    CommitTrial(std::move(admitted[i]), std::move(repaired), cost, exclude);
     RecordTrialMetrics(history_.back());
     reserved -= 1.0;
     if (tracer_ != nullptr) {
@@ -806,7 +825,8 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
     // The objective is a *lower bound*; keep it clearly worse than any
     // incumbent below the threshold and exclude it from best-tracking
     // (its objective is not a completed measurement).
-    CommitTrial(admitted, result, cost, /*exclude_from_best=*/true);
+    CommitTrial(std::move(admitted), std::move(result), cost,
+                /*exclude_from_best=*/true);
     RecordTrialMetrics(history_.back());
     AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
                       journal_ != nullptr ? journal_->next_seq() : 0,
@@ -815,7 +835,7 @@ Result<double> Evaluator::EvaluateWithEarlyAbort(const Configuration& config,
         JournalTrial(/*batch_size=*/1, /*lane=*/0, trial_span.id()));
     return history_.back().objective;
   }
-  CommitTrial(admitted, result, cost);
+  CommitTrial(std::move(admitted), std::move(result), cost);
   RecordTrialMetrics(history_.back());
   AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
                     journal_ != nullptr ? journal_->next_seq() : 0,
@@ -836,7 +856,7 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
   }
   // Sanitize-only: Ernest-style tuners legitimately re-propose the same
   // config at several scales, so the duplicate/veto pipeline stays out.
-  const Configuration admitted = SanitizeProposal(config);
+  Configuration admitted = SanitizeProposal(config);
   ATUNE_RETURN_IF_ERROR(space().ValidateConfiguration(admitted));
   ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
@@ -859,7 +879,8 @@ Result<double> Evaluator::EvaluateScaled(const Configuration& config,
   double cost = fraction;
   result = RetryTransient(admitted, sample, std::move(result), fraction,
                           /*reserved=*/fraction, &cost, trial_span.id());
-  CommitTrial(admitted, result, cost, /*exclude_from_best=*/true);
+  CommitTrial(std::move(admitted), std::move(result), cost,
+              /*exclude_from_best=*/true);
   RecordTrialMetrics(history_.back());
   AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,
                     journal_ != nullptr ? journal_->next_seq() : 0,
@@ -919,7 +940,7 @@ void Evaluator::RecordCompositeTrial(const Configuration& config,
                                      double cost) {
   // Sanitize so composite history entries match the configs the unit-level
   // path actually executed (EvaluateUnit sanitizes the same way).
-  const Configuration admitted = SanitizeProposal(config);
+  Configuration admitted = SanitizeProposal(config);
   ScopedSpan round_span(tracer_, "round");
   if (replay_active()) {
     // The composite trial was journaled like a serial trial; any divergence
@@ -934,7 +955,7 @@ void Evaluator::RecordCompositeTrial(const Configuration& config,
   ScopedSpan trial_span(tracer_, "trial", round_span.id());
   // The budget was already charged by the unit-level evaluations; commit
   // with zero cost, then stamp the trial's nominal cost for reporting.
-  CommitTrial(admitted, aggregate, 0.0);
+  CommitTrial(std::move(admitted), aggregate, 0.0);
   history_.back().cost = cost;
   RecordTrialMetrics(history_.back());
   AnnotateTrialSpan(&trial_span, /*has_seq=*/journal_ != nullptr,

@@ -350,12 +350,22 @@ class Evaluator {
   double ObjectiveOf(const Configuration& config,
                      const ExecutionResult& result) const;
 
+  /// Heap allocations performed by the most recent commit (CommitTrial
+  /// through its journal append), as counted by the alloc hook
+  /// (common/alloc_hook.h). Always 0 unless the counting override TU is
+  /// linked in (tests and bench_hotpath only). The zero-alloc contract of
+  /// DESIGN.md §11 is: steady state (past history reserve and buffer
+  /// high-water marks), journal on, tracing/metrics off, default policy.
+  uint64_t last_commit_allocs() const { return last_commit_allocs_; }
+
  private:
   /// Appends a trial and updates best-tracking. `exclude_from_best` marks
   /// the trial scaled (censored/partial measurements whose objectives are
-  /// not comparable to completed full runs).
-  void CommitTrial(const Configuration& config, const ExecutionResult& result,
-                   double cost, bool exclude_from_best = false);
+  /// not comparable to completed full runs). Takes config/result by value:
+  /// call sites move their last use in, so the commit path transfers
+  /// ownership instead of deep-copying (the zero-alloc contract above).
+  void CommitTrial(Configuration config, ExecutionResult result, double cost,
+                   bool exclude_from_best = false);
 
   /// Re-executes `config` on the parent system while `result` is a
   /// transient failure, up to policy_.max_retries times, charging
@@ -510,6 +520,11 @@ class Evaluator {
   std::function<bool()> interrupt_check_;
   uint64_t record_limit_ = 0;
   bool interrupted_ = false;
+
+  /// Alloc-hook sample taken at CommitTrial entry and closed out when the
+  /// trial's journal record lands (see last_commit_allocs()).
+  uint64_t commit_allocs_sample_ = 0;
+  uint64_t last_commit_allocs_ = 0;
 
   Tracer* tracer_ = nullptr;            // not owned; null = tracing off
   MetricsRegistry* metrics_ = nullptr;  // not owned; null = metrics off

@@ -1,9 +1,629 @@
 #include "math/matrix.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <vector>
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define ATUNE_HAVE_SSE2 1
+#if defined(__GNUC__) && defined(__x86_64__)
+// AVX bodies are compiled per-function via target attributes and picked at
+// runtime with __builtin_cpu_supports, so the default build needs no extra
+// flags and still runs on plain SSE2 machines.
+#include <immintrin.h>
+#define ATUNE_HAVE_AVX_DISPATCH 1
+#endif
+#endif
+
+#include "math/reference_kernels.h"
 
 namespace atune {
+
+namespace {
+
+std::atomic<bool> g_scalar_kernels{false};
+
+/// Blocked forward substitution y = L⁻¹ b over contiguous spans: rows are
+/// processed in blocks of four so their independent subtraction chains
+/// interleave (ILP), but each element still receives its subtractions in
+/// ascending-k order — bit-identical to the naive loop in
+/// reference_kernels.cc. `stride` is L's row stride; y == b is allowed.
+void BlockedForwardSubstitute(const double* ld, size_t n, size_t stride,
+                              const double* b, double* y) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* r0 = ld + (i + 0) * stride;
+    const double* r1 = ld + (i + 1) * stride;
+    const double* r2 = ld + (i + 2) * stride;
+    const double* r3 = ld + (i + 3) * stride;
+    double acc0 = b[i + 0];
+    double acc1 = b[i + 1];
+    double acc2 = b[i + 2];
+    double acc3 = b[i + 3];
+    for (size_t k = 0; k < i; ++k) {
+      double yk = y[k];
+      acc0 -= r0[k] * yk;
+      acc1 -= r1[k] * yk;
+      acc2 -= r2[k] * yk;
+      acc3 -= r3[k] * yk;
+    }
+    // In-block tail: later rows depend on earlier ones, still ascending k.
+    double y0 = acc0 / r0[i + 0];
+    y[i + 0] = y0;
+    acc1 -= r1[i + 0] * y0;
+    double y1 = acc1 / r1[i + 1];
+    y[i + 1] = y1;
+    acc2 -= r2[i + 0] * y0;
+    acc2 -= r2[i + 1] * y1;
+    double y2 = acc2 / r2[i + 2];
+    y[i + 2] = y2;
+    acc3 -= r3[i + 0] * y0;
+    acc3 -= r3[i + 1] * y1;
+    acc3 -= r3[i + 2] * y2;
+    y[i + 3] = acc3 / r3[i + 3];
+  }
+  for (; i < n; ++i) {
+    const double* ri = ld + i * stride;
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= ri[k] * y[k];
+    y[i] = sum / ri[i];
+  }
+}
+
+/// In-place panel forward solve L Y = Y with a compile-time lane count so
+/// the accumulators live in registers. Lane c performs exactly
+/// ForwardSolve's operations on column c.
+template <size_t kLanes>
+void SolvePanelFixed(const double* ld, size_t n, size_t stride, double* panel,
+                     size_t pstride) {
+  for (size_t i = 0; i < n; ++i) {
+    const double* li = ld + i * stride;
+    double* pi = panel + i * pstride;
+    double acc[kLanes];
+    for (size_t c = 0; c < kLanes; ++c) acc[c] = pi[c];
+    for (size_t k = 0; k < i; ++k) {
+      double lik = li[k];
+      const double* pk = panel + k * pstride;
+      for (size_t c = 0; c < kLanes; ++c) acc[c] -= lik * pk[c];
+    }
+    double lii = li[i];
+    for (size_t c = 0; c < kLanes; ++c) pi[c] = acc[c] / lii;
+  }
+}
+
+#if defined(ATUNE_HAVE_SSE2)
+/// Eight-lane in-place panel forward solve with explicit SSE2 two-lane ops,
+/// rows two at a time sharing the panel-row loads. Lane c performs exactly
+/// ForwardSolve's operations on column c in the same ascending-k order
+/// (row i+1 takes its k = i subtraction after row i's divide, as the
+/// sequential solve does), so results are bit-identical. Hand-written
+/// because GCC's auto-vectorizer turns the array-accumulator form into
+/// shuffle-heavy code slower than scalar.
+void SolvePanel8Sse2(const double* ld, size_t n, size_t stride,
+                     double* panel, size_t pstride) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double* li = ld + i * stride;
+    const double* mi = ld + (i + 1) * stride;
+    double* pi = panel + i * pstride;
+    double* qi = panel + (i + 1) * pstride;
+    __m128d p0 = _mm_loadu_pd(pi + 0), p1 = _mm_loadu_pd(pi + 2);
+    __m128d p2 = _mm_loadu_pd(pi + 4), p3 = _mm_loadu_pd(pi + 6);
+    __m128d q0 = _mm_loadu_pd(qi + 0), q1 = _mm_loadu_pd(qi + 2);
+    __m128d q2 = _mm_loadu_pd(qi + 4), q3 = _mm_loadu_pd(qi + 6);
+    for (size_t k = 0; k < i; ++k) {
+      const __m128d lik = _mm_set1_pd(li[k]);
+      const __m128d mik = _mm_set1_pd(mi[k]);
+      const double* pk = panel + k * pstride;
+      const __m128d c0 = _mm_loadu_pd(pk + 0);
+      const __m128d c1 = _mm_loadu_pd(pk + 2);
+      const __m128d c2 = _mm_loadu_pd(pk + 4);
+      const __m128d c3 = _mm_loadu_pd(pk + 6);
+      p0 = _mm_sub_pd(p0, _mm_mul_pd(lik, c0));
+      p1 = _mm_sub_pd(p1, _mm_mul_pd(lik, c1));
+      p2 = _mm_sub_pd(p2, _mm_mul_pd(lik, c2));
+      p3 = _mm_sub_pd(p3, _mm_mul_pd(lik, c3));
+      q0 = _mm_sub_pd(q0, _mm_mul_pd(mik, c0));
+      q1 = _mm_sub_pd(q1, _mm_mul_pd(mik, c1));
+      q2 = _mm_sub_pd(q2, _mm_mul_pd(mik, c2));
+      q3 = _mm_sub_pd(q3, _mm_mul_pd(mik, c3));
+    }
+    const __m128d lii = _mm_set1_pd(li[i]);
+    p0 = _mm_div_pd(p0, lii);
+    p1 = _mm_div_pd(p1, lii);
+    p2 = _mm_div_pd(p2, lii);
+    p3 = _mm_div_pd(p3, lii);
+    _mm_storeu_pd(pi + 0, p0);
+    _mm_storeu_pd(pi + 2, p1);
+    _mm_storeu_pd(pi + 4, p2);
+    _mm_storeu_pd(pi + 6, p3);
+    const __m128d mii = _mm_set1_pd(mi[i]);
+    q0 = _mm_sub_pd(q0, _mm_mul_pd(mii, p0));
+    q1 = _mm_sub_pd(q1, _mm_mul_pd(mii, p1));
+    q2 = _mm_sub_pd(q2, _mm_mul_pd(mii, p2));
+    q3 = _mm_sub_pd(q3, _mm_mul_pd(mii, p3));
+    const __m128d mjj = _mm_set1_pd(mi[i + 1]);
+    q0 = _mm_div_pd(q0, mjj);
+    q1 = _mm_div_pd(q1, mjj);
+    q2 = _mm_div_pd(q2, mjj);
+    q3 = _mm_div_pd(q3, mjj);
+    _mm_storeu_pd(qi + 0, q0);
+    _mm_storeu_pd(qi + 2, q1);
+    _mm_storeu_pd(qi + 4, q2);
+    _mm_storeu_pd(qi + 6, q3);
+  }
+  for (; i < n; ++i) {
+    const double* li = ld + i * stride;
+    double* pi = panel + i * pstride;
+    __m128d p0 = _mm_loadu_pd(pi + 0), p1 = _mm_loadu_pd(pi + 2);
+    __m128d p2 = _mm_loadu_pd(pi + 4), p3 = _mm_loadu_pd(pi + 6);
+    for (size_t k = 0; k < i; ++k) {
+      const __m128d lik = _mm_set1_pd(li[k]);
+      const double* pk = panel + k * pstride;
+      p0 = _mm_sub_pd(p0, _mm_mul_pd(lik, _mm_loadu_pd(pk + 0)));
+      p1 = _mm_sub_pd(p1, _mm_mul_pd(lik, _mm_loadu_pd(pk + 2)));
+      p2 = _mm_sub_pd(p2, _mm_mul_pd(lik, _mm_loadu_pd(pk + 4)));
+      p3 = _mm_sub_pd(p3, _mm_mul_pd(lik, _mm_loadu_pd(pk + 6)));
+    }
+    const __m128d lii = _mm_set1_pd(li[i]);
+    _mm_storeu_pd(pi + 0, _mm_div_pd(p0, lii));
+    _mm_storeu_pd(pi + 2, _mm_div_pd(p1, lii));
+    _mm_storeu_pd(pi + 4, _mm_div_pd(p2, lii));
+    _mm_storeu_pd(pi + 6, _mm_div_pd(p3, lii));
+  }
+}
+/// Sixteen-lane single-row variant: eight in-register accumulators mean no
+/// two-row tiling fits, but each streamed factor row li[] now serves twice
+/// the lanes, halving the dominant L traffic for wide panels. Same per-lane
+/// order as ForwardSolve, so results are bit-identical.
+void SolvePanel16Sse2(const double* ld, size_t n, size_t stride,
+                      double* panel, size_t pstride) {
+  for (size_t i = 0; i < n; ++i) {
+    const double* li = ld + i * stride;
+    double* pi = panel + i * pstride;
+    __m128d a0 = _mm_loadu_pd(pi + 0), a1 = _mm_loadu_pd(pi + 2);
+    __m128d a2 = _mm_loadu_pd(pi + 4), a3 = _mm_loadu_pd(pi + 6);
+    __m128d a4 = _mm_loadu_pd(pi + 8), a5 = _mm_loadu_pd(pi + 10);
+    __m128d a6 = _mm_loadu_pd(pi + 12), a7 = _mm_loadu_pd(pi + 14);
+    for (size_t k = 0; k < i; ++k) {
+      const __m128d lik = _mm_set1_pd(li[k]);
+      const double* pk = panel + k * pstride;
+      a0 = _mm_sub_pd(a0, _mm_mul_pd(lik, _mm_loadu_pd(pk + 0)));
+      a1 = _mm_sub_pd(a1, _mm_mul_pd(lik, _mm_loadu_pd(pk + 2)));
+      a2 = _mm_sub_pd(a2, _mm_mul_pd(lik, _mm_loadu_pd(pk + 4)));
+      a3 = _mm_sub_pd(a3, _mm_mul_pd(lik, _mm_loadu_pd(pk + 6)));
+      a4 = _mm_sub_pd(a4, _mm_mul_pd(lik, _mm_loadu_pd(pk + 8)));
+      a5 = _mm_sub_pd(a5, _mm_mul_pd(lik, _mm_loadu_pd(pk + 10)));
+      a6 = _mm_sub_pd(a6, _mm_mul_pd(lik, _mm_loadu_pd(pk + 12)));
+      a7 = _mm_sub_pd(a7, _mm_mul_pd(lik, _mm_loadu_pd(pk + 14)));
+    }
+    const __m128d lii = _mm_set1_pd(li[i]);
+    _mm_storeu_pd(pi + 0, _mm_div_pd(a0, lii));
+    _mm_storeu_pd(pi + 2, _mm_div_pd(a1, lii));
+    _mm_storeu_pd(pi + 4, _mm_div_pd(a2, lii));
+    _mm_storeu_pd(pi + 6, _mm_div_pd(a3, lii));
+    _mm_storeu_pd(pi + 8, _mm_div_pd(a4, lii));
+    _mm_storeu_pd(pi + 10, _mm_div_pd(a5, lii));
+    _mm_storeu_pd(pi + 12, _mm_div_pd(a6, lii));
+    _mm_storeu_pd(pi + 14, _mm_div_pd(a7, lii));
+  }
+}
+#if defined(ATUNE_HAVE_AVX_DISPATCH)
+/// AVX build of the sixteen-lane solve: four 4-wide accumulators per row
+/// leave room for two-row tiling, so each factor row and each panel row is
+/// loaded once per pair. vmulpd/vsubpd/vdivpd are per-lane IEEE doubles
+/// (no FMA — fusing would drop the intermediate rounding and change bits),
+/// so lane c still reproduces ForwardSolve's exact operation order.
+__attribute__((target("avx"))) void SolvePanel16Avx(const double* ld,
+                                                    size_t n, size_t stride,
+                                                    double* panel,
+                                                    size_t pstride) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double* li = ld + i * stride;
+    const double* mi = ld + (i + 1) * stride;
+    double* pi = panel + i * pstride;
+    double* qi = panel + (i + 1) * pstride;
+    __m256d p0 = _mm256_loadu_pd(pi + 0), p1 = _mm256_loadu_pd(pi + 4);
+    __m256d p2 = _mm256_loadu_pd(pi + 8), p3 = _mm256_loadu_pd(pi + 12);
+    __m256d q0 = _mm256_loadu_pd(qi + 0), q1 = _mm256_loadu_pd(qi + 4);
+    __m256d q2 = _mm256_loadu_pd(qi + 8), q3 = _mm256_loadu_pd(qi + 12);
+    for (size_t k = 0; k < i; ++k) {
+      const __m256d lik = _mm256_broadcast_sd(li + k);
+      const __m256d mik = _mm256_broadcast_sd(mi + k);
+      const double* pk = panel + k * pstride;
+      const __m256d c0 = _mm256_loadu_pd(pk + 0);
+      const __m256d c1 = _mm256_loadu_pd(pk + 4);
+      const __m256d c2 = _mm256_loadu_pd(pk + 8);
+      const __m256d c3 = _mm256_loadu_pd(pk + 12);
+      p0 = _mm256_sub_pd(p0, _mm256_mul_pd(lik, c0));
+      p1 = _mm256_sub_pd(p1, _mm256_mul_pd(lik, c1));
+      p2 = _mm256_sub_pd(p2, _mm256_mul_pd(lik, c2));
+      p3 = _mm256_sub_pd(p3, _mm256_mul_pd(lik, c3));
+      q0 = _mm256_sub_pd(q0, _mm256_mul_pd(mik, c0));
+      q1 = _mm256_sub_pd(q1, _mm256_mul_pd(mik, c1));
+      q2 = _mm256_sub_pd(q2, _mm256_mul_pd(mik, c2));
+      q3 = _mm256_sub_pd(q3, _mm256_mul_pd(mik, c3));
+    }
+    const __m256d lii = _mm256_broadcast_sd(li + i);
+    p0 = _mm256_div_pd(p0, lii);
+    p1 = _mm256_div_pd(p1, lii);
+    p2 = _mm256_div_pd(p2, lii);
+    p3 = _mm256_div_pd(p3, lii);
+    _mm256_storeu_pd(pi + 0, p0);
+    _mm256_storeu_pd(pi + 4, p1);
+    _mm256_storeu_pd(pi + 8, p2);
+    _mm256_storeu_pd(pi + 12, p3);
+    const __m256d mii = _mm256_broadcast_sd(mi + i);
+    q0 = _mm256_sub_pd(q0, _mm256_mul_pd(mii, p0));
+    q1 = _mm256_sub_pd(q1, _mm256_mul_pd(mii, p1));
+    q2 = _mm256_sub_pd(q2, _mm256_mul_pd(mii, p2));
+    q3 = _mm256_sub_pd(q3, _mm256_mul_pd(mii, p3));
+    const __m256d mjj = _mm256_broadcast_sd(mi + i + 1);
+    q0 = _mm256_div_pd(q0, mjj);
+    q1 = _mm256_div_pd(q1, mjj);
+    q2 = _mm256_div_pd(q2, mjj);
+    q3 = _mm256_div_pd(q3, mjj);
+    _mm256_storeu_pd(qi + 0, q0);
+    _mm256_storeu_pd(qi + 4, q1);
+    _mm256_storeu_pd(qi + 8, q2);
+    _mm256_storeu_pd(qi + 12, q3);
+  }
+  for (; i < n; ++i) {
+    const double* li = ld + i * stride;
+    double* pi = panel + i * pstride;
+    __m256d p0 = _mm256_loadu_pd(pi + 0), p1 = _mm256_loadu_pd(pi + 4);
+    __m256d p2 = _mm256_loadu_pd(pi + 8), p3 = _mm256_loadu_pd(pi + 12);
+    for (size_t k = 0; k < i; ++k) {
+      const __m256d lik = _mm256_broadcast_sd(li + k);
+      const double* pk = panel + k * pstride;
+      p0 = _mm256_sub_pd(p0, _mm256_mul_pd(lik, _mm256_loadu_pd(pk + 0)));
+      p1 = _mm256_sub_pd(p1, _mm256_mul_pd(lik, _mm256_loadu_pd(pk + 4)));
+      p2 = _mm256_sub_pd(p2, _mm256_mul_pd(lik, _mm256_loadu_pd(pk + 8)));
+      p3 = _mm256_sub_pd(p3, _mm256_mul_pd(lik, _mm256_loadu_pd(pk + 12)));
+    }
+    const __m256d lii = _mm256_broadcast_sd(li + i);
+    _mm256_storeu_pd(pi + 0, _mm256_div_pd(p0, lii));
+    _mm256_storeu_pd(pi + 4, _mm256_div_pd(p1, lii));
+    _mm256_storeu_pd(pi + 8, _mm256_div_pd(p2, lii));
+    _mm256_storeu_pd(pi + 12, _mm256_div_pd(p3, lii));
+  }
+}
+
+bool AvxAvailable() {
+  static const bool ok = __builtin_cpu_supports("avx");
+  return ok;
+}
+#endif  // ATUNE_HAVE_AVX_DISPATCH
+#endif  // ATUNE_HAVE_SSE2
+
+/// Runtime-lane variant for remainder panels (< 8 columns).
+void SolvePanelVar(const double* ld, size_t n, size_t stride, double* panel,
+                   size_t pstride, size_t lanes) {
+  for (size_t i = 0; i < n; ++i) {
+    const double* li = ld + i * stride;
+    double* pi = panel + i * pstride;
+    for (size_t k = 0; k < i; ++k) {
+      double lik = li[k];
+      const double* pk = panel + k * pstride;
+      for (size_t c = 0; c < lanes; ++c) pi[c] -= lik * pk[c];
+    }
+    double lii = li[i];
+    for (size_t c = 0; c < lanes; ++c) pi[c] /= lii;
+  }
+}
+
+bool BlockedCholesky4(const double* a, double* ld, size_t n) {
+  // Row i, columns blocked by four: four independent subtraction chains
+  // over the shared prefix k < j, then a sequential in-block tail. Same
+  // ascending-k order per element as reference::Cholesky — bit-identical;
+  // the blocking only buys instruction-level parallelism.
+  for (size_t i = 0; i < n; ++i) {
+    const double* ai = a + i * n;
+    double* li = ld + i * n;
+    size_t j = 0;
+    for (; j + 4 <= i; j += 4) {
+      const double* r0 = ld + (j + 0) * n;
+      const double* r1 = ld + (j + 1) * n;
+      const double* r2 = ld + (j + 2) * n;
+      const double* r3 = ld + (j + 3) * n;
+      double acc0 = ai[j + 0];
+      double acc1 = ai[j + 1];
+      double acc2 = ai[j + 2];
+      double acc3 = ai[j + 3];
+      for (size_t k = 0; k < j; ++k) {
+        double lik = li[k];
+        acc0 -= lik * r0[k];
+        acc1 -= lik * r1[k];
+        acc2 -= lik * r2[k];
+        acc3 -= lik * r3[k];
+      }
+      double l0 = acc0 / r0[j + 0];
+      li[j + 0] = l0;
+      acc1 -= l0 * r1[j + 0];
+      double l1 = acc1 / r1[j + 1];
+      li[j + 1] = l1;
+      acc2 -= l0 * r2[j + 0];
+      acc2 -= l1 * r2[j + 1];
+      double l2 = acc2 / r2[j + 2];
+      li[j + 2] = l2;
+      acc3 -= l0 * r3[j + 0];
+      acc3 -= l1 * r3[j + 1];
+      acc3 -= l2 * r3[j + 2];
+      li[j + 3] = acc3 / r3[j + 3];
+    }
+    for (; j < i; ++j) {
+      const double* rj = ld + j * n;
+      double sum = ai[j];
+      for (size_t k = 0; k < j; ++k) sum -= li[k] * rj[k];
+      li[j] = sum / rj[j];
+    }
+    double sum = ai[i];
+    for (size_t k = 0; k < i; ++k) sum -= li[k] * li[k];
+    if (sum <= 0.0) return false;
+    li[i] = std::sqrt(sum);
+  }
+  return true;
+}
+
+#if defined(ATUNE_HAVE_SSE2)
+/// Shared-prefix bulk for one panel row: acc[c] -= sum_{k<j0} li[k]*pt[k*8+c]
+/// with each lane an independent ascending-k chain (bit-identical to the
+/// scalar loop). `pt` is the panel's transposed prefix buffer.
+void PanelBulkRowSse2(const double* pt, size_t j0, const double* li,
+                      double* acc) {
+  __m128d p0 = _mm_loadu_pd(acc + 0), p1 = _mm_loadu_pd(acc + 2);
+  __m128d p2 = _mm_loadu_pd(acc + 4), p3 = _mm_loadu_pd(acc + 6);
+  for (size_t k = 0; k < j0; ++k) {
+    const __m128d lik = _mm_set1_pd(li[k]);
+    const double* ptk = pt + k * 8;
+    p0 = _mm_sub_pd(p0, _mm_mul_pd(lik, _mm_loadu_pd(ptk + 0)));
+    p1 = _mm_sub_pd(p1, _mm_mul_pd(lik, _mm_loadu_pd(ptk + 2)));
+    p2 = _mm_sub_pd(p2, _mm_mul_pd(lik, _mm_loadu_pd(ptk + 4)));
+    p3 = _mm_sub_pd(p3, _mm_mul_pd(lik, _mm_loadu_pd(ptk + 6)));
+  }
+  _mm_storeu_pd(acc + 0, p0);
+  _mm_storeu_pd(acc + 2, p1);
+  _mm_storeu_pd(acc + 4, p2);
+  _mm_storeu_pd(acc + 6, p3);
+}
+
+/// Two-row variant sharing the pt column loads.
+void PanelBulkPairSse2(const double* pt, size_t j0, const double* li,
+                       const double* mi, double* accp, double* accq) {
+  __m128d p0 = _mm_loadu_pd(accp + 0), p1 = _mm_loadu_pd(accp + 2);
+  __m128d p2 = _mm_loadu_pd(accp + 4), p3 = _mm_loadu_pd(accp + 6);
+  __m128d q0 = _mm_loadu_pd(accq + 0), q1 = _mm_loadu_pd(accq + 2);
+  __m128d q2 = _mm_loadu_pd(accq + 4), q3 = _mm_loadu_pd(accq + 6);
+  for (size_t k = 0; k < j0; ++k) {
+    const __m128d lik = _mm_set1_pd(li[k]);
+    const __m128d mik = _mm_set1_pd(mi[k]);
+    const double* ptk = pt + k * 8;
+    const __m128d c0 = _mm_loadu_pd(ptk + 0);
+    const __m128d c1 = _mm_loadu_pd(ptk + 2);
+    const __m128d c2 = _mm_loadu_pd(ptk + 4);
+    const __m128d c3 = _mm_loadu_pd(ptk + 6);
+    p0 = _mm_sub_pd(p0, _mm_mul_pd(lik, c0));
+    p1 = _mm_sub_pd(p1, _mm_mul_pd(lik, c1));
+    p2 = _mm_sub_pd(p2, _mm_mul_pd(lik, c2));
+    p3 = _mm_sub_pd(p3, _mm_mul_pd(lik, c3));
+    q0 = _mm_sub_pd(q0, _mm_mul_pd(mik, c0));
+    q1 = _mm_sub_pd(q1, _mm_mul_pd(mik, c1));
+    q2 = _mm_sub_pd(q2, _mm_mul_pd(mik, c2));
+    q3 = _mm_sub_pd(q3, _mm_mul_pd(mik, c3));
+  }
+  _mm_storeu_pd(accp + 0, p0);
+  _mm_storeu_pd(accp + 2, p1);
+  _mm_storeu_pd(accp + 4, p2);
+  _mm_storeu_pd(accp + 6, p3);
+  _mm_storeu_pd(accq + 0, q0);
+  _mm_storeu_pd(accq + 2, q1);
+  _mm_storeu_pd(accq + 4, q2);
+  _mm_storeu_pd(accq + 6, q3);
+}
+
+#if defined(ATUNE_HAVE_AVX_DISPATCH)
+/// AVX builds of the two bulk helpers: same per-lane chains, half the
+/// instructions (no FMA — fusing would change bits). Picked at runtime.
+__attribute__((target("avx"))) void PanelBulkRowAvx(const double* pt,
+                                                    size_t j0,
+                                                    const double* li,
+                                                    double* acc) {
+  __m256d p0 = _mm256_loadu_pd(acc + 0), p1 = _mm256_loadu_pd(acc + 4);
+  for (size_t k = 0; k < j0; ++k) {
+    const __m256d lik = _mm256_broadcast_sd(li + k);
+    const double* ptk = pt + k * 8;
+    p0 = _mm256_sub_pd(p0, _mm256_mul_pd(lik, _mm256_loadu_pd(ptk + 0)));
+    p1 = _mm256_sub_pd(p1, _mm256_mul_pd(lik, _mm256_loadu_pd(ptk + 4)));
+  }
+  _mm256_storeu_pd(acc + 0, p0);
+  _mm256_storeu_pd(acc + 4, p1);
+}
+
+__attribute__((target("avx"))) void PanelBulkPairAvx(
+    const double* pt, size_t j0, const double* li, const double* mi,
+    double* accp, double* accq) {
+  __m256d p0 = _mm256_loadu_pd(accp + 0), p1 = _mm256_loadu_pd(accp + 4);
+  __m256d q0 = _mm256_loadu_pd(accq + 0), q1 = _mm256_loadu_pd(accq + 4);
+  for (size_t k = 0; k < j0; ++k) {
+    const __m256d lik = _mm256_broadcast_sd(li + k);
+    const __m256d mik = _mm256_broadcast_sd(mi + k);
+    const double* ptk = pt + k * 8;
+    const __m256d c0 = _mm256_loadu_pd(ptk + 0);
+    const __m256d c1 = _mm256_loadu_pd(ptk + 4);
+    p0 = _mm256_sub_pd(p0, _mm256_mul_pd(lik, c0));
+    p1 = _mm256_sub_pd(p1, _mm256_mul_pd(lik, c1));
+    q0 = _mm256_sub_pd(q0, _mm256_mul_pd(mik, c0));
+    q1 = _mm256_sub_pd(q1, _mm256_mul_pd(mik, c1));
+  }
+  _mm256_storeu_pd(accp + 0, p0);
+  _mm256_storeu_pd(accp + 4, p1);
+  _mm256_storeu_pd(accq + 0, q0);
+  _mm256_storeu_pd(accq + 4, q1);
+}
+#endif  // ATUNE_HAVE_AVX_DISPATCH
+
+bool PanelCholesky8(const double* a, double* ld, size_t n) {
+  // Left-looking, eight columns at a time. For each column panel
+  // [j0, j0+8) the prefixes of its eight factor rows (columns < j0, all
+  // final by now) are copied once into a small transposed buffer
+  // (pt[k*8 + c] = L(j0+c, k), at most 8*n doubles, cache-resident), so the
+  // dominant shared-prefix subtraction reads eight contiguous lanes per k;
+  // explicit SSE2 two-lane ops process them, and rows below the panel go
+  // two at a time sharing the column loads. Every SIMD lane is an
+  // independent per-element chain whose subtractions land in the same
+  // ascending-k order as reference::Cholesky — bulk prefix k < j0 through
+  // the buffer, then the scalar in-block tail k in [j0, j) — so the factor
+  // is bit-identical; the panelization and lanes only buy SIMD width and
+  // instruction-level parallelism (the naive loop is one serial FMA chain
+  // per element). Hand-written intrinsics because GCC's auto-vectorizer
+  // turns the same loop into a shuffle storm that is slower than scalar.
+  constexpr size_t kPanel = 8;
+  std::vector<double> pt(kPanel * n);
+#if defined(ATUNE_HAVE_AVX_DISPATCH)
+  const bool use_avx = AvxAvailable();
+#else
+  const bool use_avx = false;
+#endif
+  for (size_t j0 = 0; j0 < n; j0 += kPanel) {
+    const size_t w = std::min(kPanel, n - j0);
+    for (size_t k = 0; k < j0; ++k) {
+      double* ptk = pt.data() + k * kPanel;
+      for (size_t c = 0; c < w; ++c) ptk[c] = ld[(j0 + c) * n + k];
+      for (size_t c = w; c < kPanel; ++c) ptk[c] = 0.0;
+    }
+    // Diagonal-block rows: vector bulk over k < j0, then the scalar
+    // in-block tail and this panel's diagonal element.
+    for (size_t i = j0; i < j0 + w; ++i) {
+      const double* ai = a + i * n;
+      double* li = ld + i * n;
+      double acc[kPanel] = {};
+      for (size_t c = 0; c < w; ++c) acc[c] = ai[j0 + c];
+#if defined(ATUNE_HAVE_AVX_DISPATCH)
+      if (use_avx) {
+        PanelBulkRowAvx(pt.data(), j0, li, acc);
+      } else {
+        PanelBulkRowSse2(pt.data(), j0, li, acc);
+      }
+#else
+      PanelBulkRowSse2(pt.data(), j0, li, acc);
+#endif
+      for (size_t j = j0; j < i; ++j) {
+        const double* rj = ld + j * n;
+        double sum = acc[j - j0];
+        for (size_t k = j0; k < j; ++k) sum -= li[k] * rj[k];
+        li[j] = sum / rj[j];
+      }
+      double sum = acc[i - j0];
+      for (size_t k = j0; k < i; ++k) sum -= li[k] * li[k];
+      if (sum <= 0.0) return false;
+      li[i] = std::sqrt(sum);
+    }
+    // Rows below the panel, two at a time sharing the column loads.
+    size_t i = j0 + w;
+    for (; i + 2 <= n; i += 2) {
+      const double* ai = a + i * n;
+      const double* bi = a + (i + 1) * n;
+      double* li = ld + i * n;
+      double* mi = ld + (i + 1) * n;
+      double accp[kPanel], accq[kPanel];
+      for (size_t c = 0; c < kPanel; ++c) accp[c] = ai[j0 + c];
+      for (size_t c = 0; c < kPanel; ++c) accq[c] = bi[j0 + c];
+#if defined(ATUNE_HAVE_AVX_DISPATCH)
+      if (use_avx) {
+        PanelBulkPairAvx(pt.data(), j0, li, mi, accp, accq);
+      } else {
+        PanelBulkPairSse2(pt.data(), j0, li, mi, accp, accq);
+      }
+#else
+      PanelBulkPairSse2(pt.data(), j0, li, mi, accp, accq);
+#endif
+      for (size_t c = 0; c < w; ++c) {
+        const size_t j = j0 + c;
+        const double* rj = ld + j * n;
+        double sum = accp[c];
+        for (size_t k = j0; k < j; ++k) sum -= li[k] * rj[k];
+        li[j] = sum / rj[j];
+      }
+      for (size_t c = 0; c < w; ++c) {
+        const size_t j = j0 + c;
+        const double* rj = ld + j * n;
+        double sum = accq[c];
+        for (size_t k = j0; k < j; ++k) sum -= mi[k] * rj[k];
+        mi[j] = sum / rj[j];
+      }
+    }
+    for (; i < n; ++i) {
+      const double* ai = a + i * n;
+      double* li = ld + i * n;
+      double accp[kPanel];
+      for (size_t c = 0; c < kPanel; ++c) accp[c] = ai[j0 + c];
+#if defined(ATUNE_HAVE_AVX_DISPATCH)
+      if (use_avx) {
+        PanelBulkRowAvx(pt.data(), j0, li, accp);
+      } else {
+        PanelBulkRowSse2(pt.data(), j0, li, accp);
+      }
+#else
+      PanelBulkRowSse2(pt.data(), j0, li, accp);
+#endif
+      for (size_t c = 0; c < w; ++c) {
+        const size_t j = j0 + c;
+        const double* rj = ld + j * n;
+        double sum = accp[c];
+        for (size_t k = j0; k < j; ++k) sum -= li[k] * rj[k];
+        li[j] = sum / rj[j];
+      }
+    }
+  }
+  return true;
+}
+#endif  // ATUNE_HAVE_SSE2
+
+}  // namespace
+
+void SetScalarKernelsForTesting(bool scalar) {
+  g_scalar_kernels.store(scalar, std::memory_order_release);
+}
+
+bool ScalarKernelsForTesting() {
+  return g_scalar_kernels.load(std::memory_order_acquire);
+}
+
+namespace internal {
+
+void ForwardSolvePanel(const Matrix& l, double* panel, size_t panel_stride,
+                       size_t lanes) {
+  const double* ld = l.data().data();
+  size_t n = l.rows();
+  size_t c = 0;
+#if defined(ATUNE_HAVE_SSE2)
+  for (; c + 16 <= lanes; c += 16) {
+#if defined(ATUNE_HAVE_AVX_DISPATCH)
+    if (AvxAvailable()) {
+      SolvePanel16Avx(ld, n, l.cols(), panel + c, panel_stride);
+      continue;
+    }
+#endif
+    SolvePanel16Sse2(ld, n, l.cols(), panel + c, panel_stride);
+  }
+  for (; c + 8 <= lanes; c += 8) {
+    SolvePanel8Sse2(ld, n, l.cols(), panel + c, panel_stride);
+  }
+#else
+  for (; c + 8 <= lanes; c += 8) {
+    SolvePanelFixed<8>(ld, n, l.cols(), panel + c, panel_stride);
+  }
+#endif
+  if (c < lanes) {
+    SolvePanelVar(ld, n, l.cols(), panel + c, panel_stride, lanes - c);
+  }
+}
+
+}  // namespace internal
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
   rows_ = init.size();
@@ -55,14 +675,20 @@ Matrix Matrix::Transpose() const {
 
 Matrix Matrix::Multiply(const Matrix& other) const {
   assert(cols_ == other.rows_);
+  if (ScalarKernelsForTesting()) return reference::Multiply(*this, other);
   Matrix out(rows_, other.cols_);
+  // i-k-j with the zero-skip, as in reference::Multiply — the skip keeps
+  // ±0.0/NaN propagation (and therefore bits) identical. Row spans make the
+  // j loop contiguous and vectorizable.
+  const size_t m = other.cols_;
   for (size_t i = 0; i < rows_; ++i) {
+    const double* ai = RowPtr(i);
+    double* oi = out.RowPtr(i);
     for (size_t k = 0; k < cols_; ++k) {
-      double aik = At(i, k);
+      double aik = ai[k];
       if (aik == 0.0) continue;
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out.At(i, j) += aik * other.At(k, j);
-      }
+      const double* bk = other.RowPtr(k);
+      for (size_t j = 0; j < m; ++j) oi[j] += aik * bk[j];
     }
   }
   return out;
@@ -108,22 +734,22 @@ Result<Matrix> Matrix::Cholesky() const {
   if (rows_ != cols_) {
     return Status::InvalidArgument("Cholesky requires a square matrix");
   }
+  if (ScalarKernelsForTesting()) return reference::Cholesky(*this);
   size_t n = rows_;
   Matrix l(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j <= i; ++j) {
-      double sum = At(i, j);
-      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
-      if (i == j) {
-        if (sum <= 0.0) {
-          return Status::FailedPrecondition(
-              "matrix is not positive definite (Cholesky pivot <= 0)");
-        }
-        l.At(i, i) = std::sqrt(sum);
-      } else {
-        l.At(i, j) = sum / l.At(j, j);
-      }
-    }
+  const double* a = data_.data();
+  double* ld = l.data_.data();
+  bool pd;
+#if defined(ATUNE_HAVE_SSE2)
+  // The panel kernel's transpose-buffer setup only pays for itself once the
+  // O(n^3) bulk dominates; small factors stay on the block-of-four path.
+  pd = n >= 128 ? PanelCholesky8(a, ld, n) : BlockedCholesky4(a, ld, n);
+#else
+  pd = BlockedCholesky4(a, ld, n);
+#endif
+  if (!pd) {
+    return Status::FailedPrecondition(
+        "matrix is not positive definite (Cholesky pivot <= 0)");
   }
   return l;
 }
@@ -137,43 +763,122 @@ Status Matrix::CholeskyAppendRow(const Vec& row) {
     return Status::InvalidArgument(
         "CholeskyAppendRow: row must have rows()+1 entries");
   }
-  size_t n = rows_;
-  // New off-diagonal row: forward-substitute L l12 = k12, term order
-  // matching Cholesky()'s inner loop so the factor stays bit-identical.
-  Vec l12(n);
-  for (size_t j = 0; j < n; ++j) {
-    double sum = row[j];
-    for (size_t k = 0; k < j; ++k) sum -= l12[k] * At(j, k);
-    l12[j] = sum / At(j, j);
+  if (ScalarKernelsForTesting()) {
+    return reference::CholeskyAppendRow(this, row);
   }
+  size_t n = rows_;
+  // New off-diagonal row: forward-substitute L l12 = k12 (the blocked solve
+  // keeps each element's term order matching Cholesky()'s inner loop, so
+  // the factor stays bit-identical to refactorizing).
+  static thread_local Vec l12;
+  l12.resize(n);
+  BlockedForwardSubstitute(data_.data(), n, cols_, row.data(), l12.data());
   double diag = row[n];
   for (size_t k = 0; k < n; ++k) diag -= l12[k] * l12[k];
   if (diag <= 0.0) {
     return Status::FailedPrecondition(
         "matrix is not positive definite (Cholesky pivot <= 0)");
   }
-  Matrix grown(n + 1, n + 1);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j <= i; ++j) grown.At(i, j) = At(i, j);
+  // Grow in place: append storage, then re-lay rows out for the wider
+  // stride from the bottom up (each destination starts at or past its
+  // source, and rows below were already moved, so memmove is safe). The new
+  // upper-triangle column entries are zeroed explicitly. This replaces the
+  // old build-a-copy growth — no temporary (n+1)² matrix per append.
+  data_.resize((n + 1) * (n + 1));
+  for (size_t i = n; i-- > 1;) {
+    double* dst = data_.data() + i * (n + 1);
+    const double* src = data_.data() + i * n;
+    std::memmove(dst, src, n * sizeof(double));
+    dst[n] = 0.0;
   }
-  for (size_t j = 0; j < n; ++j) grown.At(n, j) = l12[j];
-  grown.At(n, n) = std::sqrt(diag);
-  *this = std::move(grown);
+  if (n > 0) data_[n] = 0.0;
+  double* last = data_.data() + n * (n + 1);
+  std::memcpy(last, l12.data(), n * sizeof(double));
+  last[n] = std::sqrt(diag);
+  rows_ = n + 1;
+  cols_ = n + 1;
+  return Status::OK();
+}
+
+Status Matrix::CholeskyRank1Update(const Vec& v) {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument(
+        "CholeskyRank1Update requires a square factor");
+  }
+  if (v.size() != rows_) {
+    return Status::InvalidArgument(
+        "CholeskyRank1Update: v must have rows() entries");
+  }
+  size_t n = rows_;
+  static thread_local Vec w;
+  w.assign(v.begin(), v.end());
+  // Classical rank-1 update: per column j a Givens-like rotation folds w[j]
+  // into the pivot and sweeps the remainder of the column (O(n²) total).
+  for (size_t j = 0; j < n; ++j) {
+    double ljj = At(j, j);
+    double r = std::sqrt(ljj * ljj + w[j] * w[j]);
+    if (!(r > 0.0) || !std::isfinite(r)) {
+      return Status::FailedPrecondition(
+          "CholeskyRank1Update: pivot became non-positive or non-finite");
+    }
+    double c = r / ljj;
+    double s = w[j] / ljj;
+    At(j, j) = r;
+    for (size_t i = j + 1; i < n; ++i) {
+      double lij = (At(i, j) + s * w[i]) / c;
+      At(i, j) = lij;
+      w[i] = c * w[i] - s * lij;
+    }
+  }
   return Status::OK();
 }
 
 Vec Matrix::ForwardSolve(const Matrix& l, const Vec& b) {
   size_t n = l.rows();
   assert(b.size() == n);
+  if (ScalarKernelsForTesting()) return reference::ForwardSolve(l, b);
   Vec y(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
-    y[i] = sum / l.At(i, i);
-  }
+  BlockedForwardSubstitute(l.data_.data(), n, l.cols_, b.data(), y.data());
   return y;
 }
 
+void Matrix::ForwardSolveInto(const Matrix& l, const double* b, double* y) {
+  size_t n = l.rows();
+  if (ScalarKernelsForTesting()) {
+    // Naive span loop, identical to reference::ForwardSolve (y == b safe:
+    // b[i] is read before y[i] is written and only finalized y[k] follow).
+    for (size_t i = 0; i < n; ++i) {
+      const double* ri = l.RowPtr(i);
+      double sum = b[i];
+      for (size_t k = 0; k < i; ++k) sum -= ri[k] * y[k];
+      y[i] = sum / ri[i];
+    }
+    return;
+  }
+  BlockedForwardSubstitute(l.data_.data(), n, l.cols_, b, y);
+}
+
+Matrix Matrix::ForwardSolveMulti(const Matrix& l, const Matrix& b) {
+  size_t n = l.rows();
+  assert(b.rows() == n);
+  if (ScalarKernelsForTesting()) {
+    Matrix y(n, b.cols());
+    for (size_t j = 0; j < b.cols(); ++j) {
+      Vec col = reference::ForwardSolve(l, b.Col(j));
+      for (size_t i = 0; i < n; ++i) y.At(i, j) = col[i];
+    }
+    return y;
+  }
+  Matrix y = b;
+  internal::ForwardSolvePanel(l, y.data_.data(), y.cols_, y.cols_);
+  return y;
+}
+
+// Stays naive by design: the k-th subtraction of element ii reads x[k]
+// for k > ii, i.e. in-block elements that a descending block would finalize
+// *after* the bulk phase — there is no blocking that preserves each
+// element's subtraction order. It runs once per GP refit (not per
+// candidate), so it is off the hot path. See matrix.h.
 Vec Matrix::BackwardSolveTranspose(const Matrix& l, const Vec& y) {
   size_t n = l.rows();
   assert(y.size() == n);
@@ -184,6 +889,16 @@ Vec Matrix::BackwardSolveTranspose(const Matrix& l, const Vec& y) {
     x[ii] = sum / l.At(ii, ii);
   }
   return x;
+}
+
+void Matrix::BackwardSolveTransposeInto(const Matrix& l, const double* y,
+                                        double* x) {
+  size_t n = l.rows();
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * x[k];
+    x[ii] = sum / l.At(ii, ii);
+  }
 }
 
 Result<Vec> Matrix::SolveSpd(const Vec& b) const {
@@ -220,6 +935,12 @@ double Dot(const Vec& a, const Vec& b) {
   assert(a.size() == b.size());
   double acc = 0.0;
   for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double DotSpan(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
   return acc;
 }
 

@@ -12,10 +12,37 @@ namespace atune {
 /// Numeric vector type used across math/ML code.
 using Vec = std::vector<double>;
 
-/// Dense row-major matrix with the small linear-algebra kernel the tuners
-/// need: products, transpose, Cholesky, forward/backward solves, and
-/// (ridge-regularized) least squares. Sizes here are tiny (tens to a few
-/// hundred rows), so clarity beats blocking/vectorization tricks.
+/// Dense row-major matrix with the linear-algebra kernel the tuners need:
+/// products, transpose, Cholesky (full, bordered-append, rank-1 update),
+/// forward/backward solves, and (ridge-regularized) least squares.
+///
+/// The hot kernels (Cholesky, ForwardSolve, ForwardSolveMulti, Multiply,
+/// CholeskyAppendRow) are written as blocked loops over contiguous row
+/// spans: observation stores now reach hundreds of rows and the GP hot path
+/// runs them once per candidate batch, so they are tuned for instruction-
+/// level parallelism and vectorization: hand-written SSE2 lanes on x86-64
+/// (GCC's auto-vectorizer shuffles the same loops into slower code), with
+/// AVX bodies selected at runtime via __builtin_cpu_supports so the
+/// default build carries no extra ISA requirement (DESIGN.md §11).
+/// Kernel contracts:
+///
+///   * Layout: row-major, contiguous — element (r, c) lives at
+///     data()[r * cols() + c]; RowPtr(r) spans cols() doubles.
+///   * Bit-identity: every fast path performs exactly the same
+///     floating-point operations on each output element, in the same order,
+///     as the naive loops preserved in math/reference_kernels.h. Blocking
+///     only interleaves *independent* elements' dependency chains; nothing
+///     is reassociated, and divisions stay divisions. Tuners compare
+///     objectives and acquisition values with exact `<`/`>`, so this is a
+///     correctness contract, not a nicety — enforced by
+///     tests/math/blocked_kernels_test.cc and bench_hotpath's whole-session
+///     A/B (see SetScalarKernelsForTesting below).
+///   * BackwardSolveTranspose stays naive by design: its column-strided
+///     dependency chain cannot be blocked without reordering subtractions
+///     (breaking bit-identity), and it runs once per GP refit, not per
+///     candidate.
+///   * Aliasing: the *Into span variants allow out == in (in-place solve)
+///     but no partial overlap; spans must not alias the factor `l`.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -45,6 +72,11 @@ class Matrix {
   /// Returns column c as a Vec.
   Vec Col(size_t c) const;
 
+  /// Borrowed contiguous span of row r (cols() doubles) — the hot paths use
+  /// these instead of the copying Row()/Col() accessors.
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+
   Matrix Transpose() const;
 
   /// Matrix product; dimensions must agree (asserted).
@@ -73,10 +105,31 @@ class Matrix {
   /// unchanged) if the bordered matrix is not positive definite.
   Status CholeskyAppendRow(const Vec& row);
 
+  /// Treating *this as a lower Cholesky factor L of A, updates it in place
+  /// to the factor of A + v vᵀ (classical Givens-style rank-1 update,
+  /// O(n²)). Unlike CholeskyAppendRow this is *not* bit-identical to
+  /// refactorizing — it is a different (numerically stable) algorithm — so
+  /// callers on exact-comparison paths must refactorize instead. Fails if
+  /// the update drives a pivot non-positive or non-finite; *this is then
+  /// partially updated and must be refactorized.
+  Status CholeskyRank1Update(const Vec& v);
+
   /// Solves L y = b with L lower triangular.
   static Vec ForwardSolve(const Matrix& l, const Vec& b);
+  /// Allocation-free ForwardSolve into caller storage: `b` and `y` are
+  /// spans of l.rows() doubles; y == b solves in place (full aliasing only).
+  static void ForwardSolveInto(const Matrix& l, const double* b, double* y);
+  /// Solves L Y = B column-by-column: `b` is rows() x m, column j of the
+  /// result is ForwardSolve(l, column j of b), bit-identically. Internally
+  /// solves 8 right-hand sides at a time so independent columns share L's
+  /// memory traffic — this is the batched-acquisition kernel.
+  static Matrix ForwardSolveMulti(const Matrix& l, const Matrix& b);
   /// Solves L^T x = y with L lower triangular (i.e. backward pass).
   static Vec BackwardSolveTranspose(const Matrix& l, const Vec& y);
+  /// Allocation-free BackwardSolveTranspose; same span contract as
+  /// ForwardSolveInto.
+  static void BackwardSolveTransposeInto(const Matrix& l, const double* y,
+                                         double* x);
 
   /// Solves A x = b for SPD A via Cholesky.
   Result<Vec> SolveSpd(const Vec& b) const;
@@ -99,8 +152,28 @@ class Matrix {
   std::vector<double> data_;
 };
 
+namespace internal {
+/// Solves L Y = Y in place on a row-major panel of l.rows() rows ×
+/// `lanes` columns with row stride `panel_stride`; each lane performs
+/// bit-identically the operations of Matrix::ForwardSolve on that column.
+/// Backbone of ForwardSolveMulti and GaussianProcess::PredictBatch.
+void ForwardSolvePanel(const Matrix& l, double* panel, size_t panel_stride,
+                       size_t lanes);
+}  // namespace internal
+
+/// Routes the Matrix hot kernels (and GaussianProcess::PredictBatch) through
+/// the naive scalar implementations in math/reference_kernels.h instead of
+/// the blocked fast paths. Testing/benchmarking only: bench_hotpath runs
+/// whole tuning sessions under both settings and requires byte-identical
+/// outcomes, traces, and journals. Process-wide; do not toggle while a
+/// computation is in flight.
+void SetScalarKernelsForTesting(bool scalar);
+bool ScalarKernelsForTesting();
+
 /// Dot product; sizes must match (asserted).
 double Dot(const Vec& a, const Vec& b);
+/// Dot product over spans, same order of operations as Dot.
+double DotSpan(const double* a, const double* b, size_t n);
 /// Euclidean norm.
 double Norm2(const Vec& v);
 /// Element-wise a + s*b.

@@ -32,4 +32,28 @@ double LowerConfidenceBound(const GpPrediction& pred, double beta) {
   return -(pred.mean - beta * std::sqrt(pred.variance));
 }
 
+void ExpectedImprovementBatch(const std::vector<GpPrediction>& preds,
+                              double best, double xi, Vec* out) {
+  out->resize(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    (*out)[i] = ExpectedImprovement(preds[i], best, xi);
+  }
+}
+
+void ProbabilityOfImprovementBatch(const std::vector<GpPrediction>& preds,
+                                   double best, double xi, Vec* out) {
+  out->resize(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    (*out)[i] = ProbabilityOfImprovement(preds[i], best, xi);
+  }
+}
+
+void LowerConfidenceBoundBatch(const std::vector<GpPrediction>& preds,
+                               double beta, Vec* out) {
+  out->resize(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    (*out)[i] = LowerConfidenceBound(preds[i], beta);
+  }
+}
+
 }  // namespace atune

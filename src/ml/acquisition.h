@@ -22,6 +22,17 @@ double ProbabilityOfImprovement(const GpPrediction& pred, double best,
 /// -(mean - beta * stddev); larger is better.
 double LowerConfidenceBound(const GpPrediction& pred, double beta = 2.0);
 
+/// Batched variants over a PredictBatch result: (*out)[i] is bit-identical
+/// to the scalar function applied to preds[i] (the loop *is* the scalar
+/// function, in index order). `*out` is resized; capacity persists so a
+/// caller scanning candidate batches reuses the same storage.
+void ExpectedImprovementBatch(const std::vector<GpPrediction>& preds,
+                              double best, double xi, Vec* out);
+void ProbabilityOfImprovementBatch(const std::vector<GpPrediction>& preds,
+                                   double best, double xi, Vec* out);
+void LowerConfidenceBoundBatch(const std::vector<GpPrediction>& preds,
+                               double beta, Vec* out);
+
 /// Standard normal PDF/CDF helpers (exposed for tests).
 double NormalPdf(double z);
 double NormalCdf(double z);

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -29,6 +30,22 @@ struct GpHyperParams {
 struct GpPrediction {
   double mean = 0.0;
   double variance = 0.0;  ///< posterior variance (>= 0)
+};
+
+/// Reusable scratch for GaussianProcess::PredictBatch. Owns the arena the
+/// batched kernels carve their candidate-transpose and kernel-row panels
+/// from; after the first batch at a given (n, d) it is in steady state and
+/// a PredictBatch call performs zero heap allocations. One scratch per
+/// thread — it is not synchronized.
+class GpScratch {
+ public:
+  GpScratch() = default;
+  GpScratch(const GpScratch&) = delete;
+  GpScratch& operator=(const GpScratch&) = delete;
+
+ private:
+  friend class GaussianProcess;
+  ScratchArena arena_;
 };
 
 /// Gaussian-process regression, the surrogate model behind iTuned [9] and
@@ -74,6 +91,24 @@ class GaussianProcess {
   /// Posterior mean/variance at x. Requires a successful Fit.
   GpPrediction Predict(const Vec& x) const;
 
+  /// Batched Predict over a whole candidate matrix (one candidate per row,
+  /// candidates.cols() == input dims). (*out)[r] is bit-identical to
+  /// Predict(candidates.Row(r)) — same per-element operation order — but the
+  /// kernel rows are built eight candidates at a time over the contiguous
+  /// training-point cache and the eight triangular solves share the factor's
+  /// memory traffic (internal::ForwardSolvePanel), which is where the
+  /// acquisition-scan speedup gated by bench_hotpath comes from. `scratch`
+  /// provides the panel storage and is reused across calls; `out` is
+  /// resized (capacity persists for the caller's reuse).
+  void PredictBatch(const Matrix& candidates, GpScratch* scratch,
+                    std::vector<GpPrediction>* out) const;
+
+  /// Batched kernel-row builder: rows->At(r, i) = k(candidates row r, x_i)
+  /// for every training point i, bit-identical to the per-point KernelValue
+  /// loop. `*rows` is caller-provided and only reallocated when its shape
+  /// changes, so a caller looping over batches reuses the same storage.
+  void BuildKernelRows(const Matrix& candidates, Matrix* rows) const;
+
   /// Log marginal likelihood of the fitted model.
   double LogMarginalLikelihood() const { return log_marginal_likelihood_; }
 
@@ -83,6 +118,18 @@ class GaussianProcess {
 
  private:
   double KernelValue(const Vec& a, const Vec& b) const;
+  /// Shared scratch-free kernel-row builder over the flat training cache:
+  /// out[i - begin] = k(x, x_i) for i in [begin, end), bit-identical to
+  /// KernelValue(x, xs_[i]) (same per-dimension accumulation order, with
+  /// the lengthscale clamp and kernel-type switch hoisted out of the loop).
+  /// Requires flat_ok_ and x spanning clamped_ls_.size() doubles. Routes
+  /// Predict's kstar, AddObservation's bordered row, Fit's kernel matrix,
+  /// and BuildKernelRows.
+  void KernelRowRangeInto(const double* x, size_t begin, size_t end,
+                          double* out) const;
+  /// Rebuilds xs_flat_/clamped_ls_ from xs_ and params_ (flat_ok_ = false
+  /// when xs_ is ragged; every fast path then falls back to KernelValue).
+  void RebuildFlatCache();
   /// k(x, x) for any x: both kernels evaluate to the signal variance at
   /// distance zero, so the self-kernel is a cached constant rather than a
   /// per-point distance computation.
@@ -93,6 +140,9 @@ class GaussianProcess {
 
   GpHyperParams params_;
   std::vector<Vec> xs_;
+  Vec xs_flat_;      // xs_ flattened row-major (n x d) for the batched paths
+  Vec clamped_ls_;   // per-dim lengthscales with ScaledDistance's clamp baked in
+  bool flat_ok_ = false;
   Vec ys_;           // raw targets (kept for recentering and refits)
   Vec alpha_;        // K^{-1} (y - mean)
   Matrix chol_;      // lower Cholesky factor of K + jitter I

@@ -20,46 +20,74 @@ namespace {
 /// from any supervision layer.
 constexpr size_t kMaxConsecutiveModelFailures = 3;
 
+/// Reusable storage for the batched acquisition scan: the candidate matrix,
+/// the PredictBatch output, the acquisition values, and the GP panel
+/// scratch. Owned by the Tune loop so a whole tuning session allocates the
+/// scan buffers once instead of per candidate per iteration.
+struct AcquisitionWorkspace {
+  Matrix cands;
+  std::vector<GpPrediction> preds;
+  Vec acq;
+  GpScratch gp;
+};
+
 /// Acquisition-maximizing candidate over `acquisition_candidates` random
 /// proposals (a third perturb the incumbent). Shared by the serial loop and
 /// the constant-liar batch loop; `xs`/`ys` may include liar observations.
+///
+/// The candidates are pre-generated into ws->cands with exactly the rng draw
+/// order of the old per-point loop (Predict consumed no randomness), then
+/// predicted and scored as whole batches; the strict-> argmax in index order
+/// therefore selects the bit-identical winner the per-point scan did.
 Vec ProposeCandidate(const GaussianProcess& gp, const ITunedOptions& options,
                      const std::vector<Vec>& xs, const Vec& ys, size_t dims,
-                     Rng* rng, double* best_acq_out) {
+                     Rng* rng, AcquisitionWorkspace* ws, double* best_acq_out) {
   ScopedSpan span(CurrentTracer(), "acquisition");
   if (span.active()) {
     span.AddArg("candidates", std::to_string(options.acquisition_candidates));
     span.AddArg("kind", options.acquisition);
   }
   double best_log = *std::min_element(ys.begin(), ys.end());
-  double best_acq = -std::numeric_limits<double>::infinity();
-  Vec next;
-  for (size_t i = 0; i < options.acquisition_candidates; ++i) {
-    Vec cand(dims);
-    if (i % 3 == 0 && !xs.empty()) {
+  size_t m = options.acquisition_candidates;
+  if (ws->cands.rows() != m || ws->cands.cols() != dims) {
+    ws->cands = Matrix(m, dims);
+  }
+  // The incumbent is loop-invariant; hoisting its argmin out of the
+  // candidate loop changes no draws.
+  const Vec* inc = nullptr;
+  if (!xs.empty()) {
+    inc = &xs[static_cast<size_t>(std::min_element(ys.begin(), ys.end()) -
+                                  ys.begin())];
+  }
+  for (size_t i = 0; i < m; ++i) {
+    double* cand = ws->cands.RowPtr(i);
+    if (i % 3 == 0 && inc != nullptr) {
       // A third of candidates perturb the incumbent (local refinement).
-      const Vec& inc = xs[static_cast<size_t>(
-          std::min_element(ys.begin(), ys.end()) - ys.begin())];
       for (size_t d = 0; d < dims; ++d) {
-        cand[d] = std::clamp(inc[d] + rng->Normal(0.0, 0.08), 0.0, 1.0);
+        cand[d] = std::clamp((*inc)[d] + rng->Normal(0.0, 0.08), 0.0, 1.0);
       }
     } else {
-      for (double& x : cand) x = rng->Uniform();
-    }
-    GpPrediction pred = gp.Predict(cand);
-    double acq;
-    if (options.acquisition == "pi") {
-      acq = ProbabilityOfImprovement(pred, best_log);
-    } else if (options.acquisition == "lcb") {
-      acq = LowerConfidenceBound(pred);
-    } else {
-      acq = ExpectedImprovement(pred, best_log);
-    }
-    if (acq > best_acq) {
-      best_acq = acq;
-      next = std::move(cand);
+      for (size_t d = 0; d < dims; ++d) cand[d] = rng->Uniform();
     }
   }
+  gp.PredictBatch(ws->cands, &ws->gp, &ws->preds);
+  if (options.acquisition == "pi") {
+    ProbabilityOfImprovementBatch(ws->preds, best_log, 0.0, &ws->acq);
+  } else if (options.acquisition == "lcb") {
+    LowerConfidenceBoundBatch(ws->preds, 2.0, &ws->acq);
+  } else {
+    ExpectedImprovementBatch(ws->preds, best_log, 0.0, &ws->acq);
+  }
+  double best_acq = -std::numeric_limits<double>::infinity();
+  Vec next;
+  size_t best_i = m;
+  for (size_t i = 0; i < m; ++i) {
+    if (ws->acq[i] > best_acq) {
+      best_acq = ws->acq[i];
+      best_i = i;
+    }
+  }
+  if (best_i < m) next = ws->cands.Row(best_i);
   if (best_acq_out != nullptr) *best_acq_out = best_acq;
   return next;
 }
@@ -102,13 +130,14 @@ Status ITunedTuner::Tune(Evaluator* evaluator, Rng* rng) {
   size_t aborts = 0;
   size_t model_failures = 0;
   double last_acq = 0.0;
+  AcquisitionWorkspace ws;
   while (!evaluator->Exhausted()) {
     GaussianProcess gp(GpHyperParams{options_.kernel, {}, 1.0, 1e-4});
     Status fit = gp.FitWithHyperSearch(xs, ys, options_.gp_hyper_budget, rng);
     Vec next;
     if (fit.ok()) {
       model_failures = 0;
-      next = ProposeCandidate(gp, options_, xs, ys, dims, rng, &last_acq);
+      next = ProposeCandidate(gp, options_, xs, ys, dims, rng, &ws, &last_acq);
     } else {
       // Degenerate GP (e.g. constant responses): one-off failures fall back
       // to a random draw, which usually adds enough diversity to recover.
@@ -196,6 +225,7 @@ Status ITunedTuner::TuneBatch(Evaluator* evaluator, Rng* rng) {
   size_t proposed = 0;
   size_t model_failures = 0;
   double last_acq = 0.0;
+  AcquisitionWorkspace ws;
   while (!evaluator->Exhausted()) {
     size_t affordable = static_cast<size_t>(
         std::max(0.0, evaluator->Remaining() + 1e-9));
@@ -214,8 +244,8 @@ Status ITunedTuner::TuneBatch(Evaluator* evaluator, Rng* rng) {
       std::vector<Vec> lie_xs = xs;
       Vec lie_ys = ys;
       for (size_t j = 0; j < k; ++j) {
-        Vec cand =
-            ProposeCandidate(gp, options_, lie_xs, lie_ys, dims, rng, &last_acq);
+        Vec cand = ProposeCandidate(gp, options_, lie_xs, lie_ys, dims, rng,
+                                    &ws, &last_acq);
         batch.push_back(space.FromUnitVector(cand));
         if (j + 1 < k) {
           // Liar update; a degenerate append falls back to a full refit

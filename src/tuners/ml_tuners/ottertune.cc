@@ -342,6 +342,13 @@ Status OtterTuneTuner::Tune(Evaluator* evaluator, Rng* rng) {
   size_t mapped = 0;
   size_t recommendations = 0;
   size_t model_failures = 0;
+  // Reusable batched-acquisition storage: candidate matrix, PredictBatch
+  // output, EI values, GP panel scratch — allocated once per session.
+  constexpr size_t kAcqCandidates = 1500;
+  Matrix acq_cands(kAcqCandidates, dims);
+  std::vector<GpPrediction> acq_preds;
+  Vec acq_values;
+  GpScratch gp_scratch;
   while (!evaluator->Exhausted()) {
     mapped = MapWorkload(repository_, metric_idx, target_configs,
                          target_metrics);
@@ -377,9 +384,13 @@ Status OtterTuneTuner::Tune(Evaluator* evaluator, Rng* rng) {
       if (acq_span.active()) acq_span.AddArg("candidates", "1500");
       double best_log = *std::min_element(target_objectives.begin(),
                                           target_objectives.end());
-      double best_acq = -std::numeric_limits<double>::infinity();
-      for (int c = 0; c < 1500; ++c) {
-        Vec cand = incumbent;  // non-top knobs stay at the incumbent
+      // Pre-generate all candidates with the per-point loop's exact rng draw
+      // order, then predict and score them as one batch; the index-order
+      // strict-> argmax picks the bit-identical winner the scalar scan did.
+      for (size_t c = 0; c < kAcqCandidates; ++c) {
+        double* cand = acq_cands.RowPtr(c);
+        // Non-top knobs stay at the incumbent.
+        std::copy(incumbent.begin(), incumbent.end(), cand);
         for (size_t j = 0; j < k; ++j) {
           size_t d = knob_order[j];
           cand[d] = c % 3 == 0
@@ -387,12 +398,18 @@ Status OtterTuneTuner::Tune(Evaluator* evaluator, Rng* rng) {
                                      0.0, 1.0)
                         : rng->Uniform();
         }
-        double acq = ExpectedImprovement(gp.Predict(cand), best_log);
-        if (acq > best_acq) {
-          best_acq = acq;
-          next = std::move(cand);
+      }
+      gp.PredictBatch(acq_cands, &gp_scratch, &acq_preds);
+      ExpectedImprovementBatch(acq_preds, best_log, 0.0, &acq_values);
+      double best_acq = -std::numeric_limits<double>::infinity();
+      size_t best_c = kAcqCandidates;
+      for (size_t c = 0; c < kAcqCandidates; ++c) {
+        if (acq_values[c] > best_acq) {
+          best_acq = acq_values[c];
+          best_c = c;
         }
       }
+      if (best_c < kAcqCandidates) next = acq_cands.Row(best_c);
     } else {
       // One-off GP failures fall back to perturbing the incumbent; three in
       // a row mean the training set itself is numerically poisoned —

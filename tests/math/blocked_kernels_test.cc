@@ -1,0 +1,278 @@
+// Property tests for the blocked fast-path kernels of math/matrix.cc against
+// the naive references in math/reference_kernels.h (DESIGN.md §11). The
+// contract is *bit-identity* — memcmp-level equality of the output doubles —
+// except for CholeskyRank1Update, which is a different algorithm and is held
+// to a numerical tolerance against full refactorization.
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+#include "gtest/gtest.h"
+#include "math/matrix.h"
+#include "math/reference_kernels.h"
+
+namespace atune {
+namespace {
+
+using std::mt19937_64;
+
+/// Random SPD matrix A = G Gᵀ + d·I with entries from `gen`; `diag_boost`
+/// near 0 makes it ill-conditioned.
+Matrix RandomSpd(size_t n, mt19937_64* gen, double diag_boost) {
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Matrix g(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) g.At(i, j) = u(*gen);
+  }
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < n; ++k) acc += g.At(i, k) * g.At(j, k);
+      a.At(i, j) = acc;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) a.At(i, i) += diag_boost;
+  return a;
+}
+
+Vec RandomVec(size_t n, mt19937_64* gen) {
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  Vec v(n);
+  for (double& x : v) x = u(*gen);
+  return v;
+}
+
+::testing::AssertionResult BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure() << "shape mismatch";
+  }
+  if (std::memcmp(a.data().data(), b.data().data(),
+                  a.data().size() * sizeof(double)) != 0) {
+    for (size_t i = 0; i < a.rows(); ++i) {
+      for (size_t j = 0; j < a.cols(); ++j) {
+        double av = a.At(i, j);
+        double bv = b.At(i, j);
+        if (std::memcmp(&av, &bv, sizeof(double)) != 0) {
+          return ::testing::AssertionFailure()
+                 << "first differing element (" << i << "," << j << "): " << av
+                 << " vs " << bv;
+        }
+      }
+    }
+    return ::testing::AssertionFailure() << "bytes differ";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult BitIdentical(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) != 0) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first differing element [" << i << "]: " << a[i] << " vs "
+               << b[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(BlockedKernels, CholeskyBitIdenticalAcrossSizes) {
+  mt19937_64 gen(7);
+  // Sizes straddle every blocking boundary (n % 4 in {0,1,2,3}) including
+  // degenerate 0/1 and a "large" case.
+  for (size_t n : {0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 64, 97}) {
+    Matrix a = RandomSpd(n, &gen, 1.0 + static_cast<double>(n));
+    auto fast = a.Cholesky();
+    auto ref = reference::Cholesky(a);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(ref.ok());
+    EXPECT_TRUE(BitIdentical(*fast, *ref)) << "n=" << n;
+  }
+}
+
+TEST(BlockedKernels, CholeskyIllConditionedBitIdentical) {
+  mt19937_64 gen(11);
+  for (size_t n : {8, 33, 50}) {
+    Matrix a = RandomSpd(n, &gen, 1e-9);
+    auto fast = a.Cholesky();
+    auto ref = reference::Cholesky(a);
+    ASSERT_EQ(fast.ok(), ref.ok()) << "n=" << n;
+    if (fast.ok()) EXPECT_TRUE(BitIdentical(*fast, *ref)) << "n=" << n;
+  }
+}
+
+TEST(BlockedKernels, CholeskyNotPositiveDefiniteSameError) {
+  Matrix a({{1.0, 2.0}, {2.0, 1.0}});  // indefinite
+  auto fast = a.Cholesky();
+  auto ref = reference::Cholesky(a);
+  ASSERT_FALSE(fast.ok());
+  ASSERT_FALSE(ref.ok());
+  EXPECT_EQ(fast.status().message(), ref.status().message());
+}
+
+TEST(BlockedKernels, ForwardSolveBitIdentical) {
+  mt19937_64 gen(13);
+  for (size_t n : {1, 2, 3, 4, 5, 8, 13, 27, 64, 101}) {
+    Matrix a = RandomSpd(n, &gen, 2.0);
+    auto l = a.Cholesky();
+    ASSERT_TRUE(l.ok());
+    Vec b = RandomVec(n, &gen);
+    EXPECT_TRUE(BitIdentical(Matrix::ForwardSolve(*l, b),
+                             reference::ForwardSolve(*l, b)))
+        << "n=" << n;
+  }
+}
+
+TEST(BlockedKernels, ForwardSolveIntoMatchesAndAllowsAliasing) {
+  mt19937_64 gen(17);
+  size_t n = 37;
+  Matrix a = RandomSpd(n, &gen, 2.0);
+  auto l = a.Cholesky();
+  ASSERT_TRUE(l.ok());
+  Vec b = RandomVec(n, &gen);
+  Vec expect = reference::ForwardSolve(*l, b);
+  Vec out(n, 0.0);
+  Matrix::ForwardSolveInto(*l, b.data(), out.data());
+  EXPECT_TRUE(BitIdentical(out, expect));
+  Vec in_place = b;  // y == b aliasing
+  Matrix::ForwardSolveInto(*l, in_place.data(), in_place.data());
+  EXPECT_TRUE(BitIdentical(in_place, expect));
+}
+
+TEST(BlockedKernels, ForwardSolveMultiEachColumnBitIdentical) {
+  mt19937_64 gen(19);
+  for (size_t n : {1, 5, 16, 40}) {
+    // Column counts straddle the 8-lane panel boundary.
+    for (size_t m : {1, 3, 7, 8, 9, 17, 24}) {
+      Matrix a = RandomSpd(n, &gen, 2.0);
+      auto l = a.Cholesky();
+      ASSERT_TRUE(l.ok());
+      Matrix b(n, m);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j) {
+          b.At(i, j) = std::sin(static_cast<double>(i * m + j));
+        }
+      }
+      Matrix y = Matrix::ForwardSolveMulti(*l, b);
+      for (size_t j = 0; j < m; ++j) {
+        EXPECT_TRUE(
+            BitIdentical(y.Col(j), reference::ForwardSolve(*l, b.Col(j))))
+            << "n=" << n << " m=" << m << " col=" << j;
+      }
+    }
+  }
+}
+
+TEST(BlockedKernels, MultiplyBitIdenticalIncludingZeroSkip) {
+  mt19937_64 gen(23);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (auto [r, k, c] : {std::array<size_t, 3>{1, 1, 1},
+                         {3, 4, 5},
+                         {8, 8, 8},
+                         {13, 7, 21}}) {
+    Matrix a(r, k);
+    Matrix b(k, c);
+    for (size_t i = 0; i < r; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        // Sprinkle exact zeros so the zero-skip path is exercised.
+        a.At(i, j) = ((i + j) % 3 == 0) ? 0.0 : u(gen);
+      }
+    }
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < c; ++j) b.At(i, j) = u(gen);
+    }
+    EXPECT_TRUE(BitIdentical(a.Multiply(b), reference::Multiply(a, b)));
+  }
+}
+
+TEST(BlockedKernels, AppendRowBitIdenticalToFullRefactorization) {
+  mt19937_64 gen(29);
+  // Grow a factor one bordered row at a time from 0 to 40 points; at every
+  // step it must equal the from-scratch factorization byte for byte (this
+  // covers the in-place relayout across all stride transitions).
+  size_t target = 40;
+  Matrix a = RandomSpd(target, &gen, 4.0 + target);
+  Matrix incremental(0, 0);
+  for (size_t n = 0; n < target; ++n) {
+    Vec row(n + 1);
+    for (size_t j = 0; j <= n; ++j) row[j] = a.At(n, j);
+    ASSERT_TRUE(incremental.CholeskyAppendRow(row).ok()) << "n=" << n;
+    Matrix head(n + 1, n + 1);
+    for (size_t i = 0; i <= n; ++i) {
+      for (size_t j = 0; j <= n; ++j) head.At(i, j) = a.At(i, j);
+    }
+    auto full = head.Cholesky();
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(BitIdentical(incremental, *full)) << "n=" << n;
+  }
+}
+
+TEST(BlockedKernels, AppendRowRejectsIndefiniteBorderUnchanged) {
+  Matrix l(0, 0);
+  ASSERT_TRUE(l.CholeskyAppendRow({4.0}).ok());
+  // Border that makes the matrix indefinite: cross term too large.
+  Status s = l.CholeskyAppendRow({10.0, 1.0});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(l.rows(), 1u);
+  EXPECT_EQ(l.At(0, 0), 2.0);
+}
+
+TEST(BlockedKernels, Rank1UpdateMatchesRefactorizationNumerically) {
+  mt19937_64 gen(31);
+  for (size_t n : {1, 4, 9, 25, 50}) {
+    Matrix a = RandomSpd(n, &gen, 2.0 + n);
+    Vec v = RandomVec(n, &gen);
+    auto l = a.Cholesky();
+    ASSERT_TRUE(l.ok());
+    ASSERT_TRUE(l->CholeskyRank1Update(v).ok());
+    Matrix updated = a;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) updated.At(i, j) += v[i] * v[j];
+    }
+    auto full = updated.Cholesky();
+    ASSERT_TRUE(full.ok());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        EXPECT_NEAR(l->At(i, j), full->At(i, j),
+                    1e-9 * (1.0 + std::fabs(full->At(i, j))))
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(BlockedKernels, ScalarSwitchRoutesToReference) {
+  mt19937_64 gen(37);
+  Matrix a = RandomSpd(12, &gen, 3.0);
+  Vec b = RandomVec(12, &gen);
+  ASSERT_FALSE(ScalarKernelsForTesting());
+  auto fast = a.Cholesky();
+  SetScalarKernelsForTesting(true);
+  auto scalar = a.Cholesky();
+  Vec scalar_solve = Matrix::ForwardSolve(*scalar, b);
+  SetScalarKernelsForTesting(false);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(scalar.ok());
+  // Scalar and fast agree bit-for-bit — that is the whole point — so the
+  // switch is observable only through timing; identity is what we assert.
+  EXPECT_TRUE(BitIdentical(*fast, *scalar));
+  EXPECT_TRUE(BitIdentical(Matrix::ForwardSolve(*fast, b), scalar_solve));
+}
+
+TEST(BlockedKernels, DotSpanMatchesDot) {
+  mt19937_64 gen(41);
+  Vec a = RandomVec(19, &gen);
+  Vec b = RandomVec(19, &gen);
+  double d1 = Dot(a, b);
+  double d2 = DotSpan(a.data(), b.data(), a.size());
+  EXPECT_TRUE(std::memcmp(&d1, &d2, sizeof(double)) == 0);
+}
+
+}  // namespace
+}  // namespace atune

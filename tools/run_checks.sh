@@ -19,6 +19,13 @@
 #                                   # overhead, and supervised kill/resume
 #                                   # bit-identity (the binary itself exits 0
 #                                   # in smoke mode, so the gate lives here)
+#   tools/run_checks.sh --hotpath   # Release build + bench_hotpath under
+#                                   # ATUNE_SMOKE=1, gated on the pass flags
+#                                   # in BENCH_hotpath.json: blocked-kernel
+#                                   # and batched-acquisition speedup floors,
+#                                   # whole-session fast-vs-scalar
+#                                   # bit-identity, zero-alloc Evaluator
+#                                   # commits, and mmap replay fallback
 #   tools/run_checks.sh --coverage  # instrumented Debug build + full ctest +
 #                                   # per-directory line-coverage summary for
 #                                   # src/. Uses gcovr if installed, else
@@ -130,6 +137,30 @@ if [ "${1:-}" = "--hostile" ]; then
   fi
   echo "hostile checks passed: zero session-fatal errors under faults,"
   echo "supervision overhead within bound, supervised resume bit-identical"
+  exit 0
+fi
+
+if [ "${1:-}" = "--hotpath" ]; then
+  jobs="$(nproc 2>/dev/null || echo 2)"
+  echo "=== [hotpath] configure + build (default preset, Release) ==="
+  # Must be an optimized build: the speedup floors below are meaningless at
+  # -O0, and the identity/alloc/replay flags are what actually gate.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  echo "=== [hotpath] bench_hotpath (ATUNE_SMOKE=1) ==="
+  # Like durability and supervision, the hot-path layer gates correctness
+  # (whole-session fast-vs-scalar bit-identity, zero-alloc commits, mmap
+  # replay fallback) alongside its speedup floors. The binary exits 0 under
+  # ATUNE_SMOKE; the recorded pass flags in BENCH_hotpath.json do not lie.
+  ATUNE_SMOKE=1 ./build/bench/bench_hotpath
+  if ! grep -q '"pass": {"cholesky": true, "acquisition": true, "identity": true, "alloc": true, "replay": true}' \
+      BENCH_hotpath.json; then
+    echo "hotpath gate FAILED:" >&2
+    grep '"pass"' BENCH_hotpath.json >&2 || true
+    exit 1
+  fi
+  echo "hotpath checks passed: blocked kernels and batched acquisition at"
+  echo "speed, bit-identical sessions, zero-alloc commits, mmap replay ok"
   exit 0
 fi
 
