@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/io_env.h"
 #include "common/string_util.h"
 
 namespace atune {
@@ -31,7 +32,7 @@ std::array<uint32_t, 256> MakeCrc32Table() {
 }
 
 Status Errno(const char* op, const std::string& path) {
-  return Status::Internal(
+  return Status::IoError(
       StrFormat("%s '%s': %s", op, path.c_str(), std::strerror(errno)));
 }
 
@@ -68,52 +69,49 @@ Status ReadFileToString(const std::string& path, std::string* out) {
 }
 
 Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  IoEnv* env = IoEnv::Current();
   const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Errno("create", tmp);
-  size_t written = 0;
-  while (written < contents.size()) {
-    ssize_t n =
-        ::write(fd, contents.data() + written, contents.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return Errno("write", tmp);
-    }
-    written += static_cast<size_t>(n);
+  auto file = env->OpenWritable(tmp, IoEnv::OpenMode::kTruncate);
+  if (!file.ok()) return file.status();
+  Status status =
+      WriteFully(env, file->get(), contents.data(), contents.size());
+  if (status.ok()) status = (*file)->Sync();
+  if (status.ok()) status = (*file)->Close();
+  if (!status.ok()) {
+    (void)(*file)->Close();
+    (void)env->Unlink(tmp);
+    return status;
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return Errno("fsync", tmp);
+  status = env->Rename(tmp, path);
+  if (!status.ok()) {
+    (void)env->Unlink(tmp);
+    return status;
   }
-  if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
-    return Errno("close", tmp);
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    return Errno("rename", tmp);
-  }
-  return Status::OK();
+  // Without this the rename — and hence the publish itself — is not
+  // crash-durable: the new directory entry may still be only in memory.
+  return env->SyncDir(path);
 }
 
 Status CommitTempFile(std::FILE* f, const std::string& path) {
+  IoEnv* env = IoEnv::Current();
   const std::string tmp = path + ".tmp";
   if (f == nullptr) return Status::InvalidArgument("CommitTempFile: null file");
+  // The stream was opened by the caller, outside the IoEnv seam, so the
+  // flush/fsync stay raw; the publish itself (rename + dir sync) is routed
+  // through the env like every other durability op.
   bool flushed = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   Status flush_error = flushed ? Status::OK() : Errno("flush", tmp);
   if (std::fclose(f) != 0 && flushed) flush_error = Errno("close", tmp);
   if (!flush_error.ok()) {
-    ::unlink(tmp.c_str());
+    (void)env->Unlink(tmp);
     return flush_error;
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    return Errno("rename", tmp);
+  Status status = env->Rename(tmp, path);
+  if (!status.ok()) {
+    (void)env->Unlink(tmp);
+    return status;
   }
-  return Status::OK();
+  return env->SyncDir(path);
 }
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -192,17 +190,13 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
 }
 
 Status TruncateFile(const std::string& path, uint64_t length) {
-  if (::truncate(path.c_str(), static_cast<off_t>(length)) != 0) {
-    return Errno("truncate", path);
-  }
-  int fd = ::open(path.c_str(), O_WRONLY);
-  if (fd < 0) return Errno("open", path);
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Errno("fsync", path);
-  }
-  ::close(fd);
-  return Status::OK();
+  IoEnv* env = IoEnv::Current();
+  ATUNE_RETURN_IF_ERROR(env->Truncate(path, length));
+  auto file = env->OpenWritable(path, IoEnv::OpenMode::kAppend);
+  if (!file.ok()) return file.status();
+  Status status = (*file)->Sync();
+  Status close_status = (*file)->Close();
+  return status.ok() ? close_status : status;
 }
 
 }  // namespace atune

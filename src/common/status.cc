@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kAllTrialsFailed:
       return "AllTrialsFailed";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

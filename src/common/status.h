@@ -23,6 +23,11 @@ enum class StatusCode {
   /// Every trial in a tuning session failed or was censored; the session ran
   /// to completion but produced no usable recommendation.
   kAllTrialsFailed,
+  /// A file operation failed beneath the durability layer (journal append,
+  /// fsync, atomic publish...). Distinct from kInternal so operators — and
+  /// the CLI's exit code — can tell "the filesystem failed us" from "the
+  /// framework has a bug". See common/io_env.h and DESIGN.md §12.
+  kIoError,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
@@ -67,6 +72,9 @@ class Status {
   }
   static Status AllTrialsFailed(std::string msg) {
     return Status(StatusCode::kAllTrialsFailed, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

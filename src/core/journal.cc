@@ -1,14 +1,11 @@
 #include "core/journal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <atomic>
-#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/file_util.h"
+#include "common/io_env.h"
 #include "common/string_util.h"
 
 namespace atune {
@@ -318,20 +315,6 @@ bool ReadFrame(const char* data, size_t size, size_t* offset,
 
 std::atomic<JournalReplayMode> g_replay_mode{JournalReplayMode::kAuto};
 
-Status WriteAll(int fd, const std::string& bytes, const std::string& path) {
-  size_t written = 0;
-  while (written < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(StrFormat("journal write '%s': %s", path.c_str(),
-                                        std::strerror(errno)));
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
 }  // namespace
 
 void SetJournalReplayModeForTesting(JournalReplayMode mode) {
@@ -383,31 +366,33 @@ std::string JournalHeader::DiffString(const JournalHeader& other) const {
   return diffs.empty() ? "identical" : Join(diffs, ", ");
 }
 
-TrialJournal::~TrialJournal() {
-  if (fd_ >= 0) ::close(fd_);
-}
+TrialJournal::~TrialJournal() = default;
 
 Result<std::unique_ptr<TrialJournal>> TrialJournal::Create(
     const std::string& path, const JournalHeader& header) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::Internal(StrFormat("create journal '%s': %s", path.c_str(),
-                                      std::strerror(errno)));
-  }
+  IoEnv* env = IoEnv::Current();
+  auto file = env->OpenWritable(path, IoEnv::OpenMode::kTruncate);
+  if (!file.ok()) return file.status();
   std::string preamble(kMagic, sizeof(kMagic));
   PutU32(&preamble, kVersion);
   preamble += Frame(SerializeHeader(header));
-  Status write_status = WriteAll(fd, preamble, path);
-  if (!write_status.ok()) {
-    ::close(fd);
-    return write_status;
+  Status status = WriteFully(env, file->get(), preamble.data(),
+                             preamble.size());
+  if (status.ok()) status = (*file)->Sync();
+  // A stale degraded-marker from an earlier session must not outlive the
+  // fresh journal it no longer describes.
+  if (status.ok()) (void)env->Unlink(path + kDegradedSidecarSuffix);
+  // A freshly created journal also needs its directory entry durable, or a
+  // crash right after Create can leave no journal at all.
+  if (status.ok()) status = env->SyncDir(path);
+  if (!status.ok()) {
+    (void)(*file)->Close();
+    return status;
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::Internal(StrFormat("fsync journal '%s': %s", path.c_str(),
-                                      std::strerror(errno)));
-  }
-  return std::unique_ptr<TrialJournal>(new TrialJournal(path, fd, 0));
+  size_t header_frame_start = sizeof(kMagic) + 4;
+  return std::unique_ptr<TrialJournal>(
+      new TrialJournal(path, env, std::move(*file), 0, preamble.size(),
+                       header_frame_start));
 }
 
 Result<TrialJournal::Recovered> TrialJournal::OpenForResume(
@@ -416,6 +401,7 @@ Result<TrialJournal::Recovered> TrialJournal::OpenForResume(
   // (read-into-memory) remains the fallback for platforms without mmap, any
   // mapping failure under kAuto, or an explicit override. A missing file is
   // NotFound in every mode, matching the pre-mmap behavior.
+  IoEnv* env = IoEnv::Current();
   JournalReplayMode mode = JournalReplayModeForTesting();
   const char* no_mmap_env = std::getenv("ATUNE_JOURNAL_NO_MMAP");
   bool env_disables =
@@ -429,25 +415,39 @@ Result<TrialJournal::Recovered> TrialJournal::OpenForResume(
   if (mode == JournalReplayMode::kMmap ||
       (mode == JournalReplayMode::kAuto && MappedFile::Supported() &&
        !env_disables)) {
-    Result<MappedFile> map = MappedFile::Map(path);
+    Result<MappedFile> map = env->Map(path);
     if (map.ok()) {
-      mapped = std::move(*map);
-      data = mapped.data();
-      size = mapped.size();
-      use_mmap = true;
+      // Truncation-race guard: the size was captured once at map time, and
+      // every frame below is bounds-checked against it. If the file shrank
+      // between open and map (a concurrent truncation), pages past the new
+      // EOF would SIGBUS on touch — so re-stat and, on any mismatch, fall
+      // back to the streaming reader, which snapshots the bytes.
+      Result<uint64_t> current_size = env->FileSize(path);
+      if (current_size.ok() && *current_size == map->size()) {
+        mapped = std::move(*map);
+        data = mapped.data();
+        size = mapped.size();
+        use_mmap = true;
+      } else if (mode == JournalReplayMode::kMmap) {
+        return Status::IoError(StrFormat(
+            "journal '%s': size changed under the mapping (%zu mapped)",
+            path.c_str(), map->size()));
+      }
     } else if (mode == JournalReplayMode::kMmap ||
                map.status().code() == StatusCode::kNotFound) {
       return map.status();
     }
-    // kAuto with a non-NotFound mapping failure: fall back to streaming.
+    // kAuto with a non-NotFound mapping failure (or a size mismatch): fall
+    // back to streaming.
   }
   if (!use_mmap) {
-    ATUNE_RETURN_IF_ERROR(ReadFileToString(path, &streamed));
+    ATUNE_RETURN_IF_ERROR(env->ReadFileToString(path, &streamed));
     data = streamed.data();
     size = streamed.size();
   }
 
   Recovered recovered;
+  recovered.used_mmap = use_mmap;
   size_t offset = 0;
   // Magic + version + header frame. Damage here leaves nothing to trust
   // (we cannot even verify the session fingerprint), so the whole file is
@@ -524,13 +524,18 @@ Result<TrialJournal::Recovered> TrialJournal::OpenForResume(
   }
 
   size_t valid_end;
+  size_t last_frame_start;
+  size_t header_end = sizeof(kMagic) + 4;
+  ReadFrame(data, size, &header_end, &payload, &payload_len);
   if (!record_ends.empty()) {
     valid_end = record_ends.back();
+    last_frame_start = record_ends.size() >= 2
+                           ? record_ends[record_ends.size() - 2]
+                           : header_end;
   } else {
     // No surviving records: keep just the preamble + header frame.
-    size_t header_end = sizeof(kMagic) + 4;
-    ReadFrame(data, size, &header_end, &payload, &payload_len);
     valid_end = header_end;
+    last_frame_start = sizeof(kMagic) + 4;
   }
   size_t file_size = size;
   // Release the mapping before truncating: shrinking a file under a live
@@ -541,13 +546,11 @@ Result<TrialJournal::Recovered> TrialJournal::OpenForResume(
     ATUNE_RETURN_IF_ERROR(TruncateFile(path, valid_end));
   }
 
-  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
-  if (fd < 0) {
-    return Status::Internal(StrFormat("reopen journal '%s': %s", path.c_str(),
-                                      std::strerror(errno)));
-  }
+  auto file = env->OpenWritable(path, IoEnv::OpenMode::kAppend);
+  if (!file.ok()) return file.status();
   recovered.journal = std::unique_ptr<TrialJournal>(
-      new TrialJournal(path, fd, recovered.records.size()));
+      new TrialJournal(path, env, std::move(*file), recovered.records.size(),
+                       valid_end, last_frame_start));
   return recovered;
 }
 
@@ -556,7 +559,7 @@ Status TrialJournal::Append(const JournalRecord& record) {
 }
 
 Status TrialJournal::AppendRef(const JournalRecordRef& record) {
-  if (fd_ < 0) {
+  if (file_ == nullptr) {
     return Status::FailedPrecondition("journal is not open for appending");
   }
   // Serialize after an 8-byte placeholder, then patch the frame header in
@@ -571,12 +574,71 @@ Status TrialJournal::AppendRef(const JournalRecordRef& record) {
     frame_buf_[i] = static_cast<char>((len >> (8 * i)) & 0xFF);
     frame_buf_[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
   }
-  ATUNE_RETURN_IF_ERROR(WriteAll(fd_, frame_buf_, path_));
-  if (sync_ && ::fsync(fd_) != 0) {
-    return Status::Internal(StrFormat("fsync journal '%s': %s", path_.c_str(),
-                                      std::strerror(errno)));
+  uint64_t retries = 0;
+  uint64_t shorts = 0;
+  Status status = WriteFully(env_, file_.get(), frame_buf_.data(),
+                             frame_buf_.size(), &retries, &shorts);
+  write_retries_ += retries;
+  short_writes_ += shorts;
+  if (status.ok() && sync_) status = file_->Sync();
+  if (!status.ok()) {
+    // The write failed partway, or the fsync failed — either way the bytes
+    // past append_offset_ are in an unknown state (fsyncgate: a failed
+    // fsync may have dropped the dirty pages, and retrying it would just
+    // report success on whatever survived). Restore the invariant that the
+    // on-disk journal is exactly the longest valid prefix.
+    Status reverify = ReverifyTail();
+    if (!reverify.ok()) {
+      return Status::IoError(StrFormat(
+          "%s; tail re-verify also failed: %s", status.message().c_str(),
+          reverify.message().c_str()));
+    }
+    return status;
   }
+  last_frame_start_ = append_offset_;
+  append_offset_ += frame_buf_.size();
   next_seq_ = record.seq + 1;
+  return Status::OK();
+}
+
+Status TrialJournal::ReverifyTail() {
+  if (file_ != nullptr) {
+    (void)file_->Close();
+    file_.reset();
+  }
+  // Physically discard the unverified bytes, then prove the kept tail is
+  // intact by reading its final frame back and re-checking the CRC. Only
+  // after both succeed is the journal re-opened for appending.
+  ATUNE_RETURN_IF_ERROR(env_->Truncate(path_, append_offset_));
+  {
+    auto sync_handle = env_->OpenWritable(path_, IoEnv::OpenMode::kAppend);
+    if (!sync_handle.ok()) return sync_handle.status();
+    Status status = (*sync_handle)->Sync();
+    Status close_status = (*sync_handle)->Close();
+    ATUNE_RETURN_IF_ERROR(status.ok() ? close_status : status);
+  }
+  std::string contents;
+  ATUNE_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
+  if (contents.size() != append_offset_) {
+    return Status::IoError(StrFormat(
+        "journal '%s': %zu bytes on disk after truncation to %llu",
+        path_.c_str(), contents.size(),
+        static_cast<unsigned long long>(append_offset_)));
+  }
+  size_t offset = last_frame_start_;
+  const char* payload = nullptr;
+  size_t payload_len = 0;
+  if (!ReadFrame(contents.data(), contents.size(), &offset, &payload,
+                 &payload_len) ||
+      offset != append_offset_) {
+    return Status::IoError(StrFormat(
+        "journal '%s': tail frame failed CRC re-verification after an I/O "
+        "failure — durable prefix is damaged",
+        path_.c_str()));
+  }
+  auto reopened = env_->OpenWritable(path_, IoEnv::OpenMode::kAppend);
+  if (!reopened.ok()) return reopened.status();
+  file_ = std::move(*reopened);
   return Status::OK();
 }
 

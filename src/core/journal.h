@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/status.h"
 #include "core/configuration.h"
 #include "core/system.h"
@@ -111,6 +112,20 @@ struct JournalRecordRef {
   uint64_t remeasured_runs = 0;
 };
 
+/// How a session reacts to a journal I/O failure (the CLI's
+/// --journal-policy flag). Strict is the default: measurements must never
+/// outrun the checkpoint, so the session aborts with a clean kIoError.
+/// Degrade trades resumability for availability: the Evaluator detaches the
+/// journal, marks it with a `<path>.degraded` sidecar (so a later resume
+/// refuses the incomplete record), and the session continues un-journaled
+/// with counters and a warning.
+enum class JournalPolicy : uint8_t { kStrict, kDegrade };
+
+/// Sidecar marker a degraded session leaves next to its journal;
+/// ResumeTuningSession refuses to resume while it exists, and
+/// TrialJournal::Create removes a stale one when starting fresh.
+inline constexpr char kDegradedSidecarSuffix[] = ".degraded";
+
 /// How OpenForResume reads the file. kAuto (the default) memory-maps when
 /// the platform supports it and falls back to the streaming read on any
 /// mapping failure other than the file not existing; kStreaming forces the
@@ -161,6 +176,10 @@ class TrialJournal {
     std::vector<JournalRecord> records;
     /// What recovery had to discard, for operator visibility.
     std::vector<std::string> warnings;
+    /// Whether recovery parsed the file through the zero-copy mmap path
+    /// (false: streaming fallback — platform without mmap, a mapping
+    /// failure, or the truncation-race guard tripping).
+    bool used_mmap = false;
   };
 
   /// Loads `path`, recovering the longest valid record prefix and
@@ -187,14 +206,45 @@ class TrialJournal {
   /// requires it on).
   void set_sync(bool sync) { sync_ = sync; }
 
+  /// Cumulative transient-error retries / short-write continuations the
+  /// append path has performed (WriteFully telemetry, surfaced by the
+  /// Evaluator as io.append.retries / io.append.short_writes).
+  uint64_t write_retries() const { return write_retries_; }
+  uint64_t short_writes() const { return short_writes_; }
+
  private:
-  TrialJournal(std::string path, int fd, uint64_t next_seq)
-      : path_(std::move(path)), fd_(fd), next_seq_(next_seq) {}
+  TrialJournal(std::string path, IoEnv* env, std::unique_ptr<IoFile> file,
+               uint64_t next_seq, uint64_t append_offset,
+               uint64_t last_frame_start)
+      : path_(std::move(path)),
+        env_(env),
+        file_(std::move(file)),
+        next_seq_(next_seq),
+        append_offset_(append_offset),
+        last_frame_start_(last_frame_start) {}
+
+  /// fsyncgate recovery: after a failed write or fsync the page-cache state
+  /// is unknown, so the journal closes its handle, physically truncates the
+  /// file back to the last offset known durable (`append_offset_`), reads
+  /// the kept tail frame back and re-verifies its CRC, then re-opens for
+  /// appending. On success the on-disk journal is once again exactly the
+  /// longest valid prefix; on failure the journal stays closed and every
+  /// later Append returns FailedPrecondition.
+  Status ReverifyTail();
 
   std::string path_;
-  int fd_ = -1;
+  IoEnv* env_ = nullptr;       ///< captured at open; borrowed
+  std::unique_ptr<IoFile> file_;
   uint64_t next_seq_ = 0;
   bool sync_ = true;
+  /// End offset of the durable prefix: preamble + every frame whose append
+  /// completed (write + fsync). Bytes past it are unverified.
+  uint64_t append_offset_ = 0;
+  /// Start offset of the final frame in the durable prefix (the header
+  /// frame when no record survived) — the frame ReverifyTail re-checks.
+  uint64_t last_frame_start_ = 0;
+  uint64_t write_retries_ = 0;
+  uint64_t short_writes_ = 0;
   /// Reused frame buffer for AppendRef: after the first append it has the
   /// high-water capacity and appends allocate nothing.
   std::string frame_buf_;

@@ -49,6 +49,7 @@ Result<TuningOutcome> RunSessionImpl(Tuner* tuner, TunableSystem* system,
   if (options.objective) evaluator.set_objective(options.objective);
   evaluator.set_robustness_policy(options.robustness);
   if (journal != nullptr) evaluator.set_journal(journal);
+  evaluator.set_journal_policy(options.journal_policy);
   if (options.interrupt_check) {
     evaluator.set_interrupt_check(options.interrupt_check);
   }
@@ -115,6 +116,7 @@ Result<TuningOutcome> RunSessionImpl(Tuner* tuner, TunableSystem* system,
   outcome.tuner_report = tuner->Report();
   outcome.replayed_records = evaluator.replayed_records();
   outcome.recovery_warnings = std::move(warnings);
+  outcome.journal_degraded = evaluator.journal_degraded();
 
   // If every full measurement failed or was censored, the session has no
   // recommendation to stand behind (even a penalized-objective "best" is a
@@ -214,6 +216,19 @@ Result<TuningOutcome> ResumeTuningSession(Tuner* tuner, TunableSystem* system,
   if (options.journal_path.empty()) {
     return Status::InvalidArgument(
         "ResumeTuningSession: options.journal_path must be set");
+  }
+  // A degraded session continued un-journaled after an I/O failure, so its
+  // journal is an incomplete record: replaying it would silently resurrect
+  // a truncated history as if it were the whole session.
+  if (IoEnv::Current()
+          ->FileSize(options.journal_path + kDegradedSidecarSuffix)
+          .ok()) {
+    return Status::FailedPrecondition(StrFormat(
+        "journal at %s is marked degraded (%s%s exists): the original "
+        "session continued un-journaled after an I/O failure, so the journal "
+        "is incomplete; start a fresh session instead of resuming",
+        options.journal_path.c_str(), options.journal_path.c_str(),
+        kDegradedSidecarSuffix));
   }
   auto recovered_or = TrialJournal::OpenForResume(options.journal_path);
   if (!recovered_or.ok()) {

@@ -50,6 +50,10 @@ struct TuningOutcome {
   /// 0 for a fresh session. Excluded from outcome checksums — a resumed
   /// session is otherwise bit-identical to an uninterrupted one.
   size_t replayed_records = 0;
+  /// True when a journal I/O failure degraded the session (JournalPolicy::
+  /// kDegrade): tuning completed, but part of the history is un-journaled
+  /// and the session cannot be resumed.
+  bool journal_degraded = false;
   /// What journal recovery had to discard (torn/corrupt tail, incomplete
   /// batch), for operator visibility. Empty for fresh sessions.
   std::vector<std::string> recovery_warnings;
@@ -78,6 +82,10 @@ struct SessionOptions {
   /// this file before its measurement reaches the tuner, and
   /// ResumeTuningSession can reconstruct a crashed/interrupted session.
   std::string journal_path;
+  /// How the session reacts to a journal I/O failure (kStrict: abort with a
+  /// clean kIoError; kDegrade: continue un-journaled with a warning and a
+  /// `.degraded` sidecar that blocks later resumes). See core/journal.h.
+  JournalPolicy journal_policy = JournalPolicy::kStrict;
   /// Polled before every evaluation; returning true aborts the session with
   /// kAborted after checkpointing (the CLI wires SIGINT/SIGTERM here).
   std::function<bool()> interrupt_check;

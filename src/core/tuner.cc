@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/alloc_hook.h"
+#include "common/io_env.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 
@@ -88,6 +90,11 @@ void Evaluator::set_metrics(MetricsRegistry* metrics) {
   m_.budget_used = metrics_->GetGauge("budget.used_units");
   m_.budget_retry = metrics_->GetGauge("budget.retry_units");
   m_.budget_remeasure = metrics_->GetGauge("budget.remeasure_units");
+  m_.io_appends = metrics_->GetCounter("io.append.total");
+  m_.io_retries = metrics_->GetCounter("io.append.retries");
+  m_.io_shorts = metrics_->GetCounter("io.append.short_writes");
+  m_.io_errors = metrics_->GetCounter("io.error.total");
+  m_.io_degraded = metrics_->GetGauge("io.journal.degraded");
 }
 
 void Evaluator::RecordTrialMetrics(const Trial& trial) {
@@ -375,16 +382,19 @@ Status Evaluator::JournalTrial(uint64_t batch_size, uint64_t lane,
   }
   Status status = journal_->AppendRef(rec);
   last_commit_allocs_ = SampleAllocCount() - commit_allocs_sample_;
+  RecordIoTelemetry();
   if (!status.ok()) {
-    journal_error_ = status;
-    return status;
-  }
-  // The span marks the commit boundary; structurally it is "commit", the
-  // same structural name the replay path emits, so resumed and
-  // uninterrupted traces agree.
-  if (tracer_ != nullptr) {
-    tracer_->EndSpan(span_id, parent_span, "journal_append", "commit",
-                     begin_ns, {});
+    ATUNE_RETURN_IF_ERROR(
+        HandleJournalFailure(std::move(status), parent_span));
+  } else {
+    if (m_.io_appends != nullptr) m_.io_appends->Increment();
+    // The span marks the commit boundary; structurally it is "commit", the
+    // same structural name the replay path emits, so resumed and
+    // uninterrupted traces agree.
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(span_id, parent_span, "journal_append", "commit",
+                       begin_ns, {});
+    }
   }
   // The append is the commit boundary: firing the interrupt here (rather
   // than at the next call's entry gate) means a kill lands with the record
@@ -424,16 +434,65 @@ Status Evaluator::JournalUnit(const Configuration& config, size_t unit_index,
   }
   Status status = journal_->AppendRef(rec);
   last_commit_allocs_ = SampleAllocCount() - sample;
+  RecordIoTelemetry();
   if (!status.ok()) {
-    journal_error_ = status;
-    return status;
-  }
-  if (tracer_ != nullptr) {
-    tracer_->EndSpan(span_id, parent_span, "journal_append", "commit",
-                     begin_ns, {});
+    ATUNE_RETURN_IF_ERROR(
+        HandleJournalFailure(std::move(status), parent_span));
+  } else {
+    if (m_.io_appends != nullptr) m_.io_appends->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan(span_id, parent_span, "journal_append", "commit",
+                       begin_ns, {});
+    }
   }
   if (InterruptRequested()) return InterruptedStatus();
   return Status::OK();
+}
+
+Status Evaluator::HandleJournalFailure(Status status, uint64_t parent_span) {
+  if (m_.io_errors != nullptr) m_.io_errors->Increment();
+  if (journal_policy_ == JournalPolicy::kStrict) {
+    journal_error_ = status;
+    return status;
+  }
+  // Degrade: availability over resumability. Detach the journal so no
+  // further appends are attempted, and leave a durable sidecar so a later
+  // resume refuses the now-incomplete record instead of silently replaying
+  // a truncated history.
+  journal_degraded_ = true;
+  const std::string sidecar = journal_->path() + kDegradedSidecarSuffix;
+  journal_ = nullptr;
+  IoEnv* env = IoEnv::Current();
+  auto marker = env->OpenWritable(sidecar, IoEnv::OpenMode::kTruncate);
+  if (marker.ok()) {
+    std::string message = "journal degraded: " + status.message() + "\n";
+    (void)WriteFully(env, marker->get(), message.data(), message.size());
+    (void)(*marker)->Sync();
+    (void)(*marker)->Close();
+    (void)env->SyncDir(sidecar);
+  }
+  if (m_.io_degraded != nullptr) m_.io_degraded->Set(1.0);
+  if (tracer_ != nullptr) {
+    tracer_->RecordSynthetic(parent_span, "journal_degrade", nullptr, {});
+  }
+  ATUNE_LOG(Warning) << "journal degraded (" << status.ToString()
+                     << "); tuning continues un-journaled and this session "
+                        "can no longer be resumed";
+  return Status::OK();
+}
+
+void Evaluator::RecordIoTelemetry() {
+  if (journal_ == nullptr || metrics_ == nullptr) return;
+  uint64_t retries = journal_->write_retries();
+  uint64_t shorts = journal_->short_writes();
+  if (retries > io_retries_seen_) {
+    m_.io_retries->Increment(retries - io_retries_seen_);
+    io_retries_seen_ = retries;
+  }
+  if (shorts > io_shorts_seen_) {
+    m_.io_shorts->Increment(shorts - io_shorts_seen_);
+    io_shorts_seen_ = shorts;
+  }
 }
 
 Status Evaluator::ReplayTrial(const Configuration& config,
@@ -518,6 +577,9 @@ Status Evaluator::ReplayTrial(const Configuration& config,
       m_.budget_remeasure->Add(1.0);
     }
     m_.replayed->Increment();
+    // The journaled record was one successful append in the live session;
+    // re-count it so a resumed registry matches the uninterrupted one.
+    m_.io_appends->Increment();
     RecordTrialMetrics(history_.back());
   }
   return Status::OK();
@@ -583,6 +645,7 @@ Result<ExecutionResult> Evaluator::ReplayUnit(const Configuration& config,
   if (metrics_ != nullptr) {
     m_.budget_used->Set(used_);
     m_.replayed->Increment();
+    m_.io_appends->Increment();
   }
   return rec.result;
 }

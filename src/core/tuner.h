@@ -161,6 +161,18 @@ class Evaluator {
   void set_journal(TrialJournal* journal) { journal_ = journal; }
   const Status& journal_error() const { return journal_error_; }
 
+  /// Journal-failure policy (DESIGN.md §12). kStrict (the default) keeps
+  /// the sticky-failure behavior above: the session aborts with a clean
+  /// kIoError. kDegrade trades resumability for availability: on an append
+  /// failure the Evaluator detaches the journal, leaves a durable
+  /// `<path>.degraded` sidecar so a later resume refuses the incomplete
+  /// record, and tuning continues un-journaled. Set before the first
+  /// Evaluate call.
+  void set_journal_policy(JournalPolicy policy) { journal_policy_ = policy; }
+  JournalPolicy journal_policy() const { return journal_policy_; }
+  /// True once a journal I/O failure degraded this session (kDegrade only).
+  bool journal_degraded() const { return journal_degraded_; }
+
   /// Installs the recovered journal records for deterministic replay.
   /// While records remain, every Evaluate* call is served from the journal
   /// — configs are checked against the journaled ones, the recorded
@@ -447,6 +459,18 @@ class Evaluator {
                      const ExecutionResult& result, double cost,
                      uint64_t parent_span);
 
+  /// Converts a journal append failure into the policy's outcome: strict
+  /// latches it into journal_error_ and returns it; degrade detaches the
+  /// journal, writes the `.degraded` sidecar (best effort), emits the
+  /// "journal_degrade" span and io.journal.degraded metric, and returns OK
+  /// so the measurement still reaches the tuner.
+  Status HandleJournalFailure(Status status, uint64_t parent_span);
+
+  /// Feeds the journal's cumulative WriteFully telemetry (transient-error
+  /// retries, short-write continuations) into the io.* counters as deltas.
+  /// No-op when metrics are off or no journal is attached.
+  void RecordIoTelemetry();
+
   /// Serves the next replay record as this trial: verifies kind/config/
   /// batch coordinates against the journal (divergence is kInternal),
   /// re-applies the recorded measurement to history/best/budget/counters.
@@ -510,6 +534,12 @@ class Evaluator {
   std::unique_ptr<ThreadPool> pool_;
 
   TrialJournal* journal_ = nullptr;  // not owned
+  JournalPolicy journal_policy_ = JournalPolicy::kStrict;
+  bool journal_degraded_ = false;
+  /// High-water marks of the journal's cumulative WriteFully telemetry, so
+  /// RecordIoTelemetry feeds the io.* counters exact per-append deltas.
+  uint64_t io_retries_seen_ = 0;
+  uint64_t io_shorts_seen_ = 0;
   Status journal_error_;
   std::vector<JournalRecord> replay_;
   size_t replay_pos_ = 0;
@@ -544,6 +574,11 @@ class Evaluator {
     Gauge* budget_used = nullptr;        // budget.used_units
     Gauge* budget_retry = nullptr;       // budget.retry_units
     Gauge* budget_remeasure = nullptr;   // budget.remeasure_units
+    Counter* io_appends = nullptr;       // io.append.total
+    Counter* io_retries = nullptr;       // io.append.retries
+    Counter* io_shorts = nullptr;        // io.append.short_writes
+    Counter* io_errors = nullptr;        // io.error.total
+    Gauge* io_degraded = nullptr;        // io.journal.degraded
   } m_;
 };
 

@@ -31,6 +31,9 @@
 //   --journal=PATH                  write-ahead trial journal [off]
 //       every committed trial is fsynced to PATH before the tuner sees it;
 //       SIGINT/SIGTERM (and crashes) leave a resumable checkpoint
+//   --journal-policy=strict|degrade journal I/O failure policy [strict]
+//       strict aborts the session with a clean I/O error (exit 3); degrade
+//       continues un-journaled with a warning and refuses later --resume
 //   --resume                        resume from --journal=PATH
 //       replays the journaled trials deterministically, then continues
 //       live; the finished outcome is bit-identical to an uninterrupted run
@@ -90,6 +93,7 @@ struct CliOptions {
   bool supervise = false;
   std::string fallback_tuner;
   std::string journal;
+  JournalPolicy journal_policy = JournalPolicy::kStrict;
   bool resume = false;
   bool csv = false;
   bool list = false;
@@ -148,6 +152,15 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.supervise = true;
     } else if (ParseFlag(arg, "fallback-tuner", &value)) {
       options.fallback_tuner = value;
+    } else if (ParseFlag(arg, "journal-policy", &value)) {
+      if (value == "strict") {
+        options.journal_policy = JournalPolicy::kStrict;
+      } else if (value == "degrade") {
+        options.journal_policy = JournalPolicy::kDegrade;
+      } else {
+        return Status::InvalidArgument(
+            "--journal-policy must be 'strict' or 'degrade'");
+      }
     } else if (ParseFlag(arg, "journal", &value)) {
       options.journal = value;
     } else if (arg == "--resume") {
@@ -282,6 +295,7 @@ int RunCli(const CliOptions& options) {
   session.robustness.max_retries = options.max_retries;
   session.robustness.timeout_seconds = options.timeout_seconds;
   session.journal_path = options.journal;
+  session.journal_policy = options.journal_policy;
   if (!options.journal.empty()) {
     std::signal(SIGINT, HandleSignal);
     std::signal(SIGTERM, HandleSignal);
@@ -314,6 +328,18 @@ int RunCli(const CliOptions& options) {
                    "(rerun with --resume to continue)\n",
                    options.journal.c_str());
       return 130;
+    }
+    if (outcome.status().code() == StatusCode::kIoError) {
+      // The filesystem failed beneath the journal (strict policy): the
+      // session stopped cleanly with every committed trial durable. Distinct
+      // exit code so operators can tell it from a tuning failure.
+      std::fprintf(stderr,
+                   "journal I/O failure (strict policy): %s; committed "
+                   "trials are durable in %s — fix the filesystem and rerun "
+                   "with --resume, or rerun with --journal-policy=degrade\n",
+                   outcome.status().message().c_str(),
+                   options.journal.c_str());
+      return 3;
     }
     // Never emit a partial result table — one clean line, non-zero exit.
     std::fprintf(stderr, "tuning failed: %s\n",
@@ -356,6 +382,11 @@ int RunCli(const CliOptions& options) {
   if (outcome->replayed_records > 0) {
     std::printf("resumed:   %zu trials replayed from %s\n",
                 outcome->replayed_records, options.journal.c_str());
+  }
+  if (outcome->journal_degraded) {
+    std::printf("degraded:  journal I/O failed mid-session; tuning continued "
+                "un-journaled and %s cannot be resumed\n",
+                options.journal.c_str());
   }
   for (const std::string& warning : outcome->recovery_warnings) {
     std::printf("recovery:  %s\n", warning.c_str());

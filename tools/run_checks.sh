@@ -26,6 +26,18 @@
 #                                   # whole-session fast-vs-scalar
 #                                   # bit-identity, zero-alloc Evaluator
 #                                   # commits, and mmap replay fallback
+#   tools/run_checks.sh --crashsafety
+#                                   # Release build + bench_crashsafety at
+#                                   # full scale, gated on the pass flags in
+#                                   # BENCH_crashsafety.json: crash-point
+#                                   # sweep over every mutating I/O op
+#                                   # (recovery + resume bit-identity + no
+#                                   # torn artifacts), fault-schedule matrix
+#                                   # with zero session fatals, and the IoEnv
+#                                   # seam overhead bound (<= 1.02x journal
+#                                   # append). Then rebuilds the asan-ubsan
+#                                   # preset and reruns the harness under
+#                                   # sanitizers at smoke scale.
 #   tools/run_checks.sh --coverage  # instrumented Debug build + full ctest +
 #                                   # per-directory line-coverage summary for
 #                                   # src/. Uses gcovr if installed, else
@@ -58,6 +70,13 @@ if [ "${1:-}" = "--smoke" ]; then
   # loudly so a broken resume path fails the smoke run on its own line.
   ATUNE_SMOKE=1 ./build/bench/bench_durability > /dev/null
   echo "bench_durability: kill/resume bit-identity + fuzz recovery ok"
+  echo "=== [smoke] crash-safety gate ==="
+  # Same contract as durability: bench_crashsafety gates its exit code even
+  # under ATUNE_SMOKE (reduced sweep of >= 8 evenly spaced crash points plus
+  # the full fault-schedule matrix; the seam-overhead bound is advisory in
+  # unoptimized builds but the correctness flags always gate).
+  ATUNE_SMOKE=1 ./build/bench/bench_crashsafety > /dev/null
+  echo "bench_crashsafety: crash-point sweep + fault matrix + seam overhead ok"
   echo "=== [smoke] observability suite ==="
   # The obs tests are cheap (seconds) and guard the trace-as-oracle that
   # bench_durability's bit-identity checks stand on, so the smoke run pays
@@ -100,6 +119,18 @@ if [ "${1:-}" = "--smoke" ]; then
     exit 1
   fi
   echo "atune --supervise: ok (usage errors exit 2)"
+  # Strict journal policy must fail loudly on an unwritable journal: exit 3
+  # (journal I/O error) with a one-line message, distinct from usage errors.
+  if ./build/tools/atune --tuner=random-search --budget=2 --seed=7 \
+      --journal=/nonexistent-dir/smoke.wal --journal-policy=strict \
+      > /dev/null 2>&1; then
+    echo "atune: unwritable --journal under strict policy should exit 3" >&2
+    exit 1
+  elif [ $? -ne 3 ]; then
+    echo "atune: wrong exit code for strict-policy journal I/O failure" >&2
+    exit 1
+  fi
+  echo "atune --journal-policy=strict: ok (journal I/O failure exits 3)"
   echo "=== [smoke] benches at ATUNE_SMOKE=1 ==="
   # bench_micro is a google-benchmark binary: listing its benchmarks proves
   # it links and registers without paying for a timing run.
@@ -109,6 +140,7 @@ if [ "${1:-}" = "--smoke" ]; then
     name="$(basename "$bench")"
     [ "$name" = "bench_micro" ] && continue
     [ "$name" = "bench_durability" ] && continue
+    [ "$name" = "bench_crashsafety" ] && continue
     [ -x "$bench" ] || continue
     echo "--- $name ---"
     ATUNE_SMOKE=1 "$bench" > /dev/null
@@ -161,6 +193,42 @@ if [ "${1:-}" = "--hotpath" ]; then
   fi
   echo "hotpath checks passed: blocked kernels and batched acquisition at"
   echo "speed, bit-identical sessions, zero-alloc commits, mmap replay ok"
+  exit 0
+fi
+
+if [ "${1:-}" = "--crashsafety" ]; then
+  jobs="$(nproc 2>/dev/null || echo 2)"
+  echo "=== [crashsafety] configure + build (default preset, Release) ==="
+  # Optimized build so the seam-overhead gate (IoEnv dispatch <= 1.02x a raw
+  # journal append) is a real measurement; the sweep and fault-matrix flags
+  # gate in any build.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  echo "=== [crashsafety] bench_crashsafety (full sweep) ==="
+  # Full scale: one forked crash per mutating I/O op in the baseline run,
+  # each checked for longest-valid-prefix recovery, resume bit-identity
+  # (checksum + final journal bytes), and no half-written published
+  # artifact; then the fault-schedule matrix (EINTR storms, short writes,
+  # transient and persistent EIO, ENOSPC, fsync failure, rename failure)
+  # under both --journal-policy strict and degrade.
+  ./build/bench/bench_crashsafety
+  if ! grep -q '"pass": {"sweep": true, "faults": true, "overhead": true}' \
+      BENCH_crashsafety.json; then
+    echo "crashsafety gate FAILED:" >&2
+    grep '"pass"' BENCH_crashsafety.json >&2 || true
+    exit 1
+  fi
+  echo "=== [crashsafety] asan-ubsan preset, smoke sweep ==="
+  # Rerun the harness under Address+UBSanitizer at smoke scale: the fault
+  # paths (torn half-writes, truncation guard, tail re-verification) are
+  # exactly the code that should meet asan/ubsan. Overhead is advisory in
+  # sanitizer builds; the correctness flags still gate via the exit code.
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs" --target bench_crashsafety
+  ATUNE_SMOKE=1 ./build-asan/bench/bench_crashsafety > /dev/null
+  echo "crashsafety checks passed: every crash point recovers to the longest"
+  echo "valid prefix, resume is bit-identical, no torn artifacts, zero"
+  echo "session fatals across the fault matrix, seam overhead within 1.02x"
   exit 0
 fi
 
