@@ -1,0 +1,181 @@
+#ifndef ATUNE_NET_DAEMON_H_
+#define ATUNE_NET_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/registry.h"
+#include "net/reactor.h"
+#include "net/wire.h"
+
+namespace atune {
+
+/// Options for TuningDaemon (atuned's --flags map onto these).
+struct DaemonOptions {
+  /// Listen address: "unix:<path>" or "tcp:<dotted-quad>:<port>"
+  /// (port 0 = ephemeral; bound_address() reports the real one).
+  std::string listen = "unix:atuned.sock";
+  /// Directory holding one <session-id>.meta / .wal / .result triple per
+  /// session — the daemon's entire durable state. Restart recovery is a
+  /// rescan of this directory. Created if missing.
+  std::string journal_dir = "atuned-state";
+  /// Worker threads executing tuning sessions (the existing ThreadPool).
+  size_t workers = 4;
+  /// Bounded queue of admitted-but-not-running sessions. Admissions beyond
+  /// it are shed with kShedQueueFull + retry_after_ms — the daemon's memory
+  /// and latency stay bounded no matter the offered load.
+  size_t max_queue = 64;
+  /// Per-tenant admission quota: the sum of budgets (evaluations) of a
+  /// tenant's queued+running sessions may not exceed this. Keeps one noisy
+  /// tenant from monopolizing the worker pool.
+  double tenant_budget_quota = 256.0;
+  /// Backoff hint returned with every shed response.
+  uint64_t retry_after_ms = 50;
+  /// Connections idle this long with an unfinished frame in either buffer
+  /// (a stalled peer, half a frame then silence) are reaped. 0 disables.
+  uint64_t idle_timeout_ms = 30000;
+  /// Cap on AttachRequest::wait_ms (per-request deadline ceiling).
+  uint64_t max_wait_ms = 60000;
+  /// Rescan journal_dir at startup and resume interrupted sessions.
+  bool recover = true;
+};
+
+/// The atuned tuning service (DESIGN.md §13): a single-threaded epoll
+/// reactor multiplexing the wire protocol over many client connections,
+/// executing tuning sessions on a ThreadPool, with:
+///
+///   * admission control — per-tenant budget quotas and a bounded session
+///     queue; everything over quota/capacity is shed with RETRY_AFTER
+///   * deadline propagation — per-session deadlines cancel cleanly at the
+///     next evaluation boundary with the checkpoint journaled; per-request
+///     deadlines bound long-poll attaches
+///   * graceful drain — RequestDrain() (SIGTERM) stops admitting, cancels
+///     running sessions at their next evaluation boundary (the journal
+///     already holds every committed trial), then exits
+///   * restart recovery — Start() rescans journal_dir and re-queues every
+///     interrupted session; replay-based resume makes the finished outcome
+///     bit-identical to a never-interrupted run
+///
+/// All mutable state is owned by the reactor thread. Workers communicate
+/// only through Reactor::Post and per-session atomic cancel flags.
+class TuningDaemon {
+ public:
+  explicit TuningDaemon(DaemonOptions options);
+  ~TuningDaemon();
+  TuningDaemon(const TuningDaemon&) = delete;
+  TuningDaemon& operator=(const TuningDaemon&) = delete;
+
+  /// Binds the listener, recovers journal_dir, starts the worker pool.
+  Status Start();
+
+  /// Start() if needed, then runs the reactor loop until a drain completes.
+  /// Returns OK after a clean drain.
+  Status Serve();
+
+  /// Thread-safe: begin a graceful drain (see class comment). Serve()
+  /// returns once in-flight sessions have checkpointed.
+  void RequestDrain();
+
+  /// An eventfd the daemon watches; writing 8 bytes to it triggers
+  /// RequestDrain. write() is async-signal-safe, so this is how atuned's
+  /// SIGTERM handler requests the drain. -1 before Start().
+  int drain_eventfd() const { return drain_fd_; }
+
+  /// Actual listen address after Start() (resolves tcp port 0).
+  const std::string& bound_address() const { return bound_address_; }
+
+ private:
+  struct Conn;
+
+  enum class CancelReason : uint8_t { kNone, kDeadline, kClient, kDrain };
+
+  /// A long-poll attach waiting for a session to finish (or its per-request
+  /// deadline to expire).
+  struct Waiter {
+    int fd = -1;
+    uint64_t conn_gen = 0;
+    uint64_t timer_id = 0;
+  };
+
+  struct SessionEntry {
+    StartRequest spec;
+    SessionState state = SessionState::kQueued;
+    SessionResult result;
+    bool resume = false;  ///< recovered with an existing journal
+    CancelReason cancel_reason = CancelReason::kNone;
+    /// Polled by the session's Evaluator before every evaluation (the
+    /// worker's only view of this entry).
+    std::shared_ptr<std::atomic<bool>> cancel;
+    uint64_t deadline_timer = 0;
+    std::vector<Waiter> waiters;
+  };
+
+  // ---- reactor-thread handlers ----
+  void OnListenerReadable();
+  void OnConnEvent(int fd, uint32_t events);
+  void ProcessConn(Conn* conn);
+  /// Returns false when the frame destroyed the connection.
+  bool HandleFrame(Conn* conn, const std::string& payload);
+  void HandleStart(Conn* conn, const StartRequest& req);
+  void HandleAttach(Conn* conn, const AttachRequest& req);
+  void HandleCancel(Conn* conn, const CancelRequest& req);
+  void SendPayload(Conn* conn, const std::string& payload);
+  void FlushConn(Conn* conn);
+  void DestroyConn(int fd);
+  void ReapIdleConns();
+
+  // ---- session machinery (reactor thread) ----
+  AdmitCode Admit(const StartRequest& req, uint64_t* retry_after_ms);
+  void EnqueueSession(const std::string& id);
+  void DispatchQueued();
+  void OnSessionDone(const std::string& id, Status status,
+                     SessionResult result);
+  void FinishSession(SessionEntry* entry, const std::string& id,
+                     SessionState state);
+  void ArmDeadline(const std::string& id, SessionEntry* entry);
+  void NotifyWaiters(const std::string& id, SessionEntry* entry);
+  AttachResponse MakeAttachResponse(const SessionEntry& entry) const;
+  void BeginDrain();
+  void MaybeFinishDrain();
+
+  // ---- durable state ----
+  std::string MetaPath(const std::string& id) const;
+  std::string WalPath(const std::string& id) const;
+  std::string ResultPath(const std::string& id) const;
+  Status WriteMeta(const std::string& id, const StartRequest& spec) const;
+  Status WriteResult(const std::string& id, const SessionEntry& entry) const;
+  Status Recover();
+
+  Status BindListener();
+
+  DaemonOptions options_;
+  Reactor reactor_;
+  TunerRegistry registry_;
+  std::unique_ptr<ThreadPool> pool_;
+  int listen_fd_ = -1;
+  int drain_fd_ = -1;
+  std::string bound_address_;
+  std::string unix_path_;  ///< unlinked on clean exit
+  bool started_ = false;
+  bool draining_ = false;
+
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_gen_ = 1;
+
+  std::map<std::string, SessionEntry> sessions_;
+  std::deque<std::string> queue_;  ///< admitted, waiting for a worker
+  size_t active_ = 0;              ///< sessions running on the pool
+  std::map<std::string, double> tenant_inflight_budget_;
+
+  StatsResponse stats_;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_NET_DAEMON_H_

@@ -1,0 +1,178 @@
+#include "net/reactor.h"
+
+#include <errno.h>
+#include <cstring>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace atune {
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (ok()) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+    }
+  }
+}
+
+Reactor::~Reactor() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status Reactor::Add(int fd, uint32_t events, FdCallback callback) {
+  if (!ok()) return Status::FailedPrecondition("reactor failed to construct");
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::IoError(StrFormat("epoll_ctl(ADD): %s",
+                                     std::strerror(errno)));
+  }
+  fd_callbacks_[fd] = std::move(callback);
+  return Status::OK();
+}
+
+Status Reactor::Modify(int fd, uint32_t events) {
+  if (!ok()) return Status::FailedPrecondition("reactor failed to construct");
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::IoError(StrFormat("epoll_ctl(MOD): %s",
+                                     std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+void Reactor::Remove(int fd) {
+  if (epoll_fd_ >= 0) {
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+  fd_callbacks_.erase(fd);
+}
+
+uint64_t Reactor::NowMs() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+uint64_t Reactor::AddTimer(uint64_t at_ms, std::function<void()> callback) {
+  uint64_t id = next_timer_id_++;
+  timers_.push(Timer{at_ms, id});
+  timer_callbacks_[id] = std::move(callback);
+  return id;
+}
+
+void Reactor::CancelTimer(uint64_t id) {
+  // Lazy cancellation: the heap entry stays and is skipped when it pops.
+  timer_callbacks_.erase(id);
+}
+
+void Reactor::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void Reactor::Stop() {
+  stop_requested_ = true;
+  Wake();
+}
+
+void Reactor::Wake() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void Reactor::DrainPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+int Reactor::RunTimers() {
+  uint64_t now = NowMs();
+  while (!timers_.empty()) {
+    Timer top = timers_.top();
+    auto it = timer_callbacks_.find(top.id);
+    if (it == timer_callbacks_.end()) {
+      timers_.pop();  // cancelled
+      continue;
+    }
+    if (top.at_ms > now) {
+      uint64_t delta = top.at_ms - now;
+      return delta > 60000 ? 60000 : static_cast<int>(delta);
+    }
+    timers_.pop();
+    std::function<void()> cb = std::move(it->second);
+    timer_callbacks_.erase(it);
+    cb();
+    now = NowMs();
+  }
+  return -1;
+}
+
+void Reactor::Run() {
+  if (!ok()) return;
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_) {
+    DrainPosted();
+    int timeout = RunTimers();
+    if (stop_requested_) break;
+    {
+      // A Post that raced the drain above must not sleep a full timeout.
+      std::lock_guard<std::mutex> lock(posted_mu_);
+      if (!posted_.empty()) timeout = 0;
+    }
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure; Serve() observes stop
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = fd_callbacks_.find(fd);
+      if (it == fd_callbacks_.end()) continue;  // removed by earlier callback
+      // Copy: the callback may Remove(fd) and invalidate the iterator.
+      FdCallback cb = it->second;
+      cb(events[i].events);
+    }
+  }
+  DrainPosted();
+}
+
+}  // namespace atune

@@ -1,0 +1,92 @@
+#ifndef ATUNE_NET_REACTOR_H_
+#define ATUNE_NET_REACTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+
+namespace atune {
+
+/// Single-threaded epoll event loop — the scheduling core of atuned
+/// (DESIGN.md §13). One thread owns every registered fd and all connection
+/// state; worker threads never touch fds, they hand results back through
+/// Post(), which is the only thread-safe entry point (an eventfd wakes the
+/// loop). Timers are a monotonic-clock min-heap serviced between epoll
+/// waits; they drive per-request deadlines (long-poll expiry), per-session
+/// deadlines, and idle-connection reaping.
+class Reactor {
+ public:
+  using FdCallback = std::function<void(uint32_t epoll_events)>;
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// True when epoll + eventfd construction succeeded; everything else
+  /// returns FailedPrecondition when it did not.
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). The callback runs
+  /// on the loop thread. The fd is NOT owned; Remove() before closing it.
+  Status Add(int fd, uint32_t events, FdCallback callback);
+  Status Modify(int fd, uint32_t events);
+  void Remove(int fd);
+
+  /// Monotonic milliseconds (CLOCK_MONOTONIC); the clock all timers use.
+  static uint64_t NowMs();
+
+  /// Schedules `callback` to run on the loop thread at/after `at_ms`
+  /// (NowMs() units). Returns a timer id for CancelTimer. Must be called on
+  /// the loop thread (use Post from other threads).
+  uint64_t AddTimer(uint64_t at_ms, std::function<void()> callback);
+  void CancelTimer(uint64_t id);
+
+  /// Thread-safe: enqueues `fn` to run on the loop thread and wakes it.
+  /// The only reactor method workers and signal-watching threads may call.
+  void Post(std::function<void()> fn);
+
+  /// Runs the loop until Stop(). Returns only after in-flight callbacks for
+  /// the final iteration finished.
+  void Run();
+
+  /// Thread- and signal-safe: requests loop exit and wakes it.
+  void Stop();
+
+  bool stopped() const { return stop_requested_; }
+
+ private:
+  void Wake();
+  void DrainPosted();
+  /// Runs expired timers; returns ms until the next one (-1 = none).
+  int RunTimers();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd
+  std::map<int, FdCallback> fd_callbacks_;
+
+  struct Timer {
+    uint64_t at_ms;
+    uint64_t id;
+    bool operator>(const Timer& other) const {
+      return at_ms != other.at_ms ? at_ms > other.at_ms : id > other.id;
+    }
+  };
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::map<uint64_t, std::function<void()>> timer_callbacks_;
+  uint64_t next_timer_id_ = 1;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;  // guarded by posted_mu_
+
+  volatile bool stop_requested_ = false;
+};
+
+}  // namespace atune
+
+#endif  // ATUNE_NET_REACTOR_H_

@@ -1,0 +1,440 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+
+namespace atune {
+namespace {
+
+// ---- primitive writers (little-endian, journal idiom) ----------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// ---- bounds-checked reader --------------------------------------------------
+
+/// Cursor over a payload. Every Get sets `ok_ = false` on underflow instead
+/// of reading past the end; parsers check Done() (consumed exactly the whole
+/// payload, no trailing garbage) at the end.
+class Reader {
+ public:
+  explicit Reader(const std::string& payload) : data_(payload) {}
+
+  uint8_t GetU8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t GetU32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t GetU64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double GetF64() {
+    uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string GetString() {
+    uint32_t len = GetU32();
+    if (!Need(len)) return std::string();
+    std::string s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  bool Done() const { return ok_ && pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(StrFormat("malformed %s payload", what));
+}
+
+}  // namespace
+
+const char* AdmitCodeToString(AdmitCode code) {
+  switch (code) {
+    case AdmitCode::kAccepted: return "accepted";
+    case AdmitCode::kAlreadyExists: return "already-exists";
+    case AdmitCode::kShedQueueFull: return "shed-queue-full";
+    case AdmitCode::kShedTenantQuota: return "shed-tenant-quota";
+    case AdmitCode::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+const char* SessionStateToString(SessionState state) {
+  switch (state) {
+    case SessionState::kUnknown: return "unknown";
+    case SessionState::kQueued: return "queued";
+    case SessionState::kRunning: return "running";
+    case SessionState::kDone: return "done";
+    case SessionState::kFailed: return "failed";
+    case SessionState::kCancelled: return "cancelled";
+    case SessionState::kDeadlineExceeded: return "deadline-exceeded";
+    case SessionState::kInterrupted: return "interrupted";
+  }
+  return "unknown";
+}
+
+bool SessionStateTerminal(SessionState state) {
+  switch (state) {
+    case SessionState::kDone:
+    case SessionState::kFailed:
+    case SessionState::kCancelled:
+    case SessionState::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AppendFrame(const std::string& payload, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(0, payload.data(), payload.size()));
+  out->append(payload);
+}
+
+Status ExtractFrame(const char* data, size_t n, std::string* payload,
+                    size_t* consumed) {
+  *consumed = 0;
+  if (n < kFrameHeaderBytes) return Status::OK();  // need more bytes
+  auto read_u32 = [data](size_t at) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data[at + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  uint32_t len = read_u32(0);
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrFormat("frame payload length %u exceeds limit %u", len,
+                  kMaxFramePayload));
+  }
+  if (n < kFrameHeaderBytes + len) return Status::OK();  // incomplete frame
+  uint32_t crc = read_u32(4);
+  if (Crc32(0, data + kFrameHeaderBytes, len) != crc) {
+    return Status::InvalidArgument("frame CRC mismatch");
+  }
+  payload->assign(data + kFrameHeaderBytes, len);
+  *consumed = kFrameHeaderBytes + len;
+  return Status::OK();
+}
+
+std::string EncodePing() {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kPingReq));
+  return p;
+}
+
+std::string EncodePong() {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kPongResp));
+  return p;
+}
+
+std::string EncodeStartRequest(const StartRequest& req) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kStartReq));
+  PutString(&p, req.session_id);
+  PutString(&p, req.tenant);
+  PutString(&p, req.tuner);
+  PutString(&p, req.system);
+  PutString(&p, req.workload);
+  PutF64(&p, req.scale);
+  PutU64(&p, req.budget);
+  PutU64(&p, req.seed);
+  PutU64(&p, req.deadline_ms);
+  PutU64(&p, req.contention);
+  return p;
+}
+
+std::string EncodeStartResponse(const StartResponse& resp) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kStartResp));
+  PutU8(&p, static_cast<uint8_t>(resp.code));
+  PutU64(&p, resp.retry_after_ms);
+  PutU8(&p, static_cast<uint8_t>(resp.state));
+  return p;
+}
+
+std::string EncodeAttachRequest(const AttachRequest& req) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kAttachReq));
+  PutString(&p, req.session_id);
+  PutU64(&p, req.wait_ms);
+  return p;
+}
+
+std::string EncodeAttachResponse(const AttachResponse& resp) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kAttachResp));
+  PutU8(&p, static_cast<uint8_t>(resp.state));
+  PutU8(&p, resp.result.status_code);
+  PutString(&p, resp.result.message);
+  PutF64(&p, resp.result.best_objective);
+  PutU64(&p, resp.result.checksum);
+  PutU64(&p, resp.result.trials);
+  PutU64(&p, resp.result.replayed);
+  return p;
+}
+
+std::string EncodeCancelRequest(const CancelRequest& req) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kCancelReq));
+  PutString(&p, req.session_id);
+  return p;
+}
+
+std::string EncodeCancelResponse(const CancelResponse& resp) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kCancelResp));
+  PutU8(&p, resp.found ? 1 : 0);
+  return p;
+}
+
+std::string EncodeStatsRequest() {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kStatsReq));
+  return p;
+}
+
+std::string EncodeStatsResponse(const StatsResponse& resp) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kStatsResp));
+  PutU64(&p, resp.admitted);
+  PutU64(&p, resp.reattached);
+  PutU64(&p, resp.shed_queue_full);
+  PutU64(&p, resp.shed_tenant_quota);
+  PutU64(&p, resp.shed_draining);
+  PutU64(&p, resp.completed);
+  PutU64(&p, resp.failed);
+  PutU64(&p, resp.cancelled);
+  PutU64(&p, resp.deadline_exceeded);
+  PutU64(&p, resp.recovered);
+  PutU64(&p, resp.active);
+  PutU64(&p, resp.queued);
+  return p;
+}
+
+std::string EncodeErrorResponse(const ErrorResponse& resp) {
+  std::string p;
+  PutU8(&p, static_cast<uint8_t>(MsgType::kErrorResp));
+  PutU8(&p, resp.status_code);
+  PutString(&p, resp.message);
+  return p;
+}
+
+Result<MsgType> PeekType(const std::string& payload) {
+  if (payload.empty()) return Status::InvalidArgument("empty payload");
+  uint8_t t = static_cast<uint8_t>(payload[0]);
+  if (t < static_cast<uint8_t>(MsgType::kPingReq) ||
+      t > static_cast<uint8_t>(MsgType::kErrorResp)) {
+    return Status::InvalidArgument(StrFormat("unknown message type %u", t));
+  }
+  return static_cast<MsgType>(t);
+}
+
+Result<StartRequest> ParseStartRequest(const std::string& payload) {
+  Reader r(payload);
+  if (r.GetU8() != static_cast<uint8_t>(MsgType::kStartReq)) {
+    return Malformed("StartRequest");
+  }
+  StartRequest req;
+  req.session_id = r.GetString();
+  req.tenant = r.GetString();
+  req.tuner = r.GetString();
+  req.system = r.GetString();
+  req.workload = r.GetString();
+  req.scale = r.GetF64();
+  req.budget = r.GetU64();
+  req.seed = r.GetU64();
+  req.deadline_ms = r.GetU64();
+  req.contention = r.GetU64();
+  if (!r.Done()) return Malformed("StartRequest");
+  return req;
+}
+
+Result<StartResponse> ParseStartResponse(const std::string& payload) {
+  Reader r(payload);
+  if (r.GetU8() != static_cast<uint8_t>(MsgType::kStartResp)) {
+    return Malformed("StartResponse");
+  }
+  StartResponse resp;
+  uint8_t code = r.GetU8();
+  if (code > static_cast<uint8_t>(AdmitCode::kDraining)) {
+    return Malformed("StartResponse");
+  }
+  resp.code = static_cast<AdmitCode>(code);
+  resp.retry_after_ms = r.GetU64();
+  uint8_t state = r.GetU8();
+  if (state > static_cast<uint8_t>(SessionState::kInterrupted)) {
+    return Malformed("StartResponse");
+  }
+  resp.state = static_cast<SessionState>(state);
+  if (!r.Done()) return Malformed("StartResponse");
+  return resp;
+}
+
+Result<AttachRequest> ParseAttachRequest(const std::string& payload) {
+  Reader r(payload);
+  if (r.GetU8() != static_cast<uint8_t>(MsgType::kAttachReq)) {
+    return Malformed("AttachRequest");
+  }
+  AttachRequest req;
+  req.session_id = r.GetString();
+  req.wait_ms = r.GetU64();
+  if (!r.Done()) return Malformed("AttachRequest");
+  return req;
+}
+
+Result<AttachResponse> ParseAttachResponse(const std::string& payload) {
+  Reader r(payload);
+  if (r.GetU8() != static_cast<uint8_t>(MsgType::kAttachResp)) {
+    return Malformed("AttachResponse");
+  }
+  AttachResponse resp;
+  uint8_t state = r.GetU8();
+  if (state > static_cast<uint8_t>(SessionState::kInterrupted)) {
+    return Malformed("AttachResponse");
+  }
+  resp.state = static_cast<SessionState>(state);
+  resp.result.status_code = r.GetU8();
+  resp.result.message = r.GetString();
+  resp.result.best_objective = r.GetF64();
+  resp.result.checksum = r.GetU64();
+  resp.result.trials = r.GetU64();
+  resp.result.replayed = r.GetU64();
+  if (!r.Done()) return Malformed("AttachResponse");
+  return resp;
+}
+
+Result<CancelRequest> ParseCancelRequest(const std::string& payload) {
+  Reader r(payload);
+  if (r.GetU8() != static_cast<uint8_t>(MsgType::kCancelReq)) {
+    return Malformed("CancelRequest");
+  }
+  CancelRequest req;
+  req.session_id = r.GetString();
+  if (!r.Done()) return Malformed("CancelRequest");
+  return req;
+}
+
+Result<CancelResponse> ParseCancelResponse(const std::string& payload) {
+  Reader r(payload);
+  if (r.GetU8() != static_cast<uint8_t>(MsgType::kCancelResp)) {
+    return Malformed("CancelResponse");
+  }
+  CancelResponse resp;
+  resp.found = r.GetU8() != 0;
+  if (!r.Done()) return Malformed("CancelResponse");
+  return resp;
+}
+
+Result<StatsResponse> ParseStatsResponse(const std::string& payload) {
+  Reader r(payload);
+  if (r.GetU8() != static_cast<uint8_t>(MsgType::kStatsResp)) {
+    return Malformed("StatsResponse");
+  }
+  StatsResponse resp;
+  resp.admitted = r.GetU64();
+  resp.reattached = r.GetU64();
+  resp.shed_queue_full = r.GetU64();
+  resp.shed_tenant_quota = r.GetU64();
+  resp.shed_draining = r.GetU64();
+  resp.completed = r.GetU64();
+  resp.failed = r.GetU64();
+  resp.cancelled = r.GetU64();
+  resp.deadline_exceeded = r.GetU64();
+  resp.recovered = r.GetU64();
+  resp.active = r.GetU64();
+  resp.queued = r.GetU64();
+  if (!r.Done()) return Malformed("StatsResponse");
+  return resp;
+}
+
+Result<ErrorResponse> ParseErrorResponse(const std::string& payload) {
+  Reader r(payload);
+  if (r.GetU8() != static_cast<uint8_t>(MsgType::kErrorResp)) {
+    return Malformed("ErrorResponse");
+  }
+  ErrorResponse resp;
+  resp.status_code = r.GetU8();
+  resp.message = r.GetString();
+  if (!r.Done()) return Malformed("ErrorResponse");
+  return resp;
+}
+
+bool ValidSessionId(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  // "." / ".." would escape into directory semantics.
+  return id != "." && id != "..";
+}
+
+}  // namespace atune

@@ -21,6 +21,24 @@ std::vector<std::string> MultiTenantSystem::MetricNames() const {
   return names;
 }
 
+std::unique_ptr<TunableSystem> MultiTenantSystem::Clone(
+    uint64_t runs_ahead) const {
+  // Each wrapper execution consumes tenants_.size() base executions, so the
+  // base clone must start that many base-runs ahead per wrapper-run.
+  std::unique_ptr<TunableSystem> base_clone =
+      base_->Clone(runs_ahead * tenants_.size());
+  if (base_clone == nullptr) return nullptr;
+  auto clone =
+      std::unique_ptr<MultiTenantSystem>(new MultiTenantSystem(
+          base_clone.get(), tenants_));
+  clone->owned_base_ = std::move(base_clone);
+  return clone;
+}
+
+void MultiTenantSystem::SkipRuns(uint64_t n) {
+  base_->SkipRuns(n * tenants_.size());
+}
+
 Result<ExecutionResult> MultiTenantSystem::Execute(const Configuration& config,
                                                    const Workload& workload) {
   ExecutionResult total;

@@ -46,12 +46,24 @@ class MultiTenantSystem : public TunableSystem {
   }
   std::vector<std::string> MetricNames() const override;
 
+  /// One wrapper Execute() runs the base system once per tenant, so the
+  /// wrapper's noise accounting is k base runs per wrapper run: a clone
+  /// `runs_ahead` wrapper-executions ahead clones the base
+  /// `runs_ahead * tenants()` base-executions ahead (and the clone owns its
+  /// cloned base). Without this multiplier, parallel batches and journal
+  /// resume would silently diverge from serial execution.
+  std::unique_ptr<TunableSystem> Clone(uint64_t runs_ahead) const override;
+  void SkipRuns(uint64_t n) override;
+
   const std::vector<Tenant>& tenants() const { return tenants_; }
 
  private:
   TunableSystem* base_;
   std::vector<Tenant> tenants_;
   std::string name_;
+  /// Set only on clones: keeps the cloned base alive for the wrapper's
+  /// lifetime (the public constructor borrows, Clone() must own).
+  std::unique_ptr<TunableSystem> owned_base_;
 };
 
 /// A neutral workload to pass to MultiTenantSystem::Execute (the wrapper

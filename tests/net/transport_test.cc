@@ -1,0 +1,300 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/io_env.h"
+
+namespace atune {
+namespace {
+
+// A torn-peer write must surface as EPIPE through Status, not kill the test
+// binary — the same process-wide contract atuned and atune_cli install.
+const bool kSigPipeIgnored = [] {
+  IgnoreSigPipe();
+  return true;
+}();
+
+/// A connected socket pair: `a` and `b` are FdTransports over its ends.
+struct Pair {
+  std::unique_ptr<Transport> a;
+  std::unique_ptr<Transport> b;
+};
+
+Pair MakePair() {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Pair p;
+  p.a = std::make_unique<FdTransport>(fds[0]);
+  p.b = std::make_unique<FdTransport>(fds[1]);
+  return p;
+}
+
+TEST(TransportTest, ReadWriteRoundTrip) {
+  Pair p = MakePair();
+  const std::string msg = "hello, tuning daemon";
+  ASSERT_TRUE(WriteFully(p.a.get(), msg.data(), msg.size()).ok());
+  std::string got(msg.size(), '\0');
+  ASSERT_TRUE(ReadFully(p.b.get(), &got[0], got.size()).ok());
+  EXPECT_EQ(got, msg);
+}
+
+TEST(TransportTest, CleanEofIsZeroBytesOk) {
+  Pair p = MakePair();
+  ASSERT_TRUE(p.a->Close().ok());
+  char buf[8];
+  size_t nread = 99;
+  bool transient = true;
+  Status s = p.b->Read(buf, sizeof(buf), &nread, &transient);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(nread, 0u);
+}
+
+TEST(TransportTest, EofMidBufferIsNotRetried) {
+  Pair p = MakePair();
+  ASSERT_TRUE(WriteFully(p.a.get(), "abc", 3).ok());
+  ASSERT_TRUE(p.a->Close().ok());
+  char buf[8];
+  Status s = ReadFully(p.b.get(), buf, sizeof(buf));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("peer closed mid-frame"), std::string::npos);
+}
+
+// ---- the EINTR-storm regression (shared retry bounds) -----------------------
+//
+// The transport's ReadFully/WriteFully must be driven by the SAME
+// IoRetryPolicy struct and defaults as the filesystem seam's WriteFully
+// (common/io_env.h) — these tests pin the boundary at exactly
+// policy.max_attempts, so any drift between duplicated constants fails.
+
+TEST(TransportTest, EintrStormWithinBoundSucceeds) {
+  const IoRetryPolicy policy;  // the one shared default
+  Pair p = MakePair();
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::move(p.a), NetFaultSchedule::Single(NetOpKind::kWrite, 0,
+                                               NetFaultKind::kEintr,
+                                               policy.max_attempts - 1));
+  const std::string msg = "storm survivor";
+  ASSERT_TRUE(WriteFully(faulty.get(), msg.data(), msg.size()).ok());
+  EXPECT_EQ(faulty->injected(NetFaultKind::kEintr), policy.max_attempts - 1);
+  EXPECT_EQ(faulty->backoffs(), policy.max_attempts - 1);
+  std::string got(msg.size(), '\0');
+  ASSERT_TRUE(ReadFully(p.b.get(), &got[0], got.size()).ok());
+  EXPECT_EQ(got, msg);
+}
+
+TEST(TransportTest, EintrStormBeyondBoundExhaustsTheRetryBudget) {
+  const IoRetryPolicy policy;
+  Pair p = MakePair();
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::move(p.a), NetFaultSchedule::Single(NetOpKind::kWrite, 0,
+                                               NetFaultKind::kEintr,
+                                               policy.max_attempts));
+  Status s = WriteFully(faulty.get(), "doomed", 6);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("transient-error retries"), std::string::npos);
+}
+
+TEST(TransportTest, EintrStormOnReadSideSameBoundary) {
+  const IoRetryPolicy policy;
+  {
+    Pair p = MakePair();
+    ASSERT_TRUE(WriteFully(p.a.get(), "payload!", 8).ok());
+    auto faulty = std::make_unique<FaultInjectingTransport>(
+        std::move(p.b), NetFaultSchedule::Single(NetOpKind::kRead, 0,
+                                                 NetFaultKind::kEintr,
+                                                 policy.max_attempts - 1));
+    char buf[8];
+    EXPECT_TRUE(ReadFully(faulty.get(), buf, sizeof(buf)).ok());
+  }
+  {
+    Pair p = MakePair();
+    ASSERT_TRUE(WriteFully(p.a.get(), "payload!", 8).ok());
+    auto faulty = std::make_unique<FaultInjectingTransport>(
+        std::move(p.b), NetFaultSchedule::Single(NetOpKind::kRead, 0,
+                                                 NetFaultKind::kEintr,
+                                                 policy.max_attempts));
+    char buf[8];
+    EXPECT_FALSE(ReadFully(faulty.get(), buf, sizeof(buf)).ok());
+  }
+}
+
+TEST(TransportTest, CustomPolicyBoundIsHonored) {
+  Pair p = MakePair();
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::move(p.a),
+      NetFaultSchedule::Single(NetOpKind::kWrite, 0, NetFaultKind::kEintr, 2));
+  IoRetryPolicy tight;
+  tight.max_attempts = 2;
+  tight.backoff_base_us = 0;
+  EXPECT_FALSE(WriteFully(faulty.get(), "x", 1, tight).ok());
+
+  Pair q = MakePair();
+  auto faulty2 = std::make_unique<FaultInjectingTransport>(
+      std::move(q.a),
+      NetFaultSchedule::Single(NetOpKind::kWrite, 0, NetFaultKind::kEintr, 2));
+  IoRetryPolicy loose;
+  loose.max_attempts = 3;
+  loose.backoff_base_us = 0;
+  EXPECT_TRUE(WriteFully(faulty2.get(), "x", 1, loose).ok());
+}
+
+TEST(TransportTest, ProgressResetsTheRetryBudget) {
+  const IoRetryPolicy policy;
+  // max_attempts-1 EINTRs, one byte of progress, then max_attempts-1 more:
+  // 2*(max_attempts-1) transient errors total, but never max_attempts in a
+  // row, so the write must succeed (same semantics as io_env's WriteFully).
+  NetFaultSchedule schedule;
+  schedule.rules.push_back({NetOpKind::kWrite, 0, NetFaultKind::kEintr,
+                            policy.max_attempts - 1});
+  schedule.rules.push_back({NetOpKind::kWrite, policy.max_attempts,
+                            NetFaultKind::kShortWrite, 1});
+  schedule.rules.push_back({NetOpKind::kWrite, policy.max_attempts + 1,
+                            NetFaultKind::kEintr, policy.max_attempts - 1});
+  Pair p = MakePair();
+  auto faulty = std::make_unique<FaultInjectingTransport>(std::move(p.a),
+                                                          schedule);
+  const std::string msg = "0123456789";
+  ASSERT_TRUE(WriteFully(faulty.get(), msg.data(), msg.size()).ok());
+  std::string got(msg.size(), '\0');
+  ASSERT_TRUE(ReadFully(p.b.get(), &got[0], got.size()).ok());
+  EXPECT_EQ(got, msg);
+}
+
+// ---- short ops, stalls, disconnects ------------------------------------------
+
+TEST(TransportTest, ShortReadsReassemble) {
+  Pair p = MakePair();
+  const std::string msg(64, 'r');
+  ASSERT_TRUE(WriteFully(p.a.get(), msg.data(), msg.size()).ok());
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::move(p.b), NetFaultSchedule::Single(NetOpKind::kRead, 0,
+                                               NetFaultKind::kShortRead, 4));
+  std::string got(msg.size(), '\0');
+  ASSERT_TRUE(ReadFully(faulty.get(), &got[0], got.size()).ok());
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(faulty->injected(NetFaultKind::kShortRead), 4u);
+  // Short ops make progress: no retry budget spent, no backoffs.
+  EXPECT_EQ(faulty->backoffs(), 0u);
+}
+
+TEST(TransportTest, ShortWritesReassemble) {
+  Pair p = MakePair();
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::move(p.a), NetFaultSchedule::Single(NetOpKind::kWrite, 0,
+                                               NetFaultKind::kShortWrite, 4));
+  const std::string msg(64, 'w');
+  ASSERT_TRUE(WriteFully(faulty.get(), msg.data(), msg.size()).ok());
+  std::string got(msg.size(), '\0');
+  ASSERT_TRUE(ReadFully(p.b.get(), &got[0], got.size()).ok());
+  EXPECT_EQ(got, msg);
+}
+
+TEST(TransportTest, StallTicksAreBoundedTransients) {
+  Pair p = MakePair();
+  ASSERT_TRUE(WriteFully(p.a.get(), "late", 4).ok());
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::move(p.b), NetFaultSchedule::Single(NetOpKind::kRead, 0,
+                                               NetFaultKind::kStallTick, 2));
+  char buf[4];
+  ASSERT_TRUE(ReadFully(faulty.get(), buf, sizeof(buf)).ok());
+  EXPECT_EQ(faulty->injected(NetFaultKind::kStallTick), 2u);
+  EXPECT_EQ(faulty->backoffs(), 2u);
+}
+
+TEST(TransportTest, MidFrameDisconnectReallyTearsTheStream) {
+  Pair p = MakePair();
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::move(p.a), NetFaultSchedule::Single(NetOpKind::kWrite, 0,
+                                               NetFaultKind::kDisconnect));
+  const std::string msg(32, 'd');
+  Status s = WriteFully(faulty.get(), msg.data(), msg.size());
+  EXPECT_FALSE(s.ok());  // non-transient: the Fully loop must NOT mask it
+
+  // The peer sees exactly half the frame, then EOF — a torn frame, not a
+  // clean close with a whole message.
+  std::string got(msg.size(), '\0');
+  Status peer = ReadFully(p.b.get(), &got[0], got.size());
+  EXPECT_FALSE(peer.ok());
+  EXPECT_NE(peer.message().find("peer closed mid-frame"), std::string::npos);
+  EXPECT_NE(peer.message().find("16/32"), std::string::npos);
+}
+
+TEST(TransportTest, RateScheduleIsDeterministic) {
+  NetFaultSchedule schedule = NetFaultSchedule::FromRate(0.5, 1234);
+  uint64_t counts[2][kNumNetFaultKinds];
+  for (int run = 0; run < 2; ++run) {
+    Pair p = MakePair();
+    auto faulty = std::make_unique<FaultInjectingTransport>(std::move(p.a),
+                                                            schedule);
+    char byte = 'x';
+    for (int i = 0; i < 200; ++i) {
+      size_t moved = 0;
+      bool transient = false;
+      (void)faulty->Write(&byte, 1, &moved, &transient);
+    }
+    for (size_t k = 0; k < kNumNetFaultKinds; ++k) {
+      counts[run][k] = faulty->injected(static_cast<NetFaultKind>(k));
+    }
+    EXPECT_GT(faulty->injected_total(), 0u);
+  }
+  for (size_t k = 0; k < kNumNetFaultKinds; ++k) {
+    EXPECT_EQ(counts[0][k], counts[1][k]) << NetFaultKindToString(
+        static_cast<NetFaultKind>(k));
+  }
+}
+
+// ---- address parsing ----------------------------------------------------------
+
+TEST(TransportTest, ParseAddressGrammar) {
+  auto unix_addr = ParseAddress("unix:/tmp/x.sock");
+  ASSERT_TRUE(unix_addr.ok());
+  EXPECT_TRUE(unix_addr->is_unix);
+  EXPECT_EQ(unix_addr->path, "/tmp/x.sock");
+
+  auto bare = ParseAddress("/tmp/y.sock");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->is_unix);
+  EXPECT_EQ(bare->path, "/tmp/y.sock");
+
+  auto tcp = ParseAddress("tcp:127.0.0.1:8088");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_FALSE(tcp->is_unix);
+  EXPECT_EQ(tcp->host, "127.0.0.1");
+  EXPECT_EQ(tcp->port, 8088);
+
+  EXPECT_FALSE(ParseAddress("unix:").ok());
+  EXPECT_FALSE(ParseAddress("tcp:127.0.0.1").ok());
+  EXPECT_FALSE(ParseAddress("tcp::123").ok());
+  EXPECT_FALSE(ParseAddress("tcp:1.2.3.4:99999").ok());
+  EXPECT_FALSE(ParseAddress("unix:" + std::string(200, 'p')).ok());
+}
+
+TEST(TransportTest, ConnectToMissingSocketFailsCleanly) {
+  auto t = ConnectTransport("unix:/tmp/definitely-not-listening.sock", 100);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kIoError);
+}
+
+TEST(TransportTest, WriteToDeadPeerIsEpipeNotSigpipe) {
+  Pair p = MakePair();
+  ASSERT_TRUE(p.b->Close().ok());
+  // Fill until the kernel notices the dead peer. With SIGPIPE ignored this
+  // must surface as a clean non-transient Status, not kill the process.
+  std::string chunk(4096, 'z');
+  Status s = Status::OK();
+  for (int i = 0; i < 1000 && s.ok(); ++i) {
+    s = WriteFully(p.a.get(), chunk.data(), chunk.size());
+  }
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace atune

@@ -65,6 +65,78 @@ TEST(MultiTenantTest, RobustObjectivePrefersFairness) {
   EXPECT_LT(obj(c, fair), obj(c, skewed));
 }
 
+// One wrapper Execute() is tenants() base executions, so Clone(runs_ahead)
+// must advance the cloned base runs_ahead * tenants() base-runs and
+// SkipRuns(n) must skip n * tenants(). These tests pin that multiplier with
+// noise ON (the multiplier is invisible with noise disabled).
+TEST(MultiTenantTest, CloneMatchesSerialExecutionWithNoise) {
+  auto dbms = MakeTestDbms(/*seed=*/42, /*noise=*/true);
+  MultiTenantSystem mt(dbms.get(), TwoTenants());
+  Configuration config = mt.space().DefaultConfiguration();
+  Workload w = MakeMultiTenantWorkload();
+
+  // Clones created BEFORE the parent runs, one per future wrapper run.
+  auto clone0 = mt.Clone(0);
+  auto clone1 = mt.Clone(1);
+  ASSERT_NE(clone0, nullptr);
+  ASSERT_NE(clone1, nullptr);
+
+  auto serial0 = mt.Execute(config, w);
+  auto serial1 = mt.Execute(config, w);
+  ASSERT_TRUE(serial0.ok());
+  ASSERT_TRUE(serial1.ok());
+  // Noise is per-run: two serial wrapper runs must differ (sanity that the
+  // equality checks below are not vacuous).
+  EXPECT_NE(serial0->runtime_seconds, serial1->runtime_seconds);
+
+  auto fanned0 = clone0->Execute(config, w);
+  auto fanned1 = clone1->Execute(config, w);
+  ASSERT_TRUE(fanned0.ok());
+  ASSERT_TRUE(fanned1.ok());
+  EXPECT_EQ(fanned0->runtime_seconds, serial0->runtime_seconds);
+  EXPECT_EQ(fanned1->runtime_seconds, serial1->runtime_seconds);
+  for (const auto& [name, value] : serial1->metrics) {
+    EXPECT_EQ(fanned1->metrics.at(name), value) << name;
+  }
+}
+
+TEST(MultiTenantTest, SkipRunsRealignsTheNoiseStream) {
+  auto a = MakeTestDbms(/*seed=*/42, /*noise=*/true);
+  MultiTenantSystem mt_a(a.get(), TwoTenants());
+  auto b = MakeTestDbms(/*seed=*/42, /*noise=*/true);
+  MultiTenantSystem mt_b(b.get(), TwoTenants());
+  Configuration config = mt_a.space().DefaultConfiguration();
+  Workload w = MakeMultiTenantWorkload();
+
+  // A executes twice for real; B skips two wrapper runs instead. Their
+  // third executions must be bit-identical.
+  ASSERT_TRUE(mt_a.Execute(config, w).ok());
+  ASSERT_TRUE(mt_a.Execute(config, w).ok());
+  mt_b.SkipRuns(2);
+  auto third_a = mt_a.Execute(config, w);
+  auto third_b = mt_b.Execute(config, w);
+  ASSERT_TRUE(third_a.ok());
+  ASSERT_TRUE(third_b.ok());
+  EXPECT_EQ(third_a->runtime_seconds, third_b->runtime_seconds);
+}
+
+TEST(MultiTenantTest, CloneOwnsItsBase) {
+  // The clone must stay valid after the source wrapper and its base die
+  // (Evaluator::EvaluateBatch hands clones to worker threads).
+  std::unique_ptr<TunableSystem> clone;
+  Configuration config;
+  {
+    auto dbms = MakeTestDbms(/*seed=*/7, /*noise=*/true);
+    MultiTenantSystem mt(dbms.get(), TwoTenants());
+    config = mt.space().DefaultConfiguration();
+    clone = mt.Clone(0);
+    ASSERT_NE(clone, nullptr);
+  }
+  auto r = clone->Execute(config, MakeMultiTenantWorkload());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->runtime_seconds, 0.0);
+}
+
 TEST(MultiTenantTest, TuningTheSharedConfigSatisfiesBothSlos) {
   auto dbms = MakeTestDbms();
   MultiTenantSystem mt(dbms.get(), TwoTenants());

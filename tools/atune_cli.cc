@@ -45,6 +45,33 @@
 //   --metrics                       session metrics table on stdout
 //   --csv                           machine-readable trial log on stdout
 //   --list                          print available tuners and workloads
+//
+// Service mode (talk to a running atuned instead of tuning in-process):
+//   --connect=ADDR                  unix:<path> or tcp:<host>:<port>
+//       submits the session to the daemon and waits for the result. The
+//       connection retries with bounded exponential backoff (the shared
+//       IoRetryPolicy bounds), and the session id is the idempotency key:
+//       a reconnect (or a rerun with the same --session-id) reattaches to
+//       the in-flight session, it never double-starts it.
+//   --session-id=ID                 idempotent session id [auto: cli-<pid>-<seed>]
+//   --tenant=NAME                   tenant for admission quotas [default]
+//   --deadline-ms=N                 server-side session deadline [0 = none]
+//   --contention=K                  K background tenants share the system [0]
+//   --wait-ms=N                     max wait for the result [0 = forever]
+//
+// Exit codes:
+//   0    success (tuned, or server session done)
+//   1    tuning failed (local session)
+//   2    usage error (bad flags, unknown tuner/workload — local or server)
+//   3    journal I/O failure under --journal-policy=strict (local session)
+//   4    service unreachable: connect/exchange retries exhausted, or the
+//        daemon shed the session and retries ran out (--connect mode)
+//   5    server-side session failed (--connect mode)
+//   6    deadline exceeded: the server-side session hit --deadline-ms, or
+//        --wait-ms elapsed first (--connect mode)
+//   130  interrupted/cancelled; progress is checkpointed and resumable
+
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
@@ -59,13 +86,11 @@
 #include "core/registry.h"
 #include "core/session.h"
 #include "core/supervisor.h"
-#include "systems/dbms/dbms_system.h"
+#include "net/client.h"
+#include "net/transport.h"
+#include "net/wire.h"
 #include "systems/fault_injector.h"
-#include "systems/dbms/dbms_workloads.h"
-#include "systems/mapreduce/mr_system.h"
-#include "systems/mapreduce/mr_workloads.h"
-#include "systems/spark/spark_system.h"
-#include "systems/spark/spark_workloads.h"
+#include "systems/system_factory.h"
 #include "tuners/builtin.h"
 
 namespace atune {
@@ -100,6 +125,13 @@ struct CliOptions {
   std::string trace_path;
   bool trace_summary = false;
   bool metrics = false;
+  // --connect (service) mode
+  std::string connect;
+  std::string session_id;
+  std::string tenant = "default";
+  uint64_t deadline_ms = 0;
+  uint64_t contention = 0;
+  uint64_t wait_ms = 0;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
@@ -177,6 +209,18 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.trace_summary = true;
     } else if (arg == "--metrics") {
       options.metrics = true;
+    } else if (ParseFlag(arg, "connect", &value)) {
+      options.connect = value;
+    } else if (ParseFlag(arg, "session-id", &value)) {
+      options.session_id = value;
+    } else if (ParseFlag(arg, "tenant", &value)) {
+      options.tenant = value;
+    } else if (ParseFlag(arg, "deadline-ms", &value)) {
+      options.deadline_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "contention", &value)) {
+      options.contention = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "wait-ms", &value)) {
+      options.wait_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -187,45 +231,113 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   if (!options.fallback_tuner.empty() && !options.supervise) {
     return Status::InvalidArgument("--fallback-tuner requires --supervise");
   }
+  if (options.connect.empty() &&
+      (!options.session_id.empty() || options.deadline_ms > 0 ||
+       options.contention > 0 || options.wait_ms > 0)) {
+    return Status::InvalidArgument(
+        "--session-id/--deadline-ms/--contention/--wait-ms require --connect");
+  }
   return options;
 }
 
-std::map<std::string, Workload> WorkloadsFor(const std::string& system,
-                                             double scale) {
-  if (system == "mapreduce") {
-    return {{"wordcount", MakeMrWordCountWorkload(10.0 * scale)},
-            {"terasort", MakeMrTeraSortWorkload(10.0 * scale)},
-            {"grep", MakeMrGrepWorkload(10.0 * scale)},
-            {"join", MakeMrJoinWorkload(10.0 * scale)},
-            {"pagerank", MakeMrPageRankWorkload(5.0 * scale, 8)}};
-  }
-  if (system == "spark") {
-    return {{"sql_aggregate", MakeSparkSqlAggregateWorkload(8.0 * scale)},
-            {"sql_join", MakeSparkJoinWorkload(8.0 * scale)},
-            {"iterative_ml", MakeSparkIterativeMlWorkload(4.0 * scale)},
-            {"streaming", MakeSparkStreamingWorkload(64.0 * scale)}};
-  }
-  return {{"olap", MakeDbmsOlapWorkload(scale)},
-          {"oltp", MakeDbmsOltpWorkload(scale)},
-          {"mixed", MakeDbmsMixedWorkload(scale)}};
-}
+/// Service mode: submit the session to a running atuned and wait for the
+/// terminal result. See the exit-code table at the top of this file.
+int RunConnect(const CliOptions& options) {
+  TuningClient::Options client_options;
+  client_options.address = options.connect;
+  TuningClient client(client_options);
 
-std::unique_ptr<TunableSystem> MakeSystemFor(const std::string& system,
-                                             size_t nodes, uint64_t seed) {
-  NodeSpec node;
-  node.cores = 8;
-  node.ram_mb = 16384;
-  if (system == "mapreduce") {
-    node.ram_mb = 8192;
-    return std::make_unique<SimulatedMapReduce>(
-        ClusterSpec::MakeUniform(nodes == 0 ? 4 : nodes, node), seed);
+  StartRequest request;
+  // Auto ids are stable within one invocation, so this process's own
+  // reconnect retries reattach rather than double-start; pass an explicit
+  // --session-id to make retries idempotent across invocations too.
+  request.session_id =
+      options.session_id.empty()
+          ? StrFormat("cli-%d-%llu", static_cast<int>(::getpid()),
+                      static_cast<unsigned long long>(options.seed))
+          : options.session_id;
+  request.tenant = options.tenant;
+  request.tuner = options.tuner;
+  request.system = options.system;
+  request.workload = options.workload;
+  request.scale = options.scale;
+  request.budget = options.budget;
+  request.seed = options.seed;
+  request.deadline_ms = options.deadline_ms;
+  request.contention = options.contention;
+
+  auto start = client.RetryStart(request);
+  if (!start.ok()) {
+    std::fprintf(stderr, "atune: %s\n", start.status().ToString().c_str());
+    return start.status().code() == StatusCode::kInvalidArgument ? 2 : 4;
   }
-  if (system == "spark") {
-    return std::make_unique<SimulatedSpark>(
-        ClusterSpec::MakeUniform(nodes == 0 ? 4 : nodes, node), seed);
+  switch (start->code) {
+    case AdmitCode::kAccepted:
+      std::fprintf(stderr, "session %s admitted\n",
+                   request.session_id.c_str());
+      break;
+    case AdmitCode::kAlreadyExists:
+      std::fprintf(stderr, "session %s already in flight (%s); reattached\n",
+                   request.session_id.c_str(),
+                   SessionStateToString(start->state));
+      break;
+    default:
+      std::fprintf(stderr, "atune: session shed by daemon: %s\n",
+                   AdmitCodeToString(start->code));
+      return 4;
   }
-  return std::make_unique<SimulatedDbms>(
-      ClusterSpec::MakeUniform(nodes == 0 ? 1 : nodes, node), seed);
+
+  auto attach = client.AwaitResult(request.session_id, options.wait_ms);
+  if (!attach.ok()) {
+    std::fprintf(stderr, "atune: %s\n", attach.status().ToString().c_str());
+    return 4;
+  }
+  const SessionResult& result = attach->result;
+  switch (attach->state) {
+    case SessionState::kDone:
+      std::printf("session:   %s (daemon %s)\n", request.session_id.c_str(),
+                  options.connect.c_str());
+      std::printf("tuner:     %s on %s/%s\n", request.tuner.c_str(),
+                  request.system.c_str(),
+                  request.workload.empty() ? "(default)"
+                                           : request.workload.c_str());
+      std::printf("best:      %.4f\n", result.best_objective);
+      std::printf("trials:    %llu (%llu replayed from journal)\n",
+                  static_cast<unsigned long long>(result.trials),
+                  static_cast<unsigned long long>(result.replayed));
+      std::printf("checksum:  %016llx\n",
+                  static_cast<unsigned long long>(result.checksum));
+      return 0;
+    case SessionState::kFailed:
+      std::fprintf(stderr, "atune: session failed on the daemon: %s: %s\n",
+                   StatusCodeToString(
+                       static_cast<StatusCode>(result.status_code)),
+                   result.message.c_str());
+      return 5;
+    case SessionState::kDeadlineExceeded:
+      std::fprintf(stderr,
+                   "atune: session deadline exceeded; checkpoint journaled "
+                   "on the daemon\n");
+      return 6;
+    case SessionState::kCancelled:
+    case SessionState::kInterrupted:
+      std::fprintf(stderr,
+                   "atune: session %s; checkpoint journaled on the daemon\n",
+                   SessionStateToString(attach->state));
+      return 130;
+    case SessionState::kUnknown:
+      std::fprintf(stderr, "atune: daemon does not know session %s\n",
+                   request.session_id.c_str());
+      return 5;
+    default:
+      // Non-terminal: --wait-ms elapsed before the session finished.
+      std::fprintf(stderr,
+                   "atune: timed out after %llu ms (session is %s; rerun "
+                   "with the same --session-id to reattach)\n",
+                   static_cast<unsigned long long>(options.wait_ms),
+                   SessionStateToString(attach->state));
+      return 6;
+  }
 }
 
 int RunCli(const CliOptions& options) {
@@ -241,7 +353,7 @@ int RunCli(const CliOptions& options) {
     }
     for (const char* system : {"dbms", "mapreduce", "spark"}) {
       std::printf("workloads for --system=%s:\n", system);
-      for (const auto& [name, workload] : WorkloadsFor(system, 1.0)) {
+      for (const auto& [name, workload] : WorkloadsForSystem(system, 1.0)) {
         (void)workload;
         std::printf("  %s\n", name.c_str());
       }
@@ -249,15 +361,16 @@ int RunCli(const CliOptions& options) {
     return 0;
   }
 
-  auto workloads = WorkloadsFor(options.system, options.scale);
-  std::string workload_name =
-      options.workload.empty() ? workloads.begin()->first : options.workload;
-  auto wit = workloads.find(workload_name);
-  if (wit == workloads.end()) {
-    std::fprintf(stderr, "unknown workload '%s' for system '%s' (try --list)\n",
-                 workload_name.c_str(), options.system.c_str());
+  if (!options.connect.empty()) return RunConnect(options);
+
+  auto resolved = WorkloadByName(options.system, options.workload,
+                                 options.scale);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "%s (try --list)\n",
+                 resolved.status().ToString().c_str());
     return 2;
   }
+  Workload workload = *resolved;
   auto created = registry.Create(options.tuner);
   if (!created.ok()) {
     std::fprintf(stderr, "%s (try --list)\n",
@@ -278,7 +391,12 @@ int RunCli(const CliOptions& options) {
     }
     tuner = MakeSupervisedTuner(std::move(tuner), std::move(fallback));
   }
-  auto system = MakeSystemFor(options.system, options.nodes, options.seed);
+  auto made = MakeSystemByName(options.system, options.nodes, options.seed);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s (try --list)\n", made.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<TunableSystem> system = std::move(*made);
   TunableSystem* target = system.get();
   std::unique_ptr<FaultInjectingSystem> faulty;
   if (options.fault_rate > 0.0) {
@@ -309,8 +427,8 @@ int RunCli(const CliOptions& options) {
   if (options.metrics) session.metrics = &metrics;
   auto outcome =
       options.resume
-          ? ResumeTuningSession(tuner.get(), target, wit->second, session)
-          : RunTuningSession(tuner.get(), target, wit->second, session);
+          ? ResumeTuningSession(tuner.get(), target, workload, session)
+          : RunTuningSession(tuner.get(), target, workload, session);
   // Write the trace before interpreting the outcome: an interrupted or
   // failed session still leaves a loadable (partial) profile behind.
   if (!options.trace_path.empty()) {
@@ -361,7 +479,7 @@ int RunCli(const CliOptions& options) {
 
   std::printf("system:    %s (%s)\n", options.system.c_str(),
               system->name().c_str());
-  std::printf("workload:  %s\n", wit->second.name.c_str());
+  std::printf("workload:  %s\n", workload.name.c_str());
   std::printf("tuner:     %s [%s]%s\n", options.tuner.c_str(),
               TunerCategoryToString(outcome->category),
               options.supervise ? " (supervised)" : "");
@@ -410,6 +528,9 @@ int RunCli(const CliOptions& options) {
 }  // namespace atune
 
 int main(int argc, char** argv) {
+  // Broken pipes (closed stdout, dead daemon connection) surface as EPIPE
+  // through the Status path instead of killing the process.
+  atune::IgnoreSigPipe();
   auto options = atune::ParseArgs(argc, argv);
   if (!options.ok()) {
     std::fprintf(stderr, "%s\n", options.status().ToString().c_str());

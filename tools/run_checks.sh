@@ -38,6 +38,16 @@
 #                                   # append). Then rebuilds the asan-ubsan
 #                                   # preset and reruns the harness under
 #                                   # sanitizers at smoke scale.
+#   tools/run_checks.sh --service   # Release build + bench_service at full
+#                                   # scale, gated on the pass flags in
+#                                   # BENCH_service.json: zero session fatals
+#                                   # across 1200 tenants on a 15% transport-
+#                                   # fault schedule, SIGKILL -> restart ->
+#                                   # checksum + journal-byte resume identity,
+#                                   # and bounded-p99 admission verdicts under
+#                                   # saturation with no lost sessions. Then
+#                                   # reruns the net test suite (reactor,
+#                                   # transport, wire) under ThreadSanitizer.
 #   tools/run_checks.sh --coverage  # instrumented Debug build + full ctest +
 #                                   # per-directory line-coverage summary for
 #                                   # src/. Uses gcovr if installed, else
@@ -131,6 +141,36 @@ if [ "${1:-}" = "--smoke" ]; then
     exit 1
   fi
   echo "atune --journal-policy=strict: ok (journal I/O failure exits 3)"
+  echo "=== [smoke] atuned loopback kill+restart round trip ==="
+  # End-to-end service check: run a session through a live daemon, SIGKILL
+  # the daemon, restart it over the same journal dir, and reattach with the
+  # same idempotent session id — the recovered checksum must be identical.
+  svc_dir="$(mktemp -d /tmp/atune_smoke_svc.XXXXXX)"
+  svc_addr="unix:$svc_dir/d.sock"
+  svc_cli() {
+    ./build/tools/atune --connect="$svc_addr" --session-id=smoke-rt \
+        --tuner=random-search --budget=20 --seed=11
+  }
+  ./build/tools/atuned --listen="$svc_addr" --journal-dir="$svc_dir/state" \
+      --quiet > /dev/null &
+  svc_pid=$!
+  for _ in $(seq 1 100); do [ -S "$svc_dir/d.sock" ] && break; sleep 0.05; done
+  ref_sum="$(svc_cli | grep '^checksum:')"
+  kill -9 "$svc_pid"; wait "$svc_pid" 2> /dev/null || true
+  ./build/tools/atuned --listen="$svc_addr" --journal-dir="$svc_dir/state" \
+      --quiet > /dev/null &
+  svc_pid=$!
+  for _ in $(seq 1 100); do [ -S "$svc_dir/d.sock" ] && break; sleep 0.05; done
+  got_sum="$(svc_cli | grep '^checksum:')"
+  kill "$svc_pid" 2> /dev/null; wait "$svc_pid" 2> /dev/null || true
+  rm -rf "$svc_dir"
+  if [ -z "$ref_sum" ] || [ "$ref_sum" != "$got_sum" ]; then
+    echo "atuned: kill+restart reattach checksum mismatch" >&2
+    echo "  before: ${ref_sum:-<none>}" >&2
+    echo "  after:  ${got_sum:-<none>}" >&2
+    exit 1
+  fi
+  echo "atuned loopback: ok (kill -9 + restart reattach, checksum identical)"
   echo "=== [smoke] benches at ATUNE_SMOKE=1 ==="
   # bench_micro is a google-benchmark binary: listing its benchmarks proves
   # it links and registers without paying for a timing run.
@@ -229,6 +269,36 @@ if [ "${1:-}" = "--crashsafety" ]; then
   echo "crashsafety checks passed: every crash point recovers to the longest"
   echo "valid prefix, resume is bit-identical, no torn artifacts, zero"
   echo "session fatals across the fault matrix, seam overhead within 1.02x"
+  exit 0
+fi
+
+if [ "${1:-}" = "--service" ]; then
+  jobs="$(nproc 2>/dev/null || echo 2)"
+  echo "=== [service] configure + build (default preset, Release) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  echo "=== [service] bench_service (full fleet) ==="
+  # Full scale: 1200 faulted tenants (15% transport-fault schedule, zero
+  # session fatals), SIGKILL -> restart -> checksum + journal-byte resume
+  # identity at three kill points, and saturation shedding with bounded-p99
+  # admission verdicts and no lost sessions.
+  ./build/bench/bench_service
+  if ! grep -q '"pass": {"faults": true, "resume": true, "admission": true}' \
+      BENCH_service.json; then
+    echo "service gate FAILED:" >&2
+    grep '"pass"' BENCH_service.json >&2 || true
+    exit 1
+  fi
+  echo "=== [service] tsan preset, reactor/transport/wire tests ==="
+  # The reactor hands session results from pool workers back to the loop
+  # thread via Post() and atomic cancel flags — exactly the code that
+  # should meet ThreadSanitizer.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" --target atune_net_tests
+  ./build-tsan/tests/atune_net_tests --gtest_brief=1
+  echo "service checks passed: zero session fatals under transport faults,"
+  echo "kill/restart resume bit-identical, admission p99 bounded under"
+  echo "saturation, net test suite clean under tsan"
   exit 0
 fi
 
