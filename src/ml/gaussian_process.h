@@ -24,6 +24,16 @@ struct GpHyperParams {
   std::vector<double> lengthscales;  ///< one per dim; empty = 1.0 each
   double signal_variance = 1.0;      ///< s^2
   double noise_variance = 1e-4;      ///< observation noise
+  /// Inducing-point sparse approximation (DTC/SoR). 0 (the default) keeps
+  /// the exact GP: that code path's arithmetic is completely untouched, so
+  /// disabling the approximation is bit-identical by construction. When
+  /// > 0 and the training set exceeds it, Fit selects this many inducing
+  /// points by a deterministic farthest-point traversal and fits the DTC
+  /// posterior instead — O(n m²) rather than O(n³), which keeps surrogates
+  /// tractable as the knowledge repository grows past 10⁴ observations.
+  /// With the inducing set equal to the training set the DTC predictive
+  /// equals the exact GP, which is the accuracy contract tests pin down.
+  size_t max_exact_points = 0;
 };
 
 /// Posterior prediction at one point.
@@ -115,6 +125,9 @@ class GaussianProcess {
   bool fitted() const { return fitted_; }
   const GpHyperParams& params() const { return params_; }
   size_t num_points() const { return xs_.size(); }
+  /// True when the last fit used the inducing-point approximation.
+  bool sparse() const { return sparse_; }
+  size_t num_inducing() const { return inducing_.size(); }
 
  private:
   double KernelValue(const Vec& a, const Vec& b) const;
@@ -137,6 +150,13 @@ class GaussianProcess {
   /// Recomputes y_mean_/alpha_/LML from xs_, ys_ and the current chol_
   /// (two O(n²) triangular solves); shared by Fit and AddObservation.
   void RecomputePosterior();
+  /// DTC inducing-point fit (Fit dispatches here past max_exact_points).
+  /// A degenerate inducing set — non-finite kernel entries or a factor
+  /// that stays indefinite through jitter escalation — returns kInternal
+  /// and leaves the model unfitted (never a NaN posterior), per the PR 5
+  /// honesty contract.
+  Status SparseFit(const std::vector<Vec>& xs, const Vec& ys);
+  GpPrediction SparsePredict(const Vec& x) const;
 
   GpHyperParams params_;
   std::vector<Vec> xs_;
@@ -150,6 +170,15 @@ class GaussianProcess {
   double jitter_ = 0.0;  // diagonal jitter chol_ was computed with
   double log_marginal_likelihood_ = 0.0;
   bool fitted_ = false;
+
+  // Inducing-point (DTC) state; meaningful only while sparse_ is true.
+  // chol_/alpha_ are not maintained in sparse mode — every consumer
+  // dispatches on sparse_ first.
+  bool sparse_ = false;
+  std::vector<Vec> inducing_;  // Z, the m selected inducing points
+  Matrix kzz_chol_;            // chol(Kzz + jitter I)
+  Matrix a_chol_;              // chol(Kzz + sigma^-2 Kzf Kfz + jitter I)
+  Vec sparse_alpha_;           // sigma^-2 A^{-1} Kzf (y - mean)
 };
 
 }  // namespace atune

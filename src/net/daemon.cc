@@ -21,12 +21,14 @@
 #include "common/file_util.h"
 #include "common/logging.h"
 #include "core/journal.h"
+#include "core/knowledge_repo.h"
 #include "core/outcome_checksum.h"
 #include "core/session.h"
 #include "net/transport.h"
 #include "systems/multi_tenant.h"
 #include "systems/system_factory.h"
 #include "tuners/builtin.h"
+#include "tuners/warm_start.h"
 
 namespace atune {
 namespace {
@@ -113,12 +115,31 @@ struct JobResult {
 /// sessions alike.
 JobResult RunSessionJob(const StartRequest& spec, const std::string& wal_path,
                         const TunerRegistry* registry,
-                        std::shared_ptr<std::atomic<bool>> cancel) {
+                        std::shared_ptr<std::atomic<bool>> cancel,
+                        const std::string& knowledge_dir,
+                        const std::vector<std::string>& warm_shards) {
   JobResult job;
   auto tuner = registry->Create(spec.tuner);
   if (!tuner.ok()) {
     job.status = tuner.status();
     return job;
+  }
+  std::unique_ptr<Tuner> session_tuner = std::move(*tuner);
+  if (spec.warm_start) {
+    // The snapshot is exactly the shard list pinned at admission: shards
+    // are immutable files, so fresh run, reattach, and post-restart resume
+    // all map against byte-identical history (missing/corrupt shards are
+    // skipped deterministically by filename).
+    KnowledgeRepository repo(knowledge_dir);
+    size_t skipped = 0;
+    auto snapshot = repo.LoadShards(warm_shards, &skipped);
+    if (skipped > 0) {
+      ATUNE_LOG(Warning) << "session " << spec.session_id << ": " << skipped
+                         << " pinned knowledge shard(s) unreadable, mapping "
+                            "against the remainder";
+    }
+    session_tuner = std::make_unique<WarmStartTuner>(std::move(session_tuner),
+                                                     std::move(*snapshot));
   }
   auto base = MakeSystemByName(spec.system, /*nodes=*/0, spec.seed);
   if (!base.ok()) {
@@ -173,9 +194,9 @@ JobResult RunSessionJob(const StartRequest& spec, const std::string& wal_path,
   // daemon crash); otherwise run fresh. ResumeTuningSession would handle a
   // missing journal too, but warns — and fresh sessions are the common case.
   auto outcome = FileExists(wal_path)
-                     ? ResumeTuningSession(tuner->get(), system, workload,
-                                           options)
-                     : RunTuningSession(tuner->get(), system, workload,
+                     ? ResumeTuningSession(session_tuner.get(), system,
+                                           workload, options)
+                     : RunTuningSession(session_tuner.get(), system, workload,
                                         options);
   if (!outcome.ok()) {
     job.status = outcome.status();
@@ -186,6 +207,23 @@ JobResult RunSessionJob(const StartRequest& spec, const std::string& wal_path,
   job.result.checksum = OutcomeChecksum(*outcome);
   job.result.trials = outcome->history.size();
   job.result.replayed = outcome->replayed_records;
+
+  // Every completed session feeds the knowledge repository. Ingest is an
+  // atomic publish to a per-session path, so concurrent workers never
+  // contend and a crash mid-ingest leaves no torn shard; re-running the
+  // same session id is an idempotent replace. Failure to ingest never
+  // fails the session — the result is already computed and durable.
+  if (!knowledge_dir.empty()) {
+    KnowledgeRecord rec = MakeKnowledgeRecord(
+        spec.session_id, spec.tenant, system->name(), system->space(),
+        system->MetricNames(), workload, spec.seed, spec.budget, *outcome);
+    Status ingested = KnowledgeRepository(knowledge_dir).Ingest(rec);
+    if (!ingested.ok()) {
+      ATUNE_LOG(Warning) << "session " << spec.session_id
+                         << ": knowledge ingest failed: "
+                         << ingested.ToString();
+    }
+  }
   return job;
 }
 
@@ -393,9 +431,15 @@ std::string TuningDaemon::WalPath(const std::string& id) const {
 std::string TuningDaemon::ResultPath(const std::string& id) const {
   return options_.journal_dir + "/" + id + ".result";
 }
+std::string TuningDaemon::KnowledgeDir() const {
+  return options_.knowledge_dir.empty()
+             ? options_.journal_dir + "/knowledge"
+             : options_.knowledge_dir;
+}
 
-Status TuningDaemon::WriteMeta(const std::string& id,
-                               const StartRequest& spec) const {
+Status TuningDaemon::WriteMeta(
+    const std::string& id, const StartRequest& spec,
+    const std::vector<std::string>& warm_shards) const {
   std::ostringstream out;
   out << "tenant=" << SanitizeLine(spec.tenant) << "\n"
       << "tuner=" << SanitizeLine(spec.tuner) << "\n"
@@ -406,7 +450,18 @@ Status TuningDaemon::WriteMeta(const std::string& id,
       << "budget=" << spec.budget << "\n"
       << "seed=" << spec.seed << "\n"
       << "deadline_ms=" << spec.deadline_ms << "\n"
-      << "contention=" << spec.contention << "\n";
+      << "contention=" << spec.contention << "\n"
+      << "warm_start=" << (spec.warm_start ? 1 : 0) << "\n";
+  if (!warm_shards.empty()) {
+    // Shard filenames are [A-Za-z0-9._-] by construction, so the comma
+    // join is unambiguous.
+    out << "warm_shards=";
+    for (size_t i = 0; i < warm_shards.size(); ++i) {
+      if (i > 0) out << ",";
+      out << warm_shards[i];
+    }
+    out << "\n";
+  }
   return AtomicWriteFile(MetaPath(id), out.str());
 }
 
@@ -465,10 +520,23 @@ Status TuningDaemon::Recover() {
     spec.seed = ParseU64(kv, "seed", 1);
     spec.deadline_ms = ParseU64(kv, "deadline_ms", 0);
     spec.contention = ParseU64(kv, "contention", 0);
+    spec.warm_start = ParseU64(kv, "warm_start", 0) != 0;
 
     SessionEntry& entry = sessions_[id];
     entry.spec = spec;
     entry.cancel = std::make_shared<std::atomic<bool>>(false);
+    // Re-pin the admission-time shard list: resume must map against the
+    // exact snapshot the interrupted run used, not today's repository.
+    std::string shards = GetStr(kv, "warm_shards");
+    size_t start = 0;
+    while (start < shards.size()) {
+      size_t comma = shards.find(',', start);
+      if (comma == std::string::npos) comma = shards.size();
+      if (comma > start) {
+        entry.warm_shards.push_back(shards.substr(start, comma - start));
+      }
+      start = comma + 1;
+    }
 
     std::string result_text;
     if (ReadFileToString(ResultPath(id), &result_text).ok()) {
@@ -768,9 +836,17 @@ void TuningDaemon::HandleStart(Conn* conn, const StartRequest& req) {
     return;
   }
 
+  // Warm-start snapshot pinning: the shard list is frozen at admission and
+  // persisted with the meta, so however often this session is resumed it
+  // maps against the same immutable files.
+  std::vector<std::string> warm_shards;
+  if (req.warm_start) {
+    warm_shards = KnowledgeRepository(KnowledgeDir()).ListShards();
+  }
+
   // Durable admission: the meta sidecar is on disk *before* the client
   // hears "accepted", so an accepted session survives any daemon crash.
-  Status status = WriteMeta(req.session_id, req);
+  Status status = WriteMeta(req.session_id, req, warm_shards);
   if (!status.ok()) {
     ErrorResponse err;
     err.status_code = static_cast<uint8_t>(status.code());
@@ -783,6 +859,7 @@ void TuningDaemon::HandleStart(Conn* conn, const StartRequest& req) {
   entry.spec = req;
   entry.state = SessionState::kQueued;
   entry.cancel = std::make_shared<std::atomic<bool>>(false);
+  entry.warm_shards = std::move(warm_shards);
   stats_.admitted++;
   EnqueueSession(req.session_id);
   DispatchQueued();
@@ -863,11 +940,15 @@ void TuningDaemon::DispatchQueued() {
     StartRequest spec = entry.spec;
     std::string wal = WalPath(id);
     auto cancel = entry.cancel;
+    std::string knowledge = KnowledgeDir();
+    std::vector<std::string> shards = entry.warm_shards;
     const TunerRegistry* registry = &registry_;
     Reactor* reactor = &reactor_;
     TuningDaemon* daemon = this;
-    (void)pool_->Submit([daemon, reactor, registry, spec, wal, cancel, id]() {
-      JobResult job = RunSessionJob(spec, wal, registry, cancel);
+    (void)pool_->Submit([daemon, reactor, registry, spec, wal, cancel, id,
+                         knowledge, shards]() {
+      JobResult job =
+          RunSessionJob(spec, wal, registry, cancel, knowledge, shards);
       reactor->Post([daemon, id, job]() {
         daemon->OnSessionDone(id, job.status, job.result);
       });

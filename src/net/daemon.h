@@ -44,6 +44,11 @@ struct DaemonOptions {
   uint64_t max_wait_ms = 60000;
   /// Rescan journal_dir at startup and resume interrupted sessions.
   bool recover = true;
+  /// Knowledge repository directory (DESIGN.md §14): every session that
+  /// completes kDone is ingested as an immutable shard, and sessions
+  /// started with warm_start map against it. Empty = the default
+  /// "<journal_dir>/knowledge".
+  std::string knowledge_dir;
 };
 
 /// The atuned tuning service (DESIGN.md §13): a single-threaded epoll
@@ -114,6 +119,11 @@ class TuningDaemon {
     std::shared_ptr<std::atomic<bool>> cancel;
     uint64_t deadline_timer = 0;
     std::vector<Waiter> waiters;
+    /// Warm-start snapshot, pinned as an explicit shard list at admission
+    /// and persisted in .meta. Shards are immutable, so a restarted daemon
+    /// re-maps against byte-identical history and the resumed session
+    /// replays bit-identically even if the repository grew meanwhile.
+    std::vector<std::string> warm_shards;
   };
 
   // ---- reactor-thread handlers ----
@@ -148,7 +158,10 @@ class TuningDaemon {
   std::string MetaPath(const std::string& id) const;
   std::string WalPath(const std::string& id) const;
   std::string ResultPath(const std::string& id) const;
-  Status WriteMeta(const std::string& id, const StartRequest& spec) const;
+  /// Resolved knowledge repository directory (see DaemonOptions).
+  std::string KnowledgeDir() const;
+  Status WriteMeta(const std::string& id, const StartRequest& spec,
+                   const std::vector<std::string>& warm_shards) const;
   Status WriteResult(const std::string& id, const SessionEntry& entry) const;
   Status Recover();
 

@@ -207,6 +207,7 @@ std::string EncodeStartRequest(const StartRequest& req) {
   PutU64(&p, req.seed);
   PutU64(&p, req.deadline_ms);
   PutU64(&p, req.contention);
+  PutU8(&p, req.warm_start ? 1 : 0);
   return p;
 }
 
@@ -312,6 +313,7 @@ Result<StartRequest> ParseStartRequest(const std::string& payload) {
   req.seed = r.GetU64();
   req.deadline_ms = r.GetU64();
   req.contention = r.GetU64();
+  req.warm_start = r.GetU8() != 0;
   if (!r.Done()) return Malformed("StartRequest");
   return req;
 }

@@ -99,6 +99,11 @@ struct StartRequest {
   /// MultiTenantSystem with this tenant's workload plus k background
   /// workloads, so concurrent sessions model interference.
   uint64_t contention = 0;
+  /// Seed the session from the daemon's knowledge repository: the tuner is
+  /// wrapped in a WarmStartTuner over the shard set pinned at admission
+  /// (DESIGN.md §14), so a restarted daemon resumes against byte-identical
+  /// history.
+  bool warm_start = false;
 };
 
 struct StartResponse {

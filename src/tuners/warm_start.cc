@@ -1,0 +1,100 @@
+#include "tuners/warm_start.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace atune {
+
+WarmStartTuner::WarmStartTuner(std::unique_ptr<Tuner> inner,
+                               std::vector<KnowledgeRecord> snapshot,
+                               size_t k_neighbors, size_t max_warm_configs)
+    : inner_(std::move(inner)),
+      snapshot_(std::move(snapshot)),
+      k_neighbors_(k_neighbors == 0 ? 1 : k_neighbors),
+      max_warm_configs_(max_warm_configs) {}
+
+Status WarmStartTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  warm_evaluations_ = 0;
+  mapped_sessions_.clear();
+
+  const ParameterSpace& space = evaluator->space();
+  const std::string system_name = evaluator->system()->name();
+  const std::vector<std::string> metric_names =
+      evaluator->system()->MetricNames();
+
+  // Records from a different system or metric schema cannot be mapped.
+  std::vector<KnowledgeRecord> usable;
+  for (const KnowledgeRecord& rec : snapshot_) {
+    if (rec.system == system_name && rec.metric_names == metric_names &&
+        !rec.configs.empty()) {
+      usable.push_back(rec);
+    }
+  }
+
+  if (!usable.empty() && !metric_names.empty() && !evaluator->Exhausted()) {
+    // Probe the default configuration to fingerprint the target workload.
+    auto probe = evaluator->Evaluate(space.DefaultConfiguration());
+    if (!probe.ok()) {
+      if (probe.status().code() != StatusCode::kResourceExhausted) {
+        return probe.status();
+      }
+      return inner_->Tune(evaluator, rng);
+    }
+    const ExecutionResult& res = evaluator->history().back().result;
+    Vec fingerprint;
+    fingerprint.reserve(metric_names.size());
+    for (const std::string& m : metric_names) {
+      fingerprint.push_back(res.MetricOr(m, 0.0));
+    }
+
+    WorkloadMapping mapping = MapWorkloadKnn(usable, fingerprint, k_neighbors_);
+    for (size_t idx : mapping.neighbors) {
+      mapped_sessions_.push_back(usable[idx].session_id);
+    }
+
+    // Seed the mapped neighbors' best configurations, leaving the inner
+    // tuner at least half of the remaining budget. Every evaluation goes
+    // through the Evaluator, so the warm phase is journaled and replayed
+    // exactly like any other trial.
+    double remaining = evaluator->Remaining();
+    size_t cap = std::min(max_warm_configs_, size_t(remaining / 2.0));
+    std::vector<Vec> warm =
+        SelectWarmConfigs(usable, mapping.neighbors, space.dims(), cap);
+    for (const Vec& u : warm) {
+      if (evaluator->Exhausted()) break;
+      auto obj = evaluator->Evaluate(space.FromUnitVector(u));
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kResourceExhausted) break;
+        return obj.status();
+      }
+      ++warm_evaluations_;
+    }
+  }
+
+  return inner_->Tune(evaluator, rng);
+}
+
+std::string WarmStartTuner::Report() const {
+  std::string report = "warm-start: seeded " +
+                       std::to_string(warm_evaluations_) +
+                       " config(s) from " +
+                       std::to_string(mapped_sessions_.size()) +
+                       " mapped session(s)";
+  for (const std::string& id : mapped_sessions_) report += " " + id;
+  std::string inner = inner_->Report();
+  if (!inner.empty()) report += "\n" + inner;
+  return report;
+}
+
+Result<std::unique_ptr<Tuner>> MakeWarmStartTuner(
+    const TunerRegistry& registry, const std::string& tuner_name,
+    std::vector<KnowledgeRecord> snapshot, size_t k_neighbors,
+    size_t max_warm_configs) {
+  auto inner = registry.Create(tuner_name);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<Tuner>(
+      new WarmStartTuner(std::move(*inner), std::move(snapshot), k_neighbors,
+                         max_warm_configs));
+}
+
+}  // namespace atune

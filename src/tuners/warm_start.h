@@ -1,0 +1,72 @@
+#ifndef ATUNE_TUNERS_WARM_START_H_
+#define ATUNE_TUNERS_WARM_START_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/knowledge_repo.h"
+#include "core/registry.h"
+#include "core/tuner.h"
+
+namespace atune {
+
+/// Transfer-learning decorator (DESIGN.md §14): seeds *any* registry tuner
+/// with observations mapped from a knowledge-repository snapshot, then
+/// delegates the remaining budget to the wrapped tuner.
+///
+/// Warm phase (all through the Evaluator, so every step is journaled and a
+/// killed session replays bit-identically):
+///   1. evaluate the default configuration once and fingerprint the target
+///      workload from its metrics;
+///   2. k-NN map the fingerprint onto the snapshot (MapWorkloadKnn over
+///      records matching the target system and parameter dimensionality);
+///   3. evaluate the mapped neighbors' best configurations (deduplicated,
+///      nearest-neighbor round-robin, capped so the inner tuner keeps at
+///      least half the budget).
+///
+/// The mapping is a pure function of (snapshot, probe metrics), and the
+/// snapshot is pinned by the caller (atuned records the exact shard list in
+/// the session's .meta), so a resume re-derives the identical warm
+/// schedule and the journal replay discipline covers the rest. With an
+/// empty snapshot the decorator is a pass-through.
+class WarmStartTuner : public Tuner {
+ public:
+  WarmStartTuner(std::unique_ptr<Tuner> inner,
+                 std::vector<KnowledgeRecord> snapshot, size_t k_neighbors = 3,
+                 size_t max_warm_configs = 4);
+
+  std::string name() const override { return "warm-start:" + inner_->name(); }
+  TunerCategory category() const override { return inner_->category(); }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  void set_parallelism(size_t parallelism) override {
+    inner_->set_parallelism(parallelism);
+  }
+  std::string Report() const override;
+
+  /// Warm configurations evaluated by the last Tune() (post-dedup).
+  size_t warm_evaluations() const { return warm_evaluations_; }
+  /// Neighbor session ids mapped by the last Tune(), nearest first.
+  const std::vector<std::string>& mapped_sessions() const {
+    return mapped_sessions_;
+  }
+
+ private:
+  std::unique_ptr<Tuner> inner_;
+  std::vector<KnowledgeRecord> snapshot_;
+  size_t k_neighbors_;
+  size_t max_warm_configs_;
+  size_t warm_evaluations_ = 0;
+  std::vector<std::string> mapped_sessions_;
+};
+
+/// Creates `tuner_name` from `registry` wrapped in a WarmStartTuner seeded
+/// with `snapshot` (atuned's --warm-start path).
+Result<std::unique_ptr<Tuner>> MakeWarmStartTuner(
+    const TunerRegistry& registry, const std::string& tuner_name,
+    std::vector<KnowledgeRecord> snapshot, size_t k_neighbors = 3,
+    size_t max_warm_configs = 4);
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_WARM_START_H_

@@ -18,9 +18,11 @@
 #include "core/registry.h"
 #include "core/session.h"
 #include "core/supervisor.h"
+#include "core/knowledge_repo.h"
 #include "systems/fault_injector.h"
 #include "tests/testing_util.h"
 #include "tuners/builtin.h"
+#include "tuners/warm_start.h"
 
 namespace atune {
 namespace {
@@ -56,9 +58,44 @@ class NumericallyFailingTuner : public Tuner {
   std::string Report() const override { return ""; }
 };
 
+/// A deterministic knowledge snapshot for the warm-start kill matrix: two
+/// completed noise-free historic sessions, rebuilt identically on every
+/// call (the same pinned snapshot a daemon restart would reload from its
+/// .meta shard list).
+const std::vector<KnowledgeRecord>& WarmSnapshot() {
+  static const std::vector<KnowledgeRecord>* snapshot = [] {
+    auto* records = new std::vector<KnowledgeRecord>();
+    TunerRegistry registry;
+    RegisterBuiltinTuners(&registry);
+    auto dbms = testing_util::MakeTestDbms(kSeed, /*noise=*/false);
+    const Workload workloads[] = {MakeDbmsOlapWorkload(1.0),
+                                  MakeDbmsOltpWorkload(1.0)};
+    uint64_t seed = 900;
+    for (const Workload& wl : workloads) {
+      auto tuner = registry.Create("random-search");
+      if (!tuner.ok()) continue;
+      SessionOptions options;
+      options.budget = TuningBudget{5};
+      options.seed = seed;
+      options.measure_default = false;
+      auto outcome = RunTuningSession(tuner->get(), dbms.get(), wl, options);
+      if (outcome.ok()) {
+        records->push_back(MakeKnowledgeRecord(
+            "hist-" + std::to_string(seed), "tenant", dbms->name(),
+            dbms->space(), dbms->MetricNames(), wl, seed, 5, *outcome));
+      }
+      ++seed;
+    }
+    return records;
+  }();
+  return *snapshot;
+}
+
 /// Resolves a tuner spec: "supervised:failing" is the synthetic unstable
 /// primary above under supervision; "supervised:<registry-name>" wraps a
-/// registry tuner; anything else is a plain registry lookup.
+/// registry tuner; "warm:<registry-name>" wraps one in a WarmStartTuner
+/// seeded with the deterministic snapshot; anything else is a plain
+/// registry lookup.
 Result<std::unique_ptr<Tuner>> MakeTunerFor(const std::string& spec) {
   SupervisionPolicy policy;
   policy.failover_cooldown_trials = 3;
@@ -73,6 +110,11 @@ Result<std::unique_ptr<Tuner>> MakeTunerFor(const std::string& spec) {
     auto inner = registry.Create(spec.substr(prefix.size()));
     if (!inner.ok()) return inner.status();
     return MakeSupervisedTuner(std::move(*inner), nullptr, policy);
+  }
+  const std::string warm_prefix = "warm:";
+  if (spec.rfind(warm_prefix, 0) == 0) {
+    return MakeWarmStartTuner(registry, spec.substr(warm_prefix.size()),
+                              WarmSnapshot());
   }
   return registry.Create(spec);
 }
@@ -286,6 +328,16 @@ TEST(TraceResumeTest, SupervisedFailoverResumesWithIdenticalTrace) {
   EXPECT_NE(probe.tree.find("failover{"), std::string::npos);
   std::remove(path.c_str());
   RunMetamorphicCase("supervised:failing", /*budget=*/10, /*parallelism=*/1);
+}
+
+TEST(TraceResumeTest, WarmStartedSessionResumesWithIdenticalTrace) {
+  // The --warm-start kill matrix: the warm phase's probe and seed trials
+  // are ordinary journaled evaluations, and the mapping is a pure function
+  // of (snapshot, probe metrics), so killing the session during or after
+  // the warm phase and resuming against the same pinned snapshot must
+  // re-derive the identical warm schedule — and an identical span tree.
+  ASSERT_GE(WarmSnapshot().size(), 2u);
+  RunMetamorphicCase("warm:random-search", /*budget=*/10, /*parallelism=*/1);
 }
 
 TEST(TraceResumeTest, SupervisedBatchedSessionResumesWithIdenticalTrace) {

@@ -132,6 +132,7 @@ struct CliOptions {
   uint64_t deadline_ms = 0;
   uint64_t contention = 0;
   uint64_t wait_ms = 0;
+  bool warm_start = false;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
@@ -221,6 +222,8 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       options.contention = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "wait-ms", &value)) {
       options.wait_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--warm-start") {
+      options.warm_start = true;
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -233,9 +236,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   }
   if (options.connect.empty() &&
       (!options.session_id.empty() || options.deadline_ms > 0 ||
-       options.contention > 0 || options.wait_ms > 0)) {
+       options.contention > 0 || options.wait_ms > 0 || options.warm_start)) {
     return Status::InvalidArgument(
-        "--session-id/--deadline-ms/--contention/--wait-ms require --connect");
+        "--session-id/--deadline-ms/--contention/--wait-ms/--warm-start "
+        "require --connect");
   }
   return options;
 }
@@ -265,6 +269,7 @@ int RunConnect(const CliOptions& options) {
   request.seed = options.seed;
   request.deadline_ms = options.deadline_ms;
   request.contention = options.contention;
+  request.warm_start = options.warm_start;
 
   auto start = client.RetryStart(request);
   if (!start.ok()) {

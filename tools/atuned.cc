@@ -21,6 +21,7 @@
 //                            (tcp port 0 binds an ephemeral port; the bound
 //                            address is printed on stdout)
 //   --journal-dir=PATH       durable session state (meta/wal/result) [atuned-state]
+//   --knowledge-dir=PATH     knowledge repository shards [<journal-dir>/knowledge]
 //   --workers=N              concurrent tuning sessions          [4]
 //   --max-queue=N            bounded admission queue             [64]
 //   --tenant-quota=F         per-tenant in-flight budget quota   [256]
@@ -88,6 +89,8 @@ int Run(int argc, char** argv) {
       options.retry_after_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "idle-timeout-ms", &value)) {
       options.idle_timeout_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "knowledge-dir", &value)) {
+      options.knowledge_dir = value;
     } else if (arg == "--no-recover") {
       options.recover = false;
     } else if (arg == "--quiet") {

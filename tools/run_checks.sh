@@ -38,6 +38,21 @@
 #                                   # append). Then rebuilds the asan-ubsan
 #                                   # preset and reruns the harness under
 #                                   # sanitizers at smoke scale.
+#   tools/run_checks.sh --warmstart # Release build + bench_warmstart at full
+#                                   # scale, gated on the pass flags in
+#                                   # BENCH_warmstart.json: warm-started
+#                                   # median cost-to-converge strictly better
+#                                   # than cold across the tuner x workload
+#                                   # grid, knowledge-repo ingest under a 15%
+#                                   # I/O fault schedule plus an 8-thread
+#                                   # writer storm with zero corrupt or torn
+#                                   # shards, warmed kill -> resume checksum +
+#                                   # journal-byte identity, and sparse-GP
+#                                   # predictions within tolerance of exact
+#                                   # (bit-identical when disabled). Then
+#                                   # rebuilds the asan-ubsan preset and
+#                                   # reruns the knowledge-repo and sparse-GP
+#                                   # suites under sanitizers.
 #   tools/run_checks.sh --service   # Release build + bench_service at full
 #                                   # scale, gated on the pass flags in
 #                                   # BENCH_service.json: zero session fatals
@@ -93,6 +108,15 @@ if [ "${1:-}" = "--smoke" ]; then
   # for them directly instead of waiting for a full ctest pass.
   ./build/tests/atune_obs_tests --gtest_brief=1
   echo "atune_obs_tests: ok"
+  echo "=== [smoke] knowledge-repo / sparse-GP / warm-start suites ==="
+  # The warm-start transfer path gates bit-identity (fingerprints, k-NN
+  # mapping, seeded resume) the same way the obs layer gates traces, so the
+  # smoke run pays for these suites directly too. Filtered: the rest of each
+  # binary runs under full ctest.
+  ./build/tests/atune_core_tests --gtest_brief=1 --gtest_filter='KnowledgeRepo*'
+  ./build/tests/atune_ml_tests --gtest_brief=1 --gtest_filter='SparseGp*'
+  ./build/tests/atune_tuners_tests --gtest_brief=1 --gtest_filter='WarmStart*'
+  echo "knowledge-repo + sparse-GP + warm-start suites: ok"
   echo "=== [smoke] CLI --trace round trip ==="
   # End-to-end: a tiny tuning session must leave a loadable Chrome trace
   # behind. grep-level validation only; the byte-exact goldens live in
@@ -269,6 +293,45 @@ if [ "${1:-}" = "--crashsafety" ]; then
   echo "crashsafety checks passed: every crash point recovers to the longest"
   echo "valid prefix, resume is bit-identical, no torn artifacts, zero"
   echo "session fatals across the fault matrix, seam overhead within 1.02x"
+  exit 0
+fi
+
+if [ "${1:-}" = "--warmstart" ]; then
+  jobs="$(nproc 2>/dev/null || echo 2)"
+  echo "=== [warmstart] configure + build (default preset, Release) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  echo "=== [warmstart] bench_warmstart (full grid) ==="
+  # Full scale: cold-vs-warm convergence over the tuner x workload grid
+  # (gate: warm median cost-to-converge strictly below cold), knowledge-repo
+  # ingest under a 15% short-write/EINTR/EIO fault schedule plus an 8-thread
+  # concurrent writer storm (gate: every shard present, zero corrupt), a
+  # warmed journaled session killed at {1, n/2, n-1} records and resumed
+  # (gate: checksum + final journal bytes identical), and sparse-GP
+  # predictions vs exact (gate: within tolerance; disabled path bitwise
+  # identical to exact).
+  ./build/bench/bench_warmstart
+  if ! grep -q '"pass": {"warm": true, "ingest": true, "resume": true, "sparse": true}' \
+      BENCH_warmstart.json; then
+    echo "warmstart gate FAILED:" >&2
+    grep '"pass"' BENCH_warmstart.json >&2 || true
+    exit 1
+  fi
+  echo "=== [warmstart] asan-ubsan preset, repo + sparse-GP suites ==="
+  # Rerun the suites that exercise the new decode/fault/crash paths under
+  # Address+UBSanitizer: shard decode of corrupted bytes, the forked
+  # crash-at-every-io-op sweep, and the sparse-GP linear algebra are exactly
+  # the code that should meet asan/ubsan.
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs" \
+      --target atune_core_tests atune_ml_tests
+  ./build-asan/tests/atune_core_tests --gtest_brief=1 \
+      --gtest_filter='KnowledgeRepo*'
+  ./build-asan/tests/atune_ml_tests --gtest_brief=1 \
+      --gtest_filter='SparseGp*'
+  echo "warmstart checks passed: warm median beats cold, zero corrupt shards"
+  echo "under faults and concurrent writers, warmed resume bit-identical,"
+  echo "sparse GP within tolerance and bit-identical when disabled"
   exit 0
 fi
 
