@@ -1,0 +1,460 @@
+// E21 — drift-robust tuning under time-varying workloads (DESIGN.md §15),
+// proven three ways:
+//
+//   * recovery: a mid-serve regime change OOMs the stale incumbent (sorts
+//     vanish, concurrency jumps, memory-hungry configs overcommit RAM);
+//     the adaptive decorator must get a working configuration back on the
+//     air at least 2x faster than an otherwise identical static pipeline
+//     whose detector never fires — the staged ladder (evict -> re-probe ->
+//     bounded re-tune) must pay for itself (post-shift regret reported too)
+//   * containment: a matrix of drift storms (relentless ramp, violent
+//     diurnal, repeated shifts) with hair-trigger detectors must never
+//     spend a single evaluation past the session budget and never exceed
+//     the re-tune cap — capped firings degrade to the free recovery
+//   * replay: every registry tuner runs journaled under drift, is killed
+//     after 1, n/2, n-1 committed records, and must resume to the
+//     uninterrupted OutcomeChecksum with a byte-identical final journal;
+//     the adaptive decorator additionally re-derives identical detection /
+//     re-probe / re-tune rounds from the replayed commits (live == replay)
+//
+// Results go to console + BENCH_drift.json (published atomically) +
+// BENCH_drift.csv.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/csv.h"
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "core/journal.h"
+#include "core/registry.h"
+#include "core/session.h"
+#include "systems/drifting_workload.h"
+#include "tuners/adaptive_retune.h"
+#include "tuners/builtin.h"
+
+namespace atune {
+namespace bench {
+namespace {
+
+const size_t kBudget = SmokeSize(60, 20);
+const size_t kShiftAt = kBudget * 3 / 5;  // lands inside the serve phase
+const size_t kSeeds = SmokeSize(4, 1);
+constexpr uint64_t kSystemSeed = 29;
+constexpr double kRecoveryGate = 2.0;
+
+/// The recovery pass tunes a sort-dominated, low-concurrency batch: its
+/// optimum reliably reserves client*worker*work_mem aggressively (spill
+/// avoidance pays), which is exactly what the regime change punishes.
+Workload RecoveryBase() {
+  Workload base = MakeDbmsOlapWorkload(1.0);
+  base.properties["sort_frac"] = 0.85;
+  base.properties["seq_fraction"] = 0.9;
+  base.properties["clients"] = 2.0;
+  return base;
+}
+
+/// The E21 regime change: sorts vanish, I/O turns random, and concurrency
+/// jumps 5x — the memory-hungry pre-shift optimum now overcommits RAM, so
+/// the stale incumbent is not merely slower but catastrophically wrong,
+/// while plenty of small-memory configurations from the explored history
+/// run the new regime well.
+DriftSchedule ShiftSchedule() {
+  DriftSchedule schedule = DriftSchedule::PhaseShift(kShiftAt, 1.4);
+  schedule.shift_properties["sort_frac"] = 0.1;
+  schedule.shift_properties["seq_fraction"] = 0.3;
+  schedule.shift_properties["clients"] = 10.0;
+  return schedule;
+}
+
+TunerFactory InnerFactory(const std::string& name) {
+  return [name]() -> std::unique_ptr<Tuner> {
+    TunerRegistry registry;
+    RegisterBuiltinTuners(&registry);
+    auto tuner = registry.Create(name);
+    return tuner.ok() ? std::move(*tuner) : nullptr;
+  };
+}
+
+struct DriftRun {
+  bool ok = false;
+  TuningOutcome outcome;
+  AdaptiveRetuneStats stats;
+  uint64_t checksum = 0;
+  std::string journal_bytes;
+};
+
+DriftRun RunUnderDrift(Tuner* tuner, const DriftSchedule& schedule,
+                       uint64_t seed, const Workload& workload,
+                       const std::string& journal = "",
+                       uint64_t kill_after = 0, bool resume = false) {
+  DriftRun run;
+  auto dbms = MakeDbms(kSystemSeed);
+  DriftingWorkload drifting(dbms.get(), schedule);
+  SessionOptions options;
+  options.budget = TuningBudget{kBudget};
+  options.seed = seed;
+  options.measure_default = false;
+  options.journal_path = journal;
+  options.interrupt_after_records = kill_after;
+  auto outcome =
+      resume ? ResumeTuningSession(tuner, &drifting, workload, options)
+             : RunTuningSession(tuner, &drifting, workload, options);
+  if (!outcome.ok()) return run;
+  run.ok = true;
+  run.outcome = std::move(*outcome);
+  run.checksum = OutcomeChecksum(run.outcome);
+  if (!journal.empty()) (void)ReadFileToString(journal, &run.journal_bytes);
+  return run;
+}
+
+/// Cumulative post-shift regret: sum of (objective - oracle) over the trials
+/// measured after the regime change, oracle = best post-shift objective any
+/// contender found for this seed. Reported for the curves; the gate runs on
+/// recovery cost below.
+double PostShiftRegret(const TuningOutcome& outcome, double oracle) {
+  double regret = 0.0;
+  for (size_t i = kShiftAt; i < outcome.history.size(); ++i) {
+    regret += outcome.history[i].objective - oracle;
+  }
+  return regret;
+}
+
+double PostShiftBest(const TuningOutcome& outcome) {
+  double best = 1e300;
+  for (size_t i = kShiftAt; i < outcome.history.size(); ++i) {
+    best = std::min(best, outcome.history[i].objective);
+  }
+  return best;
+}
+
+/// Evaluations spent after the shift until the session first measures a
+/// non-failing configuration again — the SLA notion of recovery for this
+/// scenario, where the regime change OOMs the stale incumbent. The static
+/// pipeline keeps serving the doomed incumbent (the 2% serve jitter cannot
+/// escape the memory cliff), so it stays down for the whole horizon; the
+/// adaptive ladder's re-probe/re-tune measurements are the recovery.
+/// horizon+1 when the session never serves successfully again.
+double CostToRecover(const TuningOutcome& outcome) {
+  for (size_t i = kShiftAt; i < outcome.history.size(); ++i) {
+    if (!outcome.history[i].result.failed) {
+      return static_cast<double>(i - kShiftAt + 1);
+    }
+  }
+  return static_cast<double>(kBudget - kShiftAt + 1);
+}
+
+struct RecoveryCell {
+  uint64_t seed = 0;
+  double static_cost = 0.0;
+  double adaptive_cost = 0.0;
+  double static_regret = 0.0;
+  double adaptive_regret = 0.0;
+  size_t detections = 0;
+  size_t reprobes = 0;
+  size_t retunes = 0;
+};
+
+struct StormCell {
+  std::string name;
+  size_t budget_used = 0;
+  size_t detections = 0;
+  size_t retunes = 0;
+  size_t retunes_suppressed = 0;
+  bool pass = false;
+};
+
+struct ResumeRow {
+  std::string tuner;
+  bool applicable = false;
+  uint64_t records = 0;
+  size_t kills = 0;
+  bool pass = true;
+};
+
+}  // namespace
+
+int Main() {
+  PrintHeader("E21 bench_drift",
+              "adaptive tuning of time-varying workloads (COLT/STMM §4.3, "
+              "cloud-survey SLA adaptivity)",
+              "drift robustness: post-shift recovery, storm budget "
+              "containment, whole-registry kill/resume under drift");
+
+  TunerRegistry registry;
+  RegisterBuiltinTuners(&registry);
+
+  // ----- pass 1: post-shift recovery, adaptive vs static ------------------
+  // The static contender is the *same* decorator with a detector that can
+  // never fire: identical tune/serve loop, zero adaptation — the measured
+  // gap is purely the degradation ladder.
+  std::vector<RecoveryCell> cells;
+  double static_total = 0.0, adaptive_total = 0.0;
+  const DriftSchedule shift = ShiftSchedule();
+  AdaptiveRetuneOptions recovery_options;
+  recovery_options.retune_fraction = 0.1;    // small stage-2 lease
+  recovery_options.detector.min_samples = 3;  // fast warm-up
+  for (uint64_t s = 0; s < kSeeds; ++s) {
+    const uint64_t seed = 100 + s;
+    AdaptiveRetuneOptions static_options = recovery_options;
+    static_options.detector.threshold = 1e18;  // never fires
+    AdaptiveRetuneTuner static_tuner(InnerFactory("random-search"),
+                                     "random-search", static_options);
+    DriftRun static_run =
+        RunUnderDrift(&static_tuner, shift, seed, RecoveryBase());
+
+    AdaptiveRetuneTuner adaptive_tuner(InnerFactory("random-search"),
+                                       "random-search", recovery_options);
+    DriftRun adaptive_run =
+        RunUnderDrift(&adaptive_tuner, shift, seed, RecoveryBase());
+    if (!static_run.ok || !adaptive_run.ok) continue;
+
+    const double oracle = std::min(PostShiftBest(static_run.outcome),
+                                   PostShiftBest(adaptive_run.outcome));
+    RecoveryCell cell;
+    cell.seed = seed;
+    cell.static_cost = CostToRecover(static_run.outcome);
+    cell.adaptive_cost = CostToRecover(adaptive_run.outcome);
+    cell.static_regret = PostShiftRegret(static_run.outcome, oracle);
+    cell.adaptive_regret = PostShiftRegret(adaptive_run.outcome, oracle);
+    cell.detections = adaptive_tuner.stats().detections;
+    cell.reprobes = adaptive_tuner.stats().reprobes;
+    cell.retunes = adaptive_tuner.stats().retunes;
+    static_total += cell.static_cost;
+    adaptive_total += cell.adaptive_cost;
+    cells.push_back(cell);
+  }
+  const double ratio =
+      adaptive_total > 0.0 ? static_total / adaptive_total : 0.0;
+  // Smoke's single short seed cannot reliably strand the incumbent, so the
+  // ratio gate only binds in full mode; smoke just demands adaptive is
+  // never slower to recover than static.
+  const bool recovery_pass =
+      !cells.empty() && adaptive_total > 0.0 &&
+      (SmokeMode() ? adaptive_total <= static_total : ratio >= kRecoveryGate);
+  std::printf("\npost-shift recovery (budget %zu, shift@%zu, horizon %zu, "
+              "%zu seed(s), cost until serving succeeds again):\n",
+              kBudget, kShiftAt, kBudget - kShiftAt, cells.size());
+  for (const RecoveryCell& c : cells) {
+    std::printf("  seed %3llu: static cost %4.0f regret %10.1f | adaptive "
+                "cost %4.0f regret %10.1f (detections %zu, reprobes %zu, "
+                "retunes %zu)\n",
+                static_cast<unsigned long long>(c.seed), c.static_cost,
+                c.static_regret, c.adaptive_cost, c.adaptive_regret,
+                c.detections, c.reprobes, c.retunes);
+  }
+  std::printf("  total cost: static %.0f, adaptive %.0f, ratio %.2fx "
+              "(gate >= %.1fx) %s\n",
+              static_total, adaptive_total, ratio, kRecoveryGate,
+              recovery_pass ? "PASS" : "FAIL");
+
+  // ----- pass 2: drift storms cannot leak budget --------------------------
+  std::vector<StormCell> storms;
+  {
+    struct StormSpec {
+      std::string name;
+      DriftSchedule schedule;
+    };
+    std::vector<StormSpec> specs;
+    specs.push_back({"ramp-8x", DriftSchedule::Ramp(8.0, kBudget)});
+    specs.push_back({"diurnal-violent", DriftSchedule::Diurnal(0.9, 6)});
+    DriftSchedule repeated = DriftSchedule::PhaseShift(kShiftAt / 2, 2.5);
+    specs.push_back({"hard-shift", repeated});
+    for (const StormSpec& spec : specs) {
+      AdaptiveRetuneOptions options;
+      options.max_retunes = 1;
+      options.detector.threshold = 0.15;  // hair trigger
+      options.detector.min_samples = 3;
+      AdaptiveRetuneTuner tuner(InnerFactory("random-search"), "random-search",
+                                options);
+      DriftRun run =
+          RunUnderDrift(&tuner, spec.schedule, 7, MakeDbmsOlapWorkload(1.0));
+      StormCell cell;
+      cell.name = spec.name;
+      cell.budget_used = run.ok ? run.outcome.evaluations_used : 0;
+      cell.detections = tuner.stats().detections;
+      cell.retunes = tuner.stats().retunes;
+      cell.retunes_suppressed = tuner.stats().retunes_suppressed;
+      cell.pass = run.ok && cell.budget_used <= kBudget &&
+                  cell.retunes <= options.max_retunes;
+      storms.push_back(cell);
+    }
+  }
+  bool storm_pass = !storms.empty();
+  std::printf("\ndrift storms (budget %zu, re-tune cap 1):\n", kBudget);
+  for (const StormCell& c : storms) {
+    storm_pass = storm_pass && c.pass;
+    std::printf("  %-16s used %2zu/%zu  detections %2zu  retunes %zu  "
+                "suppressed %2zu  %s\n",
+                c.name.c_str(), c.budget_used, kBudget, c.detections,
+                c.retunes, c.retunes_suppressed, c.pass ? "PASS" : "FAIL");
+  }
+
+  // ----- pass 3: whole-registry kill/resume under drift -------------------
+  // Every tuner that tunes the DBMS runs journaled under the phase shift;
+  // killed at 1, n/2, n-1 records it must resume to the uninterrupted
+  // checksum with byte-identical journal. The adaptive decorator is an
+  // extra row whose detection/staging counters must also be re-derived
+  // identically from the replayed commits.
+  std::vector<ResumeRow> rows;
+  std::vector<std::string> contenders = registry.Names();
+  if (SmokeMode()) contenders = {"random-search", "ituned", "grid-search"};
+  contenders.push_back("adaptive-retune:random-search");
+  bool resume_pass = true;
+  std::printf("\nkill/resume under drift (journaled, kills at 1, n/2, n-1):\n");
+  for (const std::string& name : contenders) {
+    const bool adaptive_row = name == "adaptive-retune:random-search";
+    auto make = [&]() -> std::unique_ptr<Tuner> {
+      if (adaptive_row) {
+        return std::make_unique<AdaptiveRetuneTuner>(
+            InnerFactory("random-search"), "random-search",
+            AdaptiveRetuneOptions());
+      }
+      auto tuner = registry.Create(name);
+      return tuner.ok() ? std::move(*tuner) : nullptr;
+    };
+    const std::string path = "bench_drift_" + name + ".wal";
+    ResumeRow row;
+    row.tuner = name;
+
+    // Probe: does this tuner tune the DBMS at all?
+    auto probe = make();
+    if (probe == nullptr || !RunUnderDrift(probe.get(), shift, 42, MakeDbmsOlapWorkload(1.0)).ok) {
+      rows.push_back(row);
+      continue;
+    }
+    row.applicable = true;
+
+    std::remove(path.c_str());
+    auto baseline_tuner = make();
+    DriftRun baseline =
+        RunUnderDrift(baseline_tuner.get(), shift, 42,
+                      MakeDbmsOlapWorkload(1.0), path);
+    AdaptiveRetuneStats baseline_stats;
+    if (adaptive_row) {
+      baseline_stats =
+          static_cast<AdaptiveRetuneTuner*>(baseline_tuner.get())->stats();
+    }
+    auto recovered = TrialJournal::OpenForResume(path);
+    row.records = recovered.ok() ? recovered->records.size() : 0;
+    std::remove(path.c_str());
+    if (!baseline.ok || row.records < 2) {
+      row.pass = baseline.ok;  // one-shot tuners have no mid-run to kill
+      rows.push_back(row);
+      continue;
+    }
+
+    std::set<uint64_t> kill_points = {1, row.records / 2, row.records - 1};
+    for (uint64_t kill : kill_points) {
+      if (kill == 0 || kill >= row.records) continue;
+      std::remove(path.c_str());
+      auto killed_tuner = make();
+      DriftRun killed =
+          RunUnderDrift(killed_tuner.get(), shift, 42,
+                        MakeDbmsOlapWorkload(1.0), path, kill);
+      const bool aborted = !killed.ok;  // interrupt is a kAborted session
+      auto resumed_tuner = make();
+      DriftRun resumed =
+          RunUnderDrift(resumed_tuner.get(), shift, 42,
+                        MakeDbmsOlapWorkload(1.0), path, 0, /*resume=*/true);
+      bool match = aborted && resumed.ok &&
+                   resumed.checksum == baseline.checksum &&
+                   resumed.journal_bytes == baseline.journal_bytes;
+      if (adaptive_row && match) {
+        const AdaptiveRetuneStats& rs =
+            static_cast<AdaptiveRetuneTuner*>(resumed_tuner.get())->stats();
+        match = rs.detections == baseline_stats.detections &&
+                rs.reprobes == baseline_stats.reprobes &&
+                rs.retunes == baseline_stats.retunes &&
+                rs.evicted_observations == baseline_stats.evicted_observations;
+      }
+      row.pass = row.pass && match;
+      ++row.kills;
+      std::remove(path.c_str());
+    }
+    rows.push_back(row);
+  }
+  size_t applicable = 0;
+  for (const ResumeRow& row : rows) {
+    if (!row.applicable) continue;
+    ++applicable;
+    resume_pass = resume_pass && row.pass;
+    std::printf("  %-30s %4llu records, %zu kill(s): %s\n", row.tuner.c_str(),
+                static_cast<unsigned long long>(row.records), row.kills,
+                row.pass ? "identical" : "DIFFERS/FAILED");
+  }
+  resume_pass = resume_pass && applicable > 0;
+  std::printf("  (%zu contender(s) tune this system; adaptive row also "
+              "matches detection rounds live vs replay)\n",
+              applicable);
+
+  const bool pass = recovery_pass && storm_pass && resume_pass;
+  std::printf("\nacceptance: recovery %s, storms %s, resume %s\n",
+              recovery_pass ? "PASS" : "FAIL", storm_pass ? "PASS" : "FAIL",
+              resume_pass ? "PASS" : "FAIL");
+
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"bench_drift\",\n";
+  json << StrFormat(
+      "  \"budget\": %zu,\n  \"shift_at\": %zu,\n  \"seeds\": %zu,\n", kBudget,
+      kShiftAt, cells.size());
+  json << "  \"recovery\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const RecoveryCell& c = cells[i];
+    json << StrFormat(
+        "    {\"seed\": %llu, \"static_cost\": %.0f, \"adaptive_cost\": %.0f, "
+        "\"static_regret\": %.4f, \"adaptive_regret\": %.4f, "
+        "\"detections\": %zu, \"reprobes\": %zu, \"retunes\": %zu}%s\n",
+        static_cast<unsigned long long>(c.seed), c.static_cost,
+        c.adaptive_cost, c.static_regret, c.adaptive_regret, c.detections,
+        c.reprobes, c.retunes, i + 1 < cells.size() ? "," : "");
+  }
+  json << StrFormat(
+      "  ],\n  \"regret_ratio\": %.3f,\n  \"recovery_gate\": %.1f,\n", ratio,
+      kRecoveryGate);
+  json << "  \"storms\": [\n";
+  for (size_t i = 0; i < storms.size(); ++i) {
+    const StormCell& c = storms[i];
+    json << StrFormat(
+        "    {\"storm\": \"%s\", \"budget_used\": %zu, \"detections\": %zu, "
+        "\"retunes\": %zu, \"retunes_suppressed\": %zu}%s\n", c.name.c_str(),
+        c.budget_used, c.detections, c.retunes, c.retunes_suppressed,
+        i + 1 < storms.size() ? "," : "");
+  }
+  json << StrFormat("  ],\n  \"resume_contenders\": %zu,\n", applicable);
+  json << StrFormat(
+      "  \"pass\": {\"recovery\": %s, \"storms\": %s, \"resume\": %s}\n}\n",
+      recovery_pass ? "true" : "false", storm_pass ? "true" : "false",
+      resume_pass ? "true" : "false");
+  if (AtomicWriteFile("BENCH_drift.json", json.str()).ok()) {
+    std::printf("wrote BENCH_drift.json\n");
+  }
+
+  TableWriter csv({"seed", "static_cost", "adaptive_cost", "static_regret",
+                   "adaptive_regret", "detections", "reprobes", "retunes"});
+  for (const RecoveryCell& c : cells) {
+    csv.AddRow({StrFormat("%llu", static_cast<unsigned long long>(c.seed)),
+                StrFormat("%.0f", c.static_cost),
+                StrFormat("%.0f", c.adaptive_cost),
+                StrFormat("%.4f", c.static_regret),
+                StrFormat("%.4f", c.adaptive_regret),
+                StrFormat("%zu", c.detections), StrFormat("%zu", c.reprobes),
+                StrFormat("%zu", c.retunes)});
+  }
+  if (csv.WriteCsvFile("BENCH_drift.csv").ok()) {
+    std::printf("wrote BENCH_drift.csv\n");
+  }
+  return AcceptanceExit(pass);
+}
+
+}  // namespace bench
+}  // namespace atune
+
+int main() { return atune::bench::Main(); }

@@ -1,0 +1,40 @@
+#include "core/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atune {
+
+DriftDetector::DriftDetector(DriftDetectorOptions options)
+    : options_(options) {
+  if (options_.min_samples == 0) options_.min_samples = 1;
+}
+
+bool DriftDetector::Observe(double objective) {
+  ++observed_;
+  const double y = std::log(std::max(objective, options_.floor));
+  ++window_count_;
+  if (window_count_ == 1) {
+    mean_ = y;
+    ph_ = 0.0;
+    return false;
+  }
+  // Accumulate the deviation against the mean of the *previous*
+  // observations (the classical PH recursion), then fold y into the mean.
+  ph_ = std::max(0.0, ph_ + (y - mean_ - options_.delta));
+  mean_ += (y - mean_) / static_cast<double>(window_count_);
+  if (window_count_ >= options_.min_samples && ph_ > options_.threshold) {
+    ++firings_;
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+void DriftDetector::Reset() {
+  window_count_ = 0;
+  mean_ = 0.0;
+  ph_ = 0.0;
+}
+
+}  // namespace atune

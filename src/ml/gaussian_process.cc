@@ -246,6 +246,35 @@ Status GaussianProcess::AddObservation(const Vec& x, double y) {
   return Status::OK();
 }
 
+size_t GaussianProcess::EvictOldest(size_t keep_last) {
+  const size_t n = xs_.size();
+  if (n <= keep_last) return 0;
+  const size_t evicted = n - keep_last;
+  if (MetricsRegistry* metrics = CurrentMetrics()) {
+    metrics->GetCounter("gp.evicted_observations")->Increment(evicted);
+  }
+  if (keep_last == 0) {
+    xs_.clear();
+    ys_.clear();
+    fitted_ = false;
+    sparse_ = false;
+    RebuildFlatCache();
+    return evicted;
+  }
+  // Copy the retained tail out first — Fit overwrites the members it reads
+  // from (the AddObservation fallback discipline above).
+  std::vector<Vec> xs(xs_.end() - static_cast<ptrdiff_t>(keep_last),
+                      xs_.end());
+  Vec ys(ys_.end() - static_cast<ptrdiff_t>(keep_last), ys_.end());
+  if (!Fit(xs, ys).ok()) {
+    // Honesty over staleness: a window too degenerate to refit leaves the
+    // model unfitted, never silently serving the pre-eviction posterior.
+    fitted_ = false;
+    sparse_ = false;
+  }
+  return evicted;
+}
+
 Status GaussianProcess::FitWithHyperSearch(const std::vector<Vec>& xs,
                                            const Vec& ys, size_t budget,
                                            Rng* rng, ThreadPool* pool) {

@@ -88,6 +88,20 @@ class GaussianProcess {
   /// Fit({x}, {y}).
   Status AddObservation(const Vec& x, double y);
 
+  /// Observation eviction for drift adaptation (DESIGN.md §15): drops the
+  /// oldest observations — insertion order of Fit/AddObservation — keeping
+  /// the most recent `keep_last`, and refits the posterior on the retained
+  /// window with the current hyperparameters. After a workload regime
+  /// change, stale observations mislead the surrogate more than they
+  /// inform it; evicting them is the cheapest rung of the re-tune
+  /// degradation ladder. Returns the number of points evicted (0 when the
+  /// model already holds <= keep_last points — then nothing is touched,
+  /// so calling this on an untouched model is bit-identical to never
+  /// calling it). keep_last == 0 resets the model to unfitted. If the
+  /// refit on the retained window fails (degenerate kernel), the model is
+  /// left unfitted rather than stale — the PR 5 honesty contract.
+  size_t EvictOldest(size_t keep_last);
+
   /// Fits hyperparameters by maximizing the log marginal likelihood over a
   /// random search of `budget` candidate hyperparameter settings, then fits
   /// the posterior with the winner. With a non-null `pool`, candidate fits

@@ -439,7 +439,8 @@ std::string TuningDaemon::KnowledgeDir() const {
 
 Status TuningDaemon::WriteMeta(
     const std::string& id, const StartRequest& spec,
-    const std::vector<std::string>& warm_shards) const {
+    const std::vector<std::string>& warm_shards,
+    uint64_t resume_attempts) const {
   std::ostringstream out;
   out << "tenant=" << SanitizeLine(spec.tenant) << "\n"
       << "tuner=" << SanitizeLine(spec.tuner) << "\n"
@@ -451,7 +452,8 @@ Status TuningDaemon::WriteMeta(
       << "seed=" << spec.seed << "\n"
       << "deadline_ms=" << spec.deadline_ms << "\n"
       << "contention=" << spec.contention << "\n"
-      << "warm_start=" << (spec.warm_start ? 1 : 0) << "\n";
+      << "warm_start=" << (spec.warm_start ? 1 : 0) << "\n"
+      << "resume_attempts=" << resume_attempts << "\n";
   if (!warm_shards.empty()) {
     // Shard filenames are [A-Za-z0-9._-] by construction, so the comma
     // join is unambiguous.
@@ -556,16 +558,47 @@ Status TuningDaemon::Recover() {
       continue;
     }
 
-    // Interrupted (or admitted-but-never-run): re-queue it. The session job
-    // always resumes from the journal; a missing/empty journal starts
-    // fresh, so meta-only sessions are handled by the same path. Recovery
-    // bypasses admission control: these sessions were already admitted and
-    // their quota claim is simply re-established.
+    // Interrupted (or admitted-but-never-run). A session that was already
+    // re-queued max_resume_attempts times and still never reached a durable
+    // result is a crash-looper — deterministically killing the daemon (or
+    // the machine) every time it runs. Quarantine it: terminal kFailed with
+    // kInternal and a durable .result, so restarts stop re-running it and
+    // reattaching clients get a clean error; the daemon stays up for
+    // everyone else. Operators can clear the .result (and .meta counter)
+    // to retry after a fix.
+    const uint64_t attempts = ParseU64(kv, "resume_attempts", 0);
+    if (options_.max_resume_attempts > 0 &&
+        attempts >= options_.max_resume_attempts) {
+      entry.state = SessionState::kFailed;
+      entry.result.status_code = static_cast<uint8_t>(StatusCode::kInternal);
+      entry.result.message =
+          "quarantined: " + std::to_string(attempts) +
+          " resume attempts without a durable result (crash loop)";
+      stats_.quarantined++;
+      Status written = WriteResult(id, entry);
+      if (!written.ok()) {
+        ATUNE_LOG(Warning) << "recovery: quarantine result for " << id
+                           << " not durable: " << written.ToString();
+      }
+      ATUNE_LOG(Warning) << "recovery: quarantined session " << id
+                         << " after " << attempts << " failed resume attempts";
+      continue;
+    }
+    // Persist the incremented attempt counter BEFORE the session can run
+    // again: if this run also takes the daemon down, the next restart sees
+    // the attempt. A failed rewrite is not fatal — the session still
+    // resumes, the counter just does not advance on a hostile filesystem.
+    Status counted = WriteMeta(id, spec, entry.warm_shards, attempts + 1);
+    if (!counted.ok()) {
+      ATUNE_LOG(Warning) << "recovery: resume-attempt counter for " << id
+                         << " not durable: " << counted.ToString();
+    }
     entry.state = SessionState::kQueued;
     entry.resume = FileExists(WalPath(id));
     stats_.recovered++;
     EnqueueSession(id);
-    ATUNE_LOG(Info) << "recovery: re-queued session " << id
+    ATUNE_LOG(Info) << "recovery: re-queued session " << id << " (attempt "
+                    << (attempts + 1) << ")"
                     << (entry.resume ? " (journal present, will resume)"
                                      : " (no journal, fresh start)");
   }

@@ -44,6 +44,15 @@ struct DaemonOptions {
   uint64_t max_wait_ms = 60000;
   /// Rescan journal_dir at startup and resume interrupted sessions.
   bool recover = true;
+  /// Crash-loop quarantine: an interrupted session is re-queued at most
+  /// this many times across restarts (the attempt counter is persisted in
+  /// its .meta). A session that keeps taking the daemon down with it —
+  /// however it manages that — is quarantined on the attempt after the
+  /// limit: marked terminally kFailed with StatusCode::kInternal and a
+  /// durable .result, while the daemon keeps serving everything else.
+  /// 0 disables the quarantine (unbounded re-queues, the pre-quarantine
+  /// behavior).
+  size_t max_resume_attempts = 3;
   /// Knowledge repository directory (DESIGN.md §14): every session that
   /// completes kDone is ingested as an immutable shard, and sessions
   /// started with warm_start map against it. Empty = the default
@@ -161,7 +170,8 @@ class TuningDaemon {
   /// Resolved knowledge repository directory (see DaemonOptions).
   std::string KnowledgeDir() const;
   Status WriteMeta(const std::string& id, const StartRequest& spec,
-                   const std::vector<std::string>& warm_shards) const;
+                   const std::vector<std::string>& warm_shards,
+                   uint64_t resume_attempts = 0) const;
   Status WriteResult(const std::string& id, const SessionEntry& entry) const;
   Status Recover();
 

@@ -274,6 +274,7 @@ std::string EncodeStatsResponse(const StatsResponse& resp) {
   PutU64(&p, resp.cancelled);
   PutU64(&p, resp.deadline_exceeded);
   PutU64(&p, resp.recovered);
+  PutU64(&p, resp.quarantined);
   PutU64(&p, resp.active);
   PutU64(&p, resp.queued);
   return p;
@@ -410,6 +411,7 @@ Result<StatsResponse> ParseStatsResponse(const std::string& payload) {
   resp.cancelled = r.GetU64();
   resp.deadline_exceeded = r.GetU64();
   resp.recovered = r.GetU64();
+  resp.quarantined = r.GetU64();
   resp.active = r.GetU64();
   resp.queued = r.GetU64();
   if (!r.Done()) return Malformed("StatsResponse");

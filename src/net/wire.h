@@ -156,6 +156,7 @@ struct StatsResponse {
   uint64_t cancelled = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t recovered = 0;  ///< sessions resumed/re-queued at startup
+  uint64_t quarantined = 0;  ///< crash-looping sessions quarantined at startup
   uint64_t active = 0;     ///< currently running
   uint64_t queued = 0;     ///< currently waiting for a worker
 };

@@ -1,0 +1,212 @@
+#include "systems/drifting_workload.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace atune {
+
+DriftSchedule DriftSchedule::Ramp(double factor, uint64_t runs) {
+  DriftSchedule s;
+  s.kind = Kind::kRamp;
+  s.ramp_factor = factor;
+  s.ramp_runs = runs == 0 ? 1 : runs;
+  return s;
+}
+
+DriftSchedule DriftSchedule::PhaseShift(uint64_t at_run, double factor,
+                                        std::string kind) {
+  DriftSchedule s;
+  s.kind = Kind::kPhaseShift;
+  s.shift_at_run = at_run;
+  s.shift_factor = factor;
+  s.shift_kind = std::move(kind);
+  return s;
+}
+
+DriftSchedule DriftSchedule::Diurnal(double amplitude, uint64_t period) {
+  DriftSchedule s;
+  s.kind = Kind::kDiurnal;
+  s.diurnal_amplitude = amplitude;
+  s.diurnal_period = period == 0 ? 1 : period;
+  return s;
+}
+
+Result<DriftSchedule> DriftSchedule::Parse(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  const std::string head = Trim(spec.substr(0, colon));
+  DriftSchedule s;
+  if (head == "ramp") {
+    s = Ramp(s.ramp_factor, s.ramp_runs);
+  } else if (head == "shift") {
+    s = PhaseShift(s.shift_at_run, s.shift_factor);
+  } else if (head == "diurnal") {
+    s = Diurnal(s.diurnal_amplitude, s.diurnal_period);
+  } else if (head == "none") {
+    s.kind = Kind::kNone;
+  } else {
+    return Status::InvalidArgument(StrFormat(
+        "drift schedule '%s': kind must be ramp|shift|diurnal|none",
+        spec.c_str()));
+  }
+  if (colon == std::string::npos) return s;
+  for (const std::string& part : Split(spec.substr(colon + 1), ',')) {
+    const std::string kv = Trim(part);
+    if (kv.empty()) continue;
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(StrFormat(
+          "drift schedule '%s': expected key=value, got '%s'", spec.c_str(),
+          kv.c_str()));
+    }
+    const std::string key = Trim(kv.substr(0, eq));
+    const std::string value = Trim(kv.substr(eq + 1));
+    char* end = nullptr;
+    const double num = std::strtod(value.c_str(), &end);
+    const bool numeric = end != nullptr && *end == '\0' && !value.empty();
+    auto need_numeric = [&]() -> Status {
+      return Status::InvalidArgument(
+          StrFormat("drift schedule '%s': key '%s' needs a numeric value",
+                    spec.c_str(), key.c_str()));
+    };
+    if (key == "factor") {
+      if (!numeric) return need_numeric();
+      s.ramp_factor = num;
+      s.shift_factor = num;
+    } else if (key == "runs") {
+      if (!numeric || num < 1) return need_numeric();
+      s.ramp_runs = static_cast<uint64_t>(num);
+    } else if (key == "at") {
+      if (!numeric || num < 0) return need_numeric();
+      s.shift_at_run = static_cast<uint64_t>(num);
+    } else if (key == "kind") {
+      s.shift_kind = value;
+    } else if (key == "amplitude") {
+      if (!numeric) return need_numeric();
+      s.diurnal_amplitude = num;
+    } else if (key == "period") {
+      if (!numeric || num < 1) return need_numeric();
+      s.diurnal_period = static_cast<uint64_t>(num);
+    } else if (key == "jitter") {
+      if (!numeric) return need_numeric();
+      s.scale_jitter = num;
+    } else if (key == "seed") {
+      if (!numeric) return need_numeric();
+      s.seed = static_cast<uint64_t>(num);
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "drift schedule '%s': unknown key '%s'", spec.c_str(), key.c_str()));
+    }
+  }
+  return s;
+}
+
+Workload DriftSchedule::Apply(const Workload& base, uint64_t run_index) const {
+  Workload w = base;
+  switch (kind) {
+    case Kind::kNone:
+      break;
+    case Kind::kRamp: {
+      const double progress =
+          std::min(1.0, static_cast<double>(run_index) /
+                            static_cast<double>(ramp_runs));
+      w.scale *= 1.0 + (ramp_factor - 1.0) * progress;
+      break;
+    }
+    case Kind::kPhaseShift: {
+      if (run_index >= shift_at_run) {
+        w.scale *= shift_factor;
+        if (!shift_kind.empty()) w.kind = shift_kind;
+        for (const auto& kv : shift_properties) w.properties[kv.first] = kv.second;
+      }
+      break;
+    }
+    case Kind::kDiurnal: {
+      const double phase = 2.0 * M_PI * static_cast<double>(run_index) /
+                           static_cast<double>(diurnal_period);
+      w.scale *= 1.0 + diurnal_amplitude * std::sin(phase);
+      break;
+    }
+  }
+  if (scale_jitter > 0.0) {
+    Rng rng(DeriveSeed(seed, run_index));
+    w.scale *= 1.0 + rng.Uniform(-scale_jitter, scale_jitter);
+  }
+  if (w.scale < 1e-3) w.scale = 1e-3;  // systems assume a positive scale
+  return w;
+}
+
+std::string DriftSchedule::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kRamp:
+      return StrFormat("ramp(factor=%.3g, runs=%llu)", ramp_factor,
+                       static_cast<unsigned long long>(ramp_runs));
+    case Kind::kPhaseShift:
+      return StrFormat("shift(at=%llu, factor=%.3g%s%s)",
+                       static_cast<unsigned long long>(shift_at_run),
+                       shift_factor, shift_kind.empty() ? "" : ", kind=",
+                       shift_kind.c_str());
+    case Kind::kDiurnal:
+      return StrFormat("diurnal(amplitude=%.3g, period=%llu)",
+                       diurnal_amplitude,
+                       static_cast<unsigned long long>(diurnal_period));
+  }
+  return "none";
+}
+
+DriftingWorkload::DriftingWorkload(TunableSystem* inner, DriftSchedule schedule)
+    : inner_(inner), schedule_(std::move(schedule)) {}
+
+DriftingWorkload::DriftingWorkload(std::unique_ptr<TunableSystem> inner,
+                                   DriftSchedule schedule)
+    : owned_(std::move(inner)),
+      inner_(owned_.get()),
+      schedule_(std::move(schedule)) {}
+
+Result<ExecutionResult> DriftingWorkload::Execute(const Configuration& config,
+                                                  const Workload& workload) {
+  return inner_->Execute(config, schedule_.Apply(workload, run_index_++));
+}
+
+std::unique_ptr<TunableSystem> DriftingWorkload::Clone(
+    uint64_t runs_ahead) const {
+  std::unique_ptr<TunableSystem> inner_clone = inner_->Clone(runs_ahead);
+  if (inner_clone == nullptr) return nullptr;
+  auto clone =
+      std::make_unique<DriftingWorkload>(std::move(inner_clone), schedule_);
+  clone->run_index_ = run_index_ + runs_ahead;
+  return clone;
+}
+
+size_t DriftingWorkload::NumUnits(const Workload& workload) const {
+  const IterativeSystem* iterative =
+      const_cast<TunableSystem*>(inner_)->AsIterative();
+  if (iterative == nullptr) return 0;
+  // Peek at the current drift position without advancing the clock.
+  return iterative->NumUnits(schedule_.Apply(workload, run_index_));
+}
+
+Result<ExecutionResult> DriftingWorkload::ExecuteUnit(
+    const Configuration& config, const Workload& workload, size_t unit_index) {
+  IterativeSystem* iterative = inner_->AsIterative();
+  if (iterative == nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("DriftingWorkload: inner system '%s' is not iterative",
+                  inner_->name().c_str()));
+  }
+  return iterative->ExecuteUnit(config, schedule_.Apply(workload, run_index_++),
+                                unit_index);
+}
+
+double DriftingWorkload::ReconfigurationCost() const {
+  const IterativeSystem* iterative =
+      const_cast<TunableSystem*>(inner_)->AsIterative();
+  return iterative == nullptr ? 0.0 : iterative->ReconfigurationCost();
+}
+
+}  // namespace atune

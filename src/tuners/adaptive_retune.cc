@@ -1,0 +1,348 @@
+#include "tuners/adaptive_retune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace atune {
+
+namespace {
+
+Counter* DriftCounter(const char* name) {
+  MetricsRegistry* metrics = CurrentMetrics();
+  return metrics != nullptr ? metrics->GetCounter(name) : nullptr;
+}
+
+void Bump(const char* name, uint64_t n = 1) {
+  if (Counter* c = DriftCounter(name)) c->Increment(n);
+}
+
+double LogObjective(double objective) {
+  return std::log(std::max(objective, 1e-12));
+}
+
+}  // namespace
+
+AdaptiveRetuneTuner::AdaptiveRetuneTuner(TunerFactory inner_factory,
+                                         std::string inner_name,
+                                         AdaptiveRetuneOptions options)
+    : inner_factory_(std::move(inner_factory)),
+      inner_name_(std::move(inner_name)),
+      options_(options),
+      detector_(options.detector) {
+  if (options_.reprobe_top_k == 0) options_.reprobe_top_k = 1;
+}
+
+bool AdaptiveRetuneTuner::IsBudgetStop(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kAborted;
+}
+
+bool AdaptiveRetuneTuner::PickIncumbent(Evaluator* evaluator, size_t from) {
+  const std::vector<Trial>& history = evaluator->history();
+  bool found = false;
+  double best = 0.0;
+  size_t best_index = 0;
+  for (size_t i = from; i < history.size(); ++i) {
+    const Trial& t = history[i];
+    if (t.scaled) continue;  // sampled/censored objectives are incomparable
+    if (!found || t.objective < best) {
+      found = true;
+      best = t.objective;
+      best_index = i;
+    }
+  }
+  if (!found) return false;
+  const Configuration& config = history[best_index].config;
+  if (!has_incumbent_ || !(config == incumbent_)) {
+    ++stats_.incumbent_switches;
+    Bump("drift.incumbent_switches");
+  }
+  incumbent_ = config;
+  incumbent_objective_ = best;
+  has_incumbent_ = true;
+  return true;
+}
+
+void AdaptiveRetuneTuner::FeedSurrogate(Evaluator* evaluator) {
+  const std::vector<Trial>& history = evaluator->history();
+  const ParameterSpace& space = evaluator->space();
+  for (; surrogate_fed_ < history.size(); ++surrogate_fed_) {
+    const Trial& t = history[surrogate_fed_];
+    if (t.scaled) continue;
+    // A degenerate incremental refit leaves the surrogate unfitted; the
+    // ranking below then falls back to historic objectives, so surrogate
+    // trouble can never fail the session.
+    (void)surrogate_.AddObservation(space.ToUnitVector(t.config),
+                                    LogObjective(t.objective));
+  }
+}
+
+Status AdaptiveRetuneTuner::Tune(Evaluator* evaluator, Rng* rng) {
+  stats_ = AdaptiveRetuneStats();
+  detector_ = DriftDetector(options_.detector);
+  surrogate_ = GaussianProcess();
+  surrogate_fed_ = evaluator->history().size();
+  has_incumbent_ = false;
+  stage_ = 0;
+  retunes_done_ = 0;
+  last_inner_report_.clear();
+  session_budget_ = evaluator->Remaining();
+  if (evaluator->Exhausted()) return Status::OK();
+
+  // Phase 1: initial tune under a lease so serving/adaptation is funded.
+  const size_t initial_mark = evaluator->history().size();
+  {
+    std::unique_ptr<Tuner> inner = inner_factory_();
+    if (inner == nullptr) {
+      return Status::Internal("adaptive-retune: inner factory returned null");
+    }
+    inner->set_parallelism(parallelism_);
+    evaluator->SetLease(
+        std::max(1.0, options_.explore_fraction * session_budget_));
+    Status status = inner->Tune(evaluator, rng);
+    evaluator->ClearLease();
+    last_inner_report_ = inner->Report();
+    if (!status.ok() && !IsBudgetStop(status)) return status;
+  }
+  if (!PickIncumbent(evaluator, initial_mark)) return Status::OK();
+  FeedSurrogate(evaluator);
+
+  // Phase 2: serve the incumbent and watch the objective stream. The
+  // detector sees exactly the serve-probe objectives, in commit order — a
+  // pure function of the journaled trial sequence, so a resumed session
+  // recomputes identical firings.
+  while (!evaluator->Exhausted()) {
+    const Configuration probe =
+        options_.serve_sigma > 0.0
+            ? evaluator->space().Neighbor(incumbent_, options_.serve_sigma, rng)
+            : incumbent_;
+    auto objective = evaluator->Evaluate(probe);
+    if (!objective.ok()) {
+      if (IsBudgetStop(objective.status())) break;
+      return objective.status();
+    }
+    FeedSurrogate(evaluator);
+    if (*objective < incumbent_objective_ &&
+        !evaluator->history().empty()) {
+      // A lucky neighbor beat the incumbent: adopt it (cheap hill climb).
+      const Trial& last = evaluator->history().back();
+      if (!(last.config == incumbent_)) {
+        ++stats_.incumbent_switches;
+        Bump("drift.incumbent_switches");
+      }
+      incumbent_ = last.config;
+      incumbent_objective_ = *objective;
+    }
+    if (detector_.Observe(*objective)) {
+      ++stats_.detections;
+      Bump("drift.detections");
+      Status status = HandleDrift(evaluator, rng, *objective);
+      if (!status.ok()) return status;
+    }
+  }
+  return Status::OK();
+}
+
+Status AdaptiveRetuneTuner::HandleDrift(Evaluator* evaluator, Rng* rng,
+                                        double trigger_objective) {
+  ScopedSpan span(CurrentTracer(), "drift_detect");
+  if (span.active()) {
+    span.AddArg("trial", std::to_string(evaluator->history().size()));
+    span.AddArg("stage", std::to_string(stage_ + 1));
+  }
+  if (stage_ == 0) {
+    stage_ = 1;
+    Status status = Reprobe(evaluator, trigger_objective);
+    if (!status.ok() || stage_ == 0) return status;  // re-probe recovered
+    // The re-probe could not beat the trigger, and a post-drift stream that
+    // settles at the degraded level (a stationary disaster) will never fire
+    // the detector again — escalate within the same episode instead of
+    // stranding the ladder at stage 1.
+  }
+  if (retunes_done_ < options_.max_retunes) {
+    return Retune(evaluator, rng);
+  }
+  // Re-tune budget cap reached: the storm keeps firing but spending stops.
+  ++stats_.retunes_suppressed;
+  Bump("drift.retunes_suppressed");
+  RecoverFromRecent(evaluator);
+  return Status::OK();
+}
+
+Status AdaptiveRetuneTuner::Reprobe(Evaluator* evaluator,
+                                    double trigger_objective) {
+  ++stats_.reprobes;
+  Bump("drift.reprobes");
+  const ParameterSpace& space = evaluator->space();
+
+  // Stage 1a: evict pre-drift observations from the surrogate; what
+  // remains is the freshest window, which is the only evidence about the
+  // post-drift response surface.
+  const size_t evicted = surrogate_.EvictOldest(options_.gp_keep_window);
+  stats_.evicted_observations += evicted;
+  Bump("drift.evicted_observations", evicted);
+
+  // Stage 1b: rank the distinct historic configurations — by the evicted
+  // (post-drift) surrogate's predicted mean when it is usable, by their
+  // historic objective otherwise — and re-measure the top k under a lease.
+  const std::vector<Trial>& history = evaluator->history();
+  std::vector<std::pair<double, size_t>> ranked;  // (score, history index)
+  std::vector<Configuration> seen;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const Trial& t = history[i];
+    if (t.scaled || t.result.failed) continue;
+    bool duplicate = false;
+    for (const Configuration& c : seen) {
+      if (c == t.config) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen.push_back(t.config);
+    double score = t.objective;
+    if (surrogate_.fitted()) {
+      score = surrogate_.Predict(space.ToUnitVector(t.config)).mean;
+    }
+    ranked.emplace_back(score, i);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const std::pair<double, size_t>& a,
+               const std::pair<double, size_t>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;  // deterministic tie-break
+            });
+
+  const size_t k = std::min(options_.reprobe_top_k, ranked.size());
+  if (k == 0) return Status::OK();
+  // Copy the candidates out: Evaluate() grows the history vector, which
+  // may reallocate from under the `history` reference above.
+  std::vector<Configuration> candidates;
+  candidates.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    candidates.push_back(history[ranked[i].second].config);
+  }
+  evaluator->SetLease(static_cast<double>(k));
+  bool found = false;
+  double best = 0.0;
+  Configuration best_config;
+  for (size_t i = 0; i < k && !evaluator->Exhausted(); ++i) {
+    auto objective = evaluator->Evaluate(candidates[i]);
+    if (!objective.ok()) {
+      if (IsBudgetStop(objective.status())) break;
+      evaluator->ClearLease();
+      return objective.status();
+    }
+    if (!found || *objective < best) {
+      found = true;
+      best = *objective;
+      best_config = evaluator->history().back().config;
+    }
+  }
+  evaluator->ClearLease();
+  FeedSurrogate(evaluator);
+  if (!found) return Status::OK();
+
+  if (!(best_config == incumbent_)) {
+    ++stats_.incumbent_switches;
+    Bump("drift.incumbent_switches");
+  }
+  incumbent_ = best_config;
+  incumbent_objective_ = best;
+  // Recovered if a fresh measurement beats the observation that fired the
+  // detector; otherwise stay in stage 1 so the next firing escalates.
+  if (best < trigger_objective) {
+    stage_ = 0;
+    RebaselineDetector();
+  }
+  return Status::OK();
+}
+
+Status AdaptiveRetuneTuner::Retune(Evaluator* evaluator, Rng* rng) {
+  ScopedSpan span(CurrentTracer(), "retune");
+  if (span.active()) {
+    span.AddArg("episode", std::to_string(retunes_done_ + 1));
+  }
+  ++stats_.retunes;
+  ++retunes_done_;
+  Bump("drift.retunes");
+
+  const size_t mark = evaluator->history().size();
+  std::unique_ptr<Tuner> inner = inner_factory_();
+  if (inner == nullptr) {
+    return Status::Internal("adaptive-retune: inner factory returned null");
+  }
+  inner->set_parallelism(parallelism_);
+  evaluator->SetLease(
+      std::max(1.0, options_.retune_fraction * session_budget_));
+  Status status = inner->Tune(evaluator, rng);
+  evaluator->ClearLease();
+  if (!status.ok() && !IsBudgetStop(status)) return status;
+  std::string report = inner->Report();
+  if (!report.empty()) last_inner_report_ = std::move(report);
+
+  // The pre-drift surrogate is useless after a regime change; restart it
+  // on the re-tune window only.
+  surrogate_ = GaussianProcess();
+  surrogate_fed_ = mark;
+  FeedSurrogate(evaluator);
+  PickIncumbent(evaluator, mark);  // keep the old incumbent if none landed
+  stage_ = 0;
+  RebaselineDetector();
+  return Status::OK();
+}
+
+void AdaptiveRetuneTuner::RecoverFromRecent(Evaluator* evaluator) {
+  const size_t n = evaluator->history().size();
+  const size_t window = std::max<size_t>(options_.gp_keep_window, 1);
+  PickIncumbent(evaluator, n > window ? n - window : 0);
+  stage_ = 0;
+  RebaselineDetector();
+}
+
+void AdaptiveRetuneTuner::RebaselineDetector() {
+  // A firing restarts the detector window, and the next observation seeds
+  // its running mean — if serving is still degraded when the episode ends,
+  // the degraded level would become the new "normal" and a stationary
+  // disaster could never fire again. Re-seed the window with the episode's
+  // recovered incumbent objective instead: the detector always compares
+  // serving against what the ladder believes serving should cost. The seed
+  // is a committed measurement, so replay recomputes it identically.
+  detector_.Reset();
+  if (has_incumbent_) (void)detector_.Observe(incumbent_objective_);
+}
+
+std::string AdaptiveRetuneTuner::Report() const {
+  std::string report = StrFormat(
+      "adaptive-retune: %zu detection(s), %zu reprobe(s), %zu retune(s), "
+      "%zu suppressed, %zu surrogate point(s) evicted, %zu incumbent "
+      "switch(es)",
+      stats_.detections, stats_.reprobes, stats_.retunes,
+      stats_.retunes_suppressed, stats_.evicted_observations,
+      stats_.incumbent_switches);
+  if (!last_inner_report_.empty()) report += "\n" + last_inner_report_;
+  return report;
+}
+
+Result<std::unique_ptr<Tuner>> MakeAdaptiveRetuneTuner(
+    const TunerRegistry& registry, const std::string& tuner_name,
+    AdaptiveRetuneOptions options) {
+  if (!registry.Contains(tuner_name)) {
+    return Status::NotFound(
+        StrFormat("adaptive-retune: unknown tuner '%s'", tuner_name.c_str()));
+  }
+  TunerFactory factory = [&registry, tuner_name]() -> std::unique_ptr<Tuner> {
+    auto tuner = registry.Create(tuner_name);
+    return tuner.ok() ? std::move(*tuner) : nullptr;
+  };
+  return std::unique_ptr<Tuner>(new AdaptiveRetuneTuner(
+      std::move(factory), tuner_name, options));
+}
+
+}  // namespace atune

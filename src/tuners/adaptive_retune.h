@@ -1,0 +1,141 @@
+#ifndef ATUNE_TUNERS_ADAPTIVE_RETUNE_H_
+#define ATUNE_TUNERS_ADAPTIVE_RETUNE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/drift_detector.h"
+#include "core/registry.h"
+#include "core/tuner.h"
+#include "ml/gaussian_process.h"
+
+namespace atune {
+
+/// Knobs for the drift-adaptive re-tune decorator (DESIGN.md §15).
+struct AdaptiveRetuneOptions {
+  /// Fraction of the session budget leased to the initial tuning phase;
+  /// the remainder funds serving, re-probes, and re-tunes.
+  double explore_fraction = 0.5;
+  /// Historic configurations re-measured by a stage-1 degradation episode.
+  size_t reprobe_top_k = 3;
+  /// Fraction of the *original* session budget leased per stage-2 full
+  /// re-tune episode.
+  double retune_fraction = 0.25;
+  /// Hard cap on stage-2 episodes: a drift storm can fire the detector
+  /// every few trials, but at most max_retunes full re-tunes are funded —
+  /// further firings fall back to the free recent-best recovery, so budget
+  /// can never leak.
+  size_t max_retunes = 2;
+  /// Surrogate observations retained by the stage-1 eviction
+  /// (GaussianProcess::EvictOldest).
+  size_t gp_keep_window = 8;
+  /// Unit-space sigma of the serve-loop probes: serving re-measures the
+  /// incumbent's immediate neighborhood instead of the identical point, so
+  /// the proposal stream composes with SupervisedTuner's duplicate-livelock
+  /// breaker and keeps feeding the surrogate local information. 0 serves
+  /// the exact incumbent every round.
+  double serve_sigma = 0.02;
+  DriftDetectorOptions detector;
+};
+
+/// What the decorator did during one Tune() (mirrored into the `drift.*`
+/// metrics when a registry is installed).
+struct AdaptiveRetuneStats {
+  size_t detections = 0;           ///< detector firings
+  size_t reprobes = 0;             ///< stage-1 episodes
+  size_t retunes = 0;              ///< stage-2 full re-tune episodes
+  size_t retunes_suppressed = 0;   ///< firings past the max_retunes cap
+  size_t evicted_observations = 0; ///< surrogate points evicted (stage 1)
+  size_t incumbent_switches = 0;   ///< times serving switched configuration
+};
+
+/// Registry decorator that turns any one-shot tuner into a drift-robust
+/// tune-serve-adapt loop (DESIGN.md §15):
+///
+///   1. *Tune*: a fresh inner tuner runs under a budget lease
+///      (explore_fraction of the session budget).
+///   2. *Serve*: the remaining budget re-measures the incumbent (with a
+///      small deterministic exploration jitter) while a Page–Hinkley
+///      detector watches the committed objective stream.
+///   3. *Adapt*: on detection, degradation is staged — cheapest first:
+///        stage 1  evict stale surrogate observations
+///                 (GaussianProcess::EvictOldest) and re-probe the best
+///                 historic configurations under a small lease;
+///        stage 2  full re-tune with a fresh inner tuner under a bounded
+///                 lease — entered when the re-probe fails to beat the
+///                 triggering observation (same episode: a post-drift
+///                 stream that settles at the degraded level would never
+///                 fire again) or on a repeat firing before recovery;
+///        capped   past max_retunes, firings only re-select the incumbent
+///                 from recent trials — zero additional spend.
+///
+/// Replay determinism: every measurement flows through the Evaluator (and
+/// therefore the journal); the detector and all staging decisions are pure
+/// functions of the committed objective sequence plus the session Rng
+/// stream, so a killed/resumed session reconstructs identical detection
+/// rounds and re-tune decisions with no new journal record types. Composes
+/// under SupervisedTuner and over WarmStartTuner like any registry tuner.
+class AdaptiveRetuneTuner : public Tuner {
+ public:
+  /// `inner_factory` must return a fresh tuner per call (each re-tune
+  /// episode gets one); `inner_name` labels reports.
+  AdaptiveRetuneTuner(TunerFactory inner_factory, std::string inner_name,
+                      AdaptiveRetuneOptions options = AdaptiveRetuneOptions());
+
+  std::string name() const override { return "adaptive-retune:" + inner_name_; }
+  TunerCategory category() const override { return TunerCategory::kAdaptive; }
+  Status Tune(Evaluator* evaluator, Rng* rng) override;
+  void set_parallelism(size_t parallelism) override {
+    parallelism_ = parallelism;
+  }
+  std::string Report() const override;
+
+  /// Counters from the last Tune() call.
+  const AdaptiveRetuneStats& stats() const { return stats_; }
+
+ private:
+  /// Re-selects the incumbent as the lowest-objective unscaled trial in
+  /// history[from..); returns false when the window holds none.
+  bool PickIncumbent(Evaluator* evaluator, size_t from);
+  /// Feeds trials committed since the last call into the surrogate.
+  void FeedSurrogate(Evaluator* evaluator);
+  /// Dispatches one detector firing to the degradation ladder.
+  Status HandleDrift(Evaluator* evaluator, Rng* rng, double trigger_objective);
+  /// Stage 1: surrogate eviction + leased re-probe of historic bests.
+  Status Reprobe(Evaluator* evaluator, double trigger_objective);
+  /// Stage 2: leased full re-tune with a fresh inner tuner.
+  Status Retune(Evaluator* evaluator, Rng* rng);
+  /// Free recovery past the re-tune cap: best of the recent window.
+  void RecoverFromRecent(Evaluator* evaluator);
+  void RebaselineDetector();
+  /// True for statuses that end a leased phase without failing the session.
+  static bool IsBudgetStop(const Status& status);
+
+  TunerFactory inner_factory_;
+  std::string inner_name_;
+  AdaptiveRetuneOptions options_;
+  size_t parallelism_ = 1;
+
+  DriftDetector detector_;
+  GaussianProcess surrogate_;
+  size_t surrogate_fed_ = 0;  ///< history watermark of surrogate feeding
+  Configuration incumbent_;
+  double incumbent_objective_ = 0.0;
+  bool has_incumbent_ = false;
+  size_t stage_ = 0;          ///< 0 = steady, 1 = stage-1 tried, unrecovered
+  size_t retunes_done_ = 0;
+  double session_budget_ = 0.0;
+  AdaptiveRetuneStats stats_;
+  std::string last_inner_report_;
+};
+
+/// Creates `tuner_name` from `registry` wrapped in an AdaptiveRetuneTuner
+/// (the CLI's --adaptive path). The registry reference must outlive the
+/// returned tuner (re-tune episodes create fresh inner instances from it).
+Result<std::unique_ptr<Tuner>> MakeAdaptiveRetuneTuner(
+    const TunerRegistry& registry, const std::string& tuner_name,
+    AdaptiveRetuneOptions options = AdaptiveRetuneOptions());
+
+}  // namespace atune
+
+#endif  // ATUNE_TUNERS_ADAPTIVE_RETUNE_H_

@@ -1,0 +1,138 @@
+// DriftDetector (DESIGN.md §15) contracts:
+//
+//   * pure function of the Observe() sequence — two detectors fed the same
+//     values agree on every firing, statistic, and counter, bitwise
+//   * fires on a sustained regime change, stays quiet on a stationary
+//     stream with bounded noise, and ignores one-off spikes below delta
+//   * scale-invariant: the same relative degradation fires at the same
+//     observation regardless of absolute magnitude (log-objective statistic)
+//   * only degradations fire (one-sided: improvements never do)
+//   * a firing restarts the window, so the same evidence never fires twice
+
+#include "core/drift_detector.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace atune {
+namespace {
+
+// Firing positions for a value sequence — the whole observable behavior.
+std::vector<size_t> FiringRounds(DriftDetector* d,
+                                 const std::vector<double>& values) {
+  std::vector<size_t> rounds;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (d->Observe(values[i])) rounds.push_back(i);
+  }
+  return rounds;
+}
+
+std::vector<double> StationaryThenShift(double base, double factor,
+                                        size_t shift_at, size_t total,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    double level = i < shift_at ? base : base * factor;
+    values.push_back(level * (1.0 + rng.Uniform(-0.005, 0.005)));
+  }
+  return values;
+}
+
+TEST(DriftDetectorTest, PureFunctionOfTheObserveSequence) {
+  const std::vector<double> values =
+      StationaryThenShift(40.0, 1.8, 12, 40, /*seed=*/7);
+  DriftDetector a;
+  DriftDetector b;
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(a.Observe(values[i]), b.Observe(values[i])) << "round " << i;
+    EXPECT_EQ(a.statistic(), b.statistic()) << "round " << i;  // bitwise
+    EXPECT_EQ(a.firings(), b.firings());
+    EXPECT_EQ(a.window_count(), b.window_count());
+  }
+  EXPECT_EQ(a.observed(), values.size());
+}
+
+TEST(DriftDetectorTest, FiresOnShiftStaysQuietWhenStationary) {
+  DriftDetector quiet;
+  auto no_fire =
+      FiringRounds(&quiet, StationaryThenShift(40.0, 1.0, 0, 60, /*seed=*/3));
+  EXPECT_TRUE(no_fire.empty());
+  EXPECT_EQ(quiet.firings(), 0u);
+
+  DriftDetector fires;
+  auto rounds =
+      FiringRounds(&fires, StationaryThenShift(40.0, 1.8, 12, 40, /*seed=*/3));
+  ASSERT_EQ(rounds.size(), 1u);  // one regime change, one firing
+  EXPECT_GE(rounds[0], 12u);     // never before the shift
+  EXPECT_LE(rounds[0], 12u + 8u);  // and within a handful of observations
+  EXPECT_EQ(fires.firings(), 1u);
+}
+
+TEST(DriftDetectorTest, ScaleInvariantFiringRound) {
+  // The same relative degradation at 1000x the magnitude must fire at the
+  // identical observation: the statistic runs on log-objectives.
+  DriftDetector small;
+  DriftDetector large;
+  std::vector<double> base = StationaryThenShift(0.04, 1.8, 12, 40, /*seed=*/9);
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(v * 1000.0);
+  EXPECT_EQ(FiringRounds(&small, base), FiringRounds(&large, scaled));
+}
+
+TEST(DriftDetectorTest, OneSidedImprovementsNeverFire) {
+  DriftDetector d;
+  // A 2x *speedup* is a regime change too, but a welcome one.
+  auto rounds = FiringRounds(&d, StationaryThenShift(40.0, 0.5, 12, 40, 5));
+  EXPECT_TRUE(rounds.empty());
+}
+
+TEST(DriftDetectorTest, MinSamplesGatesFiringAndResetRestartsWindow) {
+  DriftDetectorOptions options;
+  options.min_samples = 6;
+  DriftDetector d(options);
+  // A huge jump right away: the warm-up gate must hold until min_samples.
+  std::vector<double> values(12, 400.0);
+  values[0] = 40.0;  // mean seeds low, everything after is "drift"
+  auto rounds = FiringRounds(&d, values);
+  ASSERT_FALSE(rounds.empty());
+  EXPECT_GE(rounds[0] + 1, options.min_samples);
+
+  // After the firing the window restarted: the stream is now stationary at
+  // the new level, so the same evidence never fires twice.
+  EXPECT_EQ(rounds.size(), 1u);
+  EXPECT_LT(d.window_count(), d.observed());
+
+  // Reset preserves lifetime counters but clears the window.
+  size_t fired = d.firings();
+  d.Reset();
+  EXPECT_EQ(d.window_count(), 0u);
+  EXPECT_EQ(d.statistic(), 0.0);
+  EXPECT_EQ(d.firings(), fired);
+}
+
+TEST(DriftDetectorTest, DeltaAbsorbsSubThresholdNoise) {
+  DriftDetectorOptions options;
+  options.delta = 0.05;  // generous margin
+  DriftDetector d(options);
+  // ±1% wobble sits far below delta in log space: never fires.
+  auto rounds = FiringRounds(&d, StationaryThenShift(40.0, 1.0, 0, 200, 11));
+  EXPECT_TRUE(rounds.empty());
+}
+
+TEST(DriftDetectorTest, FloorClampsNonPositiveObjectives) {
+  DriftDetector d;
+  // Zeros must not poison the statistic with -inf.
+  EXPECT_FALSE(d.Observe(0.0));
+  EXPECT_FALSE(d.Observe(0.0));
+  for (int i = 0; i < 10; ++i) (void)d.Observe(1.0);
+  EXPECT_TRUE(std::isfinite(d.statistic()));
+}
+
+}  // namespace
+}  // namespace atune

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <stdlib.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -362,6 +363,86 @@ TEST_F(DaemonTest, RestartRecoveryResumesBitIdentically) {
     EXPECT_EQ(stats->recovered, 1u);
     StopDaemon();
   }
+}
+
+TEST_F(DaemonTest, CrashLoopingSessionIsQuarantinedAfterMaxResumeAttempts) {
+  // Each cycle runs one daemon lifetime over the shared journal dir inside
+  // a forked child and ends it with _exit — a hard crash: no drain, no
+  // destructors, no durable result. The first cycle admits a session whose
+  // budget (2M trials) guarantees it can never finish before the crash;
+  // every later cycle just restarts, which makes Recover() re-queue the
+  // session and durably bump its resume-attempt counter before dying again.
+  const std::string state = "crash-state";
+  auto crash_cycle = [&](int cycle, bool submit) {
+    pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      DaemonOptions opts;
+      opts.listen =
+          "unix:" + dir_ + "/crash" + std::to_string(cycle) + ".sock";
+      opts.journal_dir = dir_ + "/" + state;
+      opts.tenant_budget_quota = 1e12;
+      TuningDaemon daemon(opts);
+      if (!daemon.Start().ok()) ::_exit(2);  // Recover() has run by now
+      if (submit) {
+        std::thread serve([&daemon] { (void)daemon.Serve(); });
+        serve.detach();
+        TuningClient::Options copts;
+        copts.address = opts.listen;
+        copts.io_timeout_ms = 10000;
+        TuningClient client(std::move(copts));
+        // Meta is durable before the client hears "accepted", so the
+        // crash below cannot lose the admission.
+        auto start = client.StartSession(QuickSession("loop1", 2000000));
+        if (!start.ok() || start->code != AdmitCode::kAccepted) ::_exit(3);
+      }
+      ::_exit(0);  // the crash
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << wstatus;
+    ASSERT_EQ(WEXITSTATUS(wstatus), 0);
+  };
+
+  crash_cycle(0, /*submit=*/true);   // admitted, resume_attempts=0
+  crash_cycle(1, /*submit=*/false);  // recovery bumps to 1, crashes
+  crash_cycle(2, /*submit=*/false);  // -> 2
+  crash_cycle(3, /*submit=*/false);  // -> 3 == max_resume_attempts
+
+  // The surviving daemon quarantines the crash-looper at startup instead of
+  // re-queueing it a fourth time: terminal kFailed/kInternal with a durable
+  // result, and the daemon itself stays up for everyone else.
+  StartDaemon(BigBudgetOptions(), state);
+  TuningClient client = MakeClient();
+  auto attach = client.Attach("loop1", /*wait_ms=*/0);
+  ASSERT_TRUE(attach.ok());
+  EXPECT_EQ(attach->state, SessionState::kFailed);
+  EXPECT_EQ(attach->result.status_code,
+            static_cast<uint8_t>(StatusCode::kInternal));
+  EXPECT_NE(attach->result.message.find("quarantined"), std::string::npos)
+      << attach->result.message;
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->quarantined, 1u);
+  EXPECT_EQ(stats->recovered, 0u);
+
+  // Still serving: a fresh session on the same daemon runs to completion.
+  ASSERT_TRUE(client.StartSession(QuickSession("after-q", 8)).ok());
+  auto done = client.AwaitResult("after-q", 30000, 200);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, SessionState::kDone);
+  StopDaemon();
+
+  // The quarantine verdict is durable: another restart loads it as a
+  // terminal result (no re-run, no second quarantine count).
+  StartDaemon(BigBudgetOptions(), state);
+  TuningClient again = MakeClient();
+  auto reattach = again.Attach("loop1", 0);
+  ASSERT_TRUE(reattach.ok());
+  EXPECT_EQ(reattach->state, SessionState::kFailed);
+  auto stats2 = again.Stats();
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->quarantined, 0u);
 }
 
 TEST_F(DaemonTest, FaultyTransportClientStillCompletesSessions) {

@@ -169,6 +169,7 @@ TEST(WireTest, CancelAndStatsAndErrorRoundTrip) {
   stats.cancelled = 8;
   stats.deadline_exceeded = 9;
   stats.recovered = 10;
+  stats.quarantined = 13;
   stats.active = 11;
   stats.queued = 12;
   auto ps = ParseStatsResponse(EncodeStatsResponse(stats));
@@ -183,6 +184,7 @@ TEST(WireTest, CancelAndStatsAndErrorRoundTrip) {
   EXPECT_EQ(ps->cancelled, 8u);
   EXPECT_EQ(ps->deadline_exceeded, 9u);
   EXPECT_EQ(ps->recovered, 10u);
+  EXPECT_EQ(ps->quarantined, 13u);
   EXPECT_EQ(ps->active, 11u);
   EXPECT_EQ(ps->queued, 12u);
 

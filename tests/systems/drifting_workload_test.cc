@@ -1,0 +1,253 @@
+// DriftingWorkload (DESIGN.md §15) determinism contracts:
+//
+//   * a drift schedule is a pure function of (schedule, base, run index) —
+//     bitwise, including the per-run jitter draw
+//   * kNone is an exact pass-through
+//   * Clone(runs_ahead)/SkipRuns reproduce the serial metric stream bitwise
+//     for every schedule family, jitter included
+//   * composition with FaultInjectingSystem is bit-identical in either
+//     nesting order to its own serial reference
+//   * the CLI spec parser round-trips good specs and rejects bad ones with
+//     kInvalidArgument
+
+#include "systems/drifting_workload.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "systems/dbms/dbms_system.h"
+#include "systems/dbms/dbms_workloads.h"
+#include "systems/fault_injector.h"
+#include "systems/hardware.h"
+
+namespace atune {
+namespace {
+
+std::unique_ptr<SimulatedDbms> MakeDbms(uint64_t seed) {
+  NodeSpec node;
+  node.cores = 8;
+  node.ram_mb = 16384;
+  return std::make_unique<SimulatedDbms>(ClusterSpec::MakeUniform(1, node),
+                                         seed);
+}
+
+bool SameResult(const ExecutionResult& a, const ExecutionResult& b) {
+  return a.runtime_seconds == b.runtime_seconds && a.failed == b.failed &&
+         a.transient == b.transient && a.censored == b.censored &&
+         a.metrics == b.metrics;
+}
+
+TEST(DriftScheduleTest, ApplyIsPureAndShapesMatchTheFamilies) {
+  const Workload base = MakeDbmsOlapWorkload(1.0);
+
+  // Pure: same inputs, bitwise-identical outputs — jitter included.
+  DriftSchedule jittered = DriftSchedule::Diurnal(0.4, 32);
+  jittered.scale_jitter = 0.1;
+  for (uint64_t i = 0; i < 20; ++i) {
+    Workload a = jittered.Apply(base, i);
+    Workload b = jittered.Apply(base, i);
+    EXPECT_EQ(a.scale, b.scale) << "run " << i;  // bitwise
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.properties, b.properties);
+  }
+
+  // kNone touches nothing.
+  DriftSchedule none;
+  Workload same = none.Apply(base, 7);
+  EXPECT_EQ(same.scale, base.scale);
+  EXPECT_EQ(same.kind, base.kind);
+  EXPECT_EQ(same.properties, base.properties);
+
+  // Ramp: 1x at run 0, the full factor at ramp_runs, held afterwards.
+  DriftSchedule ramp = DriftSchedule::Ramp(3.0, 10);
+  EXPECT_DOUBLE_EQ(ramp.Apply(base, 0).scale, base.scale);
+  EXPECT_DOUBLE_EQ(ramp.Apply(base, 10).scale, base.scale * 3.0);
+  EXPECT_DOUBLE_EQ(ramp.Apply(base, 100).scale, base.scale * 3.0);
+
+  // Phase shift: pass-through before the boundary; scale, kind, and
+  // property overlay after it.
+  DriftSchedule shift = DriftSchedule::PhaseShift(5, 1.5, "oltp");
+  shift.shift_properties["skew"] = 0.9;
+  Workload before = shift.Apply(base, 4);
+  EXPECT_EQ(before.scale, base.scale);
+  EXPECT_EQ(before.kind, base.kind);
+  Workload after = shift.Apply(base, 5);
+  EXPECT_DOUBLE_EQ(after.scale, base.scale * 1.5);
+  EXPECT_EQ(after.kind, "oltp");
+  EXPECT_DOUBLE_EQ(after.PropertyOr("skew", 0.0), 0.9);
+
+  // Diurnal: back to the base scale after a full period.
+  DriftSchedule diurnal = DriftSchedule::Diurnal(0.4, 8);
+  EXPECT_DOUBLE_EQ(diurnal.Apply(base, 0).scale, base.scale);
+  EXPECT_GT(diurnal.Apply(base, 2).scale, base.scale);   // peak
+  EXPECT_LT(diurnal.Apply(base, 6).scale, base.scale);   // trough
+  EXPECT_NEAR(diurnal.Apply(base, 8).scale, base.scale, 1e-12);
+}
+
+TEST(DriftingWorkloadTest, NoneScheduleIsExactPassthrough) {
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  auto bare = MakeDbms(5);
+  auto inner = MakeDbms(5);
+  DriftingWorkload drifting(inner.get(), DriftSchedule());
+  Configuration config = bare->space().DefaultConfiguration();
+  for (int i = 0; i < 6; ++i) {
+    auto a = bare->Execute(config, workload);
+    auto b = drifting.Execute(config, workload);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(SameResult(*a, *b)) << "run " << i;
+  }
+}
+
+// The §6 contract, per schedule family: a wave of clones at offsets
+// 0..3 plus SkipRuns(4) on the parent reproduces the serial stream bitwise.
+TEST(DriftingWorkloadTest, CloneSkipRunsReproducesSerialStreamAllSchedules) {
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  std::vector<DriftSchedule> schedules;
+  schedules.push_back(DriftSchedule::Ramp(2.5, 6));
+  schedules.push_back(DriftSchedule::PhaseShift(3, 1.8, "oltp"));
+  schedules.push_back(DriftSchedule::Diurnal(0.5, 5));
+  schedules.back().scale_jitter = 0.1;  // jittered diurnal: hardest case
+
+  for (size_t s = 0; s < schedules.size(); ++s) {
+    const DriftSchedule& schedule = schedules[s];
+
+    auto serial_inner = MakeDbms(5);
+    DriftingWorkload serial(serial_inner.get(), schedule);
+    Configuration config = serial.space().DefaultConfiguration();
+    std::vector<ExecutionResult> reference;
+    for (int i = 0; i < 8; ++i) {
+      auto r = serial.Execute(config, workload);
+      ASSERT_TRUE(r.ok());
+      reference.push_back(*r);
+    }
+
+    auto wave_inner = MakeDbms(5);
+    DriftingWorkload wave(wave_inner.get(), schedule);
+    std::vector<std::unique_ptr<TunableSystem>> clones;
+    for (uint64_t i = 0; i < 4; ++i) {
+      clones.push_back(wave.Clone(i));
+      ASSERT_NE(clones.back(), nullptr);
+    }
+    std::vector<ExecutionResult> results;
+    for (uint64_t i = 0; i < 4; ++i) {
+      auto r = clones[i]->Execute(config, workload);
+      ASSERT_TRUE(r.ok());
+      results.push_back(*r);
+    }
+    wave.SkipRuns(4);
+    for (int i = 0; i < 4; ++i) {
+      auto r = wave.Execute(config, workload);
+      ASSERT_TRUE(r.ok());
+      results.push_back(*r);
+    }
+
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_TRUE(SameResult(reference[i], results[i]))
+          << "schedule " << s << " run " << i;
+    }
+  }
+}
+
+// Drift and fault injection each keep their own per-execution clock, so the
+// composed decorator stack must satisfy the same serial-equivalence no
+// matter which wraps which.
+TEST(DriftingWorkloadTest, ComposesWithFaultInjectorInEitherNestingOrder) {
+  const Workload workload = MakeDbmsOlapWorkload(1.0);
+  DriftSchedule schedule = DriftSchedule::PhaseShift(3, 1.7);
+  schedule.scale_jitter = 0.05;
+  const FaultProfile profile = FaultProfile::FromRate(0.3, /*seed=*/17);
+
+  for (int order = 0; order < 2; ++order) {
+    auto build = [&](std::unique_ptr<SimulatedDbms>* holder)
+        -> std::unique_ptr<TunableSystem> {
+      *holder = MakeDbms(5);
+      if (order == 0) {
+        // fault(drift(dbms)): faults hit the drifted runs.
+        auto drift = std::make_unique<DriftingWorkload>(holder->get(), schedule);
+        return std::make_unique<FaultInjectingSystem>(std::move(drift),
+                                                      profile);
+      }
+      // drift(fault(dbms)): the drifted workload feeds the faulty system.
+      auto faulty =
+          std::make_unique<FaultInjectingSystem>(holder->get(), profile);
+      return std::make_unique<DriftingWorkload>(std::move(faulty), schedule);
+    };
+
+    std::unique_ptr<SimulatedDbms> serial_holder;
+    std::unique_ptr<TunableSystem> serial = build(&serial_holder);
+    Configuration config = serial->space().DefaultConfiguration();
+    std::vector<ExecutionResult> reference;
+    for (int i = 0; i < 8; ++i) {
+      auto r = serial->Execute(config, workload);
+      ASSERT_TRUE(r.ok());
+      reference.push_back(*r);
+    }
+
+    std::unique_ptr<SimulatedDbms> wave_holder;
+    std::unique_ptr<TunableSystem> wave = build(&wave_holder);
+    std::vector<std::unique_ptr<TunableSystem>> clones;
+    for (uint64_t i = 0; i < 4; ++i) {
+      clones.push_back(wave->Clone(i));
+      ASSERT_NE(clones.back(), nullptr);
+    }
+    std::vector<ExecutionResult> results;
+    for (uint64_t i = 0; i < 4; ++i) {
+      auto r = clones[i]->Execute(config, workload);
+      ASSERT_TRUE(r.ok());
+      results.push_back(*r);
+    }
+    wave->SkipRuns(4);
+    for (int i = 0; i < 4; ++i) {
+      auto r = wave->Execute(config, workload);
+      ASSERT_TRUE(r.ok());
+      results.push_back(*r);
+    }
+
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_TRUE(SameResult(reference[i], results[i]))
+          << "order " << order << " run " << i;
+    }
+  }
+}
+
+TEST(DriftScheduleTest, ParseAcceptsSpecsAndRejectsBadOnes) {
+  auto ramp = DriftSchedule::Parse("ramp:factor=3.0,runs=10");
+  ASSERT_TRUE(ramp.ok());
+  EXPECT_EQ(ramp->kind, DriftSchedule::Kind::kRamp);
+  EXPECT_DOUBLE_EQ(ramp->ramp_factor, 3.0);
+  EXPECT_EQ(ramp->ramp_runs, 10u);
+
+  auto shift = DriftSchedule::Parse("shift:at=25,factor=1.6,kind=olap");
+  ASSERT_TRUE(shift.ok());
+  EXPECT_EQ(shift->kind, DriftSchedule::Kind::kPhaseShift);
+  EXPECT_EQ(shift->shift_at_run, 25u);
+  EXPECT_DOUBLE_EQ(shift->shift_factor, 1.6);
+  EXPECT_EQ(shift->shift_kind, "olap");
+
+  auto diurnal =
+      DriftSchedule::Parse("diurnal:amplitude=0.3,period=16,jitter=0.05,seed=7");
+  ASSERT_TRUE(diurnal.ok());
+  EXPECT_EQ(diurnal->kind, DriftSchedule::Kind::kDiurnal);
+  EXPECT_DOUBLE_EQ(diurnal->diurnal_amplitude, 0.3);
+  EXPECT_EQ(diurnal->diurnal_period, 16u);
+  EXPECT_DOUBLE_EQ(diurnal->scale_jitter, 0.05);
+  EXPECT_EQ(diurnal->seed, 7u);
+
+  auto bare = DriftSchedule::Parse("ramp");
+  ASSERT_TRUE(bare.ok());  // defaults apply
+  EXPECT_EQ(bare->kind, DriftSchedule::Kind::kRamp);
+
+  for (const char* bad :
+       {"sawtooth", "ramp:factor=", "ramp:factor=abc", "ramp:runs=0",
+        "diurnal:period=0", "shift:at", "ramp:bogus=1"}) {
+    auto r = DriftSchedule::Parse(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace atune

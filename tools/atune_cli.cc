@@ -22,6 +22,18 @@
 //       at F/5 — exercise the Evaluator's measurement-robustness policy
 //   --timeout-seconds=F             watchdog kill threshold   [0 = off]
 //   --max-retries=N                 transient-failure retries [2]
+//   --drift=SPEC                    time-varying workload     [off]
+//       wraps the system in DriftingWorkload; SPEC is ramp|shift|diurnal
+//       with optional key=value params, e.g. --drift=shift:at=25,factor=1.8
+//       or --drift=diurnal:amplitude=0.5,period=32 (DESIGN.md §15). The
+//       schedule is a pure function of the run index, so --resume stays
+//       bit-identical and it composes with --fault-rate
+//   --adaptive                      drift-adaptive tune-serve-adapt loop
+//       wraps --tuner in AdaptiveRetuneTuner: initial tune under a budget
+//       lease, then serve the incumbent while a Page–Hinkley detector
+//       watches for drift; on detection, staged degradation (surrogate
+//       eviction + re-probe, then bounded full re-tune). Composes under
+//       --supervise
 //   --supervise                     wrap the tuner in the supervision layer
 //       proposal sanitization, duplicate-livelock substitution, the
 //       crash-region circuit breaker, and numerical-failure failover to
@@ -89,8 +101,10 @@
 #include "net/client.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "systems/drifting_workload.h"
 #include "systems/fault_injector.h"
 #include "systems/system_factory.h"
+#include "tuners/adaptive_retune.h"
 #include "tuners/builtin.h"
 
 namespace atune {
@@ -116,6 +130,8 @@ struct CliOptions {
   double timeout_seconds = 0.0;
   size_t max_retries = 2;
   bool supervise = false;
+  std::string drift;
+  bool adaptive = false;
   std::string fallback_tuner;
   std::string journal;
   JournalPolicy journal_policy = JournalPolicy::kStrict;
@@ -181,6 +197,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (ParseFlag(arg, "max-retries", &value)) {
       options.max_retries = static_cast<size_t>(std::strtoull(value.c_str(),
                                                               nullptr, 10));
+    } else if (ParseFlag(arg, "drift", &value)) {
+      options.drift = value;
+    } else if (arg == "--adaptive") {
+      options.adaptive = true;
     } else if (arg == "--supervise") {
       options.supervise = true;
     } else if (ParseFlag(arg, "fallback-tuner", &value)) {
@@ -233,6 +253,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
   }
   if (!options.fallback_tuner.empty() && !options.supervise) {
     return Status::InvalidArgument("--fallback-tuner requires --supervise");
+  }
+  if (!options.drift.empty()) {
+    auto parsed = DriftSchedule::Parse(options.drift);
+    if (!parsed.ok()) return parsed.status();
   }
   if (options.connect.empty() &&
       (!options.session_id.empty() || options.deadline_ms > 0 ||
@@ -383,6 +407,15 @@ int RunCli(const CliOptions& options) {
     return 2;
   }
   std::unique_ptr<Tuner> tuner = std::move(*created);
+  if (options.adaptive) {
+    auto adaptive = MakeAdaptiveRetuneTuner(registry, options.tuner);
+    if (!adaptive.ok()) {
+      std::fprintf(stderr, "%s (try --list)\n",
+                   adaptive.status().ToString().c_str());
+      return 2;
+    }
+    tuner = std::move(*adaptive);
+  }
   if (options.supervise) {
     std::unique_ptr<Tuner> fallback;
     if (!options.fallback_tuner.empty()) {
@@ -403,10 +436,18 @@ int RunCli(const CliOptions& options) {
   }
   std::unique_ptr<TunableSystem> system = std::move(*made);
   TunableSystem* target = system.get();
+  std::unique_ptr<DriftingWorkload> drifting;
+  if (!options.drift.empty()) {
+    // Validated by ParseArgs; faults (below) inject on top of the drifted
+    // workload, matching a real cluster where both happen at once.
+    drifting = std::make_unique<DriftingWorkload>(
+        target, *DriftSchedule::Parse(options.drift));
+    target = drifting.get();
+  }
   std::unique_ptr<FaultInjectingSystem> faulty;
   if (options.fault_rate > 0.0) {
     faulty = std::make_unique<FaultInjectingSystem>(
-        system.get(),
+        target,
         FaultProfile::FromRate(options.fault_rate, options.seed ^ 0xFA17));
     target = faulty.get();
   }
@@ -485,9 +526,14 @@ int RunCli(const CliOptions& options) {
   std::printf("system:    %s (%s)\n", options.system.c_str(),
               system->name().c_str());
   std::printf("workload:  %s\n", workload.name.c_str());
-  std::printf("tuner:     %s [%s]%s\n", options.tuner.c_str(),
+  std::printf("tuner:     %s [%s]%s%s\n", options.tuner.c_str(),
               TunerCategoryToString(outcome->category),
+              options.adaptive ? " (adaptive-retune)" : "",
               options.supervise ? " (supervised)" : "");
+  if (!options.drift.empty()) {
+    std::printf("drift:     %s\n",
+                DriftSchedule::Parse(options.drift)->ToString().c_str());
+  }
   std::printf("default:   %.2f s\n", outcome->default_objective);
   std::printf("best:      %.2f s  (%.2fx speedup, %.1f/%zu budget used, "
               "%zu failed runs)\n",

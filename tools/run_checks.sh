@@ -63,6 +63,22 @@
 #                                   # saturation with no lost sessions. Then
 #                                   # reruns the net test suite (reactor,
 #                                   # transport, wire) under ThreadSanitizer.
+#   tools/run_checks.sh --drift     # Release build + bench_drift at full
+#                                   # scale, gated on the pass flags in
+#                                   # BENCH_drift.json: adaptive recovery
+#                                   # >= 2x faster than a detector-disabled
+#                                   # static pipeline after a phase shift
+#                                   # that OOMs the stale incumbent, zero
+#                                   # budget leak under drift storms with
+#                                   # the re-tune cap held, and whole-
+#                                   # registry kill/resume checksum +
+#                                   # journal-byte identity under --drift
+#                                   # (the adaptive row's detection rounds
+#                                   # identical live vs replay). Then
+#                                   # rebuilds the asan-ubsan preset and
+#                                   # reruns the drift detector, drifting
+#                                   # workload, and adaptive-retune suites
+#                                   # under sanitizers.
 #   tools/run_checks.sh --coverage  # instrumented Debug build + full ctest +
 #                                   # per-directory line-coverage summary for
 #                                   # src/. Uses gcovr if installed, else
@@ -362,6 +378,47 @@ if [ "${1:-}" = "--service" ]; then
   echo "service checks passed: zero session fatals under transport faults,"
   echo "kill/restart resume bit-identical, admission p99 bounded under"
   echo "saturation, net test suite clean under tsan"
+  exit 0
+fi
+
+if [ "${1:-}" = "--drift" ]; then
+  jobs="$(nproc 2>/dev/null || echo 2)"
+  echo "=== [drift] configure + build (default preset, Release) ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  echo "=== [drift] bench_drift (full scale) ==="
+  # Full scale: post-shift recovery race over 4 seeds (gate: the adaptive
+  # decorator restores a working configuration >= 2x faster, summed over
+  # seeds, than an otherwise identical static pipeline whose detector never
+  # fires), a drift-storm matrix (violent ramp / diurnal / repeated shift;
+  # gate: budget never exceeded, re-tune cap held), and the whole-registry
+  # kill/resume matrix under --drift (gate: checksum + final journal bytes
+  # identical, and the adaptive row's detection/re-probe/re-tune/eviction
+  # counters identical live vs replay).
+  ./build/bench/bench_drift
+  if ! grep -q '"pass": {"recovery": true, "storms": true, "resume": true}' \
+      BENCH_drift.json; then
+    echo "drift gate FAILED:" >&2
+    grep '"pass"' BENCH_drift.json >&2 || true
+    exit 1
+  fi
+  echo "=== [drift] asan-ubsan preset, drift suites ==="
+  # Rerun the suites exercising the new decorator, detector, and schedule
+  # arithmetic under Address+UBSanitizer: the eviction/re-probe/re-tune
+  # paths and the log-objective Page-Hinkley recursion are exactly the code
+  # that should meet asan/ubsan.
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$jobs" \
+      --target atune_core_tests atune_systems_tests atune_tuners_tests
+  ./build-asan/tests/atune_core_tests --gtest_brief=1 \
+      --gtest_filter='DriftDetector*'
+  ./build-asan/tests/atune_systems_tests --gtest_brief=1 \
+      --gtest_filter='DriftSchedule*:DriftingWorkload*'
+  ./build-asan/tests/atune_tuners_tests --gtest_brief=1 \
+      --gtest_filter='AdaptiveRetune*'
+  echo "drift checks passed: adaptive recovery >= 2x static after the shift,"
+  echo "no budget leak under drift storms, whole-registry resume identical"
+  echo "under drift with detection rounds matching live vs replay"
   exit 0
 fi
 
